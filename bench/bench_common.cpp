@@ -1,0 +1,56 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "support/strings.hpp"
+
+namespace lev::bench {
+
+BenchArgs parseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--csv") {
+      args.csv = true;
+    } else if (a == "--scale" && i + 1 < argc) {
+      args.scale = std::max(1, std::atoi(argv[++i]));
+    } else if (a == "--kernels" && i + 1 < argc) {
+      for (auto part : split(argv[++i], ','))
+        args.kernels.emplace_back(trim(part));
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--scale N] [--csv] [--kernels a,b,c]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+std::vector<std::string> selectedKernels(const BenchArgs& args) {
+  return args.kernels.empty() ? workloads::kernelNames() : args.kernels;
+}
+
+backend::CompileResult compileKernel(const std::string& name, int scale,
+                                     int budget, bool memoryProp) {
+  ir::Module mod = workloads::buildKernel(name, scale);
+  backend::CompileOptions opts;
+  opts.annotationBudget = budget;
+  opts.depOptions.propagateThroughMemory = memoryProp;
+  return backend::compile(mod, opts);
+}
+
+sim::RunSummary run(const backend::CompileResult& compiled,
+                    const std::string& policy, const uarch::CoreConfig& cfg) {
+  return sim::runOnce(compiled.program, cfg, policy, 4'000'000'000ull);
+}
+
+void emit(const BenchArgs& args, const std::string& title, const Table& t) {
+  std::cout << "== " << title << " ==\n";
+  if (args.csv)
+    t.printCsv(std::cout);
+  else
+    t.print(std::cout);
+  std::cout << "\n";
+}
+
+} // namespace lev::bench

@@ -1,0 +1,45 @@
+// Shared plumbing for the table/figure regenerators.
+//
+// Every bench binary accepts:
+//   --scale N    workload scale factor (default 1)
+//   --csv        emit CSV instead of an aligned console table
+//   --kernels a,b,c   restrict the kernel set
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "backend/compiler.hpp"
+#include "sim/simulation.hpp"
+#include "support/table.hpp"
+#include "uarch/core.hpp"
+#include "workloads/kernels.hpp"
+
+namespace lev::bench {
+
+struct BenchArgs {
+  int scale = 1;
+  bool csv = false;
+  std::vector<std::string> kernels; ///< empty = full suite
+};
+
+BenchArgs parseArgs(int argc, char** argv);
+
+/// Kernel set selected by the args.
+std::vector<std::string> selectedKernels(const BenchArgs& args);
+
+/// Compile a kernel once (annotations at the given budget).
+backend::CompileResult compileKernel(const std::string& name, int scale,
+                                     int budget = 4,
+                                     bool memoryProp = true);
+
+/// Run a compiled program under a policy and return the summary.
+sim::RunSummary run(const backend::CompileResult& compiled,
+                    const std::string& policy,
+                    const uarch::CoreConfig& cfg = uarch::CoreConfig());
+
+/// Print a table in the format selected by the args, preceded by a title.
+void emit(const BenchArgs& args, const std::string& title, const Table& t);
+
+} // namespace lev::bench

@@ -1,0 +1,61 @@
+// Figure 2 (reconstruction): static annotation statistics of the Levioso
+// compiler pass — dependency-set sizes and the fraction of instructions
+// that overflow each hint budget.
+#include "bench_common.hpp"
+#include "support/strings.hpp"
+
+using namespace lev;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parseArgs(argc, argv);
+
+  Table t({"benchmark", "static insts", "no deps", "avg set size",
+           "max set size", "overflow@K=1", "overflow@K=2", "overflow@K=4",
+           "overflow@K=8"});
+  for (const std::string& kernel : bench::selectedKernels(args)) {
+    std::vector<std::string> row;
+    row.push_back(kernel);
+    levioso::DepStats stats;
+    std::vector<double> overflowFrac;
+    for (int budget : {1, 2, 4, 8}) {
+      const backend::CompileResult compiled =
+          bench::compileKernel(kernel, 1, budget);
+      stats = compiled.depStats;
+      const double total = static_cast<double>(
+          compiled.encodeStats.encoded + compiled.encodeStats.overflowed);
+      overflowFrac.push_back(
+          static_cast<double>(compiled.encodeStats.overflowed) / total);
+    }
+    row.insert(row.end(),
+               {std::to_string(stats.totalInsts),
+                fmtPct(static_cast<double>(stats.instsWithNoDeps) /
+                       static_cast<double>(stats.totalInsts)),
+                fmtF(static_cast<double>(stats.totalDepEntries) /
+                         static_cast<double>(stats.totalInsts),
+                     2),
+                std::to_string(stats.maxSetSize)});
+    for (double f : overflowFrac) row.push_back(fmtPct(f));
+    t.addRow(row);
+  }
+  bench::emit(args, "Figure 2: true-branch-dependency set statistics", t);
+
+  // Companion: set-size histogram over the whole suite.
+  levioso::DepStats total;
+  for (const std::string& kernel : bench::selectedKernels(args)) {
+    const backend::CompileResult compiled = bench::compileKernel(kernel, 1);
+    for (std::size_t i = 0; i < total.setSizeHistogram.size(); ++i)
+      total.setSizeHistogram[i] += compiled.depStats.setSizeHistogram[i];
+    total.totalInsts += compiled.depStats.totalInsts;
+  }
+  Table h({"set size", "static insts", "fraction"});
+  for (std::size_t i = 0; i < total.setSizeHistogram.size(); ++i) {
+    if (total.setSizeHistogram[i] == 0) continue;
+    h.addRow({i + 1 == total.setSizeHistogram.size() ? (std::to_string(i) + "+")
+                                                     : std::to_string(i),
+              std::to_string(total.setSizeHistogram[i]),
+              fmtPct(static_cast<double>(total.setSizeHistogram[i]) /
+                     static_cast<double>(total.totalInsts))});
+  }
+  bench::emit(args, "Figure 2b: dependency-set size histogram (suite-wide)", h);
+  return 0;
+}

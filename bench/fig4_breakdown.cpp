@@ -1,0 +1,41 @@
+// Figure 4 (reconstruction): where the overhead comes from — per policy,
+// how many issue-slots were consumed re-trying delayed transmitters and how
+// many loads were served invisibly (DoM).
+#include "bench_common.hpp"
+#include "support/strings.hpp"
+
+using namespace lev;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parseArgs(argc, argv);
+  const std::vector<std::string> policies = {"fence", "dom", "stt", "spt",
+                                             "levioso"};
+
+  Table t({"benchmark", "policy", "overhead", "load-delay cycles",
+           "exec-delay cycles", "invisible loads",
+           "delay cycles / committed inst"});
+  for (const std::string& kernel : bench::selectedKernels(args)) {
+    const backend::CompileResult compiled =
+        bench::compileKernel(kernel, args.scale);
+    const sim::RunSummary base = bench::run(compiled, "unsafe");
+    for (const auto& policy : policies) {
+      sim::Simulation s(compiled.program, uarch::CoreConfig(), policy);
+      if (s.run(4'000'000'000ull) != uarch::RunExit::Halted)
+        throw SimError(kernel + ": cycle limit under " + policy);
+      const auto& st = s.stats();
+      const double over = sim::overhead(s.core().cycle(), base.cycles);
+      const double perInst =
+          static_cast<double>(st.get("policy.loadDelayCycles") +
+                              st.get("policy.execDelayCycles")) /
+          static_cast<double>(s.core().committedInsts());
+      t.addRow({kernel, policy, fmtPct(over),
+                std::to_string(st.get("policy.loadDelayCycles")),
+                std::to_string(st.get("policy.execDelayCycles")),
+                std::to_string(st.get("policy.invisibleLoads")),
+                fmtF(perInst, 2)});
+    }
+    t.addSeparator();
+  }
+  bench::emit(args, "Figure 4: restriction-work breakdown per policy", t);
+  return 0;
+}

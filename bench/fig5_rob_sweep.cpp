@@ -1,0 +1,40 @@
+// Figure 5 (reconstruction): sensitivity to the out-of-order window.
+//
+// Overhead of spt vs levioso at ROB sizes 64..256 on four representative
+// kernels. Bigger windows keep more unresolved branches in flight, so the
+// conservative scheme's overhead grows with the window while Levioso's
+// stays comparatively flat — the gap should widen.
+#include "bench_common.hpp"
+#include "support/strings.hpp"
+
+using namespace lev;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parseArgs(argc, argv);
+  if (args.kernels.empty())
+    args.kernels = {"mcf_chase", "x264_sad", "lbm_stream", "gcc_branchy"};
+  const std::vector<int> robSizes = {64, 128, 192, 256};
+
+  Table t({"benchmark", "ROB", "unsafe cycles", "spt overhead",
+           "levioso overhead"});
+  for (const std::string& kernel : bench::selectedKernels(args)) {
+    const backend::CompileResult compiled =
+        bench::compileKernel(kernel, args.scale);
+    for (int rob : robSizes) {
+      uarch::CoreConfig cfg;
+      cfg.robSize = rob;
+      cfg.iqSize = std::min(cfg.iqSize, rob / 2);
+      cfg.lqSize = std::min(cfg.lqSize, rob / 3);
+      cfg.sqSize = std::min(cfg.sqSize, rob / 4);
+      const sim::RunSummary base = bench::run(compiled, "unsafe", cfg);
+      const sim::RunSummary spt = bench::run(compiled, "spt", cfg);
+      const sim::RunSummary lev = bench::run(compiled, "levioso", cfg);
+      t.addRow({kernel, std::to_string(rob), std::to_string(base.cycles),
+                fmtPct(sim::overhead(spt.cycles, base.cycles)),
+                fmtPct(sim::overhead(lev.cycles, base.cycles))});
+    }
+    t.addSeparator();
+  }
+  bench::emit(args, "Figure 5: overhead vs reorder-buffer size", t);
+  return 0;
+}

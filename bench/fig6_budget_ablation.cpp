@@ -1,0 +1,64 @@
+// Figure 6 (reconstruction): ablations of the two Levioso design choices
+// DESIGN.md calls out.
+//
+//  (a) Annotation budget K: hints can carry at most K dependees; overflow
+//      means conservative restriction. K=0 must converge to spt-like cost;
+//      K=unlimited is the precision ceiling.
+//  (b) Memory-dependence propagation: disabling it shrinks dependency sets
+//      (lower overhead) but is UNSOUND — tests/levioso_test.cpp shows the
+//      laundering gadget dependency disappearing. The row is here to
+//      quantify what that soundness costs.
+#include "bench_common.hpp"
+#include "levioso/annotation.hpp"
+#include "support/strings.hpp"
+
+using namespace lev;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parseArgs(argc, argv);
+  struct Variant {
+    std::string label;
+    int budget;
+    bool memProp;
+  };
+  const std::vector<Variant> variants = {
+      {"K=0 (all overflow)", 0, true}, {"K=1", 1, true},
+      {"K=2", 2, true},                {"K=4 (default)", 4, true},
+      {"K=8", 8, true},                {"K=inf", levioso::kUnlimitedBudget, true},
+      {"K=inf, no mem-dep (UNSOUND)", levioso::kUnlimitedBudget, false},
+  };
+
+  std::vector<std::string> header = {"variant"};
+  for (const std::string& kernel : bench::selectedKernels(args))
+    header.push_back(kernel);
+  header.push_back("geomean");
+  Table t(header);
+
+  // Baselines per kernel.
+  std::map<std::string, std::uint64_t> baseCycles;
+  for (const std::string& kernel : bench::selectedKernels(args)) {
+    const backend::CompileResult compiled =
+        bench::compileKernel(kernel, args.scale);
+    baseCycles[kernel] = bench::run(compiled, "unsafe").cycles;
+  }
+
+  for (const Variant& v : variants) {
+    std::vector<std::string> row = {v.label};
+    std::vector<double> slowdowns;
+    for (const std::string& kernel : bench::selectedKernels(args)) {
+      const backend::CompileResult compiled =
+          bench::compileKernel(kernel, args.scale, v.budget, v.memProp);
+      const sim::RunSummary s = bench::run(compiled, "levioso");
+      const double slowdown = static_cast<double>(s.cycles) /
+                              static_cast<double>(baseCycles[kernel]);
+      slowdowns.push_back(slowdown);
+      row.push_back(fmtPct(slowdown - 1.0));
+    }
+    row.push_back(fmtPct(geomean(slowdowns) - 1.0));
+    t.addRow(row);
+  }
+  bench::emit(args, "Figure 6: Levioso overhead vs annotation budget and "
+                    "memory-dependence ablation",
+              t);
+  return 0;
+}

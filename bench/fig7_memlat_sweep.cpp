@@ -1,0 +1,40 @@
+// Figure 7 (extension): sensitivity to memory latency.
+//
+// Secure-speculation overhead is driven by how long branches stay
+// unresolved, which on memory-bound code is the DRAM latency. Sweeping it
+// shows the conservative schemes' overhead scaling with memory latency
+// while Levioso's — paid only on true dependees — scales much more slowly.
+#include "bench_common.hpp"
+#include "support/strings.hpp"
+
+using namespace lev;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parseArgs(argc, argv);
+  if (args.kernels.empty())
+    args.kernels = {"mcf_chase", "leela_search", "x264_sad"};
+  const std::vector<int> latencies = {50, 100, 200, 400};
+
+  Table t({"benchmark", "DRAM latency", "unsafe cycles", "spt overhead",
+           "levioso overhead", "levioso/spt cycle ratio"});
+  for (const std::string& kernel : bench::selectedKernels(args)) {
+    const backend::CompileResult compiled =
+        bench::compileKernel(kernel, args.scale);
+    for (int lat : latencies) {
+      uarch::CoreConfig cfg;
+      cfg.mem.memLatency = lat;
+      const sim::RunSummary base = bench::run(compiled, "unsafe", cfg);
+      const sim::RunSummary spt = bench::run(compiled, "spt", cfg);
+      const sim::RunSummary lev = bench::run(compiled, "levioso", cfg);
+      t.addRow({kernel, std::to_string(lat), std::to_string(base.cycles),
+                fmtPct(sim::overhead(spt.cycles, base.cycles)),
+                fmtPct(sim::overhead(lev.cycles, base.cycles)),
+                fmtF(static_cast<double>(lev.cycles) /
+                         static_cast<double>(spt.cycles),
+                     3)});
+    }
+    t.addSeparator();
+  }
+  bench::emit(args, "Figure 7: overhead vs DRAM latency", t);
+  return 0;
+}

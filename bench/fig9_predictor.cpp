@@ -1,0 +1,46 @@
+// Figure 9 (extension): better prediction helps the defenses too.
+//
+// Mispredictions bound how long speculation sources stay unresolved (and
+// how much transient work is wasted), so a stronger predictor (TAGE-lite
+// vs gshare) lowers both the baseline cycle count and every defense's
+// overhead — without changing the ordering between schemes.
+#include "bench_common.hpp"
+#include "support/strings.hpp"
+
+using namespace lev;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parseArgs(argc, argv);
+  if (args.kernels.empty())
+    args.kernels = {"gobmk_board", "gcc_branchy", "leela_search", "x264_sad"};
+
+  Table t({"benchmark", "predictor", "unsafe cycles", "mispredict rate",
+           "spt overhead", "levioso overhead"});
+  for (const std::string& kernel : bench::selectedKernels(args)) {
+    const backend::CompileResult compiled =
+        bench::compileKernel(kernel, args.scale);
+    for (const auto kind :
+         {uarch::PredictorKind::Gshare, uarch::PredictorKind::Tage}) {
+      uarch::CoreConfig cfg;
+      cfg.bp.kind = kind;
+      sim::Simulation base(compiled.program, cfg, "unsafe");
+      if (base.run(4'000'000'000ull) != uarch::RunExit::Halted)
+        throw SimError(kernel + ": cycle limit");
+      const double branches =
+          static_cast<double>(base.stats().get("bp.resolvedTaken") +
+                              base.stats().get("bp.resolvedNotTaken"));
+      const double misRate =
+          static_cast<double>(base.stats().get("bp.mispredicts")) / branches;
+      const sim::RunSummary spt = bench::run(compiled, "spt", cfg);
+      const sim::RunSummary lev = bench::run(compiled, "levioso", cfg);
+      t.addRow({kernel,
+                kind == uarch::PredictorKind::Tage ? "tage-lite" : "gshare",
+                std::to_string(base.core().cycle()), fmtPct(misRate),
+                fmtPct(sim::overhead(spt.cycles, base.core().cycle())),
+                fmtPct(sim::overhead(lev.cycles, base.core().cycle()))});
+    }
+    t.addSeparator();
+  }
+  bench::emit(args, "Figure 9: branch predictor x defenses", t);
+  return 0;
+}

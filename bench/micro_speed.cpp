@@ -1,0 +1,100 @@
+// Micro-benchmarks (google-benchmark): throughput of the simulator and the
+// compiler passes themselves. Not a paper figure — tooling health numbers
+// so regressions in the infrastructure are visible.
+#include <benchmark/benchmark.h>
+
+#include "analysis/cfg.hpp"
+#include "analysis/domtree.hpp"
+#include "bench_common.hpp"
+#include "levioso/branchdeps.hpp"
+#include "secure/policies.hpp"
+#include "support/rng.hpp"
+#include "uarch/cache.hpp"
+#include "uarch/funcsim.hpp"
+
+using namespace lev;
+
+namespace {
+
+const backend::CompileResult& compiledKernel() {
+  static const backend::CompileResult kCompiled =
+      bench::compileKernel("gcc_branchy", 1);
+  return kCompiled;
+}
+
+void BM_O3CoreKIPS(benchmark::State& state) {
+  const std::string policy =
+      secure::policyNames()[static_cast<std::size_t>(state.range(0))];
+  std::uint64_t insts = 0;
+  for (auto _ : state) {
+    sim::Simulation s(compiledKernel().program, uarch::CoreConfig(), policy);
+    s.run(4'000'000'000ull);
+    insts += s.core().committedInsts();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+  state.SetLabel(policy);
+}
+BENCHMARK(BM_O3CoreKIPS)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+
+void BM_FuncSimKIPS(benchmark::State& state) {
+  std::uint64_t insts = 0;
+  for (auto _ : state) {
+    uarch::FuncSim sim(compiledKernel().program);
+    insts += sim.run(4'000'000'000ull);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_FuncSimKIPS)->Unit(benchmark::kMillisecond);
+
+void BM_LeviosoAnalysis(benchmark::State& state) {
+  ir::Module mod =
+      workloads::buildKernel(workloads::kernelNames()[static_cast<std::size_t>(
+          state.range(0))]);
+  for (auto& fn : mod.functions()) fn->renumber();
+  const ir::Function& fn = *mod.findFunction("main");
+  for (auto _ : state) {
+    levioso::BranchDepAnalysis analysis(mod, fn);
+    benchmark::DoNotOptimize(analysis.numBranches());
+  }
+  state.SetLabel(workloads::kernelNames()[static_cast<std::size_t>(state.range(0))]);
+}
+BENCHMARK(BM_LeviosoAnalysis)->DenseRange(0, 11);
+
+void BM_Compile(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    ir::Module mod = workloads::buildKernel("omnetpp_queue");
+    state.ResumeTiming();
+    backend::CompileResult res = backend::compile(mod);
+    benchmark::DoNotOptimize(res.program.text.size());
+  }
+}
+BENCHMARK(BM_Compile)->Unit(benchmark::kMicrosecond);
+
+void BM_CacheAccess(benchmark::State& state) {
+  StatSet stats;
+  uarch::Cache cache({"bench", 32 * 1024, 8, 64, 3}, stats);
+  Rng rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cache.access(rng.next() % (1 << 20)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_PredictorLookup(benchmark::State& state) {
+  StatSet stats;
+  uarch::BranchPredictor bp(uarch::PredictorConfig{}, stats);
+  Rng rng(9);
+  for (auto _ : state) {
+    const std::uint64_t pc = 0x1000 + (rng.next() % 512) * 8;
+    const std::uint64_t h = bp.history();
+    const bool taken = bp.predictCond(pc);
+    bp.updateCond(pc, taken, h);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PredictorLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+// Table 1 (reconstruction): threat-model coverage of every scheme.
+//
+// Columns mirror the comparison the paper's introduction draws between
+// hardware-only defenses and Levioso: what class of secret each scheme
+// protects (speculatively vs non-speculatively accessed) and whether it
+// needs compiler support. The security claims in this table are *enforced*
+// by tests/security_test.cpp and bench/table3_security.
+#include "bench_common.hpp"
+#include "secure/policies.hpp"
+
+using namespace lev;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parseArgs(argc, argv);
+  Table t({"scheme", "speculative secrets", "non-speculative secrets",
+           "compiler support", "description"});
+  for (const std::string& name : secure::policyNames()) {
+    const secure::PolicyInfo info = secure::policyInfo(name);
+    t.addRow({info.name, info.protectsSpeculativeSecrets ? "yes" : "no",
+              info.protectsNonSpeculativeSecrets ? "yes" : "no",
+              info.needsCompilerSupport ? "yes" : "no", info.description});
+  }
+  bench::emit(args, "Table 1: threat-model coverage", t);
+  return 0;
+}

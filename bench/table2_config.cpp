@@ -1,0 +1,51 @@
+// Table 2 (reconstruction): simulated-core configuration, in the style of
+// the gem5 setup table secure-speculation papers print.
+#include "bench_common.hpp"
+
+using namespace lev;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parseArgs(argc, argv);
+  const uarch::CoreConfig c;
+
+  auto kib = [](std::uint64_t b) { return std::to_string(b / 1024) + " KiB"; };
+
+  Table t({"parameter", "value"});
+  t.addRow({"pipeline width (fetch/rename/issue/commit)",
+            std::to_string(c.fetchWidth) + "/" + std::to_string(c.renameWidth) +
+                "/" + std::to_string(c.issueWidth) + "/" +
+                std::to_string(c.commitWidth)});
+  t.addRow({"ROB / IQ / LQ / SQ",
+            std::to_string(c.robSize) + " / " + std::to_string(c.iqSize) +
+                " / " + std::to_string(c.lqSize) + " / " +
+                std::to_string(c.sqSize)});
+  t.addRow({"functional units",
+            std::to_string(c.intAlus) + " ALU, " + std::to_string(c.mulUnits) +
+                " MUL (lat " + std::to_string(c.mulLat) + "), " +
+                std::to_string(c.divUnits) + " DIV (lat " +
+                std::to_string(c.divLat) + ", unpipelined), " +
+                std::to_string(c.memPorts) + " mem ports"});
+  t.addRow({"front end", std::to_string(c.frontendDepth) +
+                             "-cycle depth, redirect penalty " +
+                             std::to_string(c.redirectPenalty)});
+  t.addRow({"branch predictor",
+            "gshare " + std::to_string(c.bp.historyBits) + "-bit history, " +
+                std::to_string(1 << c.bp.tableBits) + "-entry table, " +
+                std::to_string(c.bp.btbEntries) + "-entry BTB, " +
+                std::to_string(c.bp.rasEntries) + "-entry RAS"});
+  t.addRow({"L1I", kib(c.mem.l1i.sizeBytes) + ", " +
+                       std::to_string(c.mem.l1i.assoc) + "-way, lat " +
+                       std::to_string(c.mem.l1i.hitLatency)});
+  t.addRow({"L1D", kib(c.mem.l1d.sizeBytes) + ", " +
+                       std::to_string(c.mem.l1d.assoc) + "-way, lat " +
+                       std::to_string(c.mem.l1d.hitLatency)});
+  t.addRow({"L2", kib(c.mem.l2.sizeBytes) + ", " +
+                      std::to_string(c.mem.l2.assoc) + "-way, lat " +
+                      std::to_string(c.mem.l2.hitLatency)});
+  t.addRow({"DRAM latency", std::to_string(c.mem.memLatency) + " cycles"});
+  t.addRow({"MSHRs (outstanding D-misses)", std::to_string(c.mshrs)});
+  t.addRow({"store-to-load forward latency",
+            std::to_string(c.storeForwardLat) + " cycles"});
+  bench::emit(args, "Table 2: simulated core configuration", t);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table 4 (reconstruction): workload characterization.
+//
+// The per-benchmark microarchitectural profile on the unsafe core — the
+// table secure-speculation papers use to explain *why* each benchmark
+// responds to each defense the way it does: overhead tracks branch
+// misprediction rate and memory-boundedness (branch-resolution latency),
+// and Levioso's win tracks the gap between loads-under-branches and
+// loads-under-true-dependees (fig1).
+#include "bench_common.hpp"
+#include "support/strings.hpp"
+
+using namespace lev;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parseArgs(argc, argv);
+
+  Table t({"benchmark", "dyn insts", "IPC", "loads", "stores", "branches",
+           "mispredict rate", "L1D MPKI", "L2 MPKI", "squashed insts/kinst"});
+  for (const std::string& kernel : bench::selectedKernels(args)) {
+    const backend::CompileResult compiled =
+        bench::compileKernel(kernel, args.scale);
+    sim::Simulation s(compiled.program, uarch::CoreConfig(), "unsafe");
+    if (s.run(4'000'000'000ull) != uarch::RunExit::Halted)
+      throw SimError(kernel + ": cycle limit");
+    const auto& st = s.stats();
+    const double insts = static_cast<double>(st.get("commit.insts"));
+    const double kinsts = insts / 1000.0;
+    const double loads = static_cast<double>(st.get("commit.loads"));
+    const double stores = static_cast<double>(st.get("commit.stores"));
+    const double branches = static_cast<double>(
+        st.get("bp.resolvedTaken") + st.get("bp.resolvedNotTaken"));
+    const double mispredicts = static_cast<double>(st.get("bp.mispredicts"));
+    const double l1dMisses = static_cast<double>(st.get("l1d.misses"));
+    const double l2Misses = static_cast<double>(st.get("l2.misses"));
+    const double squashed = static_cast<double>(st.get("squash.insts"));
+    t.addRow({kernel, std::to_string(static_cast<long long>(insts)),
+              fmtF(insts / static_cast<double>(s.core().cycle()), 2),
+              fmtPct(loads / insts), fmtPct(stores / insts),
+              fmtPct(branches / insts),
+              branches > 0 ? fmtPct(mispredicts / branches) : "-",
+              fmtF(l1dMisses / kinsts, 1), fmtF(l2Misses / kinsts, 1),
+              fmtF(squashed / kinsts, 1)});
+  }
+  bench::emit(args, "Table 4: workload characterization (unsafe core)", t);
+  return 0;
+}

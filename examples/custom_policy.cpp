@@ -1,0 +1,143 @@
+// Writing your own secure-speculation policy against the hook interface.
+//
+// The library's policies (src/secure) are ordinary SpeculationPolicy
+// subclasses; nothing stops a downstream user from experimenting with
+// their own rule. This example implements "DelayDeep": a load may execute
+// speculatively unless MORE THAN ONE older speculation source is
+// unresolved — a (deliberately unsound!) heuristic someone might propose,
+// shown here to demonstrate (a) how little code a policy takes and (b) how
+// the attack machinery immediately tells you whether your idea actually
+// holds up. The looped spectre_v1 gadget happens to be blocked (its
+// training loop keeps several slow branches in flight), which is exactly
+// the false sense of security such heuristics give: a minimal gadget with
+// a SINGLE unresolved branch leaks straight through it.
+#include <iostream>
+
+#include "backend/compiler.hpp"
+#include "isa/asmparser.hpp"
+#include "secure/policies.hpp"
+#include "security/attack.hpp"
+#include "sim/simulation.hpp"
+#include "support/stats.hpp"
+#include "uarch/core.hpp"
+#include "workloads/gadgets.hpp"
+#include "workloads/kernels.hpp"
+
+using namespace lev;
+
+namespace {
+
+/// The 20-line custom policy.
+class DelayDeepPolicy final : public uarch::SpeculationPolicy {
+public:
+  std::string name() const override { return "delay-deep"; }
+
+  uarch::LoadAction onLoadIssue(const uarch::O3Core& core,
+                                const uarch::DynInst& inst) override {
+    int olderUnresolved = 0;
+    for (std::uint64_t seq : core.unresolvedBranches()) {
+      if (seq >= inst.seq) break;
+      if (++olderUnresolved > 1) return uarch::LoadAction::Delay;
+    }
+    return uarch::LoadAction::Proceed;
+  }
+};
+
+} // namespace
+
+int main() {
+  // Performance: run a kernel under the custom policy via the raw core API.
+  ir::Module mod = workloads::buildKernel("x264_sad");
+  backend::CompileResult compiled = backend::compile(mod);
+
+  DelayDeepPolicy policy;
+  StatSet stats;
+  uarch::O3Core core(compiled.program, uarch::CoreConfig(), policy, stats);
+  core.run(4'000'000'000ull);
+  std::cout << "delay-deep on x264_sad: " << core.cycle() << " cycles, "
+            << stats.get("policy.loadDelayCycles") << " delayed-load cycles\n";
+
+  const sim::RunSummary base =
+      sim::runOnce(compiled.program, uarch::CoreConfig(), "unsafe");
+  std::cout << "unsafe baseline:        " << base.cycles << " cycles\n\n";
+
+  // Security: does the heuristic actually stop Spectre? Run the gadget on a
+  // core wired to the custom policy and probe the cache like the harness.
+  workloads::Gadget gadget = workloads::buildSpectreV1(0);
+  backend::CompileResult g = backend::compile(gadget.module);
+  DelayDeepPolicy attackPolicy;
+  StatSet attackStats;
+  uarch::O3Core victim(g.program, uarch::CoreConfig(), attackPolicy,
+                       attackStats);
+  victim.run(50'000'000);
+  const std::uint64_t probe = g.program.symbol("array2");
+  const std::uint64_t line =
+      probe + static_cast<std::uint64_t>(gadget.secretByte) * 64;
+  const bool leaked = victim.hierarchy().l1d().contains(line) ||
+                      victim.hierarchy().l2().contains(line);
+  std::cout << "looped spectre_v1 under delay-deep: "
+            << (leaked ? "LEAKED" : "blocked (by coincidence: the training "
+                                    "loop keeps several branches in flight)")
+            << "\n";
+
+  // The counter-example: a minimal gadget with exactly ONE unresolved
+  // branch in flight defeats the depth-1 allowance.
+  isa::Program minimal = isa::assemble(R"(
+.space flags 2 64
+.bytes flags 0 0001
+.space secret 8 64
+.bytes secret 0 4c
+.space array2 16384 64
+main:
+  la x5, flags
+  la x6, secret
+  la x7, array2
+  ld1 x8, 0(x6)        # warm the secret line
+  li x20, 0            # t: pass 0 warms code + trains not-taken; pass 1 attacks
+loop:
+  li x21, 1
+  seq x22, x20, x21    # isLast
+  mul x23, x8, x22     # payload: 0 on the warm pass, the secret byte after
+  add x24, x5, x20
+  flush x25, 0(x24)
+  add x24, x24, x25
+  ld1 x11, 0(x24)      # flags[t]: 0 then 1, slow (flushed)
+guard:
+  bne x11, x0, skip    # pass0: not taken (trains NT); pass1: TAKEN, predicted NT
+  slli x13, x23, 6
+  add x13, x7, x13
+  !deps guard
+  ld1 x14, 0(x13)      # transmit; on pass1 this runs transiently with ONE
+                       # older unresolved branch in flight
+skip:
+  addi x20, x20, 1
+  li x21, 2
+  slt x22, x20, x21
+  bne x22, x0, loop
+  halt
+)");
+  DelayDeepPolicy minimalPolicy;
+  StatSet minimalStats;
+  uarch::O3Core v2(minimal, uarch::CoreConfig(), minimalPolicy, minimalStats);
+  v2.run(10'000'000);
+  const std::uint64_t line2 = minimal.symbol("array2") + 0x4cull * 64;
+  const bool leaked2 = v2.hierarchy().l1d().contains(line2) ||
+                       v2.hierarchy().l2().contains(line2);
+  std::cout << "single-branch gadget under delay-deep: "
+            << (leaked2 ? "LEAKED — the heuristic is unsound" : "blocked")
+            << "\n";
+  std::cout << "(the same gadget under levioso: ";
+  auto realPolicy = secure::makePolicy("levioso");
+  StatSet s3;
+  uarch::O3Core v3(minimal, uarch::CoreConfig(), *realPolicy, s3);
+  v3.run(10'000'000);
+  const bool leaked3 = v3.hierarchy().l1d().contains(line2) ||
+                       v3.hierarchy().l2().contains(line2);
+  std::cout << (leaked3 ? "LEAKED?!" : "blocked — the !deps hint names the "
+                                       "guard branch, so the transmit waits")
+            << ")\n";
+  std::cout << "\nLesson: ad-hoc depth heuristics give a false sense of "
+               "security; Levioso's rule\nis exactly the dependency the "
+               "gadget cannot avoid having.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Compare every secure-speculation policy on a few kernels: cycles,
+// overhead vs unsafe, and how much delaying each scheme did.
+//
+// A fast-running taste of bench/fig3_overhead (which runs the full suite).
+#include <iostream>
+
+#include "backend/compiler.hpp"
+#include "secure/policies.hpp"
+#include "sim/simulation.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "workloads/kernels.hpp"
+
+using namespace lev;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> kernels = {"x264_sad", "mcf_chase", "namd_compute"};
+  if (argc > 1) kernels = {argv[1]};
+
+  for (const std::string& kernel : kernels) {
+    ir::Module mod = workloads::buildKernel(kernel);
+    backend::CompileResult compiled = backend::compile(mod);
+    std::cout << "=== " << kernel << " ("
+              << workloads::kernelDescription(kernel) << ") ===\n";
+
+    std::uint64_t baseline = 0;
+    Table t({"policy", "cycles", "IPC", "overhead", "load-delay cycles"});
+    for (const std::string& policy : secure::policyNames()) {
+      const sim::RunSummary s =
+          sim::runOnce(compiled.program, uarch::CoreConfig(), policy);
+      if (policy == "unsafe") baseline = s.cycles;
+      t.addRow({policy, std::to_string(s.cycles), fmtF(s.ipc, 2),
+                fmtPct(sim::overhead(s.cycles, baseline)),
+                std::to_string(s.loadDelayCycles)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Quickstart: the full Levioso pipeline on a small program.
+//
+//  1. Build a program in the IR (a bounds-checked table walk).
+//  2. Compile it: the Levioso pass computes true branch dependencies and
+//     the backend emits machine code with per-instruction hints.
+//  3. Inspect the annotated disassembly.
+//  4. Simulate it on the out-of-order core under the unsafe baseline and
+//     under Levioso, and compare cycles.
+//
+// Expected output: the two loads inside the bounds check carry a !deps
+// hint naming the branch; the independent load before it carries none; the
+// Levioso run costs only slightly more than the unsafe run.
+#include <iostream>
+
+#include "backend/compiler.hpp"
+#include "ir/builder.hpp"
+#include "isa/disasm.hpp"
+#include "sim/simulation.hpp"
+
+using namespace lev;
+
+int main() {
+  // --- 1. build the IR ---------------------------------------------------
+  ir::Module mod;
+  mod.addGlobal("table", 4096, 64);
+  mod.addGlobal("limit", 8, 8).init = {64, 0, 0, 0, 0, 0, 0, 0};
+  mod.addGlobal("result", 8, 8);
+
+  ir::Function& fn = mod.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int loop = fn.createBlock("loop");
+  const int body = fn.createBlock("body");
+  const int latch = fn.createBlock("latch");
+  const int done = fn.createBlock("done");
+
+  ir::IRBuilder b(fn);
+  auto R = ir::IRBuilder::reg;
+  auto I = ir::IRBuilder::imm;
+
+  b.setBlock(entry);
+  const int tbl = b.lea("table");
+  const int limP = b.lea("limit");
+  const int sum = b.mov(I(0));
+  const int i = b.mov(I(0));
+  b.jmp(loop);
+
+  b.setBlock(loop);
+  const int lim = b.load(R(limP));      // independent load: no branch deps
+  const int ok = b.cmpLtU(R(i), R(lim));
+  b.br(R(ok), body, done);
+
+  b.setBlock(body);
+  const int off = b.shl(R(i), I(3));
+  const int addr = b.add(R(tbl), R(off));
+  const int v = b.load(R(addr));        // control-dependent on the check
+  b.binaryInto(sum, ir::Op::Add, R(sum), R(v));
+  b.jmp(latch);
+
+  b.setBlock(latch);
+  b.binaryInto(i, ir::Op::Add, R(i), I(1));
+  b.jmp(loop);
+
+  b.setBlock(done);
+  const int res = b.lea("result");
+  b.store(R(res), R(sum));
+  b.halt();
+
+  // --- 2. compile ---------------------------------------------------------
+  backend::CompileResult compiled = backend::compile(mod);
+  std::cout << "compiled " << compiled.program.text.size()
+            << " instructions; " << compiled.depStats.instsWithNoDeps << "/"
+            << compiled.depStats.totalInsts
+            << " IR instructions have an empty dependency set\n\n";
+
+  // --- 3. annotated disassembly -------------------------------------------
+  std::cout << "annotated disassembly (hints shown as !deps/!depall):\n"
+            << isa::disasm(compiled.program) << "\n";
+
+  // --- 4. simulate under two policies --------------------------------------
+  for (const std::string policy : {"unsafe", "spt", "levioso"}) {
+    const sim::RunSummary s =
+        sim::runOnce(compiled.program, uarch::CoreConfig(), policy);
+    std::cout << policy << ": " << s.cycles << " cycles, IPC "
+              << static_cast<int>(s.ipc * 100) / 100.0
+              << ", delayed-load cycles " << s.loadDelayCycles << "\n";
+  }
+  std::cout << "\nresult checksum can be read back from simulated memory by "
+               "the host — see tests/backend_test.cpp for the pattern.\n";
+  return 0;
+}

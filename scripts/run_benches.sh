@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure into bench_output.txt.
+# Usage: scripts/run_benches.sh [build-dir]
+set -u
+BUILD="${1:-build}"
+
+for b in "$BUILD"/bench/table1_threat_matrix \
+         "$BUILD"/bench/table2_config \
+         "$BUILD"/bench/fig1_motivation \
+         "$BUILD"/bench/fig2_annotations \
+         "$BUILD"/bench/fig3_overhead \
+         "$BUILD"/bench/fig4_breakdown \
+         "$BUILD"/bench/fig5_rob_sweep \
+         "$BUILD"/bench/fig6_budget_ablation \
+         "$BUILD"/bench/fig7_memlat_sweep \
+         "$BUILD"/bench/fig8_prefetch \
+         "$BUILD"/bench/fig9_predictor \
+         "$BUILD"/bench/table3_security \
+         "$BUILD"/bench/table4_workloads; do
+  echo "### $(basename "$b")"
+  "$b" || echo "FAILED: $b"
+  echo
+done

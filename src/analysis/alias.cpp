@@ -1,0 +1,110 @@
+#include "analysis/alias.hpp"
+
+#include <map>
+
+namespace lev::analysis {
+
+AliasInfo::AliasInfo(const ir::Module& mod, const Cfg& cfg,
+                     const ReachingDefs& rd) {
+  const ir::Function& fn = cfg.function();
+  numGlobals_ = static_cast<int>(mod.globals().size());
+  const std::size_t ng = static_cast<std::size_t>(numGlobals_);
+
+  std::map<std::string, int> globalIdx;
+  for (int g = 0; g < numGlobals_; ++g)
+    globalIdx[mod.globals()[static_cast<std::size_t>(g)].name] = g;
+
+  // Per-definition points-to set, solved to a fixpoint over reaching defs.
+  const int nd = rd.numDefs();
+  std::vector<RegionSet> defRegion(static_cast<std::size_t>(nd));
+  for (auto& r : defRegion) r.globals = BitSet(ng);
+
+  // Look up the defining instruction of each definition.
+  std::vector<const ir::Inst*> instOf(static_cast<std::size_t>(nd), nullptr);
+  for (int b = 0; b < fn.numBlocks(); ++b)
+    for (const ir::Inst& inst : fn.block(b).insts)
+      if (inst.dst >= 0)
+        instOf[static_cast<std::size_t>(rd.defIndexOfInst(inst.id))] = &inst;
+
+  auto transfer = [&](int defIdx) -> bool {
+    const ir::Inst* inst = instOf[static_cast<std::size_t>(defIdx)];
+    RegionSet next;
+    next.globals = BitSet(ng);
+    if (inst == nullptr) {
+      // Parameter: could be anything the caller passed.
+      next.unknown = true;
+    } else {
+      switch (inst->op) {
+      case ir::Op::Lea:
+        next.globals.set(
+            static_cast<std::size_t>(globalIdx.at(inst->callee)));
+        break;
+      case ir::Op::Load:
+      case ir::Op::Call:
+        // Loaded values / call results contribute NO region through
+        // arithmetic: mixing an index loaded from memory into `lea X + idx`
+        // keeps the access inside X's region (the standard object-based
+        // assumption). Using a loaded value directly as a base pointer is
+        // still caught: regionOf() treats Load/Call base definitions as
+        // unknown.
+        break;
+      default: {
+        // Arithmetic: union of the region sets of register operands. A def
+        // built purely from immediates has an empty set (not a pointer).
+        std::vector<int> regs;
+        inst->uses(regs);
+        for (int r : regs)
+          for (int d : rd.reachingDefsOf(inst->id, r)) {
+            next.globals.unionWith(defRegion[static_cast<std::size_t>(d)].globals);
+            next.unknown |= defRegion[static_cast<std::size_t>(d)].unknown;
+          }
+        break;
+      }
+      }
+    }
+    RegionSet& cur = defRegion[static_cast<std::size_t>(defIdx)];
+    bool changed = cur.globals.unionWith(next.globals);
+    if (next.unknown && !cur.unknown) {
+      cur.unknown = true;
+      changed = true;
+    }
+    return changed;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int d = 0; d < nd; ++d) changed |= transfer(d);
+  }
+
+  // Region of each memory instruction = union over base-register defs.
+  regions_.assign(static_cast<std::size_t>(fn.numInsts()), RegionSet{});
+  for (auto& r : regions_) r.globals = BitSet(ng);
+  for (int b = 0; b < fn.numBlocks(); ++b)
+    for (const ir::Inst& inst : fn.block(b).insts) {
+      if (!inst.isLoad() && !inst.isStore()) continue;
+      RegionSet& r = regions_[static_cast<std::size_t>(inst.id)];
+      if (inst.a.isReg()) {
+        for (int d : rd.reachingDefsOf(inst.id, inst.a.reg)) {
+          const ir::Inst* def = instOf[static_cast<std::size_t>(d)];
+          // A base register whose value came straight out of memory or a
+          // call is a laundered pointer: anywhere.
+          if (def != nullptr &&
+              (def->op == ir::Op::Load || def->op == ir::Op::Call)) {
+            r.unknown = true;
+            continue;
+          }
+          r.globals.unionWith(defRegion[static_cast<std::size_t>(d)].globals);
+          r.unknown |= defRegion[static_cast<std::size_t>(d)].unknown;
+        }
+        // A base with no pointer origin at all (pure arithmetic) is an
+        // absolute address we know nothing about.
+        if (r.empty()) r.unknown = true;
+      } else {
+        // Immediate absolute address.
+        r.unknown = true;
+      }
+    }
+}
+
+} // namespace lev::analysis

@@ -1,0 +1,61 @@
+// Region-based may-alias analysis for memory dependence propagation.
+//
+// Memory is partitioned into regions, one per global object plus a single
+// "unknown" region. Each memory instruction's base address is traced through
+// register dataflow to the lea instructions that created it; instructions
+// whose base cannot be resolved (values loaded from memory, call results,
+// mixtures of pointers) fall into the unknown region. Two accesses may alias
+// iff their region sets intersect or either one is unknown.
+//
+// This is intentionally conservative: the Levioso pass only uses it to
+// propagate branch-dependency taint through memory, where over-approximation
+// is sound (more restriction) and under-approximation would break the
+// security guarantee (tested in tests/levioso_security_test.cpp).
+#pragma once
+
+#include <vector>
+
+#include "analysis/bitset.hpp"
+#include "analysis/cfg.hpp"
+#include "analysis/reachingdefs.hpp"
+
+namespace lev::analysis {
+
+/// The region set an address may point into.
+struct RegionSet {
+  BitSet globals;       ///< bit per module global
+  bool unknown = false; ///< may point anywhere (incl. the stack)
+
+  bool mayOverlap(const RegionSet& other) const {
+    if (unknown || other.unknown) return true;
+    BitSet tmp = globals;
+    tmp.subtract(other.globals);
+    // Overlap iff subtracting removed something, i.e. counts differ.
+    return tmp.count() != globals.count();
+  }
+  bool empty() const { return !unknown && !globals.any(); }
+};
+
+/// Region sets for every memory instruction of one function.
+class AliasInfo {
+public:
+  AliasInfo(const ir::Module& mod, const Cfg& cfg, const ReachingDefs& rd);
+
+  /// Region set of a load/store's address. Instructions that are not memory
+  /// operations get an empty set.
+  const RegionSet& regionOf(int instId) const {
+    return regions_[static_cast<std::size_t>(instId)];
+  }
+
+  bool mayAlias(int instA, int instB) const {
+    return regionOf(instA).mayOverlap(regionOf(instB));
+  }
+
+  int numGlobals() const { return numGlobals_; }
+
+private:
+  int numGlobals_ = 0;
+  std::vector<RegionSet> regions_; // indexed by instruction id
+};
+
+} // namespace lev::analysis

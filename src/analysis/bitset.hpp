@@ -1,0 +1,89 @@
+// Dynamic fixed-capacity bitset used by the dataflow analyses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lev {
+
+/// A bitset whose capacity is fixed at construction. Word-parallel set
+/// operations return whether anything changed so dataflow loops can detect
+/// their fixpoint cheaply.
+class BitSet {
+public:
+  BitSet() = default;
+  explicit BitSet(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return bits_; }
+
+  void set(std::size_t i) {
+    LEV_CHECK(i < bits_, "bitset index out of range");
+    words_[i >> 6] |= 1ull << (i & 63);
+  }
+  void reset(std::size_t i) {
+    LEV_CHECK(i < bits_, "bitset index out of range");
+    words_[i >> 6] &= ~(1ull << (i & 63));
+  }
+  bool test(std::size_t i) const {
+    LEV_CHECK(i < bits_, "bitset index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// this |= other. Returns true if any bit changed.
+  bool unionWith(const BitSet& other) {
+    LEV_CHECK(bits_ == other.bits_, "bitset size mismatch");
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t before = words_[i];
+      words_[i] |= other.words_[i];
+      changed |= words_[i] != before;
+    }
+    return changed;
+  }
+
+  /// this &= ~other.
+  void subtract(const BitSet& other) {
+    LEV_CHECK(bits_ == other.bits_, "bitset size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      words_[i] &= ~other.words_[i];
+  }
+
+  bool any() const {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool operator==(const BitSet&) const = default;
+
+  /// Invoke fn(index) for every set bit, in increasing order.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+} // namespace lev

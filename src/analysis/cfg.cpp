@@ -1,0 +1,64 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+namespace lev::analysis {
+
+namespace {
+
+/// Iterative postorder DFS over an adjacency list, then reversed.
+std::vector<int> reversePostorder(int start,
+                                  const std::vector<std::vector<int>>& adj) {
+  std::vector<int> order;
+  std::vector<int> state(adj.size(), 0); // 0 = unseen, 1 = on stack, 2 = done
+  // Stack of (node, next-child-index).
+  std::vector<std::pair<int, std::size_t>> stack;
+  stack.emplace_back(start, 0);
+  state[static_cast<std::size_t>(start)] = 1;
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    const auto& kids = adj[static_cast<std::size_t>(node)];
+    if (idx < kids.size()) {
+      const int child = kids[idx++];
+      if (state[static_cast<std::size_t>(child)] == 0) {
+        state[static_cast<std::size_t>(child)] = 1;
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      state[static_cast<std::size_t>(node)] = 2;
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+} // namespace
+
+Cfg::Cfg(const ir::Function& fn) : fn_(fn), numBlocks_(fn.numBlocks()) {
+  const std::size_t n = static_cast<std::size_t>(numNodes());
+  succs_.assign(n, {});
+  preds_.assign(n, {});
+  for (int b = 0; b < numBlocks_; ++b) {
+    const auto succs = fn.successors(b);
+    for (int s : succs) {
+      succs_[static_cast<std::size_t>(b)].push_back(s);
+      preds_[static_cast<std::size_t>(s)].push_back(b);
+    }
+    // Ret/Halt blocks flow to the virtual exit.
+    if (succs.empty()) {
+      succs_[static_cast<std::size_t>(b)].push_back(virtualExit());
+      preds_[static_cast<std::size_t>(virtualExit())].push_back(b);
+    }
+  }
+
+  rpo_ = reversePostorder(0, succs_);
+  // Drop the virtual exit from the forward RPO: forward analyses operate on
+  // real blocks only.
+  std::erase(rpo_, virtualExit());
+
+  rrpo_ = reversePostorder(virtualExit(), preds_);
+}
+
+} // namespace lev::analysis

@@ -1,0 +1,49 @@
+// Lightweight CFG view over an ir::Function: predecessor/successor lists,
+// reverse-postorder, and the reversed graph with a virtual exit used by the
+// post-dominator computation.
+#pragma once
+
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace lev::analysis {
+
+/// Materialized CFG adjacency for one function. Blocks keep their ir ids;
+/// an optional virtual exit node (id == numBlocks()) is appended so that
+/// functions with multiple Ret/Halt blocks have a single sink.
+class Cfg {
+public:
+  explicit Cfg(const ir::Function& fn);
+
+  const ir::Function& function() const { return fn_; }
+  int numBlocks() const { return numBlocks_; }
+  /// Node count including the virtual exit.
+  int numNodes() const { return numBlocks_ + 1; }
+  int virtualExit() const { return numBlocks_; }
+
+  const std::vector<int>& succs(int node) const {
+    return succs_[static_cast<std::size_t>(node)];
+  }
+  const std::vector<int>& preds(int node) const {
+    return preds_[static_cast<std::size_t>(node)];
+  }
+
+  /// Reverse postorder over real blocks from the entry. Unreachable blocks
+  /// are excluded (the verifier rejects them anyway).
+  const std::vector<int>& rpo() const { return rpo_; }
+
+  /// Reverse postorder on the reversed graph, starting at the virtual exit
+  /// (used for post-dominance).
+  const std::vector<int>& reverseRpo() const { return rrpo_; }
+
+private:
+  const ir::Function& fn_;
+  int numBlocks_ = 0;
+  std::vector<std::vector<int>> succs_;
+  std::vector<std::vector<int>> preds_;
+  std::vector<int> rpo_;
+  std::vector<int> rrpo_;
+};
+
+} // namespace lev::analysis

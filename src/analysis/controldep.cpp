@@ -1,0 +1,44 @@
+#include "analysis/controldep.hpp"
+
+#include <algorithm>
+
+namespace lev::analysis {
+
+ControlDepGraph::ControlDepGraph(const Cfg& cfg, const DomTree& postDom) {
+  const ir::Function& fn = cfg.function();
+  deps_.assign(static_cast<std::size_t>(cfg.numBlocks()), {});
+  reconv_.assign(static_cast<std::size_t>(cfg.numBlocks()), -1);
+
+  for (int a = 0; a < cfg.numBlocks(); ++a) {
+    const ir::BasicBlock& bb = fn.block(a);
+    if (!bb.hasTerminator()) continue;
+    const ir::Inst& term = bb.insts.back();
+    if (term.op != ir::Op::Br) continue;
+    if (!postDom.reachable(a)) continue;
+    const int branchId = term.id;
+    const int ipdom = postDom.idom(a);
+    reconv_[static_cast<std::size_t>(a)] = ipdom;
+
+    // For each CFG edge A -> S where A's reconvergence point does not
+    // immediately follow, walk up the post-dominator tree from S to (but not
+    // including) ipdom(A); every visited block is control-dependent on A's
+    // branch.
+    for (int s : cfg.succs(a)) {
+      int runner = s;
+      while (runner != ipdom && runner >= 0 &&
+             runner != cfg.virtualExit()) {
+        deps_[static_cast<std::size_t>(runner)].push_back(branchId);
+        runner = postDom.idom(runner);
+      }
+    }
+  }
+
+  // A block reached from both successors (e.g. a loop header that is its own
+  // reconvergence-path member) would be recorded twice; dedupe.
+  for (auto& d : deps_) {
+    std::sort(d.begin(), d.end());
+    d.erase(std::unique(d.begin(), d.end()), d.end());
+  }
+}
+
+} // namespace lev::analysis

@@ -1,0 +1,41 @@
+// Control-dependence computation (Ferrante/Ottenstein/Warren construction
+// over the post-dominator tree).
+//
+// Block B is control-dependent on branch instruction `br` (in block A) iff
+// taking one successor of A guarantees B executes while the other does not —
+// equivalently, B lies on a path from A to A's reconvergence point
+// ipostdom(A), excluding the reconvergence point itself. This is exactly the
+// "true branch dependency" notion Levioso's compiler pass starts from.
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/domtree.hpp"
+
+namespace lev::analysis {
+
+/// Control dependences of every block of one function, expressed as sets of
+/// *branch instruction ids* (ids of ir::Op::Br instructions).
+class ControlDepGraph {
+public:
+  ControlDepGraph(const Cfg& cfg, const DomTree& postDom);
+
+  /// Branch instruction ids that block `b` is control-dependent on.
+  const std::vector<int>& blockDeps(int block) const {
+    return deps_[static_cast<std::size_t>(block)];
+  }
+
+  /// Reconvergence point of the branch terminating `block`: the immediate
+  /// post-dominator of the block, or -1 if it does not reach the exit. Can
+  /// return the virtual exit id.
+  int reconvergence(int block) const {
+    return reconv_[static_cast<std::size_t>(block)];
+  }
+
+private:
+  std::vector<std::vector<int>> deps_;
+  std::vector<int> reconv_;
+};
+
+} // namespace lev::analysis

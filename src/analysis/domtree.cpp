@@ -1,0 +1,105 @@
+#include "analysis/domtree.hpp"
+
+#include "support/error.hpp"
+
+namespace lev::analysis {
+
+DomTree DomTree::dominators(const Cfg& cfg) {
+  // Restrict to real blocks: copy predecessor lists minus the virtual exit.
+  std::vector<std::vector<int>> preds(
+      static_cast<std::size_t>(cfg.numNodes()));
+  for (int b = 0; b < cfg.numBlocks(); ++b)
+    preds[static_cast<std::size_t>(b)] = cfg.preds(b);
+  return DomTree(cfg.numNodes(), 0, cfg.rpo(), preds);
+}
+
+DomTree DomTree::postDominators(const Cfg& cfg) {
+  // Reversed graph: predecessors are the CFG successors.
+  std::vector<std::vector<int>> preds(
+      static_cast<std::size_t>(cfg.numNodes()));
+  for (int n = 0; n < cfg.numNodes(); ++n)
+    preds[static_cast<std::size_t>(n)] = cfg.succs(n);
+  return DomTree(cfg.numNodes(), cfg.virtualExit(), cfg.reverseRpo(), preds);
+}
+
+DomTree::DomTree(int numNodes, int root, const std::vector<int>& order,
+                 const std::vector<std::vector<int>>& preds)
+    : root_(root), idom_(static_cast<std::size_t>(numNodes), -1) {
+  // Cooper, Harvey & Kennedy, "A Simple, Fast Dominance Algorithm".
+  std::vector<int> orderIndex(static_cast<std::size_t>(numNodes), -1);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    orderIndex[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (orderIndex[static_cast<std::size_t>(a)] >
+             orderIndex[static_cast<std::size_t>(b)])
+        a = idom_[static_cast<std::size_t>(a)];
+      while (orderIndex[static_cast<std::size_t>(b)] >
+             orderIndex[static_cast<std::size_t>(a)])
+        b = idom_[static_cast<std::size_t>(b)];
+    }
+    return a;
+  };
+
+  idom_[static_cast<std::size_t>(root)] = root;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int node : order) {
+      if (node == root) continue;
+      int newIdom = -1;
+      for (int p : preds[static_cast<std::size_t>(node)]) {
+        if (idom_[static_cast<std::size_t>(p)] < 0) continue; // unprocessed
+        newIdom = (newIdom < 0) ? p : intersect(p, newIdom);
+      }
+      if (newIdom >= 0 && idom_[static_cast<std::size_t>(node)] != newIdom) {
+        idom_[static_cast<std::size_t>(node)] = newIdom;
+        changed = true;
+      }
+    }
+  }
+  // Root's self-idom is a fixpoint artifact; expose it as -1.
+  idom_[static_cast<std::size_t>(root)] = -1;
+
+  children_.assign(static_cast<std::size_t>(numNodes), {});
+  for (int n = 0; n < numNodes; ++n)
+    if (n != root && idom_[static_cast<std::size_t>(n)] >= 0)
+      children_[static_cast<std::size_t>(idom_[static_cast<std::size_t>(n)])]
+          .push_back(n);
+
+  computeDfsNumbers();
+}
+
+void DomTree::computeDfsNumbers() {
+  const std::size_t n = idom_.size();
+  dfsIn_.assign(n, -1);
+  dfsOut_.assign(n, -1);
+  int clock = 0;
+  std::vector<std::pair<int, std::size_t>> stack;
+  stack.emplace_back(root_, 0);
+  dfsIn_[static_cast<std::size_t>(root_)] = clock++;
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    const auto& kids = children_[static_cast<std::size_t>(node)];
+    if (idx < kids.size()) {
+      const int child = kids[idx++];
+      dfsIn_[static_cast<std::size_t>(child)] = clock++;
+      stack.emplace_back(child, 0);
+    } else {
+      dfsOut_[static_cast<std::size_t>(node)] = clock++;
+      stack.pop_back();
+    }
+  }
+}
+
+bool DomTree::dominates(int a, int b) const {
+  const auto ai = static_cast<std::size_t>(a);
+  const auto bi = static_cast<std::size_t>(b);
+  LEV_CHECK(a >= 0 && ai < idom_.size() && b >= 0 && bi < idom_.size(),
+            "dominates() node out of range");
+  if (dfsIn_[ai] < 0 || dfsIn_[bi] < 0) return false; // unreachable
+  return dfsIn_[ai] <= dfsIn_[bi] && dfsOut_[bi] <= dfsOut_[ai];
+}
+
+} // namespace lev::analysis

@@ -1,0 +1,58 @@
+// Dominator / post-dominator trees via the Cooper-Harvey-Kennedy algorithm.
+//
+// The same implementation serves both directions: forward dominance uses the
+// CFG as-is; post-dominance runs on the reversed CFG rooted at the virtual
+// exit. Post-dominance is the core of the Levioso reconvergence analysis —
+// the immediate post-dominator of a branch's block is its reconvergence
+// point, and the blocks control-dependent on the branch are exactly those on
+// paths from the branch to (but excluding) that point.
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace lev::analysis {
+
+/// A dominance tree over CFG nodes (including the virtual exit node when
+/// built in the post-dominance direction).
+class DomTree {
+public:
+  /// Forward dominance over real blocks, rooted at the entry block.
+  static DomTree dominators(const Cfg& cfg);
+  /// Post-dominance, rooted at the virtual exit.
+  static DomTree postDominators(const Cfg& cfg);
+
+  /// Immediate dominator of node, or -1 for the root and for nodes
+  /// unreachable in this direction.
+  int idom(int node) const { return idom_[static_cast<std::size_t>(node)]; }
+
+  /// True iff a (post-)dominates b; reflexive. Unreachable nodes dominate
+  /// nothing and are dominated by nothing.
+  bool dominates(int a, int b) const;
+
+  /// True if the node is reachable in this direction.
+  bool reachable(int node) const {
+    return root_ == node || idom_[static_cast<std::size_t>(node)] >= 0;
+  }
+
+  int root() const { return root_; }
+  int numNodes() const { return static_cast<int>(idom_.size()); }
+
+  /// Children lists of the dominator tree.
+  const std::vector<std::vector<int>>& children() const { return children_; }
+
+private:
+  DomTree(int numNodes, int root, const std::vector<int>& order,
+          const std::vector<std::vector<int>>& preds);
+
+  void computeDfsNumbers();
+
+  int root_ = 0;
+  std::vector<int> idom_;
+  std::vector<std::vector<int>> children_;
+  // Pre/post numbering of the dominator tree for O(1) dominance queries.
+  std::vector<int> dfsIn_, dfsOut_;
+};
+
+} // namespace lev::analysis

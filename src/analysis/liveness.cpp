@@ -1,0 +1,56 @@
+#include "analysis/liveness.hpp"
+
+namespace lev::analysis {
+
+Liveness::Liveness(const Cfg& cfg) {
+  const ir::Function& fn = cfg.function();
+  const int numBlocks = cfg.numBlocks();
+  const std::size_t nr = static_cast<std::size_t>(fn.numRegs());
+
+  // use[b]: registers read before any write in b.
+  // def[b]: registers written in b.
+  std::vector<BitSet> use(static_cast<std::size_t>(numBlocks), BitSet(nr));
+  std::vector<BitSet> def(static_cast<std::size_t>(numBlocks), BitSet(nr));
+  std::vector<int> regs;
+  for (int b = 0; b < numBlocks; ++b) {
+    for (const ir::Inst& inst : fn.block(b).insts) {
+      inst.uses(regs);
+      for (int r : regs)
+        if (!def[static_cast<std::size_t>(b)].test(static_cast<std::size_t>(r)))
+          use[static_cast<std::size_t>(b)].set(static_cast<std::size_t>(r));
+      if (inst.dst >= 0)
+        def[static_cast<std::size_t>(b)].set(
+            static_cast<std::size_t>(inst.dst));
+    }
+  }
+
+  liveIn_.assign(static_cast<std::size_t>(numBlocks), BitSet(nr));
+  liveOut_.assign(static_cast<std::size_t>(numBlocks), BitSet(nr));
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Iterate in reverse RPO for faster convergence of the backward problem.
+    const auto& order = cfg.rpo();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const int b = *it;
+      BitSet out(nr);
+      for (int s : cfg.succs(b))
+        if (s != cfg.virtualExit())
+          out.unionWith(liveIn_[static_cast<std::size_t>(s)]);
+      if (!(out == liveOut_[static_cast<std::size_t>(b)])) {
+        liveOut_[static_cast<std::size_t>(b)] = out;
+        changed = true;
+      }
+      BitSet in = out;
+      in.subtract(def[static_cast<std::size_t>(b)]);
+      in.unionWith(use[static_cast<std::size_t>(b)]);
+      if (!(in == liveIn_[static_cast<std::size_t>(b)])) {
+        liveIn_[static_cast<std::size_t>(b)] = in;
+        changed = true;
+      }
+    }
+  }
+}
+
+} // namespace lev::analysis

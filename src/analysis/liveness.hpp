@@ -1,0 +1,28 @@
+// Backward liveness of virtual registers, used by the register allocator.
+#pragma once
+
+#include <vector>
+
+#include "analysis/bitset.hpp"
+#include "analysis/cfg.hpp"
+
+namespace lev::analysis {
+
+/// Per-block live-in/live-out sets of virtual registers.
+class Liveness {
+public:
+  explicit Liveness(const Cfg& cfg);
+
+  const BitSet& liveIn(int block) const {
+    return liveIn_[static_cast<std::size_t>(block)];
+  }
+  const BitSet& liveOut(int block) const {
+    return liveOut_[static_cast<std::size_t>(block)];
+  }
+
+private:
+  std::vector<BitSet> liveIn_;
+  std::vector<BitSet> liveOut_;
+};
+
+} // namespace lev::analysis

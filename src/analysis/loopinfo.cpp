@@ -1,0 +1,60 @@
+#include "analysis/loopinfo.hpp"
+
+#include <algorithm>
+
+namespace lev::analysis {
+
+LoopInfo::LoopInfo(const Cfg& cfg, const DomTree& dom) {
+  const int numBlocks = cfg.numBlocks();
+  depth_.assign(static_cast<std::size_t>(numBlocks), 0);
+
+  // A back edge t -> h exists when h dominates t. Its natural loop is h plus
+  // all blocks that can reach t without passing through h.
+  for (int t = 0; t < numBlocks; ++t) {
+    for (int h : cfg.succs(t)) {
+      if (h == cfg.virtualExit() || !dom.dominates(h, t)) continue;
+      Loop loop;
+      loop.header = h;
+      std::vector<bool> in(static_cast<std::size_t>(numBlocks), false);
+      in[static_cast<std::size_t>(h)] = true;
+      std::vector<int> work;
+      if (t != h) {
+        in[static_cast<std::size_t>(t)] = true;
+        work.push_back(t);
+      }
+      while (!work.empty()) {
+        const int b = work.back();
+        work.pop_back();
+        for (int p : cfg.preds(b))
+          if (!in[static_cast<std::size_t>(p)]) {
+            in[static_cast<std::size_t>(p)] = true;
+            work.push_back(p);
+          }
+      }
+      for (int b = 0; b < numBlocks; ++b)
+        if (in[static_cast<std::size_t>(b)]) loop.blocks.push_back(b);
+      loops_.push_back(std::move(loop));
+    }
+  }
+
+  // Merge loops with the same header (multiple back edges).
+  std::sort(loops_.begin(), loops_.end(),
+            [](const Loop& a, const Loop& b) { return a.header < b.header; });
+  std::vector<Loop> merged;
+  for (Loop& loop : loops_) {
+    if (!merged.empty() && merged.back().header == loop.header) {
+      auto& blocks = merged.back().blocks;
+      blocks.insert(blocks.end(), loop.blocks.begin(), loop.blocks.end());
+      std::sort(blocks.begin(), blocks.end());
+      blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+    } else {
+      merged.push_back(std::move(loop));
+    }
+  }
+  loops_ = std::move(merged);
+
+  for (const Loop& loop : loops_)
+    for (int b : loop.blocks) ++depth_[static_cast<std::size_t>(b)];
+}
+
+} // namespace lev::analysis

@@ -1,0 +1,32 @@
+// Natural-loop detection from dominator-tree back edges.
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/domtree.hpp"
+
+namespace lev::analysis {
+
+/// One natural loop: its header plus the set of member blocks.
+struct Loop {
+  int header = -1;
+  std::vector<int> blocks; // sorted, includes header
+};
+
+/// All natural loops of a function plus a per-block nesting depth.
+class LoopInfo {
+public:
+  LoopInfo(const Cfg& cfg, const DomTree& dom);
+
+  const std::vector<Loop>& loops() const { return loops_; }
+
+  /// Nesting depth of a block; 0 = not in any loop.
+  int depth(int block) const { return depth_[static_cast<std::size_t>(block)]; }
+
+private:
+  std::vector<Loop> loops_;
+  std::vector<int> depth_;
+};
+
+} // namespace lev::analysis

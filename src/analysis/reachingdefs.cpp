@@ -1,0 +1,117 @@
+#include "analysis/reachingdefs.hpp"
+
+#include <algorithm>
+
+namespace lev::analysis {
+
+ReachingDefs::ReachingDefs(const Cfg& cfg) : fn_(cfg.function()) {
+  const int numBlocks = cfg.numBlocks();
+  instById_.assign(static_cast<std::size_t>(fn_.numInsts()), nullptr);
+  instDefIdx_.assign(static_cast<std::size_t>(fn_.numInsts()), -1);
+
+  // Enumerate definitions: params first, then defining instructions.
+  defsOfReg_.assign(static_cast<std::size_t>(fn_.numRegs()), {});
+  for (int p = 0; p < fn_.numParams(); ++p) {
+    defInst_.push_back(-1);
+    defReg_.push_back(p);
+    defsOfReg_[static_cast<std::size_t>(p)].push_back(p);
+  }
+  for (int b = 0; b < numBlocks; ++b)
+    for (const ir::Inst& inst : fn_.block(b).insts) {
+      instById_[static_cast<std::size_t>(inst.id)] = &inst;
+      if (inst.dst >= 0) {
+        const int idx = static_cast<int>(defInst_.size());
+        defInst_.push_back(inst.id);
+        defReg_.push_back(inst.dst);
+        defsOfReg_[static_cast<std::size_t>(inst.dst)].push_back(idx);
+        instDefIdx_[static_cast<std::size_t>(inst.id)] = idx;
+      }
+    }
+
+  const std::size_t nd = defInst_.size();
+
+  // Per-block gen/kill.
+  std::vector<BitSet> gen(static_cast<std::size_t>(numBlocks), BitSet(nd));
+  std::vector<BitSet> kill(static_cast<std::size_t>(numBlocks), BitSet(nd));
+  for (int b = 0; b < numBlocks; ++b) {
+    for (const ir::Inst& inst : fn_.block(b).insts) {
+      if (inst.dst < 0) continue;
+      const int myIdx = instDefIdx_[static_cast<std::size_t>(inst.id)];
+      for (int other : defsOfReg_[static_cast<std::size_t>(inst.dst)]) {
+        gen[static_cast<std::size_t>(b)].reset(static_cast<std::size_t>(other));
+        kill[static_cast<std::size_t>(b)].set(static_cast<std::size_t>(other));
+      }
+      gen[static_cast<std::size_t>(b)].set(static_cast<std::size_t>(myIdx));
+    }
+  }
+
+  // Forward fixpoint: in[b] = union over preds of out[p];
+  // out[b] = gen[b] | (in[b] - kill[b]).
+  blockIn_.assign(static_cast<std::size_t>(numBlocks), BitSet(nd));
+  std::vector<BitSet> out(static_cast<std::size_t>(numBlocks), BitSet(nd));
+  // Parameter defs reach the entry block.
+  for (int p = 0; p < fn_.numParams(); ++p)
+    blockIn_[0].set(static_cast<std::size_t>(p));
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b : cfg.rpo()) {
+      BitSet in = blockIn_[static_cast<std::size_t>(b)];
+      for (int p : cfg.preds(b))
+        in.unionWith(out[static_cast<std::size_t>(p)]);
+      if (!(in == blockIn_[static_cast<std::size_t>(b)])) {
+        blockIn_[static_cast<std::size_t>(b)] = in;
+        changed = true;
+      }
+      BitSet o = in;
+      o.subtract(kill[static_cast<std::size_t>(b)]);
+      o.unionWith(gen[static_cast<std::size_t>(b)]);
+      if (!(o == out[static_cast<std::size_t>(b)])) {
+        out[static_cast<std::size_t>(b)] = o;
+        changed = true;
+      }
+    }
+  }
+}
+
+std::vector<int> ReachingDefs::reachingDefsOf(int instId, int reg) const {
+  const ir::Inst* target = instById_[static_cast<std::size_t>(instId)];
+  LEV_CHECK(target != nullptr, "unknown instruction id");
+  const int b = target->block;
+
+  // Walk the block from the top, tracking the last local def of `reg`.
+  int lastLocalDef = -1;
+  for (const ir::Inst& inst : fn_.block(b).insts) {
+    if (inst.id == instId) break;
+    if (inst.dst == reg)
+      lastLocalDef = instDefIdx_[static_cast<std::size_t>(inst.id)];
+  }
+  if (lastLocalDef >= 0) return {lastLocalDef};
+
+  // Otherwise the defs reaching the block entry.
+  std::vector<int> result;
+  for (int d : defsOfReg_[static_cast<std::size_t>(reg)])
+    if (blockIn_[static_cast<std::size_t>(b)].test(static_cast<std::size_t>(d)))
+      result.push_back(d);
+  return result;
+}
+
+std::vector<int> ReachingDefs::reachingDefsForUses(int instId) const {
+  const ir::Inst* inst = instById_[static_cast<std::size_t>(instId)];
+  LEV_CHECK(inst != nullptr, "unknown instruction id");
+  std::vector<int> regs;
+  inst->uses(regs);
+  std::sort(regs.begin(), regs.end());
+  regs.erase(std::unique(regs.begin(), regs.end()), regs.end());
+  std::vector<int> result;
+  for (int r : regs) {
+    auto defs = reachingDefsOf(instId, r);
+    result.insert(result.end(), defs.begin(), defs.end());
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+} // namespace lev::analysis

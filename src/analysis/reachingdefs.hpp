@@ -1,0 +1,55 @@
+// Classic reaching-definitions dataflow over virtual registers.
+//
+// The IR is not SSA, so data dependence between instructions is recovered
+// here: a use of %v in instruction I depends on every definition of %v that
+// reaches I. Function parameters act as definitions at the entry.
+#pragma once
+
+#include <vector>
+
+#include "analysis/bitset.hpp"
+#include "analysis/cfg.hpp"
+
+namespace lev::analysis {
+
+/// Reaching definitions for one function. Definitions are indexed densely;
+/// index 0..numParams-1 are the implicit parameter definitions, the rest map
+/// to defining instructions.
+class ReachingDefs {
+public:
+  explicit ReachingDefs(const Cfg& cfg);
+
+  int numDefs() const { return static_cast<int>(defInst_.size()); }
+
+  /// Instruction id of a definition, or -1 for parameter definitions.
+  int defInst(int defIdx) const {
+    return defInst_[static_cast<std::size_t>(defIdx)];
+  }
+  /// Register defined by a definition.
+  int defReg(int defIdx) const {
+    return defReg_[static_cast<std::size_t>(defIdx)];
+  }
+
+  /// Definition indices of register `reg` reaching instruction `instId`
+  /// (computed on the fly from the block-entry sets; cheap).
+  std::vector<int> reachingDefsOf(int instId, int reg) const;
+
+  /// All definition indices whose register is used by `instId`.
+  std::vector<int> reachingDefsForUses(int instId) const;
+
+  /// Definition index of an instruction (its own def), or -1.
+  int defIndexOfInst(int instId) const {
+    return instDefIdx_[static_cast<std::size_t>(instId)];
+  }
+
+private:
+  const ir::Function& fn_;
+  std::vector<int> defInst_;          // defIdx -> inst id (-1 = param)
+  std::vector<int> defReg_;           // defIdx -> register
+  std::vector<int> instDefIdx_;       // inst id -> defIdx or -1
+  std::vector<std::vector<int>> defsOfReg_; // reg -> def indices
+  std::vector<BitSet> blockIn_;       // block -> defs live at entry
+  std::vector<const ir::Inst*> instById_;
+};
+
+} // namespace lev::analysis

@@ -1,0 +1,461 @@
+#include "backend/compiler.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "backend/regalloc.hpp"
+#include "ir/passes.hpp"
+#include "ir/verifier.hpp"
+#include "support/bits.hpp"
+
+namespace lev::backend {
+
+namespace {
+
+using isa::Inst;
+using isa::Opc;
+
+/// One emitted machine instruction plus provenance for hint translation.
+struct MInst {
+  Inst inst;
+  int irInst = -1; ///< IR instruction id this was lowered from, -1 = glue
+};
+
+/// Lowers one function. Branch/call targets are patched after emission.
+class FunctionLowering {
+public:
+  FunctionLowering(const ir::Module& mod, const ir::Function& fn,
+                   std::uint64_t basePc,
+                   const std::map<std::string, std::uint64_t>& globalAddrs)
+      : mod_(mod), fn_(fn), basePc_(basePc), globalAddrs_(globalAddrs),
+        alloc_(allocateRegisters(fn)) {}
+
+  void run();
+
+  const std::vector<MInst>& code() const { return code_; }
+  /// PC of the conditional branch lowered from IR branch `irId`.
+  const std::map<int, std::uint64_t>& branchPcByIrId() const {
+    return branchPcById_;
+  }
+  /// Pending call fixups: code index -> callee name.
+  const std::map<std::size_t, std::string>& callFixups() const {
+    return callFixups_;
+  }
+
+private:
+  static constexpr int kS0 = isa::kRegScratch0; // x3
+  static constexpr int kS1 = isa::kRegScratch1; // x4
+
+  std::uint64_t pcOfIndex(std::size_t idx) const {
+    return basePc_ + idx * isa::kInstBytes;
+  }
+
+  void emit(Opc op, int rd, int rs1, int rs2, std::int64_t imm, int irInst) {
+    MInst mi;
+    mi.inst.op = op;
+    mi.inst.rd = static_cast<std::uint8_t>(rd);
+    mi.inst.rs1 = static_cast<std::uint8_t>(rs1);
+    mi.inst.rs2 = static_cast<std::uint8_t>(rs2);
+    mi.inst.imm = imm;
+    mi.irInst = irInst;
+    code_.push_back(mi);
+  }
+
+  std::int64_t slotOff(int slot) const { return slot * 8; }
+
+  int frameSlots() const {
+    return alloc_.numSlots + (alloc_.makesCalls ? 1 : 0);
+  }
+  std::int64_t frameBytes() const {
+    return static_cast<std::int64_t>(
+        alignUp(static_cast<std::uint64_t>(frameSlots()) * 8, 16));
+  }
+  int raSlot() const { return alloc_.numSlots; }
+
+  /// Materialize an operand into a register; `scratch` is used for
+  /// immediates and spilled values.
+  int readOperand(const ir::Value& v, int scratch, int irInst) {
+    if (v.isImm()) {
+      if (v.imm == 0) return isa::kRegZero;
+      emit(Opc::ADDI, scratch, isa::kRegZero, 0, v.imm, irInst);
+      return scratch;
+    }
+    LEV_CHECK(v.isReg(), "reading empty operand");
+    const Loc& loc = alloc_.locs[static_cast<std::size_t>(v.reg)];
+    if (!loc.spilled) {
+      LEV_CHECK(loc.phys >= 0, "vreg without location");
+      return loc.phys;
+    }
+    emit(Opc::LD8, scratch, isa::kRegSp, 0, slotOff(loc.slot), irInst);
+    return scratch;
+  }
+
+  /// Register to compute a destination into; spilled dests are computed in
+  /// x3 and flushed by finishDest.
+  int destReg(int vreg) const {
+    const Loc& loc = alloc_.locs[static_cast<std::size_t>(vreg)];
+    return loc.spilled ? kS0 : loc.phys;
+  }
+  void finishDest(int vreg, int irInst) {
+    const Loc& loc = alloc_.locs[static_cast<std::size_t>(vreg)];
+    if (loc.spilled)
+      emit(Opc::ST8, 0, isa::kRegSp, kS0, slotOff(loc.slot), irInst);
+  }
+
+  void lowerBinary(const ir::Inst& inst);
+  void lowerInst(const ir::Inst& inst, int nextBlock);
+  void emitEpilogueAndRet(const ir::Inst& inst);
+
+  const ir::Module& mod_;
+  const ir::Function& fn_;
+  std::uint64_t basePc_;
+  const std::map<std::string, std::uint64_t>& globalAddrs_;
+  Allocation alloc_;
+
+  std::vector<MInst> code_;
+  std::map<int, std::size_t> blockStart_; // block id -> code index
+  struct BranchFixup {
+    std::size_t index;
+    int targetBlock;
+  };
+  std::vector<BranchFixup> branchFixups_;
+  std::map<std::size_t, std::string> callFixups_;
+  std::map<int, std::uint64_t> branchPcById_;
+};
+
+/// Opcode selection for binary IR ops: the reg-reg opcode plus an optional
+/// immediate form.
+struct OpSel {
+  Opc rrr;
+  Opc rri;
+  bool hasImm;
+  bool commutative;
+};
+
+OpSel selectOp(ir::Op op) {
+  switch (op) {
+  case ir::Op::Add: return {Opc::ADD, Opc::ADDI, true, true};
+  case ir::Op::Sub: return {Opc::SUB, Opc::NOP, false, false};
+  case ir::Op::Mul: return {Opc::MUL, Opc::NOP, false, true};
+  case ir::Op::DivS: return {Opc::DIVS, Opc::NOP, false, false};
+  case ir::Op::DivU: return {Opc::DIVU, Opc::NOP, false, false};
+  case ir::Op::RemS: return {Opc::REMS, Opc::NOP, false, false};
+  case ir::Op::RemU: return {Opc::REMU, Opc::NOP, false, false};
+  case ir::Op::And: return {Opc::AND, Opc::ANDI, true, true};
+  case ir::Op::Or: return {Opc::OR, Opc::ORI, true, true};
+  case ir::Op::Xor: return {Opc::XOR, Opc::XORI, true, true};
+  case ir::Op::Shl: return {Opc::SLL, Opc::SLLI, true, false};
+  case ir::Op::ShrL: return {Opc::SRL, Opc::SRLI, true, false};
+  case ir::Op::ShrA: return {Opc::SRA, Opc::SRAI, true, false};
+  case ir::Op::CmpEq: return {Opc::SEQ, Opc::NOP, false, true};
+  case ir::Op::CmpNe: return {Opc::SNE, Opc::NOP, false, true};
+  case ir::Op::CmpLtS: return {Opc::SLT, Opc::SLTI, true, false};
+  case ir::Op::CmpLtU: return {Opc::SLTU, Opc::SLTUI, true, false};
+  case ir::Op::CmpGeS: return {Opc::SGE, Opc::NOP, false, false};
+  case ir::Op::CmpGeU: return {Opc::SGEU, Opc::NOP, false, false};
+  default:
+    LEV_UNREACHABLE("not a binary op");
+  }
+}
+
+Opc loadOpc(int size) {
+  switch (size) {
+  case 1: return Opc::LD1;
+  case 2: return Opc::LD2;
+  case 4: return Opc::LD4;
+  default: return Opc::LD8;
+  }
+}
+Opc storeOpc(int size) {
+  switch (size) {
+  case 1: return Opc::ST1;
+  case 2: return Opc::ST2;
+  case 4: return Opc::ST4;
+  default: return Opc::ST8;
+  }
+}
+
+void FunctionLowering::lowerBinary(const ir::Inst& inst) {
+  const OpSel sel = selectOp(inst.op);
+  ir::Value a = inst.a;
+  ir::Value b = inst.b;
+  if (sel.hasImm && sel.commutative && a.isImm() && b.isReg())
+    std::swap(a, b);
+  const int id = inst.id;
+  if (sel.hasImm && b.isImm()) {
+    const int ra = readOperand(a, kS0, id);
+    emit(sel.rri, destReg(inst.dst), ra, 0, b.imm, id);
+  } else {
+    const int ra = readOperand(a, kS0, id);
+    const int rb = readOperand(b, kS1, id);
+    emit(sel.rrr, destReg(inst.dst), ra, rb, 0, id);
+  }
+  finishDest(inst.dst, id);
+}
+
+void FunctionLowering::emitEpilogueAndRet(const ir::Inst& inst) {
+  const int id = inst.id;
+  // Result to x10.
+  if (inst.a.isImm()) {
+    emit(Opc::ADDI, isa::kRegArg0, isa::kRegZero, 0, inst.a.imm, id);
+  } else {
+    const int r = readOperand(inst.a, kS0, id);
+    emit(Opc::ADDI, isa::kRegArg0, r, 0, 0, id);
+  }
+  if (alloc_.makesCalls)
+    emit(Opc::LD8, isa::kRegRa, isa::kRegSp, 0, slotOff(raSlot()), id);
+  if (frameBytes() > 0)
+    emit(Opc::ADDI, isa::kRegSp, isa::kRegSp, 0, frameBytes(), id);
+  emit(Opc::JALR, isa::kRegZero, isa::kRegRa, 0, 0, id);
+}
+
+void FunctionLowering::lowerInst(const ir::Inst& inst, int nextBlock) {
+  const int id = inst.id;
+  switch (inst.op) {
+  case ir::Op::Mov: {
+    if (inst.a.isImm()) {
+      emit(Opc::ADDI, destReg(inst.dst), isa::kRegZero, 0, inst.a.imm, id);
+    } else {
+      const int r = readOperand(inst.a, kS0, id);
+      emit(Opc::ADDI, destReg(inst.dst), r, 0, 0, id);
+    }
+    finishDest(inst.dst, id);
+    return;
+  }
+  case ir::Op::Lea: {
+    auto it = globalAddrs_.find(inst.callee);
+    LEV_CHECK(it != globalAddrs_.end(), "unknown global " + inst.callee);
+    emit(Opc::ADDI, destReg(inst.dst), isa::kRegZero, 0,
+         static_cast<std::int64_t>(it->second) + inst.off, id);
+    finishDest(inst.dst, id);
+    return;
+  }
+  case ir::Op::Load: {
+    const int base = readOperand(inst.a, kS0, id);
+    emit(loadOpc(inst.size), destReg(inst.dst), base, 0, inst.off, id);
+    finishDest(inst.dst, id);
+    return;
+  }
+  case ir::Op::Store: {
+    const int base = readOperand(inst.a, kS0, id);
+    const int data = readOperand(inst.b, kS1, id);
+    emit(storeOpc(inst.size), 0, base, data, inst.off, id);
+    return;
+  }
+  case ir::Op::Flush: {
+    const int base = readOperand(inst.a, kS0, id);
+    emit(Opc::FLUSH, destReg(inst.dst), base, 0, inst.off, id);
+    finishDest(inst.dst, id);
+    return;
+  }
+  case ir::Op::Br: {
+    const int cond = readOperand(inst.a, kS0, id);
+    const int thenB = inst.succ[0];
+    const int elseB = inst.succ[1];
+    if (elseB == nextBlock) {
+      // bne cond, x0, then
+      branchPcById_[id] = pcOfIndex(code_.size());
+      branchFixups_.push_back({code_.size(), thenB});
+      emit(Opc::BNE, 0, cond, isa::kRegZero, 0, id);
+    } else if (thenB == nextBlock) {
+      // beq cond, x0, else
+      branchPcById_[id] = pcOfIndex(code_.size());
+      branchFixups_.push_back({code_.size(), elseB});
+      emit(Opc::BEQ, 0, cond, isa::kRegZero, 0, id);
+    } else {
+      branchPcById_[id] = pcOfIndex(code_.size());
+      branchFixups_.push_back({code_.size(), thenB});
+      emit(Opc::BNE, 0, cond, isa::kRegZero, 0, id);
+      branchFixups_.push_back({code_.size(), elseB});
+      emit(Opc::JAL, isa::kRegZero, 0, 0, 0, id);
+    }
+    return;
+  }
+  case ir::Op::Jmp: {
+    if (inst.succ[0] != nextBlock) {
+      branchFixups_.push_back({code_.size(), inst.succ[0]});
+      emit(Opc::JAL, isa::kRegZero, 0, 0, 0, id);
+    }
+    return;
+  }
+  case ir::Op::Call: {
+    LEV_CHECK(inst.args.size() <= isa::kNumArgRegs, "too many call args");
+    for (std::size_t i = 0; i < inst.args.size(); ++i) {
+      const int argReg = isa::kRegArg0 + static_cast<int>(i);
+      const ir::Value& arg = inst.args[i];
+      if (arg.isImm()) {
+        emit(Opc::ADDI, argReg, isa::kRegZero, 0, arg.imm, id);
+      } else {
+        const Loc& loc = alloc_.locs[static_cast<std::size_t>(arg.reg)];
+        if (loc.spilled)
+          emit(Opc::LD8, argReg, isa::kRegSp, 0, slotOff(loc.slot), id);
+        else
+          emit(Opc::ADDI, argReg, loc.phys, 0, 0, id);
+      }
+    }
+    callFixups_[code_.size()] = inst.callee;
+    emit(Opc::JAL, isa::kRegRa, 0, 0, 0, id);
+    if (inst.dst >= 0) {
+      const Loc& loc = alloc_.locs[static_cast<std::size_t>(inst.dst)];
+      if (loc.spilled)
+        emit(Opc::ST8, 0, isa::kRegSp, isa::kRegArg0, slotOff(loc.slot), id);
+      else
+        emit(Opc::ADDI, loc.phys, isa::kRegArg0, 0, 0, id);
+    }
+    return;
+  }
+  case ir::Op::Ret:
+    emitEpilogueAndRet(inst);
+    return;
+  case ir::Op::Halt:
+    emit(Opc::HALT, 0, 0, 0, 0, id);
+    return;
+  default:
+    lowerBinary(inst);
+    return;
+  }
+}
+
+void FunctionLowering::run() {
+  // Prologue.
+  if (frameBytes() > 0)
+    emit(Opc::ADDI, isa::kRegSp, isa::kRegSp, 0, -frameBytes(), -1);
+  if (alloc_.makesCalls)
+    emit(Opc::ST8, 0, isa::kRegSp, isa::kRegRa, slotOff(raSlot()), -1);
+  for (int p = 0; p < fn_.numParams(); ++p) {
+    const Loc& loc = alloc_.locs[static_cast<std::size_t>(p)];
+    const int argReg = isa::kRegArg0 + p;
+    if (loc.spilled)
+      emit(Opc::ST8, 0, isa::kRegSp, argReg, slotOff(loc.slot), -1);
+    else if (loc.phys >= 0)
+      emit(Opc::ADDI, loc.phys, argReg, 0, 0, -1);
+    // Unused parameters have no location; nothing to do.
+  }
+
+  for (int b = 0; b < fn_.numBlocks(); ++b) {
+    blockStart_[b] = code_.size();
+    const int nextBlock = (b + 1 < fn_.numBlocks()) ? b + 1 : -1;
+    for (const ir::Inst& inst : fn_.block(b).insts)
+      lowerInst(inst, nextBlock);
+  }
+
+  // Patch intra-function branch targets.
+  for (const BranchFixup& fx : branchFixups_) {
+    const std::uint64_t targetPc = pcOfIndex(blockStart_.at(fx.targetBlock));
+    const std::uint64_t branchPc = pcOfIndex(fx.index);
+    code_[fx.index].inst.imm = static_cast<std::int64_t>(targetPc) -
+                               static_cast<std::int64_t>(branchPc);
+  }
+}
+
+void accumulate(levioso::DepStats& into, const levioso::DepStats& from) {
+  into.totalInsts += from.totalInsts;
+  into.instsWithNoDeps += from.instsWithNoDeps;
+  into.totalDepEntries += from.totalDepEntries;
+  into.maxSetSize = std::max(into.maxSetSize, from.maxSetSize);
+  for (std::size_t i = 0; i < into.setSizeHistogram.size(); ++i)
+    into.setSizeHistogram[i] += from.setSizeHistogram[i];
+}
+
+} // namespace
+
+CompileResult compile(ir::Module& mod, CompileOptions opts) {
+  if (opts.optimize) ir::optimize(mod);
+  for (const auto& fn : mod.functions()) fn->renumber();
+  ir::verify(mod);
+  LEV_CHECK(mod.findFunction("main") != nullptr, "module has no main()");
+
+  CompileResult result;
+  isa::Program& prog = result.program;
+
+  // Lay out globals.
+  std::map<std::string, std::uint64_t> globalAddrs;
+  std::uint64_t dataCursor = opts.dataBase;
+  for (const ir::Global& g : mod.globals()) {
+    dataCursor = alignUp(dataCursor, g.align == 0 ? 8 : g.align);
+    globalAddrs[g.name] = dataCursor;
+    prog.symbols[g.name] = dataCursor;
+    isa::DataSegment seg;
+    seg.addr = dataCursor;
+    seg.bytes = g.init;
+    seg.bytes.resize(static_cast<std::size_t>(g.size), 0);
+    prog.data.push_back(std::move(seg));
+    dataCursor += g.size;
+  }
+
+  // _start stub: jal x1, main; halt.
+  std::vector<MInst> allCode;
+  allCode.push_back({{Opc::JAL, isa::kRegRa, 0, 0, 0}, -1});
+  allCode.push_back({{Opc::HALT, 0, 0, 0, 0}, -1});
+  std::map<std::size_t, std::string> callFixups;
+  callFixups[0] = "main";
+
+  prog.funcs.push_back({"_start", prog.textBase,
+                        prog.textBase + 2 * isa::kInstBytes});
+  prog.symbols["_start"] = prog.textBase;
+  prog.entry = prog.textBase;
+
+  // Lower each function, translating hints as we go.
+  std::vector<isa::Hint> hints(2); // stub hints: empty
+  std::map<std::string, std::uint64_t> funcBase;
+
+  for (const auto& fnPtr : mod.functions()) {
+    const ir::Function& fn = *fnPtr;
+    const std::uint64_t basePc =
+        prog.textBase + allCode.size() * isa::kInstBytes;
+    funcBase[fn.name()] = basePc;
+    prog.symbols[fn.name()] = basePc;
+
+    levioso::BranchDepAnalysis analysis(mod, fn, opts.depOptions);
+    accumulate(result.depStats, analysis.stats());
+    const std::vector<levioso::Annotation> annots = encodeAnnotations(
+        analysis, fn, opts.annotationBudget, &result.encodeStats);
+
+    FunctionLowering lowering(mod, fn, basePc, globalAddrs);
+    lowering.run();
+
+    for (const auto& [idx, callee] : lowering.callFixups())
+      callFixups[allCode.size() + idx] = callee;
+
+    for (const MInst& mi : lowering.code()) {
+      isa::Hint hint;
+      if (opts.emitHints && mi.irInst >= 0) {
+        const levioso::Annotation& a =
+            annots[static_cast<std::size_t>(mi.irInst)];
+        hint.overflow = a.overflow;
+        if (!a.overflow) {
+          for (std::uint64_t irBranch : a.dependees) {
+            auto it = lowering.branchPcByIrId().find(static_cast<int>(irBranch));
+            LEV_CHECK(it != lowering.branchPcByIrId().end(),
+                      "dependee branch was not lowered");
+            hint.dependeePcs.push_back(it->second);
+          }
+          std::sort(hint.dependeePcs.begin(), hint.dependeePcs.end());
+        }
+      }
+      hints.push_back(std::move(hint));
+      allCode.push_back(mi);
+    }
+
+    prog.funcs.push_back(
+        {fn.name(), basePc, prog.textBase + allCode.size() * isa::kInstBytes});
+  }
+
+  // Patch calls.
+  for (const auto& [idx, callee] : callFixups) {
+    auto it = funcBase.find(callee);
+    LEV_CHECK(it != funcBase.end(), "call to unknown function " + callee);
+    const std::uint64_t callPc = prog.textBase + idx * isa::kInstBytes;
+    allCode[idx].inst.imm = static_cast<std::int64_t>(it->second) -
+                            static_cast<std::int64_t>(callPc);
+  }
+
+  prog.text.reserve(allCode.size());
+  for (const MInst& mi : allCode) prog.text.push_back(mi.inst);
+  if (opts.emitHints)
+    prog.hints = std::move(hints);
+
+  return result;
+}
+
+} // namespace lev::backend

@@ -1,0 +1,44 @@
+// IR-to-machine compiler: runs the Levioso analysis, allocates registers,
+// lowers to the machine ISA and emits the per-instruction dependency hints.
+//
+// Program layout:
+//   0x1000   _start stub:  jal x1, main; halt
+//   ....     functions in module order
+//   0x100000 globals, packed with their alignment
+//
+// ABI: arguments in x10..x17, result in x10, all registers caller-saved
+// (the allocator force-spills intervals that cross calls), ra saved to the
+// frame by non-leaf functions. Stack grows down from Program::stackTop.
+#pragma once
+
+#include "ir/ir.hpp"
+#include "isa/program.hpp"
+#include "levioso/annotation.hpp"
+
+namespace lev::backend {
+
+struct CompileOptions {
+  /// Run the scalar optimization pipeline (ir/passes.hpp) before analysis,
+  /// like the paper's pass running after -O2.
+  bool optimize = true;
+  /// Max dependees per instruction hint; levioso::kUnlimitedBudget for ∞.
+  int annotationBudget = 4;
+  /// Emit the hint sideband at all. Off => the program carries no hints and
+  /// a Levioso core treats every instruction conservatively.
+  bool emitHints = true;
+  /// Analysis knobs (fig6 ablation).
+  levioso::DepOptions depOptions;
+  std::uint64_t dataBase = 0x100000;
+};
+
+struct CompileResult {
+  isa::Program program;
+  levioso::DepStats depStats;       ///< aggregated over all functions
+  levioso::EncodeStats encodeStats; ///< aggregated over all functions
+};
+
+/// Compile a verified module. `main` must exist (entry point). The module is
+/// renumbered in place (dense instruction ids).
+CompileResult compile(ir::Module& mod, CompileOptions opts = CompileOptions());
+
+} // namespace lev::backend

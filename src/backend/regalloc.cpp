@@ -1,0 +1,144 @@
+#include "backend/regalloc.hpp"
+
+#include <algorithm>
+
+#include "analysis/cfg.hpp"
+#include "analysis/liveness.hpp"
+
+namespace lev::backend {
+
+const std::vector<int>& allocatableRegs() {
+  // x5..x9 and x18..x31: everything not reserved and not an argument reg.
+  static const std::vector<int> kPool = [] {
+    std::vector<int> pool;
+    for (int r = 5; r <= 9; ++r) pool.push_back(r);
+    for (int r = 18; r <= 31; ++r) pool.push_back(r);
+    return pool;
+  }();
+  return kPool;
+}
+
+namespace {
+
+struct Interval {
+  int vreg = -1;
+  int start = 0;
+  int end = 0;
+};
+
+} // namespace
+
+Allocation allocateRegisters(const ir::Function& fn) {
+  analysis::Cfg cfg(fn);
+  analysis::Liveness live(cfg);
+
+  const int nr = fn.numRegs();
+  constexpr int kNoPos = -1;
+  std::vector<int> start(static_cast<std::size_t>(nr), kNoPos);
+  std::vector<int> end(static_cast<std::size_t>(nr), kNoPos);
+  auto extend = [&](int vreg, int pos) {
+    auto v = static_cast<std::size_t>(vreg);
+    if (start[v] == kNoPos || pos < start[v]) start[v] = pos;
+    if (end[v] == kNoPos || pos > end[v]) end[v] = pos;
+  };
+
+  // Positions are dense instruction ids in layout order (renumber() ran).
+  std::vector<int> callPositions;
+  std::vector<int> regs;
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    const ir::BasicBlock& bb = fn.block(b);
+    LEV_CHECK(!bb.insts.empty(), "empty block in regalloc");
+    const int blockStart = bb.insts.front().id;
+    const int blockEnd = bb.insts.back().id;
+    live.liveIn(b).forEach([&](std::size_t v) {
+      extend(static_cast<int>(v), blockStart);
+    });
+    live.liveOut(b).forEach([&](std::size_t v) {
+      extend(static_cast<int>(v), blockEnd);
+    });
+    for (const ir::Inst& inst : bb.insts) {
+      inst.uses(regs);
+      for (int r : regs) extend(r, inst.id);
+      if (inst.dst >= 0) extend(inst.dst, inst.id);
+      if (inst.isCall()) callPositions.push_back(inst.id);
+    }
+  }
+  // Parameters are live-in at position -0 (entry); ensure they start there.
+  for (int p = 0; p < fn.numParams(); ++p)
+    if (start[static_cast<std::size_t>(p)] != kNoPos)
+      extend(p, 0);
+
+  std::vector<Interval> intervals;
+  for (int v = 0; v < nr; ++v)
+    if (start[static_cast<std::size_t>(v)] != kNoPos)
+      intervals.push_back({v, start[static_cast<std::size_t>(v)],
+                           end[static_cast<std::size_t>(v)]});
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start ||
+                     (a.start == b.start && a.vreg < b.vreg);
+            });
+
+  Allocation alloc;
+  alloc.locs.assign(static_cast<std::size_t>(nr), Loc{});
+  alloc.makesCalls = !callPositions.empty();
+
+  auto crossesCall = [&](const Interval& iv) {
+    for (int c : callPositions)
+      if (iv.start < c && iv.end > c) return true;
+    return false;
+  };
+  auto spill = [&](int vreg) {
+    Loc& loc = alloc.locs[static_cast<std::size_t>(vreg)];
+    loc.spilled = true;
+    loc.slot = alloc.numSlots++;
+  };
+
+  // Classic linear scan with furthest-end eviction.
+  std::vector<Interval> active; // sorted by end
+  std::vector<int> freeRegs = allocatableRegs();
+  for (const Interval& iv : intervals) {
+    // Expire finished intervals.
+    for (std::size_t i = 0; i < active.size();) {
+      if (active[i].end < iv.start) {
+        freeRegs.push_back(
+            alloc.locs[static_cast<std::size_t>(active[i].vreg)].phys);
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+
+    if (crossesCall(iv)) {
+      spill(iv.vreg);
+      continue;
+    }
+    if (!freeRegs.empty()) {
+      Loc& loc = alloc.locs[static_cast<std::size_t>(iv.vreg)];
+      loc.phys = freeRegs.back();
+      freeRegs.pop_back();
+      active.push_back(iv);
+      continue;
+    }
+    // No free register: evict the active interval with the furthest end if
+    // it outlives the new one, otherwise spill the new one.
+    auto victim = std::max_element(
+        active.begin(), active.end(),
+        [](const Interval& a, const Interval& b) { return a.end < b.end; });
+    if (victim != active.end() && victim->end > iv.end) {
+      Loc& vloc = alloc.locs[static_cast<std::size_t>(victim->vreg)];
+      const int phys = vloc.phys;
+      spill(victim->vreg);
+      vloc.phys = -1;
+      active.erase(victim);
+      Loc& loc = alloc.locs[static_cast<std::size_t>(iv.vreg)];
+      loc.phys = phys;
+      active.push_back(iv);
+    } else {
+      spill(iv.vreg);
+    }
+  }
+  return alloc;
+}
+
+} // namespace lev::backend

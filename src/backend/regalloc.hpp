@@ -1,0 +1,40 @@
+// Linear-scan register allocation over IR virtual registers.
+//
+// One conservative live interval per virtual register (union of all live
+// ranges). Intervals that cross a call site are force-spilled — the ABI is
+// fully caller-saved, and keeping live values in memory across calls removes
+// the need for save/restore bookkeeping in the lowering. Spilled registers
+// get an 8-byte frame slot; the lowering bridges them through the two
+// scratch registers x3/x4.
+#pragma once
+
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace lev::backend {
+
+/// Where a virtual register lives.
+struct Loc {
+  bool spilled = false;
+  int phys = -1; ///< machine register when !spilled
+  int slot = -1; ///< frame slot index when spilled
+};
+
+/// Result of allocation for one function.
+struct Allocation {
+  std::vector<Loc> locs; ///< indexed by virtual register
+  int numSlots = 0;      ///< spill slots used (8 bytes each)
+  bool makesCalls = false;
+};
+
+/// Machine registers handed out by the allocator. x0-x4 are reserved
+/// (zero/ra/sp/scratch), x10-x17 are the argument registers which the
+/// lowering uses for ABI traffic.
+const std::vector<int>& allocatableRegs();
+
+/// Run linear scan. Requires dense instruction ids in layout order
+/// (ir::Function::renumber()).
+Allocation allocateRegisters(const ir::Function& fn);
+
+} // namespace lev::backend

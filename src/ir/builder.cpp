@@ -1,0 +1,150 @@
+#include "ir/builder.hpp"
+
+namespace lev::ir {
+
+int IRBuilder::emit(Inst inst) {
+  fn_.addInst(block_, std::move(inst));
+  return 0;
+}
+
+int IRBuilder::binary(Op op, Value a, Value b) {
+  Inst inst;
+  inst.op = op;
+  inst.dst = fn_.newReg();
+  inst.a = a;
+  inst.b = b;
+  const int dst = inst.dst;
+  emit(std::move(inst));
+  return dst;
+}
+
+int IRBuilder::mov(Value a) {
+  Inst inst;
+  inst.op = Op::Mov;
+  inst.dst = fn_.newReg();
+  inst.a = a;
+  const int dst = inst.dst;
+  emit(std::move(inst));
+  return dst;
+}
+
+void IRBuilder::assign(int dst, Value src) {
+  Inst inst;
+  inst.op = Op::Mov;
+  inst.dst = dst;
+  inst.a = src;
+  emit(std::move(inst));
+}
+
+void IRBuilder::binaryInto(int dst, Op op, Value a, Value b) {
+  Inst inst;
+  inst.op = op;
+  inst.dst = dst;
+  inst.a = a;
+  inst.b = b;
+  emit(std::move(inst));
+}
+
+void IRBuilder::loadInto(int dst, Value base, std::int64_t off, int size) {
+  Inst inst;
+  inst.op = Op::Load;
+  inst.dst = dst;
+  inst.a = base;
+  inst.off = off;
+  inst.size = size;
+  emit(std::move(inst));
+}
+
+int IRBuilder::lea(const std::string& global, std::int64_t off) {
+  Inst inst;
+  inst.op = Op::Lea;
+  inst.dst = fn_.newReg();
+  inst.callee = global;
+  inst.off = off;
+  const int dst = inst.dst;
+  emit(std::move(inst));
+  return dst;
+}
+
+int IRBuilder::load(Value base, std::int64_t off, int size) {
+  Inst inst;
+  inst.op = Op::Load;
+  inst.dst = fn_.newReg();
+  inst.a = base;
+  inst.off = off;
+  inst.size = size;
+  const int dst = inst.dst;
+  emit(std::move(inst));
+  return dst;
+}
+
+void IRBuilder::store(Value base, Value data, std::int64_t off, int size) {
+  Inst inst;
+  inst.op = Op::Store;
+  inst.a = base;
+  inst.b = data;
+  inst.off = off;
+  inst.size = size;
+  emit(std::move(inst));
+}
+
+int IRBuilder::flush(Value base, std::int64_t off) {
+  Inst inst;
+  inst.op = Op::Flush;
+  inst.dst = fn_.newReg();
+  inst.a = base;
+  inst.off = off;
+  const int dst = inst.dst;
+  emit(std::move(inst));
+  return dst;
+}
+
+void IRBuilder::br(Value cond, int thenBB, int elseBB) {
+  Inst inst;
+  inst.op = Op::Br;
+  inst.a = cond;
+  inst.succ[0] = thenBB;
+  inst.succ[1] = elseBB;
+  emit(std::move(inst));
+}
+
+void IRBuilder::jmp(int target) {
+  Inst inst;
+  inst.op = Op::Jmp;
+  inst.succ[0] = target;
+  emit(std::move(inst));
+}
+
+int IRBuilder::call(const std::string& callee, std::vector<Value> args) {
+  Inst inst;
+  inst.op = Op::Call;
+  inst.dst = fn_.newReg();
+  inst.callee = callee;
+  inst.args = std::move(args);
+  const int dst = inst.dst;
+  emit(std::move(inst));
+  return dst;
+}
+
+void IRBuilder::callVoid(const std::string& callee, std::vector<Value> args) {
+  Inst inst;
+  inst.op = Op::Call;
+  inst.callee = callee;
+  inst.args = std::move(args);
+  emit(std::move(inst));
+}
+
+void IRBuilder::ret(Value v) {
+  Inst inst;
+  inst.op = Op::Ret;
+  inst.a = v;
+  emit(std::move(inst));
+}
+
+void IRBuilder::halt() {
+  Inst inst;
+  inst.op = Op::Halt;
+  emit(std::move(inst));
+}
+
+} // namespace lev::ir

@@ -1,0 +1,83 @@
+// Fluent construction API for the IR, used by the workload generators,
+// the tests, and the examples.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace lev::ir {
+
+/// Builds instructions into a function, one block at a time.
+///
+///   IRBuilder b(fn);
+///   b.setBlock(entry);
+///   int sum = b.add(b.reg(x), b.imm(1));
+///   b.br(b.reg(cond), thenBB, elseBB);
+class IRBuilder {
+public:
+  explicit IRBuilder(Function& fn) : fn_(fn) {}
+
+  void setBlock(int blockId) { block_ = blockId; }
+  int currentBlock() const { return block_; }
+
+  static Value reg(int r) { return Value::makeReg(r); }
+  static Value imm(std::int64_t v) { return Value::makeImm(v); }
+
+  // --- arithmetic -----------------------------------------------------
+  int binary(Op op, Value a, Value b);
+  int add(Value a, Value b) { return binary(Op::Add, a, b); }
+  int sub(Value a, Value b) { return binary(Op::Sub, a, b); }
+  int mul(Value a, Value b) { return binary(Op::Mul, a, b); }
+  int divs(Value a, Value b) { return binary(Op::DivS, a, b); }
+  int divu(Value a, Value b) { return binary(Op::DivU, a, b); }
+  int rems(Value a, Value b) { return binary(Op::RemS, a, b); }
+  int remu(Value a, Value b) { return binary(Op::RemU, a, b); }
+  int and_(Value a, Value b) { return binary(Op::And, a, b); }
+  int or_(Value a, Value b) { return binary(Op::Or, a, b); }
+  int xor_(Value a, Value b) { return binary(Op::Xor, a, b); }
+  int shl(Value a, Value b) { return binary(Op::Shl, a, b); }
+  int shrl(Value a, Value b) { return binary(Op::ShrL, a, b); }
+  int shra(Value a, Value b) { return binary(Op::ShrA, a, b); }
+  int cmpEq(Value a, Value b) { return binary(Op::CmpEq, a, b); }
+  int cmpNe(Value a, Value b) { return binary(Op::CmpNe, a, b); }
+  int cmpLtS(Value a, Value b) { return binary(Op::CmpLtS, a, b); }
+  int cmpLtU(Value a, Value b) { return binary(Op::CmpLtU, a, b); }
+  int cmpGeS(Value a, Value b) { return binary(Op::CmpGeS, a, b); }
+  int cmpGeU(Value a, Value b) { return binary(Op::CmpGeU, a, b); }
+
+  int mov(Value a);
+  /// dst = &global + off
+  int lea(const std::string& global, std::int64_t off = 0);
+
+  /// Re-assign an existing register (loop-carried variables — the IR is not
+  /// SSA, so `i = add i, 1` is expressed this way).
+  void assign(int dst, Value src);
+  /// dst = a <op> b into an existing register.
+  void binaryInto(int dst, Op op, Value a, Value b);
+  /// dst = zero-extended mem[base + off] into an existing register.
+  void loadInto(int dst, Value base, std::int64_t off = 0, int size = 8);
+
+  // --- memory ---------------------------------------------------------
+  /// dst = zero-extended mem[base + off]
+  int load(Value base, std::int64_t off = 0, int size = 8);
+  void store(Value base, Value data, std::int64_t off = 0, int size = 8);
+  /// Flush the cache line of base + off; returns a register holding 0 so
+  /// later addresses can be made dependent on the flush.
+  int flush(Value base, std::int64_t off = 0);
+
+  // --- control flow ---------------------------------------------------
+  void br(Value cond, int thenBB, int elseBB);
+  void jmp(int target);
+  /// Call with a result register.
+  int call(const std::string& callee, std::vector<Value> args);
+  /// Call ignoring the result.
+  void callVoid(const std::string& callee, std::vector<Value> args);
+  void ret(Value v = Value::makeImm(0));
+  void halt();
+
+private:
+  int emit(Inst inst);
+  Function& fn_;
+  int block_ = 0;
+};
+
+} // namespace lev::ir

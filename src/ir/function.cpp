@@ -1,0 +1,197 @@
+#include "ir/ir.hpp"
+
+#include <algorithm>
+
+namespace lev::ir {
+
+bool isTerminator(Op op) {
+  switch (op) {
+  case Op::Br:
+  case Op::Jmp:
+  case Op::Ret:
+  case Op::Halt:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool producesValue(Op op) {
+  switch (op) {
+  case Op::Store:
+  case Op::Br:
+  case Op::Jmp:
+  case Op::Ret:
+  case Op::Halt:
+    return false;
+  default:
+    return true; // Call only when dst >= 0; callers must check dst.
+  }
+}
+
+const char* opName(Op op) {
+  switch (op) {
+  case Op::Add: return "add";
+  case Op::Sub: return "sub";
+  case Op::Mul: return "mul";
+  case Op::DivS: return "divs";
+  case Op::DivU: return "divu";
+  case Op::RemS: return "rems";
+  case Op::RemU: return "remu";
+  case Op::And: return "and";
+  case Op::Or: return "or";
+  case Op::Xor: return "xor";
+  case Op::Shl: return "shl";
+  case Op::ShrL: return "shrl";
+  case Op::ShrA: return "shra";
+  case Op::CmpEq: return "cmpeq";
+  case Op::CmpNe: return "cmpne";
+  case Op::CmpLtS: return "cmplts";
+  case Op::CmpLtU: return "cmpltu";
+  case Op::CmpGeS: return "cmpges";
+  case Op::CmpGeU: return "cmpgeu";
+  case Op::Mov: return "mov";
+  case Op::Lea: return "lea";
+  case Op::Load: return "load";
+  case Op::Store: return "store";
+  case Op::Flush: return "flush";
+  case Op::Br: return "br";
+  case Op::Jmp: return "jmp";
+  case Op::Call: return "call";
+  case Op::Ret: return "ret";
+  case Op::Halt: return "halt";
+  }
+  LEV_UNREACHABLE("bad opcode");
+}
+
+void Inst::uses(std::vector<int>& out) const {
+  out.clear();
+  if (a.isReg()) out.push_back(a.reg);
+  if (b.isReg()) out.push_back(b.reg);
+  for (const Value& v : args)
+    if (v.isReg()) out.push_back(v.reg);
+}
+
+Function::Function(std::string name, int numParams)
+    : name_(std::move(name)), numParams_(numParams), numRegs_(numParams) {}
+
+int Function::createBlock(std::string label) {
+  const int id = static_cast<int>(blocks_.size());
+  BasicBlock bb;
+  bb.id = id;
+  bb.label = label.empty() ? ("bb" + std::to_string(id)) : std::move(label);
+  blocks_.push_back(std::move(bb));
+  return id;
+}
+
+int Function::addInst(int blockId, Inst inst) {
+  BasicBlock& bb = block(blockId);
+  LEV_CHECK(!bb.hasTerminator(), "appending after terminator in " + bb.label);
+  inst.id = nextInstId_++;
+  inst.block = blockId;
+  bb.insts.push_back(std::move(inst));
+  return bb.insts.back().id;
+}
+
+std::vector<int> Function::successors(int blockId) const {
+  const BasicBlock& bb = block(blockId);
+  std::vector<int> out;
+  if (!bb.hasTerminator()) return out;
+  const Inst& t = bb.insts.back();
+  for (int s : t.succ)
+    if (s >= 0) out.push_back(s);
+  return out;
+}
+
+std::vector<std::vector<int>> Function::predecessors() const {
+  std::vector<std::vector<int>> preds(blocks_.size());
+  for (const BasicBlock& bb : blocks_)
+    for (int s : successors(bb.id))
+      preds[static_cast<std::size_t>(s)].push_back(bb.id);
+  return preds;
+}
+
+void Function::renumber() {
+  int next = 0;
+  for (BasicBlock& bb : blocks_)
+    for (Inst& inst : bb.insts) {
+      inst.id = next++;
+      inst.block = bb.id;
+    }
+  nextInstId_ = next;
+}
+
+void Function::removeUnreachableBlocks() {
+  std::vector<bool> reachable(blocks_.size(), false);
+  std::vector<int> work = {0};
+  reachable[0] = true;
+  while (!work.empty()) {
+    const int b = work.back();
+    work.pop_back();
+    for (int s : successors(b))
+      if (!reachable[static_cast<std::size_t>(s)]) {
+        reachable[static_cast<std::size_t>(s)] = true;
+        work.push_back(s);
+      }
+  }
+
+  std::vector<int> remap(blocks_.size(), -1);
+  std::vector<BasicBlock> kept;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (!reachable[i]) continue;
+    remap[i] = static_cast<int>(kept.size());
+    kept.push_back(std::move(blocks_[i]));
+  }
+  for (BasicBlock& bb : kept) {
+    bb.id = remap[static_cast<std::size_t>(bb.id)];
+    for (Inst& inst : bb.insts)
+      for (int& s : inst.succ)
+        if (s >= 0) s = remap[static_cast<std::size_t>(s)];
+  }
+  blocks_ = std::move(kept);
+  renumber();
+}
+
+Function& Module::addFunction(std::string name, int numParams) {
+  LEV_CHECK(findFunction(name) == nullptr, "duplicate function " + name);
+  funcs_.push_back(std::make_unique<Function>(std::move(name), numParams));
+  return *funcs_.back();
+}
+
+Function* Module::findFunction(const std::string& name) {
+  for (auto& f : funcs_)
+    if (f->name() == name) return f.get();
+  return nullptr;
+}
+
+const Function* Module::findFunction(const std::string& name) const {
+  for (const auto& f : funcs_)
+    if (f->name() == name) return f.get();
+  return nullptr;
+}
+
+Global& Module::addGlobal(std::string name, std::uint64_t size,
+                          std::uint64_t align) {
+  LEV_CHECK(findGlobal(name) == nullptr, "duplicate global " + name);
+  LEV_CHECK(size > 0, "zero-sized global " + name);
+  Global g;
+  g.name = std::move(name);
+  g.size = size;
+  g.align = align;
+  globals_.push_back(std::move(g));
+  return globals_.back();
+}
+
+Global* Module::findGlobal(const std::string& name) {
+  for (auto& g : globals_)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+const Global* Module::findGlobal(const std::string& name) const {
+  for (const auto& g : globals_)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+} // namespace lev::ir

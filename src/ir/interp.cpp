@@ -1,0 +1,168 @@
+#include "ir/interp.hpp"
+
+#include "support/bits.hpp"
+
+namespace lev::ir {
+
+namespace {
+
+std::uint64_t evalBinary(Op op, std::uint64_t a, std::uint64_t b) {
+  const auto sa = static_cast<std::int64_t>(a);
+  const auto sb = static_cast<std::int64_t>(b);
+  switch (op) {
+  case Op::Add: return a + b;
+  case Op::Sub: return a - b;
+  case Op::Mul: return a * b;
+  case Op::DivS:
+    if (sb == 0) return ~0ull;
+    if (sa == INT64_MIN && sb == -1) return a;
+    return static_cast<std::uint64_t>(sa / sb);
+  case Op::DivU: return b == 0 ? ~0ull : a / b;
+  case Op::RemS:
+    if (sb == 0) return a;
+    if (sa == INT64_MIN && sb == -1) return 0;
+    return static_cast<std::uint64_t>(sa % sb);
+  case Op::RemU: return b == 0 ? a : a % b;
+  case Op::And: return a & b;
+  case Op::Or: return a | b;
+  case Op::Xor: return a ^ b;
+  case Op::Shl: return a << (b & 63);
+  case Op::ShrL: return a >> (b & 63);
+  case Op::ShrA: return static_cast<std::uint64_t>(sa >> (b & 63));
+  case Op::CmpEq: return a == b;
+  case Op::CmpNe: return a != b;
+  case Op::CmpLtS: return sa < sb;
+  case Op::CmpLtU: return a < b;
+  case Op::CmpGeS: return sa >= sb;
+  case Op::CmpGeU: return a >= b;
+  default:
+    LEV_UNREACHABLE("not a binary op");
+  }
+}
+
+} // namespace
+
+Interpreter::Interpreter(const Module& mod, std::uint64_t dataBase)
+    : mod_(mod) {
+  std::uint64_t cursor = dataBase;
+  for (const Global& g : mod.globals()) {
+    cursor = alignUp(cursor, g.align == 0 ? 8 : g.align);
+    globalAddr_[g.name] = cursor;
+    for (std::size_t i = 0; i < g.init.size(); ++i)
+      memory_[cursor + i] = g.init[i];
+    cursor += g.size;
+  }
+}
+
+std::uint64_t Interpreter::globalAddress(const std::string& name) const {
+  auto it = globalAddr_.find(name);
+  LEV_CHECK(it != globalAddr_.end(), "unknown global " + name);
+  return it->second;
+}
+
+std::uint64_t Interpreter::readMemory(std::uint64_t addr, int size) const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < size; ++i) {
+    auto it = memory_.find(addr + static_cast<std::uint64_t>(i));
+    const std::uint8_t byte = it == memory_.end() ? 0 : it->second;
+    v |= static_cast<std::uint64_t>(byte) << (8 * i);
+  }
+  return v;
+}
+
+void Interpreter::writeMemory(std::uint64_t addr, std::uint64_t value,
+                              int size) {
+  for (int i = 0; i < size; ++i)
+    memory_[addr + static_cast<std::uint64_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+std::uint64_t Interpreter::evalValue(
+    const Value& v, const std::vector<std::uint64_t>& regs) const {
+  if (v.isImm()) return static_cast<std::uint64_t>(v.imm);
+  LEV_CHECK(v.isReg(), "evaluating empty value");
+  return regs[static_cast<std::size_t>(v.reg)];
+}
+
+std::uint64_t Interpreter::call(const Function& fn,
+                                const std::vector<std::uint64_t>& args,
+                                int depth) {
+  if (depth > 512) throw SimError("interpreter: call depth exceeded");
+  std::vector<std::uint64_t> regs(static_cast<std::size_t>(fn.numRegs()), 0);
+  for (int p = 0; p < fn.numParams(); ++p)
+    regs[static_cast<std::size_t>(p)] = args[static_cast<std::size_t>(p)];
+
+  int block = 0;
+  while (true) {
+    const BasicBlock& bb = fn.block(block);
+    for (const Inst& inst : bb.insts) {
+      if (halted_) return 0;
+      if (++executed_ > budget_)
+        throw SimError("interpreter: instruction budget exceeded");
+      switch (inst.op) {
+      case Op::Mov:
+        regs[static_cast<std::size_t>(inst.dst)] = evalValue(inst.a, regs);
+        break;
+      case Op::Lea:
+        regs[static_cast<std::size_t>(inst.dst)] =
+            globalAddress(inst.callee) + static_cast<std::uint64_t>(inst.off);
+        break;
+      case Op::Load:
+        regs[static_cast<std::size_t>(inst.dst)] = readMemory(
+            evalValue(inst.a, regs) + static_cast<std::uint64_t>(inst.off),
+            inst.size);
+        break;
+      case Op::Store:
+        writeMemory(
+            evalValue(inst.a, regs) + static_cast<std::uint64_t>(inst.off),
+            evalValue(inst.b, regs), inst.size);
+        break;
+      case Op::Flush:
+        // No caches at this level; only the register effect remains.
+        regs[static_cast<std::size_t>(inst.dst)] = 0;
+        break;
+      case Op::Br:
+        block = evalValue(inst.a, regs) != 0 ? inst.succ[0] : inst.succ[1];
+        goto nextBlock;
+      case Op::Jmp:
+        block = inst.succ[0];
+        goto nextBlock;
+      case Op::Call: {
+        const Function* callee = mod_.findFunction(inst.callee);
+        LEV_CHECK(callee != nullptr, "unknown callee " + inst.callee);
+        std::vector<std::uint64_t> argv;
+        argv.reserve(inst.args.size());
+        for (const Value& a : inst.args) argv.push_back(evalValue(a, regs));
+        const std::uint64_t r = call(*callee, argv, depth + 1);
+        if (inst.dst >= 0) regs[static_cast<std::size_t>(inst.dst)] = r;
+        break;
+      }
+      case Op::Ret:
+        return evalValue(inst.a, regs);
+      case Op::Halt:
+        halted_ = true;
+        return 0;
+      default:
+        regs[static_cast<std::size_t>(inst.dst)] = evalBinary(
+            inst.op, evalValue(inst.a, regs), evalValue(inst.b, regs));
+        break;
+      }
+    }
+    throw SimError("interpreter: fell off a block without terminator");
+  nextBlock:;
+  }
+}
+
+std::uint64_t Interpreter::run(std::uint64_t maxInsts) {
+  const Function* main = mod_.findFunction("main");
+  if (main == nullptr) throw SimError("interpreter: no main()");
+  budget_ = maxInsts;
+  halted_ = false;
+  executed_ = 0;
+  // main() normally ends in halt; a ret from main is also accepted (it is
+  // what the backend's _start stub turns into a halt).
+  call(*main, {}, 0);
+  return executed_;
+}
+
+} // namespace lev::ir

@@ -1,0 +1,53 @@
+// Direct IR interpreter — the third execution engine.
+//
+// Executes an ir::Module without lowering it, using its own global layout.
+// Together with uarch::FuncSim (machine-level golden model) and
+// uarch::O3Core (timing model) this enables three-way differential
+// testing: IR semantics vs backend lowering vs pipeline, which the fuzzer
+// (tests/fuzz_differential_test.cpp) exercises on random programs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace lev::ir {
+
+/// Interprets a verified module starting at main(). Memory uses the same
+/// deterministic layout rule as the backend (globals packed from
+/// `dataBase` with their alignment), so addresses computed via lea match
+/// the compiled program's addresses.
+class Interpreter {
+public:
+  explicit Interpreter(const Module& mod, std::uint64_t dataBase = 0x100000);
+
+  /// Run main() to halt. Returns the number of IR instructions executed.
+  /// Throws lev::SimError on runaway execution or a missing main.
+  std::uint64_t run(std::uint64_t maxInsts = 100'000'000);
+
+  /// Byte-addressed memory access (after or before run).
+  std::uint64_t readMemory(std::uint64_t addr, int size) const;
+  void writeMemory(std::uint64_t addr, std::uint64_t value, int size);
+
+  /// Address assigned to a global.
+  std::uint64_t globalAddress(const std::string& name) const;
+
+private:
+  std::uint64_t evalValue(const Value& v,
+                          const std::vector<std::uint64_t>& regs) const;
+  /// Execute one function; returns its result value.
+  std::uint64_t call(const Function& fn,
+                     const std::vector<std::uint64_t>& args, int depth);
+
+  const Module& mod_;
+  std::map<std::string, std::uint64_t> globalAddr_;
+  std::map<std::uint64_t, std::uint8_t> memory_;
+  std::uint64_t budget_ = 0;
+  bool halted_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+} // namespace lev::ir

@@ -1,0 +1,218 @@
+// The compiler IR the Levioso pass runs on.
+//
+// A deliberately small, register-based three-address IR:
+//  - virtual registers %v0, %v1, ... (not SSA; multiple defs are allowed,
+//    dataflow analyses use reaching definitions instead of phi nodes),
+//  - basic blocks ending in exactly one terminator,
+//  - byte-addressed memory accessed through typed loads/stores with a
+//    base register + constant offset, so that address dataflow is explicit,
+//  - direct calls with a register-based ABI (lowered by the backend).
+//
+// The Levioso paper's analysis is performed by LLVM on real programs; this IR
+// carries the same information the pass needs (a CFG with explicit branches
+// and register/memory dataflow) without the LLVM dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lev::ir {
+
+/// IR operation kinds. Binary ALU ops take two value operands; memory ops
+/// take a base register plus a constant byte offset.
+enum class Op {
+  // Arithmetic / logic: dst = a <op> b
+  Add, Sub, Mul, DivS, DivU, RemS, RemU,
+  And, Or, Xor, Shl, ShrL, ShrA,
+  // Comparisons producing 0/1: dst = a <cmp> b
+  CmpEq, CmpNe, CmpLtS, CmpLtU, CmpGeS, CmpGeU,
+  // dst = a
+  Mov,
+  // dst = &global + off   (global named by `callee`)
+  Lea,
+  // dst = zero-extended mem[a + off], size bytes (1/2/4/8)
+  Load,
+  // mem[a + off] = b, size bytes
+  Store,
+  // flush the cache line containing a + off; dst = 0 (usable to order
+  // subsequent loads behind the flush)
+  Flush,
+  // if (a != 0) goto succ[0] else succ[1]
+  Br,
+  // goto succ[0]
+  Jmp,
+  // dst = callee(args...)   (dst may be absent)
+  Call,
+  // return a (a may be absent, encoded as immediate 0)
+  Ret,
+  // stop the machine
+  Halt,
+};
+
+/// True for ops that end a basic block.
+bool isTerminator(Op op);
+/// True for ops that define a destination register (Call counts when it has
+/// a result).
+bool producesValue(Op op);
+/// Short mnemonic used by the printer; stable, parseable.
+const char* opName(Op op);
+
+/// An operand: either a virtual register or a 64-bit immediate.
+struct Value {
+  enum class Kind { None, Reg, Imm };
+  Kind kind = Kind::None;
+  int reg = -1;             ///< valid when kind == Reg
+  std::int64_t imm = 0;     ///< valid when kind == Imm
+
+  static Value none() { return {}; }
+  static Value makeReg(int r) {
+    Value v;
+    v.kind = Kind::Reg;
+    v.reg = r;
+    return v;
+  }
+  static Value makeImm(std::int64_t i) {
+    Value v;
+    v.kind = Kind::Imm;
+    v.imm = i;
+    return v;
+  }
+  bool isReg() const { return kind == Kind::Reg; }
+  bool isImm() const { return kind == Kind::Imm; }
+  bool isNone() const { return kind == Kind::None; }
+  bool operator==(const Value&) const = default;
+};
+
+/// One IR instruction. Plain data; owned by its basic block.
+struct Inst {
+  Op op = Op::Halt;
+  int id = -1;            ///< unique within the function, assigned by Function
+  int block = -1;         ///< owning block id
+  int dst = -1;           ///< destination virtual register, -1 if none
+  Value a;                ///< first operand (base register for memory ops)
+  Value b;                ///< second operand (store data for Store)
+  std::int64_t off = 0;   ///< byte offset for Load/Store
+  int size = 8;           ///< access size in bytes for Load/Store
+  int succ[2] = {-1, -1}; ///< successor block ids for Br (then/else) and Jmp
+  std::string callee;     ///< for Call; may name a global for address ops
+  std::vector<Value> args; ///< call arguments
+
+  bool isBranch() const { return op == Op::Br; }
+  bool isLoad() const { return op == Op::Load; }
+  bool isStore() const { return op == Op::Store; }
+  bool isCall() const { return op == Op::Call; }
+
+  /// Virtual registers read by this instruction (operands + args).
+  void uses(std::vector<int>& out) const;
+  /// Destination register or -1.
+  int def() const { return dst; }
+};
+
+/// A basic block: straight-line instructions plus one trailing terminator.
+struct BasicBlock {
+  int id = -1;
+  std::string label;
+  std::vector<Inst> insts;
+
+  const Inst& terminator() const {
+    LEV_CHECK(!insts.empty() && isTerminator(insts.back().op),
+              "block has no terminator");
+    return insts.back();
+  }
+  bool hasTerminator() const {
+    return !insts.empty() && isTerminator(insts.back().op);
+  }
+};
+
+/// A function: blocks with stable ids; block 0 is the entry.
+class Function {
+public:
+  Function(std::string name, int numParams);
+
+  const std::string& name() const { return name_; }
+  int numParams() const { return numParams_; }
+  /// Parameter i lives in virtual register i on entry.
+  int paramReg(int i) const {
+    LEV_CHECK(i >= 0 && i < numParams_, "bad param index");
+    return i;
+  }
+
+  int createBlock(std::string label = "");
+  BasicBlock& block(int id) {
+    LEV_CHECK(id >= 0 && id < static_cast<int>(blocks_.size()), "bad block id");
+    return blocks_[static_cast<std::size_t>(id)];
+  }
+  const BasicBlock& block(int id) const {
+    LEV_CHECK(id >= 0 && id < static_cast<int>(blocks_.size()), "bad block id");
+    return blocks_[static_cast<std::size_t>(id)];
+  }
+  int numBlocks() const { return static_cast<int>(blocks_.size()); }
+
+  /// Allocate a fresh virtual register.
+  int newReg() { return numRegs_++; }
+  int numRegs() const { return numRegs_; }
+  /// Bump the register counter to cover register `r` (used by the parser).
+  void noteReg(int r) {
+    if (r >= numRegs_) numRegs_ = r + 1;
+  }
+
+  /// Append an instruction to a block, assigning its id. Returns the id.
+  int addInst(int blockId, Inst inst);
+  int numInsts() const { return nextInstId_; }
+
+  /// Successor block ids of a block (0, 1, or 2 entries).
+  std::vector<int> successors(int blockId) const;
+  /// Predecessors, recomputed on demand.
+  std::vector<std::vector<int>> predecessors() const;
+
+  /// Re-assign dense instruction ids in block/layout order. Call after bulk
+  /// edits; analyses require dense ids.
+  void renumber();
+
+  /// Drop blocks unreachable from the entry and compact block ids
+  /// (used after branch folding). Successor ids are rewritten.
+  void removeUnreachableBlocks();
+
+private:
+  std::string name_;
+  int numParams_ = 0;
+  int numRegs_ = 0;
+  int nextInstId_ = 0;
+  std::vector<BasicBlock> blocks_;
+};
+
+/// A global data object. The backend assigns its address at layout time.
+struct Global {
+  std::string name;
+  std::uint64_t size = 0;
+  std::uint64_t align = 8;
+  std::vector<std::uint8_t> init; ///< may be shorter than size (rest zero)
+};
+
+/// A whole program: functions plus global data. `main` is the entry point.
+class Module {
+public:
+  Function& addFunction(std::string name, int numParams);
+  Function* findFunction(const std::string& name);
+  const Function* findFunction(const std::string& name) const;
+  const std::vector<std::unique_ptr<Function>>& functions() const {
+    return funcs_;
+  }
+
+  Global& addGlobal(std::string name, std::uint64_t size,
+                    std::uint64_t align = 8);
+  Global* findGlobal(const std::string& name);
+  const Global* findGlobal(const std::string& name) const;
+  const std::vector<Global>& globals() const { return globals_; }
+
+private:
+  std::vector<std::unique_ptr<Function>> funcs_;
+  std::vector<Global> globals_;
+};
+
+} // namespace lev::ir

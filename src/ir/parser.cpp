@@ -1,0 +1,285 @@
+#include "ir/parser.hpp"
+
+#include <map>
+#include <optional>
+
+#include "support/strings.hpp"
+
+namespace lev::ir {
+
+namespace {
+
+/// Parses line-oriented IR text. Two passes per function: first collect block
+/// labels (forward branch targets), then parse instructions.
+class Parser {
+public:
+  explicit Parser(std::string_view text) : lines_(split(text, '\n')) {}
+
+  Module run() {
+    Module mod;
+    while (!atEnd()) {
+      std::string_view line = peek();
+      if (line.empty() || line[0] == '#') {
+        ++pos_;
+        continue;
+      }
+      if (startsWith(line, "func "))
+        parseFunction(mod);
+      else if (startsWith(line, "global "))
+        parseGlobal(mod);
+      else
+        fail("expected 'func' or 'global'");
+    }
+    return mod;
+  }
+
+private:
+  bool atEnd() const { return pos_ >= lines_.size(); }
+  std::string_view peek() const { return trim(lines_[pos_]); }
+  int lineNo() const { return static_cast<int>(pos_) + 1; }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(lineNo(), msg);
+  }
+
+  std::int64_t parseIntOrFail(std::string_view s) {
+    std::int64_t v = 0;
+    if (!parseInt(s, v)) fail("bad integer '" + std::string(s) + "'");
+    return v;
+  }
+
+  int parseRegToken(std::string_view tok, Function& fn) {
+    if (!startsWith(tok, "%v")) fail("expected register, got " + std::string(tok));
+    const std::int64_t r = parseIntOrFail(tok.substr(2));
+    fn.noteReg(static_cast<int>(r));
+    return static_cast<int>(r);
+  }
+
+  Value parseValue(std::string_view tok, Function& fn) {
+    tok = trim(tok);
+    if (startsWith(tok, "%v")) return Value::makeReg(parseRegToken(tok, fn));
+    return Value::makeImm(parseIntOrFail(tok));
+  }
+
+  int blockByLabel(const std::string& label) {
+    auto it = blockIds_.find(label);
+    if (it == blockIds_.end()) fail("unknown block label " + label);
+    return it->second;
+  }
+
+  void parseGlobal(Module& mod) {
+    // global @name size N align A
+    auto toks = splitWs(peek());
+    if (toks.size() != 6 || toks[2] != "size" || toks[4] != "align" ||
+        !startsWith(toks[1], "@"))
+      fail("malformed global declaration");
+    const std::string name(toks[1].substr(1));
+    mod.addGlobal(name, static_cast<std::uint64_t>(parseIntOrFail(toks[3])),
+                  static_cast<std::uint64_t>(parseIntOrFail(toks[5])));
+    ++pos_;
+  }
+
+  void parseFunction(Module& mod) {
+    // func @name(%v0, %v1) {
+    std::string_view header = peek();
+    const std::size_t open = header.find('(');
+    const std::size_t close = header.find(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open || header.find('{', close) == std::string_view::npos)
+      fail("malformed function header");
+    std::string_view nameTok = trim(header.substr(5, open - 5));
+    if (!startsWith(nameTok, "@")) fail("function name must start with @");
+    std::string_view paramsText = header.substr(open + 1, close - open - 1);
+    int numParams = 0;
+    if (!trim(paramsText).empty())
+      numParams = static_cast<int>(split(paramsText, ',').size());
+    Function& fn = mod.addFunction(std::string(nameTok.substr(1)), numParams);
+    ++pos_;
+
+    // Pass 1: collect block labels up to the closing brace.
+    blockIds_.clear();
+    const std::size_t bodyStart = pos_;
+    for (std::size_t p = pos_; p < lines_.size(); ++p) {
+      std::string_view line = trim(lines_[p]);
+      if (line == "}") break;
+      if (!line.empty() && line.back() == ':' && line[0] != '#') {
+        std::string label(line.substr(0, line.size() - 1));
+        if (blockIds_.count(label)) fail("duplicate label " + label);
+        blockIds_[label] = fn.createBlock(label);
+      }
+    }
+    if (fn.numBlocks() == 0) fail("function has no blocks");
+
+    // Pass 2: parse instructions.
+    pos_ = bodyStart;
+    int current = -1;
+    while (!atEnd()) {
+      std::string_view line = peek();
+      if (line == "}") {
+        ++pos_;
+        return;
+      }
+      if (line.empty() || line[0] == '#') {
+        ++pos_;
+        continue;
+      }
+      if (line.back() == ':') {
+        current = blockByLabel(std::string(line.substr(0, line.size() - 1)));
+        ++pos_;
+        continue;
+      }
+      if (current < 0) fail("instruction before first label");
+      // parseInst reports errors against the current line; advance after.
+      fn.addInst(current, parseInst(line, fn));
+      ++pos_;
+    }
+    fail("missing closing brace");
+  }
+
+  Inst parseInst(std::string_view line, Function& fn) {
+    Inst inst;
+    // Optional "%vN = " destination prefix.
+    std::string_view rest = line;
+    const std::size_t eq = line.find('=');
+    if (startsWith(trim(line), "%v") && eq != std::string_view::npos) {
+      inst.dst = parseRegToken(trim(line.substr(0, eq)), fn);
+      rest = trim(line.substr(eq + 1));
+    }
+    auto toks = splitWs(rest);
+    if (toks.empty()) fail("empty instruction");
+    const std::string mnemonic(toks[0]);
+
+    auto operandsText = trim(rest.substr(mnemonic.size()));
+    auto commaParts = split(operandsText, ',');
+    for (auto& p : commaParts) p = trim(p);
+
+    auto expectParts = [&](std::size_t n) {
+      if (commaParts.size() != n ||
+          (n > 0 && commaParts[0].empty() && n == 1 && !operandsText.empty()))
+        fail("operand count mismatch for " + mnemonic);
+    };
+
+    // Memory ops: "load.N base + off" / "store.N base + off, data"
+    if (startsWith(mnemonic, "load.") || startsWith(mnemonic, "store.")) {
+      const bool isLoad = startsWith(mnemonic, "load.");
+      inst.op = isLoad ? Op::Load : Op::Store;
+      inst.size = static_cast<int>(
+          parseIntOrFail(std::string_view(mnemonic).substr(isLoad ? 5 : 6)));
+      if (inst.size != 1 && inst.size != 2 && inst.size != 4 && inst.size != 8)
+        fail("bad access size");
+      // First comma part: "base + off".
+      if (commaParts.empty()) fail("missing address");
+      auto plus = commaParts[0].find('+');
+      if (plus == std::string_view::npos) fail("address must be 'base + off'");
+      inst.a = parseValue(commaParts[0].substr(0, plus), fn);
+      inst.off = parseIntOrFail(commaParts[0].substr(plus + 1));
+      if (isLoad) {
+        expectParts(1);
+        if (inst.dst < 0) fail("load needs a destination");
+      } else {
+        expectParts(2);
+        inst.b = parseValue(commaParts[1], fn);
+      }
+      return inst;
+    }
+
+    if (mnemonic == "flush") {
+      // flush base + off
+      inst.op = Op::Flush;
+      if (inst.dst < 0) fail("flush needs a destination");
+      auto plus = operandsText.find('+');
+      if (plus == std::string_view::npos) fail("flush must be 'base + off'");
+      inst.a = parseValue(operandsText.substr(0, plus), fn);
+      inst.off = parseIntOrFail(operandsText.substr(plus + 1));
+      return inst;
+    }
+    if (mnemonic == "lea") {
+      // lea @name + off
+      inst.op = Op::Lea;
+      if (inst.dst < 0) fail("lea needs a destination");
+      auto plus = operandsText.find('+');
+      if (plus == std::string_view::npos) fail("lea must be '@name + off'");
+      auto nameTok = trim(operandsText.substr(0, plus));
+      if (!startsWith(nameTok, "@")) fail("lea target must start with @");
+      inst.callee = std::string(nameTok.substr(1));
+      inst.off = parseIntOrFail(operandsText.substr(plus + 1));
+      return inst;
+    }
+
+    if (mnemonic == "br") {
+      expectParts(3);
+      inst.op = Op::Br;
+      inst.a = parseValue(commaParts[0], fn);
+      inst.succ[0] = blockByLabel(std::string(commaParts[1]));
+      inst.succ[1] = blockByLabel(std::string(commaParts[2]));
+      return inst;
+    }
+    if (mnemonic == "jmp") {
+      expectParts(1);
+      inst.op = Op::Jmp;
+      inst.succ[0] = blockByLabel(std::string(commaParts[0]));
+      return inst;
+    }
+    if (mnemonic == "call") {
+      // call @name(arg, arg)
+      inst.op = Op::Call;
+      auto open = operandsText.find('(');
+      auto close = operandsText.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos)
+        fail("malformed call");
+      auto nameTok = trim(operandsText.substr(0, open));
+      if (!startsWith(nameTok, "@")) fail("callee must start with @");
+      inst.callee = std::string(nameTok.substr(1));
+      auto argsText = trim(operandsText.substr(open + 1, close - open - 1));
+      if (!argsText.empty())
+        for (auto part : split(argsText, ','))
+          inst.args.push_back(parseValue(part, fn));
+      return inst;
+    }
+    if (mnemonic == "ret") {
+      expectParts(1);
+      inst.op = Op::Ret;
+      inst.a = parseValue(commaParts[0], fn);
+      return inst;
+    }
+    if (mnemonic == "halt") {
+      inst.op = Op::Halt;
+      return inst;
+    }
+    if (mnemonic == "mov") {
+      expectParts(1);
+      inst.op = Op::Mov;
+      if (inst.dst < 0) fail("mov needs a destination");
+      inst.a = parseValue(commaParts[0], fn);
+      return inst;
+    }
+
+    // Binary ALU ops.
+    static const std::map<std::string, Op> kBinOps = {
+        {"add", Op::Add},       {"sub", Op::Sub},       {"mul", Op::Mul},
+        {"divs", Op::DivS},     {"divu", Op::DivU},     {"rems", Op::RemS},
+        {"remu", Op::RemU},     {"and", Op::And},       {"or", Op::Or},
+        {"xor", Op::Xor},       {"shl", Op::Shl},       {"shrl", Op::ShrL},
+        {"shra", Op::ShrA},     {"cmpeq", Op::CmpEq},   {"cmpne", Op::CmpNe},
+        {"cmplts", Op::CmpLtS}, {"cmpltu", Op::CmpLtU}, {"cmpges", Op::CmpGeS},
+        {"cmpgeu", Op::CmpGeU},
+    };
+    auto it = kBinOps.find(mnemonic);
+    if (it == kBinOps.end()) fail("unknown mnemonic " + mnemonic);
+    expectParts(2);
+    inst.op = it->second;
+    if (inst.dst < 0) fail(mnemonic + " needs a destination");
+    inst.a = parseValue(commaParts[0], fn);
+    inst.b = parseValue(commaParts[1], fn);
+    return inst;
+  }
+
+  std::vector<std::string_view> lines_;
+  std::size_t pos_ = 0;
+  std::map<std::string, int> blockIds_;
+};
+
+} // namespace
+
+Module parseModule(std::string_view text) { return Parser(text).run(); }
+
+} // namespace lev::ir

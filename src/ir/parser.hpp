@@ -1,0 +1,14 @@
+// Textual IR parser; accepts the printer's output (round-trip guaranteed,
+// tested in tests/ir_roundtrip_test.cpp) plus comments starting with '#'.
+#pragma once
+
+#include <string_view>
+
+#include "ir/ir.hpp"
+
+namespace lev::ir {
+
+/// Parse a module from text. Throws lev::ParseError on malformed input.
+Module parseModule(std::string_view text);
+
+} // namespace lev::ir

@@ -1,0 +1,294 @@
+#include "ir/passes.hpp"
+
+#include <map>
+#include <vector>
+
+namespace lev::ir {
+
+namespace {
+
+/// Constant evaluation of a binary IR op (mirrors isa::evalAlu semantics so
+/// folding never changes program behaviour).
+bool evalConst(Op op, std::int64_t a, std::int64_t b, std::int64_t& out) {
+  const auto ua = static_cast<std::uint64_t>(a);
+  const auto ub = static_cast<std::uint64_t>(b);
+  switch (op) {
+  case Op::Add: out = a + b; return true;
+  case Op::Sub: out = a - b; return true;
+  case Op::Mul: out = static_cast<std::int64_t>(ua * ub); return true;
+  case Op::DivS:
+    if (b == 0) { out = -1; return true; }
+    if (a == INT64_MIN && b == -1) { out = a; return true; }
+    out = a / b;
+    return true;
+  case Op::DivU:
+    out = b == 0 ? -1 : static_cast<std::int64_t>(ua / ub);
+    return true;
+  case Op::RemS:
+    if (b == 0) { out = a; return true; }
+    if (a == INT64_MIN && b == -1) { out = 0; return true; }
+    out = a % b;
+    return true;
+  case Op::RemU:
+    out = b == 0 ? a : static_cast<std::int64_t>(ua % ub);
+    return true;
+  case Op::And: out = a & b; return true;
+  case Op::Or: out = a | b; return true;
+  case Op::Xor: out = a ^ b; return true;
+  case Op::Shl: out = static_cast<std::int64_t>(ua << (ub & 63)); return true;
+  case Op::ShrL: out = static_cast<std::int64_t>(ua >> (ub & 63)); return true;
+  case Op::ShrA: out = a >> (ub & 63); return true;
+  case Op::CmpEq: out = a == b; return true;
+  case Op::CmpNe: out = a != b; return true;
+  case Op::CmpLtS: out = a < b; return true;
+  case Op::CmpLtU: out = ua < ub; return true;
+  case Op::CmpGeS: out = a >= b; return true;
+  case Op::CmpGeU: out = ua >= ub; return true;
+  default:
+    return false;
+  }
+}
+
+bool isPure(const Inst& inst) {
+  switch (inst.op) {
+  case Op::Store:
+  case Op::Flush:
+  case Op::Call:
+  case Op::Br:
+  case Op::Jmp:
+  case Op::Ret:
+  case Op::Halt:
+    return false;
+  default:
+    return true;
+  }
+}
+
+} // namespace
+
+OptStats foldConstants(Function& fn) {
+  OptStats stats;
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    BasicBlock& bb = fn.block(b);
+    // Local constant environment: vreg -> known value, killed on redefines.
+    std::map<int, std::int64_t> env;
+    auto resolve = [&](Value& v) {
+      if (!v.isReg()) return;
+      auto it = env.find(v.reg);
+      if (it != env.end()) v = Value::makeImm(it->second);
+    };
+
+    for (Inst& inst : bb.insts) {
+      resolve(inst.a);
+      resolve(inst.b);
+      for (Value& arg : inst.args) resolve(arg);
+
+      if (inst.op == Op::Mov && inst.a.isImm()) {
+        env[inst.dst] = inst.a.imm;
+        continue;
+      }
+      std::int64_t folded = 0;
+      if (inst.dst >= 0 && inst.a.isImm() && inst.b.isImm() &&
+          evalConst(inst.op, inst.a.imm, inst.b.imm, folded)) {
+        inst.op = Op::Mov;
+        inst.a = Value::makeImm(folded);
+        inst.b = Value::none();
+        env[inst.dst] = folded;
+        ++stats.constantsFolded;
+        continue;
+      }
+      // A branch on a constant condition becomes an unconditional jump.
+      if (inst.op == Op::Br && inst.a.isImm()) {
+        const int target = inst.a.imm != 0 ? inst.succ[0] : inst.succ[1];
+        inst.op = Op::Jmp;
+        inst.a = Value::none();
+        inst.succ[0] = target;
+        inst.succ[1] = -1;
+        ++stats.branchesFolded;
+        continue;
+      }
+      if (inst.dst >= 0) env.erase(inst.dst);
+    }
+  }
+  return stats;
+}
+
+OptStats eliminateDeadCode(Function& fn) {
+  OptStats stats;
+  // Global mark phase: roots are impure instructions; uses propagate
+  // liveness to defs via reaching-definition-free worklist over registers
+  // (conservative: any use anywhere keeps every def of that register).
+  std::vector<bool> regUsed(static_cast<std::size_t>(fn.numRegs()), false);
+  bool changed = true;
+  std::vector<int> uses;
+  // Fixpoint: a register is used if an alive instruction reads it; an
+  // instruction is alive if impure or its dst register is used.
+  while (changed) {
+    changed = false;
+    for (int b = 0; b < fn.numBlocks(); ++b)
+      for (const Inst& inst : fn.block(b).insts) {
+        const bool alive =
+            !isPure(inst) ||
+            (inst.dst >= 0 && regUsed[static_cast<std::size_t>(inst.dst)]);
+        if (!alive) continue;
+        inst.uses(uses);
+        for (int r : uses)
+          if (!regUsed[static_cast<std::size_t>(r)]) {
+            regUsed[static_cast<std::size_t>(r)] = true;
+            changed = true;
+          }
+      }
+  }
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    auto& insts = fn.block(b).insts;
+    const auto before = insts.size();
+    std::erase_if(insts, [&](const Inst& inst) {
+      return isPure(inst) &&
+             (inst.dst < 0 ||
+              !regUsed[static_cast<std::size_t>(inst.dst)]);
+    });
+    stats.instsRemoved += static_cast<int>(before - insts.size());
+  }
+  return stats;
+}
+
+OptStats localValueNumbering(Function& fn) {
+  OptStats stats;
+  // Expressions are keyed by opcode + versioned operands; register versions
+  // bump on every redefinition so stale operands or stale results can never
+  // match.
+  struct Key {
+    Op op;
+    std::int64_t a0, a1, b0, b1; ///< operand encodings (kind, payload)
+    std::int64_t off;
+    int size;
+    std::int64_t memVersion; ///< loads only; -1 otherwise
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Avail {
+    int reg;
+    std::int64_t version; ///< version of `reg` at insertion
+  };
+
+  for (int bidx = 0; bidx < fn.numBlocks(); ++bidx) {
+    BasicBlock& bb = fn.block(bidx);
+    std::map<Key, Avail> available;
+    std::map<int, std::int64_t> regVersion;
+    std::map<int, int> copyOf; // reg -> original reg (both live versions)
+    std::int64_t memVersion = 0;
+    std::int64_t versionClock = 1;
+
+    auto versionOf = [&](int reg) {
+      auto it = regVersion.find(reg);
+      return it == regVersion.end() ? std::int64_t{0} : it->second;
+    };
+    auto killReg = [&](int reg) {
+      regVersion[reg] = versionClock++;
+      copyOf.erase(reg);
+      for (auto it = copyOf.begin(); it != copyOf.end();)
+        it = it->second == reg ? copyOf.erase(it) : std::next(it);
+    };
+    auto encode = [&](const Value& v, std::int64_t& e0, std::int64_t& e1) {
+      if (v.isReg()) {
+        e0 = 1;
+        e1 = (static_cast<std::int64_t>(v.reg) << 32) ^ versionOf(v.reg);
+      } else if (v.isImm()) {
+        e0 = 2;
+        e1 = v.imm;
+      } else {
+        e0 = 0;
+        e1 = 0;
+      }
+    };
+    auto makeKey = [&](const Inst& inst) {
+      Key key{};
+      key.op = inst.op;
+      encode(inst.a, key.a0, key.a1);
+      encode(inst.b, key.b0, key.b1);
+      key.off = inst.off;
+      key.size = inst.size;
+      key.memVersion = inst.op == Op::Load ? memVersion : -1;
+      return key;
+    };
+
+    for (Inst& inst : bb.insts) {
+      // Copy propagation into operands.
+      auto propagate = [&](Value& v) {
+        if (!v.isReg()) return;
+        auto it = copyOf.find(v.reg);
+        if (it != copyOf.end()) {
+          v = Value::makeReg(it->second);
+          ++stats.copiesPropagated;
+        }
+      };
+      propagate(inst.a);
+      propagate(inst.b);
+      for (Value& arg : inst.args) propagate(arg);
+
+      // Lea is excluded only because the key has no slot for the symbol.
+      const bool numberable = inst.dst >= 0 && isPure(inst) &&
+                              inst.op != Op::Mov && inst.op != Op::Lea;
+
+      if (numberable) {
+        const Key key = makeKey(inst);
+        auto it = available.find(key);
+        if (it != available.end() &&
+            versionOf(it->second.reg) == it->second.version) {
+          const int src = it->second.reg;
+          inst.op = Op::Mov;
+          inst.a = Value::makeReg(src);
+          inst.b = Value::none();
+          inst.off = 0;
+          ++stats.valuesNumbered;
+          killReg(inst.dst);
+          copyOf[inst.dst] = src;
+          continue;
+        }
+      }
+
+      if (inst.op == Op::Store || inst.op == Op::Call || inst.op == Op::Flush)
+        ++memVersion;
+
+      if (inst.dst >= 0) {
+        const Key key = makeKey(inst); // operands encoded pre-kill
+        killReg(inst.dst);
+        if (inst.op == Op::Mov && inst.a.isReg() && inst.a.reg != inst.dst)
+          copyOf[inst.dst] = inst.a.reg;
+        if (numberable)
+          available[key] = Avail{inst.dst, versionOf(inst.dst)};
+      }
+    }
+  }
+  return stats;
+}
+
+OptStats optimize(Function& fn) {
+  OptStats total;
+  for (int round = 0; round < 8; ++round) {
+    const OptStats f = foldConstants(fn);
+    const OptStats v = localValueNumbering(fn);
+    const OptStats d = eliminateDeadCode(fn);
+    total.constantsFolded += f.constantsFolded;
+    total.branchesFolded += f.branchesFolded;
+    total.valuesNumbered += v.valuesNumbered;
+    total.copiesPropagated += v.copiesPropagated;
+    total.instsRemoved += d.instsRemoved;
+    if (f.total() + v.total() + d.total() == 0) break;
+  }
+  // Branch folding may orphan blocks; drop them to keep the CFG verifiable.
+  fn.removeUnreachableBlocks();
+  return total;
+}
+
+OptStats optimize(Module& mod) {
+  OptStats total;
+  for (const auto& fn : mod.functions()) {
+    const OptStats s = optimize(*fn);
+    total.constantsFolded += s.constantsFolded;
+    total.instsRemoved += s.instsRemoved;
+    total.branchesFolded += s.branchesFolded;
+  }
+  return total;
+}
+
+} // namespace lev::ir

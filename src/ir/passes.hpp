@@ -1,0 +1,51 @@
+// Classic scalar optimizations over the IR.
+//
+// The workload generators emit straightforward code; these passes give the
+// backend the usual clean-up a production compiler would run before the
+// Levioso analysis (the paper's pass runs inside LLVM's pipeline after
+// -O2). All passes preserve semantics and never remove loads/stores or
+// control flow with side effects.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace lev::ir {
+
+/// Statistics returned by the pass pipeline.
+struct OptStats {
+  int constantsFolded = 0;
+  int instsRemoved = 0;   ///< dead pure instructions eliminated
+  int branchesFolded = 0; ///< constant-condition br -> jmp
+  int valuesNumbered = 0; ///< redundant computations reused (local CSE)
+  int copiesPropagated = 0;
+  std::int64_t total() const {
+    return constantsFolded + instsRemoved + branchesFolded + valuesNumbered +
+           copiesPropagated;
+  }
+};
+
+/// Fold instructions whose operands are constant: binary ALU ops and movs
+/// of immediates become `mov imm`; `br` on a constant condition becomes
+/// `jmp`. Local (per-block) constant propagation feeds the folder.
+OptStats foldConstants(Function& fn);
+
+/// Remove pure instructions whose results are never used (dead code).
+/// Loads are treated as pure reads and may be removed when unused; stores,
+/// calls, flushes and terminators are always kept.
+OptStats eliminateDeadCode(Function& fn);
+
+/// Local value numbering: within each block, replace recomputations of an
+/// already-available pure expression with a copy, and propagate copies
+/// into operands. Loads participate until the next store/call/flush
+/// (memory version tracking); entries die when their source registers are
+/// redefined.
+OptStats localValueNumbering(Function& fn);
+
+/// Run the full pipeline to a fixpoint (bounded): fold, DCE, repeat.
+/// Renumbers the function when done.
+OptStats optimize(Function& fn);
+
+/// Optimize every function of a module.
+OptStats optimize(Module& mod);
+
+} // namespace lev::ir

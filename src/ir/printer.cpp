@@ -1,0 +1,117 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace lev::ir {
+
+namespace {
+
+void printValue(std::ostream& os, const Value& v) {
+  if (v.isReg())
+    os << "%v" << v.reg;
+  else if (v.isImm())
+    os << v.imm;
+  else
+    os << "<none>";
+}
+
+} // namespace
+
+void printInst(std::ostream& os, const Function& fn, const Inst& inst) {
+  auto label = [&](int b) -> const std::string& { return fn.block(b).label; };
+  switch (inst.op) {
+  case Op::Load:
+    os << "%v" << inst.dst << " = load." << inst.size << " ";
+    printValue(os, inst.a);
+    os << " + " << inst.off;
+    return;
+  case Op::Store:
+    os << "store." << inst.size << " ";
+    printValue(os, inst.a);
+    os << " + " << inst.off << ", ";
+    printValue(os, inst.b);
+    return;
+  case Op::Lea:
+    os << "%v" << inst.dst << " = lea @" << inst.callee << " + " << inst.off;
+    return;
+  case Op::Flush:
+    os << "%v" << inst.dst << " = flush ";
+    printValue(os, inst.a);
+    os << " + " << inst.off;
+    return;
+  case Op::Br:
+    os << "br ";
+    printValue(os, inst.a);
+    os << ", " << label(inst.succ[0]) << ", " << label(inst.succ[1]);
+    return;
+  case Op::Jmp:
+    os << "jmp " << label(inst.succ[0]);
+    return;
+  case Op::Call:
+    if (inst.dst >= 0) os << "%v" << inst.dst << " = ";
+    os << "call @" << inst.callee << "(";
+    for (std::size_t i = 0; i < inst.args.size(); ++i) {
+      if (i) os << ", ";
+      printValue(os, inst.args[i]);
+    }
+    os << ")";
+    return;
+  case Op::Ret:
+    os << "ret ";
+    printValue(os, inst.a);
+    return;
+  case Op::Halt:
+    os << "halt";
+    return;
+  case Op::Mov:
+    os << "%v" << inst.dst << " = mov ";
+    printValue(os, inst.a);
+    return;
+  default:
+    os << "%v" << inst.dst << " = " << opName(inst.op) << " ";
+    printValue(os, inst.a);
+    os << ", ";
+    printValue(os, inst.b);
+    return;
+  }
+}
+
+void printFunction(std::ostream& os, const Function& fn) {
+  os << "func @" << fn.name() << "(";
+  for (int i = 0; i < fn.numParams(); ++i) {
+    if (i) os << ", ";
+    os << "%v" << i;
+  }
+  os << ") {\n";
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    const BasicBlock& bb = fn.block(b);
+    os << bb.label << ":\n";
+    for (const Inst& inst : bb.insts) {
+      os << "  ";
+      printInst(os, fn, inst);
+      os << "\n";
+    }
+  }
+  os << "}\n";
+}
+
+void printModule(std::ostream& os, const Module& mod) {
+  bool first = true;
+  for (const auto& fn : mod.functions()) {
+    if (!first) os << "\n";
+    first = false;
+    printFunction(os, *fn);
+  }
+  for (const Global& g : mod.globals()) {
+    os << "global @" << g.name << " size " << g.size << " align " << g.align
+       << "\n";
+  }
+}
+
+std::string toString(const Module& mod) {
+  std::ostringstream ss;
+  printModule(ss, mod);
+  return ss.str();
+}
+
+} // namespace lev::ir

@@ -1,0 +1,23 @@
+// Textual IR emission; round-trips with parser.hpp.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace lev::ir {
+
+/// Print one instruction (no trailing newline).
+void printInst(std::ostream& os, const Function& fn, const Inst& inst);
+
+/// Print a whole function.
+void printFunction(std::ostream& os, const Function& fn);
+
+/// Print a whole module (functions then globals).
+void printModule(std::ostream& os, const Module& mod);
+
+/// Convenience: module as a string.
+std::string toString(const Module& mod);
+
+} // namespace lev::ir

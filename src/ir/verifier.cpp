@@ -1,0 +1,107 @@
+#include "ir/verifier.hpp"
+
+#include <vector>
+
+namespace lev::ir {
+
+namespace {
+
+[[noreturn]] void fail(const Function& fn, const std::string& msg) {
+  throw VerifyError("in @" + fn.name() + ": " + msg);
+}
+
+void verifyValue(const Function& fn, const Value& v) {
+  if (v.isReg() && (v.reg < 0 || v.reg >= fn.numRegs()))
+    fail(fn, "register out of range: %v" + std::to_string(v.reg));
+}
+
+void verifyFunction(const Module& mod, const Function& fn) {
+  if (fn.numBlocks() == 0) fail(fn, "no blocks");
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    const BasicBlock& bb = fn.block(b);
+    if (bb.insts.empty()) fail(fn, "empty block " + bb.label);
+    if (!isTerminator(bb.insts.back().op))
+      fail(fn, "block " + bb.label + " does not end in a terminator");
+    for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+      const Inst& inst = bb.insts[i];
+      if (isTerminator(inst.op) && i + 1 != bb.insts.size())
+        fail(fn, "terminator in the middle of block " + bb.label);
+      verifyValue(fn, inst.a);
+      verifyValue(fn, inst.b);
+      for (const Value& arg : inst.args) verifyValue(fn, arg);
+      if (inst.dst >= fn.numRegs())
+        fail(fn, "def register out of range: %v" + std::to_string(inst.dst));
+
+      switch (inst.op) {
+      case Op::Load:
+        if (inst.dst < 0) fail(fn, "load without destination");
+        [[fallthrough]];
+      case Op::Store:
+        if (inst.size != 1 && inst.size != 2 && inst.size != 4 &&
+            inst.size != 8)
+          fail(fn, "bad memory access size " + std::to_string(inst.size));
+        if (inst.a.isNone()) fail(fn, "memory op without base");
+        if (inst.op == Op::Store && inst.b.isNone())
+          fail(fn, "store without data operand");
+        break;
+      case Op::Br:
+        if (inst.succ[0] < 0 || inst.succ[0] >= fn.numBlocks() ||
+            inst.succ[1] < 0 || inst.succ[1] >= fn.numBlocks())
+          fail(fn, "br with invalid successor");
+        if (inst.a.isNone()) fail(fn, "br without condition");
+        break;
+      case Op::Jmp:
+        if (inst.succ[0] < 0 || inst.succ[0] >= fn.numBlocks())
+          fail(fn, "jmp with invalid successor");
+        break;
+      case Op::Call: {
+        const Function* callee = mod.findFunction(inst.callee);
+        if (callee == nullptr) fail(fn, "unknown callee @" + inst.callee);
+        if (static_cast<int>(inst.args.size()) != callee->numParams())
+          fail(fn, "call to @" + inst.callee + " with " +
+                       std::to_string(inst.args.size()) + " args, expected " +
+                       std::to_string(callee->numParams()));
+        break;
+      }
+      case Op::Lea:
+        if (mod.findGlobal(inst.callee) == nullptr)
+          fail(fn, "lea of unknown global @" + inst.callee);
+        if (inst.dst < 0) fail(fn, "lea without destination");
+        break;
+      case Op::Flush:
+        if (inst.a.isNone()) fail(fn, "flush without base");
+        if (inst.dst < 0) fail(fn, "flush without destination");
+        break;
+      default:
+        if (producesValue(inst.op) && inst.dst < 0)
+          fail(fn, std::string(opName(inst.op)) + " without destination");
+        break;
+      }
+    }
+  }
+
+  // Reachability from the entry block.
+  std::vector<bool> seen(static_cast<std::size_t>(fn.numBlocks()), false);
+  std::vector<int> work = {0};
+  seen[0] = true;
+  while (!work.empty()) {
+    const int b = work.back();
+    work.pop_back();
+    for (int s : fn.successors(b))
+      if (!seen[static_cast<std::size_t>(s)]) {
+        seen[static_cast<std::size_t>(s)] = true;
+        work.push_back(s);
+      }
+  }
+  for (int b = 0; b < fn.numBlocks(); ++b)
+    if (!seen[static_cast<std::size_t>(b)])
+      fail(fn, "unreachable block " + fn.block(b).label);
+}
+
+} // namespace
+
+void verify(const Module& mod) {
+  for (const auto& fn : mod.functions()) verifyFunction(mod, *fn);
+}
+
+} // namespace lev::ir

@@ -1,0 +1,18 @@
+// Structural IR validation. Run before analyses and before lowering.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace lev::ir {
+
+/// Check structural invariants of a module; throws lev::VerifyError with a
+/// diagnostic on the first violation:
+///  - every block ends with exactly one terminator and has no interior ones,
+///  - branch/jump successors are valid block ids,
+///  - registers referenced are within the function's register count,
+///  - loads/stores have legal sizes and destinations where required,
+///  - callees and lea targets resolve within the module,
+///  - every block is reachable from the entry.
+void verify(const Module& mod);
+
+} // namespace lev::ir

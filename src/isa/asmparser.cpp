@@ -1,0 +1,402 @@
+#include "isa/asmparser.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/bits.hpp"
+#include "support/strings.hpp"
+
+namespace lev::isa {
+
+namespace {
+
+constexpr std::uint64_t kDataBase = 0x100000;
+
+struct PendingHint {
+  std::vector<std::string> labels;
+  bool overflow = false;
+  bool present = false;
+};
+
+class Assembler {
+public:
+  explicit Assembler(std::string_view src) : lines_(split(src, '\n')) {}
+
+  Program run() {
+    collectSymbols();
+    emit();
+    return std::move(prog_);
+  }
+
+private:
+  [[noreturn]] void fail(std::size_t lineIdx, const std::string& msg) const {
+    throw ParseError(static_cast<int>(lineIdx) + 1, msg);
+  }
+
+  static std::string_view stripComment(std::string_view line) {
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    return trim(line);
+  }
+
+  bool isDirective(std::string_view line) const {
+    return !line.empty() && (line[0] == '.' || line[0] == '!');
+  }
+
+  // ---- pass 1: labels, data objects, instruction PCs -------------------
+  void collectSymbols() {
+    std::uint64_t dataCursor = kDataBase;
+    std::uint64_t pc = prog_.textBase;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      std::string_view line = stripComment(lines_[i]);
+      if (line.empty()) continue;
+      if (line.back() == ':') {
+        const std::string label(trim(line.substr(0, line.size() - 1)));
+        if (label.empty() || labels_.count(label))
+          fail(i, "bad or duplicate label");
+        labels_[label] = pc;
+        continue;
+      }
+      if (startsWith(line, ".space")) {
+        auto toks = splitWs(line);
+        if (toks.size() != 3 && toks.size() != 4) fail(i, "bad .space");
+        const std::string name(toks[1]);
+        std::int64_t size = 0, align = 8;
+        if (!parseInt(toks[2], size) || size <= 0) fail(i, "bad size");
+        if (toks.size() == 4 && (!parseInt(toks[3], align) || align <= 0 ||
+                                 !isPow2(static_cast<std::uint64_t>(align))))
+          fail(i, "bad align");
+        dataCursor = alignUp(dataCursor, static_cast<std::uint64_t>(align));
+        if (prog_.symbols.count(name)) fail(i, "duplicate symbol " + name);
+        prog_.symbols[name] = dataCursor;
+        DataSegment seg;
+        seg.addr = dataCursor;
+        seg.bytes.assign(static_cast<std::size_t>(size), 0);
+        segIndex_[name] = prog_.data.size();
+        prog_.data.push_back(std::move(seg));
+        dataCursor += static_cast<std::uint64_t>(size);
+        continue;
+      }
+      if (isDirective(line)) continue; // handled in pass 2
+      pc += kInstBytes; // an instruction (pseudo ops expand 1:1)
+    }
+  }
+
+  // ---- pass 2: encode ---------------------------------------------------
+  void emit() {
+    std::uint64_t pc = prog_.textBase;
+    PendingHint pending;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      std::string_view line = stripComment(lines_[i]);
+      if (line.empty() || line.back() == ':' || startsWith(line, ".space"))
+        continue;
+
+      if (startsWith(line, ".entry")) {
+        auto toks = splitWs(line);
+        if (toks.size() != 2) fail(i, "bad .entry");
+        entryLabel_ = std::string(toks[1]);
+        continue;
+      }
+      if (startsWith(line, ".bytes")) {
+        auto toks = splitWs(line);
+        if (toks.size() != 4) fail(i, "bad .bytes");
+        auto segIt = segIndex_.find(std::string(toks[1]));
+        if (segIt == segIndex_.end()) fail(i, "unknown object");
+        std::int64_t off = 0;
+        if (!parseInt(toks[2], off) || off < 0) fail(i, "bad offset");
+        auto& bytes = prog_.data[segIt->second].bytes;
+        std::string_view hex = toks[3];
+        if (hex.size() % 2 != 0) fail(i, "odd hex string");
+        for (std::size_t h = 0; h < hex.size(); h += 2) {
+          auto nibble = [&](char c) -> int {
+            if (c >= '0' && c <= '9') return c - '0';
+            if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+            if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+            fail(i, "bad hex digit");
+          };
+          const std::size_t idx = static_cast<std::size_t>(off) + h / 2;
+          if (idx >= bytes.size()) fail(i, ".bytes out of range");
+          bytes[idx] = static_cast<std::uint8_t>(nibble(hex[h]) * 16 +
+                                                 nibble(hex[h + 1]));
+        }
+        continue;
+      }
+      if (startsWith(line, "!depall")) {
+        pending.present = true;
+        pending.overflow = true;
+        continue;
+      }
+      if (startsWith(line, "!deps")) {
+        pending.present = true;
+        pending.overflow = false;
+        pending.labels.clear();
+        for (auto part : split(line.substr(5), ',')) {
+          auto lbl = trim(part);
+          if (lbl.empty()) fail(i, "empty label in !deps");
+          pending.labels.emplace_back(lbl);
+        }
+        continue;
+      }
+      if (isDirective(line)) fail(i, "unknown directive");
+
+      prog_.text.push_back(parseInst(i, line, pc));
+      Hint hint;
+      if (pending.present) {
+        hint.overflow = pending.overflow;
+        for (const std::string& lbl : pending.labels) {
+          auto it = labels_.find(lbl);
+          if (it == labels_.end()) fail(i, "unknown label in !deps: " + lbl);
+          hint.dependeePcs.push_back(it->second);
+        }
+        std::sort(hint.dependeePcs.begin(), hint.dependeePcs.end());
+        pending = PendingHint{};
+      }
+      prog_.hints.push_back(std::move(hint));
+      pc += kInstBytes;
+    }
+
+    if (!entryLabel_.empty()) {
+      auto it = labels_.find(entryLabel_);
+      LEV_CHECK(it != labels_.end(), "unknown entry label " + entryLabel_);
+      prog_.entry = it->second;
+    } else {
+      prog_.entry = prog_.textBase;
+    }
+    // One function range covering everything: hand-written assembly has no
+    // function structure, so cross-function conservatism never triggers.
+    prog_.funcs.push_back({"asm", prog_.textBase, prog_.textEnd()});
+    for (const auto& [name, addr] : labels_) prog_.symbols[name] = addr;
+  }
+
+  int parseReg(std::size_t i, std::string_view tok) {
+    tok = trim(tok);
+    if (tok.size() < 2 || tok[0] != 'x') fail(i, "bad register " + std::string(tok));
+    std::int64_t n = 0;
+    if (!parseInt(tok.substr(1), n) || n < 0 || n >= kNumRegs)
+      fail(i, "bad register " + std::string(tok));
+    return static_cast<int>(n);
+  }
+
+  std::int64_t parseImm(std::size_t i, std::string_view tok) {
+    std::int64_t v = 0;
+    if (!parseInt(tok, v)) fail(i, "bad immediate " + std::string(tok));
+    return v;
+  }
+
+  std::uint64_t resolveTarget(std::size_t i, std::string_view tok) {
+    auto it = labels_.find(std::string(trim(tok)));
+    if (it == labels_.end()) fail(i, "unknown label " + std::string(tok));
+    return it->second;
+  }
+
+  /// "sym", "sym+off" or "sym-off" -> absolute address.
+  std::int64_t resolveSymbolExpr(std::size_t i, std::string_view tok) {
+    tok = trim(tok);
+    std::size_t cut = tok.find_first_of("+-", 1);
+    std::int64_t off = 0;
+    std::string name(tok);
+    if (cut != std::string_view::npos) {
+      name = std::string(trim(tok.substr(0, cut)));
+      off = parseImm(i, tok.substr(cut + 1));
+      if (tok[cut] == '-') off = -off;
+    }
+    auto sym = prog_.symbols.find(name);
+    if (sym != prog_.symbols.end())
+      return static_cast<std::int64_t>(sym->second) + off;
+    auto lbl = labels_.find(name);
+    if (lbl != labels_.end()) return static_cast<std::int64_t>(lbl->second) + off;
+    fail(i, "unknown symbol " + name);
+  }
+
+  Inst parseInst(std::size_t i, std::string_view line, std::uint64_t pc) {
+    auto sp = line.find_first_of(" \t");
+    const std::string mnem(line.substr(0, sp));
+    std::string_view rest =
+        sp == std::string_view::npos ? std::string_view{} : trim(line.substr(sp));
+    auto ops = split(rest, ',');
+    for (auto& o : ops) o = trim(o);
+    if (ops.size() == 1 && ops[0].empty()) ops.clear();
+    auto expect = [&](std::size_t n) {
+      if (ops.size() != n)
+        fail(i, mnem + ": expected " + std::to_string(n) + " operands");
+    };
+
+    static const std::map<std::string, Opc> kRRR = {
+        {"add", Opc::ADD},   {"sub", Opc::SUB},   {"mul", Opc::MUL},
+        {"divs", Opc::DIVS}, {"divu", Opc::DIVU}, {"rems", Opc::REMS},
+        {"remu", Opc::REMU}, {"and", Opc::AND},   {"or", Opc::OR},
+        {"xor", Opc::XOR},   {"sll", Opc::SLL},   {"srl", Opc::SRL},
+        {"sra", Opc::SRA},   {"slt", Opc::SLT},   {"sltu", Opc::SLTU},
+        {"seq", Opc::SEQ},   {"sne", Opc::SNE},   {"sge", Opc::SGE},
+        {"sgeu", Opc::SGEU},
+    };
+    static const std::map<std::string, Opc> kRRI = {
+        {"addi", Opc::ADDI}, {"andi", Opc::ANDI},   {"ori", Opc::ORI},
+        {"xori", Opc::XORI}, {"slli", Opc::SLLI},   {"srli", Opc::SRLI},
+        {"srai", Opc::SRAI}, {"slti", Opc::SLTI},   {"sltui", Opc::SLTUI},
+        {"jalr", Opc::JALR},
+    };
+    static const std::map<std::string, Opc> kLoads = {
+        {"ld1", Opc::LD1}, {"ld2", Opc::LD2}, {"ld4", Opc::LD4},
+        {"ld8", Opc::LD8}};
+    static const std::map<std::string, Opc> kStores = {
+        {"st1", Opc::ST1}, {"st2", Opc::ST2}, {"st4", Opc::ST4},
+        {"st8", Opc::ST8}};
+    static const std::map<std::string, Opc> kBranches = {
+        {"beq", Opc::BEQ},   {"bne", Opc::BNE},   {"blt", Opc::BLT},
+        {"bge", Opc::BGE},   {"bltu", Opc::BLTU}, {"bgeu", Opc::BGEU}};
+
+    Inst inst;
+    if (auto it = kRRR.find(mnem); it != kRRR.end()) {
+      expect(3);
+      inst.op = it->second;
+      inst.rd = static_cast<std::uint8_t>(parseReg(i, ops[0]));
+      inst.rs1 = static_cast<std::uint8_t>(parseReg(i, ops[1]));
+      inst.rs2 = static_cast<std::uint8_t>(parseReg(i, ops[2]));
+      return inst;
+    }
+    if (auto it = kRRI.find(mnem); it != kRRI.end()) {
+      expect(3);
+      inst.op = it->second;
+      inst.rd = static_cast<std::uint8_t>(parseReg(i, ops[0]));
+      inst.rs1 = static_cast<std::uint8_t>(parseReg(i, ops[1]));
+      inst.imm = parseImm(i, ops[2]);
+      return inst;
+    }
+    if (auto it = kLoads.find(mnem); it != kLoads.end()) {
+      expect(2);
+      inst.op = it->second;
+      inst.rd = static_cast<std::uint8_t>(parseReg(i, ops[0]));
+      parseAddr(i, ops[1], inst);
+      return inst;
+    }
+    if (mnem == "flush") {
+      expect(2);
+      inst.op = Opc::FLUSH;
+      inst.rd = static_cast<std::uint8_t>(parseReg(i, ops[0]));
+      parseAddr(i, ops[1], inst);
+      return inst;
+    }
+    if (auto it = kStores.find(mnem); it != kStores.end()) {
+      expect(2);
+      inst.op = it->second;
+      inst.rs2 = static_cast<std::uint8_t>(parseReg(i, ops[0]));
+      parseAddr(i, ops[1], inst);
+      return inst;
+    }
+    if (auto it = kBranches.find(mnem); it != kBranches.end()) {
+      expect(3);
+      inst.op = it->second;
+      inst.rs1 = static_cast<std::uint8_t>(parseReg(i, ops[0]));
+      inst.rs2 = static_cast<std::uint8_t>(parseReg(i, ops[1]));
+      inst.imm = static_cast<std::int64_t>(resolveTarget(i, ops[2])) -
+                 static_cast<std::int64_t>(pc);
+      return inst;
+    }
+    if (mnem == "jal") {
+      expect(2);
+      inst.op = Opc::JAL;
+      inst.rd = static_cast<std::uint8_t>(parseReg(i, ops[0]));
+      inst.imm = static_cast<std::int64_t>(resolveTarget(i, ops[1])) -
+                 static_cast<std::int64_t>(pc);
+      return inst;
+    }
+    if (mnem == "rdcyc") {
+      // rdcyc rd [, rs1] — rs1 is an ordering dependency only.
+      if (ops.size() != 1 && ops.size() != 2)
+        fail(i, "rdcyc: expected 1 or 2 operands");
+      inst.op = Opc::RDCYC;
+      inst.rd = static_cast<std::uint8_t>(parseReg(i, ops[0]));
+      if (ops.size() == 2)
+        inst.rs1 = static_cast<std::uint8_t>(parseReg(i, ops[1]));
+      return inst;
+    }
+    if (mnem == "halt") {
+      expect(0);
+      inst.op = Opc::HALT;
+      return inst;
+    }
+    if (mnem == "nop") {
+      expect(0);
+      inst.op = Opc::NOP;
+      return inst;
+    }
+
+    // Pseudo-instructions.
+    if (mnem == "li") {
+      expect(2);
+      inst.op = Opc::ADDI;
+      inst.rd = static_cast<std::uint8_t>(parseReg(i, ops[0]));
+      inst.rs1 = kRegZero;
+      inst.imm = parseImm(i, ops[1]);
+      return inst;
+    }
+    if (mnem == "la") {
+      expect(2);
+      inst.op = Opc::ADDI;
+      inst.rd = static_cast<std::uint8_t>(parseReg(i, ops[0]));
+      inst.rs1 = kRegZero;
+      inst.imm = resolveSymbolExpr(i, ops[1]);
+      return inst;
+    }
+    if (mnem == "mv") {
+      expect(2);
+      inst.op = Opc::ADDI;
+      inst.rd = static_cast<std::uint8_t>(parseReg(i, ops[0]));
+      inst.rs1 = static_cast<std::uint8_t>(parseReg(i, ops[1]));
+      return inst;
+    }
+    if (mnem == "j") {
+      expect(1);
+      inst.op = Opc::JAL;
+      inst.rd = kRegZero;
+      inst.imm = static_cast<std::int64_t>(resolveTarget(i, ops[0])) -
+                 static_cast<std::int64_t>(pc);
+      return inst;
+    }
+    if (mnem == "call") {
+      expect(1);
+      inst.op = Opc::JAL;
+      inst.rd = kRegRa;
+      inst.imm = static_cast<std::int64_t>(resolveTarget(i, ops[0])) -
+                 static_cast<std::int64_t>(pc);
+      return inst;
+    }
+    if (mnem == "ret") {
+      expect(0);
+      inst.op = Opc::JALR;
+      inst.rd = kRegZero;
+      inst.rs1 = kRegRa;
+      return inst;
+    }
+    fail(i, "unknown mnemonic " + mnem);
+  }
+
+  /// "off(xN)" or "sym+off(xN)"-style address operand.
+  void parseAddr(std::size_t i, std::string_view tok, Inst& inst) {
+    auto open = tok.find('(');
+    auto close = tok.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open)
+      fail(i, "address must be off(reg)");
+    auto offTok = trim(tok.substr(0, open));
+    std::int64_t off = 0;
+    if (!offTok.empty() && !parseInt(offTok, off))
+      off = resolveSymbolExpr(i, offTok);
+    inst.imm = off;
+    inst.rs1 =
+        static_cast<std::uint8_t>(parseReg(i, tok.substr(open + 1, close - open - 1)));
+  }
+
+  std::vector<std::string_view> lines_;
+  Program prog_;
+  std::map<std::string, std::uint64_t> labels_;
+  std::map<std::string, std::size_t> segIndex_;
+  std::string entryLabel_;
+};
+
+} // namespace
+
+Program assemble(std::string_view source) { return Assembler(source).run(); }
+
+} // namespace lev::isa

@@ -1,0 +1,40 @@
+// Textual assembler for the machine ISA.
+//
+// Used by the µarch unit tests and the hand-written attack gadgets; compiled
+// workloads normally arrive through the backend instead. Syntax summary:
+//
+//   # comment
+//   .entry main                 ; entry label (default: first instruction)
+//   .space buf 4096 64          ; reserve a data object (name size [align])
+//   .bytes secret 0 4c455600    ; initialize bytes (name offset hexstring)
+//
+//   main:
+//     li   x5, 42               ; pseudo -> addi x5, x0, 42
+//     la   x6, buf+8            ; pseudo -> addi x6, x0, <addr>
+//     mv   x7, x5               ; pseudo -> addi x7, x5, 0
+//     ld8  x8, 16(x6)
+//     st8  x8, 0(x6)
+//     beq  x8, x0, done
+//     j    done                 ; pseudo -> jal x0, done
+//     call fn                   ; pseudo -> jal x1, fn
+//     ret                       ; pseudo -> jalr x0, x1, 0
+//   done:
+//     halt
+//
+// Levioso hint directives (apply to the NEXT instruction):
+//   !deps lbl1, lbl2   ; truly depends on the branches at these labels
+//   !depall            ; conservative overflow hint
+// Instructions without a directive get an empty hint (never restricted),
+// which makes hand-written gadget behaviour fully explicit in the tests.
+#pragma once
+
+#include <string_view>
+
+#include "isa/program.hpp"
+
+namespace lev::isa {
+
+/// Assemble a program. Throws lev::ParseError with a line number on error.
+Program assemble(std::string_view source);
+
+} // namespace lev::isa

@@ -1,0 +1,53 @@
+#include "isa/disasm.hpp"
+
+#include <sstream>
+
+namespace lev::isa {
+
+std::string disasm(const Inst& inst, std::uint64_t pc) {
+  std::ostringstream ss;
+  auto r = [](int reg) { return "x" + std::to_string(reg); };
+  ss << opcName(inst.op);
+  const Opc op = inst.op;
+  if (op >= Opc::ADD && op <= Opc::SGEU)
+    ss << " " << r(inst.rd) << ", " << r(inst.rs1) << ", " << r(inst.rs2);
+  else if ((op >= Opc::ADDI && op <= Opc::SLTUI) || op == Opc::JALR)
+    ss << " " << r(inst.rd) << ", " << r(inst.rs1) << ", " << inst.imm;
+  else if (isLoad(op) || op == Opc::FLUSH)
+    ss << " " << r(inst.rd) << ", " << inst.imm << "(" << r(inst.rs1) << ")";
+  else if (isStore(op))
+    ss << " " << r(inst.rs2) << ", " << inst.imm << "(" << r(inst.rs1) << ")";
+  else if (isCondBranch(op))
+    ss << " " << r(inst.rs1) << ", " << r(inst.rs2) << ", 0x" << std::hex
+       << pc + static_cast<std::uint64_t>(inst.imm);
+  else if (op == Opc::JAL)
+    ss << " " << r(inst.rd) << ", 0x" << std::hex
+       << pc + static_cast<std::uint64_t>(inst.imm);
+  else if (op == Opc::RDCYC)
+    ss << " " << r(inst.rd);
+  return ss.str();
+}
+
+std::string disasm(const Program& prog) {
+  std::ostringstream ss;
+  std::uint64_t pc = prog.textBase;
+  for (std::size_t i = 0; i < prog.text.size(); ++i, pc += kInstBytes) {
+    ss << std::hex << "0x" << pc << std::dec << ":  "
+       << disasm(prog.text[i], pc);
+    if (i < prog.hints.size()) {
+      const Hint& h = prog.hints[i];
+      if (h.overflow) {
+        ss << "   !depall";
+      } else if (!h.dependeePcs.empty()) {
+        ss << "   !deps";
+        for (std::size_t d = 0; d < h.dependeePcs.size(); ++d)
+          ss << (d ? "," : " ") << std::hex << "0x" << h.dependeePcs[d]
+             << std::dec;
+      }
+    }
+    ss << '\n';
+  }
+  return ss.str();
+}
+
+} // namespace lev::isa

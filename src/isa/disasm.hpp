@@ -1,0 +1,17 @@
+// Disassembler, for diagnostics and round-trip tests.
+#pragma once
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace lev::isa {
+
+/// Render one instruction at a given PC (PC is needed to print absolute
+/// branch targets).
+std::string disasm(const Inst& inst, std::uint64_t pc);
+
+/// Render a whole program listing with PCs and hints.
+std::string disasm(const Program& prog);
+
+} // namespace lev::isa

@@ -1,0 +1,41 @@
+#include "isa/encoding.hpp"
+
+#include <limits>
+
+#include "support/bits.hpp"
+#include "support/error.hpp"
+
+namespace lev::isa {
+
+std::uint64_t encode(const Inst& inst) {
+  LEV_CHECK(inst.rd < kNumRegs && inst.rs1 < kNumRegs && inst.rs2 < kNumRegs,
+            "register out of range");
+  LEV_CHECK(inst.imm >= std::numeric_limits<std::int32_t>::min() &&
+                inst.imm <= std::numeric_limits<std::int32_t>::max(),
+            "immediate does not fit in 32 bits");
+  std::uint64_t w = 0;
+  w = setBitField(w, 0, 8, static_cast<std::uint64_t>(inst.op));
+  w = setBitField(w, 8, 6, inst.rd);
+  w = setBitField(w, 14, 6, inst.rs1);
+  w = setBitField(w, 20, 6, inst.rs2);
+  w = setBitField(w, 32, 32,
+                  static_cast<std::uint32_t>(static_cast<std::int32_t>(inst.imm)));
+  return w;
+}
+
+std::optional<Inst> decode(std::uint64_t word) {
+  const auto opByte = bitField(word, 0, 8);
+  if (opByte >= static_cast<std::uint64_t>(kNumOpcodes)) return std::nullopt;
+  if (bitField(word, 26, 6) != 0) return std::nullopt; // reserved bits
+  Inst inst;
+  inst.op = static_cast<Opc>(opByte);
+  inst.rd = static_cast<std::uint8_t>(bitField(word, 8, 6));
+  inst.rs1 = static_cast<std::uint8_t>(bitField(word, 14, 6));
+  inst.rs2 = static_cast<std::uint8_t>(bitField(word, 20, 6));
+  if (inst.rd >= kNumRegs || inst.rs1 >= kNumRegs || inst.rs2 >= kNumRegs)
+    return std::nullopt;
+  inst.imm = signExtend(bitField(word, 32, 32), 32);
+  return inst;
+}
+
+} // namespace lev::isa

@@ -1,0 +1,32 @@
+// Binary encoding of the 64-bit instruction word.
+//
+// Layout (LSB first):
+//   [ 7: 0] opcode
+//   [13: 8] rd
+//   [19:14] rs1
+//   [25:20] rs2
+//   [31:26] reserved (zero)
+//   [63:32] imm (signed 32-bit)
+//
+// Levioso's dependency annotations travel in a sideband section of the
+// program image (see program.hpp), mirroring how a real implementation would
+// use a hint-prefix or a dedicated metadata segment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/isa.hpp"
+
+namespace lev::isa {
+
+/// Encode an instruction; throws lev::Error when a field does not fit
+/// (immediate outside int32, register out of range, ...).
+std::uint64_t encode(const Inst& inst);
+
+/// Decode an instruction word; std::nullopt for malformed words (unknown
+/// opcode or non-zero reserved bits). The pipeline turns fetches of
+/// malformed words (wrong-path fetch into data) into inert HALTs.
+std::optional<Inst> decode(std::uint64_t word);
+
+} // namespace lev::isa

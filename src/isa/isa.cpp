@@ -1,0 +1,193 @@
+#include "isa/isa.hpp"
+
+#include "support/error.hpp"
+
+namespace lev::isa {
+
+bool isLoad(Opc op) { return op >= Opc::LD1 && op <= Opc::LD8; }
+bool isStore(Opc op) { return op >= Opc::ST1 && op <= Opc::ST8; }
+bool isMem(Opc op) { return isLoad(op) || isStore(op); }
+bool isCondBranch(Opc op) { return op >= Opc::BEQ && op <= Opc::BGEU; }
+bool isControl(Opc op) {
+  return isCondBranch(op) || op == Opc::JAL || op == Opc::JALR;
+}
+bool isSpeculationSource(Opc op) { return isCondBranch(op) || op == Opc::JALR; }
+
+bool writesReg(Opc op) {
+  if (isStore(op) || isCondBranch(op)) return false;
+  switch (op) {
+  case Opc::HALT:
+  case Opc::NOP:
+    return false;
+  default:
+    return true; // JAL/JALR write rd (possibly x0, handled by rename)
+  }
+}
+
+bool readsRs1(Opc op) {
+  if (isCondBranch(op) || isMem(op)) return true;
+  switch (op) {
+  case Opc::JAL:
+  case Opc::HALT:
+  case Opc::NOP:
+    return false;
+  default:
+    return true; // FLUSH reads its address base; RDCYC orders on rs1
+  }
+}
+
+bool readsRs2(Opc op) {
+  if (isCondBranch(op) || isStore(op)) return true;
+  // Only register-register ALU ops read rs2.
+  return op >= Opc::ADD && op <= Opc::SGEU;
+}
+
+int memSize(Opc op) {
+  switch (op) {
+  case Opc::LD1:
+  case Opc::ST1:
+    return 1;
+  case Opc::LD2:
+  case Opc::ST2:
+    return 2;
+  case Opc::LD4:
+  case Opc::ST4:
+    return 4;
+  case Opc::LD8:
+  case Opc::ST8:
+    return 8;
+  default:
+    LEV_UNREACHABLE("memSize of non-memory opcode");
+  }
+}
+
+const char* opcName(Opc op) {
+  switch (op) {
+  case Opc::ADD: return "add";
+  case Opc::SUB: return "sub";
+  case Opc::MUL: return "mul";
+  case Opc::DIVS: return "divs";
+  case Opc::DIVU: return "divu";
+  case Opc::REMS: return "rems";
+  case Opc::REMU: return "remu";
+  case Opc::AND: return "and";
+  case Opc::OR: return "or";
+  case Opc::XOR: return "xor";
+  case Opc::SLL: return "sll";
+  case Opc::SRL: return "srl";
+  case Opc::SRA: return "sra";
+  case Opc::SLT: return "slt";
+  case Opc::SLTU: return "sltu";
+  case Opc::SEQ: return "seq";
+  case Opc::SNE: return "sne";
+  case Opc::SGE: return "sge";
+  case Opc::SGEU: return "sgeu";
+  case Opc::ADDI: return "addi";
+  case Opc::ANDI: return "andi";
+  case Opc::ORI: return "ori";
+  case Opc::XORI: return "xori";
+  case Opc::SLLI: return "slli";
+  case Opc::SRLI: return "srli";
+  case Opc::SRAI: return "srai";
+  case Opc::SLTI: return "slti";
+  case Opc::SLTUI: return "sltui";
+  case Opc::LD1: return "ld1";
+  case Opc::LD2: return "ld2";
+  case Opc::LD4: return "ld4";
+  case Opc::LD8: return "ld8";
+  case Opc::ST1: return "st1";
+  case Opc::ST2: return "st2";
+  case Opc::ST4: return "st4";
+  case Opc::ST8: return "st8";
+  case Opc::BEQ: return "beq";
+  case Opc::BNE: return "bne";
+  case Opc::BLT: return "blt";
+  case Opc::BGE: return "bge";
+  case Opc::BLTU: return "bltu";
+  case Opc::BGEU: return "bgeu";
+  case Opc::JAL: return "jal";
+  case Opc::JALR: return "jalr";
+  case Opc::RDCYC: return "rdcyc";
+  case Opc::FLUSH: return "flush";
+  case Opc::HALT: return "halt";
+  case Opc::NOP: return "nop";
+  }
+  LEV_UNREACHABLE("bad opcode");
+}
+
+std::uint64_t evalAlu(Opc op, std::uint64_t a, std::uint64_t b) {
+  const auto sa = static_cast<std::int64_t>(a);
+  const auto sb = static_cast<std::int64_t>(b);
+  switch (op) {
+  case Opc::ADD:
+  case Opc::ADDI:
+    return a + b;
+  case Opc::SUB:
+    return a - b;
+  case Opc::MUL:
+    return a * b;
+  case Opc::DIVS:
+    if (sb == 0) return ~0ull;
+    if (sa == INT64_MIN && sb == -1) return a; // overflow: result = dividend
+    return static_cast<std::uint64_t>(sa / sb);
+  case Opc::DIVU:
+    return b == 0 ? ~0ull : a / b;
+  case Opc::REMS:
+    if (sb == 0) return a;
+    if (sa == INT64_MIN && sb == -1) return 0;
+    return static_cast<std::uint64_t>(sa % sb);
+  case Opc::REMU:
+    return b == 0 ? a : a % b;
+  case Opc::AND:
+  case Opc::ANDI:
+    return a & b;
+  case Opc::OR:
+  case Opc::ORI:
+    return a | b;
+  case Opc::XOR:
+  case Opc::XORI:
+    return a ^ b;
+  case Opc::SLL:
+  case Opc::SLLI:
+    return a << (b & 63);
+  case Opc::SRL:
+  case Opc::SRLI:
+    return a >> (b & 63);
+  case Opc::SRA:
+  case Opc::SRAI:
+    return static_cast<std::uint64_t>(sa >> (b & 63));
+  case Opc::SLT:
+  case Opc::SLTI:
+    return sa < sb ? 1 : 0;
+  case Opc::SLTU:
+  case Opc::SLTUI:
+    return a < b ? 1 : 0;
+  case Opc::SEQ:
+    return a == b ? 1 : 0;
+  case Opc::SNE:
+    return a != b ? 1 : 0;
+  case Opc::SGE:
+    return sa >= sb ? 1 : 0;
+  case Opc::SGEU:
+    return a >= b ? 1 : 0;
+  default:
+    LEV_UNREACHABLE("evalAlu of non-ALU opcode");
+  }
+}
+
+bool evalBranch(Opc op, std::uint64_t a, std::uint64_t b) {
+  const auto sa = static_cast<std::int64_t>(a);
+  const auto sb = static_cast<std::int64_t>(b);
+  switch (op) {
+  case Opc::BEQ: return a == b;
+  case Opc::BNE: return a != b;
+  case Opc::BLT: return sa < sb;
+  case Opc::BGE: return sa >= sb;
+  case Opc::BLTU: return a < b;
+  case Opc::BGEU: return a >= b;
+  default:
+    LEV_UNREACHABLE("evalBranch of non-branch opcode");
+  }
+}
+
+} // namespace lev::isa

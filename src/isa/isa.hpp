@@ -1,0 +1,106 @@
+// The machine ISA executed by the simulators.
+//
+// A RISC-V-flavoured research ISA with 32 64-bit integer registers and
+// fixed-width 64-bit instructions (8 bytes each; the wide format leaves room
+// for a full 32-bit immediate and for Levioso's dependency-hint sideband).
+//
+// Register convention:
+//   x0        hardwired zero
+//   x1  (ra)  return address
+//   x2  (sp)  stack pointer
+//   x3,x4     backend scratch (spill bridging)
+//   x10..x17  argument / return registers
+//   rest      general purpose
+//
+// Conditional branches are the speculation sources the Levioso analysis
+// annotates. JAL is unconditional (never mispredicts); JALR (returns /
+// indirect calls) is predicted via a return-address stack and is treated
+// conservatively by every policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lev::isa {
+
+inline constexpr int kNumRegs = 32;
+inline constexpr int kRegZero = 0;
+inline constexpr int kRegRa = 1;
+inline constexpr int kRegSp = 2;
+inline constexpr int kRegScratch0 = 3;
+inline constexpr int kRegScratch1 = 4;
+inline constexpr int kRegArg0 = 10; ///< x10..x17 are arguments; x10 returns
+inline constexpr int kNumArgRegs = 8;
+inline constexpr std::uint64_t kInstBytes = 8;
+
+/// Machine opcodes.
+enum class Opc : std::uint8_t {
+  // Register-register ALU.
+  ADD, SUB, MUL, DIVS, DIVU, REMS, REMU,
+  AND, OR, XOR, SLL, SRL, SRA,
+  SLT, SLTU, SEQ, SNE, SGE, SGEU,
+  // Register-immediate ALU (rs2 unused).
+  ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, SLTUI,
+  // Loads: rd = zext(mem[rs1 + imm]); stores: mem[rs1 + imm] = rs2.
+  LD1, LD2, LD4, LD8,
+  ST1, ST2, ST4, ST8,
+  // Conditional branches: if (rs1 <cond> rs2) pc += imm.
+  BEQ, BNE, BLT, BGE, BLTU, BGEU,
+  // Jumps: JAL rd, pc+imm;  JALR rd, (rs1+imm)&~7.
+  JAL, JALR,
+  // rd = current cycle count (the in-simulation timing probe used by the
+  // attack demos, standing in for rdtsc/rdcycle). Reads rs1 purely as an
+  // ordering dependency: `rdcyc rd, rs1` does not sample the counter until
+  // rs1's producer has executed, which is how attack code timestamps the
+  // completion of a specific load.
+  RDCYC,
+  // Evict the line containing rs1+imm from all cache levels; rd = 0. The
+  // clflush equivalent the attack programs use. Takes effect at execute.
+  FLUSH,
+  // Stop the machine (only when committed).
+  HALT,
+  NOP,
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opc::NOP) + 1;
+
+/// Decoded instruction. `imm` is the branch/jump byte displacement, the
+/// memory offset, or the ALU immediate depending on the opcode.
+struct Inst {
+  Opc op = Opc::NOP;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int64_t imm = 0; ///< encoded as a signed 32-bit field
+
+  bool operator==(const Inst&) const = default;
+};
+
+/// Opcode classification used across the pipeline and the policies.
+bool isLoad(Opc op);
+bool isStore(Opc op);
+bool isMem(Opc op);
+/// Conditional branch (BEQ..BGEU).
+bool isCondBranch(Opc op);
+/// Any control-flow transfer (cond branches, JAL, JALR).
+bool isControl(Opc op);
+/// Control flow whose outcome/target is not known at decode (cond branches
+/// and JALR) — these are the speculation sources.
+bool isSpeculationSource(Opc op);
+bool writesReg(Opc op);
+bool readsRs1(Opc op);
+bool readsRs2(Opc op);
+/// Memory access size in bytes (loads/stores only).
+int memSize(Opc op);
+
+const char* opcName(Opc op);
+
+/// Evaluate a register-register / register-immediate ALU operation.
+/// Division by zero follows RISC-V semantics (quotient = all ones,
+/// remainder = dividend); shift amounts are masked to 6 bits.
+std::uint64_t evalAlu(Opc op, std::uint64_t a, std::uint64_t b);
+
+/// Evaluate a conditional-branch predicate.
+bool evalBranch(Opc op, std::uint64_t a, std::uint64_t b);
+
+} // namespace lev::isa

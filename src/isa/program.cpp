@@ -1,0 +1,42 @@
+#include "isa/program.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace lev::isa {
+
+bool Hint::dependsOn(std::uint64_t branchPc) const {
+  if (overflow) return true;
+  return std::binary_search(dependeePcs.begin(), dependeePcs.end(), branchPc);
+}
+
+std::size_t Program::indexOfPc(std::uint64_t pc) const {
+  LEV_CHECK(pcInText(pc), "pc outside text segment");
+  return static_cast<std::size_t>((pc - textBase) / kInstBytes);
+}
+
+const Inst& Program::instAt(std::uint64_t pc) const {
+  return text[indexOfPc(pc)];
+}
+
+const Hint& Program::hintAt(std::uint64_t pc) const {
+  static const Hint kConservative{{}, true};
+  if (hints.empty()) return kConservative;
+  return hints[indexOfPc(pc)];
+}
+
+int Program::funcIndexOfPc(std::uint64_t pc) const {
+  for (std::size_t i = 0; i < funcs.size(); ++i)
+    if (pc >= funcs[i].startPc && pc < funcs[i].endPc)
+      return static_cast<int>(i);
+  return -1;
+}
+
+std::uint64_t Program::symbol(const std::string& name) const {
+  auto it = symbols.find(name);
+  LEV_CHECK(it != symbols.end(), "unknown symbol " + name);
+  return it->second;
+}
+
+} // namespace lev::isa

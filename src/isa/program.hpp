@@ -1,0 +1,76 @@
+// The loadable program image: text, Levioso annotation sideband, data
+// segments, symbols and function ranges.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace lev::isa {
+
+/// Per-instruction Levioso hint, after lowering: dependees are the *PCs* of
+/// the conditional branches the instruction truly depends on.
+struct Hint {
+  std::vector<std::uint64_t> dependeePcs; ///< sorted, unique
+  bool overflow = false; ///< conservative: depends on every older branch
+
+  bool neverRestricted() const { return !overflow && dependeePcs.empty(); }
+  bool dependsOn(std::uint64_t branchPc) const;
+};
+
+/// An initialized data region.
+struct DataSegment {
+  std::uint64_t addr = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Half-open PC range of one function, for the hardware's cross-function
+/// conservatism rule (a dependee branch in a *different* function always
+/// restricts; see secure/levioso_policy.cpp).
+struct FuncRange {
+  std::string name;
+  std::uint64_t startPc = 0;
+  std::uint64_t endPc = 0;
+};
+
+/// A complete program as produced by the backend or the assembler.
+class Program {
+public:
+  static constexpr std::uint64_t kDefaultTextBase = 0x1000;
+  static constexpr std::uint64_t kDefaultStackTop = 0x7ff0000;
+
+  std::uint64_t textBase = kDefaultTextBase;
+  std::uint64_t entry = kDefaultTextBase;
+  std::uint64_t stackTop = kDefaultStackTop;
+  std::vector<Inst> text;
+  /// Parallel to text. Empty when the program carries no hints (plain
+  /// assembly, or policies that ignore them).
+  std::vector<Hint> hints;
+  std::vector<DataSegment> data;
+  std::map<std::string, std::uint64_t> symbols;
+  std::vector<FuncRange> funcs;
+
+  std::uint64_t textEnd() const {
+    return textBase + text.size() * kInstBytes;
+  }
+  bool pcInText(std::uint64_t pc) const {
+    return pc >= textBase && pc < textEnd() && (pc - textBase) % kInstBytes == 0;
+  }
+  std::size_t indexOfPc(std::uint64_t pc) const;
+  const Inst& instAt(std::uint64_t pc) const;
+  /// Hint for the instruction at pc; a conservative "overflow" hint is
+  /// returned when the program has no hint section (so a Levioso core
+  /// running unannotated code degrades to the conservative baseline rather
+  /// than executing unsafely).
+  const Hint& hintAt(std::uint64_t pc) const;
+  /// Index into funcs for a text PC, or -1 when outside all ranges.
+  int funcIndexOfPc(std::uint64_t pc) const;
+
+  std::uint64_t symbol(const std::string& name) const;
+};
+
+} // namespace lev::isa

@@ -1,0 +1,28 @@
+#include "levioso/annotation.hpp"
+
+namespace lev::levioso {
+
+std::vector<Annotation> encodeAnnotations(const BranchDepAnalysis& analysis,
+                                          const ir::Function& fn, int budget,
+                                          EncodeStats* stats) {
+  std::vector<Annotation> out(static_cast<std::size_t>(fn.numInsts()));
+  for (int b = 0; b < fn.numBlocks(); ++b)
+    for (const ir::Inst& inst : fn.block(b).insts) {
+      Annotation& a = out[static_cast<std::size_t>(inst.id)];
+      const BitSet& deps = analysis.deps(inst.id);
+      const auto size = static_cast<int>(deps.count());
+      if (budget != kUnlimitedBudget && size > budget) {
+        a.overflow = true;
+        if (stats) ++stats->overflowed;
+      } else {
+        deps.forEach([&](std::size_t idx) {
+          a.dependees.push_back(static_cast<std::uint64_t>(
+              analysis.branchInst(static_cast<int>(idx))));
+        });
+        if (stats) ++stats->encoded;
+      }
+    }
+  return out;
+}
+
+} // namespace lev::levioso

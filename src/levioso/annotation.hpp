@@ -1,0 +1,51 @@
+// The compiler-to-hardware annotation format.
+//
+// Levioso communicates each instruction's true branch dependencies through
+// the ISA. Real encodings have a fixed hint budget, so the annotation stores
+// at most `budget` dependee branches; instructions whose dependency set does
+// not fit are marked `overflow`, which the hardware treats conservatively
+// ("depends on every older branch" — exactly the behaviour of the prior
+// hardware-only defenses). budget = 0 therefore degenerates to the
+// conservative baseline and budget = ∞ to full precision; fig6 sweeps this.
+//
+// At the IR level dependees are branch instruction ids; after lowering the
+// backend rewrites them to the PCs of the corresponding machine branches
+// (see backend/annotationemitter).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "levioso/branchdeps.hpp"
+
+namespace lev::levioso {
+
+/// Unlimited budget sentinel.
+inline constexpr int kUnlimitedBudget = -1;
+
+/// One instruction's encoded dependency hint.
+struct Annotation {
+  /// Dependee identifiers. Branch instruction ids before lowering; branch
+  /// PCs afterwards. Sorted, unique.
+  std::vector<std::uint64_t> dependees;
+  /// Set when the true dependency set exceeded the encoding budget; the
+  /// hardware must fall back to conservative restriction for this
+  /// instruction.
+  bool overflow = false;
+
+  bool restrictedNever() const { return !overflow && dependees.empty(); }
+};
+
+/// Encoding statistics for one function (fig2 input).
+struct EncodeStats {
+  std::int64_t encoded = 0;
+  std::int64_t overflowed = 0;
+};
+
+/// Encode the analysis result for every instruction of a function under a
+/// dependee budget. Returned vector is indexed by instruction id.
+std::vector<Annotation> encodeAnnotations(const BranchDepAnalysis& analysis,
+                                          const ir::Function& fn, int budget,
+                                          EncodeStats* stats = nullptr);
+
+} // namespace lev::levioso

@@ -1,0 +1,162 @@
+#include "levioso/branchdeps.hpp"
+
+#include <algorithm>
+
+namespace lev::levioso {
+
+BranchDepAnalysis::BranchDepAnalysis(const ir::Module& mod,
+                                     const ir::Function& fn, Options opts)
+    : fn_(fn) {
+  analysis::Cfg cfg(fn);
+  analysis::DomTree postDom = analysis::DomTree::postDominators(cfg);
+  analysis::ControlDepGraph cdg(cfg, postDom);
+  analysis::ReachingDefs rd(cfg);
+  analysis::AliasInfo alias(mod, cfg, rd);
+
+  // Enumerate conditional branches.
+  branchIndexOfInst_.assign(static_cast<std::size_t>(fn.numInsts()), -1);
+  for (int b = 0; b < fn.numBlocks(); ++b)
+    for (const ir::Inst& inst : fn.block(b).insts)
+      if (inst.op == ir::Op::Br) {
+        branchIndexOfInst_[static_cast<std::size_t>(inst.id)] =
+            static_cast<int>(branchInsts_.size());
+        branchInsts_.push_back(inst.id);
+      }
+  const std::size_t nb = branchInsts_.size();
+
+  deps_.assign(static_cast<std::size_t>(fn.numInsts()), BitSet(nb));
+
+  // Seed with control dependence: every instruction inherits its block's
+  // controlling branches.
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    BitSet blockSet(nb);
+    for (int brInst : cdg.blockDeps(b))
+      blockSet.set(static_cast<std::size_t>(
+          branchIndexOfInst_[static_cast<std::size_t>(brInst)]));
+    for (const ir::Inst& inst : fn.block(b).insts)
+      deps_[static_cast<std::size_t>(inst.id)].unionWith(blockSet);
+  }
+
+  // Collect memory instructions once.
+  std::vector<const ir::Inst*> loads, stores, calls;
+  for (int b = 0; b < fn.numBlocks(); ++b)
+    for (const ir::Inst& inst : fn.block(b).insts) {
+      if (inst.isLoad()) loads.push_back(&inst);
+      if (inst.isStore()) stores.push_back(&inst);
+      if (inst.isCall()) calls.push_back(&inst);
+    }
+
+  // Fixpoint over register flow and (optionally) memory flow.
+  //
+  // Memory is modelled flow-insensitively per alias region: each region
+  // accumulates the deps of every store that may write it; loads absorb the
+  // accumulated deps of every region they may read. Calls are treated as
+  // both a store and a load of the unknown region (the callee may read and
+  // write anything reachable), keeping the analysis sound across calls
+  // without interprocedural propagation.
+  const std::size_t ng = static_cast<std::size_t>(alias.numGlobals());
+  std::vector<BitSet> memDeps(ng, BitSet(nb));
+  BitSet memUnknown(nb);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Transitive control dependence: if block B is control-dependent on
+    // branch b, everything in B also depends on whatever b depends on
+    // (nested branches: the inner branch only executes because the outer
+    // one went a particular way, so inner-guarded instructions are
+    // transitively uncertain under the outer branch too). Without this
+    // closure a transmitter nested two branches deep would carry only the
+    // inner dependee and could issue while the outer branch is unresolved.
+    for (int b = 0; b < fn.numBlocks(); ++b) {
+      for (int brInst : cdg.blockDeps(b)) {
+        const BitSet& branchDeps = deps_[static_cast<std::size_t>(brInst)];
+        for (const ir::Inst& inst : fn.block(b).insts)
+          changed |=
+              deps_[static_cast<std::size_t>(inst.id)].unionWith(branchDeps);
+      }
+    }
+
+    // Register flow: deps(I) |= deps(D) for every def D reaching a use of I.
+    for (int b = 0; b < fn.numBlocks(); ++b)
+      for (const ir::Inst& inst : fn.block(b).insts) {
+        BitSet& mine = deps_[static_cast<std::size_t>(inst.id)];
+        for (int d : rd.reachingDefsForUses(inst.id)) {
+          const int defI = rd.defInst(d);
+          if (defI < 0) continue; // parameter: no branch deps at entry
+          changed |= mine.unionWith(deps_[static_cast<std::size_t>(defI)]);
+        }
+      }
+
+    if (opts.propagateThroughMemory) {
+      // Stores publish their deps into their regions.
+      for (const ir::Inst* s : stores) {
+        const auto& r = alias.regionOf(s->id);
+        const BitSet& d = deps_[static_cast<std::size_t>(s->id)];
+        if (r.unknown) {
+          changed |= memUnknown.unionWith(d);
+        } else {
+          r.globals.forEach([&](std::size_t g) {
+            changed |= memDeps[g].unionWith(d);
+          });
+        }
+      }
+      // Calls may store anything derived from their context.
+      for (const ir::Inst* c : calls)
+        changed |= memUnknown.unionWith(deps_[static_cast<std::size_t>(c->id)]);
+
+      // An unknown-region store may hit any global region.
+      for (std::size_t g = 0; g < ng; ++g)
+        changed |= memDeps[g].unionWith(memUnknown);
+
+      // Loads absorb their regions' deps.
+      for (const ir::Inst* l : loads) {
+        const auto& r = alias.regionOf(l->id);
+        BitSet& mine = deps_[static_cast<std::size_t>(l->id)];
+        if (r.unknown) {
+          changed |= mine.unionWith(memUnknown);
+          for (std::size_t g = 0; g < ng; ++g)
+            changed |= mine.unionWith(memDeps[g]);
+        } else {
+          r.globals.forEach(
+              [&](std::size_t g) { changed |= mine.unionWith(memDeps[g]); });
+        }
+      }
+      // Calls may load anything.
+      for (const ir::Inst* c : calls) {
+        BitSet& mine = deps_[static_cast<std::size_t>(c->id)];
+        changed |= mine.unionWith(memUnknown);
+        for (std::size_t g = 0; g < ng; ++g)
+          changed |= mine.unionWith(memDeps[g]);
+      }
+    }
+  }
+}
+
+std::vector<int> BranchDepAnalysis::depBranchInsts(int instId) const {
+  std::vector<int> out;
+  deps(instId).forEach([&](std::size_t b) {
+    out.push_back(branchInsts_[b]);
+  });
+  return out;
+}
+
+DepStats BranchDepAnalysis::stats() const {
+  DepStats s;
+  for (int b = 0; b < fn_.numBlocks(); ++b)
+    for (const ir::Inst& inst : fn_.block(b).insts) {
+      ++s.totalInsts;
+      const auto size =
+          static_cast<std::int64_t>(deps_[static_cast<std::size_t>(inst.id)].count());
+      if (size == 0) ++s.instsWithNoDeps;
+      s.totalDepEntries += size;
+      s.maxSetSize = std::max(s.maxSetSize, size);
+      const auto bucket = std::min<std::size_t>(
+          static_cast<std::size_t>(size), s.setSizeHistogram.size() - 1);
+      ++s.setSizeHistogram[bucket];
+    }
+  return s;
+}
+
+} // namespace lev::levioso

@@ -1,0 +1,85 @@
+// True-branch-dependency analysis — the Levioso compiler pass.
+//
+// For every instruction I of a function, compute the set of branches B such
+// that I's execution or operand values can differ depending on B's outcome:
+//
+//   deps(I) =  CD(I)                                   (control dependence)
+//           ∪  ⋃ { deps(D) : D defines a register I uses }   (register flow)
+//           ∪  ⋃ { deps(S) : S is a may-aliasing store, I a load } (memory)
+//
+// solved as a fixpoint. An instruction whose deps(I) contains no *unresolved*
+// branch at runtime executes identically on the correct and the speculative
+// path, so letting it proceed cannot transmit speculative information — this
+// is the paper's central observation. The hardware side (src/secure) delays
+// a transmitter only while one of its deps(I) branches is in flight.
+//
+// Memory propagation is flow-insensitive over alias regions (a superset of
+// the flow-sensitive answer, hence sound); it can be disabled via Options to
+// reproduce the F6 ablation, which also demonstrates — via the security test
+// suite — that disabling it breaks the guarantee for gadgets that launder
+// tainted values through memory.
+#pragma once
+
+#include <vector>
+
+#include "analysis/alias.hpp"
+#include "analysis/bitset.hpp"
+#include "analysis/cfg.hpp"
+#include "analysis/controldep.hpp"
+#include "analysis/domtree.hpp"
+#include "analysis/reachingdefs.hpp"
+#include "ir/ir.hpp"
+
+namespace lev::levioso {
+
+/// Aggregate statistics of one analysis run (input to fig2_annotations).
+struct DepStats {
+  std::int64_t totalInsts = 0;
+  std::int64_t instsWithNoDeps = 0;
+  std::int64_t totalDepEntries = 0;
+  std::int64_t maxSetSize = 0;
+  /// Histogram of dependency-set sizes; index = size, clamped to back().
+  std::vector<std::int64_t> setSizeHistogram = std::vector<std::int64_t>(17, 0);
+};
+
+/// Analysis knobs.
+struct DepOptions {
+  /// Propagate dependencies through memory (store -> aliasing load).
+  /// Turning this off is unsound; kept for the F6 ablation.
+  bool propagateThroughMemory = true;
+};
+
+/// Per-function true-branch-dependency sets.
+class BranchDepAnalysis {
+public:
+  using Options = DepOptions;
+
+  BranchDepAnalysis(const ir::Module& mod, const ir::Function& fn,
+                    Options opts = Options());
+
+  /// Number of conditional branches in the function.
+  int numBranches() const { return static_cast<int>(branchInsts_.size()); }
+
+  /// Instruction id of local branch index `b`.
+  int branchInst(int b) const {
+    return branchInsts_[static_cast<std::size_t>(b)];
+  }
+
+  /// Dependency set of an instruction as local branch indices.
+  const BitSet& deps(int instId) const {
+    return deps_[static_cast<std::size_t>(instId)];
+  }
+
+  /// Dependency set as branch *instruction ids* (convenience).
+  std::vector<int> depBranchInsts(int instId) const;
+
+  DepStats stats() const;
+
+private:
+  const ir::Function& fn_;
+  std::vector<int> branchInsts_;      // local branch index -> inst id
+  std::vector<int> branchIndexOfInst_; // inst id -> local index or -1
+  std::vector<BitSet> deps_;          // inst id -> branch-index set
+};
+
+} // namespace lev::levioso

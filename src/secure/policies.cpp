@@ -1,0 +1,174 @@
+#include "secure/policies.hpp"
+
+#include "support/error.hpp"
+
+namespace lev::secure {
+
+using uarch::DynInst;
+using uarch::LoadAction;
+using uarch::O3Core;
+
+// ---------------------------------------------------------------- fence --
+
+bool FencePolicy::mayExecute(const O3Core& core, const DynInst& inst) {
+  return !core.hasUnresolvedBranchOlderThan(inst.seq);
+}
+
+// ------------------------------------------------------------------ dom --
+
+LoadAction DomPolicy::onLoadIssue(const O3Core& core, const DynInst& inst) {
+  if (!core.hasUnresolvedBranchOlderThan(inst.seq)) return LoadAction::Proceed;
+  // Speculative: only an L1 hit may be served, and invisibly.
+  if (core.hierarchy().l1d().contains(inst.memAddr))
+    return LoadAction::ProceedInvisibly;
+  return LoadAction::Delay;
+}
+
+// ------------------------------------------------------------------ stt --
+
+bool SttPolicy::mayExecute(const O3Core& core, const DynInst& inst) {
+  // Implicit transmitters: a branch or indirect jump on tainted data would
+  // imprint the secret on predictor / i-cache state. Delay it until the
+  // taint's root access is non-speculative.
+  if (!inst.isSpecSource()) return true;
+  for (const auto& op : inst.ops)
+    if (op.present && taint_.tainted(core, op.producer)) return false;
+  return true;
+}
+
+LoadAction SttPolicy::onLoadIssue(const O3Core& core, const DynInst& inst) {
+  // Explicit transmitter = load whose *address* is tainted. The access
+  // itself (the load that brings the secret in) proceeds, as in STT; only
+  // forwarding tainted data to a transmitter is blocked.
+  if (taint_.tainted(core, inst.ops[0].producer))
+    return LoadAction::Delay;
+  return LoadAction::Proceed;
+}
+
+void SttPolicy::onWriteback(const O3Core& core, const DynInst& inst) {
+  const bool selfAccess = inst.isLoad() && inst.speculativeAtIssue;
+  taint_.recordWriteback(core, inst, selfAccess);
+}
+
+void SttPolicy::onSquash(const O3Core&, std::uint64_t seq) {
+  taint_.erase(seq);
+}
+
+void SttPolicy::onCommit(const O3Core&, const DynInst& inst) {
+  // Committed values are architectural (visible); drop their roots.
+  taint_.erase(inst.seq);
+}
+
+// ------------------------------------------------------------------ spt --
+
+bool SptPolicy::mayExecute(const O3Core& core, const DynInst& inst) {
+  // Branches are transmitters of whatever their condition encodes; under
+  // the comprehensive model that is potentially a secret, so branches
+  // resolve strictly in program order.
+  if (!inst.isSpecSource()) return true;
+  return !core.hasUnresolvedBranchOlderThan(inst.seq);
+}
+
+LoadAction SptPolicy::onLoadIssue(const O3Core& core, const DynInst& inst) {
+  // Every load transmits (its address may encode any register value, and
+  // under the comprehensive model every register may hold a secret), so it
+  // must wait until it is non-speculative.
+  if (core.hasUnresolvedBranchOlderThan(inst.seq)) return LoadAction::Delay;
+  return LoadAction::Proceed;
+}
+
+// -------------------------------------------------------------- levioso --
+
+bool LeviosoPolicy::mayExecute(const O3Core& core, const DynInst& inst) {
+  // Branch transmitters wait only for their TRUE dependees; a branch whose
+  // condition is identical on every outstanding speculative path reveals
+  // nothing by resolving early.
+  if (!inst.isSpecSource()) return true;
+  return !core.hasUnresolvedTrueDependee(inst);
+}
+
+LoadAction LeviosoPolicy::onLoadIssue(const O3Core& core,
+                                      const DynInst& inst) {
+  // The compiler-informed rule: wait only for TRUE dependee branches. A
+  // load with no unresolved true dependee executes identically on every
+  // outstanding speculative path, so running it early reveals nothing about
+  // any unresolved branch outcome.
+  if (core.hasUnresolvedTrueDependee(inst)) return LoadAction::Delay;
+  return LoadAction::Proceed;
+}
+
+// --------------------------------------------------------- levioso-lite --
+
+bool LeviosoLitePolicy::mayExecute(const O3Core& core, const DynInst& inst) {
+  if (!inst.isSpecSource()) return true;
+  bool tainted = false;
+  for (const auto& op : inst.ops)
+    if (op.present && taint_.tainted(core, op.producer)) tainted = true;
+  if (!tainted) return true;
+  return !core.hasUnresolvedTrueDependee(inst);
+}
+
+LoadAction LeviosoLitePolicy::onLoadIssue(const O3Core& core,
+                                          const DynInst& inst) {
+  if (!taint_.tainted(core, inst.ops[0].producer)) return LoadAction::Proceed;
+  if (core.hasUnresolvedTrueDependee(inst)) return LoadAction::Delay;
+  return LoadAction::Proceed;
+}
+
+void LeviosoLitePolicy::onWriteback(const O3Core& core, const DynInst& inst) {
+  const bool selfAccess = inst.isLoad() && inst.speculativeAtIssue;
+  taint_.recordWriteback(core, inst, selfAccess);
+}
+
+void LeviosoLitePolicy::onSquash(const O3Core&, std::uint64_t seq) {
+  taint_.erase(seq);
+}
+
+void LeviosoLitePolicy::onCommit(const O3Core&, const DynInst& inst) {
+  taint_.erase(inst.seq);
+}
+
+// -------------------------------------------------------------- factory --
+
+const std::vector<std::string>& policyNames() {
+  static const std::vector<std::string> kNames = {
+      "unsafe", "fence", "dom", "stt", "spt", "levioso", "levioso-lite"};
+  return kNames;
+}
+
+PolicyInfo policyInfo(const std::string& name) {
+  if (name == "unsafe")
+    return {name, "baseline out-of-order, no protection", false, false, false};
+  if (name == "fence")
+    return {name, "serialize all execution past unresolved branches", true,
+            true, false};
+  if (name == "dom")
+    return {name, "delay speculative L1-miss loads; invisible hits", true,
+            true, false};
+  if (name == "stt")
+    return {name, "taint speculative load data; delay tainted transmitters",
+            true, false, false};
+  if (name == "spt")
+    return {name, "delay every transmitter until non-speculative", true, true,
+            false};
+  if (name == "levioso")
+    return {name, "delay transmitters only under unresolved TRUE dependees",
+            true, true, true};
+  if (name == "levioso-lite")
+    return {name, "levioso restriction applied to tainted transmitters only",
+            true, false, true};
+  throw Error("unknown policy: " + name);
+}
+
+std::unique_ptr<uarch::SpeculationPolicy> makePolicy(const std::string& name) {
+  if (name == "unsafe") return std::make_unique<UnsafePolicy>();
+  if (name == "fence") return std::make_unique<FencePolicy>();
+  if (name == "dom") return std::make_unique<DomPolicy>();
+  if (name == "stt") return std::make_unique<SttPolicy>();
+  if (name == "spt") return std::make_unique<SptPolicy>();
+  if (name == "levioso") return std::make_unique<LeviosoPolicy>();
+  if (name == "levioso-lite") return std::make_unique<LeviosoLitePolicy>();
+  throw Error("unknown policy: " + name);
+}
+
+} // namespace lev::secure

@@ -1,0 +1,151 @@
+// The secure-speculation policy suite.
+//
+// Six schemes over the same hardware hooks (uarch/policy.hpp):
+//
+//  unsafe       Baseline out-of-order core; no restriction. All attacks land.
+//  fence        Conservative serialization: NO instruction may begin
+//               executing while an older speculation source is unresolved
+//               (the classical lfence-after-every-branch mitigation).
+//  dom          Delay-on-Miss (Sakalis et al.-style): speculative loads may
+//               be served only on an L1 hit, and then "invisibly" (no
+//               replacement-state update, no fill); speculative L1 misses
+//               wait. Protects the cache channel only.
+// The transmitter set shared by stt/spt/levioso is loads (explicit channel:
+// the data cache) plus branch/indirect-jump execution (implicit channel:
+// predictor and i-cache state), mirroring the explicit/implicit transmitter
+// treatment of the STT line of work. dom covers the data-cache channel only
+// (its documented limitation).
+//
+//  stt          Speculative taint tracking (STT-style, Spectre threat
+//               model): values returned by speculatively-issued loads are
+//               tainted and propagate through the dataflow; a transmitter
+//               with a tainted operand (load address, branch condition,
+//               jump target) may not execute until the taint's root access
+//               becomes non-speculative. Protects speculatively accessed
+//               secrets only — one of the two prior defenses the paper
+//               compares against.
+//  spt          Comprehensive prior defense (SPT-style): every register may
+//               hold a secret, so NO transmitter may execute while ANY
+//               older speculation source is unresolved (branches therefore
+//               resolve strictly in program order). Protects speculative
+//               and non-speculative secrets; the other, more expensive
+//               prior defense.
+//  levioso      The paper's scheme (comprehensive threat model): a
+//               transmitter may not execute while one of its TRUE dependee
+//               branches — per the compiler hint, plus the cross-function/
+//               indirect conservatism rules — is unresolved. Transmitters
+//               with an empty dependency set (they execute with identical
+//               operands on both paths of every unresolved branch) proceed
+//               immediately, which is exactly where the performance win
+//               comes from.
+//  levioso-lite Levioso under the Spectre-only threat model: restriction
+//               further limited to transmitters with currently-tainted
+//               operands (STT taint), i.e. the intersection of stt and
+//               levioso.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "secure/taint.hpp"
+#include "uarch/policy.hpp"
+
+namespace lev::secure {
+
+/// Threat-model coverage metadata (Table 1).
+struct PolicyInfo {
+  std::string name;
+  std::string description;
+  bool protectsSpeculativeSecrets = false;
+  bool protectsNonSpeculativeSecrets = false;
+  bool needsCompilerSupport = false;
+};
+
+/// All policy names, in canonical (table/figure) order.
+const std::vector<std::string>& policyNames();
+
+/// Coverage metadata for table1_threat_matrix.
+PolicyInfo policyInfo(const std::string& name);
+
+/// Instantiate a policy by name; throws lev::Error on unknown names.
+std::unique_ptr<uarch::SpeculationPolicy> makePolicy(const std::string& name);
+
+// --- concrete classes (exposed for unit tests) ---------------------------
+
+class UnsafePolicy final : public uarch::SpeculationPolicy {
+public:
+  std::string name() const override { return "unsafe"; }
+};
+
+class FencePolicy final : public uarch::SpeculationPolicy {
+public:
+  std::string name() const override { return "fence"; }
+  bool mayExecute(const uarch::O3Core& core,
+                  const uarch::DynInst& inst) override;
+};
+
+class DomPolicy final : public uarch::SpeculationPolicy {
+public:
+  std::string name() const override { return "dom"; }
+  uarch::LoadAction onLoadIssue(const uarch::O3Core& core,
+                                const uarch::DynInst& inst) override;
+};
+
+class SttPolicy : public uarch::SpeculationPolicy {
+public:
+  std::string name() const override { return "stt"; }
+  bool mayExecute(const uarch::O3Core& core,
+                  const uarch::DynInst& inst) override;
+  uarch::LoadAction onLoadIssue(const uarch::O3Core& core,
+                                const uarch::DynInst& inst) override;
+  void onWriteback(const uarch::O3Core& core,
+                   const uarch::DynInst& inst) override;
+  void onSquash(const uarch::O3Core& core, std::uint64_t seq) override;
+  void onCommit(const uarch::O3Core& core,
+                const uarch::DynInst& inst) override;
+  void reset() override { taint_.clear(); }
+
+  const TaintTracker& taint() const { return taint_; }
+
+private:
+  TaintTracker taint_;
+};
+
+class SptPolicy final : public uarch::SpeculationPolicy {
+public:
+  std::string name() const override { return "spt"; }
+  bool mayExecute(const uarch::O3Core& core,
+                  const uarch::DynInst& inst) override;
+  uarch::LoadAction onLoadIssue(const uarch::O3Core& core,
+                                const uarch::DynInst& inst) override;
+};
+
+class LeviosoPolicy final : public uarch::SpeculationPolicy {
+public:
+  std::string name() const override { return "levioso"; }
+  bool mayExecute(const uarch::O3Core& core,
+                  const uarch::DynInst& inst) override;
+  uarch::LoadAction onLoadIssue(const uarch::O3Core& core,
+                                const uarch::DynInst& inst) override;
+};
+
+class LeviosoLitePolicy final : public uarch::SpeculationPolicy {
+public:
+  std::string name() const override { return "levioso-lite"; }
+  bool mayExecute(const uarch::O3Core& core,
+                  const uarch::DynInst& inst) override;
+  uarch::LoadAction onLoadIssue(const uarch::O3Core& core,
+                                const uarch::DynInst& inst) override;
+  void onWriteback(const uarch::O3Core& core,
+                   const uarch::DynInst& inst) override;
+  void onSquash(const uarch::O3Core& core, std::uint64_t seq) override;
+  void onCommit(const uarch::O3Core& core,
+                const uarch::DynInst& inst) override;
+  void reset() override { taint_.clear(); }
+
+private:
+  TaintTracker taint_;
+};
+
+} // namespace lev::secure

@@ -1,0 +1,20 @@
+#include "secure/taint.hpp"
+
+#include <algorithm>
+
+namespace lev::secure {
+
+void TaintTracker::recordWriteback(const uarch::O3Core& core,
+                                   const uarch::DynInst& inst,
+                                   bool selfIsAccess) {
+  std::uint64_t root = 0;
+  for (const auto& op : inst.ops)
+    root = std::max(root, operandRoot(op));
+  // A load forwarded from an in-flight store carries the store's data taint.
+  if (inst.forwardedFrom != 0) root = std::max(root, rootOf(inst.forwardedFrom));
+  if (selfIsAccess) root = std::max(root, inst.seq);
+  if (root != 0) roots_[inst.seq] = root;
+  (void)core;
+}
+
+} // namespace lev::secure

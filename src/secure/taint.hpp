@@ -1,0 +1,53 @@
+// Speculative-taint bookkeeping shared by the STT-style policies.
+//
+// Each in-flight value carries a "root": the sequence number of the youngest
+// access instruction (load) whose speculative status makes the value
+// sensitive. A value is *currently tainted* iff its root access is still
+// speculative, i.e. an unresolved speculation source older than the root
+// exists — which makes untainting on branch resolution implicit (lazy).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "uarch/core.hpp"
+#include "uarch/dyninst.hpp"
+
+namespace lev::secure {
+
+class TaintTracker {
+public:
+  /// Root recorded for a produced value; 0 = clean.
+  std::uint64_t rootOf(std::uint64_t seq) const {
+    auto it = roots_.find(seq);
+    return it == roots_.end() ? 0 : it->second;
+  }
+
+  /// Is the value produced by `producerSeq` tainted right now?
+  bool tainted(const uarch::O3Core& core, std::uint64_t producerSeq) const {
+    const std::uint64_t root = rootOf(producerSeq);
+    return root != 0 && core.hasUnresolvedBranchOlderThan(root);
+  }
+
+  /// Taint root of an operand (0 if the operand came from architectural
+  /// state, which is non-speculative by definition).
+  std::uint64_t operandRoot(const uarch::DynInst::Operand& op) const {
+    if (!op.present || op.producer == 0) return 0;
+    return rootOf(op.producer);
+  }
+
+  /// Compute and record the taint root of a just-produced value.
+  /// `selfIsAccess` marks instructions whose *own* execution creates a new
+  /// root (speculatively-issued loads under STT; every load under the
+  /// comprehensive model's bookkeeping).
+  void recordWriteback(const uarch::O3Core& core, const uarch::DynInst& inst,
+                       bool selfIsAccess);
+
+  void erase(std::uint64_t seq) { roots_.erase(seq); }
+  void clear() { roots_.clear(); }
+
+private:
+  std::unordered_map<std::uint64_t, std::uint64_t> roots_;
+};
+
+} // namespace lev::secure

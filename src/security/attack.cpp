@@ -1,0 +1,93 @@
+#include "security/attack.hpp"
+
+#include <algorithm>
+
+#include "backend/compiler.hpp"
+#include "sim/simulation.hpp"
+#include "support/error.hpp"
+
+namespace lev::security {
+
+std::vector<int> probeLatencies(const uarch::O3Core& core,
+                                std::uint64_t probeBase) {
+  std::vector<int> lat(256);
+  for (int v = 0; v < 256; ++v)
+    lat[static_cast<std::size_t>(v)] = core.hierarchy().probeDataLatency(
+        probeBase + static_cast<std::uint64_t>(v) * 64);
+  return lat;
+}
+
+namespace {
+
+AttackResult runAttackProgram(const isa::Program& program,
+                              const std::string& gadgetName,
+                              const std::string& probeSymbol,
+                              std::uint8_t secretByte,
+                              const std::vector<std::uint8_t>& archBytes,
+                              const std::string& policy,
+                              const uarch::CoreConfig& cfg) {
+  sim::Simulation simulation(program, cfg, policy);
+  const uarch::RunExit exit = simulation.run(50'000'000);
+  if (exit != uarch::RunExit::Halted)
+    throw SimError("gadget run hit the cycle limit under " + policy);
+
+  AttackResult r;
+  r.gadget = gadgetName;
+  r.policy = policy;
+  r.cycles = simulation.core().cycle();
+
+  const std::uint64_t base = program.symbol(probeSymbol);
+  const auto& hier = simulation.core().hierarchy();
+  for (int v = 0; v < 256; ++v) {
+    const std::uint64_t addr = base + static_cast<std::uint64_t>(v) * 64;
+    const bool present = hier.l1d().contains(addr) || hier.l2().contains(addr);
+    if (!present) continue;
+    const bool architectural =
+        std::find(archBytes.begin(), archBytes.end(),
+                  static_cast<std::uint8_t>(v)) != archBytes.end();
+    if (!architectural) r.candidateBytes.push_back(v);
+  }
+  r.leaked = std::find(r.candidateBytes.begin(), r.candidateBytes.end(),
+                       static_cast<int>(secretByte)) != r.candidateBytes.end();
+  return r;
+}
+
+} // namespace
+
+AttackResult runAttack(workloads::Gadget& gadget, const std::string& policy,
+                       const uarch::CoreConfig& cfg) {
+  backend::CompileResult compiled = backend::compile(gadget.module);
+  return runAttackProgram(compiled.program, gadget.name, gadget.probeSymbol,
+                          gadget.secretByte, gadget.architecturalBytes,
+                          policy, cfg);
+}
+
+AttackResult runAttack(const workloads::GadgetBinary& gadget,
+                       const std::string& policy,
+                       const uarch::CoreConfig& cfg) {
+  return runAttackProgram(gadget.program, gadget.name, gadget.probeSymbol,
+                          gadget.secretByte, gadget.architecturalBytes,
+                          policy, cfg);
+}
+
+std::string recoverSecret(const std::string& gadgetName,
+                          const std::string& policy,
+                          const uarch::CoreConfig& cfg) {
+  std::string out;
+  const int n = static_cast<int>(workloads::gadgetSecret().size());
+  for (int i = 0; i < n; ++i) {
+    workloads::Gadget gadget = gadgetName == "spectre_v1"
+                                   ? workloads::buildSpectreV1(i)
+                                   : workloads::buildNonSpecSecret(i);
+    const AttackResult r = runAttack(gadget, policy, cfg);
+    if (r.leaked)
+      out.push_back(static_cast<char>(gadget.secretByte));
+    else if (r.candidateBytes.size() == 1)
+      out.push_back(static_cast<char>(r.candidateBytes[0]));
+    else
+      out.push_back('?');
+  }
+  return out;
+}
+
+} // namespace lev::security

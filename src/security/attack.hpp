@@ -1,0 +1,46 @@
+// The attack harness: runs a gadget program under a policy and judges
+// leakage by inspecting the simulated cache tag state — the in-simulator
+// equivalent of a flush+reload attacker timing each probe line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uarch/core.hpp"
+#include "workloads/gadgets.hpp"
+
+namespace lev::security {
+
+struct AttackResult {
+  std::string gadget;
+  std::string policy;
+  /// Probe-array byte values whose line is cached after the run, excluding
+  /// the architecturally-touched training values.
+  std::vector<int> candidateBytes;
+  /// True iff the secret byte's line is among the candidates.
+  bool leaked = false;
+  std::uint64_t cycles = 0;
+};
+
+/// Compile and run one gadget under one policy, then probe.
+/// The gadget's module is compiled in place.
+AttackResult runAttack(workloads::Gadget& gadget, const std::string& policy,
+                       const uarch::CoreConfig& cfg = uarch::CoreConfig());
+
+/// Same, for a gadget already lowered to a machine program (spectre_v2).
+AttackResult runAttack(const workloads::GadgetBinary& gadget,
+                       const std::string& policy,
+                       const uarch::CoreConfig& cfg = uarch::CoreConfig());
+
+/// End-to-end demo: recover every secret byte (one gadget run per byte).
+/// Returns the recovered bytes; unrecovered positions are '?'.
+std::string recoverSecret(const std::string& gadgetName,
+                          const std::string& policy,
+                          const uarch::CoreConfig& cfg = uarch::CoreConfig());
+
+/// Flush+reload style probe: latency the attacker would measure for each of
+/// the 256 probe lines (diagnostics / examples).
+std::vector<int> probeLatencies(const uarch::O3Core& core,
+                                std::uint64_t probeBase);
+
+} // namespace lev::security

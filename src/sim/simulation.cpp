@@ -1,0 +1,36 @@
+#include "sim/simulation.hpp"
+
+#include "support/error.hpp"
+
+namespace lev::sim {
+
+Simulation::Simulation(const isa::Program& prog, const uarch::CoreConfig& cfg,
+                       const std::string& policyName)
+    : policyName_(policyName), policy_(secure::makePolicy(policyName)),
+      core_(prog, cfg, *policy_, stats_) {}
+
+uarch::RunExit Simulation::run(std::uint64_t maxCycles) {
+  return core_.run(maxCycles);
+}
+
+RunSummary runOnce(const isa::Program& prog, const uarch::CoreConfig& cfg,
+                   const std::string& policyName, std::uint64_t maxCycles) {
+  Simulation simulation(prog, cfg, policyName);
+  const uarch::RunExit exit = simulation.run(maxCycles);
+  if (exit != uarch::RunExit::Halted)
+    throw SimError("run under policy '" + policyName +
+                   "' hit the cycle limit");
+  RunSummary s;
+  s.policy = policyName;
+  s.cycles = simulation.core().cycle();
+  s.insts = simulation.core().committedInsts();
+  s.ipc = s.cycles == 0 ? 0.0
+                        : static_cast<double>(s.insts) /
+                              static_cast<double>(s.cycles);
+  s.loadDelayCycles = simulation.stats().get("policy.loadDelayCycles");
+  s.execDelayCycles = simulation.stats().get("policy.execDelayCycles");
+  s.mispredicts = simulation.stats().get("bp.mispredicts");
+  return s;
+}
+
+} // namespace lev::sim

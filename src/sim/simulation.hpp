@@ -1,0 +1,60 @@
+// Simulation facade: bundles a program, a policy instance, a stat set and a
+// core, and provides the one-call experiment helper the benches use.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "isa/program.hpp"
+#include "secure/policies.hpp"
+#include "support/stats.hpp"
+#include "uarch/core.hpp"
+
+namespace lev::sim {
+
+/// Owns everything one run needs. The program must outlive the Simulation.
+class Simulation {
+public:
+  Simulation(const isa::Program& prog, const uarch::CoreConfig& cfg,
+             const std::string& policyName);
+
+  uarch::RunExit run(std::uint64_t maxCycles = 100'000'000);
+
+  uarch::O3Core& core() { return core_; }
+  const uarch::O3Core& core() const { return core_; }
+  StatSet& stats() { return stats_; }
+  const StatSet& stats() const { return stats_; }
+  const std::string& policyName() const { return policyName_; }
+
+private:
+  std::string policyName_;
+  std::unique_ptr<uarch::SpeculationPolicy> policy_;
+  StatSet stats_;
+  uarch::O3Core core_;
+};
+
+/// Headline numbers of one finished run.
+struct RunSummary {
+  std::string policy;
+  std::uint64_t cycles = 0;
+  std::uint64_t insts = 0;
+  double ipc = 0.0;
+  std::int64_t loadDelayCycles = 0;
+  std::int64_t execDelayCycles = 0;
+  std::int64_t mispredicts = 0;
+};
+
+/// Run a program to completion under a policy and summarize. Throws
+/// lev::SimError if the run hits the cycle limit.
+RunSummary runOnce(const isa::Program& prog, const uarch::CoreConfig& cfg,
+                   const std::string& policyName,
+                   std::uint64_t maxCycles = 100'000'000);
+
+/// Overhead of `cycles` relative to a baseline cycle count, as a fraction
+/// (0.23 = 23% slower).
+inline double overhead(std::uint64_t cycles, std::uint64_t baselineCycles) {
+  return static_cast<double>(cycles) / static_cast<double>(baselineCycles) -
+         1.0;
+}
+
+} // namespace lev::sim

@@ -1,0 +1,52 @@
+// Small bit-manipulation helpers used by the ISA encoder and the caches.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "support/error.hpp"
+
+namespace lev {
+
+/// True iff v is a power of two (0 is not).
+constexpr bool isPow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)); v must be non-zero.
+constexpr int log2Floor(std::uint64_t v) {
+  int r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+/// log2 of a power of two.
+inline int log2Exact(std::uint64_t v) {
+  LEV_CHECK(isPow2(v), "log2Exact of non-power-of-two");
+  return log2Floor(v);
+}
+
+/// Extract bits [lo, lo+width) of v.
+constexpr std::uint64_t bitField(std::uint64_t v, int lo, int width) {
+  return (v >> lo) & ((width >= 64) ? ~0ull : ((1ull << width) - 1));
+}
+
+/// Insert the low `width` bits of field at position lo of v.
+constexpr std::uint64_t setBitField(std::uint64_t v, int lo, int width,
+                                    std::uint64_t field) {
+  const std::uint64_t mask =
+      ((width >= 64) ? ~0ull : ((1ull << width) - 1)) << lo;
+  return (v & ~mask) | ((field << lo) & mask);
+}
+
+/// Sign-extend the low `bits` bits of v.
+constexpr std::int64_t signExtend(std::uint64_t v, int bits) {
+  const std::uint64_t m = 1ull << (bits - 1);
+  v &= (bits >= 64) ? ~0ull : ((1ull << bits) - 1);
+  return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+/// Round v up to the next multiple of `align` (a power of two).
+constexpr std::uint64_t alignUp(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace lev

@@ -1,0 +1,62 @@
+// Error-handling primitives shared by every module.
+//
+// The library reports programmer errors (broken invariants, malformed input
+// reaching an internal stage) via exceptions so that tests can assert on them
+// and tools can fail cleanly with a message instead of UB.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lev {
+
+/// Base class for all errors raised by this library.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when textual input (IR or assembly) fails to parse.
+class ParseError : public Error {
+public:
+  ParseError(int line, const std::string& what)
+      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+  int line() const { return line_; }
+
+private:
+  int line_;
+};
+
+/// Raised when an IR module fails verification.
+class VerifyError : public Error {
+public:
+  using Error::Error;
+};
+
+/// Raised when a simulated program performs an illegal operation
+/// (misaligned access, bad opcode, access to unmapped memory, ...).
+class SimError : public Error {
+public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  throw Error(std::string("check failed: ") + cond + " at " + file + ":" +
+              std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+} // namespace detail
+
+} // namespace lev
+
+/// Internal invariant check; throws lev::Error on failure. Always enabled —
+/// the simulator is a research tool where silent corruption is worse than the
+/// branch cost.
+#define LEV_CHECK(cond, msg)                                                   \
+  do {                                                                         \
+    if (!(cond)) ::lev::detail::checkFailed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define LEV_UNREACHABLE(msg)                                                   \
+  ::lev::detail::checkFailed("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,23 @@
+#include "support/stats.hpp"
+
+namespace lev {
+
+std::int64_t& StatSet::counter(const std::string& name) {
+  return counters_[name];
+}
+
+std::int64_t StatSet::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void StatSet::clear() {
+  for (auto& [name, value] : counters_) value = 0;
+}
+
+void StatSet::print(std::ostream& os, const std::string& prefix) const {
+  for (const auto& [name, value] : counters_)
+    os << prefix << name << " = " << value << '\n';
+}
+
+} // namespace lev

@@ -1,0 +1,37 @@
+// A tiny named-counter registry, in the spirit of gem5's Stats framework.
+//
+// Pipeline stages and policies register counters by name; the simulator
+// dumps them all at the end of a run. Counters are plain int64 values owned
+// by the registry so that call sites stay allocation-free on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace lev {
+
+/// Registry of named 64-bit counters with stable iteration order.
+class StatSet {
+public:
+  /// Returns a reference to the counter, creating it at zero on first use.
+  /// References stay valid for the lifetime of the StatSet.
+  std::int64_t& counter(const std::string& name);
+
+  /// Read a counter; returns 0 if it was never touched.
+  std::int64_t get(const std::string& name) const;
+
+  /// Reset all counters to zero (the set of names is kept).
+  void clear();
+
+  /// Dump "name = value" lines sorted by name.
+  void print(std::ostream& os, const std::string& prefix = "") const;
+
+  const std::map<std::string, std::int64_t>& all() const { return counters_; }
+
+private:
+  std::map<std::string, std::int64_t> counters_;
+};
+
+} // namespace lev

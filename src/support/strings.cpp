@@ -1,0 +1,87 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lev {
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> splitWs(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i])))
+      ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool parseInt(std::string_view s, std::int64_t& out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  bool neg = false;
+  if (s[0] == '-') {
+    neg = true;
+    s.remove_prefix(1);
+    if (s.empty()) return false;
+  }
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    s.remove_prefix(2);
+    if (s.empty()) return false;
+  }
+  std::uint64_t v = 0;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9')
+      digit = c - '0';
+    else if (base == 16 && c >= 'a' && c <= 'f')
+      digit = c - 'a' + 10;
+    else if (base == 16 && c >= 'A' && c <= 'F')
+      digit = c - 'A' + 10;
+    else
+      return false;
+    v = v * static_cast<std::uint64_t>(base) + static_cast<std::uint64_t>(digit);
+  }
+  out = neg ? -static_cast<std::int64_t>(v) : static_cast<std::int64_t>(v);
+  return true;
+}
+
+std::string fmtF(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmtPct(double fraction, int prec) {
+  return fmtF(fraction * 100.0, prec) + "%";
+}
+
+} // namespace lev

@@ -1,0 +1,32 @@
+// Minimal string utilities for the textual IR/assembly parsers and reports.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lev {
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are kept.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Split on arbitrary whitespace runs; empty fields are dropped.
+std::vector<std::string_view> splitWs(std::string_view s);
+
+/// True if s starts with the given prefix.
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/// Parse a signed 64-bit integer (decimal, or hex with 0x prefix, optional
+/// leading '-'). Returns false on malformed input.
+bool parseInt(std::string_view s, std::int64_t& out);
+
+/// Format a double with fixed precision (printf "%.*f").
+std::string fmtF(double v, int prec);
+
+/// Format a percentage ("12.3%").
+std::string fmtPct(double fraction, int prec = 1);
+
+} // namespace lev

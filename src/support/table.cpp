@@ -1,0 +1,78 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace lev {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  LEV_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  LEV_CHECK(cells.size() == header_.size(), "row width mismatch");
+  rows_.push_back({std::move(cells), false});
+}
+
+void Table::addSeparator() { rows_.push_back({{}, true}); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      width[c] = std::max(width[c], row.cells[c].size());
+  }
+
+  auto emitLine = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " ");
+      os << cells[c];
+      os << std::string(width[c] - cells[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  auto emitSep = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << (c == 0 ? "|-" : "-") << std::string(width[c], '-') << "-|";
+    }
+    os << '\n';
+  };
+
+  emitLine(header_);
+  emitSep();
+  for (const auto& row : rows_) {
+    if (row.separator)
+      emitSep();
+    else
+      emitLine(row.cells);
+  }
+}
+
+void Table::printCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_)
+    if (!row.separator) emit(row.cells);
+}
+
+double geomean(const std::vector<double>& values) {
+  LEV_CHECK(!values.empty(), "geomean of empty series");
+  double acc = 0.0;
+  for (double v : values) {
+    LEV_CHECK(v > 0.0, "geomean needs positive values");
+    acc += std::log(v);
+  }
+  return std::exp(acc / static_cast<double>(values.size()));
+}
+
+} // namespace lev

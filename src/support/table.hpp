@@ -1,0 +1,43 @@
+// Console table / CSV emitter used by the benchmark harness to print
+// paper-style tables and figure series.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lev {
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// console table or as CSV. Benches use one Table per paper table/figure.
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; its width must match the header.
+  void addRow(std::vector<std::string> cells);
+
+  /// Append a horizontal separator (console rendering only).
+  void addSeparator();
+
+  /// Render as an aligned console table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (separators skipped).
+  void printCsv(std::ostream& os) const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Geometric mean of a series of ratios; values must be positive.
+double geomean(const std::vector<double>& values);
+
+} // namespace lev

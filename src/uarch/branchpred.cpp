@@ -1,0 +1,163 @@
+#include "uarch/branchpred.hpp"
+
+namespace lev::uarch {
+
+BranchPredictor::BranchPredictor(const PredictorConfig& cfg, StatSet& stats)
+    : cfg_(cfg), counters_(std::size_t{1} << cfg.tableBits, 1),
+      btb_(static_cast<std::size_t>(cfg.btbEntries)), stats_(stats) {
+  if (cfg_.kind == PredictorKind::Tage)
+    for (auto& table : tageTables_)
+      table.assign(std::size_t{1} << cfg_.tageTableBits, TageEntry{});
+}
+
+// ---- TAGE-lite -----------------------------------------------------------
+
+std::size_t BranchPredictor::tageIndex(int table, std::uint64_t pc,
+                                       std::uint64_t history) const {
+  const int len = cfg_.tageHistories[table];
+  const std::uint64_t h = history & ((std::uint64_t{1} << len) - 1);
+  // Fold the history into tableBits chunks.
+  std::uint64_t folded = 0;
+  for (int shift = 0; shift < len; shift += cfg_.tageTableBits)
+    folded ^= (h >> shift);
+  const std::uint64_t mask = (std::uint64_t{1} << cfg_.tageTableBits) - 1;
+  return static_cast<std::size_t>(
+      ((pc >> 3) ^ folded ^ (folded << 1) ^
+       static_cast<std::uint64_t>(table) * 0x9E37u) &
+      mask);
+}
+
+std::uint16_t BranchPredictor::tageTag(int table, std::uint64_t pc,
+                                       std::uint64_t history) const {
+  const int len = cfg_.tageHistories[table];
+  const std::uint64_t h = history & ((std::uint64_t{1} << len) - 1);
+  std::uint64_t folded = 0;
+  for (int shift = 0; shift < len; shift += cfg_.tageTagBits)
+    folded ^= (h >> shift);
+  const std::uint64_t mask = (std::uint64_t{1} << cfg_.tageTagBits) - 1;
+  return static_cast<std::uint16_t>(((pc >> 3) ^ (pc >> 11) ^ folded) & mask);
+}
+
+int BranchPredictor::tageProvider(std::uint64_t pc,
+                                  std::uint64_t history) const {
+  for (int t = 2; t >= 0; --t) {
+    const TageEntry& e = tageTables_[t][tageIndex(t, pc, history)];
+    if (e.tag == tageTag(t, pc, history)) return t;
+  }
+  return -1;
+}
+
+bool BranchPredictor::tagePredict(std::uint64_t pc,
+                                  std::uint64_t history) const {
+  const int provider = tageProvider(pc, history);
+  if (provider >= 0)
+    return tageTables_[provider][tageIndex(provider, pc, history)].ctr >= 4;
+  return counters_[condIndex(pc, 0)] >= 2; // bimodal base (history-free)
+}
+
+void BranchPredictor::tageUpdate(std::uint64_t pc, bool taken,
+                                 std::uint64_t history) {
+  const int provider = tageProvider(pc, history);
+  const bool predicted = tagePredict(pc, history);
+
+  if (provider >= 0) {
+    TageEntry& e = tageTables_[provider][tageIndex(provider, pc, history)];
+    if (taken && e.ctr < 7) ++e.ctr;
+    if (!taken && e.ctr > 0) --e.ctr;
+    if (predicted == taken && e.useful < 3) ++e.useful;
+    if (predicted != taken && e.useful > 0) --e.useful;
+  } else {
+    std::uint8_t& c = counters_[condIndex(pc, 0)];
+    if (taken && c < 3) ++c;
+    if (!taken && c > 0) --c;
+  }
+
+  // On a misprediction, allocate in one longer table (prefer a non-useful
+  // victim; decay usefulness otherwise).
+  if (predicted != taken && provider < 2) {
+    allocSeed_ = allocSeed_ * 6364136223846793005ull + 1442695040888963407ull;
+    const int start = provider + 1;
+    for (int t = start; t <= 2; ++t) {
+      TageEntry& e = tageTables_[t][tageIndex(t, pc, history)];
+      if (e.useful == 0) {
+        e.tag = tageTag(t, pc, history);
+        e.ctr = taken ? 4 : 3; // weak toward the actual outcome
+        e.useful = 0;
+        return;
+      }
+    }
+    // All candidates useful: decay one (pseudo-random pick) instead.
+    const int t = start + static_cast<int>(allocSeed_ %
+                                           static_cast<std::uint64_t>(3 - start));
+    TageEntry& e = tageTables_[t][tageIndex(t, pc, history)];
+    if (e.useful > 0) --e.useful;
+  }
+}
+
+std::size_t BranchPredictor::condIndex(std::uint64_t pc,
+                                       std::uint64_t history) const {
+  const std::uint64_t mask = (std::uint64_t{1} << cfg_.tableBits) - 1;
+  const std::uint64_t hist =
+      history & ((std::uint64_t{1} << cfg_.historyBits) - 1);
+  return static_cast<std::size_t>(((pc >> 3) ^ hist) & mask);
+}
+
+bool BranchPredictor::predictCond(std::uint64_t pc) {
+  const bool taken = cfg_.kind == PredictorKind::Tage
+                         ? tagePredict(pc, history_)
+                         : counters_[condIndex(pc, history_)] >= 2;
+  history_ = (history_ << 1) | (taken ? 1 : 0);
+  return taken;
+}
+
+std::uint64_t BranchPredictor::predictIndirect(std::uint64_t pc,
+                                               bool isReturn) {
+  if (isReturn && !ras_.empty()) {
+    const std::uint64_t target = ras_.back();
+    ras_.pop_back();
+    return target;
+  }
+  const auto& entry =
+      btb_[static_cast<std::size_t>((pc >> 3) %
+                                    static_cast<std::uint64_t>(cfg_.btbEntries))];
+  if (entry.valid && entry.pc == pc) return entry.target;
+  return 0;
+}
+
+void BranchPredictor::pushReturn(std::uint64_t returnPc) {
+  if (static_cast<int>(ras_.size()) >= cfg_.rasEntries)
+    ras_.erase(ras_.begin());
+  ras_.push_back(returnPc);
+}
+
+void BranchPredictor::updateCond(std::uint64_t pc, bool taken,
+                                 std::uint64_t history) {
+  if (cfg_.kind == PredictorKind::Tage) {
+    tageUpdate(pc, taken, history);
+  } else {
+    std::uint8_t& counter = counters_[condIndex(pc, history)];
+    if (taken && counter < 3) ++counter;
+    if (!taken && counter > 0) --counter;
+  }
+  ++stats_.counter(taken ? "bp.resolvedTaken" : "bp.resolvedNotTaken");
+}
+
+void BranchPredictor::updateIndirect(std::uint64_t pc, std::uint64_t target) {
+  auto& entry =
+      btb_[static_cast<std::size_t>((pc >> 3) %
+                                    static_cast<std::uint64_t>(cfg_.btbEntries))];
+  entry.valid = true;
+  entry.pc = pc;
+  entry.target = target;
+}
+
+BranchPredictor::Checkpoint BranchPredictor::checkpoint() const {
+  return {history_, ras_};
+}
+
+void BranchPredictor::restore(const Checkpoint& cp) {
+  history_ = cp.history;
+  ras_ = cp.ras;
+}
+
+} // namespace lev::uarch

@@ -1,0 +1,111 @@
+// Branch prediction front end: gshare direction predictor, branch target
+// buffer, and a return-address stack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace lev::uarch {
+
+/// Direction-predictor flavour.
+enum class PredictorKind {
+  Gshare, ///< single global-history-XOR-PC table of 2-bit counters
+  Tage,   ///< TAGE-lite: bimodal base + 3 tagged tables with geometric
+          ///< history lengths, longest-match provider, usefulness-guided
+          ///< allocation
+};
+
+struct PredictorConfig {
+  PredictorKind kind = PredictorKind::Gshare;
+  int historyBits = 12;  ///< gshare global history length
+  int tableBits = 12;    ///< log2 of the 2-bit counter table size
+  int btbEntries = 1024; ///< direct-mapped BTB
+  int rasEntries = 16;
+  // TAGE-lite parameters.
+  int tageTableBits = 10;            ///< log2 entries per tagged table
+  int tageTagBits = 9;               ///< tag width
+  int tageHistories[3] = {8, 24, 60}; ///< geometric history lengths (<=63)
+};
+
+/// Direction + target prediction with checkpointable history/RAS so that
+/// squashes restore predictor state (a mispredicted path must not corrupt
+/// the history the correct path trains).
+class BranchPredictor {
+public:
+  BranchPredictor(const PredictorConfig& cfg, StatSet& stats);
+
+  /// State snapshot taken at each predicted branch; restored on squash.
+  struct Checkpoint {
+    std::uint64_t history = 0;
+    std::vector<std::uint64_t> ras;
+  };
+
+  /// Predict a conditional branch at `pc`. Updates speculative history.
+  bool predictCond(std::uint64_t pc);
+
+  /// Predict an indirect target (JALR). `isReturn` uses the RAS.
+  /// Returns 0 when no prediction is available (caller falls through).
+  std::uint64_t predictIndirect(std::uint64_t pc, bool isReturn);
+
+  /// Push a return address (on JAL/JALR that links).
+  void pushReturn(std::uint64_t returnPc);
+
+  /// Train on a resolved conditional branch.
+  void updateCond(std::uint64_t pc, bool taken, std::uint64_t history);
+
+  /// Train the BTB for an indirect branch.
+  void updateIndirect(std::uint64_t pc, std::uint64_t target);
+
+  Checkpoint checkpoint() const;
+  void restore(const Checkpoint& cp);
+
+  /// After restoring a mispredicted conditional branch's checkpoint, shift
+  /// in its actual outcome (the correct-path history).
+  void applyCondOutcome(bool taken) {
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+  }
+  /// After restoring a mispredicted return's checkpoint, consume the RAS
+  /// entry the return popped (its prediction was wrong but the pop is
+  /// architectural behaviour of the stack).
+  void dropRasTop() {
+    if (!ras_.empty()) ras_.pop_back();
+  }
+
+  std::uint64_t history() const { return history_; }
+
+private:
+  std::size_t condIndex(std::uint64_t pc, std::uint64_t history) const;
+
+  // --- TAGE-lite ---------------------------------------------------------
+  struct TageEntry {
+    std::uint16_t tag = 0;
+    std::uint8_t ctr = 4;    ///< 3-bit counter, taken if >= 4
+    std::uint8_t useful = 0; ///< 2-bit usefulness
+  };
+  std::size_t tageIndex(int table, std::uint64_t pc,
+                        std::uint64_t history) const;
+  std::uint16_t tageTag(int table, std::uint64_t pc,
+                        std::uint64_t history) const;
+  /// Provider table (longest history with a tag hit), or -1 for bimodal.
+  int tageProvider(std::uint64_t pc, std::uint64_t history) const;
+  bool tagePredict(std::uint64_t pc, std::uint64_t history) const;
+  void tageUpdate(std::uint64_t pc, bool taken, std::uint64_t history);
+
+  PredictorConfig cfg_;
+  std::vector<std::uint8_t> counters_; ///< 2-bit saturating (gshare/bimodal)
+  std::vector<TageEntry> tageTables_[3];
+  std::uint64_t allocSeed_ = 0x2545F4914F6CDD1Dull; ///< allocation tiebreak
+  struct BtbEntry {
+    bool valid = false;
+    std::uint64_t pc = 0;
+    std::uint64_t target = 0;
+  };
+  std::vector<BtbEntry> btb_;
+  std::vector<std::uint64_t> ras_;
+  std::uint64_t history_ = 0;
+  StatSet& stats_;
+};
+
+} // namespace lev::uarch

@@ -1,0 +1,143 @@
+#include "uarch/cache.hpp"
+
+#include "support/bits.hpp"
+#include "support/error.hpp"
+
+namespace lev::uarch {
+
+Cache::Cache(const CacheConfig& cfg, StatSet& stats)
+    : cfg_(cfg), stats_(stats) {
+  LEV_CHECK(isPow2(cfg.sizeBytes) && isPow2(static_cast<std::uint64_t>(cfg.lineBytes)),
+            "cache geometry must be powers of two");
+  LEV_CHECK(cfg.assoc > 0, "bad associativity");
+  numSets_ = static_cast<int>(cfg.sizeBytes /
+                              (static_cast<std::uint64_t>(cfg.lineBytes) *
+                               static_cast<std::uint64_t>(cfg.assoc)));
+  LEV_CHECK(numSets_ > 0 && isPow2(static_cast<std::uint64_t>(numSets_)),
+            "cache sets must be a power of two");
+  lines_.assign(static_cast<std::size_t>(numSets_ * cfg.assoc), Line{});
+}
+
+std::uint64_t Cache::tagOf(std::uint64_t addr) const {
+  return addr / static_cast<std::uint64_t>(cfg_.lineBytes);
+}
+
+std::size_t Cache::setOf(std::uint64_t addr) const {
+  return static_cast<std::size_t>(tagOf(addr) %
+                                  static_cast<std::uint64_t>(numSets_));
+}
+
+Cache::Line& Cache::pickVictim(std::size_t base) {
+  // Invalid ways first, regardless of policy.
+  for (int w = 0; w < cfg_.assoc; ++w) {
+    Line& line = lines_[base + static_cast<std::size_t>(w)];
+    if (!line.valid) return line;
+  }
+  switch (cfg_.replacement) {
+  case Replacement::Lru: {
+    Line* victim = &lines_[base];
+    for (int w = 1; w < cfg_.assoc; ++w) {
+      Line& line = lines_[base + static_cast<std::size_t>(w)];
+      if (line.lastUse < victim->lastUse) victim = &line;
+    }
+    return *victim;
+  }
+  case Replacement::Random:
+    randState_ = randState_ * 6364136223846793005ull + 1442695040888963407ull;
+    return lines_[base + static_cast<std::size_t>(
+                             (randState_ >> 33) %
+                             static_cast<std::uint64_t>(cfg_.assoc))];
+  case Replacement::Nru: {
+    for (int w = 0; w < cfg_.assoc; ++w) {
+      Line& line = lines_[base + static_cast<std::size_t>(w)];
+      if (!line.referenced) return line;
+    }
+    // Every way referenced: clear the epoch and take way 0.
+    for (int w = 0; w < cfg_.assoc; ++w)
+      lines_[base + static_cast<std::size_t>(w)].referenced = false;
+    return lines_[base];
+  }
+  }
+  LEV_UNREACHABLE("bad replacement policy");
+}
+
+bool Cache::access(std::uint64_t addr, bool updateReplacement) {
+  const std::uint64_t tag = tagOf(addr);
+  const std::size_t base = setOf(addr) * static_cast<std::size_t>(cfg_.assoc);
+  ++useClock_;
+  for (int w = 0; w < cfg_.assoc; ++w) {
+    Line& line = lines_[base + static_cast<std::size_t>(w)];
+    if (line.valid && line.tag == tag) {
+      if (updateReplacement) {
+        line.lastUse = useClock_;
+        line.referenced = true;
+      }
+      ++stats_.counter(cfg_.name + ".hits");
+      return true;
+    }
+  }
+  ++stats_.counter(cfg_.name + ".misses");
+  if (!updateReplacement) return false;
+  Line& victim = pickVictim(base);
+  victim.valid = true;
+  victim.tag = tag;
+  victim.lastUse = useClock_;
+  victim.referenced = true;
+  return false;
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  const std::uint64_t tag = tagOf(addr);
+  const std::size_t base = setOf(addr) * static_cast<std::size_t>(cfg_.assoc);
+  for (int w = 0; w < cfg_.assoc; ++w) {
+    const Line& line = lines_[base + static_cast<std::size_t>(w)];
+    if (line.valid && line.tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::flushLine(std::uint64_t addr) {
+  const std::uint64_t tag = tagOf(addr);
+  const std::size_t base = setOf(addr) * static_cast<std::size_t>(cfg_.assoc);
+  for (int w = 0; w < cfg_.assoc; ++w) {
+    Line& line = lines_[base + static_cast<std::size_t>(w)];
+    if (line.valid && line.tag == tag) line.valid = false;
+  }
+}
+
+void Cache::flushAll() {
+  for (Line& line : lines_) line.valid = false;
+}
+
+int Cache::occupancy(std::uint64_t addr) const {
+  const std::size_t base = setOf(addr) * static_cast<std::size_t>(cfg_.assoc);
+  int n = 0;
+  for (int w = 0; w < cfg_.assoc; ++w)
+    if (lines_[base + static_cast<std::size_t>(w)].valid) ++n;
+  return n;
+}
+
+MemHierarchy::MemHierarchy(const Config& cfg, StatSet& stats)
+    : cfg_(cfg), l1d_(cfg.l1d, stats), l1i_(cfg.l1i, stats),
+      l2_(cfg.l2, stats) {}
+
+int MemHierarchy::accessData(std::uint64_t addr, bool updateReplacement) {
+  if (l1d_.access(addr, updateReplacement)) return l1d_.hitLatency();
+  if (l2_.access(addr, updateReplacement))
+    return l1d_.hitLatency() + l2_.hitLatency();
+  return l1d_.hitLatency() + l2_.hitLatency() + cfg_.memLatency;
+}
+
+int MemHierarchy::accessInst(std::uint64_t addr) {
+  if (l1i_.access(addr)) return l1i_.hitLatency();
+  if (l2_.access(addr)) return l1i_.hitLatency() + l2_.hitLatency();
+  return l1i_.hitLatency() + l2_.hitLatency() + cfg_.memLatency;
+}
+
+int MemHierarchy::probeDataLatency(std::uint64_t addr) const {
+  if (l1d_.contains(addr)) return l1d_.hitLatency();
+  if (l2_.contains(addr)) return l1d_.hitLatency() + l2_.hitLatency();
+  return l1d_.hitLatency() + l2_.hitLatency() + cfg_.memLatency;
+}
+
+} // namespace lev::uarch

@@ -1,0 +1,114 @@
+// Set-associative caches with LRU replacement and a two-level hierarchy.
+//
+// The caches track tags only (data lives in Memory); what matters for both
+// timing and security is *which lines are present* — the cache tag state is
+// the side channel the attacks in src/security observe, exactly as a real
+// flush+reload attacker observes it through timing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace lev::uarch {
+
+/// Victim-selection policy.
+enum class Replacement {
+  Lru,    ///< true least-recently-used (timestamps)
+  Random, ///< pseudo-random way (deterministic LCG)
+  Nru,    ///< not-recently-used: clear ref bits when all set, evict first
+          ///< un-referenced way (tree-PLRU-class behaviour)
+};
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t sizeBytes = 32 * 1024;
+  int assoc = 8;
+  int lineBytes = 64;
+  int hitLatency = 3;
+  Replacement replacement = Replacement::Lru;
+};
+
+/// One cache level. Replacement state updates are optional per access so the
+/// delay-on-miss policy can model "hit without leaving a trace".
+class Cache {
+public:
+  Cache(const CacheConfig& cfg, StatSet& stats);
+
+  /// Access a line: returns true on hit. On miss the line is installed
+  /// (evicting LRU). `updateReplacement=false` leaves LRU order untouched on
+  /// a hit and skips the install on a miss.
+  bool access(std::uint64_t addr, bool updateReplacement = true);
+
+  /// Non-mutating presence check.
+  bool contains(std::uint64_t addr) const;
+
+  /// Evict one line / everything (attacker primitives).
+  void flushLine(std::uint64_t addr);
+  void flushAll();
+
+  int hitLatency() const { return cfg_.hitLatency; }
+  int lineBytes() const { return cfg_.lineBytes; }
+  int numSets() const { return numSets_; }
+  const CacheConfig& config() const { return cfg_; }
+
+  /// Number of valid lines currently mapping to the set of `addr`
+  /// (prime+probe primitive).
+  int occupancy(std::uint64_t addr) const;
+
+private:
+  struct Line {
+    bool valid = false;
+    std::uint64_t tag = 0;
+    std::uint64_t lastUse = 0; ///< LRU timestamp
+    bool referenced = false;   ///< NRU ref bit
+  };
+
+  std::uint64_t tagOf(std::uint64_t addr) const;
+  std::size_t setOf(std::uint64_t addr) const;
+  Line& pickVictim(std::size_t setBase);
+
+  CacheConfig cfg_;
+  int numSets_ = 0;
+  std::vector<Line> lines_; // numSets * assoc
+  std::uint64_t useClock_ = 0;
+  std::uint64_t randState_ = 0x853c49e6748fea9bull; ///< Random replacement
+  StatSet& stats_;
+};
+
+/// The L1D/L1I + shared L2 + DRAM hierarchy. Access returns the total
+/// latency in cycles and updates all levels' state.
+class MemHierarchy {
+public:
+  struct Config {
+    CacheConfig l1d{"l1d", 32 * 1024, 8, 64, 3};
+    CacheConfig l1i{"l1i", 32 * 1024, 8, 64, 1};
+    CacheConfig l2{"l2", 1024 * 1024, 16, 64, 12};
+    int memLatency = 100;
+  };
+
+  MemHierarchy(const Config& cfg, StatSet& stats);
+
+  /// Data access (load or store fill). Returns latency in cycles.
+  int accessData(std::uint64_t addr, bool updateReplacement = true);
+  /// Instruction fetch access. Returns latency in cycles.
+  int accessInst(std::uint64_t addr);
+  /// Latency a data access WOULD take, without changing any state.
+  int probeDataLatency(std::uint64_t addr) const;
+
+  Cache& l1d() { return l1d_; }
+  Cache& l1i() { return l1i_; }
+  Cache& l2() { return l2_; }
+  const Cache& l1d() const { return l1d_; }
+  const Cache& l2() const { return l2_; }
+  int memLatency() const { return cfg_.memLatency; }
+
+private:
+  Config cfg_;
+  Cache l1d_;
+  Cache l1i_;
+  Cache l2_;
+};
+
+} // namespace lev::uarch

@@ -1,0 +1,687 @@
+#include "uarch/core.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "isa/disasm.hpp"
+#include "support/error.hpp"
+
+namespace lev::uarch {
+
+using isa::Opc;
+
+namespace {
+/// Hint used for synthetic instructions fetched outside the text segment.
+const isa::Hint kConservativeHint{{}, true};
+} // namespace
+
+O3Core::O3Core(const isa::Program& prog, const CoreConfig& cfg,
+               SpeculationPolicy& policy, StatSet& stats)
+    : prog_(prog), cfg_(cfg), policy_(policy), stats_(stats),
+      hier_(cfg.mem, stats), bp_(cfg.bp, stats),
+      prefetcher_(cfg.prefetch, stats) {
+  mem_.loadProgram(prog);
+  fetchPc_ = prog.entry;
+  archRegs_[isa::kRegSp] = prog.stackTop;
+  for (int r = 0; r < isa::kNumRegs; ++r)
+    renameMap_[r] = RenameEntry{true, archRegs_[r], 0};
+  policy_.reset();
+}
+
+const DynInst* O3Core::findInst(std::uint64_t seq) const {
+  return robFindConst(seq);
+}
+
+DynInst* O3Core::robFind(std::uint64_t seq) {
+  if (rob_.empty() || seq < rob_.front().seq || seq > rob_.back().seq)
+    return nullptr;
+  return &rob_[static_cast<std::size_t>(seq - rob_.front().seq)];
+}
+
+const DynInst* O3Core::robFindConst(std::uint64_t seq) const {
+  if (rob_.empty() || seq < rob_.front().seq || seq > rob_.back().seq)
+    return nullptr;
+  return &rob_[static_cast<std::size_t>(seq - rob_.front().seq)];
+}
+
+bool O3Core::trulyDependsOn(const DynInst& inst, const DynInst& branch) const {
+  // Indirect control flow has no compiler annotation: conservative.
+  if (branch.si.op == Opc::JALR) return true;
+  const int fi = prog_.funcIndexOfPc(inst.pc);
+  const int fb = prog_.funcIndexOfPc(branch.pc);
+  // Cross-function (or unknown provenance): the intra-procedural analysis
+  // says nothing — conservative.
+  if (fi < 0 || fb < 0 || fi != fb) return true;
+  LEV_CHECK(inst.hint != nullptr, "dispatched instruction without hint");
+  return inst.hint->dependsOn(branch.pc);
+}
+
+bool O3Core::hasUnresolvedTrueDependee(const DynInst& inst) const {
+  for (std::uint64_t seq : unresolvedBranches_) {
+    if (seq >= inst.seq) break;
+    const DynInst* branch = robFindConst(seq);
+    if (branch != nullptr && trulyDependsOn(inst, *branch)) return true;
+  }
+  return false;
+}
+
+namespace {
+/// One trace line: "<cycle> <event> seq=<n> pc=0x<pc> <disasm>".
+void traceLine(std::ostream* os, std::uint64_t cycle, const char* event,
+               const DynInst& di) {
+  if (os == nullptr) return;
+  *os << cycle << " " << event << " seq=" << di.seq << " pc=0x" << std::hex
+      << di.pc << std::dec << " " << isa::disasm(di.si, di.pc) << "\n";
+}
+} // namespace
+
+void O3Core::dumpState(std::ostream& os) const {
+  os << "cycle " << cycle_ << " fetchPc 0x" << std::hex << fetchPc_ << std::dec
+     << " stopped=" << fetchStopped_ << " fq=" << fetchQueue_.size()
+     << " rob=" << rob_.size() << " notIssued=" << notIssued_.size()
+     << " executing=" << executing_.size()
+     << " unresolved=" << unresolvedBranches_.size() << "\n";
+  int shown = 0;
+  for (const DynInst& di : rob_) {
+    if (++shown > 24) {
+      os << "  ...\n";
+      break;
+    }
+    os << "  seq " << di.seq << " pc 0x" << std::hex << di.pc << std::dec
+       << " " << isa::disasm(di.si, di.pc) << " issued=" << di.issued
+       << " exec=" << di.executed;
+    for (int i = 0; i < 2; ++i)
+      if (di.ops[i].present)
+        os << " op" << i << (di.ops[i].ready ? "=rdy" : "=wait:")
+           << (di.ops[i].ready ? "" : std::to_string(di.ops[i].producer));
+    os << "\n";
+  }
+}
+
+// ---------------------------------------------------------------- fetch --
+
+void O3Core::fetchStage() {
+  if (halted_ || fetchStopped_ || cycle_ < fetchResumeCycle_) return;
+  const int queueCap = cfg_.fetchWidth * 2 + 2 * cfg_.frontendDepth;
+  for (int i = 0; i < cfg_.fetchWidth; ++i) {
+    if (static_cast<int>(fetchQueue_.size()) >= queueCap) return;
+
+    // Instruction-cache access, one per line transition.
+    const std::uint64_t line =
+        fetchPc_ / static_cast<std::uint64_t>(hier_.l1i().lineBytes());
+    if (line != icacheLine_) {
+      const int lat = hier_.accessInst(fetchPc_);
+      icacheLine_ = line;
+      if (lat > hier_.l1i().hitLatency()) {
+        fetchResumeCycle_ = cycle_ + static_cast<std::uint64_t>(lat);
+        return;
+      }
+    }
+
+    FetchedInst f;
+    DynInst& di = f.di;
+    di.pc = fetchPc_;
+    di.fetchedCycle = cycle_;
+
+    if (!prog_.pcInText(fetchPc_)) {
+      // Wrong-path fetch ran into data or unmapped space. Inject an inert
+      // synthetic HALT; it blocks fetch until the misprediction that led
+      // here is squashed. Committing it means the *program* is broken.
+      di.si.op = Opc::HALT;
+      di.synthetic = true;
+      di.hint = &kConservativeHint;
+      di.predictedNext = fetchPc_;
+      fetchQueue_.push_back(std::move(f));
+      fetchStopped_ = true;
+      ++stats_.counter("fetch.offTextPath");
+      return;
+    }
+
+    di.si = prog_.instAt(fetchPc_);
+    di.hint = &prog_.hintAt(fetchPc_);
+    const std::uint64_t nextSeqPc = fetchPc_ + isa::kInstBytes;
+    di.predictedNext = nextSeqPc;
+
+    if (isa::isCondBranch(di.si.op)) {
+      di.bpCheckpoint = bp_.checkpoint();
+      di.hasCheckpoint = true;
+      di.historyAtPredict = bp_.history();
+      di.predictedTaken = bp_.predictCond(di.pc);
+      di.predictedNext = di.predictedTaken
+                             ? di.pc + static_cast<std::uint64_t>(di.si.imm)
+                             : nextSeqPc;
+    } else if (di.si.op == Opc::JAL) {
+      di.predictedNext = di.pc + static_cast<std::uint64_t>(di.si.imm);
+      if (di.si.rd == isa::kRegRa) bp_.pushReturn(nextSeqPc);
+    } else if (di.si.op == Opc::JALR) {
+      di.bpCheckpoint = bp_.checkpoint();
+      di.hasCheckpoint = true;
+      const bool isReturn =
+          di.si.rd == isa::kRegZero && di.si.rs1 == isa::kRegRa;
+      const std::uint64_t predicted = bp_.predictIndirect(di.pc, isReturn);
+      di.predictedNext = predicted != 0 ? predicted : nextSeqPc;
+      if (di.si.rd == isa::kRegRa) bp_.pushReturn(nextSeqPc);
+    }
+
+    const bool isHalt = di.si.op == Opc::HALT;
+    const bool redirected = di.predictedNext != nextSeqPc;
+    const std::uint64_t next = di.predictedNext;
+    fetchQueue_.push_back(std::move(f));
+    ++stats_.counter("fetch.insts");
+
+    if (isHalt) {
+      fetchStopped_ = true;
+      return;
+    }
+    fetchPc_ = next;
+    if (redirected) return; // taken-branch fetch bubble
+  }
+}
+
+// ------------------------------------------------------------- dispatch --
+
+void O3Core::dispatchStage() {
+  for (int i = 0; i < cfg_.renameWidth; ++i) {
+    if (fetchQueue_.empty()) return;
+    FetchedInst& f = fetchQueue_.front();
+    if (f.di.fetchedCycle + static_cast<std::uint64_t>(cfg_.frontendDepth) >
+        cycle_)
+      return;
+    if (static_cast<int>(rob_.size()) >= cfg_.robSize) {
+      ++stats_.counter("dispatch.robFullCycles");
+      return;
+    }
+    if (static_cast<int>(notIssued_.size()) >= cfg_.iqSize) return;
+    if (f.di.isLoad() && loadsInFlight_ >= cfg_.lqSize) return;
+    if (f.di.isStore() && storesInFlight_ >= cfg_.sqSize) return;
+
+    DynInst di = std::move(f.di);
+    fetchQueue_.pop_front();
+    di.seq = nextSeq_++;
+
+    // Capture operands from the rename map.
+    auto captureOperand = [&](int idx, int reg) {
+      DynInst::Operand& op = di.ops[idx];
+      op.present = true;
+      if (reg == isa::kRegZero) {
+        op.ready = true;
+        op.value = 0;
+        return;
+      }
+      const RenameEntry& e = renameMap_[reg];
+      if (e.ready) {
+        op.ready = true;
+        op.value = e.value;
+        op.producer = 0;
+      } else {
+        op.producer = e.producer;
+        DynInst* producer = robFind(e.producer);
+        LEV_CHECK(producer != nullptr, "rename map points at missing producer");
+        if (producer->executed) {
+          op.ready = true;
+          op.value = producer->result;
+        }
+        // else: register as waiter below, once this inst is in the ROB.
+      }
+    };
+    if (isa::readsRs1(di.si.op)) captureOperand(0, di.si.rs1);
+    if (isa::readsRs2(di.si.op)) captureOperand(1, di.si.rs2);
+
+    // Save the previous mapping of rd for squash walk-back, then claim it.
+    RenameEntry prev;
+    bool prevValid = false;
+    if (isa::writesReg(di.si.op) && di.si.rd != isa::kRegZero) {
+      prev = renameMap_[di.si.rd];
+      prevValid = true;
+      renameMap_[di.si.rd] = RenameEntry{false, 0, di.seq};
+    }
+
+    if (di.isLoad()) ++loadsInFlight_;
+    if (di.isStore()) ++storesInFlight_;
+    if (di.isSpecSource()) unresolvedBranches_.push_back(di.seq);
+
+    rob_.push_back(std::move(di));
+    prevMap_.push_back(prev);
+    prevMapValid_.push_back(prevValid);
+    waiters_.emplace_back();
+    notIssued_.push_back(rob_.back().seq);
+    ++stats_.counter("dispatch.insts");
+
+    // Register waiters for still-pending operands.
+    DynInst& placed = rob_.back();
+    for (int opIdx = 0; opIdx < 2; ++opIdx) {
+      DynInst::Operand& op = placed.ops[opIdx];
+      if (op.present && !op.ready) {
+        DynInst* producer = robFind(op.producer);
+        LEV_CHECK(producer != nullptr, "pending operand without producer");
+        waiters_[static_cast<std::size_t>(producer->seq - rob_.front().seq)]
+            .push_back({placed.seq, opIdx});
+      }
+    }
+
+    traceLine(trace_, cycle_, "dispatch", placed);
+    policy_.onDispatch(*this, placed);
+  }
+}
+
+// ---------------------------------------------------------------- issue --
+
+std::uint64_t O3Core::readOperand(const DynInst& inst, int opIndex) const {
+  LEV_CHECK(inst.ops[opIndex].present && inst.ops[opIndex].ready,
+            "reading unready operand");
+  return inst.ops[opIndex].value;
+}
+
+void O3Core::executeInst(DynInst& inst) {
+  const Opc op = inst.si.op;
+  int latency = cfg_.aluLat;
+  const auto imm = static_cast<std::uint64_t>(inst.si.imm);
+
+  if (op >= Opc::ADD && op <= Opc::SGEU) {
+    inst.result = isa::evalAlu(op, readOperand(inst, 0), readOperand(inst, 1));
+    if (op == Opc::MUL) latency = cfg_.mulLat;
+    if (op == Opc::DIVS || op == Opc::DIVU || op == Opc::REMS ||
+        op == Opc::REMU) {
+      latency = cfg_.divLat;
+      divBusyUntil_ = cycle_ + static_cast<std::uint64_t>(cfg_.divLat);
+    }
+  } else if (op >= Opc::ADDI && op <= Opc::SLTUI) {
+    inst.result = isa::evalAlu(op, readOperand(inst, 0), imm);
+  } else if (isa::isCondBranch(op)) {
+    const bool taken =
+        isa::evalBranch(op, readOperand(inst, 0), readOperand(inst, 1));
+    inst.actualNext = taken ? inst.pc + imm : inst.pc + isa::kInstBytes;
+    inst.result = taken ? 1 : 0;
+    latency = cfg_.branchResolveLat;
+  } else if (op == Opc::JAL) {
+    inst.result = inst.pc + isa::kInstBytes;
+    inst.actualNext = inst.pc + imm;
+  } else if (op == Opc::JALR) {
+    inst.result = inst.pc + isa::kInstBytes;
+    inst.actualNext = (readOperand(inst, 0) + imm) & ~std::uint64_t{7};
+    latency = cfg_.branchResolveLat;
+  } else if (op == Opc::RDCYC) {
+    inst.result = cycle_;
+  } else if (op == Opc::FLUSH) {
+    const std::uint64_t addr = readOperand(inst, 0) + imm;
+    hier_.l1d().flushLine(addr);
+    hier_.l2().flushLine(addr);
+    inst.result = 0;
+    ++stats_.counter("exec.flushes");
+  } else {
+    // HALT / NOP / synthetic: inert until commit.
+    inst.result = 0;
+  }
+
+  inst.issued = true;
+  inst.completeCycle = cycle_ + static_cast<std::uint64_t>(latency);
+  executing_.push_back(inst.seq);
+  traceLine(trace_, cycle_, "issue", inst);
+}
+
+bool O3Core::tryIssueLoad(DynInst& inst) {
+  const std::uint64_t addr =
+      readOperand(inst, 0) + static_cast<std::uint64_t>(inst.si.imm);
+  const int size = isa::memSize(inst.si.op);
+
+  // Conservative memory disambiguation: every older store must have a known
+  // address before any younger load may access memory.
+  const DynInst* forwardStore = nullptr;
+  for (const DynInst& older : rob_) {
+    if (older.seq >= inst.seq) break;
+    if (!older.isStore()) continue;
+    if (!older.addrValid) {
+      ++stats_.counter("lsq.loadWaitUnknownStoreAddr");
+      return false;
+    }
+    const std::uint64_t sa = older.memAddr;
+    const auto ss = static_cast<std::uint64_t>(isa::memSize(older.si.op));
+    const std::uint64_t la = addr;
+    const auto ls = static_cast<std::uint64_t>(size);
+    const bool overlap = sa < la + ls && la < sa + ss;
+    if (!overlap) continue;
+    const bool contained = sa <= la && la + ls <= sa + ss;
+    if (contained) {
+      forwardStore = &older; // youngest containing store wins (keep looping)
+    } else {
+      // Partial overlap: wait for the store to commit to memory.
+      ++stats_.counter("lsq.loadWaitPartialOverlap");
+      return false;
+    }
+  }
+
+  inst.memAddr = addr;
+  inst.addrValid = true;
+
+  const LoadAction action = policy_.onLoadIssue(*this, inst);
+  if (action == LoadAction::Delay) {
+    ++stats_.counter("policy.loadDelayCycles");
+    inst.addrValid = false; // not yet visible to younger disambiguation
+    return false;
+  }
+
+  int latency;
+  std::uint64_t value;
+  if (forwardStore != nullptr) {
+    value = forwardStore->storeData >> (8 * (addr - forwardStore->memAddr));
+    if (size < 8) value &= (1ull << (8 * size)) - 1;
+    latency = cfg_.storeForwardLat;
+    inst.forwardedFrom = forwardStore->seq;
+    ++stats_.counter("lsq.forwards");
+  } else if (action == LoadAction::ProceedInvisibly) {
+    value = mem_.read(addr, size);
+    latency = hier_.l1d().hitLatency();
+    inst.invisibleLoad = true;
+    ++stats_.counter("policy.invisibleLoads");
+  } else {
+    // MSHR limit: a load that would start a new miss while all miss
+    // registers are busy waits in the issue queue. Probed without touching
+    // cache state so the retry is side-effect free.
+    const bool wouldMiss = !hier_.l1d().contains(addr);
+    if (wouldMiss && cfg_.mshrs > 0) {
+      std::erase_if(missCompletions_,
+                    [&](std::uint64_t c) { return c <= cycle_; });
+      if (static_cast<int>(missCompletions_.size()) >= cfg_.mshrs) {
+        ++stats_.counter("lsq.mshrFullCycles");
+        inst.addrValid = false;
+        return false;
+      }
+    }
+    value = mem_.read(addr, size);
+    latency = hier_.accessData(addr);
+    if (wouldMiss && cfg_.mshrs > 0)
+      missCompletions_.push_back(cycle_ + static_cast<std::uint64_t>(latency));
+    // Train/trigger the prefetcher on normal demand accesses only —
+    // invisible (DoM) and delayed loads must leave no prefetch trace.
+    for (std::uint64_t target :
+         prefetcher_.observe(inst.pc, addr, hier_.l1d().lineBytes()))
+      hier_.accessData(target);
+  }
+
+  inst.result = value;
+  inst.issued = true;
+  inst.completeCycle = cycle_ + static_cast<std::uint64_t>(latency);
+  executing_.push_back(inst.seq);
+  traceLine(trace_, cycle_, "issue-load", inst);
+  ++stats_.counter("issue.loads");
+  return true;
+}
+
+bool O3Core::tryIssueStore(DynInst& inst) {
+  // "Executing" a store computes its address and captures its data; the
+  // memory write happens at commit.
+  inst.memAddr = readOperand(inst, 0) + static_cast<std::uint64_t>(inst.si.imm);
+  inst.storeData = readOperand(inst, 1);
+  inst.addrValid = true;
+  inst.issued = true;
+  inst.completeCycle = cycle_ + 1;
+  executing_.push_back(inst.seq);
+  traceLine(trace_, cycle_, "issue-store", inst);
+  ++stats_.counter("issue.stores");
+  return true;
+}
+
+void O3Core::issueStage() {
+  int aluUsed = 0, mulUsed = 0, memUsed = 0, issued = 0;
+  std::vector<std::uint64_t> done;
+
+  for (std::uint64_t seq : notIssued_) {
+    if (issued >= cfg_.issueWidth) break;
+    DynInst* ip = robFind(seq);
+    LEV_CHECK(ip != nullptr, "notIssued entry missing from ROB");
+    DynInst& di = *ip;
+
+    bool ready = true;
+    for (const auto& op : di.ops)
+      if (op.present && !op.ready) ready = false;
+    if (!ready) continue;
+
+    // Structural hazards.
+    const Opc op = di.si.op;
+    const bool isDiv =
+        op == Opc::DIVS || op == Opc::DIVU || op == Opc::REMS || op == Opc::REMU;
+    if (di.isLoad() || di.isStore()) {
+      if (memUsed >= cfg_.memPorts) continue;
+    } else if (op == Opc::MUL) {
+      if (mulUsed >= cfg_.mulUnits) continue;
+    } else if (isDiv) {
+      if (divBusyUntil_ > cycle_) continue;
+    } else {
+      if (aluUsed >= cfg_.intAlus) continue;
+    }
+
+    // Record the motivation-figure flags the first time the instruction is
+    // *eligible* (operands ready), whether or not a policy then delays it.
+    if (!di.issued) {
+      di.speculativeAtIssue = hasUnresolvedBranchOlderThan(di.seq);
+      di.trueDepUnresolvedAtIssue = hasUnresolvedTrueDependee(di);
+    }
+
+    if (!policy_.mayExecute(*this, di)) {
+      ++stats_.counter("policy.execDelayCycles");
+      continue;
+    }
+
+    if (di.isLoad()) {
+      if (!tryIssueLoad(di)) continue;
+      ++memUsed;
+    } else if (di.isStore()) {
+      if (!tryIssueStore(di)) continue;
+      ++memUsed;
+    } else {
+      executeInst(di);
+      if (op == Opc::MUL)
+        ++mulUsed;
+      else if (!isDiv)
+        ++aluUsed;
+    }
+    ++issued;
+    done.push_back(seq);
+  }
+
+  if (!done.empty()) {
+    auto keep = [&](std::uint64_t s) {
+      return !std::binary_search(done.begin(), done.end(), s);
+    };
+    std::erase_if(notIssued_, [&](std::uint64_t s) { return !keep(s); });
+  }
+  stats_.counter("issue.insts") += issued;
+}
+
+// ------------------------------------------------------------ writeback --
+
+void O3Core::deliverValue(DynInst& producer) {
+  const std::size_t idx =
+      static_cast<std::size_t>(producer.seq - rob_.front().seq);
+  for (const Waiter& w : waiters_[idx]) {
+    DynInst* consumer = robFind(w.consumer);
+    if (consumer == nullptr) continue; // squashed
+    DynInst::Operand& op = consumer->ops[w.opIndex];
+    if (op.present && !op.ready && op.producer == producer.seq) {
+      op.ready = true;
+      op.value = producer.result;
+    }
+  }
+  waiters_[idx].clear();
+}
+
+void O3Core::resolveBranch(DynInst& branch) {
+  branch.resolved = true;
+  std::erase(unresolvedBranches_, branch.seq);
+
+  if (isa::isCondBranch(branch.si.op)) {
+    bp_.updateCond(branch.pc, branch.result != 0, branch.historyAtPredict);
+  } else if (branch.si.op == Opc::JALR) {
+    bp_.updateIndirect(branch.pc, branch.actualNext);
+  }
+
+  policy_.onBranchResolved(*this, branch);
+
+  if (branch.actualNext != branch.predictedNext) {
+    branch.mispredicted = true;
+    traceLine(trace_, cycle_, "mispredict", branch);
+    ++stats_.counter("bp.mispredicts");
+    squashAfter(branch);
+  } else {
+    traceLine(trace_, cycle_, "resolve", branch);
+  }
+}
+
+void O3Core::writebackStage() {
+  // Snapshot: squashes triggered by resolution mutate executing_.
+  std::vector<std::uint64_t> completing;
+  for (std::uint64_t seq : executing_) {
+    const DynInst* di = robFindConst(seq);
+    if (di != nullptr && di->completeCycle <= cycle_) completing.push_back(seq);
+  }
+  std::sort(completing.begin(), completing.end()); // resolve oldest first
+
+  for (std::uint64_t seq : completing) {
+    DynInst* di = robFind(seq);
+    if (di == nullptr || di->executed) continue; // squashed meanwhile
+    di->executed = true;
+    std::erase(executing_, seq);
+    traceLine(trace_, cycle_, "writeback", *di);
+    deliverValue(*di);
+    policy_.onWriteback(*this, *di);
+    if (di->isSpecSource()) resolveBranch(*di);
+  }
+}
+
+void O3Core::squashAfter(DynInst& branch) {
+  const std::uint64_t boundary = branch.seq;
+  while (!rob_.empty() && rob_.back().seq > boundary) {
+    DynInst& victim = rob_.back();
+    traceLine(trace_, cycle_, "squash", victim);
+    policy_.onSquash(*this, victim.seq);
+    if (prevMapValid_.back()) {
+      RenameEntry prev = prevMap_.back();
+      if (!prev.ready && robFind(prev.producer) == nullptr) {
+        // The shadowed producer retired while this mapping was hidden; its
+        // value is the architectural one now.
+        prev = RenameEntry{true, archRegs_[victim.si.rd], 0};
+      }
+      renameMap_[victim.si.rd] = prev;
+    }
+    if (victim.isLoad()) --loadsInFlight_;
+    if (victim.isStore()) --storesInFlight_;
+    rob_.pop_back();
+    prevMap_.pop_back();
+    prevMapValid_.pop_back();
+    waiters_.pop_back();
+    ++stats_.counter("squash.insts");
+  }
+  std::erase_if(notIssued_, [&](std::uint64_t s) { return s > boundary; });
+  std::erase_if(executing_, [&](std::uint64_t s) { return s > boundary; });
+  std::erase_if(unresolvedBranches_,
+                [&](std::uint64_t s) { return s > boundary; });
+  // Purge waiter registrations from squashed consumers.
+  for (auto& list : waiters_)
+    std::erase_if(list, [&](const Waiter& w) { return w.consumer > boundary; });
+  // Reuse sequence numbers so ROB seqs stay contiguous.
+  nextSeq_ = boundary + 1;
+
+  fetchQueue_.clear();
+  LEV_CHECK(branch.hasCheckpoint, "squashing branch without checkpoint");
+  bp_.restore(branch.bpCheckpoint);
+  if (isa::isCondBranch(branch.si.op)) {
+    bp_.applyCondOutcome(branch.result != 0);
+  } else if (branch.si.op == Opc::JALR) {
+    const bool isReturn =
+        branch.si.rd == isa::kRegZero && branch.si.rs1 == isa::kRegRa;
+    if (isReturn) bp_.dropRasTop();
+    if (branch.si.rd == isa::kRegRa)
+      bp_.pushReturn(branch.pc + isa::kInstBytes);
+  }
+
+  fetchPc_ = branch.actualNext;
+  fetchStopped_ = false;
+  fetchResumeCycle_ = cycle_ + static_cast<std::uint64_t>(cfg_.redirectPenalty);
+  icacheLine_ = ~0ull;
+  ++stats_.counter("squash.events");
+}
+
+// --------------------------------------------------------------- commit --
+
+void O3Core::commitStage() {
+  for (int i = 0; i < cfg_.commitWidth && !rob_.empty(); ++i) {
+    DynInst& head = rob_.front();
+    if (!head.executed) return;
+    if (head.isSpecSource() && !head.resolved) return;
+
+    if (head.synthetic)
+      throw SimError("program ran off the text segment (committed synthetic "
+                     "halt at pc 0x" +
+                     std::to_string(head.pc) + ")");
+
+    if (head.isStore()) {
+      mem_.write(head.memAddr, head.storeData, isa::memSize(head.si.op));
+      // The store buffer drains into the hierarchy at commit; its fill is
+      // architectural (correct-path) state.
+      hier_.accessData(head.memAddr);
+      ++stats_.counter("commit.stores");
+    }
+    if (head.isLoad()) {
+      ++stats_.counter("commit.loads");
+      if (head.speculativeAtIssue)
+        ++stats_.counter("commit.loadsSpecAtIssue");
+      if (head.trueDepUnresolvedAtIssue)
+        ++stats_.counter("commit.loadsTrueDepAtIssue");
+    }
+    if (head.speculativeAtIssue) ++stats_.counter("commit.instsSpecAtIssue");
+    if (head.trueDepUnresolvedAtIssue)
+      ++stats_.counter("commit.instsTrueDepAtIssue");
+
+    if (isa::writesReg(head.si.op) && head.si.rd != isa::kRegZero) {
+      archRegs_[head.si.rd] = head.result;
+      RenameEntry& e = renameMap_[head.si.rd];
+      if (!e.ready && e.producer == head.seq)
+        e = RenameEntry{true, head.result, 0};
+    }
+
+    traceLine(trace_, cycle_, "commit", head);
+    policy_.onCommit(*this, head);
+    ++committedInsts_;
+    ++stats_.counter("commit.insts");
+
+    if (head.isLoad()) --loadsInFlight_;
+    if (head.isStore()) --storesInFlight_;
+    const bool isHalt = head.si.op == Opc::HALT;
+    rob_.pop_front();
+    prevMap_.pop_front();
+    prevMapValid_.pop_front();
+    waiters_.pop_front();
+    if (isHalt) {
+      halted_ = true;
+      return;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ run --
+
+bool O3Core::tick() {
+  if (halted_) return false;
+  commitStage();
+  if (halted_) {
+    ++cycle_;
+    return false;
+  }
+  writebackStage();
+  issueStage();
+  dispatchStage();
+  fetchStage();
+  ++cycle_;
+  return true;
+}
+
+RunExit O3Core::run(std::uint64_t maxCycles) {
+  while (!halted_) {
+    if (cycle_ >= maxCycles) return RunExit::CycleLimit;
+    tick();
+  }
+  stats_.counter("sim.cycles") = static_cast<std::int64_t>(cycle_);
+  return RunExit::Halted;
+}
+
+} // namespace lev::uarch

@@ -1,0 +1,193 @@
+// The cycle-level out-of-order core (the gem5-O3 substitute).
+//
+// A 4-wide (configurable) superscalar with: gshare/BTB/RAS front end,
+// register renaming with ROB-walk recovery, an age-ordered issue queue with
+// wakeup/select, ALU/MUL/DIV units, a load/store queue with store-to-load
+// forwarding and conservative memory disambiguation, two cache levels, and
+// in-order commit.
+//
+// Crucially for this paper, the core executes *wrong-path* instructions:
+// fetch follows predictions, mispredictions are discovered at execute, and
+// until the squash the transient instructions really run — transient loads
+// really mutate the cache hierarchy (unless the active SpeculationPolicy
+// stops them). That transient cache mutation is the side channel the
+// security harness measures.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "support/stats.hpp"
+#include "uarch/branchpred.hpp"
+#include "uarch/cache.hpp"
+#include "uarch/dyninst.hpp"
+#include "uarch/memory.hpp"
+#include "uarch/policy.hpp"
+#include "uarch/prefetcher.hpp"
+
+namespace lev::uarch {
+
+/// Core + memory-system parameters (Table 2 of the reproduction).
+struct CoreConfig {
+  int fetchWidth = 4;
+  int renameWidth = 4;
+  int issueWidth = 4;
+  int commitWidth = 4;
+  int robSize = 192;
+  int iqSize = 64;
+  int lqSize = 48;
+  int sqSize = 32;
+  int intAlus = 3;
+  int mulUnits = 1;
+  int divUnits = 1;
+  int memPorts = 2;
+  int aluLat = 1;
+  int mulLat = 3;
+  int divLat = 12;
+  int branchResolveLat = 1;
+  int frontendDepth = 6;   ///< fetch-to-dispatch latency in cycles
+  int redirectPenalty = 5; ///< squash-to-refetch latency
+  int storeForwardLat = 3;
+  /// Outstanding data-cache misses (MSHRs); loads that would start another
+  /// miss while all are busy wait in the issue queue. 0 = unlimited.
+  int mshrs = 16;
+  MemHierarchy::Config mem;
+  PredictorConfig bp;
+  PrefetcherConfig prefetch;
+};
+
+/// Why a run() ended.
+enum class RunExit { Halted, CycleLimit };
+
+class O3Core {
+public:
+  /// The policy must outlive the core. `stats` collects both core and cache
+  /// counters.
+  O3Core(const isa::Program& prog, const CoreConfig& cfg,
+         SpeculationPolicy& policy, StatSet& stats);
+
+  /// Run until a committed HALT or the cycle limit.
+  RunExit run(std::uint64_t maxCycles = 100'000'000);
+
+  /// Step exactly one cycle. Returns false once halted.
+  bool tick();
+
+  // ---- observation API (tests, policies, attack harness) ---------------
+  std::uint64_t cycle() const { return cycle_; }
+  std::uint64_t committedInsts() const { return committedInsts_; }
+  bool halted() const { return halted_; }
+  std::uint64_t archReg(int r) const { return archRegs_[r]; }
+
+  Memory& memory() { return mem_; }
+  const Memory& memory() const { return mem_; }
+  MemHierarchy& hierarchy() { return hier_; }
+  const MemHierarchy& hierarchy() const { return hier_; }
+  const isa::Program& program() const { return prog_; }
+  StatSet& stats() { return stats_; }
+
+  // ---- speculation state exposed to policies ---------------------------
+  /// Sequence numbers of in-flight unresolved speculation sources, oldest
+  /// first.
+  const std::vector<std::uint64_t>& unresolvedBranches() const {
+    return unresolvedBranches_;
+  }
+  bool hasUnresolvedBranchOlderThan(std::uint64_t seq) const {
+    return !unresolvedBranches_.empty() && unresolvedBranches_.front() < seq;
+  }
+  /// Find an in-flight instruction by sequence number (nullptr if retired
+  /// or squashed).
+  const DynInst* findInst(std::uint64_t seq) const;
+
+  /// Dump the in-flight window (diagnostics).
+  void dumpState(std::ostream& os) const;
+
+  /// Stream per-event pipeline trace lines ("<cycle> <event> seq=<n> pc=..")
+  /// to `os`; pass nullptr to disable. Costly — debugging only.
+  void setTrace(std::ostream* os) { trace_ = os; }
+
+  /// True when instruction `inst` truly depends (per its Levioso hint and
+  /// the cross-function conservatism rule) on the unresolved speculation
+  /// source `branch`.
+  bool trulyDependsOn(const DynInst& inst, const DynInst& branch) const;
+  /// Any older unresolved branch `inst` truly depends on?
+  bool hasUnresolvedTrueDependee(const DynInst& inst) const;
+
+private:
+  struct RenameEntry {
+    bool ready = true;
+    std::uint64_t value = 0;
+    std::uint64_t producer = 0;
+  };
+  struct Waiter {
+    std::uint64_t consumer = 0;
+    int opIndex = 0;
+  };
+  /// A fetched, not yet renamed instruction.
+  struct FetchedInst {
+    DynInst di;
+  };
+
+  // Pipeline stages, called in reverse order each cycle.
+  void commitStage();
+  void writebackStage();
+  void issueStage();
+  void dispatchStage();
+  void fetchStage();
+
+  DynInst* robFind(std::uint64_t seq);
+  const DynInst* robFindConst(std::uint64_t seq) const;
+  void deliverValue(DynInst& producer);
+  void resolveBranch(DynInst& branch);
+  void squashAfter(DynInst& branch);
+  void executeInst(DynInst& inst);
+  bool tryIssueLoad(DynInst& inst);
+  bool tryIssueStore(DynInst& inst);
+  std::uint64_t readOperand(const DynInst& inst, int opIndex) const;
+
+  const isa::Program& prog_;
+  CoreConfig cfg_;
+  SpeculationPolicy& policy_;
+  StatSet& stats_;
+
+  Memory mem_;
+  MemHierarchy hier_;
+  BranchPredictor bp_;
+  StridePrefetcher prefetcher_;
+
+  // Architectural state.
+  std::uint64_t archRegs_[isa::kNumRegs] = {};
+
+  // Front end.
+  std::uint64_t fetchPc_ = 0;
+  bool fetchStopped_ = false;
+  std::uint64_t fetchResumeCycle_ = 0;
+  std::uint64_t icacheLine_ = ~0ull; ///< last line fetched (hit fast path)
+  std::deque<FetchedInst> fetchQueue_;
+
+  // Back end.
+  std::deque<DynInst> rob_; ///< contiguous seqs; front = oldest
+  RenameEntry renameMap_[isa::kNumRegs];
+  /// rd rename entries saved at dispatch for squash walk-back, keyed by seq
+  /// (parallel to rob_).
+  std::deque<RenameEntry> prevMap_;
+  std::deque<bool> prevMapValid_;
+  std::vector<std::uint64_t> notIssued_;  ///< seqs, ascending
+  std::vector<std::uint64_t> executing_;  ///< seqs, ascending
+  std::vector<std::uint64_t> unresolvedBranches_; ///< seqs, ascending
+  std::deque<std::vector<Waiter>> waiters_; // parallel to rob_ (by index)
+
+  int loadsInFlight_ = 0;
+  int storesInFlight_ = 0;
+  /// Completion cycles of outstanding data-cache misses (MSHR occupancy).
+  std::vector<std::uint64_t> missCompletions_;
+  std::uint64_t nextSeq_ = 1;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t committedInsts_ = 0;
+  std::uint64_t divBusyUntil_ = 0;
+  bool halted_ = false;
+  std::ostream* trace_ = nullptr;
+};
+
+} // namespace lev::uarch

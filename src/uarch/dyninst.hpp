@@ -1,0 +1,69 @@
+// A dynamic (in-flight) instruction.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+#include "uarch/branchpred.hpp"
+
+namespace lev::uarch {
+
+/// One in-flight instruction in the out-of-order window.
+struct DynInst {
+  std::uint64_t seq = 0; ///< program-order sequence number (dispatch order)
+  std::uint64_t pc = 0;
+  isa::Inst si;
+  const isa::Hint* hint = nullptr; ///< Levioso hint (never null once dispatched)
+
+  // ---- front end -------------------------------------------------------
+  std::uint64_t fetchedCycle = 0;
+  std::uint64_t predictedNext = 0; ///< fetch continued here
+  bool predictedTaken = false;
+  std::uint64_t historyAtPredict = 0;
+  BranchPredictor::Checkpoint bpCheckpoint; ///< speculation sources only
+  bool hasCheckpoint = false;
+  /// Synthetic HALT injected when fetch ran off the text segment on a wrong
+  /// path; committing one of these is a simulation error.
+  bool synthetic = false;
+
+  // ---- rename ----------------------------------------------------------
+  struct Operand {
+    bool present = false;      ///< this operand slot is used
+    bool ready = false;
+    std::uint64_t value = 0;
+    std::uint64_t producer = 0; ///< producing seq; 0 = architectural value
+  };
+  Operand ops[2]; ///< [0] = rs1, [1] = rs2
+
+  // ---- status ----------------------------------------------------------
+  bool issued = false;
+  bool executed = false;
+  std::uint64_t completeCycle = 0;
+
+  std::uint64_t result = 0;
+
+  // ---- memory ----------------------------------------------------------
+  bool addrValid = false;
+  std::uint64_t memAddr = 0;
+  std::uint64_t storeData = 0;
+  std::uint64_t forwardedFrom = 0; ///< store seq that forwarded, 0 = none
+  /// True when this load was allowed to proceed "invisibly" (no cache-state
+  /// change); recorded for stats.
+  bool invisibleLoad = false;
+
+  // ---- speculation bookkeeping ------------------------------------------
+  /// Did an older unresolved speculation source exist when this issued?
+  bool speculativeAtIssue = false;
+  /// Did an older unresolved TRUE dependee (per the Levioso hint) exist when
+  /// this issued? (collected for the fig1 motivation data)
+  bool trueDepUnresolvedAtIssue = false;
+  bool resolved = false; ///< speculation sources: outcome known
+  bool mispredicted = false;
+  std::uint64_t actualNext = 0;
+
+  bool isLoad() const { return isa::isLoad(si.op); }
+  bool isStore() const { return isa::isStore(si.op); }
+  bool isSpecSource() const { return isa::isSpeculationSource(si.op); }
+};
+
+} // namespace lev::uarch

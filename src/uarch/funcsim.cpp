@@ -1,0 +1,77 @@
+#include "uarch/funcsim.hpp"
+
+#include "support/error.hpp"
+
+namespace lev::uarch {
+
+FuncSim::FuncSim(const isa::Program& prog) : prog_(prog) {
+  mem_.loadProgram(prog);
+  pc_ = prog.entry;
+  regs_[isa::kRegSp] = prog.stackTop;
+}
+
+bool FuncSim::step() {
+  using namespace isa;
+  if (halted_) return false;
+  if (!prog_.pcInText(pc_))
+    throw SimError("functional sim: PC left text segment");
+  const Inst inst = prog_.instAt(pc_);
+  ++icount_;
+  std::uint64_t nextPc = pc_ + kInstBytes;
+  const std::uint64_t a = regs_[inst.rs1];
+  const std::uint64_t b = regs_[inst.rs2];
+  const auto imm = static_cast<std::uint64_t>(inst.imm);
+
+  if (inst.op >= Opc::ADD && inst.op <= Opc::SGEU) {
+    setReg(inst.rd, evalAlu(inst.op, a, b));
+  } else if (inst.op >= Opc::ADDI && inst.op <= Opc::SLTUI) {
+    setReg(inst.rd, evalAlu(inst.op, a, imm));
+  } else if (isLoad(inst.op)) {
+    setReg(inst.rd, mem_.read(a + imm, memSize(inst.op)));
+  } else if (isStore(inst.op)) {
+    mem_.write(a + imm, b, memSize(inst.op));
+  } else if (isCondBranch(inst.op)) {
+    if (evalBranch(inst.op, a, b)) nextPc = pc_ + imm;
+  } else {
+    switch (inst.op) {
+    case Opc::JAL:
+      setReg(inst.rd, pc_ + kInstBytes);
+      nextPc = pc_ + imm;
+      break;
+    case Opc::JALR:
+      setReg(inst.rd, pc_ + kInstBytes);
+      nextPc = (a + imm) & ~std::uint64_t{7};
+      break;
+    case Opc::RDCYC:
+      // No cycle notion here; expose the instruction count so programs that
+      // only need *monotonic* time still work. Timing attacks need the O3
+      // core.
+      setReg(inst.rd, icount_);
+      break;
+    case Opc::FLUSH:
+      // No caches in the golden model; only the register effect remains.
+      setReg(inst.rd, 0);
+      break;
+    case Opc::HALT:
+      halted_ = true;
+      return false;
+    case Opc::NOP:
+      break;
+    default:
+      throw SimError("functional sim: bad opcode");
+    }
+  }
+  pc_ = nextPc;
+  return true;
+}
+
+std::uint64_t FuncSim::run(std::uint64_t maxInsts) {
+  while (!halted_) {
+    if (icount_ >= maxInsts)
+      throw SimError("functional sim: instruction limit reached");
+    step();
+  }
+  return icount_;
+}
+
+} // namespace lev::uarch

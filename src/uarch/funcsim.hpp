@@ -1,0 +1,47 @@
+// Functional (architectural) reference simulator — the golden model.
+//
+// Executes one instruction per step with no timing, no speculation and no
+// caches. Integration tests validate the out-of-order core against this
+// model: for any program, both must produce identical architectural results.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+#include "uarch/memory.hpp"
+
+namespace lev::uarch {
+
+class FuncSim {
+public:
+  explicit FuncSim(const isa::Program& prog);
+
+  /// Run until HALT or the instruction limit. Returns the number of
+  /// instructions executed. Throws lev::SimError if the limit is reached or
+  /// the PC leaves the text segment.
+  std::uint64_t run(std::uint64_t maxInsts = 100'000'000);
+
+  /// Single-step one instruction. Returns false when halted.
+  bool step();
+
+  std::uint64_t reg(int r) const { return regs_[r]; }
+  void setReg(int r, std::uint64_t v) {
+    if (r != 0) regs_[r] = v;
+  }
+  std::uint64_t pc() const { return pc_; }
+  bool halted() const { return halted_; }
+  std::uint64_t instsExecuted() const { return icount_; }
+
+  Memory& memory() { return mem_; }
+  const Memory& memory() const { return mem_; }
+
+private:
+  const isa::Program& prog_;
+  Memory mem_;
+  std::uint64_t regs_[isa::kNumRegs] = {};
+  std::uint64_t pc_ = 0;
+  std::uint64_t icount_ = 0;
+  bool halted_ = false;
+};
+
+} // namespace lev::uarch

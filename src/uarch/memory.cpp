@@ -1,0 +1,56 @@
+#include "uarch/memory.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace lev::uarch {
+
+void Memory::loadProgram(const isa::Program& prog) {
+  for (const isa::DataSegment& seg : prog.data)
+    for (std::size_t i = 0; i < seg.bytes.size(); ++i)
+      write(seg.addr + i, seg.bytes[i], 1);
+}
+
+std::uint8_t* Memory::pagePtr(std::uint64_t addr) const {
+  const std::uint64_t pageNo = addr / kPageBytes;
+  auto it = pages_.find(pageNo);
+  if (it == pages_.end()) {
+    auto page = std::make_unique<std::array<std::uint8_t, kPageBytes>>();
+    page->fill(0);
+    it = pages_.emplace(pageNo, std::move(page)).first;
+  }
+  return it->second->data() + (addr % kPageBytes);
+}
+
+std::uint64_t Memory::read(std::uint64_t addr, int size) const {
+  LEV_CHECK(size == 1 || size == 2 || size == 4 || size == 8,
+            "bad memory access size");
+  std::uint64_t v = 0;
+  // Byte-wise to handle page-crossing accesses; accesses are small.
+  for (int i = 0; i < size; ++i)
+    v |= static_cast<std::uint64_t>(*pagePtr(addr + static_cast<std::uint64_t>(i)))
+         << (8 * i);
+  return v;
+}
+
+void Memory::write(std::uint64_t addr, std::uint64_t value, int size) {
+  LEV_CHECK(size == 1 || size == 2 || size == 4 || size == 8,
+            "bad memory access size");
+  for (int i = 0; i < size; ++i)
+    *pagePtr(addr + static_cast<std::uint64_t>(i)) =
+        static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+std::uint64_t Memory::peek(std::uint64_t addr, int size) const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < size; ++i) {
+    const std::uint64_t a = addr + static_cast<std::uint64_t>(i);
+    auto it = pages_.find(a / kPageBytes);
+    const std::uint8_t byte = it == pages_.end() ? 0 : (*it->second)[a % kPageBytes];
+    v |= static_cast<std::uint64_t>(byte) << (8 * i);
+  }
+  return v;
+}
+
+} // namespace lev::uarch

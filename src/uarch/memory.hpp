@@ -1,0 +1,43 @@
+// Sparse byte-addressable physical memory.
+//
+// Pages are allocated on first touch and zero-filled, mirroring gem5's
+// syscall-emulation mode: wrong-path accesses to arbitrary addresses must
+// not fault (transient execution reads garbage, it does not trap), and the
+// Spectre demos rely on transient loads really returning the bytes at the
+// secret's address.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "isa/program.hpp"
+
+namespace lev::uarch {
+
+class Memory {
+public:
+  static constexpr std::uint64_t kPageBytes = 4096;
+
+  /// Load a program image (text is not stored here; fetch reads the
+  /// Program directly — the ISA has no self-modifying code).
+  void loadProgram(const isa::Program& prog);
+
+  std::uint64_t read(std::uint64_t addr, int size) const;
+  void write(std::uint64_t addr, std::uint64_t value, int size);
+
+  /// Read without allocating: returns 0 for untouched memory.
+  std::uint64_t peek(std::uint64_t addr, int size) const;
+
+  std::size_t pagesAllocated() const { return pages_.size(); }
+
+private:
+  std::uint8_t* pagePtr(std::uint64_t addr) const;
+
+  mutable std::unordered_map<std::uint64_t,
+                             std::unique_ptr<std::array<std::uint8_t, kPageBytes>>>
+      pages_;
+};
+
+} // namespace lev::uarch

@@ -1,0 +1,86 @@
+// The hardware hook interface secure-speculation policies implement.
+//
+// The core consults the active policy at well-defined points; policies
+// (src/secure) implement the prior defenses and Levioso on top of these
+// hooks without the core knowing any scheme-specific detail. The interface
+// lives in uarch (not secure) because the core owns the call sites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lev::uarch {
+
+class O3Core;
+struct DynInst;
+
+/// What a load may do when it is ready to access the data cache.
+enum class LoadAction {
+  /// Normal access: may fill caches and update replacement state.
+  Proceed,
+  /// Serve the value with L1-hit latency but leave all cache state
+  /// untouched (delay-on-miss's "invisible hit").
+  ProceedInvisibly,
+  /// Stay in the issue queue; the core re-asks every cycle.
+  Delay,
+};
+
+/// Base class of all speculation policies. Default implementation is the
+/// unsafe baseline: everything proceeds immediately.
+class SpeculationPolicy {
+public:
+  virtual ~SpeculationPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once per simulation before the first cycle.
+  virtual void reset() {}
+
+  /// Instruction entered the ROB.
+  virtual void onDispatch(const O3Core& core, const DynInst& inst) {
+    (void)core;
+    (void)inst;
+  }
+
+  /// Non-load instruction with ready operands wants to start executing.
+  virtual bool mayExecute(const O3Core& core, const DynInst& inst) {
+    (void)core;
+    (void)inst;
+    return true;
+  }
+
+  /// Load with a resolved address wants to access the memory hierarchy.
+  /// (Loads also go through mayExecute first; this hook additionally sees
+  /// the address.)
+  virtual LoadAction onLoadIssue(const O3Core& core, const DynInst& inst) {
+    (void)core;
+    (void)inst;
+    return LoadAction::Proceed;
+  }
+
+  /// Instruction produced its result (taint propagation point).
+  virtual void onWriteback(const O3Core& core, const DynInst& inst) {
+    (void)core;
+    (void)inst;
+  }
+
+  /// A speculation source (conditional branch or JALR) resolved.
+  virtual void onBranchResolved(const O3Core& core, const DynInst& inst) {
+    (void)core;
+    (void)inst;
+  }
+
+  /// Instruction was squashed (wrong path).
+  virtual void onSquash(const O3Core& core, std::uint64_t seq) {
+    (void)core;
+    (void)seq;
+  }
+
+  /// Instruction retired architecturally.
+  virtual void onCommit(const O3Core& core, const DynInst& inst) {
+    (void)core;
+    (void)inst;
+  }
+};
+
+} // namespace lev::uarch

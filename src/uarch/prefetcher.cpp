@@ -1,0 +1,46 @@
+#include "uarch/prefetcher.hpp"
+
+namespace lev::uarch {
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig& cfg, StatSet& stats)
+    : cfg_(cfg), table_(static_cast<std::size_t>(cfg.tableEntries)),
+      stats_(stats) {}
+
+std::vector<std::uint64_t> StridePrefetcher::observe(std::uint64_t pc,
+                                                     std::uint64_t addr,
+                                                     int lineBytes) {
+  std::vector<std::uint64_t> out;
+  if (!cfg_.enabled) return out;
+
+  Entry& e = table_[static_cast<std::size_t>(
+      (pc >> 3) % static_cast<std::uint64_t>(cfg_.tableEntries))];
+  if (!e.valid || e.pc != pc) {
+    e = Entry{true, pc, addr, 0, false};
+    return out;
+  }
+
+  const std::int64_t stride =
+      static_cast<std::int64_t>(addr) - static_cast<std::int64_t>(e.lastAddr);
+  if (stride != 0 && stride == e.stride) {
+    if (e.armed) {
+      for (int d = 1; d <= cfg_.degree; ++d) {
+        const std::uint64_t target =
+            addr + static_cast<std::uint64_t>(d * stride);
+        // Only distinct lines are worth fetching.
+        if ((target / static_cast<std::uint64_t>(lineBytes)) !=
+            (addr / static_cast<std::uint64_t>(lineBytes)))
+          out.push_back(target);
+      }
+      stats_.counter("prefetch.issued") +=
+          static_cast<std::int64_t>(out.size());
+    }
+    e.armed = true;
+  } else {
+    e.armed = false;
+  }
+  e.stride = stride;
+  e.lastAddr = addr;
+  return out;
+}
+
+} // namespace lev::uarch

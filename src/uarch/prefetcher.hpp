@@ -1,0 +1,49 @@
+// PC-indexed stride prefetcher.
+//
+// Classic reference-prediction-table design: per load PC, remember the last
+// address and the last stride; two consecutive accesses with the same
+// stride arm the entry, and every further match prefetches `degree` lines
+// ahead. Disabled by default in CoreConfig so the paper-reproduction
+// figures stay prefetch-free; bench/fig8_prefetch measures its interaction
+// with the defenses (prefetches issued on behalf of *transient* loads are
+// themselves a side channel — the reason DoM-style schemes must suppress
+// them, which the core does by never invoking the prefetcher for invisible
+// or delayed loads).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace lev::uarch {
+
+struct PrefetcherConfig {
+  bool enabled = false;
+  int tableEntries = 256; ///< direct-mapped by load PC
+  int degree = 2;         ///< lines prefetched per trigger
+};
+
+class StridePrefetcher {
+public:
+  StridePrefetcher(const PrefetcherConfig& cfg, StatSet& stats);
+
+  /// Observe a demand access; returns the addresses to prefetch (empty when
+  /// disabled or the entry is not armed).
+  std::vector<std::uint64_t> observe(std::uint64_t pc, std::uint64_t addr,
+                                     int lineBytes);
+
+private:
+  struct Entry {
+    bool valid = false;
+    std::uint64_t pc = 0;
+    std::uint64_t lastAddr = 0;
+    std::int64_t stride = 0;
+    bool armed = false;
+  };
+  PrefetcherConfig cfg_;
+  std::vector<Entry> table_;
+  StatSet& stats_;
+};
+
+} // namespace lev::uarch

@@ -1,0 +1,337 @@
+#include "workloads/gadgets.hpp"
+
+#include <sstream>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "isa/asmparser.hpp"
+#include "support/error.hpp"
+
+namespace lev::workloads {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Op;
+using ir::Value;
+
+namespace {
+Value R(int reg) { return Value::makeReg(reg); }
+Value I(std::int64_t v) { return Value::makeImm(v); }
+} // namespace
+
+const std::vector<std::uint8_t>& gadgetSecret() {
+  static const std::vector<std::uint8_t> kSecret = {'L', 'E', 'V', 'I',
+                                                    'O', 'S', 'O', '!'};
+  return kSecret;
+}
+
+isa::Program timingAttackProgram() {
+  return isa::assemble(R"(
+.entry main
+.space array1_size 8 64
+.bytes array1_size 0 1000000000000000
+.space array1 16 8
+.space secret 8 8
+.bytes secret 0 4c4556494f534f21
+.space array2 16384 64
+.space recovered 8 8
+
+main:
+  la x5, array1_size
+  la x6, array1
+  la x7, array2
+  la x8, secret
+  ld8 x9, 0(x8)        # victim warms its secret line (value unused)
+  sub x10, x8, x6      # out-of-bounds index hitting secret[0]
+  li x20, 0            # t
+train_loop:
+  li x21, 48
+  seq x22, x20, x21    # isLast
+  xori x23, x22, 1     # notLast
+  andi x24, x20, 15
+  mul x24, x24, x23
+  mul x25, x10, x22
+  add x24, x24, x25    # x = training index or malicious index
+  flush x26, 0(x5)
+  add x27, x5, x26
+  ld8 x28, 0(x27)      # array1_size, slow (flushed)
+bounds:
+  bgeu x24, x28, skip  # out-of-bounds -> skip (trained not-taken)
+  !deps bounds
+  add x29, x6, x24
+  ld1 x30, 0(x29)      # transient secret access
+  !deps bounds
+  slli x31, x30, 6
+  add x31, x7, x31
+  !deps bounds
+  ld1 x30, 0(x31)      # transmitter
+skip:
+  addi x20, x20, 1
+  li x21, 49
+  slt x22, x20, x21
+  bne x22, x0, train_loop
+
+  # ---- attacker: reload phase -------------------------------------------
+  # Each probe's address depends on the previous measurement (and x31, x27,
+  # x0 produces 0 but orders the chain), so probes execute strictly one at
+  # a time — the in-simulation equivalent of fencing between reloads.
+  li x20, 1            # candidate byte value (0 is training noise; skip it)
+  li x21, 10000        # best latency so far
+  li x22, 0            # best value
+  li x27, 0            # previous latency (serialization token)
+reload_loop:
+  slli x23, x20, 6
+  add x23, x7, x23     # &array2[v*64]
+  and x31, x27, x0     # 0, but data-depends on the previous probe
+  add x23, x23, x31    # serialize this probe behind the previous one
+  rdcyc x24, x23       # t0 (ordered after address generation)
+  ld1 x25, 0(x23)      # probe
+  rdcyc x26, x25       # t1 (ordered after the probe completes)
+  sub x27, x26, x24    # latency
+  flush x30, 0(x23)    # un-warm the probed line: the reload loop's own
+                       # transient pre-execution (under the final, still
+                       # unresolved bounds branch) would otherwise warm
+                       # probe lines and fake hits on the squash replay
+  slt x28, x27, x21    # faster than the best?
+  beq x28, x0, not_better
+  mv x21, x27
+  mv x22, x20
+not_better:
+  addi x20, x20, 1
+  li x29, 256
+  slt x28, x20, x29
+  bne x28, x0, reload_loop
+
+  la x30, recovered
+  st8 x22, 0(x30)
+  halt
+)");
+}
+
+GadgetBinary buildSpectreV2(int byteIndex, int trainIters) {
+  LEV_CHECK(byteIndex >= 0 &&
+                byteIndex < static_cast<int>(gadgetSecret().size()),
+            "secret byte index out of range");
+  const int T = trainIters + 1;
+
+  // flags[t] = 1 during training, 0 on the attack iteration; the selector
+  // is flushed so the indirect target resolves slowly, keeping the
+  // (BTB-predicted) transmit stub transient for a long window.
+  std::ostringstream flagsHex;
+  for (int t = 0; t < T; ++t) flagsHex << (t == T - 1 ? "00" : "01");
+
+  std::ostringstream src;
+  src << R"(
+.entry main
+.space secret_key 8 64
+.bytes secret_key 0 4c4556494f534f21
+.space flags )" << T << R"( 64
+.bytes flags 0 )" << flagsHex.str() << R"(
+.space array2 16384 64
+
+main:
+  la x20, secret_key
+  ld8 x21, 0(x20)        # architectural key load, commits immediately
+  srli x21, x21, )" << (8 * byteIndex) << R"(
+  andi x21, x21, 255     # kb = key byte
+  la x22, array2
+  la x23, flags
+  la x24, transmit       # trained target
+  la x25, benign         # architectural target on the attack iteration
+  li x26, 0              # t
+loop:
+  li x27, )" << (T - 1) << R"(
+  seq x28, x26, x27      # isLast
+  mul x29, x21, x28      # kv = kb on the attack iteration, else 0
+  add x30, x23, x26
+  flush x31, 0(x30)
+  add x30, x30, x31
+  ld1 x5, 0(x30)         # sel = flags[t], slow (flushed)
+  sub x6, x24, x25       # transmit - benign
+  mul x6, x6, x5         # sel ? delta : 0
+  add x6, x25, x6        # target = sel ? transmit : benign
+  jalr x1, x6, 0         # BTB-trained to transmit; attack goes to benign
+  addi x26, x26, 1
+  li x27, )" << T << R"(
+  slt x28, x26, x27
+  bne x28, x0, loop
+  halt
+
+transmit:
+  slli x7, x29, 6
+  add x7, x22, x7
+  ld1 x8, 0(x7)          # encodes kv into the probe array
+  ret
+
+benign:
+  addi x9, x9, 1
+  ret
+)";
+
+  GadgetBinary g;
+  g.name = "spectre_v2";
+  g.secretByte = gadgetSecret()[static_cast<std::size_t>(byteIndex)];
+  g.architecturalBytes = {0}; // training transmits kv = 0
+  g.program = isa::assemble(src.str());
+  return g;
+}
+
+Gadget buildSpectreV1(int byteIndex, int trainIters) {
+  LEV_CHECK(byteIndex >= 0 &&
+                byteIndex < static_cast<int>(gadgetSecret().size()),
+            "secret byte index out of range");
+  const int T = trainIters + 1; // last iteration is the attack
+
+  Gadget g;
+  g.name = "spectre_v1";
+  g.secretByte = gadgetSecret()[static_cast<std::size_t>(byteIndex)];
+  g.architecturalBytes = {0}; // training transmits array1[x]=0
+
+  Module& m = g.module;
+  ir::Global& sizeG = m.addGlobal("array1_size", 8, 64);
+  sizeG.init = {16, 0, 0, 0, 0, 0, 0, 0};
+  m.addGlobal("array1", 16, 8); // zero-initialized: training hits value 0
+  ir::Global& secretG = m.addGlobal("secret", 8, 8);
+  secretG.init = gadgetSecret();
+  m.addGlobal("array2", 256 * 64, 64);
+  m.addGlobal("result", 8, 8);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int loop = fn.createBlock("loop");
+  const int body = fn.createBlock("body");
+  const int skip = fn.createBlock("skip");
+  const int done = fn.createBlock("done");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int szBase = b.lea("array1_size");
+  const int a1Base = b.lea("array1");
+  const int a2Base = b.lea("array2");
+  const int secBase = b.lea("secret");
+  // The victim touches its secret during initialization (as real code
+  // holding a key would), so the secret's line is warm at attack time. The
+  // value itself is discarded.
+  const int warm = b.load(R(secBase));
+  const int zero = b.mul(R(warm), I(0));
+  const int sink = b.mov(R(zero));
+  // Out-of-bounds index that makes array1[x] alias secret[byteIndex].
+  const int xmal0 = b.sub(R(secBase), R(a1Base));
+  const int xmal = b.add(R(xmal0), I(byteIndex));
+  const int t = b.mov(I(0));
+  b.jmp(loop);
+
+  b.setBlock(loop);
+  // Branchless x selection keeps branch history identical across training
+  // and attack iterations.
+  const int isLast = b.cmpEq(R(t), I(T - 1));
+  const int notLast = b.xor_(R(isLast), I(1));
+  const int xin = b.and_(R(t), I(15));
+  const int xTrain = b.mul(R(xin), R(notLast));
+  const int xAttack = b.mul(R(xmal), R(isLast));
+  const int x = b.add(R(xTrain), R(xAttack));
+  // Flush the bound so the bounds check resolves slowly; the dependent
+  // address forces the load to issue after the flush.
+  const int f = b.flush(R(szBase));
+  const int szAddr = b.add(R(szBase), R(f));
+  const int sz = b.load(R(szAddr));
+  const int inb = b.cmpLtU(R(x), R(sz));
+  b.br(R(inb), body, skip);
+
+  b.setBlock(body);
+  const int a1 = b.add(R(a1Base), R(x));
+  const int byte = b.load(R(a1), 0, 1); // transient: reads the secret
+  const int idx = b.shl(R(byte), I(6));
+  const int a2 = b.add(R(a2Base), R(idx));
+  const int y = b.load(R(a2), 0, 1); // transmitter: encodes into the cache
+  b.binaryInto(sink, Op::Xor, R(sink), R(y));
+  b.jmp(skip);
+
+  b.setBlock(skip);
+  b.binaryInto(t, Op::Add, R(t), I(1));
+  const int more = b.cmpLtS(R(t), I(T));
+  b.br(R(more), loop, done);
+
+  b.setBlock(done);
+  const int resAddr = b.lea("result");
+  b.store(R(resAddr), R(sink));
+  b.halt();
+
+  ir::verify(m);
+  return g;
+}
+
+Gadget buildNonSpecSecret(int byteIndex, int trainIters) {
+  LEV_CHECK(byteIndex >= 0 &&
+                byteIndex < static_cast<int>(gadgetSecret().size()),
+            "secret byte index out of range");
+  const int T = trainIters + 1;
+
+  Gadget g;
+  g.name = "nonspec_secret";
+  g.secretByte = gadgetSecret()[static_cast<std::size_t>(byteIndex)];
+  g.architecturalBytes = {0}; // training transmits kv = 0
+
+  Module& m = g.module;
+  ir::Global& keyG = m.addGlobal("secret_key", 8, 64);
+  keyG.init = gadgetSecret();
+  ir::Global& flagsG = m.addGlobal("flags", static_cast<std::uint64_t>(T), 64);
+  flagsG.init.assign(static_cast<std::size_t>(T), 1);
+  flagsG.init.back() = 0; // the attack iteration's flag
+  m.addGlobal("array2", 256 * 64, 64);
+  m.addGlobal("result", 8, 8);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int loop = fn.createBlock("loop");
+  const int transmit = fn.createBlock("transmit");
+  const int skip = fn.createBlock("skip");
+  const int done = fn.createBlock("done");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int keyBase = b.lea("secret_key");
+  const int flagBase = b.lea("flags");
+  const int a2Base = b.lea("array2");
+  // The key is loaded NON-speculatively and commits long before the attack
+  // window — the constant-time-victim threat model.
+  const int key = b.load(R(keyBase));
+  const int shifted = b.shrl(R(key), I(8 * byteIndex));
+  const int kb = b.and_(R(shifted), I(0xff));
+  const int sink = b.mov(I(0));
+  const int t = b.mov(I(0));
+  b.jmp(loop);
+
+  b.setBlock(loop);
+  const int isLast = b.cmpEq(R(t), I(T - 1));
+  // kv = 0 during training, the key byte on the attack iteration — selected
+  // branchlessly so the taint status and branch history never differ.
+  const int kv = b.mul(R(kb), R(isLast));
+  const int fAddr = b.add(R(flagBase), R(t));
+  const int f = b.flush(R(fAddr));
+  const int fAddr2 = b.add(R(fAddr), R(f));
+  const int c = b.load(R(fAddr2), 0, 1); // slow: the branch resolves late
+  b.br(R(c), transmit, skip);
+
+  b.setBlock(transmit);
+  const int idx = b.shl(R(kv), I(6));
+  const int a2 = b.add(R(a2Base), R(idx));
+  const int y = b.load(R(a2), 0, 1); // transient transmitter on attack iter
+  b.binaryInto(sink, Op::Xor, R(sink), R(y));
+  b.jmp(skip);
+
+  b.setBlock(skip);
+  b.binaryInto(t, Op::Add, R(t), I(1));
+  const int more = b.cmpLtS(R(t), I(T));
+  b.br(R(more), loop, done);
+
+  b.setBlock(done);
+  const int resAddr = b.lea("result");
+  b.store(R(resAddr), R(sink));
+  b.halt();
+
+  ir::verify(m);
+  return g;
+}
+
+} // namespace lev::workloads

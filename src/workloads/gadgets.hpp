@@ -1,0 +1,83 @@
+// Attack gadget programs for the security evaluation (Table 3).
+//
+// Both gadgets are complete, self-contained programs (attacker and victim
+// in one address space, as in sandbox scenarios) built through the IR
+// builder and compiled by the backend, so they carry real Levioso hints.
+// Both use branchless selection so every training iteration and the attack
+// iteration present identical branch history, and a FLUSH-dependent load of
+// the branch condition so the exploited branch resolves slowly (a wide
+// transient window).
+//
+// Gadget 1 — spectre_v1 (speculatively-accessed secret):
+//     if (x < array1_size)            // trained in-bounds; attack: x = OOB
+//         y = array2[array1[x] * 64]  // transient access + transmit
+//   The out-of-bounds x points at `secret`. Expected: leaks under `unsafe`,
+//   blocked by every defense.
+//
+// Gadget 2 — nonspec_secret (non-speculatively accessed secret):
+//     key = *secret_key               // architectural load, commits early
+//     ...
+//     kv = isLast ? key : 0           // branchless select
+//     if (flag[t])                    // trained taken; attack: flag = 0
+//         y = array2[(kv&0xff) * 64]  // transient transmit of committed key
+//   Expected: leaks under `unsafe`, `stt` and `levioso-lite` (taint-based
+//   schemes do not consider committed data secret); blocked by `fence`,
+//   `dom`, `spt` and `levioso` — the comprehensive defenses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/ir.hpp"
+#include "isa/program.hpp"
+
+namespace lev::workloads {
+
+/// A built gadget plus everything the harness needs to judge leakage.
+struct Gadget {
+  ir::Module module;
+  std::string name;
+  /// Symbol of the 256-way probe array (stride 64 bytes per value).
+  std::string probeSymbol = "array2";
+  /// The secret byte value the transient path would transmit.
+  std::uint8_t secretByte = 0;
+  /// Byte values the program also touches architecturally (training noise);
+  /// the harness ignores these when deciding leakage.
+  std::vector<std::uint8_t> architecturalBytes;
+};
+
+/// Spectre-v1 bounds-check-bypass leaking `secret[byteIndex]`.
+Gadget buildSpectreV1(int byteIndex = 0, int trainIters = 48);
+
+/// Transient transmission of a non-speculatively loaded key byte.
+Gadget buildNonSpecSecret(int byteIndex = 0, int trainIters = 48);
+
+/// A gadget already lowered to a machine program (used for the assembly-
+/// level Spectre-v2 variant, which has no compiler hints by construction).
+struct GadgetBinary {
+  isa::Program program;
+  std::string name;
+  std::string probeSymbol = "array2";
+  std::uint8_t secretByte = 0;
+  std::vector<std::uint8_t> architecturalBytes;
+};
+
+/// Spectre-v2-style gadget: an indirect jump (JALR) is BTB-trained to a
+/// transmit stub; on the attack iteration the architectural target is a
+/// benign stub but prediction still goes to the transmitter, which runs
+/// transiently with the secret byte selected. Hand-written assembly, so the
+/// program carries EMPTY hints — it demonstrates the hardware's
+/// indirect-control conservatism rule (an unresolved JALR restricts every
+/// younger transmitter under levioso regardless of hints).
+GadgetBinary buildSpectreV2(int byteIndex = 0, int trainIters = 48);
+
+/// A fully self-contained flush+reload attack program: the attacker code
+/// inside the simulated machine measures each probe line's latency with
+/// RDCYC and writes the byte it recovers to the `recovered` symbol. Used
+/// by examples/timing_attacker.cpp and the security tests.
+isa::Program timingAttackProgram();
+
+/// The secret embedded in all gadgets ("LEVIOSO!"), for ground truth.
+const std::vector<std::uint8_t>& gadgetSecret();
+
+} // namespace lev::workloads

@@ -1,0 +1,1192 @@
+#include "workloads/kernels.hpp"
+
+#include <algorithm>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lev::workloads {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Op;
+using ir::Value;
+
+namespace {
+
+Value R(int reg) { return Value::makeReg(reg); }
+Value I(std::int64_t v) { return Value::makeImm(v); }
+
+/// Add a global filled with deterministic pseudo-random bytes.
+void addRandomBytes(Module& m, const std::string& name, std::size_t bytes,
+                    Rng& rng, std::uint64_t align = 64) {
+  ir::Global& g = m.addGlobal(name, bytes, align);
+  g.init.resize(bytes);
+  for (auto& b : g.init) b = static_cast<std::uint8_t>(rng.next());
+}
+
+/// Add a global of 64-bit words.
+void addWords(Module& m, const std::string& name,
+              const std::vector<std::uint64_t>& words,
+              std::uint64_t align = 64) {
+  ir::Global& g = m.addGlobal(name, words.size() * 8, align);
+  g.init.resize(words.size() * 8);
+  for (std::size_t i = 0; i < words.size(); ++i)
+    for (int b = 0; b < 8; ++b)
+      g.init[i * 8 + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(words[i] >> (8 * b));
+}
+
+/// Common epilogue: store the checksum to `result` and halt.
+void finish(Module& m, IRBuilder& b, int sumReg) {
+  if (m.findGlobal("result") == nullptr) m.addGlobal("result", 8, 8);
+  const int addr = b.lea("result");
+  b.store(R(addr), R(sumReg));
+  b.halt();
+}
+
+// ---------------------------------------------------------- mcf_chase ----
+// Pointer chasing through a random cycle with branches on the loaded data.
+// Loads miss deep in the hierarchy; the if-branch resolves only after the
+// (slow) value load, so conservative schemes stall younger iterations hard.
+Module mcfChase(int scale, Rng& rng) {
+  // next[] is small (64 KiB: L2-resident, fast chase) while vals[] is 4 MiB
+  // (DRAM misses): the branch on vals resolves ~100 cycles after the fast
+  // index chain has already produced the next iterations' addresses, which
+  // is exactly the window conservative schemes lose and Levioso keeps.
+  const int n = 1 << 13;
+  const int nVals = 1 << 19;
+  const int iters = 20000 * scale;
+
+  // A single random cycle (Sattolo's algorithm) so the chase never repeats
+  // short loops.
+  std::vector<std::uint64_t> next(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] =
+      static_cast<std::uint64_t>(i);
+  for (int i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(i)));
+    std::swap(perm[static_cast<std::size_t>(i)], perm[j]);
+  }
+  for (int i = 0; i < n; ++i)
+    next[perm[static_cast<std::size_t>(i)]] =
+        perm[static_cast<std::size_t>((i + 1) % n)];
+
+  std::vector<std::uint64_t> vals(static_cast<std::size_t>(nVals));
+  for (auto& v : vals) v = rng.next();
+
+  Module m;
+  addWords(m, "next", next);
+  addWords(m, "vals", vals);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int loop = fn.createBlock("loop");
+  const int odd = fn.createBlock("odd");
+  const int even = fn.createBlock("even");
+  const int latch = fn.createBlock("latch");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int nextBase = b.lea("next");
+  const int valBase = b.lea("vals");
+  const int idx = b.mov(I(0));
+  const int sum = b.mov(I(0));
+  const int i = b.mov(I(0));
+  b.jmp(loop);
+
+  b.setBlock(loop);
+  int t = b.shl(R(idx), I(3));
+  int addr = b.add(R(nextBase), R(t));
+  b.loadInto(idx, R(addr)); // idx = next[idx] (fast, L2-resident)
+  const int vh = b.mul(R(idx), I(2654435761));
+  const int vidx = b.and_(R(vh), I(nVals - 1));
+  t = b.shl(R(vidx), I(3));
+  addr = b.add(R(valBase), R(t));
+  const int v = b.load(R(addr)); // v = vals[h(idx)] (DRAM miss)
+  b.binaryInto(sum, Op::Add, R(sum), R(v));
+  const int bit = b.and_(R(v), I(1));
+  b.br(R(bit), odd, even); // resolves only after the value arrives
+
+  b.setBlock(odd);
+  b.binaryInto(sum, Op::Add, R(sum), I(3));
+  b.jmp(latch);
+
+  b.setBlock(even);
+  b.binaryInto(sum, Op::Xor, R(sum), R(idx));
+  b.jmp(latch);
+
+  b.setBlock(latch);
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int cont = b.cmpLtS(R(i), I(iters));
+  b.br(R(cont), loop, exit);
+
+  b.setBlock(exit);
+  finish(m, b, sum);
+  return m;
+}
+
+// -------------------------------------------------------- gcc_branchy ----
+// Dense, data-dependent if/else chains over a byte stream.
+Module gccBranchy(int scale, Rng& rng) {
+  // 2 MiB byte stream walked with a large co-prime stride: essentially
+  // every access misses to DRAM, so the value-dependent branches resolve
+  // slowly — but the loads themselves depend only on the (fast) latch.
+  const int n = 1 << 21;
+  const int iters = 24000 * scale;
+
+  Module m;
+  addRandomBytes(m, "stream", static_cast<std::size_t>(n), rng);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int loop = fn.createBlock("loop");
+  const int lo = fn.createBlock("lo");
+  const int hi = fn.createBlock("hi");
+  const int loLo = fn.createBlock("lo_lo");
+  const int loHi = fn.createBlock("lo_hi");
+  const int hiLo = fn.createBlock("hi_lo");
+  const int hiHi = fn.createBlock("hi_hi");
+  const int latch = fn.createBlock("latch");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int base = b.lea("stream");
+  const int sum = b.mov(I(0));
+  const int i = b.mov(I(0));
+  b.jmp(loop);
+
+  b.setBlock(loop);
+  const int stride = b.mul(R(i), I(8191));
+  const int off = b.and_(R(stride), I(n - 1));
+  const int addr = b.add(R(base), R(off));
+  const int x = b.load(R(addr), 0, 1);
+  const int isHi = b.cmpGeU(R(x), I(128));
+  b.br(R(isHi), hi, lo);
+
+  b.setBlock(lo);
+  const int loBit = b.and_(R(x), I(1));
+  b.br(R(loBit), loHi, loLo);
+  b.setBlock(loLo);
+  b.binaryInto(sum, Op::Add, R(sum), R(x));
+  b.jmp(latch);
+  b.setBlock(loHi);
+  b.binaryInto(sum, Op::Xor, R(sum), R(x));
+  b.jmp(latch);
+
+  b.setBlock(hi);
+  const int hiBit = b.and_(R(x), I(2));
+  b.br(R(hiBit), hiHi, hiLo);
+  b.setBlock(hiLo);
+  b.binaryInto(sum, Op::Sub, R(sum), R(x));
+  b.jmp(latch);
+  b.setBlock(hiHi);
+  const int sh = b.shl(R(x), I(1));
+  b.binaryInto(sum, Op::Add, R(sum), R(sh));
+  b.jmp(latch);
+
+  b.setBlock(latch);
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int cont = b.cmpLtS(R(i), I(iters));
+  b.br(R(cont), loop, exit);
+
+  b.setBlock(exit);
+  finish(m, b, sum);
+  return m;
+}
+
+// --------------------------------------------------------- lbm_stream ----
+// Streaming: c[i] = a[i]*3 + b[i]. Predictable control, bandwidth-bound;
+// the only branch is the (fast) loop latch, so Levioso runs near-unsafe
+// while conservative schemes still throttle every load.
+Module lbmStream(int scale, Rng& rng) {
+  const int n = 1 << 15; // 3 arrays x 256 KiB
+  const int iters = 3 * scale;
+
+  Module m;
+  addRandomBytes(m, "va", static_cast<std::size_t>(n) * 8, rng);
+  addRandomBytes(m, "vb", static_cast<std::size_t>(n) * 8, rng);
+  m.addGlobal("vc", static_cast<std::size_t>(n) * 8, 64);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int outer = fn.createBlock("outer");
+  const int loop = fn.createBlock("loop");
+  const int outerLatch = fn.createBlock("outer_latch");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int aBase = b.lea("va");
+  const int bBase = b.lea("vb");
+  const int cBase = b.lea("vc");
+  const int sum = b.mov(I(0));
+  const int rep = b.mov(I(0));
+  const int i = b.mov(I(0));
+  b.jmp(outer);
+
+  b.setBlock(outer);
+  b.assign(i, I(0));
+  b.jmp(loop);
+
+  b.setBlock(loop);
+  const int off = b.shl(R(i), I(3));
+  const int aAddr = b.add(R(aBase), R(off));
+  const int bAddr = b.add(R(bBase), R(off));
+  const int cAddr = b.add(R(cBase), R(off));
+  const int av = b.load(R(aAddr));
+  const int bv = b.load(R(bAddr));
+  const int a3 = b.mul(R(av), I(3));
+  const int cv = b.add(R(a3), R(bv));
+  b.store(R(cAddr), R(cv));
+  b.binaryInto(sum, Op::Add, R(sum), R(cv));
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int cont = b.cmpLtS(R(i), I(n));
+  b.br(R(cont), loop, outerLatch);
+
+  b.setBlock(outerLatch);
+  b.binaryInto(rep, Op::Add, R(rep), I(1));
+  const int more = b.cmpLtS(R(rep), I(iters));
+  b.br(R(more), outer, exit);
+
+  b.setBlock(exit);
+  finish(m, b, sum);
+  return m;
+}
+
+// ------------------------------------------------------ deepsjeng_mix ----
+// Hash mixing with table lookups and a branch on the looked-up value.
+Module deepsjengMix(int scale, Rng& rng) {
+  // 2 MiB transposition table: lookups miss to DRAM and the next hash
+  // depends on the looked-up value, so both the branch and the next load
+  // are on the slow path (a kernel where Levioso cannot win much).
+  const int tableN = 1 << 18;
+  const int iters = 12000 * scale;
+
+  std::vector<std::uint64_t> table(static_cast<std::size_t>(tableN));
+  for (auto& v : table) v = rng.next();
+
+  Module m;
+  addWords(m, "ttable", table);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int loop = fn.createBlock("loop");
+  const int flip = fn.createBlock("flip");
+  const int keep = fn.createBlock("keep");
+  const int latch = fn.createBlock("latch");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int base = b.lea("ttable");
+  const int h = b.mov(I(0x9e3779b9));
+  const int i = b.mov(I(0));
+  b.jmp(loop);
+
+  b.setBlock(loop);
+  const int hm = b.mul(R(h), I(2654435761));
+  b.binaryInto(h, Op::Add, R(hm), R(i));
+  const int slot = b.and_(R(h), I(tableN - 1));
+  const int off = b.shl(R(slot), I(3));
+  const int addr = b.add(R(base), R(off));
+  const int t = b.load(R(addr));
+  const int bit = b.and_(R(t), I(0x80));
+  b.br(R(bit), flip, keep);
+
+  b.setBlock(flip);
+  b.binaryInto(h, Op::Xor, R(h), R(t));
+  b.jmp(latch);
+  b.setBlock(keep);
+  b.binaryInto(h, Op::Add, R(h), R(t));
+  b.jmp(latch);
+
+  b.setBlock(latch);
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int cont = b.cmpLtS(R(i), I(iters));
+  b.br(R(cont), loop, exit);
+
+  b.setBlock(exit);
+  finish(m, b, h);
+  return m;
+}
+
+// ------------------------------------------------------------ xz_match ----
+// Byte-match inner loops of data-dependent length.
+Module xzMatch(int scale, Rng& rng) {
+  const int n = 1 << 14;
+  const int iters = 12000 * scale;
+
+  Module m;
+  // Correlated streams so matches have non-trivial length.
+  ir::Global& g1 = m.addGlobal("s1", static_cast<std::size_t>(n), 64);
+  ir::Global& g2 = m.addGlobal("s2", static_cast<std::size_t>(n), 64);
+  g1.init.resize(static_cast<std::size_t>(n));
+  g2.init.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto byte = static_cast<std::uint8_t>(rng.below(4));
+    g1.init[static_cast<std::size_t>(i)] = byte;
+    g2.init[static_cast<std::size_t>(i)] =
+        rng.chance(0.7) ? byte : static_cast<std::uint8_t>(rng.below(4));
+  }
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int outer = fn.createBlock("outer");
+  const int inner = fn.createBlock("inner");
+  const int innerBody = fn.createBlock("inner_body");
+  const int outerLatch = fn.createBlock("outer_latch");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int b1 = b.lea("s1");
+  const int b2 = b.lea("s2");
+  const int sum = b.mov(I(0));
+  const int i = b.mov(I(0));
+  const int len = b.mov(I(0));
+  const int pos = b.mov(I(0));
+  b.jmp(outer);
+
+  b.setBlock(outer);
+  // pos = (i*193) & (n-1 - 64): pseudo-random start with headroom.
+  const int p = b.mul(R(i), I(193));
+  b.binaryInto(pos, Op::And, R(p), I(n - 65));
+  b.assign(len, I(0));
+  b.jmp(inner);
+
+  b.setBlock(inner);
+  const int o = b.add(R(pos), R(len));
+  const int a1 = b.add(R(b1), R(o));
+  const int a2 = b.add(R(b2), R(o));
+  const int c1 = b.load(R(a1), 0, 1);
+  const int c2 = b.load(R(a2), 0, 1);
+  const int eq = b.cmpEq(R(c1), R(c2));
+  const int within = b.cmpLtS(R(len), I(32));
+  const int cont = b.and_(R(eq), R(within));
+  b.br(R(cont), innerBody, outerLatch);
+
+  b.setBlock(innerBody);
+  b.binaryInto(len, Op::Add, R(len), I(1));
+  b.jmp(inner);
+
+  b.setBlock(outerLatch);
+  b.binaryInto(sum, Op::Add, R(sum), R(len));
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int more = b.cmpLtS(R(i), I(iters));
+  b.br(R(more), outer, exit);
+
+  b.setBlock(exit);
+  finish(m, b, sum);
+  return m;
+}
+
+// -------------------------------------------------------- namd_compute ----
+// ALU/MUL-dense with a rare table load; the latch is the only branch.
+Module namdCompute(int scale, Rng& rng) {
+  const int iters = 30000 * scale;
+  std::vector<std::uint64_t> table(256);
+  for (auto& v : table) v = rng.next();
+
+  Module m;
+  addWords(m, "coef", table);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int loop = fn.createBlock("loop");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int base = b.lea("coef");
+  const int x = b.mov(I(0x123456789));
+  const int y = b.mov(I(0xabcdef));
+  const int z = b.mov(I(7));
+  const int i = b.mov(I(0));
+  b.jmp(loop);
+
+  b.setBlock(loop);
+  const int slot = b.and_(R(i), I(255));
+  const int off = b.shl(R(slot), I(3));
+  const int addr = b.add(R(base), R(off));
+  const int c = b.load(R(addr));
+  const int x2 = b.mul(R(x), I(6364136223846793005));
+  b.binaryInto(x, Op::Add, R(x2), R(c));
+  const int y2 = b.mul(R(y), R(z));
+  b.binaryInto(y, Op::Xor, R(y2), R(x));
+  const int zs = b.shrl(R(z), I(3));
+  const int z3 = b.mul(R(z), I(31));
+  b.binaryInto(z, Op::Add, R(z3), R(zs));
+  const int t1 = b.add(R(x), R(y));
+  const int t2 = b.xor_(R(t1), R(z));
+  const int t3 = b.mul(R(t2), I(0x2545F4914F6CDD1D));
+  b.binaryInto(x, Op::Xor, R(x), R(t3));
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int cont = b.cmpLtS(R(i), I(iters));
+  b.br(R(cont), loop, exit);
+
+  b.setBlock(exit);
+  const int sum = b.add(R(x), R(y));
+  const int sum2 = b.add(R(sum), R(z));
+  finish(m, b, sum2);
+  return m;
+}
+
+// -------------------------------------------------------- leela_search ----
+// Repeated binary search: every load is control-dependent on the previous
+// comparison — the true-dependency sets are dense, so this is a kernel
+// where Levioso's advantage over SPT should be small.
+Module leelaSearch(int scale, Rng& rng) {
+  // 8 MiB sorted array: upper search levels miss to DRAM and every next
+  // probe is control-dependent on the previous comparison — dense true
+  // dependencies, the worst case for Levioso (expected ~ spt).
+  const int n = 1 << 20;
+  const int iters = 1200 * scale;
+
+  std::vector<std::uint64_t> sorted(static_cast<std::size_t>(n));
+  for (auto& v : sorted) v = rng.next() % 1000000;
+  std::sort(sorted.begin(), sorted.end());
+
+  Module m;
+  addWords(m, "sorted", sorted);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int outer = fn.createBlock("outer");
+  const int search = fn.createBlock("search");
+  const int goRight = fn.createBlock("go_right");
+  const int goLeft = fn.createBlock("go_left");
+  const int searchLatch = fn.createBlock("search_latch");
+  const int outerLatch = fn.createBlock("outer_latch");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int base = b.lea("sorted");
+  const int sum = b.mov(I(0));
+  const int i = b.mov(I(0));
+  const int lo = b.mov(I(0));
+  const int hi = b.mov(I(0));
+  const int key = b.mov(I(0));
+  b.jmp(outer);
+
+  b.setBlock(outer);
+  const int k1 = b.mul(R(i), I(2654435761));
+  b.binaryInto(key, Op::RemU, R(k1), I(1000000));
+  b.assign(lo, I(0));
+  b.assign(hi, I(n));
+  b.jmp(search);
+
+  b.setBlock(search);
+  const int diff = b.sub(R(hi), R(lo));
+  const int half = b.shrl(R(diff), I(1));
+  const int mid = b.add(R(lo), R(half));
+  const int off = b.shl(R(mid), I(3));
+  const int addr = b.add(R(base), R(off));
+  const int v = b.load(R(addr));
+  const int less = b.cmpLtU(R(v), R(key));
+  b.br(R(less), goRight, goLeft);
+
+  b.setBlock(goRight);
+  const int mid1 = b.add(R(mid), I(1));
+  b.assign(lo, R(mid1));
+  b.jmp(searchLatch);
+  b.setBlock(goLeft);
+  b.assign(hi, R(mid));
+  b.jmp(searchLatch);
+
+  b.setBlock(searchLatch);
+  const int width = b.sub(R(hi), R(lo));
+  const int done = b.cmpLtS(R(width), I(1));
+  b.br(R(done), outerLatch, search);
+
+  b.setBlock(outerLatch);
+  b.binaryInto(sum, Op::Add, R(sum), R(lo));
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int more = b.cmpLtS(R(i), I(iters));
+  b.br(R(more), outer, exit);
+
+  b.setBlock(exit);
+  finish(m, b, sum);
+  return m;
+}
+
+// ------------------------------------------------------- omnetpp_queue ----
+// Binary-heap sift-down per event, branches on loaded priorities.
+Module omnetppQueue(int scale, Rng& rng) {
+  // 512 KiB binary heap: the upper levels stay cached, leaf levels spill
+  // to L2; sift branches depend on loaded priorities.
+  const int n = 1 << 16;
+  const int iters = 4000 * scale;
+
+  std::vector<std::uint64_t> heap(static_cast<std::size_t>(n));
+  for (auto& v : heap) v = rng.next() % 1000000;
+  // Heapify offline so the program starts from a valid heap.
+  for (int k = n / 2 - 1; k >= 0; --k) {
+    int parent = k;
+    while (true) {
+      int left = 2 * parent + 1;
+      if (left >= n) break;
+      int smallest = left;
+      if (left + 1 < n &&
+          heap[static_cast<std::size_t>(left + 1)] <
+              heap[static_cast<std::size_t>(left)])
+        smallest = left + 1;
+      if (heap[static_cast<std::size_t>(parent)] <=
+          heap[static_cast<std::size_t>(smallest)])
+        break;
+      std::swap(heap[static_cast<std::size_t>(parent)],
+                heap[static_cast<std::size_t>(smallest)]);
+      parent = smallest;
+    }
+  }
+
+  Module m;
+  addWords(m, "heap", heap);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int outer = fn.createBlock("outer");
+  const int sift = fn.createBlock("sift");
+  const int haveRight = fn.createBlock("have_right");
+  const int useRight = fn.createBlock("use_right");
+  const int cmpParent = fn.createBlock("cmp_parent");
+  const int doSwap = fn.createBlock("do_swap");
+  const int outerLatch = fn.createBlock("outer_latch");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int base = b.lea("heap");
+  const int sum = b.mov(I(0));
+  const int i = b.mov(I(0));
+  const int parent = b.mov(I(0));
+  const int child = b.mov(I(0));
+  b.jmp(outer);
+
+  b.setBlock(outer);
+  // Replace the root with a fresh pseudo-random priority.
+  const int fresh0 = b.mul(R(i), I(0x9E3779B97F4A7C15));
+  const int fresh = b.remu(R(fresh0), I(1000000));
+  b.store(R(base), R(fresh));
+  b.assign(parent, I(0));
+  b.jmp(sift);
+
+  b.setBlock(sift);
+  const int l0 = b.shl(R(parent), I(1));
+  const int left = b.add(R(l0), I(1));
+  const int hasLeft = b.cmpLtS(R(left), I(n));
+  b.assign(child, R(left));
+  b.br(R(hasLeft), haveRight, outerLatch);
+
+  b.setBlock(haveRight);
+  const int right = b.add(R(left), I(1));
+  const int hasRight = b.cmpLtS(R(right), I(n));
+  const int lOff = b.shl(R(left), I(3));
+  const int lAddr = b.add(R(base), R(lOff));
+  const int lv = b.load(R(lAddr));
+  const int rOff = b.shl(R(right), I(3));
+  const int rAddr = b.add(R(base), R(rOff));
+  const int rv = b.load(R(rAddr));
+  const int rLess = b.cmpLtU(R(rv), R(lv));
+  const int both = b.and_(R(hasRight), R(rLess));
+  b.br(R(both), useRight, cmpParent);
+
+  b.setBlock(useRight);
+  b.assign(child, R(right));
+  b.jmp(cmpParent);
+
+  b.setBlock(cmpParent);
+  const int cOff = b.shl(R(child), I(3));
+  const int cAddr = b.add(R(base), R(cOff));
+  const int cv = b.load(R(cAddr));
+  const int pOff = b.shl(R(parent), I(3));
+  const int pAddr = b.add(R(base), R(pOff));
+  const int pv = b.load(R(pAddr));
+  const int swapNeeded = b.cmpLtU(R(cv), R(pv));
+  b.br(R(swapNeeded), doSwap, outerLatch);
+
+  b.setBlock(doSwap);
+  b.store(R(pAddr), R(cv));
+  b.store(R(cAddr), R(pv));
+  b.assign(parent, R(child));
+  b.jmp(sift);
+
+  b.setBlock(outerLatch);
+  const int rootV = b.load(R(base));
+  b.binaryInto(sum, Op::Add, R(sum), R(rootV));
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int more = b.cmpLtS(R(i), I(iters));
+  b.br(R(more), outer, exit);
+
+  b.setBlock(exit);
+  finish(m, b, sum);
+  return m;
+}
+
+// ----------------------------------------------------------- perl_hash ----
+// Open-addressing hash probe with short chains.
+Module perlHash(int scale, Rng& rng) {
+  const int nb = 1 << 14;
+  const int iters = 25000 * scale;
+
+  std::vector<std::uint64_t> buckets(static_cast<std::size_t>(nb));
+  for (auto& v : buckets) v = rng.chance(0.7) ? rng.next() | 1 : 0;
+
+  Module m;
+  addWords(m, "buckets", buckets);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int loop = fn.createBlock("loop");
+  const int probe = fn.createBlock("probe");
+  const int occupied = fn.createBlock("occupied");
+  const int nextProbe = fn.createBlock("next_probe");
+  const int found = fn.createBlock("found");
+  const int latch = fn.createBlock("latch");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int base = b.lea("buckets");
+  const int sum = b.mov(I(0));
+  const int i = b.mov(I(0));
+  const int slot = b.mov(I(0));
+  const int tries = b.mov(I(0));
+  b.jmp(loop);
+
+  b.setBlock(loop);
+  const int h0 = b.mul(R(i), I(0x9E3779B97F4A7C15));
+  const int h1 = b.shrl(R(h0), I(17));
+  b.binaryInto(slot, Op::And, R(h1), I(nb - 1));
+  b.assign(tries, I(0));
+  b.jmp(probe);
+
+  b.setBlock(probe);
+  const int off = b.shl(R(slot), I(3));
+  const int addr = b.add(R(base), R(off));
+  const int v = b.load(R(addr));
+  b.br(R(v), occupied, latch); // empty bucket: miss, done
+
+  b.setBlock(occupied);
+  const int low = b.and_(R(v), I(0xff));
+  const int want = b.and_(R(i), I(0xff));
+  const int match = b.cmpEq(R(low), R(want));
+  b.br(R(match), found, nextProbe);
+
+  b.setBlock(nextProbe);
+  const int s1 = b.add(R(slot), I(1));
+  b.binaryInto(slot, Op::And, R(s1), I(nb - 1));
+  b.binaryInto(tries, Op::Add, R(tries), I(1));
+  const int give = b.cmpGeS(R(tries), I(4));
+  b.br(R(give), latch, probe);
+
+  b.setBlock(found);
+  b.binaryInto(sum, Op::Add, R(sum), R(v));
+  b.jmp(latch);
+
+  b.setBlock(latch);
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int more = b.cmpLtS(R(i), I(iters));
+  b.br(R(more), loop, exit);
+
+  b.setBlock(exit);
+  finish(m, b, sum);
+  return m;
+}
+
+// ------------------------------------------------------------ x264_sad ----
+// Sum of absolute differences with a branch on the sign; the two loads of
+// the *next* iteration do not depend on the current sign branch — a
+// Levioso-friendly pattern.
+Module x264Sad(int scale, Rng& rng) {
+  const int n = 1 << 15;
+  const int iters = 50000 * scale;
+
+  Module m;
+  addRandomBytes(m, "blockP", static_cast<std::size_t>(n), rng);
+  addRandomBytes(m, "blockQ", static_cast<std::size_t>(n), rng);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int loop = fn.createBlock("loop");
+  const int neg = fn.createBlock("neg");
+  const int pos = fn.createBlock("pos");
+  const int latch = fn.createBlock("latch");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int pBase = b.lea("blockP");
+  const int qBase = b.lea("blockQ");
+  const int sum = b.mov(I(0));
+  const int i = b.mov(I(0));
+  b.jmp(loop);
+
+  b.setBlock(loop);
+  const int off = b.and_(R(i), I(n - 1));
+  const int pAddr = b.add(R(pBase), R(off));
+  const int qAddr = b.add(R(qBase), R(off));
+  const int p = b.load(R(pAddr), 0, 1);
+  const int q = b.load(R(qAddr), 0, 1);
+  const int d = b.sub(R(p), R(q));
+  const int isNeg = b.cmpLtS(R(d), I(0));
+  b.br(R(isNeg), neg, pos);
+
+  b.setBlock(neg);
+  const int nd = b.sub(I(0), R(d));
+  b.binaryInto(sum, Op::Add, R(sum), R(nd));
+  b.jmp(latch);
+  b.setBlock(pos);
+  b.binaryInto(sum, Op::Add, R(sum), R(d));
+  b.jmp(latch);
+
+  b.setBlock(latch);
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int more = b.cmpLtS(R(i), I(iters));
+  b.br(R(more), loop, exit);
+
+  b.setBlock(exit);
+  finish(m, b, sum);
+  return m;
+}
+
+// ------------------------------------------------------- exchange_perm ----
+// Register-resident permutation arithmetic; almost no memory traffic.
+Module exchangePerm(int scale, Rng&) {
+  const int iters = 60000 * scale;
+
+  Module m;
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int loop = fn.createBlock("loop");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int a0 = b.mov(I(1));
+  const int a1 = b.mov(I(2));
+  const int a2 = b.mov(I(3));
+  const int a3 = b.mov(I(4));
+  const int i = b.mov(I(0));
+  b.jmp(loop);
+
+  b.setBlock(loop);
+  const int t0 = b.add(R(a0), R(a1));
+  const int t1 = b.xor_(R(a1), R(a2));
+  const int t2 = b.mul(R(a2), I(33));
+  const int t3 = b.sub(R(a3), R(a0));
+  const int u0 = b.shl(R(t0), I(1));
+  const int u1 = b.shrl(R(t1), I(2));
+  b.binaryInto(a0, Op::Add, R(t3), R(u1));
+  b.binaryInto(a1, Op::Xor, R(t2), R(u0));
+  b.binaryInto(a2, Op::Add, R(t0), I(0x1234));
+  b.binaryInto(a3, Op::Xor, R(t1), R(t2));
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int more = b.cmpLtS(R(i), I(iters));
+  b.br(R(more), loop, exit);
+
+  b.setBlock(exit);
+  const int s0 = b.add(R(a0), R(a1));
+  const int s1 = b.add(R(a2), R(a3));
+  const int s2 = b.add(R(s0), R(s1));
+  finish(m, b, s2);
+  return m;
+}
+
+// ------------------------------------------------------- sort_insert ----
+// Insertion sort: the shift loop's control depends on loaded data, and its
+// stores/loads are inside that dependent region.
+Module sortInsert(int scale, Rng& rng) {
+  const int n = 600 * scale;
+
+  std::vector<std::uint64_t> data(static_cast<std::size_t>(n));
+  for (auto& v : data) v = rng.next() % 100000;
+
+  Module m;
+  addWords(m, "arr", data);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int outer = fn.createBlock("outer");
+  const int shift = fn.createBlock("shift");
+  const int shiftChk = fn.createBlock("shift_chk");
+  const int doShift = fn.createBlock("do_shift");
+  const int place = fn.createBlock("place");
+  const int outerLatch = fn.createBlock("outer_latch");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int base = b.lea("arr");
+  const int i = b.mov(I(1));
+  const int j = b.mov(I(0));
+  const int key = b.mov(I(0));
+  b.jmp(outer);
+
+  b.setBlock(outer);
+  const int iOff = b.shl(R(i), I(3));
+  const int iAddr = b.add(R(base), R(iOff));
+  b.loadInto(key, R(iAddr));
+  const int j0 = b.sub(R(i), I(1));
+  b.assign(j, R(j0));
+  b.jmp(shift);
+
+  b.setBlock(shift);
+  const int jNeg = b.cmpLtS(R(j), I(0));
+  b.br(R(jNeg), place, shiftChk);
+
+  b.setBlock(shiftChk);
+  const int jOff = b.shl(R(j), I(3));
+  const int jAddr = b.add(R(base), R(jOff));
+  const int jv = b.load(R(jAddr));
+  const int bigger = b.cmpLtU(R(key), R(jv));
+  b.br(R(bigger), doShift, place);
+
+  b.setBlock(doShift);
+  const int jOff2 = b.shl(R(j), I(3));
+  const int src = b.add(R(base), R(jOff2));
+  const int jv2 = b.load(R(src));
+  b.store(R(src), R(jv2), 8); // arr[j+1] = arr[j]
+  b.binaryInto(j, Op::Sub, R(j), I(1));
+  b.jmp(shift);
+
+  b.setBlock(place);
+  const int pj = b.add(R(j), I(1));
+  const int pOff = b.shl(R(pj), I(3));
+  const int pAddr = b.add(R(base), R(pOff));
+  b.store(R(pAddr), R(key));
+  b.jmp(outerLatch);
+
+  b.setBlock(outerLatch);
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int more = b.cmpLtS(R(i), I(n));
+  b.br(R(more), outer, exit);
+
+  b.setBlock(exit);
+  // Checksum a few entries.
+  const int c0 = b.load(R(base), 0);
+  const int c1 = b.load(R(base), 8 * (n / 2));
+  const int c2 = b.load(R(base), 8 * (n - 1));
+  const int s0 = b.add(R(c0), R(c1));
+  const int s1 = b.add(R(s0), R(c2));
+  finish(m, b, s1);
+  return m;
+}
+
+
+// ------------------------------------------------------ bwaves_stencil ----
+// 5-point stencil sweep over a 2-D grid: streaming with two predictable
+// loops; only latch branches, so every defense but fence should be cheap.
+Module bwavesStencil(int scale, Rng& rng) {
+  const int dim = 256; // 512 KiB grid
+  const int sweeps = 2 * scale;
+
+  Module m;
+  addRandomBytes(m, "grid", static_cast<std::size_t>(dim) * dim * 8, rng);
+  m.addGlobal("gridOut", static_cast<std::size_t>(dim) * dim * 8, 64);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int sweep = fn.createBlock("sweep");
+  const int row = fn.createBlock("row");
+  const int col = fn.createBlock("col");
+  const int colLatch = fn.createBlock("col_latch");
+  const int rowLatch = fn.createBlock("row_latch");
+  const int sweepLatch = fn.createBlock("sweep_latch");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int src = b.lea("grid");
+  const int dst = b.lea("gridOut");
+  const int sum = b.mov(I(0));
+  const int s = b.mov(I(0));
+  const int i = b.mov(I(0));
+  const int j = b.mov(I(0));
+  b.jmp(sweep);
+
+  b.setBlock(sweep);
+  b.assign(i, I(1));
+  b.jmp(row);
+
+  b.setBlock(row);
+  b.assign(j, I(1));
+  b.jmp(col);
+
+  b.setBlock(col);
+  const int ri = b.mul(R(i), I(dim));
+  const int idx = b.add(R(ri), R(j));
+  const int off = b.shl(R(idx), I(3));
+  const int center = b.add(R(src), R(off));
+  const int c = b.load(R(center));
+  const int n = b.load(R(center), -8 * dim);
+  const int so = b.load(R(center), 8 * dim);
+  const int w = b.load(R(center), -8);
+  const int e = b.load(R(center), 8);
+  int acc = b.add(R(n), R(so));
+  acc = b.add(R(acc), R(w));
+  acc = b.add(R(acc), R(e));
+  const int c3 = b.mul(R(c), I(4));
+  acc = b.add(R(acc), R(c3));
+  const int shifted = b.shrl(R(acc), I(3));
+  const int dAddr = b.add(R(dst), R(off));
+  b.store(R(dAddr), R(shifted));
+  b.binaryInto(sum, Op::Add, R(sum), R(shifted));
+  b.jmp(colLatch);
+
+  b.setBlock(colLatch);
+  b.binaryInto(j, Op::Add, R(j), I(1));
+  const int jc = b.cmpLtS(R(j), I(dim - 1));
+  b.br(R(jc), col, rowLatch);
+
+  b.setBlock(rowLatch);
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int ic = b.cmpLtS(R(i), I(dim - 1));
+  b.br(R(ic), row, sweepLatch);
+
+  b.setBlock(sweepLatch);
+  b.binaryInto(s, Op::Add, R(s), I(1));
+  const int sc = b.cmpLtS(R(s), I(sweeps));
+  b.br(R(sc), sweep, exit);
+
+  b.setBlock(exit);
+  finish(m, b, sum);
+  return m;
+}
+
+// -------------------------------------------------------- povray_shade ----
+// Shading-style kernel: a multiply/add pipeline per "ray" with a
+// data-dependent early-out every few iterations; mixed compute/branch.
+Module povrayShade(int scale, Rng& rng) {
+  const int n = 1 << 14;
+  const int iters = 16000 * scale;
+
+  std::vector<std::uint64_t> mats(static_cast<std::size_t>(n));
+  for (auto& v : mats) v = rng.next() % 4096;
+
+  Module m;
+  addWords(m, "mats", mats);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int loop = fn.createBlock("loop");
+  const int lit = fn.createBlock("lit");
+  const int shadow = fn.createBlock("shadow");
+  const int latch = fn.createBlock("latch");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int base = b.lea("mats");
+  const int sum = b.mov(I(0));
+  const int i = b.mov(I(0));
+  b.jmp(loop);
+
+  b.setBlock(loop);
+  const int h = b.mul(R(i), I(0x9E3779B97F4A7C15));
+  const int slot = b.shrl(R(h), I(50));
+  const int off = b.shl(R(slot), I(3));
+  const int addr = b.add(R(base), R(off));
+  const int mat = b.load(R(addr)); // L2-resident lookup
+  const int d1 = b.mul(R(mat), R(mat));
+  const int d2 = b.mul(R(d1), I(17));
+  const int d3 = b.add(R(d2), R(h));
+  const int bright = b.and_(R(d3), I(0xfff));
+  const int isLit = b.cmpGeU(R(bright), I(0x400));
+  b.br(R(isLit), lit, shadow);
+
+  b.setBlock(lit);
+  const int li = b.mul(R(bright), I(3));
+  b.binaryInto(sum, Op::Add, R(sum), R(li));
+  b.jmp(latch);
+
+  b.setBlock(shadow);
+  b.binaryInto(sum, Op::Xor, R(sum), R(d3));
+  b.jmp(latch);
+
+  b.setBlock(latch);
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int cont = b.cmpLtS(R(i), I(iters));
+  b.br(R(cont), loop, exit);
+
+  b.setBlock(exit);
+  finish(m, b, sum);
+  return m;
+}
+
+// ---------------------------------------------------------- gobmk_board ----
+// Board-scanning kernel: nested conditions over a byte board with
+// neighbour lookups — branchy, L1-resident (a fence-hurts case where the
+// memory-level defenses are nearly free).
+Module gobmkBoard(int scale, Rng& rng) {
+  const int dim = 64; // 4 KiB board
+  const int passes = 48 * scale;
+
+  Module m;
+  ir::Global& g = m.addGlobal("board", static_cast<std::size_t>(dim) * dim, 64);
+  g.init.resize(static_cast<std::size_t>(dim) * dim);
+  for (auto& c : g.init) c = static_cast<std::uint8_t>(rng.below(3)); // 0/1/2
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int pass = fn.createBlock("pass");
+  const int cell = fn.createBlock("cell");
+  const int stone = fn.createBlock("stone");
+  const int mine = fn.createBlock("mine");
+  const int theirs = fn.createBlock("theirs");
+  const int cellLatch = fn.createBlock("cell_latch");
+  const int passLatch = fn.createBlock("pass_latch");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int base = b.lea("board");
+  const int score = b.mov(I(0));
+  const int p = b.mov(I(0));
+  const int c = b.mov(I(0));
+  b.jmp(pass);
+
+  b.setBlock(pass);
+  b.assign(c, I(dim + 1));
+  b.jmp(cell);
+
+  b.setBlock(cell);
+  const int addr = b.add(R(base), R(c));
+  const int v = b.load(R(addr), 0, 1);
+  b.br(R(v), stone, cellLatch); // empty -> next
+
+  b.setBlock(stone);
+  const int isMine = b.cmpEq(R(v), I(1));
+  b.br(R(isMine), mine, theirs);
+
+  b.setBlock(mine);
+  const int east = b.load(R(addr), 1, 1);
+  const int liberty = b.cmpEq(R(east), I(0));
+  b.binaryInto(score, Op::Add, R(score), R(liberty));
+  b.jmp(cellLatch);
+
+  b.setBlock(theirs);
+  const int north = b.load(R(addr), -dim, 1);
+  const int threat = b.cmpEq(R(north), I(1));
+  b.binaryInto(score, Op::Sub, R(score), R(threat));
+  b.jmp(cellLatch);
+
+  b.setBlock(cellLatch);
+  b.binaryInto(c, Op::Add, R(c), I(1));
+  const int cc = b.cmpLtS(R(c), I(dim * dim - dim - 1));
+  b.br(R(cc), cell, passLatch);
+
+  b.setBlock(passLatch);
+  b.binaryInto(p, Op::Add, R(p), I(1));
+  const int pc = b.cmpLtS(R(p), I(passes));
+  b.br(R(pc), pass, exit);
+
+  b.setBlock(exit);
+  finish(m, b, score);
+  return m;
+}
+
+// --------------------------------------------------------- cactus_grid ----
+// Strided grid updates with large stride (DRAM-missing) but latch-only
+// control: the pure-MLP case where conservative schemes give up the most.
+Module cactusGrid(int scale, Rng& rng) {
+  const int n = 1 << 19; // 4 MiB
+  const int iters = 9000 * scale;
+
+  Module m;
+  addRandomBytes(m, "field", static_cast<std::size_t>(n) * 8, rng);
+
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int loop = fn.createBlock("loop");
+  const int exit = fn.createBlock("exit");
+
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int base = b.lea("field");
+  const int sum = b.mov(I(0));
+  const int i = b.mov(I(0));
+  b.jmp(loop);
+
+  b.setBlock(loop);
+  const int st = b.mul(R(i), I(4099)); // co-prime stride: DRAM misses
+  const int idx = b.and_(R(st), I(n - 1));
+  const int off = b.shl(R(idx), I(3));
+  const int addr = b.add(R(base), R(off));
+  const int v = b.load(R(addr));
+  const int v2 = b.mul(R(v), I(5));
+  const int v3 = b.add(R(v2), R(i));
+  b.store(R(addr), R(v3));
+  b.binaryInto(sum, Op::Xor, R(sum), R(v3));
+  b.binaryInto(i, Op::Add, R(i), I(1));
+  const int cont = b.cmpLtS(R(i), I(iters));
+  b.br(R(cont), loop, exit);
+
+  b.setBlock(exit);
+  finish(m, b, sum);
+  return m;
+}
+
+} // namespace
+
+const std::vector<std::string>& kernelNames() {
+  static const std::vector<std::string> kNames = {
+      "mcf_chase",    "gcc_branchy",  "lbm_stream",   "deepsjeng_mix",
+      "xz_match",     "namd_compute", "leela_search", "omnetpp_queue",
+      "perl_hash",    "x264_sad",     "exchange_perm", "sort_insert",
+      "bwaves_stencil", "povray_shade", "gobmk_board",  "cactus_grid"};
+  return kNames;
+}
+
+std::string kernelDescription(const std::string& name) {
+  if (name == "mcf_chase") return "pointer chasing with branches on loads";
+  if (name == "gcc_branchy") return "data-dependent if/else chains";
+  if (name == "lbm_stream") return "streaming array arithmetic";
+  if (name == "deepsjeng_mix") return "hash mixing with table lookups";
+  if (name == "xz_match") return "byte matching, data-dependent loops";
+  if (name == "namd_compute") return "ALU/MUL-dense computation";
+  if (name == "leela_search") return "repeated binary search";
+  if (name == "omnetpp_queue") return "binary-heap event queue";
+  if (name == "perl_hash") return "hash-table probing";
+  if (name == "x264_sad") return "abs-difference sums with sign branches";
+  if (name == "exchange_perm") return "register permutation arithmetic";
+  if (name == "sort_insert") return "insertion sort";
+  if (name == "bwaves_stencil") return "5-point stencil sweeps";
+  if (name == "povray_shade") return "shading pipeline with early-outs";
+  if (name == "gobmk_board") return "board scanning, nested conditions";
+  if (name == "cactus_grid") return "strided DRAM-missing grid updates";
+  throw Error("unknown kernel: " + name);
+}
+
+ir::Module buildKernel(const std::string& name, int scale, std::uint64_t seed) {
+  LEV_CHECK(scale >= 1, "kernel scale must be >= 1");
+  Rng rng(seed);
+  ir::Module m = [&] {
+    if (name == "mcf_chase") return mcfChase(scale, rng);
+    if (name == "gcc_branchy") return gccBranchy(scale, rng);
+    if (name == "lbm_stream") return lbmStream(scale, rng);
+    if (name == "deepsjeng_mix") return deepsjengMix(scale, rng);
+    if (name == "xz_match") return xzMatch(scale, rng);
+    if (name == "namd_compute") return namdCompute(scale, rng);
+    if (name == "leela_search") return leelaSearch(scale, rng);
+    if (name == "omnetpp_queue") return omnetppQueue(scale, rng);
+    if (name == "perl_hash") return perlHash(scale, rng);
+    if (name == "x264_sad") return x264Sad(scale, rng);
+    if (name == "exchange_perm") return exchangePerm(scale, rng);
+    if (name == "sort_insert") return sortInsert(scale, rng);
+    if (name == "bwaves_stencil") return bwavesStencil(scale, rng);
+    if (name == "povray_shade") return povrayShade(scale, rng);
+    if (name == "gobmk_board") return gobmkBoard(scale, rng);
+    if (name == "cactus_grid") return cactusGrid(scale, rng);
+    throw Error("unknown kernel: " + name);
+  }();
+  ir::verify(m);
+  return m;
+}
+
+} // namespace lev::workloads

@@ -1,0 +1,47 @@
+// The benchmark kernel suite — the SPEC CPU2017 stand-in.
+//
+// SPEC is licensed and needs an OS/libc, so the evaluation runs on twelve
+// synthetic kernels, each built through the IR builder and compiled by the
+// backend like any user program. They are designed to span the behaviour
+// space that determines secure-speculation overhead:
+//
+//   name             modelled after   behaviour
+//   ---------------- ---------------  -------------------------------------
+//   mcf_chase        505.mcf          pointer chasing, cache-missing loads,
+//                                     branches on loaded data (slow resolve)
+//   gcc_branchy      602.gcc          dense data-dependent if/else chains
+//   lbm_stream       619.lbm          streaming loads/stores, predictable
+//   deepsjeng_mix    631.deepsjeng    table lookups + hash mixing + branches
+//   xz_match         657.xz           byte matching, data-dependent loops
+//   namd_compute     508.namd         ALU/MUL-dense, few memory ops
+//   leela_search     641.leela        repeated binary search (hard branches)
+//   omnetpp_queue    620.omnetpp      binary-heap sift (branch+load mix)
+//   perl_hash        600.perlbench    hash-table probing with chains
+//   x264_sad         625.x264         abs-difference sums with branches
+//   exchange_perm    648.exchange2    register-pressure ALU permutations
+//   sort_insert      (generic)        insertion sort, data-dependent control
+//
+// Every kernel writes a checksum to the global `result`, letting tests
+// cross-validate the O3 core against the functional golden model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace lev::workloads {
+
+/// Canonical kernel list (order used by all figures).
+const std::vector<std::string>& kernelNames();
+
+/// Build a kernel module. `scale` multiplies the iteration count; scale 1
+/// targets roughly 100-400k dynamic instructions. Throws lev::Error for
+/// unknown names.
+ir::Module buildKernel(const std::string& name, int scale = 1,
+                       std::uint64_t seed = 42);
+
+/// Short description for reports.
+std::string kernelDescription(const std::string& name);
+
+} // namespace lev::workloads

@@ -1,0 +1,317 @@
+// CFG analysis tests: dominators, post-dominators, control dependence,
+// reaching definitions, liveness, loops, aliasing.
+#include <gtest/gtest.h>
+
+#include "analysis/alias.hpp"
+#include "analysis/cfg.hpp"
+#include "analysis/controldep.hpp"
+#include "analysis/domtree.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/loopinfo.hpp"
+#include "analysis/reachingdefs.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+namespace lev::analysis {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Value;
+
+Value R(int r) { return Value::makeReg(r); }
+Value I(std::int64_t v) { return Value::makeImm(v); }
+
+/// entry -> {then, else} -> join -> exit(ret). Returns the module; blocks:
+/// 0=entry 1=then 2=else 3=join.
+Module diamond() {
+  Module m;
+  ir::Function& fn = m.addFunction("f", 1);
+  const int entry = fn.createBlock("entry");
+  const int thenB = fn.createBlock("then");
+  const int elseB = fn.createBlock("else");
+  const int join = fn.createBlock("join");
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int c = b.cmpLtS(R(fn.paramReg(0)), I(10));
+  b.br(R(c), thenB, elseB);
+  b.setBlock(thenB);
+  const int x = b.add(R(fn.paramReg(0)), I(1));
+  b.jmp(join);
+  b.setBlock(elseB);
+  const int y = b.sub(R(fn.paramReg(0)), I(1));
+  (void)x;
+  (void)y;
+  b.jmp(join);
+  b.setBlock(join);
+  b.ret(I(0));
+  fn.renumber();
+  ir::verify(m);
+  return m;
+}
+
+/// entry -> loop(header+latch) -> exit.
+Module simpleLoop() {
+  Module m;
+  ir::Function& fn = m.addFunction("f", 1);
+  const int entry = fn.createBlock("entry");
+  const int loop = fn.createBlock("loop");
+  const int exit = fn.createBlock("exit");
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int i = b.mov(I(0));
+  b.jmp(loop);
+  b.setBlock(loop);
+  b.binaryInto(i, ir::Op::Add, R(i), I(1));
+  const int c = b.cmpLtS(R(i), R(fn.paramReg(0)));
+  b.br(R(c), loop, exit);
+  b.setBlock(exit);
+  b.ret(R(i));
+  fn.renumber();
+  ir::verify(m);
+  return m;
+}
+
+TEST(Cfg, DiamondStructure) {
+  Module m = diamond();
+  Cfg cfg(*m.findFunction("f"));
+  EXPECT_EQ(cfg.numBlocks(), 4);
+  EXPECT_EQ(cfg.succs(0).size(), 2u);
+  EXPECT_EQ(cfg.preds(3).size(), 2u);
+  // Ret block flows to the virtual exit.
+  ASSERT_EQ(cfg.succs(3).size(), 1u);
+  EXPECT_EQ(cfg.succs(3)[0], cfg.virtualExit());
+  EXPECT_EQ(cfg.rpo().front(), 0);
+}
+
+TEST(DomTree, Diamond) {
+  Module m = diamond();
+  Cfg cfg(*m.findFunction("f"));
+  DomTree dom = DomTree::dominators(cfg);
+  EXPECT_EQ(dom.idom(1), 0);
+  EXPECT_EQ(dom.idom(2), 0);
+  EXPECT_EQ(dom.idom(3), 0); // join dominated by entry, not by a side
+  EXPECT_TRUE(dom.dominates(0, 3));
+  EXPECT_FALSE(dom.dominates(1, 3));
+  EXPECT_TRUE(dom.dominates(2, 2));
+}
+
+TEST(PostDomTree, Diamond) {
+  Module m = diamond();
+  Cfg cfg(*m.findFunction("f"));
+  DomTree pdom = DomTree::postDominators(cfg);
+  // join post-dominates everything; the sides post-dominate nothing else.
+  EXPECT_TRUE(pdom.dominates(3, 0));
+  EXPECT_TRUE(pdom.dominates(3, 1));
+  EXPECT_FALSE(pdom.dominates(1, 0));
+  EXPECT_EQ(pdom.idom(0), 3); // reconvergence of the branch is the join
+}
+
+TEST(ControlDep, DiamondSidesDependOnBranch) {
+  Module m = diamond();
+  const ir::Function& fn = *m.findFunction("f");
+  Cfg cfg(fn);
+  DomTree pdom = DomTree::postDominators(cfg);
+  ControlDepGraph cdg(cfg, pdom);
+
+  const int branchId = fn.block(0).terminator().id;
+  ASSERT_EQ(cdg.blockDeps(1).size(), 1u);
+  EXPECT_EQ(cdg.blockDeps(1)[0], branchId);
+  ASSERT_EQ(cdg.blockDeps(2).size(), 1u);
+  EXPECT_EQ(cdg.blockDeps(2)[0], branchId);
+  // Join and entry depend on nothing.
+  EXPECT_TRUE(cdg.blockDeps(0).empty());
+  EXPECT_TRUE(cdg.blockDeps(3).empty());
+  EXPECT_EQ(cdg.reconvergence(0), 3);
+}
+
+TEST(ControlDep, LoopBodyDependsOnLatch) {
+  Module m = simpleLoop();
+  const ir::Function& fn = *m.findFunction("f");
+  Cfg cfg(fn);
+  DomTree pdom = DomTree::postDominators(cfg);
+  ControlDepGraph cdg(cfg, pdom);
+  const int latchBranch = fn.block(1).terminator().id;
+  // The loop block is control-dependent on its own latch branch.
+  ASSERT_EQ(cdg.blockDeps(1).size(), 1u);
+  EXPECT_EQ(cdg.blockDeps(1)[0], latchBranch);
+  // Entry and exit are not.
+  EXPECT_TRUE(cdg.blockDeps(0).empty());
+  EXPECT_TRUE(cdg.blockDeps(2).empty());
+}
+
+TEST(ReachingDefs, DiamondMerge) {
+  Module m = diamond();
+  const ir::Function& fn = *m.findFunction("f");
+  Cfg cfg(fn);
+  ReachingDefs rd(cfg);
+
+  // The parameter def reaches the uses in then/else.
+  const ir::Inst& thenInst = fn.block(1).insts.front();
+  auto defs = rd.reachingDefsOf(thenInst.id, fn.paramReg(0));
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(rd.defInst(defs[0]), -1); // parameter definition
+}
+
+TEST(ReachingDefs, LoopCarriedVariableHasTwoDefs) {
+  Module m = simpleLoop();
+  const ir::Function& fn = *m.findFunction("f");
+  Cfg cfg(fn);
+  ReachingDefs rd(cfg);
+
+  // Inside the loop, `i` is defined by both the entry mov and the loop add.
+  const ir::Inst& addInst = fn.block(1).insts.front(); // i = add i, 1
+  ASSERT_EQ(addInst.op, ir::Op::Mov == addInst.op ? ir::Op::Mov : addInst.op);
+  auto defs = rd.reachingDefsOf(addInst.id, addInst.a.reg);
+  EXPECT_EQ(defs.size(), 2u);
+}
+
+TEST(ReachingDefs, LocalDefShadowsIncoming) {
+  Module m = simpleLoop();
+  const ir::Function& fn = *m.findFunction("f");
+  Cfg cfg(fn);
+  ReachingDefs rd(cfg);
+  // The compare after `i = add i, 1` sees only the local def.
+  const ir::Inst& cmp = fn.block(1).insts[1];
+  auto defs = rd.reachingDefsOf(cmp.id, cmp.a.reg);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(rd.defInst(defs[0]), fn.block(1).insts[0].id);
+}
+
+TEST(Liveness, ParamLiveIntoSides) {
+  Module m = diamond();
+  const ir::Function& fn = *m.findFunction("f");
+  Cfg cfg(fn);
+  Liveness live(cfg);
+  EXPECT_TRUE(live.liveIn(1).test(0)); // param used in then
+  EXPECT_TRUE(live.liveIn(2).test(0));
+  EXPECT_FALSE(live.liveIn(3).test(0)); // dead at join
+}
+
+TEST(Liveness, LoopVariableLiveAroundBackedge) {
+  Module m = simpleLoop();
+  const ir::Function& fn = *m.findFunction("f");
+  Cfg cfg(fn);
+  Liveness live(cfg);
+  const int iReg = fn.block(0).insts.front().dst;
+  EXPECT_TRUE(live.liveIn(1).test(static_cast<std::size_t>(iReg)));
+  EXPECT_TRUE(live.liveOut(1).test(static_cast<std::size_t>(iReg)));
+  EXPECT_TRUE(live.liveIn(2).test(static_cast<std::size_t>(iReg))); // ret i
+}
+
+TEST(LoopInfo, DetectsSimpleLoop) {
+  Module m = simpleLoop();
+  const ir::Function& fn = *m.findFunction("f");
+  Cfg cfg(fn);
+  DomTree dom = DomTree::dominators(cfg);
+  LoopInfo li(cfg, dom);
+  ASSERT_EQ(li.loops().size(), 1u);
+  EXPECT_EQ(li.loops()[0].header, 1);
+  EXPECT_EQ(li.depth(1), 1);
+  EXPECT_EQ(li.depth(0), 0);
+  EXPECT_EQ(li.depth(2), 0);
+}
+
+TEST(LoopInfo, NoLoopsInDiamond) {
+  Module m = diamond();
+  const ir::Function& fn = *m.findFunction("f");
+  Cfg cfg(fn);
+  DomTree dom = DomTree::dominators(cfg);
+  LoopInfo li(cfg, dom);
+  EXPECT_TRUE(li.loops().empty());
+}
+
+// Alias analysis: two distinct globals do not alias; a pointer loaded from
+// memory aliases everything.
+TEST(Alias, DistinctGlobalsDisjoint) {
+  Module m;
+  m.addGlobal("a", 64, 8);
+  m.addGlobal("b", 64, 8);
+  ir::Function& fn = m.addFunction("f", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int pa = b.lea("a");
+  const int pb = b.lea("b");
+  const int la = b.load(R(pa));
+  b.store(R(pb), I(1));
+  b.halt();
+  fn.renumber();
+  ir::verify(m);
+
+  Cfg cfg(fn);
+  ReachingDefs rd(cfg);
+  AliasInfo alias(m, cfg, rd);
+  const ir::Inst& loadInst = fn.block(0).insts[2];
+  const ir::Inst& storeInst = fn.block(0).insts[3];
+  EXPECT_FALSE(alias.mayAlias(loadInst.id, storeInst.id));
+}
+
+TEST(Alias, DerivedPointerStaysInRegion) {
+  Module m;
+  m.addGlobal("a", 64, 8);
+  ir::Function& fn = m.addFunction("f", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int pa = b.lea("a");
+  const int off = b.add(R(pa), I(16));
+  const int l = b.load(R(off));
+  b.store(R(pa), I(2), 8);
+  (void)l;
+  b.halt();
+  fn.renumber();
+  ir::verify(m);
+
+  Cfg cfg(fn);
+  ReachingDefs rd(cfg);
+  AliasInfo alias(m, cfg, rd);
+  const ir::Inst& loadInst = fn.block(0).insts[2];
+  const ir::Inst& storeInst = fn.block(0).insts[3];
+  EXPECT_TRUE(alias.mayAlias(loadInst.id, storeInst.id));
+  EXPECT_FALSE(alias.regionOf(loadInst.id).unknown);
+}
+
+TEST(Alias, LoadedPointerIsUnknown) {
+  Module m;
+  m.addGlobal("a", 64, 8);
+  ir::Function& fn = m.addFunction("f", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int pa = b.lea("a");
+  const int p = b.load(R(pa)); // pointer laundered through memory
+  const int l = b.load(R(p));
+  (void)l;
+  b.halt();
+  fn.renumber();
+  ir::verify(m);
+
+  Cfg cfg(fn);
+  ReachingDefs rd(cfg);
+  AliasInfo alias(m, cfg, rd);
+  const ir::Inst& indirect = fn.block(0).insts[2];
+  EXPECT_TRUE(alias.regionOf(indirect.id).unknown);
+}
+
+TEST(Alias, ParamPointerIsUnknown) {
+  Module m;
+  m.addGlobal("a", 64, 8);
+  ir::Function& fn = m.addFunction("f", 1);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int l = b.load(R(fn.paramReg(0)));
+  (void)l;
+  b.ret(I(0));
+  fn.renumber();
+  ir::verify(m);
+
+  Cfg cfg(fn);
+  ReachingDefs rd(cfg);
+  AliasInfo alias(m, cfg, rd);
+  EXPECT_TRUE(alias.regionOf(fn.block(0).insts[0].id).unknown);
+}
+
+} // namespace
+} // namespace lev::analysis

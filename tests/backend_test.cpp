@@ -1,0 +1,373 @@
+// Backend tests: lowering correctness via the functional golden model,
+// register allocation under pressure, calls, and hint emission.
+#include <gtest/gtest.h>
+
+#include "backend/compiler.hpp"
+#include "backend/regalloc.hpp"
+#include "ir/builder.hpp"
+#include "uarch/funcsim.hpp"
+
+namespace lev::backend {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Value;
+
+Value R(int r) { return Value::makeReg(r); }
+Value I(std::int64_t v) { return Value::makeImm(v); }
+
+/// Run main() through the functional simulator and return the 8-byte value
+/// stored at global `result`.
+std::uint64_t runToResult(Module& m, const CompileOptions& opts = {}) {
+  CompileResult res = compile(m, opts);
+  uarch::FuncSim sim(res.program);
+  sim.run(50'000'000);
+  return sim.memory().read(res.program.symbol("result"), 8);
+}
+
+Module moduleWithResult() {
+  Module m;
+  m.addGlobal("result", 8, 8);
+  return m;
+}
+
+TEST(Compiler, StraightLineArithmetic) {
+  Module m = moduleWithResult();
+  ir::Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int x = b.add(I(20), I(22));
+  const int y = b.mul(R(x), I(3));
+  const int z = b.sub(R(y), I(26));
+  const int r = b.lea("result");
+  b.store(R(r), R(z));
+  b.halt();
+  EXPECT_EQ(runToResult(m), 100u);
+}
+
+TEST(Compiler, AllBinaryOpsLower) {
+  // result = a chain touching every binary IR op once, vs precomputed.
+  Module m = moduleWithResult();
+  ir::Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  int v = b.mov(I(1000));
+  v = b.add(R(v), I(7));
+  v = b.sub(R(v), I(3));
+  v = b.mul(R(v), I(5));
+  v = b.divu(R(v), I(2));
+  v = b.divs(R(v), I(-2));
+  v = b.rems(R(v), I(700));
+  v = b.remu(R(v), I(97));
+  v = b.and_(R(v), I(0xff));
+  v = b.or_(R(v), I(0x100));
+  v = b.xor_(R(v), I(0x0f0));
+  v = b.shl(R(v), I(4));
+  v = b.shrl(R(v), I(2));
+  v = b.shra(R(v), I(1));
+  const int c1 = b.cmpLtS(R(v), I(1000000));
+  const int c2 = b.cmpGeU(R(v), I(0));
+  const int c3 = b.cmpEq(R(c1), R(c2));
+  const int c4 = b.cmpNe(R(v), I(0));
+  v = b.add(R(v), R(c3));
+  v = b.add(R(v), R(c4));
+  const int r = b.lea("result");
+  b.store(R(r), R(v));
+  b.halt();
+
+  // Golden value computed in plain C++.
+  std::uint64_t g = 1000;
+  g += 7; g -= 3; g *= 5; g /= 2;
+  g = static_cast<std::uint64_t>(static_cast<std::int64_t>(g) / -2);
+  g = static_cast<std::uint64_t>(static_cast<std::int64_t>(g) % 700);
+  g %= 97;
+  g &= 0xff; g |= 0x100; g ^= 0x0f0; g <<= 4; g >>= 2;
+  g = static_cast<std::uint64_t>(static_cast<std::int64_t>(g) >> 1);
+  const std::uint64_t c1v = static_cast<std::int64_t>(g) < 1000000 ? 1 : 0;
+  const std::uint64_t c2v = 1;
+  g += (c1v == c2v) ? 1 : 0;
+  g += (g != 0) ? 1 : 0;
+  EXPECT_EQ(runToResult(m), g);
+}
+
+TEST(Compiler, ControlFlowDiamondAndLoop) {
+  // result = sum of i for i in [0,10) with odd/even split.
+  Module m = moduleWithResult();
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int loop = fn.createBlock("loop");
+  const int odd = fn.createBlock("odd");
+  const int even = fn.createBlock("even");
+  const int latch = fn.createBlock("latch");
+  const int exit = fn.createBlock("exit");
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int i = b.mov(I(0));
+  const int sum = b.mov(I(0));
+  b.jmp(loop);
+  b.setBlock(loop);
+  const int bit = b.and_(R(i), I(1));
+  b.br(R(bit), odd, even);
+  b.setBlock(odd);
+  b.binaryInto(sum, ir::Op::Add, R(sum), R(i));
+  b.jmp(latch);
+  b.setBlock(even);
+  b.binaryInto(sum, ir::Op::Sub, R(sum), R(i));
+  b.jmp(latch);
+  b.setBlock(latch);
+  b.binaryInto(i, ir::Op::Add, R(i), I(1));
+  const int c = b.cmpLtS(R(i), I(10));
+  b.br(R(c), loop, exit);
+  b.setBlock(exit);
+  const int r = b.lea("result");
+  b.store(R(r), R(sum));
+  b.halt();
+
+  // odd sum 1+3+5+7+9 = 25, even sum 0+2+4+6+8 = 20 → 25-20 = 5.
+  EXPECT_EQ(runToResult(m), 5u);
+}
+
+TEST(Compiler, MemoryOpsAllSizes) {
+  Module m = moduleWithResult();
+  m.addGlobal("buf", 64, 8);
+  ir::Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int p = b.lea("buf");
+  b.store(R(p), I(0x1122334455667788), 0, 8);
+  const int b1 = b.load(R(p), 0, 1); // 0x88
+  const int b2 = b.load(R(p), 0, 2); // 0x7788
+  const int b4 = b.load(R(p), 0, 4); // 0x55667788
+  b.store(R(p), R(b1), 16, 1);
+  const int back = b.load(R(p), 16, 8); // zero-extended byte
+  int v = b.add(R(b1), R(b2));
+  v = b.add(R(v), R(b4));
+  v = b.add(R(v), R(back));
+  const int r = b.lea("result");
+  b.store(R(r), R(v));
+  b.halt();
+  EXPECT_EQ(runToResult(m), 0x88u + 0x7788u + 0x55667788u + 0x88u);
+}
+
+TEST(Compiler, GlobalInitBytesLoadCorrectly) {
+  Module m = moduleWithResult();
+  ir::Global& g = m.addGlobal("data", 16, 8);
+  g.init = {1, 2, 3, 4};
+  ir::Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int p = b.lea("data");
+  const int v = b.load(R(p), 0, 4); // 0x04030201
+  const int r = b.lea("result");
+  b.store(R(r), R(v));
+  b.halt();
+  EXPECT_EQ(runToResult(m), 0x04030201u);
+}
+
+TEST(Compiler, RegisterPressureSpills) {
+  // 40 simultaneously-live values force spilling; the sum must still be
+  // exact.
+  Module m = moduleWithResult();
+  ir::Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  std::vector<int> vals;
+  std::uint64_t expect = 0;
+  for (int i = 0; i < 40; ++i) {
+    vals.push_back(b.mov(I(i * i + 1)));
+    expect += static_cast<std::uint64_t>(i * i + 1);
+  }
+  int sum = b.mov(I(0));
+  for (int v : vals) b.binaryInto(sum, ir::Op::Add, R(sum), R(v));
+  const int r = b.lea("result");
+  b.store(R(r), R(sum));
+  b.halt();
+
+  // Verify spilling actually happened.
+  fn.renumber();
+  Allocation alloc = allocateRegisters(fn);
+  int spilled = 0;
+  for (const Loc& loc : alloc.locs)
+    if (loc.spilled) ++spilled;
+  EXPECT_GT(spilled, 0) << "test must actually exercise spill paths";
+
+  EXPECT_EQ(runToResult(m), expect);
+}
+
+TEST(Compiler, CallsFollowAbi) {
+  Module m = moduleWithResult();
+  ir::Function& callee = m.addFunction("triple_sum", 3);
+  callee.createBlock("entry");
+  {
+    IRBuilder b(callee);
+    b.setBlock(0);
+    const int s = b.add(R(callee.paramReg(0)), R(callee.paramReg(1)));
+    const int t = b.add(R(s), R(callee.paramReg(2)));
+    b.ret(R(t));
+  }
+  ir::Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int live = b.mov(I(1000)); // must survive the call (spilled)
+  const int a = b.call("triple_sum", {I(1), I(2), I(3)});
+  const int c = b.call("triple_sum", {R(a), R(live), I(10)});
+  const int r = b.lea("result");
+  b.store(R(r), R(c));
+  b.halt();
+  EXPECT_EQ(runToResult(m), 6u + 1000u + 10u);
+}
+
+TEST(Compiler, RecursiveCalls) {
+  // result = fib(12) via naive recursion (exercises ra save/restore and
+  // stack discipline).
+  Module m = moduleWithResult();
+  ir::Function& fib = m.addFunction("fib", 1);
+  const int entry = fib.createBlock("entry");
+  const int base = fib.createBlock("base");
+  const int rec = fib.createBlock("rec");
+  {
+    IRBuilder b(fib);
+    b.setBlock(entry);
+    const int isSmall = b.cmpLtS(R(fib.paramReg(0)), I(2));
+    b.br(R(isSmall), base, rec);
+    b.setBlock(base);
+    b.ret(R(fib.paramReg(0)));
+    b.setBlock(rec);
+    const int n1 = b.sub(R(fib.paramReg(0)), I(1));
+    const int n2 = b.sub(R(fib.paramReg(0)), I(2));
+    const int f1 = b.call("fib", {R(n1)});
+    const int f2 = b.call("fib", {R(n2)});
+    const int s = b.add(R(f1), R(f2));
+    b.ret(R(s));
+  }
+  ir::Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int v = b.call("fib", {I(12)});
+  const int r = b.lea("result");
+  b.store(R(r), R(v));
+  b.halt();
+  EXPECT_EQ(runToResult(m), 144u);
+}
+
+TEST(Compiler, HintsTranslateToBranchPcs) {
+  Module m = moduleWithResult();
+  m.addGlobal("g", 64, 8);
+  ir::Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int thenB = fn.createBlock("then");
+  const int join = fn.createBlock("join");
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int p = b.lea("g");
+  const int x = b.load(R(p));
+  b.br(R(x), thenB, join);
+  b.setBlock(thenB);
+  const int y = b.load(R(p), 8); // control-dependent load
+  const int r0 = b.lea("result");
+  b.store(R(r0), R(y));
+  b.jmp(join);
+  b.setBlock(join);
+  b.halt();
+
+  CompileResult res = compile(m);
+  const isa::Program& prog = res.program;
+  ASSERT_EQ(prog.hints.size(), prog.text.size());
+
+  // Find the conditional branch and the dependent load.
+  std::uint64_t branchPc = 0;
+  for (std::size_t i = 0; i < prog.text.size(); ++i)
+    if (isa::isCondBranch(prog.text[i].op))
+      branchPc = prog.textBase + i * isa::kInstBytes;
+  ASSERT_NE(branchPc, 0u);
+
+  int dependentLoads = 0;
+  int independentLoads = 0;
+  for (std::size_t i = 0; i < prog.text.size(); ++i) {
+    if (!isa::isLoad(prog.text[i].op)) continue;
+    if (prog.hints[i].dependsOn(branchPc))
+      ++dependentLoads;
+    else
+      ++independentLoads;
+  }
+  EXPECT_GE(dependentLoads, 1) << "the then-side load must carry the hint";
+  EXPECT_GE(independentLoads, 1) << "the first load must be unrestricted";
+}
+
+TEST(Compiler, NoHintsModeEmitsNone) {
+  Module m = moduleWithResult();
+  ir::Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int r = b.lea("result");
+  b.store(R(r), I(1));
+  b.halt();
+  CompileOptions opts;
+  opts.emitHints = false;
+  CompileResult res = compile(m, opts);
+  EXPECT_TRUE(res.program.hints.empty());
+  // And the fallback hint is conservative.
+  EXPECT_TRUE(res.program.hintAt(res.program.entry).overflow);
+}
+
+TEST(Compiler, FunctionRangesCoverText) {
+  Module m = moduleWithResult();
+  ir::Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  b.halt();
+  CompileResult res = compile(m);
+  const isa::Program& prog = res.program;
+  ASSERT_GE(prog.funcs.size(), 2u); // _start + main
+  for (std::uint64_t pc = prog.textBase; pc < prog.textEnd();
+       pc += isa::kInstBytes)
+    EXPECT_GE(prog.funcIndexOfPc(pc), 0) << "pc " << pc << " uncovered";
+  EXPECT_EQ(prog.funcIndexOfPc(prog.textEnd()), -1);
+}
+
+TEST(Compiler, MissingMainRejected) {
+  Module m;
+  ir::Function& fn = m.addFunction("not_main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  b.halt();
+  EXPECT_THROW(compile(m), Error);
+}
+
+TEST(Regalloc, DisjointIntervalsShareRegisters) {
+  Module m;
+  ir::Function& fn = m.addFunction("f", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  // Two chains where the first value dies before the second is born.
+  const int a = b.mov(I(1));
+  const int a2 = b.add(R(a), I(1));
+  const int c = b.mov(I(2));
+  const int c2 = b.add(R(c), I(2));
+  (void)a2;
+  (void)c2;
+  b.halt();
+  fn.renumber();
+  Allocation alloc = allocateRegisters(fn);
+  int used = 0;
+  for (const Loc& loc : alloc.locs)
+    if (!loc.spilled && loc.phys >= 0) ++used;
+  EXPECT_GT(used, 0);
+  EXPECT_EQ(alloc.numSlots, 0);
+  EXPECT_FALSE(alloc.makesCalls);
+}
+
+} // namespace
+} // namespace lev::backend

@@ -1,0 +1,101 @@
+// Structural tests of the attack gadget programs: layout, annotations, and
+// golden-model behaviour (independent of the attack harness).
+#include <gtest/gtest.h>
+
+#include "backend/compiler.hpp"
+#include "uarch/funcsim.hpp"
+#include "workloads/gadgets.hpp"
+
+namespace lev::workloads {
+namespace {
+
+TEST(Gadget, SecretIsLevioso) {
+  const auto& s = gadgetSecret();
+  EXPECT_EQ(std::string(s.begin(), s.end()), "LEVIOSO!");
+}
+
+TEST(Gadget, SpectreV1LayoutAndGoldenRun) {
+  Gadget g = buildSpectreV1(0);
+  backend::CompileResult res = backend::compile(g.module);
+
+  // Out-of-bounds distance from array1 to secret must be what the program
+  // computes: secret sits above array1 in the data layout.
+  const std::uint64_t a1 = res.program.symbol("array1");
+  const std::uint64_t sec = res.program.symbol("secret");
+  EXPECT_GT(sec, a1);
+
+  // Architecturally the gadget never touches the secret-dependent probe
+  // line: the golden model (no speculation) must leave result == training
+  // value xors only (byte 0 path).
+  uarch::FuncSim sim(res.program);
+  sim.run(10'000'000);
+  EXPECT_TRUE(sim.halted());
+}
+
+TEST(Gadget, SpectreV1TransmitterCarriesBranchHint) {
+  Gadget g = buildSpectreV1(0);
+  backend::CompileResult res = backend::compile(g.module);
+  const isa::Program& p = res.program;
+
+  // Collect conditional-branch PCs.
+  std::vector<std::uint64_t> branchPcs;
+  for (std::size_t i = 0; i < p.text.size(); ++i)
+    if (isa::isCondBranch(p.text[i].op))
+      branchPcs.push_back(p.textBase + i * isa::kInstBytes);
+  ASSERT_GE(branchPcs.size(), 2u); // bounds check + loop latch
+
+  // Every byte load (the access and the transmitter) must depend on at
+  // least one branch — they are inside the bounds check.
+  int hintedByteLoads = 0;
+  for (std::size_t i = 0; i < p.text.size(); ++i) {
+    if (p.text[i].op != isa::Opc::LD1) continue;
+    const isa::Hint& h = p.hints[i];
+    bool dependsOnSomeBranch = h.overflow;
+    for (std::uint64_t b : branchPcs) dependsOnSomeBranch |= h.dependsOn(b);
+    EXPECT_TRUE(dependsOnSomeBranch) << "byte load at index " << i;
+    ++hintedByteLoads;
+  }
+  EXPECT_GE(hintedByteLoads, 2);
+}
+
+TEST(Gadget, NonSpecKeyLoadIsUnhinted) {
+  Gadget g = buildNonSpecSecret(0);
+  backend::CompileResult res = backend::compile(g.module);
+  const isa::Program& p = res.program;
+  // The architectural key load (first LD8 in main, before the loop) must
+  // NOT be branch-dependent — it is the non-speculative access.
+  for (std::size_t i = 0; i < p.text.size(); ++i) {
+    if (p.text[i].op == isa::Opc::LD8) {
+      EXPECT_TRUE(p.hints[i].neverRestricted())
+          << "the key load must carry an empty hint";
+      break;
+    }
+  }
+}
+
+TEST(Gadget, ByteIndexSelectsSecretByte) {
+  for (int i = 0; i < 8; ++i) {
+    Gadget g = buildSpectreV1(i);
+    EXPECT_EQ(g.secretByte, gadgetSecret()[static_cast<std::size_t>(i)]);
+    Gadget n = buildNonSpecSecret(i);
+    EXPECT_EQ(n.secretByte, gadgetSecret()[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_THROW(buildSpectreV1(8), Error);
+  EXPECT_THROW(buildNonSpecSecret(-1), Error);
+}
+
+TEST(Gadget, TrainingCountIsConfigurable) {
+  Gadget g = buildSpectreV1(0, 16);
+  backend::CompileResult res = backend::compile(g.module);
+  uarch::FuncSim sim(res.program);
+  const std::uint64_t n16 = sim.run(10'000'000);
+
+  Gadget g2 = buildSpectreV1(0, 64);
+  backend::CompileResult res2 = backend::compile(g2.module);
+  uarch::FuncSim sim2(res2.program);
+  const std::uint64_t n64 = sim2.run(10'000'000);
+  EXPECT_GT(n64, n16);
+}
+
+} // namespace
+} // namespace lev::workloads

@@ -1,0 +1,263 @@
+// IR construction, verification, and printer/parser round-trip tests.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace lev::ir {
+namespace {
+
+Value R(int r) { return Value::makeReg(r); }
+Value I(std::int64_t v) { return Value::makeImm(v); }
+
+Module diamondModule() {
+  Module m;
+  m.addGlobal("g", 64, 8);
+  Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int thenB = fn.createBlock("then");
+  const int elseB = fn.createBlock("else");
+  const int join = fn.createBlock("join");
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int base = b.lea("g");
+  const int x = b.load(R(base));
+  b.br(R(x), thenB, elseB);
+  b.setBlock(thenB);
+  const int a = b.add(R(x), I(1));
+  b.store(R(base), R(a), 8);
+  b.jmp(join);
+  b.setBlock(elseB);
+  const int c = b.sub(R(x), I(1));
+  b.store(R(base), R(c), 16);
+  b.jmp(join);
+  b.setBlock(join);
+  b.halt();
+  return m;
+}
+
+TEST(IrBuilder, BuildsVerifiableDiamond) {
+  Module m = diamondModule();
+  EXPECT_NO_THROW(verify(m));
+  const Function* fn = m.findFunction("main");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->numBlocks(), 4);
+  EXPECT_EQ(fn->successors(0).size(), 2u);
+  EXPECT_EQ(fn->successors(3).size(), 0u);
+}
+
+TEST(IrBuilder, PredecessorsComputed) {
+  Module m = diamondModule();
+  const Function* fn = m.findFunction("main");
+  auto preds = fn->predecessors();
+  EXPECT_TRUE(preds[0].empty());
+  ASSERT_EQ(preds[3].size(), 2u);
+}
+
+TEST(IrBuilder, RegistersAreFresh) {
+  Module m;
+  Function& fn = m.addFunction("f", 2);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int x = b.add(R(fn.paramReg(0)), R(fn.paramReg(1)));
+  const int y = b.add(R(x), I(1));
+  EXPECT_NE(x, y);
+  EXPECT_GE(x, 2); // params occupy 0 and 1
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module m;
+  Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  b.add(I(1), I(2)); // no terminator
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsEmptyBlock) {
+  Module m;
+  Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsUnknownCallee) {
+  Module m;
+  Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  b.call("nope", {});
+  b.halt();
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsArgCountMismatch) {
+  Module m;
+  Function& callee = m.addFunction("callee", 2);
+  callee.createBlock("entry");
+  IRBuilder cb(callee);
+  cb.setBlock(0);
+  cb.ret(I(0));
+  Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  b.call("callee", {I(1)}); // one arg, needs two
+  b.halt();
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsUnknownGlobal) {
+  Module m;
+  Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  b.lea("missing");
+  b.halt();
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsUnreachableBlock) {
+  Module m;
+  Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int orphan = fn.createBlock("orphan");
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  b.halt();
+  b.setBlock(orphan);
+  b.halt();
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsBadAccessSize) {
+  Module m;
+  m.addGlobal("g", 8, 8);
+  Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int base = b.lea("g");
+  b.load(R(base), 0, 3); // illegal size
+  b.halt();
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Module, DuplicateFunctionRejected) {
+  Module m;
+  m.addFunction("f", 0);
+  EXPECT_THROW(m.addFunction("f", 0), Error);
+}
+
+TEST(Module, DuplicateGlobalRejected) {
+  Module m;
+  m.addGlobal("g", 8);
+  EXPECT_THROW(m.addGlobal("g", 8), Error);
+}
+
+TEST(Printer, RoundTripsThroughParser) {
+  Module m = diamondModule();
+  const std::string text = toString(m);
+  Module m2 = parseModule(text);
+  EXPECT_NO_THROW(verify(m2));
+  // Printing again yields identical text (canonical form).
+  EXPECT_EQ(toString(m2), text);
+}
+
+TEST(Parser, ParsesFunctionWithParams) {
+  const char* text = R"(func @f(%v0, %v1) {
+entry:
+  %v2 = add %v0, %v1
+  ret %v2
+}
+)";
+  Module m = parseModule(text);
+  const Function* fn = m.findFunction("f");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->numParams(), 2);
+  EXPECT_NO_THROW(verify(m));
+}
+
+TEST(Parser, ParsesCallsAndGlobals) {
+  const char* text = R"(func @helper(%v0) {
+entry:
+  %v1 = mul %v0, 3
+  ret %v1
+}
+
+func @main() {
+entry:
+  %v0 = call @helper(7)
+  %v1 = lea @buf + 8
+  store.8 %v1 + 0, %v0
+  halt
+}
+global @buf size 64 align 16
+)";
+  Module m = parseModule(text);
+  EXPECT_NO_THROW(verify(m));
+  EXPECT_EQ(toString(parseModule(toString(m))), toString(m));
+}
+
+TEST(Parser, ParsesFlushAndSizes) {
+  const char* text = R"(func @main() {
+entry:
+  %v0 = lea @buf + 0
+  %v1 = flush %v0 + 0
+  %v2 = load.1 %v0 + 3
+  store.2 %v0 + 4, %v2
+  halt
+}
+global @buf size 64 align 64
+)";
+  Module m = parseModule(text);
+  EXPECT_NO_THROW(verify(m));
+  EXPECT_EQ(toString(parseModule(toString(m))), toString(m));
+}
+
+TEST(Parser, RejectsUnknownMnemonic) {
+  EXPECT_THROW(parseModule("func @f() {\nentry:\n  bogus 1, 2\n}\n"),
+               ParseError);
+}
+
+TEST(Parser, RejectsUnknownLabel) {
+  EXPECT_THROW(parseModule("func @f() {\nentry:\n  jmp nowhere\n}\n"),
+               ParseError);
+}
+
+TEST(Parser, ReportsLineNumbers) {
+  try {
+    parseModule("func @f() {\nentry:\n  bogus 1, 2\n}\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST(Inst, UsesCollectsRegisters) {
+  Module m = diamondModule();
+  const Function* fn = m.findFunction("main");
+  std::vector<int> regs;
+  // The branch uses the loaded value.
+  fn->block(0).terminator().uses(regs);
+  ASSERT_EQ(regs.size(), 1u);
+}
+
+TEST(Function, RenumberAssignsDenseIds) {
+  Module m = diamondModule();
+  Function* fn = m.findFunction("main");
+  fn->renumber();
+  int expect = 0;
+  for (int bidx = 0; bidx < fn->numBlocks(); ++bidx)
+    for (const Inst& inst : fn->block(bidx).insts) EXPECT_EQ(inst.id, expect++);
+  EXPECT_EQ(fn->numInsts(), expect);
+}
+
+} // namespace
+} // namespace lev::ir

@@ -1,0 +1,260 @@
+// ISA semantics, encoding round-trip, assembler and disassembler tests.
+#include <gtest/gtest.h>
+
+#include "isa/asmparser.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "isa/isa.hpp"
+#include "support/error.hpp"
+
+namespace lev::isa {
+namespace {
+
+TEST(Alu, Arithmetic) {
+  EXPECT_EQ(evalAlu(Opc::ADD, 2, 3), 5u);
+  EXPECT_EQ(evalAlu(Opc::SUB, 2, 3), static_cast<std::uint64_t>(-1));
+  EXPECT_EQ(evalAlu(Opc::MUL, 7, 6), 42u);
+}
+
+TEST(Alu, DivisionByZeroFollowsRiscv) {
+  EXPECT_EQ(evalAlu(Opc::DIVU, 10, 0), ~0ull);
+  EXPECT_EQ(evalAlu(Opc::DIVS, 10, 0), ~0ull);
+  EXPECT_EQ(evalAlu(Opc::REMU, 10, 0), 10u);
+  EXPECT_EQ(evalAlu(Opc::REMS, static_cast<std::uint64_t>(-10), 0),
+            static_cast<std::uint64_t>(-10));
+}
+
+TEST(Alu, SignedOverflowDivision) {
+  const auto min = static_cast<std::uint64_t>(INT64_MIN);
+  EXPECT_EQ(evalAlu(Opc::DIVS, min, static_cast<std::uint64_t>(-1)), min);
+  EXPECT_EQ(evalAlu(Opc::REMS, min, static_cast<std::uint64_t>(-1)), 0u);
+}
+
+TEST(Alu, ShiftsMaskAmount) {
+  EXPECT_EQ(evalAlu(Opc::SLL, 1, 64), 1u); // 64 & 63 == 0
+  EXPECT_EQ(evalAlu(Opc::SRL, 0x8000000000000000ull, 63), 1u);
+  EXPECT_EQ(evalAlu(Opc::SRA, static_cast<std::uint64_t>(-8), 2),
+            static_cast<std::uint64_t>(-2));
+}
+
+TEST(Alu, Comparisons) {
+  EXPECT_EQ(evalAlu(Opc::SLT, static_cast<std::uint64_t>(-1), 0), 1u);
+  EXPECT_EQ(evalAlu(Opc::SLTU, static_cast<std::uint64_t>(-1), 0), 0u);
+  EXPECT_EQ(evalAlu(Opc::SEQ, 4, 4), 1u);
+  EXPECT_EQ(evalAlu(Opc::SNE, 4, 4), 0u);
+  EXPECT_EQ(evalAlu(Opc::SGE, static_cast<std::uint64_t>(-1), 0), 0u);
+  EXPECT_EQ(evalAlu(Opc::SGEU, static_cast<std::uint64_t>(-1), 0), 1u);
+}
+
+TEST(Branch, Predicates) {
+  EXPECT_TRUE(evalBranch(Opc::BEQ, 1, 1));
+  EXPECT_TRUE(evalBranch(Opc::BNE, 1, 2));
+  EXPECT_TRUE(evalBranch(Opc::BLT, static_cast<std::uint64_t>(-5), 3));
+  EXPECT_FALSE(evalBranch(Opc::BLTU, static_cast<std::uint64_t>(-5), 3));
+  EXPECT_TRUE(evalBranch(Opc::BGE, 3, 3));
+  EXPECT_TRUE(evalBranch(Opc::BGEU, static_cast<std::uint64_t>(-1), 1));
+}
+
+TEST(Classify, Groups) {
+  EXPECT_TRUE(isLoad(Opc::LD1));
+  EXPECT_TRUE(isStore(Opc::ST8));
+  EXPECT_FALSE(isLoad(Opc::ST8));
+  EXPECT_TRUE(isCondBranch(Opc::BGEU));
+  EXPECT_FALSE(isCondBranch(Opc::JAL));
+  EXPECT_TRUE(isControl(Opc::JAL));
+  EXPECT_TRUE(isSpeculationSource(Opc::JALR));
+  EXPECT_FALSE(isSpeculationSource(Opc::JAL));
+  EXPECT_TRUE(writesReg(Opc::FLUSH));
+  EXPECT_FALSE(writesReg(Opc::ST1));
+  EXPECT_FALSE(readsRs2(Opc::ADDI));
+  EXPECT_TRUE(readsRs2(Opc::ST4));
+  EXPECT_EQ(memSize(Opc::LD2), 2);
+  EXPECT_EQ(memSize(Opc::ST8), 8);
+}
+
+// Property-style round-trip: every opcode with assorted fields encodes and
+// decodes to the same instruction.
+class EncodingRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodingRoundTrip, RoundTrips) {
+  Inst inst;
+  inst.op = static_cast<Opc>(GetParam());
+  inst.rd = 5;
+  inst.rs1 = 31;
+  inst.rs2 = 17;
+  for (std::int64_t imm : {0ll, 1ll, -1ll, 1234567ll, -87654321ll,
+                           2147483647ll, -2147483648ll}) {
+    inst.imm = imm;
+    const std::uint64_t word = encode(inst);
+    const auto decoded = decode(word);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, inst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodingRoundTrip,
+                         ::testing::Range(0, kNumOpcodes));
+
+TEST(Encoding, RejectsOversizeImmediate) {
+  Inst inst;
+  inst.op = Opc::ADDI;
+  inst.imm = 1ll << 40;
+  EXPECT_THROW(encode(inst), lev::Error);
+}
+
+TEST(Encoding, DecodeRejectsGarbage) {
+  EXPECT_FALSE(decode(0xff).has_value());          // bad opcode
+  EXPECT_FALSE(decode(0xfc000000ull).has_value()); // reserved bits set
+}
+
+TEST(Assembler, BasicProgram) {
+  Program p = assemble(R"(
+.entry main
+main:
+  li x5, 42
+  mv x6, x5
+  addi x7, x6, -2
+  halt
+)");
+  ASSERT_EQ(p.text.size(), 4u);
+  EXPECT_EQ(p.entry, p.textBase);
+  EXPECT_EQ(p.text[0].op, Opc::ADDI);
+  EXPECT_EQ(p.text[0].imm, 42);
+  EXPECT_EQ(p.text[2].imm, -2);
+  EXPECT_EQ(p.text[3].op, Opc::HALT);
+}
+
+TEST(Assembler, BranchTargets) {
+  Program p = assemble(R"(
+main:
+  li x5, 0
+loop:
+  addi x5, x5, 1
+  blt x5, x6, loop
+  j end
+end:
+  halt
+)");
+  // blt at index 2 targets index 1: displacement -8.
+  EXPECT_EQ(p.text[2].op, Opc::BLT);
+  EXPECT_EQ(p.text[2].imm, -8);
+  // j (jal x0) at index 3 targets index 4: displacement +8.
+  EXPECT_EQ(p.text[3].op, Opc::JAL);
+  EXPECT_EQ(p.text[3].imm, 8);
+}
+
+TEST(Assembler, DataObjectsAndSymbols) {
+  Program p = assemble(R"(
+.space buf 128 64
+.bytes buf 4 deadbeef
+main:
+  la x5, buf+4
+  ld4 x6, 0(x5)
+  halt
+)");
+  const std::uint64_t addr = p.symbol("buf");
+  EXPECT_EQ(addr % 64, 0u);
+  ASSERT_EQ(p.data.size(), 1u);
+  EXPECT_EQ(p.data[0].bytes.size(), 128u);
+  EXPECT_EQ(p.data[0].bytes[4], 0xde);
+  EXPECT_EQ(p.data[0].bytes[7], 0xef);
+  EXPECT_EQ(p.text[0].imm, static_cast<std::int64_t>(addr) + 4);
+}
+
+TEST(Assembler, LoadsStoresAndFlush) {
+  Program p = assemble(R"(
+.space buf 64
+main:
+  la x5, buf
+  st8 x6, 8(x5)
+  ld8 x7, 8(x5)
+  flush x8, 0(x5)
+  ret
+)");
+  EXPECT_EQ(p.text[1].op, Opc::ST8);
+  EXPECT_EQ(p.text[1].rs2, 6);
+  EXPECT_EQ(p.text[2].op, Opc::LD8);
+  EXPECT_EQ(p.text[3].op, Opc::FLUSH);
+  EXPECT_EQ(p.text[4].op, Opc::JALR);
+}
+
+TEST(Assembler, HintDirectives) {
+  Program p = assemble(R"(
+main:
+  li x5, 1
+br1:
+  beq x5, x0, out
+  !deps br1
+  ld8 x6, 0(x5)
+  !depall
+  ld8 x7, 0(x5)
+  ld8 x8, 0(x5)
+out:
+  halt
+)");
+  ASSERT_EQ(p.hints.size(), p.text.size());
+  const Hint& dep = p.hints[2];
+  EXPECT_FALSE(dep.overflow);
+  ASSERT_EQ(dep.dependeePcs.size(), 1u);
+  EXPECT_EQ(dep.dependeePcs[0], p.symbol("br1"));
+  EXPECT_TRUE(p.hints[3].overflow);
+  EXPECT_TRUE(p.hints[4].neverRestricted());
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("main:\n  bogus x1\n");
+    FAIL() << "expected ParseError";
+  } catch (const lev::ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+  EXPECT_THROW(assemble("main:\n  beq x1, x2, nowhere\n"), lev::ParseError);
+  EXPECT_THROW(assemble(".space a 0\nmain:\n  halt\n"), lev::ParseError);
+}
+
+TEST(Program, HintFallbackIsConservative) {
+  Program p;
+  p.text.push_back({Opc::NOP, 0, 0, 0, 0});
+  // No hint section: everything treated as overflow.
+  EXPECT_TRUE(p.hintAt(p.textBase).overflow);
+}
+
+TEST(Program, PcMapping) {
+  Program p = assemble("main:\n  nop\n  nop\n  halt\n");
+  EXPECT_TRUE(p.pcInText(p.textBase));
+  EXPECT_TRUE(p.pcInText(p.textBase + 16));
+  EXPECT_FALSE(p.pcInText(p.textBase + 24));
+  EXPECT_FALSE(p.pcInText(p.textBase + 4)); // misaligned
+  EXPECT_EQ(p.indexOfPc(p.textBase + 8), 1u);
+}
+
+TEST(Disasm, RendersKeyForms) {
+  Program p = assemble(R"(
+.space buf 64
+main:
+  addi x5, x0, 7
+  add x6, x5, x5
+  ld8 x7, 8(x5)
+  st8 x7, 16(x5)
+  beq x5, x6, main
+  halt
+)");
+  const std::string listing = disasm(p);
+  EXPECT_NE(listing.find("addi x5, x0, 7"), std::string::npos);
+  EXPECT_NE(listing.find("add x6, x5, x5"), std::string::npos);
+  EXPECT_NE(listing.find("ld8 x7, 8(x5)"), std::string::npos);
+  EXPECT_NE(listing.find("st8 x7, 16(x5)"), std::string::npos);
+  EXPECT_NE(listing.find("beq x5, x6"), std::string::npos);
+}
+
+TEST(Hint, DependsOnBinarySearch) {
+  Hint h;
+  h.dependeePcs = {0x1000, 0x1040, 0x2000};
+  EXPECT_TRUE(h.dependsOn(0x1040));
+  EXPECT_FALSE(h.dependsOn(0x1041));
+  h.overflow = true;
+  EXPECT_TRUE(h.dependsOn(0xdead));
+}
+
+} // namespace
+} // namespace lev::isa

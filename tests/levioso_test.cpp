@@ -1,0 +1,270 @@
+// Tests of the Levioso true-branch-dependency analysis and the annotation
+// encoder — the paper's compiler side.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "levioso/annotation.hpp"
+#include "levioso/branchdeps.hpp"
+
+namespace lev::levioso {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Value;
+
+Value R(int r) { return Value::makeReg(r); }
+Value I(std::int64_t v) { return Value::makeImm(v); }
+
+/// Find the nth instruction with a given opcode.
+const ir::Inst& nthOf(const ir::Function& fn, ir::Op op, int n = 0) {
+  for (int b = 0; b < fn.numBlocks(); ++b)
+    for (const ir::Inst& inst : fn.block(b).insts)
+      if (inst.op == op && n-- == 0) return inst;
+  throw Error("instruction not found");
+}
+
+/// if (p < 10) { x = p+1 } else { x = p-1 }; y = x*2; z = load g; ret
+/// The merge value x (and its consumer y) must depend on the branch;
+/// the unrelated load z must not.
+Module mergeModule() {
+  Module m;
+  m.addGlobal("g", 64, 8);
+  ir::Function& fn = m.addFunction("f", 1);
+  const int entry = fn.createBlock("entry");
+  const int thenB = fn.createBlock("then");
+  const int elseB = fn.createBlock("else");
+  const int join = fn.createBlock("join");
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int x = b.mov(I(0));
+  const int c = b.cmpLtS(R(fn.paramReg(0)), I(10));
+  b.br(R(c), thenB, elseB);
+  b.setBlock(thenB);
+  b.binaryInto(x, ir::Op::Add, R(fn.paramReg(0)), I(1));
+  b.jmp(join);
+  b.setBlock(elseB);
+  b.binaryInto(x, ir::Op::Sub, R(fn.paramReg(0)), I(1));
+  b.jmp(join);
+  b.setBlock(join);
+  const int y = b.mul(R(x), I(2));
+  const int gp = b.lea("g");
+  const int z = b.load(R(gp));
+  (void)y;
+  (void)z;
+  b.ret(R(x));
+  fn.renumber();
+  ir::verify(m);
+  return m;
+}
+
+TEST(BranchDeps, ControlDependenceSeeds) {
+  Module m = mergeModule();
+  const ir::Function& fn = *m.findFunction("f");
+  BranchDepAnalysis a(m, fn);
+  ASSERT_EQ(a.numBranches(), 1);
+  const int branchId = a.branchInst(0);
+
+  // Instructions inside then/else depend on the branch.
+  const ir::Inst& thenAdd = fn.block(1).insts.front();
+  EXPECT_TRUE(a.deps(thenAdd.id).test(0));
+  // The branch itself does not depend on itself.
+  EXPECT_FALSE(a.deps(branchId).test(0));
+}
+
+TEST(BranchDeps, DataFlowThroughMergedValue) {
+  Module m = mergeModule();
+  const ir::Function& fn = *m.findFunction("f");
+  BranchDepAnalysis a(m, fn);
+
+  // y = x*2 is after the reconvergence point but uses the merged x:
+  // it truly depends on the branch through dataflow.
+  const ir::Inst& mulInst = nthOf(fn, ir::Op::Mul);
+  EXPECT_TRUE(a.deps(mulInst.id).test(0));
+}
+
+TEST(BranchDeps, IndependentLoadHasNoDeps) {
+  Module m = mergeModule();
+  const ir::Function& fn = *m.findFunction("f");
+  BranchDepAnalysis a(m, fn);
+
+  // z = load g: not control-dependent, operands don't flow from the branch.
+  const ir::Inst& loadInst = nthOf(fn, ir::Op::Load);
+  EXPECT_EQ(a.deps(loadInst.id).count(), 0u);
+}
+
+/// Memory laundering: store a branch-dependent value, then load it back and
+/// use it as an address. The final load must inherit the branch dependency
+/// via the memory channel — and must NOT when memory propagation is off.
+Module launderModule() {
+  Module m;
+  m.addGlobal("slot", 8, 8);
+  m.addGlobal("table", 4096, 64);
+  ir::Function& fn = m.addFunction("f", 1);
+  const int entry = fn.createBlock("entry");
+  const int thenB = fn.createBlock("then");
+  const int join = fn.createBlock("join");
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int slot = b.lea("slot");
+  b.store(R(slot), I(0));
+  const int c = b.cmpLtS(R(fn.paramReg(0)), I(10));
+  b.br(R(c), thenB, join);
+  b.setBlock(thenB);
+  b.store(R(slot), R(fn.paramReg(0))); // branch-dependent store
+  b.jmp(join);
+  b.setBlock(join);
+  const int v = b.load(R(slot)); // laundered value
+  const int tp = b.lea("table");
+  const int addr = b.add(R(tp), R(v));
+  const int leak = b.load(R(addr)); // address depends on the branch
+  (void)leak;
+  b.ret(I(0));
+  fn.renumber();
+  ir::verify(m);
+  return m;
+}
+
+TEST(BranchDeps, MemoryLaunderingPropagates) {
+  Module m = launderModule();
+  const ir::Function& fn = *m.findFunction("f");
+  BranchDepAnalysis a(m, fn);
+  const ir::Inst& lastLoad = nthOf(fn, ir::Op::Load, 1);
+  EXPECT_TRUE(a.deps(lastLoad.id).test(0))
+      << "load through laundered pointer must inherit the branch dep";
+}
+
+TEST(BranchDeps, MemoryPropagationCanBeDisabled) {
+  Module m = launderModule();
+  const ir::Function& fn = *m.findFunction("f");
+  DepOptions opts;
+  opts.propagateThroughMemory = false;
+  BranchDepAnalysis a(m, fn, opts);
+  const ir::Inst& lastLoad = nthOf(fn, ir::Op::Load, 1);
+  EXPECT_FALSE(a.deps(lastLoad.id).test(0))
+      << "ablation mode must drop the memory-carried dependency";
+}
+
+TEST(BranchDeps, DisjointRegionDoesNotPropagate) {
+  // Store branch-dependent data into region A, load from region B: no dep.
+  Module m;
+  m.addGlobal("a", 64, 8);
+  m.addGlobal("b", 64, 8);
+  ir::Function& fn = m.addFunction("f", 1);
+  const int entry = fn.createBlock("entry");
+  const int thenB = fn.createBlock("then");
+  const int join = fn.createBlock("join");
+  IRBuilder bb(fn);
+  bb.setBlock(entry);
+  const int pa = bb.lea("a");
+  const int pb = bb.lea("b");
+  const int c = bb.cmpLtS(R(fn.paramReg(0)), I(10));
+  bb.br(R(c), thenB, join);
+  bb.setBlock(thenB);
+  bb.store(R(pa), R(fn.paramReg(0)));
+  bb.jmp(join);
+  bb.setBlock(join);
+  const int v = bb.load(R(pb));
+  (void)v;
+  bb.ret(I(0));
+  fn.renumber();
+  ir::verify(m);
+
+  BranchDepAnalysis a(m, fn);
+  const ir::Inst& loadB = nthOf(fn, ir::Op::Load);
+  EXPECT_EQ(a.deps(loadB.id).count(), 0u);
+}
+
+TEST(BranchDeps, NestedBranchesAccumulate) {
+  // if (p) { if (q-ish) { x } }: x depends on both branches.
+  Module m;
+  ir::Function& fn = m.addFunction("f", 1);
+  const int entry = fn.createBlock("entry");
+  const int outerT = fn.createBlock("outer_t");
+  const int innerT = fn.createBlock("inner_t");
+  const int join = fn.createBlock("join");
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  b.br(R(fn.paramReg(0)), outerT, join);
+  b.setBlock(outerT);
+  const int q = b.and_(R(fn.paramReg(0)), I(1));
+  b.br(R(q), innerT, join);
+  b.setBlock(innerT);
+  const int x = b.add(R(fn.paramReg(0)), I(7));
+  (void)x;
+  b.jmp(join);
+  b.setBlock(join);
+  b.ret(I(0));
+  fn.renumber();
+  ir::verify(m);
+
+  BranchDepAnalysis a(m, fn);
+  ASSERT_EQ(a.numBranches(), 2);
+  const ir::Inst& x2 = fn.block(2).insts.front();
+  EXPECT_EQ(a.deps(x2.id).count(), 2u);
+}
+
+TEST(BranchDeps, StatsAreConsistent) {
+  Module m = mergeModule();
+  const ir::Function& fn = *m.findFunction("f");
+  BranchDepAnalysis a(m, fn);
+  const DepStats s = a.stats();
+  EXPECT_EQ(s.totalInsts, fn.numInsts());
+  EXPECT_GT(s.instsWithNoDeps, 0);
+  EXPECT_GT(s.totalDepEntries, 0);
+  std::int64_t histTotal = 0;
+  for (auto v : s.setSizeHistogram) histTotal += v;
+  EXPECT_EQ(histTotal, s.totalInsts);
+}
+
+TEST(Annotations, UnlimitedBudgetEncodesAll) {
+  Module m = mergeModule();
+  const ir::Function& fn = *m.findFunction("f");
+  BranchDepAnalysis a(m, fn);
+  EncodeStats es;
+  auto annots = encodeAnnotations(a, fn, kUnlimitedBudget, &es);
+  EXPECT_EQ(es.overflowed, 0);
+  EXPECT_EQ(static_cast<int>(annots.size()), fn.numInsts());
+
+  const ir::Inst& mulInst = [&]() -> const ir::Inst& {
+    for (int b = 0; b < fn.numBlocks(); ++b)
+      for (const ir::Inst& inst : fn.block(b).insts)
+        if (inst.op == ir::Op::Mul) return inst;
+    throw Error("no mul");
+  }();
+  const Annotation& ann = annots[static_cast<std::size_t>(mulInst.id)];
+  EXPECT_FALSE(ann.overflow);
+  ASSERT_EQ(ann.dependees.size(), 1u);
+  EXPECT_EQ(static_cast<int>(ann.dependees[0]), a.branchInst(0));
+}
+
+TEST(Annotations, ZeroBudgetOverflowsDependentInsts) {
+  Module m = mergeModule();
+  const ir::Function& fn = *m.findFunction("f");
+  BranchDepAnalysis a(m, fn);
+  EncodeStats es;
+  auto annots = encodeAnnotations(a, fn, 0, &es);
+  EXPECT_GT(es.overflowed, 0);
+  // Independent instructions still encode as empty (never restricted).
+  EXPECT_GT(es.encoded, 0);
+  bool sawEmpty = false;
+  for (const Annotation& ann : annots)
+    if (ann.restrictedNever()) sawEmpty = true;
+  EXPECT_TRUE(sawEmpty);
+}
+
+TEST(Annotations, BudgetBoundsRespected) {
+  Module m = mergeModule();
+  const ir::Function& fn = *m.findFunction("f");
+  BranchDepAnalysis a(m, fn);
+  for (int budget : {1, 2, 4}) {
+    auto annots = encodeAnnotations(a, fn, budget);
+    for (const Annotation& ann : annots)
+      if (!ann.overflow)
+        EXPECT_LE(static_cast<int>(ann.dependees.size()), budget);
+  }
+}
+
+} // namespace
+} // namespace lev::levioso

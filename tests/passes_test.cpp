@@ -1,0 +1,195 @@
+// Tests of the scalar optimization pipeline (ir/passes.hpp).
+#include <gtest/gtest.h>
+
+#include "backend/compiler.hpp"
+#include "ir/builder.hpp"
+#include "ir/passes.hpp"
+#include "ir/verifier.hpp"
+#include "uarch/funcsim.hpp"
+#include "workloads/kernels.hpp"
+
+namespace lev::ir {
+namespace {
+
+Value R(int r) { return Value::makeReg(r); }
+Value I(std::int64_t v) { return Value::makeImm(v); }
+
+TEST(FoldConstants, FoldsArithmeticChains) {
+  Module m;
+  m.addGlobal("g", 8, 8);
+  Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int x = b.mov(I(6));
+  const int y = b.mov(I(7));
+  const int z = b.mul(R(x), R(y)); // 42, foldable via local const env
+  const int p = b.lea("g");
+  b.store(R(p), R(z));
+  b.halt();
+  fn.renumber();
+
+  const OptStats s = foldConstants(fn);
+  EXPECT_GE(s.constantsFolded, 1);
+  // The mul became a mov of 42.
+  bool found = false;
+  for (const Inst& inst : fn.block(0).insts)
+    if (inst.op == Op::Mov && inst.a.isImm() && inst.a.imm == 42) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(FoldConstants, FoldsConstantBranch) {
+  Module m;
+  Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int t = fn.createBlock("t");
+  const int f = fn.createBlock("f");
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int c = b.mov(I(1));
+  b.br(R(c), t, f);
+  b.setBlock(t);
+  b.halt();
+  b.setBlock(f);
+  b.halt();
+  fn.renumber();
+
+  const OptStats s = foldConstants(fn);
+  EXPECT_EQ(s.branchesFolded, 1);
+  EXPECT_EQ(fn.block(entry).terminator().op, Op::Jmp);
+  EXPECT_EQ(fn.block(entry).terminator().succ[0], t);
+}
+
+TEST(FoldConstants, DivisionSemanticsMatchIsa) {
+  // Folding x/0 etc. must agree with runtime semantics.
+  Module m;
+  m.addGlobal("g", 32, 8);
+  Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int a = b.divu(I(10), I(0)); // all-ones
+  const int c = b.rems(I(-7), I(0)); // -7
+  const int p = b.lea("g");
+  b.store(R(p), R(a), 0);
+  b.store(R(p), R(c), 8);
+  b.halt();
+  fn.renumber();
+  foldConstants(fn);
+  verify(m);
+
+  // Compare against an unoptimized sibling via the functional simulator.
+  ir::Module m2;
+  m2.addGlobal("g", 32, 8);
+  Function& fn2 = m2.addFunction("main", 0);
+  fn2.createBlock("entry");
+  IRBuilder b2(fn2);
+  b2.setBlock(0);
+  const int a2 = b2.divu(I(10), I(0));
+  const int c2 = b2.rems(I(-7), I(0));
+  const int p2 = b2.lea("g");
+  b2.store(R(p2), R(a2), 0);
+  b2.store(R(p2), R(c2), 8);
+  b2.halt();
+
+  backend::CompileOptions noOpt;
+  noOpt.optimize = false;
+  backend::CompileResult rA = backend::compile(m, noOpt);
+  backend::CompileResult rB = backend::compile(m2, noOpt);
+  uarch::FuncSim sa(rA.program), sb(rB.program);
+  sa.run();
+  sb.run();
+  EXPECT_EQ(sa.memory().read(rA.program.symbol("g"), 8),
+            sb.memory().read(rB.program.symbol("g"), 8));
+  EXPECT_EQ(sa.memory().read(rA.program.symbol("g") + 8, 8),
+            sb.memory().read(rB.program.symbol("g") + 8, 8));
+}
+
+TEST(Dce, RemovesDeadPureCode) {
+  Module m;
+  m.addGlobal("g", 8, 8);
+  Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int dead1 = b.add(I(1), I(2));
+  const int dead2 = b.mul(R(dead1), I(3)); // dead chain
+  (void)dead2;
+  const int p = b.lea("g");
+  const int live = b.mov(I(9));
+  b.store(R(p), R(live));
+  b.halt();
+  fn.renumber();
+
+  const OptStats s = eliminateDeadCode(fn);
+  EXPECT_EQ(s.instsRemoved, 2);
+  verify(m);
+}
+
+TEST(Dce, KeepsSideEffects) {
+  Module m;
+  m.addGlobal("g", 8, 8);
+  Function& fn = m.addFunction("main", 0);
+  fn.createBlock("entry");
+  IRBuilder b(fn);
+  b.setBlock(0);
+  const int p = b.lea("g");
+  b.store(R(p), I(1));  // store kept
+  const int fl = b.flush(R(p)); // flush kept even though result unused
+  (void)fl;
+  b.halt();
+  fn.renumber();
+  const std::size_t before = fn.block(0).insts.size();
+  eliminateDeadCode(fn);
+  EXPECT_EQ(fn.block(0).insts.size(), before);
+}
+
+TEST(Optimize, RemovesUnreachableBlocksAfterFolding) {
+  Module m;
+  Function& fn = m.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  const int live = fn.createBlock("live");
+  const int dead = fn.createBlock("dead");
+  IRBuilder b(fn);
+  b.setBlock(entry);
+  const int c = b.mov(I(1));
+  b.br(R(c), live, dead);
+  b.setBlock(live);
+  b.halt();
+  b.setBlock(dead);
+  b.halt();
+
+  optimize(fn);
+  EXPECT_EQ(fn.numBlocks(), 2); // entry + live
+  verify(m);
+}
+
+TEST(Optimize, PreservesKernelSemantics) {
+  // Pin the end-to-end contract: optimized and unoptimized compilations of
+  // the same kernel produce identical architectural results.
+  for (const std::string kernel : {"gcc_branchy", "sort_insert"}) {
+    SCOPED_TRACE(kernel);
+    ir::Module a = workloads::buildKernel(kernel);
+    ir::Module b2 = workloads::buildKernel(kernel);
+    backend::CompileOptions noOpt;
+    noOpt.optimize = false;
+    backend::CompileResult ra = backend::compile(a); // optimized (default)
+    backend::CompileResult rb = backend::compile(b2, noOpt);
+    EXPECT_LE(ra.program.text.size(), rb.program.text.size());
+    uarch::FuncSim sa(ra.program), sb(rb.program);
+    sa.run(500'000'000);
+    sb.run(500'000'000);
+    EXPECT_EQ(sa.memory().read(ra.program.symbol("result"), 8),
+              sb.memory().read(rb.program.symbol("result"), 8));
+  }
+}
+
+TEST(Optimize, ReportsAggregateStats) {
+  ir::Module m = workloads::buildKernel("namd_compute");
+  const OptStats s = optimize(m);
+  EXPECT_GE(s.total(), 0);
+  verify(m);
+}
+
+} // namespace
+} // namespace lev::ir

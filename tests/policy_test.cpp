@@ -1,0 +1,241 @@
+// Policy-level behaviour tests: each scheme's restriction rule, observed
+// through targeted assembly programs with hand-written Levioso hints.
+#include <gtest/gtest.h>
+
+#include "isa/asmparser.hpp"
+#include "support/error.hpp"
+#include "secure/policies.hpp"
+#include "sim/simulation.hpp"
+#include "uarch/core.hpp"
+
+namespace lev::secure {
+namespace {
+
+using uarch::CoreConfig;
+using uarch::RunExit;
+
+std::uint64_t cyclesUnder(const isa::Program& p, const std::string& policy) {
+  sim::Simulation s(p, CoreConfig(), policy);
+  EXPECT_EQ(s.run(), RunExit::Halted);
+  return s.core().cycle();
+}
+
+/// A slow-to-resolve branch (flushed flag) followed by an INDEPENDENT load
+/// (hint: no deps). Levioso must run it at unsafe speed; spt/fence delay it.
+isa::Program independentLoadProgram() {
+  return isa::assemble(R"(
+.space flag 64
+.space data 4096 64
+main:
+  la x5, flag
+  la x6, data
+  li x20, 0
+  li x21, 0
+loop:
+  flush x7, 0(x5)
+  add x8, x5, x7
+  ld8 x9, 0(x8)        # slow: flushed every iteration
+br1:
+  bne x9, x0, never    # resolves late; never taken
+  !deps br1
+  ld8 x10, 0(x6)       # control-independent probe (hint: no real deps,
+                       # but written as dependent in the *dependent* test)
+  add x20, x20, x10
+next:
+  addi x21, x21, 1
+  slti x22, x21, 30
+  bne x22, x0, loop
+  halt
+never:
+  j next
+)");
+}
+
+TEST(Policies, FactoryKnowsAllNames) {
+  for (const std::string& name : policyNames()) {
+    auto p = makePolicy(name);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->name(), name);
+    EXPECT_EQ(policyInfo(name).name, name);
+  }
+  EXPECT_THROW(makePolicy("bogus"), lev::Error);
+  EXPECT_THROW(policyInfo("bogus"), lev::Error);
+}
+
+TEST(Policies, ThreatMatrixShape) {
+  EXPECT_FALSE(policyInfo("unsafe").protectsSpeculativeSecrets);
+  EXPECT_TRUE(policyInfo("stt").protectsSpeculativeSecrets);
+  EXPECT_FALSE(policyInfo("stt").protectsNonSpeculativeSecrets);
+  EXPECT_TRUE(policyInfo("spt").protectsNonSpeculativeSecrets);
+  EXPECT_TRUE(policyInfo("levioso").protectsNonSpeculativeSecrets);
+  EXPECT_TRUE(policyInfo("levioso").needsCompilerSupport);
+  EXPECT_FALSE(policyInfo("spt").needsCompilerSupport);
+  EXPECT_FALSE(policyInfo("levioso-lite").protectsNonSpeculativeSecrets);
+}
+
+TEST(Policies, OrderingOnSlowBranchIndependentLoad) {
+  isa::Program p = independentLoadProgram();
+  const auto unsafe = cyclesUnder(p, "unsafe");
+  const auto levioso = cyclesUnder(p, "levioso");
+  const auto spt = cyclesUnder(p, "spt");
+  const auto fence = cyclesUnder(p, "fence");
+
+  // The independent load is hinted !deps br1 — wait, the hint marks it as
+  // depending on br1, so Levioso DOES delay it here. See the next test for
+  // the no-dep variant. Here we only require the global ordering.
+  EXPECT_LE(unsafe, levioso);
+  EXPECT_LE(levioso, spt + spt / 10); // levioso no worse than spt (±10%)
+  EXPECT_LT(spt, fence);
+}
+
+TEST(Policies, LeviosoRunsIndependentLoadsAtFullSpeed) {
+  // Same program but the probe load carries an EMPTY hint (truly
+  // independent): Levioso must not delay it at all.
+  isa::Program p = isa::assemble(R"(
+.space flag 64
+.space data 4096 64
+main:
+  la x5, flag
+  la x6, data
+  li x20, 0
+  li x21, 0
+loop:
+  flush x7, 0(x5)
+  add x8, x5, x7
+  ld8 x9, 0(x8)
+br1:
+  bne x9, x0, never
+  ld8 x10, 0(x6)       # empty hint: never restricted
+  add x20, x20, x10
+next:
+  addi x21, x21, 1
+  slti x22, x21, 30
+  bne x22, x0, loop
+  halt
+never:
+  j next
+)");
+  const auto unsafe = cyclesUnder(p, "unsafe");
+  const auto levioso = cyclesUnder(p, "levioso");
+  const auto spt = cyclesUnder(p, "spt");
+  // Levioso within 2% of unsafe; spt clearly slower.
+  EXPECT_LE(levioso, unsafe + unsafe / 50);
+  EXPECT_GT(spt, levioso + levioso / 20);
+}
+
+TEST(Policies, LeviosoHonorsDependeeHints) {
+  // The probe load hinted on br1 is delayed until br1 resolves, so the
+  // hinted program must cost measurably more under levioso than the
+  // identical program with an empty hint — but still no more than spt
+  // (levioso never restricts more than the conservative scheme).
+  isa::Program hinted = independentLoadProgram();
+  isa::Program unhinted = independentLoadProgram();
+  for (auto& h : unhinted.hints) h = isa::Hint{};
+
+  sim::Simulation sHinted(hinted, CoreConfig(), "levioso");
+  ASSERT_EQ(sHinted.run(), RunExit::Halted);
+  sim::Simulation sFree(unhinted, CoreConfig(), "levioso");
+  ASSERT_EQ(sFree.run(), RunExit::Halted);
+  const auto spt = cyclesUnder(hinted, "spt");
+
+  EXPECT_GT(sHinted.stats().get("policy.loadDelayCycles"), 100)
+      << "the dependee hint must actually delay the probe load";
+  EXPECT_EQ(sFree.stats().get("policy.loadDelayCycles"), 0)
+      << "empty hints must never delay anything";
+  EXPECT_LE(sHinted.core().cycle(), spt)
+      << "levioso must never restrict more than spt";
+}
+
+TEST(Policies, UnannotatedProgramDegradesToConservative) {
+  // Strip hints: a Levioso core must then behave like the conservative
+  // baseline (every load overflow-restricted), not like unsafe.
+  isa::Program p = independentLoadProgram();
+  p.hints.clear();
+  const auto levioso = cyclesUnder(p, "levioso");
+  const auto spt = cyclesUnder(p, "spt");
+  const double ratio =
+      static_cast<double>(levioso) / static_cast<double>(spt);
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+}
+
+TEST(Policies, FenceIsTheSlowest) {
+  isa::Program p = independentLoadProgram();
+  const auto fence = cyclesUnder(p, "fence");
+  for (const std::string& name : {"unsafe", "dom", "stt", "spt", "levioso"})
+    EXPECT_GE(fence, cyclesUnder(p, name)) << name;
+}
+
+TEST(Policies, DomServesSpeculativeHitsInvisibly) {
+  // A load that hits in L1 under an unresolved branch: DoM serves it but
+  // the policy counter for invisible loads must tick.
+  isa::Program p = isa::assemble(R"(
+.space flag 64
+.space data 4096 64
+main:
+  la x5, flag
+  la x6, data
+  ld8 x10, 0(x6)       # warm the line
+  flush x7, 0(x5)
+  add x8, x5, x7
+  ld8 x9, 0(x8)        # slow branch condition
+  bne x9, x0, skip
+  ld8 x11, 0(x6)       # speculative L1 hit -> invisible service
+skip:
+  halt
+)");
+  sim::Simulation s(p, CoreConfig(), "dom");
+  EXPECT_EQ(s.run(), RunExit::Halted);
+  EXPECT_GE(s.stats().get("policy.invisibleLoads"), 1);
+}
+
+TEST(Policies, DomDelaysSpeculativeMisses) {
+  isa::Program p = isa::assemble(R"(
+.space flag 64
+.space data 4096 64
+main:
+  la x5, flag
+  la x6, data
+  flush x7, 0(x5)
+  add x8, x5, x7
+  ld8 x9, 0(x8)
+  bne x9, x0, skip
+  ld8 x11, 512(x6)     # speculative miss -> delayed under DoM
+skip:
+  halt
+)");
+  sim::Simulation s(p, CoreConfig(), "dom");
+  EXPECT_EQ(s.run(), RunExit::Halted);
+  EXPECT_GT(s.stats().get("policy.loadDelayCycles"), 0);
+}
+
+TEST(Policies, ArchitecturalResultsIdenticalAcrossPolicies) {
+  // Whatever a policy delays, committed state must match the unsafe run.
+  isa::Program p = independentLoadProgram();
+  sim::Simulation base(p, CoreConfig(), "unsafe");
+  ASSERT_EQ(base.run(), RunExit::Halted);
+  for (const std::string& name : policyNames()) {
+    sim::Simulation s(p, CoreConfig(), name);
+    ASSERT_EQ(s.run(), RunExit::Halted) << name;
+    for (int r = 0; r < isa::kNumRegs; ++r)
+      EXPECT_EQ(s.core().archReg(r), base.core().archReg(r))
+          << name << " x" << r;
+  }
+}
+
+TEST(TaintTracker, RootPropagationAndLaziness) {
+  // Unit-level check of the lazy untaint rule using a real core run under
+  // stt: after the run, no taint entries should leak (commit/squash erase).
+  isa::Program p = independentLoadProgram();
+  SttPolicy policy;
+  StatSet stats;
+  uarch::O3Core core(p, CoreConfig(), policy, stats);
+  EXPECT_EQ(core.run(), RunExit::Halted);
+  // The tracker is private state; observable contract: the run halted and
+  // results match unsafe (covered above). Here we just ensure reset works.
+  policy.reset();
+  EXPECT_EQ(policy.taint().rootOf(123), 0u);
+}
+
+} // namespace
+} // namespace lev::secure

@@ -1,0 +1,95 @@
+// Stride-prefetcher tests: unit behaviour plus end-to-end effect and the
+// no-trace guarantee for policy-suppressed loads.
+#include <gtest/gtest.h>
+
+#include "backend/compiler.hpp"
+#include "sim/simulation.hpp"
+#include "uarch/prefetcher.hpp"
+#include "workloads/kernels.hpp"
+
+namespace lev::uarch {
+namespace {
+
+TEST(StridePrefetcher, DisabledIssuesNothing) {
+  StatSet stats;
+  StridePrefetcher p(PrefetcherConfig{}, stats); // enabled = false
+  for (int i = 0; i < 10; ++i)
+    EXPECT_TRUE(p.observe(0x1000, 0x8000 + 64u * static_cast<unsigned>(i), 64)
+                    .empty());
+}
+
+TEST(StridePrefetcher, ArmsAfterTwoMatchingStrides) {
+  StatSet stats;
+  PrefetcherConfig cfg;
+  cfg.enabled = true;
+  cfg.degree = 1;
+  StridePrefetcher p(cfg, stats);
+  EXPECT_TRUE(p.observe(0x1000, 0x8000, 64).empty());  // first touch
+  EXPECT_TRUE(p.observe(0x1000, 0x8040, 64).empty());  // stride learned
+  EXPECT_TRUE(p.observe(0x1000, 0x8080, 64).empty());  // armed now
+  auto out = p.observe(0x1000, 0x80c0, 64);            // fires
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0x80c0u + 64u);
+}
+
+TEST(StridePrefetcher, StrideChangeDisarms) {
+  StatSet stats;
+  PrefetcherConfig cfg;
+  cfg.enabled = true;
+  StridePrefetcher p(cfg, stats);
+  p.observe(0x1000, 0x8000, 64);
+  p.observe(0x1000, 0x8040, 64);
+  p.observe(0x1000, 0x8080, 64);
+  EXPECT_FALSE(p.observe(0x1000, 0x80c0, 64).empty());
+  EXPECT_TRUE(p.observe(0x1000, 0x9999, 64).empty()); // broken stride
+  EXPECT_TRUE(p.observe(0x1000, 0x9999 + 64, 64).empty());
+}
+
+TEST(StridePrefetcher, DistinctPcsTrackedSeparately) {
+  StatSet stats;
+  PrefetcherConfig cfg;
+  cfg.enabled = true;
+  cfg.degree = 1;
+  StridePrefetcher p(cfg, stats);
+  for (int i = 0; i < 4; ++i) {
+    p.observe(0x1000, 0x8000 + 64u * static_cast<unsigned>(i), 64);
+    p.observe(0x1008, 0x20000 + 128u * static_cast<unsigned>(i), 64);
+  }
+  auto a = p.observe(0x1000, 0x8000 + 64u * 4, 64);
+  auto b = p.observe(0x1008, 0x20000 + 128u * 4, 64);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0] - (0x8000 + 64u * 4), 64u);
+  EXPECT_EQ(b[0] - (0x20000 + 128u * 4), 128u);
+}
+
+TEST(StridePrefetcher, SpeedsUpStreamingKernel) {
+  ir::Module m = workloads::buildKernel("lbm_stream");
+  backend::CompileResult compiled = backend::compile(m);
+  CoreConfig off;
+  CoreConfig on;
+  on.prefetch.enabled = true;
+  const sim::RunSummary a = sim::runOnce(compiled.program, off, "unsafe");
+  const sim::RunSummary b = sim::runOnce(compiled.program, on, "unsafe");
+  EXPECT_LT(b.cycles, a.cycles - a.cycles / 20)
+      << "streaming code must benefit from the stride prefetcher";
+  EXPECT_EQ(a.insts, b.insts);
+}
+
+TEST(StridePrefetcher, ArchitecturallyInvisible) {
+  ir::Module m = workloads::buildKernel("sort_insert");
+  backend::CompileResult compiled = backend::compile(m);
+  CoreConfig on;
+  on.prefetch.enabled = true;
+  sim::Simulation s(compiled.program, on, "levioso");
+  ASSERT_EQ(s.run(4'000'000'000ull), RunExit::Halted);
+  ir::Module m2 = workloads::buildKernel("sort_insert");
+  backend::CompileResult c2 = backend::compile(m2);
+  sim::Simulation ref(c2.program, CoreConfig(), "levioso");
+  ASSERT_EQ(ref.run(4'000'000'000ull), RunExit::Halted);
+  EXPECT_EQ(s.core().memory().read(compiled.program.symbol("result"), 8),
+            ref.core().memory().read(c2.program.symbol("result"), 8));
+}
+
+} // namespace
+} // namespace lev::uarch

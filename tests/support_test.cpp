@@ -1,0 +1,172 @@
+// Unit tests for the support library.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/bits.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace lev {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(isPow2(0));
+  EXPECT_TRUE(isPow2(1));
+  EXPECT_TRUE(isPow2(2));
+  EXPECT_FALSE(isPow2(3));
+  EXPECT_TRUE(isPow2(1ull << 40));
+  EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(Bits, Log2) {
+  EXPECT_EQ(log2Floor(1), 0);
+  EXPECT_EQ(log2Floor(2), 1);
+  EXPECT_EQ(log2Floor(3), 1);
+  EXPECT_EQ(log2Exact(64), 6);
+  EXPECT_THROW(log2Exact(63), Error);
+}
+
+TEST(Bits, BitFieldRoundTrip) {
+  std::uint64_t w = 0;
+  w = setBitField(w, 8, 6, 0x2a);
+  w = setBitField(w, 0, 8, 0xff);
+  EXPECT_EQ(bitField(w, 8, 6), 0x2au);
+  EXPECT_EQ(bitField(w, 0, 8), 0xffu);
+  // Fields do not bleed into each other.
+  w = setBitField(w, 8, 6, 0);
+  EXPECT_EQ(bitField(w, 0, 8), 0xffu);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(signExtend(0xff, 8), -1);
+  EXPECT_EQ(signExtend(0x7f, 8), 127);
+  EXPECT_EQ(signExtend(0x80, 8), -128);
+  EXPECT_EQ(signExtend(0xffffffff, 32), -1);
+}
+
+TEST(Bits, AlignUp) {
+  EXPECT_EQ(alignUp(0, 8), 0u);
+  EXPECT_EQ(alignUp(1, 8), 8u);
+  EXPECT_EQ(alignUp(8, 8), 8u);
+  EXPECT_EQ(alignUp(9, 16), 16u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n"), "");
+}
+
+TEST(Strings, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitWs) {
+  auto parts = splitWs("  foo\t bar  baz ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "bar");
+}
+
+TEST(Strings, ParseInt) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parseInt("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parseInt("-17", v));
+  EXPECT_EQ(v, -17);
+  EXPECT_TRUE(parseInt("0x10", v));
+  EXPECT_EQ(v, 16);
+  EXPECT_FALSE(parseInt("", v));
+  EXPECT_FALSE(parseInt("12a", v));
+  EXPECT_FALSE(parseInt("-", v));
+}
+
+TEST(Strings, Fmt) {
+  EXPECT_EQ(fmtF(1.2345, 2), "1.23");
+  EXPECT_EQ(fmtPct(0.51, 0), "51%");
+}
+
+TEST(Table, PrintsAligned) {
+  Table t({"name", "value"});
+  t.addRow({"a", "1"});
+  t.addRow({"long-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+}
+
+TEST(Table, Csv) {
+  Table t({"a", "b"});
+  t.addRow({"1", "2"});
+  t.addSeparator();
+  t.addRow({"3", "4"});
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, RowWidthChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), Error);
+}
+
+TEST(Geomean, Basics) {
+  EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+  EXPECT_NEAR(geomean({1.0, 8.0}), 2.828, 0.001);
+  EXPECT_THROW(geomean({}), Error);
+  EXPECT_THROW(geomean({1.0, 0.0}), Error);
+}
+
+TEST(Stats, CounterLifecycle) {
+  StatSet s;
+  s.counter("x") += 3;
+  EXPECT_EQ(s.get("x"), 3);
+  EXPECT_EQ(s.get("missing"), 0);
+  s.clear();
+  EXPECT_EQ(s.get("x"), 0);
+}
+
+TEST(Stats, StableReference) {
+  StatSet s;
+  auto& c = s.counter("a");
+  s.counter("b") = 1;
+  s.counter("z") = 2;
+  c = 42;
+  EXPECT_EQ(s.get("a"), 42);
+}
+
+} // namespace
+} // namespace lev

@@ -1,0 +1,106 @@
+// TAGE-lite predictor tests: unit behaviour and end-to-end comparison
+// against gshare on pattern-heavy code.
+#include <gtest/gtest.h>
+
+#include "backend/compiler.hpp"
+#include "sim/simulation.hpp"
+#include "support/stats.hpp"
+#include "uarch/branchpred.hpp"
+#include "uarch/funcsim.hpp"
+#include "workloads/kernels.hpp"
+
+namespace lev::uarch {
+namespace {
+
+PredictorConfig tageConfig() {
+  PredictorConfig cfg;
+  cfg.kind = PredictorKind::Tage;
+  return cfg;
+}
+
+/// Drive the predictor with the core's protocol (rollback + actual outcome
+/// on mispredicts) and return the number of mispredictions.
+int train(BranchPredictor& bp, std::uint64_t pc,
+          const std::vector<bool>& outcomes) {
+  int mispredicts = 0;
+  for (bool taken : outcomes) {
+    const auto cp = bp.checkpoint();
+    const std::uint64_t h = bp.history();
+    const bool predicted = bp.predictCond(pc);
+    bp.updateCond(pc, taken, h);
+    if (predicted != taken) {
+      ++mispredicts;
+      bp.restore(cp);
+      bp.applyCondOutcome(taken);
+    }
+  }
+  return mispredicts;
+}
+
+TEST(Tage, LearnsBias) {
+  StatSet stats;
+  BranchPredictor bp(tageConfig(), stats);
+  std::vector<bool> always(60, true);
+  train(bp, 0x1000, always);
+  EXPECT_TRUE(bp.predictCond(0x1000));
+}
+
+TEST(Tage, LearnsShortPeriodicPattern) {
+  // T T N repeated: gshare with enough history learns this; TAGE must too.
+  StatSet stats;
+  BranchPredictor bp(tageConfig(), stats);
+  std::vector<bool> pattern;
+  for (int i = 0; i < 300; ++i) pattern.push_back(i % 3 != 2);
+  const int mis = train(bp, 0x2000, pattern);
+  // Most mispredictions happen during warm-up; the tail must be clean.
+  std::vector<bool> tail;
+  for (int i = 300; i < 360; ++i) tail.push_back(i % 3 != 2);
+  const int tailMis = train(bp, 0x2000, tail);
+  EXPECT_LT(tailMis, 6) << "warm-up mispredicts: " << mis;
+}
+
+TEST(Tage, CheckpointRestoreWorksLikeGshare) {
+  StatSet stats;
+  BranchPredictor bp(tageConfig(), stats);
+  bp.pushReturn(0x42000);
+  const auto cp = bp.checkpoint();
+  bp.predictCond(0x3000);
+  bp.predictCond(0x3008);
+  bp.predictIndirect(0x3010, true);
+  bp.restore(cp);
+  EXPECT_EQ(bp.history(), cp.history);
+  EXPECT_EQ(bp.predictIndirect(0x0, true), 0x42000u);
+}
+
+TEST(Tage, OutperformsGshareOnBranchyKernel) {
+  ir::Module m = workloads::buildKernel("gobmk_board");
+  backend::CompileResult res = backend::compile(m);
+  CoreConfig gshare;
+  CoreConfig tage;
+  tage.bp.kind = PredictorKind::Tage;
+  sim::Simulation a(res.program, gshare, "unsafe");
+  ASSERT_EQ(a.run(4'000'000'000ull), RunExit::Halted);
+  sim::Simulation b(res.program, tage, "unsafe");
+  ASSERT_EQ(b.run(4'000'000'000ull), RunExit::Halted);
+  EXPECT_LT(b.stats().get("bp.mispredicts"), a.stats().get("bp.mispredicts"));
+  EXPECT_LT(b.core().cycle(), a.core().cycle());
+}
+
+TEST(Tage, ArchitecturallyEquivalent) {
+  ir::Module m = workloads::buildKernel("sort_insert");
+  backend::CompileResult res = backend::compile(m);
+  uarch::FuncSim golden(res.program);
+  golden.run(500'000'000);
+  CoreConfig cfg;
+  cfg.bp.kind = PredictorKind::Tage;
+  for (const std::string policy : {"unsafe", "levioso"}) {
+    sim::Simulation s(res.program, cfg, policy);
+    ASSERT_EQ(s.run(4'000'000'000ull), RunExit::Halted) << policy;
+    EXPECT_EQ(s.core().memory().read(res.program.symbol("result"), 8),
+              golden.memory().read(res.program.symbol("result"), 8))
+        << policy;
+  }
+}
+
+} // namespace
+} // namespace lev::uarch

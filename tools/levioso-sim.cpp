@@ -1,0 +1,117 @@
+// levioso-sim: run a program on the out-of-order core under a chosen
+// secure-speculation policy and dump the statistics.
+//
+//   levioso-sim --kernel mcf_chase --policy levioso
+//   levioso-sim file.asm --policy spt          (assembly with !deps hints)
+//   levioso-sim file.ir --policy dom --budget 2
+//   options: --rob N --width N --dram N --golden --dump-stats
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "backend/compiler.hpp"
+#include "ir/parser.hpp"
+#include "isa/asmparser.hpp"
+#include "sim/simulation.hpp"
+#include "support/strings.hpp"
+#include "uarch/funcsim.hpp"
+#include "workloads/kernels.hpp"
+
+using namespace lev;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: levioso-sim (<file.ir>|<file.asm>|--kernel <name>) "
+         "[--policy P] [--budget K] [--rob N] [--width N] [--dram N] "
+         "[--golden] [--dump-stats]\n";
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string file, kernel, policy = "unsafe";
+  int budget = 4, rob = 0, width = 0, dram = 0;
+  bool golden = false, dumpStats = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--kernel" && i + 1 < argc)
+      kernel = argv[++i];
+    else if (a == "--policy" && i + 1 < argc)
+      policy = argv[++i];
+    else if (a == "--budget" && i + 1 < argc)
+      budget = std::atoi(argv[++i]);
+    else if (a == "--rob" && i + 1 < argc)
+      rob = std::atoi(argv[++i]);
+    else if (a == "--width" && i + 1 < argc)
+      width = std::atoi(argv[++i]);
+    else if (a == "--dram" && i + 1 < argc)
+      dram = std::atoi(argv[++i]);
+    else if (a == "--golden")
+      golden = true;
+    else if (a == "--dump-stats")
+      dumpStats = true;
+    else if (!a.empty() && a[0] != '-')
+      file = a;
+    else
+      usage();
+  }
+  if (file.empty() == kernel.empty()) usage();
+
+  try {
+    const bool isIrFile =
+        file.size() > 3 && file.compare(file.size() - 3, 3, ".ir") == 0;
+    isa::Program prog;
+    if (!kernel.empty() || isIrFile) {
+      ir::Module mod = [&] {
+        if (!kernel.empty()) return workloads::buildKernel(kernel);
+        std::ifstream in(file);
+        if (!in) throw Error("cannot open " + file);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        return ir::parseModule(ss.str());
+      }();
+      backend::CompileOptions opts;
+      opts.annotationBudget = budget;
+      prog = backend::compile(mod, opts).program;
+    } else {
+      std::ifstream in(file);
+      if (!in) throw Error("cannot open " + file);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      prog = isa::assemble(ss.str());
+    }
+
+    if (golden) {
+      uarch::FuncSim sim(prog);
+      const std::uint64_t n = sim.run();
+      std::cout << "golden model: " << n << " instructions\n";
+      return 0;
+    }
+
+    uarch::CoreConfig cfg;
+    if (rob > 0) cfg.robSize = rob;
+    if (width > 0)
+      cfg.fetchWidth = cfg.renameWidth = cfg.issueWidth = cfg.commitWidth =
+          width;
+    if (dram > 0) cfg.mem.memLatency = dram;
+
+    sim::Simulation s(prog, cfg, policy);
+    if (s.run(10'000'000'000ull) != uarch::RunExit::Halted)
+      throw SimError("cycle limit reached");
+    std::cout << "policy " << policy << ": " << s.core().cycle()
+              << " cycles, " << s.core().committedInsts()
+              << " instructions, IPC "
+              << fmtF(static_cast<double>(s.core().committedInsts()) /
+                          static_cast<double>(s.core().cycle()),
+                      3)
+              << "\n";
+    if (dumpStats) s.stats().print(std::cout, "  ");
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "levioso-sim: " << e.what() << "\n";
+    return 1;
+  }
+}
