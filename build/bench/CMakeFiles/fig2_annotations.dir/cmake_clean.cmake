@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_annotations.dir/fig2_annotations.cpp.o"
+  "CMakeFiles/fig2_annotations.dir/fig2_annotations.cpp.o.d"
+  "fig2_annotations"
+  "fig2_annotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_predictor.dir/fig9_predictor.cpp.o"
+  "CMakeFiles/fig9_predictor.dir/fig9_predictor.cpp.o.d"
+  "fig9_predictor"
+  "fig9_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

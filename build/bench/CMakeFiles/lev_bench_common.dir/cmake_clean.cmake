@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lev_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/lev_bench_common.dir/bench_common.cpp.o.d"
+  "liblev_bench_common.a"
+  "liblev_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lev_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

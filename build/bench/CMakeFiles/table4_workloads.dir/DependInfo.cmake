@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_workloads.cpp" "bench/CMakeFiles/table4_workloads.dir/table4_workloads.cpp.o" "gcc" "bench/CMakeFiles/table4_workloads.dir/table4_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/lev_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/lev_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/secure/CMakeFiles/lev_secure.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/lev_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lev_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/lev_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/lev_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/levioso/CMakeFiles/lev_levioso.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lev_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lev_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lev_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

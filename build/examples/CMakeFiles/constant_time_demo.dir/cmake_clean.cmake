@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constant_time_demo.dir/constant_time_demo.cpp.o"
+  "CMakeFiles/constant_time_demo.dir/constant_time_demo.cpp.o.d"
+  "constant_time_demo"
+  "constant_time_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constant_time_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_compare.dir/policy_compare.cpp.o"
+  "CMakeFiles/policy_compare.dir/policy_compare.cpp.o.d"
+  "policy_compare"
+  "policy_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

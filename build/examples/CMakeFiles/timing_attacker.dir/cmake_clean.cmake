@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_attacker.dir/timing_attacker.cpp.o"
+  "CMakeFiles/timing_attacker.dir/timing_attacker.cpp.o.d"
+  "timing_attacker"
+  "timing_attacker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_attacker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/alias.cpp" "src/analysis/CMakeFiles/lev_analysis.dir/alias.cpp.o" "gcc" "src/analysis/CMakeFiles/lev_analysis.dir/alias.cpp.o.d"
+  "/root/repo/src/analysis/cfg.cpp" "src/analysis/CMakeFiles/lev_analysis.dir/cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/lev_analysis.dir/cfg.cpp.o.d"
+  "/root/repo/src/analysis/controldep.cpp" "src/analysis/CMakeFiles/lev_analysis.dir/controldep.cpp.o" "gcc" "src/analysis/CMakeFiles/lev_analysis.dir/controldep.cpp.o.d"
+  "/root/repo/src/analysis/domtree.cpp" "src/analysis/CMakeFiles/lev_analysis.dir/domtree.cpp.o" "gcc" "src/analysis/CMakeFiles/lev_analysis.dir/domtree.cpp.o.d"
+  "/root/repo/src/analysis/liveness.cpp" "src/analysis/CMakeFiles/lev_analysis.dir/liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/lev_analysis.dir/liveness.cpp.o.d"
+  "/root/repo/src/analysis/loopinfo.cpp" "src/analysis/CMakeFiles/lev_analysis.dir/loopinfo.cpp.o" "gcc" "src/analysis/CMakeFiles/lev_analysis.dir/loopinfo.cpp.o.d"
+  "/root/repo/src/analysis/reachingdefs.cpp" "src/analysis/CMakeFiles/lev_analysis.dir/reachingdefs.cpp.o" "gcc" "src/analysis/CMakeFiles/lev_analysis.dir/reachingdefs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/lev_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lev_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lev_analysis.dir/alias.cpp.o"
+  "CMakeFiles/lev_analysis.dir/alias.cpp.o.d"
+  "CMakeFiles/lev_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/lev_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/lev_analysis.dir/controldep.cpp.o"
+  "CMakeFiles/lev_analysis.dir/controldep.cpp.o.d"
+  "CMakeFiles/lev_analysis.dir/domtree.cpp.o"
+  "CMakeFiles/lev_analysis.dir/domtree.cpp.o.d"
+  "CMakeFiles/lev_analysis.dir/liveness.cpp.o"
+  "CMakeFiles/lev_analysis.dir/liveness.cpp.o.d"
+  "CMakeFiles/lev_analysis.dir/loopinfo.cpp.o"
+  "CMakeFiles/lev_analysis.dir/loopinfo.cpp.o.d"
+  "CMakeFiles/lev_analysis.dir/reachingdefs.cpp.o"
+  "CMakeFiles/lev_analysis.dir/reachingdefs.cpp.o.d"
+  "liblev_analysis.a"
+  "liblev_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lev_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

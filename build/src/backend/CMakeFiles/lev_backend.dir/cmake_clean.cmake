@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lev_backend.dir/compiler.cpp.o"
+  "CMakeFiles/lev_backend.dir/compiler.cpp.o.d"
+  "CMakeFiles/lev_backend.dir/regalloc.cpp.o"
+  "CMakeFiles/lev_backend.dir/regalloc.cpp.o.d"
+  "liblev_backend.a"
+  "liblev_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lev_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

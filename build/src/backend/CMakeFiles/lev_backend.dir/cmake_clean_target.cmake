@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblev_backend.a"
+)

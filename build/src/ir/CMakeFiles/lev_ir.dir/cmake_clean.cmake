@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lev_ir.dir/builder.cpp.o"
+  "CMakeFiles/lev_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/lev_ir.dir/function.cpp.o"
+  "CMakeFiles/lev_ir.dir/function.cpp.o.d"
+  "CMakeFiles/lev_ir.dir/interp.cpp.o"
+  "CMakeFiles/lev_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/lev_ir.dir/parser.cpp.o"
+  "CMakeFiles/lev_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/lev_ir.dir/passes.cpp.o"
+  "CMakeFiles/lev_ir.dir/passes.cpp.o.d"
+  "CMakeFiles/lev_ir.dir/printer.cpp.o"
+  "CMakeFiles/lev_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/lev_ir.dir/verifier.cpp.o"
+  "CMakeFiles/lev_ir.dir/verifier.cpp.o.d"
+  "liblev_ir.a"
+  "liblev_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lev_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

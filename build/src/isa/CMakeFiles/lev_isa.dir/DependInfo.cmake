@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/asmparser.cpp" "src/isa/CMakeFiles/lev_isa.dir/asmparser.cpp.o" "gcc" "src/isa/CMakeFiles/lev_isa.dir/asmparser.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/isa/CMakeFiles/lev_isa.dir/disasm.cpp.o" "gcc" "src/isa/CMakeFiles/lev_isa.dir/disasm.cpp.o.d"
+  "/root/repo/src/isa/encoding.cpp" "src/isa/CMakeFiles/lev_isa.dir/encoding.cpp.o" "gcc" "src/isa/CMakeFiles/lev_isa.dir/encoding.cpp.o.d"
+  "/root/repo/src/isa/isa.cpp" "src/isa/CMakeFiles/lev_isa.dir/isa.cpp.o" "gcc" "src/isa/CMakeFiles/lev_isa.dir/isa.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/isa/CMakeFiles/lev_isa.dir/program.cpp.o" "gcc" "src/isa/CMakeFiles/lev_isa.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lev_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/levioso/CMakeFiles/lev_levioso.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lev_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lev_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

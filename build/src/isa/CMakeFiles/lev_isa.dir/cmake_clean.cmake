@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lev_isa.dir/asmparser.cpp.o"
+  "CMakeFiles/lev_isa.dir/asmparser.cpp.o.d"
+  "CMakeFiles/lev_isa.dir/disasm.cpp.o"
+  "CMakeFiles/lev_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/lev_isa.dir/encoding.cpp.o"
+  "CMakeFiles/lev_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/lev_isa.dir/isa.cpp.o"
+  "CMakeFiles/lev_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/lev_isa.dir/program.cpp.o"
+  "CMakeFiles/lev_isa.dir/program.cpp.o.d"
+  "liblev_isa.a"
+  "liblev_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lev_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

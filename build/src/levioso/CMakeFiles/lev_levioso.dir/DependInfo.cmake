@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/levioso/annotation.cpp" "src/levioso/CMakeFiles/lev_levioso.dir/annotation.cpp.o" "gcc" "src/levioso/CMakeFiles/lev_levioso.dir/annotation.cpp.o.d"
+  "/root/repo/src/levioso/branchdeps.cpp" "src/levioso/CMakeFiles/lev_levioso.dir/branchdeps.cpp.o" "gcc" "src/levioso/CMakeFiles/lev_levioso.dir/branchdeps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/lev_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lev_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lev_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lev_levioso.dir/annotation.cpp.o"
+  "CMakeFiles/lev_levioso.dir/annotation.cpp.o.d"
+  "CMakeFiles/lev_levioso.dir/branchdeps.cpp.o"
+  "CMakeFiles/lev_levioso.dir/branchdeps.cpp.o.d"
+  "liblev_levioso.a"
+  "liblev_levioso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lev_levioso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lev_levioso.
+# This may be replaced when dependencies are built.

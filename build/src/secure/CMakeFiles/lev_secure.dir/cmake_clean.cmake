@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lev_secure.dir/policies.cpp.o"
+  "CMakeFiles/lev_secure.dir/policies.cpp.o.d"
+  "CMakeFiles/lev_secure.dir/taint.cpp.o"
+  "CMakeFiles/lev_secure.dir/taint.cpp.o.d"
+  "liblev_secure.a"
+  "liblev_secure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lev_secure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lev_secure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lev_security.dir/attack.cpp.o"
+  "CMakeFiles/lev_security.dir/attack.cpp.o.d"
+  "liblev_security.a"
+  "liblev_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lev_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

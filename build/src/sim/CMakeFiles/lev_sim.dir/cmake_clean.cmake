@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lev_sim.dir/simulation.cpp.o"
+  "CMakeFiles/lev_sim.dir/simulation.cpp.o.d"
+  "liblev_sim.a"
+  "liblev_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lev_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

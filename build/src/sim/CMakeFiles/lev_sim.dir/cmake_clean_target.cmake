@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblev_sim.a"
+)

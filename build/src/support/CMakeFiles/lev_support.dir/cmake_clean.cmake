@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lev_support.dir/stats.cpp.o"
+  "CMakeFiles/lev_support.dir/stats.cpp.o.d"
+  "CMakeFiles/lev_support.dir/strings.cpp.o"
+  "CMakeFiles/lev_support.dir/strings.cpp.o.d"
+  "CMakeFiles/lev_support.dir/table.cpp.o"
+  "CMakeFiles/lev_support.dir/table.cpp.o.d"
+  "liblev_support.a"
+  "liblev_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lev_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

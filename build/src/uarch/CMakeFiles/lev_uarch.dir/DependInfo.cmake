@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branchpred.cpp" "src/uarch/CMakeFiles/lev_uarch.dir/branchpred.cpp.o" "gcc" "src/uarch/CMakeFiles/lev_uarch.dir/branchpred.cpp.o.d"
+  "/root/repo/src/uarch/cache.cpp" "src/uarch/CMakeFiles/lev_uarch.dir/cache.cpp.o" "gcc" "src/uarch/CMakeFiles/lev_uarch.dir/cache.cpp.o.d"
+  "/root/repo/src/uarch/core.cpp" "src/uarch/CMakeFiles/lev_uarch.dir/core.cpp.o" "gcc" "src/uarch/CMakeFiles/lev_uarch.dir/core.cpp.o.d"
+  "/root/repo/src/uarch/funcsim.cpp" "src/uarch/CMakeFiles/lev_uarch.dir/funcsim.cpp.o" "gcc" "src/uarch/CMakeFiles/lev_uarch.dir/funcsim.cpp.o.d"
+  "/root/repo/src/uarch/memory.cpp" "src/uarch/CMakeFiles/lev_uarch.dir/memory.cpp.o" "gcc" "src/uarch/CMakeFiles/lev_uarch.dir/memory.cpp.o.d"
+  "/root/repo/src/uarch/prefetcher.cpp" "src/uarch/CMakeFiles/lev_uarch.dir/prefetcher.cpp.o" "gcc" "src/uarch/CMakeFiles/lev_uarch.dir/prefetcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/lev_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lev_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/levioso/CMakeFiles/lev_levioso.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lev_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lev_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lev_uarch.dir/branchpred.cpp.o"
+  "CMakeFiles/lev_uarch.dir/branchpred.cpp.o.d"
+  "CMakeFiles/lev_uarch.dir/cache.cpp.o"
+  "CMakeFiles/lev_uarch.dir/cache.cpp.o.d"
+  "CMakeFiles/lev_uarch.dir/core.cpp.o"
+  "CMakeFiles/lev_uarch.dir/core.cpp.o.d"
+  "CMakeFiles/lev_uarch.dir/funcsim.cpp.o"
+  "CMakeFiles/lev_uarch.dir/funcsim.cpp.o.d"
+  "CMakeFiles/lev_uarch.dir/memory.cpp.o"
+  "CMakeFiles/lev_uarch.dir/memory.cpp.o.d"
+  "CMakeFiles/lev_uarch.dir/prefetcher.cpp.o"
+  "CMakeFiles/lev_uarch.dir/prefetcher.cpp.o.d"
+  "liblev_uarch.a"
+  "liblev_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lev_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lev_workloads.dir/gadgets.cpp.o"
+  "CMakeFiles/lev_workloads.dir/gadgets.cpp.o.d"
+  "CMakeFiles/lev_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/lev_workloads.dir/kernels.cpp.o.d"
+  "liblev_workloads.a"
+  "liblev_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lev_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domtree_property_test.dir/domtree_property_test.cpp.o"
+  "CMakeFiles/domtree_property_test.dir/domtree_property_test.cpp.o.d"
+  "domtree_property_test"
+  "domtree_property_test.pdb"
+  "domtree_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domtree_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

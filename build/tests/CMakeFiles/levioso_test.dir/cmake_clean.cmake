@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levioso_test.dir/levioso_test.cpp.o"
+  "CMakeFiles/levioso_test.dir/levioso_test.cpp.o.d"
+  "levioso_test"
+  "levioso_test.pdb"
+  "levioso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levioso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levioso-cc.dir/levioso-cc.cpp.o"
+  "CMakeFiles/levioso-cc.dir/levioso-cc.cpp.o.d"
+  "levioso-cc"
+  "levioso-cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levioso-cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levioso-sim.dir/levioso-sim.cpp.o"
+  "CMakeFiles/levioso-sim.dir/levioso-sim.cpp.o.d"
+  "levioso-sim"
+  "levioso-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levioso-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

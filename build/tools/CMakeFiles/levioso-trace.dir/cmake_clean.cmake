@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levioso-trace.dir/levioso-trace.cpp.o"
+  "CMakeFiles/levioso-trace.dir/levioso-trace.cpp.o.d"
+  "levioso-trace"
+  "levioso-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levioso-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
