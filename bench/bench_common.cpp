@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <fstream>
 #include <iostream>
 
 #include "support/strings.hpp"
@@ -12,14 +13,21 @@ BenchArgs parseArgs(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--csv") {
       args.csv = true;
+    } else if (a == "--no-cache") {
+      args.useCache = false;
     } else if (a == "--scale" && i + 1 < argc) {
       args.scale = std::max(1, std::atoi(argv[++i]));
+    } else if (a == "--jobs" && i + 1 < argc) {
+      args.jobs = std::max(1, std::atoi(argv[++i]));
+    } else if (a == "--json" && i + 1 < argc) {
+      args.jsonPath = argv[++i];
     } else if (a == "--kernels" && i + 1 < argc) {
       for (auto part : split(argv[++i], ','))
         args.kernels.emplace_back(trim(part));
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--scale N] [--csv] [--kernels a,b,c]\n";
+                << " [--scale N] [--csv] [--kernels a,b,c] [--jobs N] "
+                   "[--json FILE] [--no-cache]\n";
       std::exit(2);
     }
   }
@@ -30,6 +38,38 @@ std::vector<std::string> selectedKernels(const BenchArgs& args) {
   return args.kernels.empty() ? workloads::kernelNames() : args.kernels;
 }
 
+runner::JobSpec point(const BenchArgs& args, const std::string& kernel,
+                      const std::string& policy,
+                      const uarch::CoreConfig& cfg) {
+  runner::JobSpec spec;
+  spec.kernel = kernel;
+  spec.scale = args.scale;
+  spec.policy = policy;
+  spec.cfg = cfg;
+  return spec;
+}
+
+std::vector<runner::RunRecord> runAll(
+    const BenchArgs& args, const std::vector<runner::JobSpec>& specs) {
+  runner::ResultCache cache({runner::defaultCacheDir(),
+                             runner::kCodeVersionSalt});
+  runner::Sweep::Options opts;
+  opts.jobs = args.jobs;
+  opts.cache = args.useCache ? &cache : nullptr;
+  runner::Sweep sweep(opts);
+  for (const runner::JobSpec& spec : specs) sweep.add(spec);
+  std::vector<runner::RunRecord> records = sweep.run();
+  if (!args.jsonPath.empty()) {
+    std::ofstream out(args.jsonPath);
+    if (!out) {
+      std::cerr << "cannot write " << args.jsonPath << "\n";
+      std::exit(1);
+    }
+    sweep.writeJson(out);
+  }
+  return records;
+}
+
 backend::CompileResult compileKernel(const std::string& name, int scale,
                                      int budget, bool memoryProp) {
   ir::Module mod = workloads::buildKernel(name, scale);
@@ -37,6 +77,21 @@ backend::CompileResult compileKernel(const std::string& name, int scale,
   opts.annotationBudget = budget;
   opts.depOptions.propagateThroughMemory = memoryProp;
   return backend::compile(mod, opts);
+}
+
+std::vector<backend::CompileResult> compileAll(
+    const BenchArgs& args, const std::vector<runner::JobSpec>& specs) {
+  runner::ThreadPool pool(args.jobs);
+  std::vector<backend::CompileResult> results(specs.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    futures.push_back(pool.submit([&specs, &results, i] {
+      const runner::JobSpec& s = specs[i];
+      results[i] = compileKernel(s.kernel, s.scale, s.budget, s.memoryProp);
+    }));
+  runner::ThreadPool::waitAll(futures);
+  return results;
 }
 
 sim::RunSummary run(const backend::CompileResult& compiled,

@@ -1,9 +1,17 @@
 // Shared plumbing for the table/figure regenerators.
 //
 // Every bench binary accepts:
-//   --scale N    workload scale factor (default 1)
-//   --csv        emit CSV instead of an aligned console table
+//   --scale N         workload scale factor (default 1)
+//   --csv             emit CSV instead of an aligned console table
 //   --kernels a,b,c   restrict the kernel set
+//   --jobs N          worker threads (default: LEVIOSO_JOBS, then ncpu)
+//   --json FILE       write the runner's machine-readable report
+//   --no-cache        skip the on-disk result cache (.levioso-cache/)
+//
+// All simulation runs are routed through the runner subsystem
+// (src/runner/): one bench builds its whole grid of points up front,
+// runAll() executes them concurrently (deduplicated and cache-served),
+// and the bench assembles its table from the in-order results.
 #pragma once
 
 #include <map>
@@ -11,6 +19,7 @@
 #include <vector>
 
 #include "backend/compiler.hpp"
+#include "runner/sweep.hpp"
 #include "sim/simulation.hpp"
 #include "support/table.hpp"
 #include "uarch/core.hpp"
@@ -21,6 +30,9 @@ namespace lev::bench {
 struct BenchArgs {
   int scale = 1;
   bool csv = false;
+  int jobs = 0;         ///< 0 = auto (LEVIOSO_JOBS env, then hardware)
+  bool useCache = true; ///< consult/populate .levioso-cache/
+  std::string jsonPath; ///< non-empty: write the JSON report here
   std::vector<std::string> kernels; ///< empty = full suite
 };
 
@@ -29,12 +41,29 @@ BenchArgs parseArgs(int argc, char** argv);
 /// Kernel set selected by the args.
 std::vector<std::string> selectedKernels(const BenchArgs& args);
 
+/// A grid point at this bench's scale (kernel + policy + optional config).
+runner::JobSpec point(const BenchArgs& args, const std::string& kernel,
+                      const std::string& policy,
+                      const uarch::CoreConfig& cfg = uarch::CoreConfig());
+
+/// Execute a batch of points through the shared thread pool + result
+/// cache; returns records in `specs` order. Writes the JSON report when
+/// --json was given. Throws on the first failed job (after all finish).
+std::vector<runner::RunRecord> runAll(const BenchArgs& args,
+                                      const std::vector<runner::JobSpec>& specs);
+
 /// Compile a kernel once (annotations at the given budget).
 backend::CompileResult compileKernel(const std::string& name, int scale,
                                      int budget = 4,
                                      bool memoryProp = true);
 
-/// Run a compiled program under a policy and return the summary.
+/// Compile many kernels concurrently; results in input order.
+std::vector<backend::CompileResult>
+compileAll(const BenchArgs& args,
+           const std::vector<runner::JobSpec>& specs);
+
+/// Run a compiled program under a policy and return the summary. Serial
+/// escape hatch for callers that already hold a program (micro_speed).
 sim::RunSummary run(const backend::CompileResult& compiled,
                     const std::string& policy,
                     const uarch::CoreConfig& cfg = uarch::CoreConfig());

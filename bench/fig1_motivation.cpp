@@ -15,30 +15,32 @@ using namespace lev;
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parseArgs(argc, argv);
+  const std::vector<std::string> kernels = bench::selectedKernels(args);
   Table t({"benchmark", "insts", "under unresolved branch",
            "under unresolved TRUE dependee", "loads under branch",
            "loads under TRUE dependee"});
 
+  std::vector<runner::JobSpec> specs;
+  for (const std::string& kernel : kernels)
+    specs.push_back(bench::point(args, kernel, "unsafe"));
+  const std::vector<runner::RunRecord> records = bench::runAll(args, specs);
+
   std::vector<double> anyFrac, trueFrac;
-  for (const std::string& kernel : bench::selectedKernels(args)) {
-    const backend::CompileResult compiled =
-        bench::compileKernel(kernel, args.scale);
-    sim::Simulation s(compiled.program, uarch::CoreConfig(), "unsafe");
-    if (s.run(4'000'000'000ull) != uarch::RunExit::Halted)
-      throw SimError(kernel + ": cycle limit");
-    const auto& st = s.stats();
-    const double insts = static_cast<double>(st.get("commit.insts"));
-    const double any = static_cast<double>(st.get("commit.instsSpecAtIssue"));
-    const double dep =
-        static_cast<double>(st.get("commit.instsTrueDepAtIssue"));
-    const double loads = static_cast<double>(st.get("commit.loads"));
-    const double anyL =
-        static_cast<double>(st.get("commit.loadsSpecAtIssue"));
-    const double depL =
-        static_cast<double>(st.get("commit.loadsTrueDepAtIssue"));
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const auto& st = records[i].stats;
+    auto get = [&st](const char* name) {
+      const auto it = st.find(name);
+      return static_cast<double>(it == st.end() ? 0 : it->second);
+    };
+    const double insts = get("commit.insts");
+    const double any = get("commit.instsSpecAtIssue");
+    const double dep = get("commit.instsTrueDepAtIssue");
+    const double loads = get("commit.loads");
+    const double anyL = get("commit.loadsSpecAtIssue");
+    const double depL = get("commit.loadsTrueDepAtIssue");
     anyFrac.push_back(std::max(any / insts, 1e-9));
     trueFrac.push_back(std::max(dep / insts, 1e-9));
-    t.addRow({kernel, std::to_string(static_cast<long long>(insts)),
+    t.addRow({kernels[i], std::to_string(static_cast<long long>(insts)),
               fmtPct(any / insts), fmtPct(dep / insts),
               fmtPct(loads > 0 ? anyL / loads : 0.0),
               fmtPct(loads > 0 ? depL / loads : 0.0)});

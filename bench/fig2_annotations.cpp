@@ -1,6 +1,7 @@
 // Figure 2 (reconstruction): static annotation statistics of the Levioso
 // compiler pass — dependency-set sizes and the fraction of instructions
-// that overflow each hint budget.
+// that overflow each hint budget. Pure compile-time work: the kernel x
+// budget grid is compiled concurrently, no simulations.
 #include "bench_common.hpp"
 #include "support/strings.hpp"
 
@@ -8,23 +9,37 @@ using namespace lev;
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parseArgs(argc, argv);
+  const std::vector<std::string> kernels = bench::selectedKernels(args);
+  const std::vector<int> budgets = {1, 2, 4, 8};
+
+  std::vector<runner::JobSpec> specs;
+  for (const std::string& kernel : kernels)
+    for (int budget : budgets) {
+      runner::JobSpec s;
+      s.kernel = kernel;
+      s.scale = 1;
+      s.budget = budget;
+      specs.push_back(std::move(s));
+    }
+  const std::vector<backend::CompileResult> compiled =
+      bench::compileAll(args, specs);
 
   Table t({"benchmark", "static insts", "no deps", "avg set size",
            "max set size", "overflow@K=1", "overflow@K=2", "overflow@K=4",
            "overflow@K=8"});
-  for (const std::string& kernel : bench::selectedKernels(args)) {
+  std::size_t at = 0;
+  for (const std::string& kernel : kernels) {
     std::vector<std::string> row;
     row.push_back(kernel);
     levioso::DepStats stats;
     std::vector<double> overflowFrac;
-    for (int budget : {1, 2, 4, 8}) {
-      const backend::CompileResult compiled =
-          bench::compileKernel(kernel, 1, budget);
-      stats = compiled.depStats;
-      const double total = static_cast<double>(
-          compiled.encodeStats.encoded + compiled.encodeStats.overflowed);
-      overflowFrac.push_back(
-          static_cast<double>(compiled.encodeStats.overflowed) / total);
+    for (std::size_t b = 0; b < budgets.size(); ++b) {
+      const backend::CompileResult& c = compiled[at++];
+      stats = c.depStats;
+      const double total = static_cast<double>(c.encodeStats.encoded +
+                                               c.encodeStats.overflowed);
+      overflowFrac.push_back(static_cast<double>(c.encodeStats.overflowed) /
+                             total);
     }
     row.insert(row.end(),
                {std::to_string(stats.totalInsts),
@@ -39,13 +54,14 @@ int main(int argc, char** argv) {
   }
   bench::emit(args, "Figure 2: true-branch-dependency set statistics", t);
 
-  // Companion: set-size histogram over the whole suite.
+  // Companion: set-size histogram over the whole suite, from the K=4
+  // compiles already in hand (budgets[2]).
   levioso::DepStats total;
-  for (const std::string& kernel : bench::selectedKernels(args)) {
-    const backend::CompileResult compiled = bench::compileKernel(kernel, 1);
-    for (std::size_t i = 0; i < total.setSizeHistogram.size(); ++i)
-      total.setSizeHistogram[i] += compiled.depStats.setSizeHistogram[i];
-    total.totalInsts += compiled.depStats.totalInsts;
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const backend::CompileResult& c = compiled[i * budgets.size() + 2];
+    for (std::size_t j = 0; j < total.setSizeHistogram.size(); ++j)
+      total.setSizeHistogram[j] += c.depStats.setSizeHistogram[j];
+    total.totalInsts += c.depStats.totalInsts;
   }
   Table h({"set size", "static insts", "fraction"});
   for (std::size_t i = 0; i < total.setSizeHistogram.size(); ++i) {

@@ -18,19 +18,28 @@ int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parseArgs(argc, argv);
   const std::vector<std::string> policies = {"fence", "dom",     "stt",
                                              "spt",   "levioso", "levioso-lite"};
+  const std::vector<std::string> kernels = bench::selectedKernels(args);
+
+  // The whole kernel x policy grid runs as one concurrent sweep.
+  std::vector<runner::JobSpec> specs;
+  for (const std::string& kernel : kernels) {
+    specs.push_back(bench::point(args, kernel, "unsafe"));
+    for (const auto& policy : policies)
+      specs.push_back(bench::point(args, kernel, policy));
+  }
+  const std::vector<runner::RunRecord> records = bench::runAll(args, specs);
 
   std::vector<std::string> header = {"benchmark", "unsafe cycles"};
   for (const auto& p : policies) header.push_back(p);
   Table t(header);
 
   std::map<std::string, std::vector<double>> slowdowns;
-  for (const std::string& kernel : bench::selectedKernels(args)) {
-    const backend::CompileResult compiled =
-        bench::compileKernel(kernel, args.scale);
-    const sim::RunSummary base = bench::run(compiled, "unsafe");
+  std::size_t at = 0;
+  for (const std::string& kernel : kernels) {
+    const sim::RunSummary& base = records[at++].summary;
     std::vector<std::string> row = {kernel, std::to_string(base.cycles)};
     for (const auto& policy : policies) {
-      const sim::RunSummary s = bench::run(compiled, policy);
+      const sim::RunSummary& s = records[at++].summary;
       const double slowdown =
           static_cast<double>(s.cycles) / static_cast<double>(base.cycles);
       slowdowns[policy].push_back(slowdown);

@@ -10,28 +10,38 @@ int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parseArgs(argc, argv);
   const std::vector<std::string> policies = {"fence", "dom", "stt", "spt",
                                              "levioso"};
+  const std::vector<std::string> kernels = bench::selectedKernels(args);
+
+  std::vector<runner::JobSpec> specs;
+  for (const std::string& kernel : kernels) {
+    specs.push_back(bench::point(args, kernel, "unsafe"));
+    for (const auto& policy : policies)
+      specs.push_back(bench::point(args, kernel, policy));
+  }
+  const std::vector<runner::RunRecord> records = bench::runAll(args, specs);
 
   Table t({"benchmark", "policy", "overhead", "load-delay cycles",
            "exec-delay cycles", "invisible loads",
            "delay cycles / committed inst"});
-  for (const std::string& kernel : bench::selectedKernels(args)) {
-    const backend::CompileResult compiled =
-        bench::compileKernel(kernel, args.scale);
-    const sim::RunSummary base = bench::run(compiled, "unsafe");
+  std::size_t at = 0;
+  for (const std::string& kernel : kernels) {
+    const sim::RunSummary& base = records[at++].summary;
     for (const auto& policy : policies) {
-      sim::Simulation s(compiled.program, uarch::CoreConfig(), policy);
-      if (s.run(4'000'000'000ull) != uarch::RunExit::Halted)
-        throw SimError(kernel + ": cycle limit under " + policy);
-      const auto& st = s.stats();
-      const double over = sim::overhead(s.core().cycle(), base.cycles);
+      const runner::RunRecord& rec = records[at++];
+      const auto& st = rec.stats;
+      auto get = [&st](const char* name) {
+        const auto it = st.find(name);
+        return it == st.end() ? 0 : it->second;
+      };
+      const double over = sim::overhead(rec.summary.cycles, base.cycles);
       const double perInst =
-          static_cast<double>(st.get("policy.loadDelayCycles") +
-                              st.get("policy.execDelayCycles")) /
-          static_cast<double>(s.core().committedInsts());
+          static_cast<double>(get("policy.loadDelayCycles") +
+                              get("policy.execDelayCycles")) /
+          static_cast<double>(rec.summary.insts);
       t.addRow({kernel, policy, fmtPct(over),
-                std::to_string(st.get("policy.loadDelayCycles")),
-                std::to_string(st.get("policy.execDelayCycles")),
-                std::to_string(st.get("policy.invisibleLoads")),
+                std::to_string(get("policy.loadDelayCycles")),
+                std::to_string(get("policy.execDelayCycles")),
+                std::to_string(get("policy.invisibleLoads")),
                 fmtF(perInst, 2)});
     }
     t.addSeparator();

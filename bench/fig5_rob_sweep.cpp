@@ -14,21 +14,32 @@ int main(int argc, char** argv) {
   if (args.kernels.empty())
     args.kernels = {"mcf_chase", "x264_sad", "lbm_stream", "gcc_branchy"};
   const std::vector<int> robSizes = {64, 128, 192, 256};
+  const std::vector<std::string> kernels = bench::selectedKernels(args);
+
+  auto configFor = [](int rob) {
+    uarch::CoreConfig cfg;
+    cfg.robSize = rob;
+    cfg.iqSize = std::min(cfg.iqSize, rob / 2);
+    cfg.lqSize = std::min(cfg.lqSize, rob / 3);
+    cfg.sqSize = std::min(cfg.sqSize, rob / 4);
+    return cfg;
+  };
+
+  std::vector<runner::JobSpec> specs;
+  for (const std::string& kernel : kernels)
+    for (int rob : robSizes)
+      for (const char* policy : {"unsafe", "spt", "levioso"})
+        specs.push_back(bench::point(args, kernel, policy, configFor(rob)));
+  const std::vector<runner::RunRecord> records = bench::runAll(args, specs);
 
   Table t({"benchmark", "ROB", "unsafe cycles", "spt overhead",
            "levioso overhead"});
-  for (const std::string& kernel : bench::selectedKernels(args)) {
-    const backend::CompileResult compiled =
-        bench::compileKernel(kernel, args.scale);
+  std::size_t at = 0;
+  for (const std::string& kernel : kernels) {
     for (int rob : robSizes) {
-      uarch::CoreConfig cfg;
-      cfg.robSize = rob;
-      cfg.iqSize = std::min(cfg.iqSize, rob / 2);
-      cfg.lqSize = std::min(cfg.lqSize, rob / 3);
-      cfg.sqSize = std::min(cfg.sqSize, rob / 4);
-      const sim::RunSummary base = bench::run(compiled, "unsafe", cfg);
-      const sim::RunSummary spt = bench::run(compiled, "spt", cfg);
-      const sim::RunSummary lev = bench::run(compiled, "levioso", cfg);
+      const sim::RunSummary& base = records[at++].summary;
+      const sim::RunSummary& spt = records[at++].summary;
+      const sim::RunSummary& lev = records[at++].summary;
       t.addRow({kernel, std::to_string(rob), std::to_string(base.cycles),
                 fmtPct(sim::overhead(spt.cycles, base.cycles)),
                 fmtPct(sim::overhead(lev.cycles, base.cycles))});

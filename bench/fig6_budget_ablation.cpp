@@ -27,30 +27,35 @@ int main(int argc, char** argv) {
       {"K=8", 8, true},                {"K=inf", levioso::kUnlimitedBudget, true},
       {"K=inf, no mem-dep (UNSOUND)", levioso::kUnlimitedBudget, false},
   };
+  const std::vector<std::string> kernels = bench::selectedKernels(args);
+
+  // Baselines first, then one levioso point per (variant, kernel), all in
+  // one sweep — the runner compiles each (kernel, budget, memProp) once.
+  std::vector<runner::JobSpec> specs;
+  for (const std::string& kernel : kernels)
+    specs.push_back(bench::point(args, kernel, "unsafe"));
+  for (const Variant& v : variants)
+    for (const std::string& kernel : kernels) {
+      runner::JobSpec s = bench::point(args, kernel, "levioso");
+      s.budget = v.budget;
+      s.memoryProp = v.memProp;
+      specs.push_back(std::move(s));
+    }
+  const std::vector<runner::RunRecord> records = bench::runAll(args, specs);
 
   std::vector<std::string> header = {"variant"};
-  for (const std::string& kernel : bench::selectedKernels(args))
-    header.push_back(kernel);
+  for (const std::string& kernel : kernels) header.push_back(kernel);
   header.push_back("geomean");
   Table t(header);
 
-  // Baselines per kernel.
-  std::map<std::string, std::uint64_t> baseCycles;
-  for (const std::string& kernel : bench::selectedKernels(args)) {
-    const backend::CompileResult compiled =
-        bench::compileKernel(kernel, args.scale);
-    baseCycles[kernel] = bench::run(compiled, "unsafe").cycles;
-  }
-
+  std::size_t at = kernels.size();
   for (const Variant& v : variants) {
     std::vector<std::string> row = {v.label};
     std::vector<double> slowdowns;
-    for (const std::string& kernel : bench::selectedKernels(args)) {
-      const backend::CompileResult compiled =
-          bench::compileKernel(kernel, args.scale, v.budget, v.memProp);
-      const sim::RunSummary s = bench::run(compiled, "levioso");
-      const double slowdown = static_cast<double>(s.cycles) /
-                              static_cast<double>(baseCycles[kernel]);
+    for (std::size_t k = 0; k < kernels.size(); ++k) {
+      const double slowdown =
+          static_cast<double>(records[at++].summary.cycles) /
+          static_cast<double>(records[k].summary.cycles);
       slowdowns.push_back(slowdown);
       row.push_back(fmtPct(slowdown - 1.0));
     }

@@ -14,18 +14,26 @@ int main(int argc, char** argv) {
   if (args.kernels.empty())
     args.kernels = {"mcf_chase", "leela_search", "x264_sad"};
   const std::vector<int> latencies = {50, 100, 200, 400};
+  const std::vector<std::string> kernels = bench::selectedKernels(args);
 
-  Table t({"benchmark", "DRAM latency", "unsafe cycles", "spt overhead",
-           "levioso overhead", "levioso/spt cycle ratio"});
-  for (const std::string& kernel : bench::selectedKernels(args)) {
-    const backend::CompileResult compiled =
-        bench::compileKernel(kernel, args.scale);
+  std::vector<runner::JobSpec> specs;
+  for (const std::string& kernel : kernels)
     for (int lat : latencies) {
       uarch::CoreConfig cfg;
       cfg.mem.memLatency = lat;
-      const sim::RunSummary base = bench::run(compiled, "unsafe", cfg);
-      const sim::RunSummary spt = bench::run(compiled, "spt", cfg);
-      const sim::RunSummary lev = bench::run(compiled, "levioso", cfg);
+      for (const char* policy : {"unsafe", "spt", "levioso"})
+        specs.push_back(bench::point(args, kernel, policy, cfg));
+    }
+  const std::vector<runner::RunRecord> records = bench::runAll(args, specs);
+
+  Table t({"benchmark", "DRAM latency", "unsafe cycles", "spt overhead",
+           "levioso overhead", "levioso/spt cycle ratio"});
+  std::size_t at = 0;
+  for (const std::string& kernel : kernels) {
+    for (int lat : latencies) {
+      const sim::RunSummary& base = records[at++].summary;
+      const sim::RunSummary& spt = records[at++].summary;
+      const sim::RunSummary& lev = records[at++].summary;
       t.addRow({kernel, std::to_string(lat), std::to_string(base.cycles),
                 fmtPct(sim::overhead(spt.cycles, base.cycles)),
                 fmtPct(sim::overhead(lev.cycles, base.cycles)),

@@ -18,17 +18,25 @@ int main(int argc, char** argv) {
   bench::BenchArgs args = bench::parseArgs(argc, argv);
   if (args.kernels.empty())
     args.kernels = {"lbm_stream", "x264_sad", "mcf_chase", "gcc_branchy"};
+  const std::vector<std::string> kernels = bench::selectedKernels(args);
 
-  Table t({"benchmark", "prefetch", "unsafe cycles", "spt", "levioso"});
-  for (const std::string& kernel : bench::selectedKernels(args)) {
-    const backend::CompileResult compiled =
-        bench::compileKernel(kernel, args.scale);
+  std::vector<runner::JobSpec> specs;
+  for (const std::string& kernel : kernels)
     for (const bool pf : {false, true}) {
       uarch::CoreConfig cfg;
       cfg.prefetch.enabled = pf;
-      const sim::RunSummary base = bench::run(compiled, "unsafe", cfg);
-      const sim::RunSummary spt = bench::run(compiled, "spt", cfg);
-      const sim::RunSummary lev = bench::run(compiled, "levioso", cfg);
+      for (const char* policy : {"unsafe", "spt", "levioso"})
+        specs.push_back(bench::point(args, kernel, policy, cfg));
+    }
+  const std::vector<runner::RunRecord> records = bench::runAll(args, specs);
+
+  Table t({"benchmark", "prefetch", "unsafe cycles", "spt", "levioso"});
+  std::size_t at = 0;
+  for (const std::string& kernel : kernels) {
+    for (const bool pf : {false, true}) {
+      const sim::RunSummary& base = records[at++].summary;
+      const sim::RunSummary& spt = records[at++].summary;
+      const sim::RunSummary& lev = records[at++].summary;
       t.addRow({kernel, pf ? "on" : "off", std::to_string(base.cycles),
                 fmtPct(sim::overhead(spt.cycles, base.cycles)),
                 fmtPct(sim::overhead(lev.cycles, base.cycles))});
@@ -37,7 +45,9 @@ int main(int argc, char** argv) {
   }
   bench::emit(args, "Figure 8: stride prefetcher x defenses", t);
 
-  // Security must be unaffected by prefetching.
+  // Security must be unaffected by prefetching. Attack runs are cheap;
+  // they stay serial (the attack harness inspects cache tag state and has
+  // no RunSummary to cache).
   Table s({"gadget", "policy", "prefetch on -> outcome"});
   uarch::CoreConfig pfCfg;
   pfCfg.prefetch.enabled = true;

@@ -13,31 +13,41 @@ int main(int argc, char** argv) {
   bench::BenchArgs args = bench::parseArgs(argc, argv);
   if (args.kernels.empty())
     args.kernels = {"gobmk_board", "gcc_branchy", "leela_search", "x264_sad"};
+  const std::vector<std::string> kernels = bench::selectedKernels(args);
+  const std::vector<uarch::PredictorKind> kinds = {
+      uarch::PredictorKind::Gshare, uarch::PredictorKind::Tage};
+
+  std::vector<runner::JobSpec> specs;
+  for (const std::string& kernel : kernels)
+    for (const auto kind : kinds) {
+      uarch::CoreConfig cfg;
+      cfg.bp.kind = kind;
+      for (const char* policy : {"unsafe", "spt", "levioso"})
+        specs.push_back(bench::point(args, kernel, policy, cfg));
+    }
+  const std::vector<runner::RunRecord> records = bench::runAll(args, specs);
 
   Table t({"benchmark", "predictor", "unsafe cycles", "mispredict rate",
            "spt overhead", "levioso overhead"});
-  for (const std::string& kernel : bench::selectedKernels(args)) {
-    const backend::CompileResult compiled =
-        bench::compileKernel(kernel, args.scale);
-    for (const auto kind :
-         {uarch::PredictorKind::Gshare, uarch::PredictorKind::Tage}) {
-      uarch::CoreConfig cfg;
-      cfg.bp.kind = kind;
-      sim::Simulation base(compiled.program, cfg, "unsafe");
-      if (base.run(4'000'000'000ull) != uarch::RunExit::Halted)
-        throw SimError(kernel + ": cycle limit");
+  std::size_t at = 0;
+  for (const std::string& kernel : kernels) {
+    for (const auto kind : kinds) {
+      const runner::RunRecord& base = records[at++];
+      const sim::RunSummary& spt = records[at++].summary;
+      const sim::RunSummary& lev = records[at++].summary;
+      const auto& st = base.stats;
+      auto get = [&st](const char* name) {
+        const auto it = st.find(name);
+        return static_cast<double>(it == st.end() ? 0 : it->second);
+      };
       const double branches =
-          static_cast<double>(base.stats().get("bp.resolvedTaken") +
-                              base.stats().get("bp.resolvedNotTaken"));
-      const double misRate =
-          static_cast<double>(base.stats().get("bp.mispredicts")) / branches;
-      const sim::RunSummary spt = bench::run(compiled, "spt", cfg);
-      const sim::RunSummary lev = bench::run(compiled, "levioso", cfg);
+          get("bp.resolvedTaken") + get("bp.resolvedNotTaken");
+      const double misRate = get("bp.mispredicts") / branches;
       t.addRow({kernel,
                 kind == uarch::PredictorKind::Tage ? "tage-lite" : "gshare",
-                std::to_string(base.core().cycle()), fmtPct(misRate),
-                fmtPct(sim::overhead(spt.cycles, base.core().cycle())),
-                fmtPct(sim::overhead(lev.cycles, base.core().cycle()))});
+                std::to_string(base.summary.cycles), fmtPct(misRate),
+                fmtPct(sim::overhead(spt.cycles, base.summary.cycles)),
+                fmtPct(sim::overhead(lev.cycles, base.summary.cycles))});
     }
     t.addSeparator();
   }

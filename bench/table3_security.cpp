@@ -12,6 +12,11 @@
 //
 // (spectre_v2 transmits a committed key byte through a mistrained indirect
 // branch, so the taint-based schemes miss it just like nonspec_secret.)
+//
+// Attack runs have no RunSummary to cache, but they are independent, so
+// the gadget x policy grid fans out on the runner's thread pool.
+#include <future>
+
 #include "bench_common.hpp"
 #include "security/attack.hpp"
 #include "workloads/gadgets.hpp"
@@ -22,41 +27,50 @@ int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parseArgs(argc, argv);
   const std::vector<std::string> policies = {
       "unsafe", "fence", "dom", "stt", "spt", "levioso", "levioso-lite"};
+  const std::vector<std::string> gadgets = {"spectre_v1", "spectre_v2",
+                                            "nonspec_secret"};
+
+  runner::ThreadPool pool(args.jobs);
+  std::vector<std::future<security::AttackResult>> attacks;
+  for (const std::string& gadgetName : gadgets)
+    for (const std::string& policy : policies)
+      attacks.push_back(pool.submit([gadgetName, policy] {
+        if (gadgetName == "spectre_v2") {
+          workloads::GadgetBinary g = workloads::buildSpectreV2(0);
+          return security::runAttack(g, policy);
+        }
+        workloads::Gadget g = gadgetName == "spectre_v1"
+                                  ? workloads::buildSpectreV1(0)
+                                  : workloads::buildNonSpecSecret(0);
+        return security::runAttack(g, policy);
+      }));
+
+  // Companion cells run concurrently with the grid above.
+  const std::vector<std::pair<std::string, std::string>> recoveries = {
+      {"spectre_v1", "unsafe"},
+      {"spectre_v1", "levioso"},
+      {"nonspec_secret", "stt"},
+      {"nonspec_secret", "levioso"}};
+  std::vector<std::future<std::string>> recovered;
+  for (const auto& [gadget, policy] : recoveries)
+    recovered.push_back(pool.submit(
+        [g = gadget, p = policy] { return security::recoverSecret(g, p); }));
 
   std::vector<std::string> header = {"gadget / policy"};
   for (const auto& p : policies) header.push_back(p);
   Table t(header);
-
-  for (const std::string gadgetName :
-       {"spectre_v1", "spectre_v2", "nonspec_secret"}) {
+  std::size_t at = 0;
+  for (const std::string& gadgetName : gadgets) {
     std::vector<std::string> row = {gadgetName};
-    for (const auto& policy : policies) {
-      security::AttackResult r;
-      if (gadgetName == "spectre_v2") {
-        workloads::GadgetBinary g = workloads::buildSpectreV2(0);
-        r = security::runAttack(g, policy);
-      } else {
-        workloads::Gadget g = gadgetName == "spectre_v1"
-                                  ? workloads::buildSpectreV1(0)
-                                  : workloads::buildNonSpecSecret(0);
-        r = security::runAttack(g, policy);
-      }
-      row.push_back(r.leaked ? "LEAKED" : "blocked");
-    }
+    for (std::size_t p = 0; p < policies.size(); ++p)
+      row.push_back(attacks[at++].get().leaked ? "LEAKED" : "blocked");
     t.addRow(row);
   }
   bench::emit(args, "Table 3: attack outcome per gadget and policy", t);
 
-  // Companion: full-secret recovery strings on the interesting cells.
   Table r({"gadget", "policy", "recovered secret"});
-  r.addRow({"spectre_v1", "unsafe",
-            security::recoverSecret("spectre_v1", "unsafe")});
-  r.addRow({"spectre_v1", "levioso",
-            security::recoverSecret("spectre_v1", "levioso")});
-  r.addRow({"nonspec_secret", "stt",
-            security::recoverSecret("nonspec_secret", "stt")});
-  r.addRow({"nonspec_secret", "levioso",
-            security::recoverSecret("nonspec_secret", "levioso")});
+  for (std::size_t i = 0; i < recoveries.size(); ++i)
+    r.addRow({recoveries[i].first, recoveries[i].second, recovered[i].get()});
   bench::emit(args, "Table 3b: byte-by-byte recovery ('?' = blocked)", r);
   return 0;
 }

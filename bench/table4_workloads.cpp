@@ -13,28 +13,34 @@ using namespace lev;
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parseArgs(argc, argv);
+  const std::vector<std::string> kernels = bench::selectedKernels(args);
+
+  std::vector<runner::JobSpec> specs;
+  for (const std::string& kernel : kernels)
+    specs.push_back(bench::point(args, kernel, "unsafe"));
+  const std::vector<runner::RunRecord> records = bench::runAll(args, specs);
 
   Table t({"benchmark", "dyn insts", "IPC", "loads", "stores", "branches",
            "mispredict rate", "L1D MPKI", "L2 MPKI", "squashed insts/kinst"});
-  for (const std::string& kernel : bench::selectedKernels(args)) {
-    const backend::CompileResult compiled =
-        bench::compileKernel(kernel, args.scale);
-    sim::Simulation s(compiled.program, uarch::CoreConfig(), "unsafe");
-    if (s.run(4'000'000'000ull) != uarch::RunExit::Halted)
-      throw SimError(kernel + ": cycle limit");
-    const auto& st = s.stats();
-    const double insts = static_cast<double>(st.get("commit.insts"));
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const runner::RunRecord& rec = records[i];
+    const auto& st = rec.stats;
+    auto get = [&st](const char* name) {
+      const auto it = st.find(name);
+      return static_cast<double>(it == st.end() ? 0 : it->second);
+    };
+    const double insts = get("commit.insts");
     const double kinsts = insts / 1000.0;
-    const double loads = static_cast<double>(st.get("commit.loads"));
-    const double stores = static_cast<double>(st.get("commit.stores"));
-    const double branches = static_cast<double>(
-        st.get("bp.resolvedTaken") + st.get("bp.resolvedNotTaken"));
-    const double mispredicts = static_cast<double>(st.get("bp.mispredicts"));
-    const double l1dMisses = static_cast<double>(st.get("l1d.misses"));
-    const double l2Misses = static_cast<double>(st.get("l2.misses"));
-    const double squashed = static_cast<double>(st.get("squash.insts"));
-    t.addRow({kernel, std::to_string(static_cast<long long>(insts)),
-              fmtF(insts / static_cast<double>(s.core().cycle()), 2),
+    const double loads = get("commit.loads");
+    const double stores = get("commit.stores");
+    const double branches =
+        get("bp.resolvedTaken") + get("bp.resolvedNotTaken");
+    const double mispredicts = get("bp.mispredicts");
+    const double l1dMisses = get("l1d.misses");
+    const double l2Misses = get("l2.misses");
+    const double squashed = get("squash.insts");
+    t.addRow({kernels[i], std::to_string(static_cast<long long>(insts)),
+              fmtF(insts / static_cast<double>(rec.summary.cycles), 2),
               fmtPct(loads / insts), fmtPct(stores / insts),
               fmtPct(branches / insts),
               branches > 0 ? fmtPct(mispredicts / branches) : "-",

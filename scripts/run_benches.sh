@@ -1,9 +1,32 @@
 #!/usr/bin/env bash
-# Regenerate every table and figure into bench_output.txt.
-# Usage: scripts/run_benches.sh [build-dir]
+# Regenerate every table and figure on stdout.
+# Usage: scripts/run_benches.sh [build-dir] [--jobs N] [extra bench args...]
+#
+# Exits non-zero if ANY bench fails (each failure is also reported inline).
+# --jobs and any other extra arguments are forwarded to every bench binary.
 set -u
-BUILD="${1:-build}"
 
+BUILD="build"
+ARGS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --jobs)
+      [ $# -ge 2 ] || { echo "error: --jobs needs a value" >&2; exit 2; }
+      ARGS+=("--jobs" "$2")
+      shift 2
+      ;;
+    --*)
+      ARGS+=("$1")
+      shift
+      ;;
+    *)
+      BUILD="$1"
+      shift
+      ;;
+  esac
+done
+
+status=0
 for b in "$BUILD"/bench/table1_threat_matrix \
          "$BUILD"/bench/table2_config \
          "$BUILD"/bench/fig1_motivation \
@@ -18,6 +41,10 @@ for b in "$BUILD"/bench/table1_threat_matrix \
          "$BUILD"/bench/table3_security \
          "$BUILD"/bench/table4_workloads; do
   echo "### $(basename "$b")"
-  "$b" || echo "FAILED: $b"
+  if ! "$b" ${ARGS+"${ARGS[@]}"}; then
+    echo "FAILED: $b" >&2
+    status=1
+  fi
   echo
 done
+exit "$status"

@@ -1,0 +1,65 @@
+#include "runner/job.hpp"
+
+#include <sstream>
+
+namespace lev::runner {
+
+namespace {
+
+void describeCache(std::ostream& os, const char* tag,
+                   const uarch::CacheConfig& c) {
+  os << ' ' << tag << '=' << c.sizeBytes << '/' << c.assoc << '/'
+     << c.lineBytes << '/' << c.hitLatency << '/'
+     << static_cast<int>(c.replacement);
+}
+
+} // namespace
+
+std::string describeCompile(const JobSpec& job) {
+  std::ostringstream os;
+  os << "kernel=" << job.kernel << " scale=" << job.scale
+     << " budget=" << job.budget << " memProp=" << (job.memoryProp ? 1 : 0);
+  return os.str();
+}
+
+std::string describe(const JobSpec& job) {
+  const uarch::CoreConfig& c = job.cfg;
+  std::ostringstream os;
+  os << describeCompile(job) << " policy=" << job.policy
+     << " maxCycles=" << job.maxCycles;
+  os << " width=" << c.fetchWidth << '/' << c.renameWidth << '/'
+     << c.issueWidth << '/' << c.commitWidth;
+  os << " rob=" << c.robSize << " iq=" << c.iqSize << " lq=" << c.lqSize
+     << " sq=" << c.sqSize;
+  os << " fu=" << c.intAlus << '/' << c.mulUnits << '/' << c.divUnits << '/'
+     << c.memPorts;
+  os << " lat=" << c.aluLat << '/' << c.mulLat << '/' << c.divLat << '/'
+     << c.branchResolveLat << '/' << c.storeForwardLat;
+  os << " front=" << c.frontendDepth << '/' << c.redirectPenalty;
+  os << " mshrs=" << c.mshrs;
+  describeCache(os, "l1d", c.mem.l1d);
+  describeCache(os, "l1i", c.mem.l1i);
+  describeCache(os, "l2", c.mem.l2);
+  os << " dram=" << c.mem.memLatency;
+  os << " bp=" << static_cast<int>(c.bp.kind) << '/' << c.bp.historyBits
+     << '/' << c.bp.tableBits << '/' << c.bp.btbEntries << '/'
+     << c.bp.rasEntries;
+  os << " tage=" << c.bp.tageTableBits << '/' << c.bp.tageTagBits << '/'
+     << c.bp.tageHistories[0] << '/' << c.bp.tageHistories[1] << '/'
+     << c.bp.tageHistories[2];
+  os << " pf=" << (c.prefetch.enabled ? 1 : 0) << '/'
+     << c.prefetch.tableEntries << '/' << c.prefetch.degree;
+  return os.str();
+}
+
+std::string hashHex(std::uint64_t h) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[h & 0xf];
+    h >>= 4;
+  }
+  return s;
+}
+
+} // namespace lev::runner

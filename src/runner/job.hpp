@@ -1,0 +1,66 @@
+// The experiment-point description the runner schedules, caches and
+// reports: one {kernel, scale, policy, CoreConfig, budget} grid point.
+//
+// describe() serializes EVERY field that can change a simulation's outcome
+// into one canonical line; the result cache keys on an FNV-1a hash of that
+// line (plus a code-version salt), and dedup inside a Sweep compares the
+// lines directly so hash collisions can never alias two distinct points.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/simulation.hpp"
+#include "uarch/core.hpp"
+
+namespace lev::runner {
+
+/// One point of an experiment grid.
+struct JobSpec {
+  std::string kernel;             ///< workload kernel name
+  int scale = 1;                  ///< workload scale factor
+  std::string policy = "unsafe";  ///< speculation policy
+  uarch::CoreConfig cfg;          ///< full core + memory configuration
+  int budget = 4;                 ///< annotation budget K
+  bool memoryProp = true;         ///< propagate deps through memory
+  std::uint64_t maxCycles = 4'000'000'000ull;
+};
+
+/// What one executed (or cache-served) job yields: the headline summary
+/// plus the full end-of-run counter dump, so stat-reading benches can run
+/// through the runner too.
+struct RunRecord {
+  sim::RunSummary summary;
+  std::map<std::string, std::int64_t> stats;
+  bool fromCache = false;
+};
+
+/// Canonical one-line description of the *compilation* inputs of a job
+/// (kernel, scale, budget, memory propagation). Jobs sharing this string
+/// share one compiled program inside a Sweep.
+std::string describeCompile(const JobSpec& job);
+
+/// Canonical one-line description of the full job (compile inputs, policy,
+/// every CoreConfig field, cycle limit). The dedup and cache identity.
+std::string describe(const JobSpec& job);
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// FNV-1a over `s`, continuing from `seed` (chainable).
+constexpr std::uint64_t fnv1a(std::string_view s,
+                              std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// 16-hex-digit rendering of a hash (cache file names, reports).
+std::string hashHex(std::uint64_t h);
+
+} // namespace lev::runner

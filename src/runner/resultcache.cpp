@@ -1,0 +1,124 @@
+#include "runner/resultcache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace fs = std::filesystem;
+
+namespace lev::runner {
+
+namespace {
+constexpr const char* kMagic = "levioso-result v1";
+} // namespace
+
+std::string defaultCacheDir() {
+  if (const char* env = std::getenv("LEVIOSO_CACHE_DIR"))
+    if (*env) return env;
+  return ".levioso-cache";
+}
+
+ResultCache::ResultCache() : ResultCache(Options()) {}
+
+ResultCache::ResultCache(Options opts) : opts_(std::move(opts)) {}
+
+std::uint64_t ResultCache::keyOf(const std::string& jobDescription) const {
+  return fnv1a(jobDescription, fnv1a(opts_.salt));
+}
+
+std::string ResultCache::pathOf(std::uint64_t key) const {
+  return opts_.dir + "/" + hashHex(key) + ".result";
+}
+
+std::optional<RunRecord> ResultCache::lookup(
+    const std::string& jobDescription) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ifstream in(pathOf(keyOf(jobDescription)));
+  if (!in) {
+    ++misses_;
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic ||
+      !std::getline(in, line) || line != "key " + jobDescription) {
+    ++misses_; // corrupt, stale format, or hash collision
+    return std::nullopt;
+  }
+  RunRecord rec;
+  rec.fromCache = true;
+  bool sawCycles = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string field, name;
+    std::int64_t value = 0;
+    ls >> field;
+    if (field == "stat") {
+      ls >> name >> value;
+      if (!ls.fail()) rec.stats[name] = value;
+      continue;
+    }
+    ls >> value;
+    if (ls.fail()) continue;
+    if (field == "cycles") {
+      rec.summary.cycles = static_cast<std::uint64_t>(value);
+      sawCycles = true;
+    } else if (field == "insts") {
+      rec.summary.insts = static_cast<std::uint64_t>(value);
+    } else if (field == "loadDelayCycles") {
+      rec.summary.loadDelayCycles = value;
+    } else if (field == "execDelayCycles") {
+      rec.summary.execDelayCycles = value;
+    } else if (field == "mispredicts") {
+      rec.summary.mispredicts = value;
+    }
+  }
+  if (!sawCycles || rec.summary.cycles == 0) {
+    ++misses_;
+    return std::nullopt;
+  }
+  rec.summary.ipc = static_cast<double>(rec.summary.insts) /
+                    static_cast<double>(rec.summary.cycles);
+  ++hits_;
+  return rec;
+}
+
+void ResultCache::store(const std::string& jobDescription,
+                        const RunRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  fs::create_directories(opts_.dir, ec);
+  if (ec) return;
+  const std::string path = pathOf(keyOf(jobDescription));
+  const std::string tmp = path + ".tmp" + hashHex(fnv1a(jobDescription));
+  {
+    std::ofstream out(tmp);
+    if (!out) return;
+    out << kMagic << "\n";
+    out << "key " << jobDescription << "\n";
+    out << "cycles " << record.summary.cycles << "\n";
+    out << "insts " << record.summary.insts << "\n";
+    out << "loadDelayCycles " << record.summary.loadDelayCycles << "\n";
+    out << "execDelayCycles " << record.summary.execDelayCycles << "\n";
+    out << "mispredicts " << record.summary.mispredicts << "\n";
+    for (const auto& [name, value] : record.stats)
+      out << "stat " << name << " " << value << "\n";
+    if (!out.good()) {
+      out.close();
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(opts_.dir, ec))
+    if (entry.path().extension() == ".result") fs::remove(entry.path(), ec);
+}
+
+} // namespace lev::runner

@@ -1,0 +1,67 @@
+// Content-addressed on-disk cache of finished simulation results.
+//
+// A result is keyed by FNV-1a over the job's canonical describe() line
+// chained with a code-version salt; bumping kCodeVersionSalt (any change
+// that can alter simulation outcomes) invalidates every stored entry at
+// once. Each entry is one small text file under the cache directory,
+// written to a temp name and renamed into place so concurrent writers and
+// readers never observe a torn entry. The full key line is stored inside
+// the entry and re-checked on lookup, so a hash collision degrades to a
+// miss, never to a wrong result.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "runner/job.hpp"
+
+namespace lev::runner {
+
+/// Bump whenever simulator/compiler behaviour changes in a way that can
+/// alter cached results.
+inline constexpr const char* kCodeVersionSalt = "levioso-runner-v1";
+
+class ResultCache {
+public:
+  struct Options {
+    std::string dir = ".levioso-cache"; ///< created on first store
+    std::string salt = kCodeVersionSalt;
+  };
+
+  ResultCache();
+  explicit ResultCache(Options opts);
+
+  /// Cache key for a canonical job description under this cache's salt.
+  std::uint64_t keyOf(const std::string& jobDescription) const;
+
+  /// Fetch a stored result; nullopt on miss, salt mismatch, or a corrupt /
+  /// colliding entry. Thread-safe.
+  std::optional<RunRecord> lookup(const std::string& jobDescription);
+
+  /// Persist a result. Failures to write (read-only dir, disk full) are
+  /// swallowed: the cache is an accelerator, never a correctness input.
+  /// Thread-safe.
+  void store(const std::string& jobDescription, const RunRecord& record);
+
+  /// Delete every entry in the cache directory.
+  void clear();
+
+  const std::string& dir() const { return opts_.dir; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+private:
+  std::string pathOf(std::uint64_t key) const;
+
+  Options opts_;
+  mutable std::mutex mutex_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Cache directory honoring the LEVIOSO_CACHE_DIR environment override.
+std::string defaultCacheDir();
+
+} // namespace lev::runner

@@ -1,0 +1,211 @@
+#include "runner/sweep.hpp"
+
+#include <exception>
+#include <map>
+#include <memory>
+
+#include "backend/compiler.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "workloads/kernels.hpp"
+
+namespace lev::runner {
+
+namespace {
+
+RunRecord simulate(const isa::Program& prog, const JobSpec& spec) {
+  sim::Simulation s(prog, spec.cfg, spec.policy);
+  if (s.run(spec.maxCycles) != uarch::RunExit::Halted)
+    throw SimError(spec.kernel + " under policy '" + spec.policy +
+                   "' hit the cycle limit");
+  RunRecord rec;
+  rec.summary.policy = spec.policy;
+  rec.summary.cycles = s.core().cycle();
+  rec.summary.insts = s.core().committedInsts();
+  rec.summary.ipc = rec.summary.cycles == 0
+                        ? 0.0
+                        : static_cast<double>(rec.summary.insts) /
+                              static_cast<double>(rec.summary.cycles);
+  rec.summary.loadDelayCycles = s.stats().get("policy.loadDelayCycles");
+  rec.summary.execDelayCycles = s.stats().get("policy.execDelayCycles");
+  rec.summary.mispredicts = s.stats().get("bp.mispredicts");
+  rec.stats = s.stats().all();
+  return rec;
+}
+
+backend::CompileResult compileSpec(const JobSpec& spec) {
+  ir::Module mod = workloads::buildKernel(spec.kernel, spec.scale);
+  backend::CompileOptions opts;
+  opts.annotationBudget = spec.budget;
+  opts.depOptions.propagateThroughMemory = spec.memoryProp;
+  return backend::compile(mod, opts);
+}
+
+} // namespace
+
+Sweep::Sweep() : Sweep(Options()) {}
+
+Sweep::Sweep(Options opts) : opts_(opts), pool_(opts.jobs) {}
+
+std::size_t Sweep::add(JobSpec spec) {
+  descriptions_.push_back(describe(spec));
+  specs_.push_back(std::move(spec));
+  ++counters_.points;
+  return specs_.size() - 1;
+}
+
+const std::vector<RunRecord>& Sweep::run() {
+  // 1. Dedup the not-yet-executed tail against everything seen so far.
+  std::map<std::string, std::size_t> slotOf; // description -> unique slot
+  std::vector<std::size_t> slotSpec;         // unique slot -> a specs_ index
+  uniqueIndex_.resize(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const auto [it, inserted] =
+        slotOf.emplace(descriptions_[i], slotSpec.size());
+    if (inserted) slotSpec.push_back(i);
+    uniqueIndex_[i] = it->second;
+  }
+  const std::size_t nUnique = slotSpec.size();
+
+  std::vector<RunRecord> uniqueRecords(nUnique);
+  std::vector<char> done(nUnique, 0);
+  // Results of a previous run() stay valid: reuse, never resimulate.
+  for (std::size_t i = 0; i < executedPoints_; ++i)
+    if (!done[uniqueIndex_[i]]) {
+      uniqueRecords[uniqueIndex_[i]] = results_[i];
+      done[uniqueIndex_[i]] = 1;
+    }
+  std::size_t newUnique = 0;
+  for (std::size_t slot = 0; slot < nUnique; ++slot)
+    if (!done[slot]) ++newUnique;
+  counters_.unique += newUnique;
+
+  // 2. Serve what we can from the on-disk cache.
+  for (std::size_t slot = 0; slot < nUnique; ++slot) {
+    if (done[slot] || !opts_.cache) continue;
+    if (auto hit = opts_.cache->lookup(descriptions_[slotSpec[slot]])) {
+      hit->summary.policy = specs_[slotSpec[slot]].policy;
+      uniqueRecords[slot] = std::move(*hit);
+      done[slot] = 1;
+      ++counters_.cacheHits;
+    }
+  }
+
+  // 3. Compile each distinct program still needed, concurrently.
+  struct Compiled {
+    std::shared_ptr<const backend::CompileResult> result;
+    std::exception_ptr error;
+  };
+  std::map<std::string, Compiled> programs; // compile key -> program
+  for (std::size_t slot = 0; slot < nUnique; ++slot)
+    if (!done[slot]) programs.try_emplace(describeCompile(specs_[slotSpec[slot]]));
+  {
+    std::vector<std::future<void>> futures;
+    for (auto& [ckey, compiled] : programs) {
+      const JobSpec* spec = nullptr;
+      for (std::size_t slot = 0; slot < nUnique && !spec; ++slot)
+        if (!done[slot] && describeCompile(specs_[slotSpec[slot]]) == ckey)
+          spec = &specs_[slotSpec[slot]];
+      Compiled* out = &compiled;
+      futures.push_back(pool_.submit([spec, out] {
+        try {
+          out->result = std::make_shared<const backend::CompileResult>(
+              compileSpec(*spec));
+        } catch (...) {
+          out->error = std::current_exception();
+        }
+      }));
+      ++counters_.compiles;
+    }
+    ThreadPool::waitAll(futures);
+  }
+
+  // 4. Simulate the remaining unique points concurrently.
+  std::vector<std::exception_ptr> errors(nUnique);
+  {
+    std::vector<std::future<void>> futures;
+    for (std::size_t slot = 0; slot < nUnique; ++slot) {
+      if (done[slot]) continue;
+      const JobSpec& spec = specs_[slotSpec[slot]];
+      const Compiled& compiled = programs.at(describeCompile(spec));
+      RunRecord* out = &uniqueRecords[slot];
+      std::exception_ptr* err = &errors[slot];
+      const std::string* desc = &descriptions_[slotSpec[slot]];
+      ResultCache* cache = opts_.cache;
+      futures.push_back(pool_.submit([&spec, &compiled, out, err, desc,
+                                      cache] {
+        try {
+          if (compiled.error) std::rethrow_exception(compiled.error);
+          *out = simulate(compiled.result->program, spec);
+          if (cache) cache->store(*desc, *out);
+        } catch (...) {
+          *err = std::current_exception();
+        }
+      }));
+      ++counters_.simulated;
+    }
+    ThreadPool::waitAll(futures);
+  }
+
+  // 5. Surface the first failure (submission order) after everything ran.
+  for (std::size_t slot = 0; slot < nUnique; ++slot)
+    if (errors[slot]) std::rethrow_exception(errors[slot]);
+
+  results_.resize(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i)
+    results_[i] = uniqueRecords[uniqueIndex_[i]];
+  executedPoints_ = specs_.size();
+  return results_;
+}
+
+void Sweep::writeJson(std::ostream& os, bool includeStats) const {
+  JsonWriter w(os);
+  w.beginObject();
+  w.field("version", 1);
+  w.field("threads", pool_.size());
+  w.key("counters").beginObject();
+  w.field("points", counters_.points);
+  w.field("unique", counters_.unique);
+  w.field("cacheHits", counters_.cacheHits);
+  w.field("compiles", counters_.compiles);
+  w.field("simulated", counters_.simulated);
+  w.endObject();
+  w.key("results").beginArray();
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const JobSpec& spec = specs_[i];
+    const RunRecord& rec = results_[i];
+    w.beginObject();
+    w.field("kernel", spec.kernel);
+    w.field("scale", spec.scale);
+    w.field("policy", spec.policy);
+    w.field("budget", spec.budget);
+    w.field("memoryProp", spec.memoryProp);
+    w.key("config").beginObject();
+    w.field("robSize", spec.cfg.robSize);
+    w.field("issueWidth", spec.cfg.issueWidth);
+    w.field("memLatency", spec.cfg.mem.memLatency);
+    w.field("predictor",
+            spec.cfg.bp.kind == uarch::PredictorKind::Tage ? "tage" : "gshare");
+    w.field("prefetch", spec.cfg.prefetch.enabled);
+    w.endObject();
+    w.field("key", hashHex(fnv1a(descriptions_[i])));
+    w.field("fromCache", rec.fromCache);
+    w.field("cycles", rec.summary.cycles);
+    w.field("insts", rec.summary.insts);
+    w.field("ipc", rec.summary.ipc);
+    w.field("loadDelayCycles", rec.summary.loadDelayCycles);
+    w.field("execDelayCycles", rec.summary.execDelayCycles);
+    w.field("mispredicts", rec.summary.mispredicts);
+    if (includeStats) {
+      w.key("stats").beginObject();
+      for (const auto& [name, value] : rec.stats) w.field(name, value);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  os << "\n";
+}
+
+} // namespace lev::runner

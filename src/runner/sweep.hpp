@@ -1,0 +1,76 @@
+// The experiment layer: a Sweep is an ordered list of JobSpec grid points
+// that is deduplicated, cache-filtered, compiled and simulated in parallel
+// on a work-stealing ThreadPool, with the results handed back
+// deterministically in submission order.
+//
+// Execution pipeline (run()):
+//   1. dedup      identical describe() lines share one slot
+//   2. cache      unique points are looked up in the ResultCache (if any)
+//   3. compile    each distinct {kernel, scale, budget, memProp} still
+//                 needed is compiled once, concurrently
+//   4. simulate   remaining points run concurrently; each Simulation is
+//                 self-contained and shares only the read-only Program
+//   5. collect    per-job exceptions are captured and the first failure
+//                 (in submission order) is rethrown after all jobs finish
+//
+// Simulations are cycle-deterministic, so a parallel run is bit-identical
+// to a serial one (asserted by tests/runner_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runner/job.hpp"
+#include "runner/resultcache.hpp"
+#include "runner/threadpool.hpp"
+
+namespace lev::runner {
+
+class Sweep {
+public:
+  struct Options {
+    int jobs = 0;               ///< worker threads; 0 = auto (env/hardware)
+    ResultCache* cache = nullptr; ///< optional, not owned
+  };
+
+  Sweep();
+  explicit Sweep(Options opts);
+
+  /// Append a grid point; returns its submission index.
+  std::size_t add(JobSpec spec);
+
+  /// Execute everything still pending; returns one record per add(), in
+  /// submission order. Callable repeatedly (later add()s re-run).
+  const std::vector<RunRecord>& run();
+
+  const std::vector<JobSpec>& specs() const { return specs_; }
+  const std::vector<RunRecord>& results() const { return results_; }
+
+  struct Counters {
+    std::size_t points = 0;    ///< add() calls
+    std::size_t unique = 0;    ///< distinct points after dedup
+    std::size_t cacheHits = 0; ///< unique points served from the cache
+    std::size_t compiles = 0;  ///< kernel compilations performed
+    std::size_t simulated = 0; ///< simulations actually executed
+  };
+  const Counters& counters() const { return counters_; }
+  int threadCount() const { return pool_.size(); }
+
+  /// Emit the machine-readable report (schema: docs/RUNNER.md). With
+  /// `includeStats`, every result carries its full counter dump.
+  void writeJson(std::ostream& os, bool includeStats = false) const;
+
+private:
+  Options opts_;
+  ThreadPool pool_;
+  std::vector<JobSpec> specs_;
+  std::vector<std::string> descriptions_;    ///< parallel to specs_
+  std::vector<std::size_t> uniqueIndex_;     ///< specs_ index -> unique slot
+  std::vector<RunRecord> results_;           ///< parallel to specs_
+  Counters counters_;
+  std::size_t executedPoints_ = 0; ///< specs_ prefix already run()
+};
+
+} // namespace lev::runner

@@ -1,0 +1,114 @@
+#include "runner/threadpool.hpp"
+
+#include <cstdlib>
+
+namespace lev::runner {
+
+namespace {
+/// Index of the worker the current thread runs as, -1 off-pool. Lets nested
+/// submits target the submitting worker's own deque.
+thread_local int tlsWorkerIndex = -1;
+thread_local ThreadPool* tlsPool = nullptr;
+} // namespace
+
+int resolveJobs(int n) {
+  if (n > 0) return n;
+  if (const char* env = std::getenv("LEVIOSO_JOBS")) {
+    const int fromEnv = std::atoi(env);
+    if (fromEnv > 0) return fromEnv;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = resolveJobs(threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleepMutex_);
+    stop_ = true;
+  }
+  sleepCv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::post(std::packaged_task<void()> task) {
+  std::size_t target;
+  if (tlsPool == this && tlsWorkerIndex >= 0) {
+    target = static_cast<std::size_t>(tlsWorkerIndex);
+  } else {
+    std::lock_guard<std::mutex> lock(sleepMutex_);
+    target = nextWorker_++ % workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->deque.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleepMutex_);
+    ++pending_;
+  }
+  sleepCv_.notify_one();
+}
+
+bool ThreadPool::popOwn(int index, std::packaged_task<void()>& out) {
+  Worker& w = *workers_[static_cast<std::size_t>(index)];
+  std::lock_guard<std::mutex> lock(w.mutex);
+  if (w.deque.empty()) return false;
+  out = std::move(w.deque.back()); // LIFO on own deque
+  w.deque.pop_back();
+  return true;
+}
+
+bool ThreadPool::steal(int thief, std::packaged_task<void()>& out) {
+  const std::size_t n = workers_.size();
+  for (std::size_t off = 1; off < n; ++off) {
+    Worker& w = *workers_[(static_cast<std::size_t>(thief) + off) % n];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (w.deque.empty()) continue;
+    out = std::move(w.deque.front()); // FIFO when stealing
+    w.deque.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(int index) {
+  tlsWorkerIndex = index;
+  tlsPool = this;
+  for (;;) {
+    std::packaged_task<void()> task;
+    if (popOwn(index, task) || steal(index, task)) {
+      {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        --pending_;
+      }
+      task(); // exceptions land in the task's future
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleepMutex_);
+    sleepCv_.wait(lock, [this] { return stop_ || pending_ > 0; });
+    if (stop_ && pending_ == 0) return;
+  }
+}
+
+void ThreadPool::waitAll(std::vector<std::future<void>>& futures) {
+  std::exception_ptr first;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+} // namespace lev::runner

@@ -1,0 +1,79 @@
+// A work-stealing thread pool for embarrassingly-parallel experiment jobs.
+//
+// Each worker owns a deque: it pushes/pops its own work LIFO (cache-warm)
+// and steals FIFO from siblings when empty. Tasks submitted from outside
+// the pool are distributed round-robin; tasks submitted from inside a
+// worker (nested parallelism, e.g. a sweep job spawning compiles) go to
+// that worker's own deque so they run before stolen work.
+//
+// Every submit() returns a std::future, so exceptions thrown by a job are
+// captured per job and rethrown at the waiter — one failing simulation
+// never takes down the pool or the other jobs.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lev::runner {
+
+/// Resolve a --jobs style request: n > 0 is taken as-is; n <= 0 falls back
+/// to the LEVIOSO_JOBS environment variable, then to the hardware thread
+/// count (never less than 1).
+int resolveJobs(int n);
+
+class ThreadPool {
+public:
+  /// Spawn `threads` workers (resolved via resolveJobs, so 0 = auto).
+  explicit ThreadPool(int threads = 0);
+
+  /// Joins all workers; pending tasks are finished first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task; the future carries its result or exception.
+  template <class F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    std::packaged_task<R()> task(std::forward<F>(fn));
+    std::future<R> fut = task.get_future();
+    post(std::packaged_task<void()>(std::move(task)));
+    return fut;
+  }
+
+  /// Block until `futures` are all done, then rethrow the FIRST failure in
+  /// submission order (all jobs run to completion either way).
+  static void waitAll(std::vector<std::future<void>>& futures);
+
+private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::packaged_task<void()>> deque;
+  };
+
+  void post(std::packaged_task<void()> task);
+  void workerLoop(int index);
+  bool popOwn(int index, std::packaged_task<void()>& out);
+  bool steal(int thief, std::packaged_task<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Sleep/wake machinery: pending_ counts queued-but-unstarted tasks.
+  std::mutex sleepMutex_;
+  std::condition_variable sleepCv_;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::size_t nextWorker_ = 0; ///< round-robin target for external submits
+};
+
+} // namespace lev::runner

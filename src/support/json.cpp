@@ -1,0 +1,136 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lev::runner {
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {}
+
+void JsonWriter::newline(int depth) {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (int i = 0; i < depth * indent_; ++i) os_ << ' ';
+}
+
+void JsonWriter::beforeValue() {
+  if (afterKey_) {
+    afterKey_ = false;
+    return;
+  }
+  if (stack_.empty()) return; // top-level value
+  if (!firstInScope_) os_ << ',';
+  newline(static_cast<int>(stack_.size()));
+  firstInScope_ = false;
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  os_ << '{';
+  stack_.push_back(Scope::Object);
+  firstInScope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  stack_.pop_back();
+  if (!firstInScope_) newline(static_cast<int>(stack_.size()));
+  os_ << '}';
+  firstInScope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  os_ << '[';
+  stack_.push_back(Scope::Array);
+  firstInScope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  stack_.pop_back();
+  if (!firstInScope_) newline(static_cast<int>(stack_.size()));
+  os_ << ']';
+  firstInScope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (!firstInScope_) os_ << ',';
+  newline(static_cast<int>(stack_.size()));
+  firstInScope_ = false;
+  os_ << '"' << escape(k) << '"' << ':';
+  if (indent_ > 0) os_ << ' ';
+  afterKey_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  beforeValue();
+  os_ << '"' << escape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  beforeValue();
+  os_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  beforeValue();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  beforeValue();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  beforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os_ << buf;
+  // "1e+06" and "1.5" are valid JSON; bare "1" is too.
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  beforeValue();
+  os_ << "null";
+  return *this;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\b': out += "\\b"; break;
+    case '\f': out += "\\f"; break;
+    case '\n': out += "\\n"; break;
+    case '\r': out += "\\r"; break;
+    case '\t': out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+  }
+  return out;
+}
+
+} // namespace lev::runner

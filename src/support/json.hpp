@@ -1,0 +1,59 @@
+// A small streaming JSON emitter for the experiment runner's machine-
+// readable reports (docs/RUNNER.md). Handles quoting/escaping, comma
+// placement and indentation; the caller supplies structure with
+// begin/end calls. No DOM, no allocation per value.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lev::runner {
+
+class JsonWriter {
+public:
+  /// `indent` spaces per nesting level; 0 = compact single-line output.
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Object member key; must be followed by exactly one value or begin*().
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  /// Non-finite doubles are emitted as null (JSON has no inf/nan).
+  JsonWriter& value(double v);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <class T> JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// JSON string-escape `s` (quotes not included).
+  static std::string escape(std::string_view s);
+
+private:
+  enum class Scope { Object, Array };
+  void beforeValue(); ///< comma/newline/indent bookkeeping
+  void newline(int depth);
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Scope> stack_;
+  bool firstInScope_ = true;
+  bool afterKey_ = false;
+};
+
+} // namespace lev::runner

@@ -1,0 +1,523 @@
+// Tests for the parallel experiment runner (src/runner/): thread-pool
+// ordering and exception propagation, sweep dedup, result-cache
+// hit/miss/invalidation, JSON escaping, report round-tripping through a
+// real JSON parser, and parallel-vs-serial determinism.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "runner/resultcache.hpp"
+#include "runner/sweep.hpp"
+#include "runner/threadpool.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace fs = std::filesystem;
+using namespace lev;
+using namespace lev::runner;
+
+namespace {
+
+// ---- a minimal JSON parser: the report schema's consumer stand-in ------
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind =
+      Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> members;
+
+  const JsonValue& at(const std::string& key) const {
+    const auto it = members.find(key);
+    if (it == members.end()) throw std::runtime_error("no key " + key);
+    return it->second;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parseValue();
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("json parse error at " + std::to_string(pos_) +
+                             ": " + why);
+  }
+  void skipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\r' || text_[pos_] == '\t'))
+      ++pos_;
+  }
+  char peek() {
+    skipWs();
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(std::string_view word) {
+    skipWs();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parseValue() {
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') return parseObject();
+    if (c == '[') return parseArray();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::String;
+      v.str = parseString();
+      return v;
+    }
+    if (consume("true")) {
+      v.kind = JsonValue::Kind::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume("false")) {
+      v.kind = JsonValue::Kind::Bool;
+      return v;
+    }
+    if (consume("null")) return v;
+    return parseNumber();
+  }
+
+  JsonValue parseObject() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      const std::string key = parseString();
+      expect(':');
+      v.members.emplace(key, parseValue());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parseArray() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(parseValue());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("bad escape");
+      const char e = text_[pos_++];
+      switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (pos_ + 4 > text_.size()) fail("bad \\u");
+        const unsigned code = static_cast<unsigned>(
+            std::strtoul(std::string(text_.substr(pos_, 4)).c_str(), nullptr,
+                         16));
+        pos_ += 4;
+        if (code > 0xff) fail("non-latin \\u unsupported in tests");
+        out += static_cast<char>(code);
+        break;
+      }
+      default: fail("unknown escape");
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  JsonValue parseNumber() {
+    skipWs();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string freshDir(const std::string& tag) {
+  const std::string dir =
+      testing::TempDir() + "levioso-runner-" + tag + "-" +
+      std::to_string(::getpid());
+  fs::remove_all(dir);
+  return dir;
+}
+
+JobSpec smallJob(const std::string& policy,
+                 const std::string& kernel = "x264_sad") {
+  JobSpec spec;
+  spec.kernel = kernel;
+  spec.policy = policy;
+  return spec;
+}
+
+} // namespace
+
+// ---- ThreadPool --------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTaskAndKeepsFutureOrder) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<int> results(64, 0);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i)
+    futures.push_back(pool.submit([&results, i] { results[static_cast<std::size_t>(i)] = i * i; }));
+  ThreadPool::waitAll(futures);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], i * i) << i;
+}
+
+TEST(ThreadPool, PropagatesExceptionsPerJob) {
+  ThreadPool pool(2);
+  std::future<int> ok = pool.submit([] { return 7; });
+  std::future<int> bad =
+      pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  std::future<int> alsoOk = pool.submit([] { return 9; });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(alsoOk.get(), 9); // one failure never poisons its siblings
+}
+
+TEST(ThreadPool, WaitAllRethrowsFirstFailureInSubmissionOrder) {
+  ThreadPool pool(3);
+  std::vector<std::future<void>> futures;
+  std::atomic<int> ran{0};
+  futures.push_back(pool.submit([&ran] { ++ran; }));
+  futures.push_back(pool.submit([] { throw std::invalid_argument("first"); }));
+  futures.push_back(pool.submit([] { throw std::out_of_range("second"); }));
+  futures.push_back(pool.submit([&ran] { ++ran; }));
+  try {
+    ThreadPool::waitAll(futures);
+    FAIL() << "expected a rethrow";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerStillRuns) {
+  ThreadPool pool(1); // the hard case: only one worker to go around
+  std::promise<int> result;
+  std::future<int> fut = result.get_future();
+  pool.submit([&pool, &result] {
+     // Fire-and-forget from inside a worker; must not be lost. (A worker
+     // must never BLOCK on nested work — that would starve a small pool —
+     // which is why Sweep runs its compile and simulate phases separately.)
+    (void)pool.submit([&result] { result.set_value(42); });
+  });
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ResolveJobsPrefersExplicitThenEnvThenHardware) {
+  EXPECT_EQ(resolveJobs(3), 3);
+  ::setenv("LEVIOSO_JOBS", "5", 1);
+  EXPECT_EQ(resolveJobs(0), 5);
+  ::unsetenv("LEVIOSO_JOBS");
+  EXPECT_GE(resolveJobs(0), 1);
+}
+
+// ---- JsonWriter --------------------------------------------------------
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, RoundTripsThroughAParser) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.beginObject();
+  w.field("name", "quo\"te\n");
+  w.field("count", 42);
+  w.field("negative", std::int64_t{-7});
+  w.field("ratio", 0.25);
+  w.field("flag", true);
+  w.key("list").beginArray().value(1).value(2).value(3).endArray();
+  w.key("nested").beginObject().field("empty", false).endObject();
+  w.endObject();
+
+  const JsonValue v = JsonParser(os.str()).parse();
+  EXPECT_EQ(v.at("name").str, "quo\"te\n");
+  EXPECT_EQ(v.at("count").number, 42);
+  EXPECT_EQ(v.at("negative").number, -7);
+  EXPECT_EQ(v.at("ratio").number, 0.25);
+  EXPECT_TRUE(v.at("flag").boolean);
+  ASSERT_EQ(v.at("list").items.size(), 3u);
+  EXPECT_EQ(v.at("list").items[2].number, 3);
+  EXPECT_FALSE(v.at("nested").at("empty").boolean);
+}
+
+// ---- job descriptions --------------------------------------------------
+
+TEST(JobSpec, DescribeCoversConfigFields) {
+  JobSpec a = smallJob("levioso");
+  JobSpec b = a;
+  EXPECT_EQ(describe(a), describe(b));
+  b.cfg.mem.memLatency = 400;
+  EXPECT_NE(describe(a), describe(b));
+  b = a;
+  b.cfg.bp.kind = uarch::PredictorKind::Tage;
+  EXPECT_NE(describe(a), describe(b));
+  b = a;
+  b.budget = 8;
+  EXPECT_NE(describe(a), describe(b));
+  EXPECT_NE(describeCompile(a), describeCompile(b));
+}
+
+TEST(JobSpec, Fnv1aMatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+// ---- Sweep + ResultCache ----------------------------------------------
+
+TEST(Sweep, DeduplicatesIdenticalPointsAndKeepsOrder) {
+  Sweep::Options opts;
+  opts.jobs = 2;
+  Sweep sweep(opts);
+  sweep.add(smallJob("unsafe"));
+  sweep.add(smallJob("levioso-lite"));
+  sweep.add(smallJob("unsafe")); // duplicate of point 0
+  const std::vector<RunRecord>& records = sweep.run();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(sweep.counters().points, 3u);
+  EXPECT_EQ(sweep.counters().unique, 2u);
+  EXPECT_EQ(sweep.counters().simulated, 2u);
+  EXPECT_EQ(sweep.counters().compiles, 1u); // same kernel/budget either way
+  EXPECT_EQ(records[0].summary.cycles, records[2].summary.cycles);
+  EXPECT_EQ(records[0].summary.policy, "unsafe");
+  EXPECT_EQ(records[1].summary.policy, "levioso-lite");
+  EXPECT_GT(records[0].summary.cycles, 0u);
+}
+
+TEST(Sweep, FailedJobSurfacesAfterAllJobsFinish) {
+  Sweep::Options opts;
+  opts.jobs = 2;
+  Sweep sweep(opts);
+  sweep.add(smallJob("unsafe", "no_such_kernel"));
+  EXPECT_THROW(sweep.run(), Error);
+}
+
+TEST(ResultCache, HitMissAndSaltInvalidation) {
+  const std::string dir = freshDir("cache");
+  const JobSpec job = smallJob("unsafe");
+
+  {
+    ResultCache cache({dir, "salt-A"});
+    Sweep::Options opts;
+    opts.jobs = 2;
+    opts.cache = &cache;
+    Sweep sweep(opts);
+    sweep.add(job);
+    sweep.run();
+    EXPECT_EQ(sweep.counters().simulated, 1u);
+    EXPECT_EQ(sweep.counters().cacheHits, 0u);
+  }
+  std::uint64_t cachedCycles = 0;
+  {
+    // Same salt: served from disk, zero simulations, zero compiles.
+    ResultCache cache({dir, "salt-A"});
+    Sweep::Options opts;
+    opts.cache = &cache;
+    Sweep sweep(opts);
+    sweep.add(job);
+    const std::vector<RunRecord>& records = sweep.run();
+    EXPECT_EQ(sweep.counters().simulated, 0u);
+    EXPECT_EQ(sweep.counters().compiles, 0u);
+    EXPECT_EQ(sweep.counters().cacheHits, 1u);
+    EXPECT_TRUE(records[0].fromCache);
+    EXPECT_GT(records[0].summary.cycles, 0u);
+    EXPECT_EQ(records[0].summary.policy, "unsafe");
+    EXPECT_FALSE(records[0].stats.empty()); // full counter dump survives
+    cachedCycles = records[0].summary.cycles;
+  }
+  {
+    // Changed code-version salt: every entry is invalid, so it resimulates
+    // — and the fresh result matches the previously cached one.
+    ResultCache cache({dir, "salt-B"});
+    Sweep::Options opts;
+    opts.cache = &cache;
+    Sweep sweep(opts);
+    sweep.add(job);
+    const std::vector<RunRecord>& records = sweep.run();
+    EXPECT_EQ(sweep.counters().simulated, 1u);
+    EXPECT_EQ(sweep.counters().cacheHits, 0u);
+    EXPECT_FALSE(records[0].fromCache);
+    EXPECT_EQ(records[0].summary.cycles, cachedCycles);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ResultCache, CorruptEntryDegradesToMiss) {
+  const std::string dir = freshDir("corrupt");
+  ResultCache cache({dir, "salt"});
+  RunRecord rec;
+  rec.summary.cycles = 123;
+  rec.summary.insts = 456;
+  cache.store("some job", rec);
+  ASSERT_TRUE(cache.lookup("some job").has_value());
+
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ofstream out(entry.path());
+    out << "garbage\n";
+  }
+  EXPECT_FALSE(cache.lookup("some job").has_value());
+  // A colliding key (different description, same file) must also miss.
+  EXPECT_FALSE(cache.lookup("another job").has_value());
+  fs::remove_all(dir);
+}
+
+TEST(Sweep, ParallelRunIsBitIdenticalToSerial) {
+  std::vector<JobSpec> grid;
+  grid.push_back(smallJob("unsafe"));
+  grid.push_back(smallJob("levioso"));
+  JobSpec narrow = smallJob("unsafe");
+  narrow.cfg.robSize = 64;
+  grid.push_back(narrow);
+
+  auto runWith = [&grid](int jobs) {
+    Sweep::Options opts;
+    opts.jobs = jobs;
+    Sweep sweep(opts);
+    for (const JobSpec& spec : grid) sweep.add(spec);
+    return sweep.run();
+  };
+  const std::vector<RunRecord> serial = runWith(1);
+  const std::vector<RunRecord> parallel = runWith(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].summary.cycles, parallel[i].summary.cycles) << i;
+    EXPECT_EQ(serial[i].summary.insts, parallel[i].summary.insts) << i;
+    EXPECT_EQ(serial[i].summary.loadDelayCycles,
+              parallel[i].summary.loadDelayCycles)
+        << i;
+    EXPECT_EQ(serial[i].stats, parallel[i].stats) << i; // every counter
+  }
+}
+
+// ---- the JSON report ---------------------------------------------------
+
+TEST(Report, SweepReportParsesBackWithTheExpectedSchema) {
+  Sweep::Options opts;
+  opts.jobs = 2;
+  Sweep sweep(opts);
+  sweep.add(smallJob("unsafe"));
+  sweep.add(smallJob("levioso-lite"));
+  sweep.run();
+  std::ostringstream os;
+  sweep.writeJson(os, /*includeStats=*/true);
+
+  const JsonValue report = JsonParser(os.str()).parse();
+  EXPECT_EQ(report.at("version").number, 1);
+  EXPECT_EQ(report.at("threads").number, 2);
+  EXPECT_EQ(report.at("counters").at("points").number, 2);
+  EXPECT_EQ(report.at("counters").at("simulated").number, 2);
+  EXPECT_EQ(report.at("counters").at("cacheHits").number, 0);
+  ASSERT_EQ(report.at("results").items.size(), 2u);
+  const JsonValue& first = report.at("results").items[0];
+  EXPECT_EQ(first.at("kernel").str, "x264_sad");
+  EXPECT_EQ(first.at("policy").str, "unsafe");
+  EXPECT_FALSE(first.at("fromCache").boolean);
+  EXPECT_GT(first.at("cycles").number, 0);
+  EXPECT_GT(first.at("ipc").number, 0);
+  EXPECT_EQ(first.at("config").at("robSize").number, 192);
+  EXPECT_EQ(first.at("key").str.size(), 16u);
+  EXPECT_GT(first.at("stats").members.size(), 0u);
+}
+
+TEST(Report, LeviosoBatchToolEmitsParseableJson) {
+  // The levioso-batch acceptance path: run the actual CLI (built next to
+  // this test) and parse its --json output back.
+  const std::string tool = "../tools/levioso-batch";
+  if (!fs::exists(tool)) GTEST_SKIP() << "tool binary not found";
+  const std::string out = freshDir("batch") + ".json";
+  const std::string cacheDir = freshDir("batch-cache");
+  const std::string cmd = tool +
+                          " --kernels x264_sad --policies unsafe,levioso-lite"
+                          " --jobs 4 --cache-dir " +
+                          cacheDir + " --json " + out + " > /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  std::ifstream in(out);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const JsonValue report = JsonParser(ss.str()).parse();
+  EXPECT_EQ(report.at("counters").at("points").number, 2);
+  ASSERT_EQ(report.at("results").items.size(), 2u);
+  EXPECT_EQ(report.at("results").items[1].at("policy").str, "levioso-lite");
+  EXPECT_GT(report.at("results").items[1].at("cycles").number, 0);
+  fs::remove(out);
+  fs::remove_all(cacheDir);
+}

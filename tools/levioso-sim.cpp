@@ -4,7 +4,11 @@
 //   levioso-sim --kernel mcf_chase --policy levioso
 //   levioso-sim file.asm --policy spt          (assembly with !deps hints)
 //   levioso-sim file.ir --policy dom --budget 2
-//   options: --rob N --width N --dram N --golden --dump-stats
+//   levioso-sim --kernel mcf_chase --policy unsafe,spt,levioso --jobs 4
+//   options: --rob N --width N --dram N --jobs N --golden --dump-stats
+//
+// A comma-separated --policy list on a --kernel run fans the policies out
+// as one concurrent sweep on the runner subsystem.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -12,6 +16,7 @@
 #include "backend/compiler.hpp"
 #include "ir/parser.hpp"
 #include "isa/asmparser.hpp"
+#include "runner/sweep.hpp"
 #include "sim/simulation.hpp"
 #include "support/strings.hpp"
 #include "uarch/funcsim.hpp"
@@ -24,24 +29,37 @@ namespace {
 [[noreturn]] void usage() {
   std::cerr
       << "usage: levioso-sim (<file.ir>|<file.asm>|--kernel <name>) "
-         "[--policy P] [--budget K] [--rob N] [--width N] [--dram N] "
-         "[--golden] [--dump-stats]\n";
+         "[--policy P[,Q,..]] [--budget K] [--rob N] [--width N] [--dram N] "
+         "[--jobs N] [--golden] [--dump-stats]\n";
   std::exit(2);
+}
+
+void printSummary(const std::string& policy, std::uint64_t cycles,
+                  std::uint64_t insts) {
+  std::cout << "policy " << policy << ": " << cycles << " cycles, " << insts
+            << " instructions, IPC "
+            << fmtF(static_cast<double>(insts) / static_cast<double>(cycles),
+                    3)
+            << "\n";
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-  std::string file, kernel, policy = "unsafe";
-  int budget = 4, rob = 0, width = 0, dram = 0;
+  std::string file, kernel;
+  std::vector<std::string> policies = {"unsafe"};
+  int budget = 4, rob = 0, width = 0, dram = 0, jobs = 0;
   bool golden = false, dumpStats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--kernel" && i + 1 < argc)
       kernel = argv[++i];
-    else if (a == "--policy" && i + 1 < argc)
-      policy = argv[++i];
-    else if (a == "--budget" && i + 1 < argc)
+    else if (a == "--policy" && i + 1 < argc) {
+      policies.clear();
+      for (auto part : split(argv[++i], ','))
+        policies.emplace_back(trim(part));
+      if (policies.empty()) usage();
+    } else if (a == "--budget" && i + 1 < argc)
       budget = std::atoi(argv[++i]);
     else if (a == "--rob" && i + 1 < argc)
       rob = std::atoi(argv[++i]);
@@ -49,6 +67,8 @@ int main(int argc, char** argv) {
       width = std::atoi(argv[++i]);
     else if (a == "--dram" && i + 1 < argc)
       dram = std::atoi(argv[++i]);
+    else if (a == "--jobs" && i + 1 < argc)
+      jobs = std::atoi(argv[++i]);
     else if (a == "--golden")
       golden = true;
     else if (a == "--dump-stats")
@@ -59,8 +79,42 @@ int main(int argc, char** argv) {
       usage();
   }
   if (file.empty() == kernel.empty()) usage();
+  if (policies.size() > 1 && kernel.empty()) {
+    std::cerr << "levioso-sim: a policy sweep needs --kernel\n";
+    return 2;
+  }
+  const std::string policy = policies.front();
 
   try {
+    if (policies.size() > 1) {
+      // Concurrent policy sweep over one kernel via the runner.
+      runner::Sweep::Options opts;
+      opts.jobs = jobs;
+      runner::Sweep sweep(opts);
+      for (const std::string& p : policies) {
+        runner::JobSpec spec;
+        spec.kernel = kernel;
+        spec.policy = p;
+        spec.budget = budget;
+        if (rob > 0) spec.cfg.robSize = rob;
+        if (width > 0)
+          spec.cfg.fetchWidth = spec.cfg.renameWidth = spec.cfg.issueWidth =
+              spec.cfg.commitWidth = width;
+        if (dram > 0) spec.cfg.mem.memLatency = dram;
+        spec.maxCycles = 10'000'000'000ull;
+        sweep.add(spec);
+      }
+      const std::vector<runner::RunRecord>& records = sweep.run();
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        printSummary(policies[i], records[i].summary.cycles,
+                     records[i].summary.insts);
+        if (dumpStats)
+          for (const auto& [name, value] : records[i].stats)
+            std::cout << "  " << name << " = " << value << "\n";
+      }
+      return 0;
+    }
+
     const bool isIrFile =
         file.size() > 3 && file.compare(file.size() - 3, 3, ".ir") == 0;
     isa::Program prog;
@@ -101,13 +155,7 @@ int main(int argc, char** argv) {
     sim::Simulation s(prog, cfg, policy);
     if (s.run(10'000'000'000ull) != uarch::RunExit::Halted)
       throw SimError("cycle limit reached");
-    std::cout << "policy " << policy << ": " << s.core().cycle()
-              << " cycles, " << s.core().committedInsts()
-              << " instructions, IPC "
-              << fmtF(static_cast<double>(s.core().committedInsts()) /
-                          static_cast<double>(s.core().cycle()),
-                      3)
-              << "\n";
+    printSummary(policy, s.core().cycle(), s.core().committedInsts());
     if (dumpStats) s.stats().print(std::cout, "  ");
     return 0;
   } catch (const Error& e) {
