@@ -1,8 +1,10 @@
 // Figure 4 (reconstruction): where the overhead comes from — per policy,
-// how many issue-slots were consumed re-trying delayed transmitters and how
-// many loads were served invisibly (DoM).
+// which restriction rule consumed the delay cycles, how many distinct
+// transmitters were actually held back, and for how long (from the
+// delay-per-transmitter histogram the core now records on every run).
 #include "bench_common.hpp"
 #include "support/strings.hpp"
+#include "trace/trace.hpp"
 
 using namespace lev;
 
@@ -20,29 +22,44 @@ int main(int argc, char** argv) {
   }
   const std::vector<runner::RunRecord> records = bench::runAll(args, specs);
 
-  Table t({"benchmark", "policy", "overhead", "load-delay cycles",
-           "exec-delay cycles", "invisible loads",
-           "delay cycles / committed inst"});
+  Table t({"benchmark", "policy", "overhead", "delay cycles", "top cause",
+           "delayed transmitters", "mean delay", "max delay",
+           "invisible loads"});
   std::size_t at = 0;
   for (const std::string& kernel : kernels) {
     const sim::RunSummary& base = records[at++].summary;
     for (const auto& policy : policies) {
       const runner::RunRecord& rec = records[at++];
       const auto& st = rec.stats;
-      auto get = [&st](const char* name) {
+      auto get = [&st](const std::string& name) {
         const auto it = st.find(name);
         return it == st.end() ? 0 : it->second;
       };
       const double over = sim::overhead(rec.summary.cycles, base.cycles);
-      const double perInst =
-          static_cast<double>(get("policy.loadDelayCycles") +
-                              get("policy.execDelayCycles")) /
-          static_cast<double>(rec.summary.insts);
-      t.addRow({kernel, policy, fmtPct(over),
-                std::to_string(get("policy.loadDelayCycles")),
-                std::to_string(get("policy.execDelayCycles")),
-                std::to_string(get("policy.invisibleLoads")),
-                fmtF(perInst, 2)});
+      const std::int64_t delayCycles =
+          get("policy.loadDelayCycles") + get("policy.execDelayCycles");
+      // Which restriction rule accounts for the most delay decisions.
+      std::string topCause = "-";
+      std::int64_t topCauseCycles = 0;
+      for (int c = 1; c < trace::kNumDelayCauses; ++c) {
+        const auto cause = static_cast<trace::DelayCause>(c);
+        const std::int64_t cycles = get("policy.delayCycles." +
+                                        std::string(delayCauseName(cause)));
+        if (cycles > topCauseCycles) {
+          topCauseCycles = cycles;
+          topCause = delayCauseName(cause);
+        }
+      }
+      const std::int64_t delayed = get("hist.delay.transmitter.count");
+      const std::int64_t delaySum = get("hist.delay.transmitter.sum");
+      const double meanDelay =
+          delayed == 0 ? 0.0
+                       : static_cast<double>(delaySum) /
+                             static_cast<double>(delayed);
+      t.addRow({kernel, policy, fmtPct(over), std::to_string(delayCycles),
+                topCause, std::to_string(delayed), fmtF(meanDelay, 1),
+                std::to_string(get("hist.delay.transmitter.max")),
+                std::to_string(get("policy.invisibleLoads"))});
     }
     t.addSeparator();
   }

@@ -204,6 +204,8 @@ public:
     return funcs_;
   }
 
+  /// The returned reference is into a by-value vector: it is invalidated by
+  /// the next addGlobal call. Fill the global before adding another.
   Global& addGlobal(std::string name, std::uint64_t size,
                     std::uint64_t align = 8);
   Global* findGlobal(const std::string& name);

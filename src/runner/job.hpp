@@ -35,6 +35,11 @@ struct RunRecord {
   sim::RunSummary summary;
   std::map<std::string, std::int64_t> stats;
   bool fromCache = false;
+  /// Wall-clock time the original simulation took (compile excluded).
+  /// Persisted in the cache entry and served back verbatim on hits, so a
+  /// warm-cache rerun reports bit-identical numbers. Kept OUT of `stats`
+  /// (it is scheduling metadata, not a simulation outcome).
+  std::int64_t wallMicros = 0;
 };
 
 /// Canonical one-line description of the *compilation* inputs of a job

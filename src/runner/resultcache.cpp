@@ -1,8 +1,15 @@
 #include "runner/resultcache.hpp"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 #include "support/strings.hpp"
 
@@ -11,7 +18,22 @@ namespace fs = std::filesystem;
 namespace lev::runner {
 
 namespace {
-constexpr const char* kMagic = "levioso-result v1";
+constexpr const char* kMagic = "levioso-result v2";
+
+/// Temp-file name unique across processes AND threads. The old suffix was a
+/// hash of the job description — deterministic, so two writers racing on the
+/// same entry (e.g. two batch processes sharing a cache dir) interleaved
+/// writes into ONE temp file and could rename a torn entry into place.
+std::string uniqueTmpSuffix() {
+  static std::atomic<std::uint64_t> counter{0};
+#ifdef _WIN32
+  const auto pid = static_cast<std::uint64_t>(_getpid());
+#else
+  const auto pid = static_cast<std::uint64_t>(::getpid());
+#endif
+  return ".tmp." + std::to_string(pid) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
 } // namespace
 
 std::string defaultCacheDir() {
@@ -72,6 +94,8 @@ std::optional<RunRecord> ResultCache::lookup(
       rec.summary.execDelayCycles = value;
     } else if (field == "mispredicts") {
       rec.summary.mispredicts = value;
+    } else if (field == "wallMicros") {
+      rec.wallMicros = value;
     }
   }
   if (!sawCycles || rec.summary.cycles == 0) {
@@ -91,7 +115,7 @@ void ResultCache::store(const std::string& jobDescription,
   fs::create_directories(opts_.dir, ec);
   if (ec) return;
   const std::string path = pathOf(keyOf(jobDescription));
-  const std::string tmp = path + ".tmp" + hashHex(fnv1a(jobDescription));
+  const std::string tmp = path + uniqueTmpSuffix();
   {
     std::ofstream out(tmp);
     if (!out) return;
@@ -102,6 +126,7 @@ void ResultCache::store(const std::string& jobDescription,
     out << "loadDelayCycles " << record.summary.loadDelayCycles << "\n";
     out << "execDelayCycles " << record.summary.execDelayCycles << "\n";
     out << "mispredicts " << record.summary.mispredicts << "\n";
+    out << "wallMicros " << record.wallMicros << "\n";
     for (const auto& [name, value] : record.stats)
       out << "stat " << name << " " << value << "\n";
     if (!out.good()) {

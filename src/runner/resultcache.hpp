@@ -21,7 +21,7 @@ namespace lev::runner {
 
 /// Bump whenever simulator/compiler behaviour changes in a way that can
 /// alter cached results.
-inline constexpr const char* kCodeVersionSalt = "levioso-runner-v1";
+inline constexpr const char* kCodeVersionSalt = "levioso-runner-v2";
 
 class ResultCache {
 public:

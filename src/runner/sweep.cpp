@@ -1,5 +1,6 @@
 #include "runner/sweep.hpp"
 
+#include <chrono>
 #include <exception>
 #include <map>
 #include <memory>
@@ -14,11 +15,15 @@ namespace lev::runner {
 namespace {
 
 RunRecord simulate(const isa::Program& prog, const JobSpec& spec) {
+  const auto t0 = std::chrono::steady_clock::now();
   sim::Simulation s(prog, spec.cfg, spec.policy);
   if (s.run(spec.maxCycles) != uarch::RunExit::Halted)
     throw SimError(spec.kernel + " under policy '" + spec.policy +
                    "' hit the cycle limit");
   RunRecord rec;
+  rec.wallMicros = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
   rec.summary.policy = spec.policy;
   rec.summary.cycles = s.core().cycle();
   rec.summary.insts = s.core().committedInsts();
@@ -161,7 +166,7 @@ const std::vector<RunRecord>& Sweep::run() {
 void Sweep::writeJson(std::ostream& os, bool includeStats) const {
   JsonWriter w(os);
   w.beginObject();
-  w.field("version", 1);
+  w.field("version", 2);
   w.field("threads", pool_.size());
   w.key("counters").beginObject();
   w.field("points", counters_.points);
@@ -190,12 +195,31 @@ void Sweep::writeJson(std::ostream& os, bool includeStats) const {
     w.endObject();
     w.field("key", hashHex(fnv1a(descriptions_[i])));
     w.field("fromCache", rec.fromCache);
+    w.field("wallMicros", rec.wallMicros);
     w.field("cycles", rec.summary.cycles);
     w.field("insts", rec.summary.insts);
     w.field("ipc", rec.summary.ipc);
     w.field("loadDelayCycles", rec.summary.loadDelayCycles);
     w.field("execDelayCycles", rec.summary.execDelayCycles);
     w.field("mispredicts", rec.summary.mispredicts);
+    // Headline delay metrics derived from the transmitter-delay histogram
+    // (the full "hist.*" set rides in `stats` when requested). Values come
+    // from the same stats map the cache serves, so a warm-cache rerun
+    // reproduces them bit-identically.
+    const auto stat = [&rec](const char* name) {
+      const auto it = rec.stats.find(name);
+      return it == rec.stats.end() ? std::int64_t{0} : it->second;
+    };
+    const std::int64_t delayed = stat("hist.delay.transmitter.count");
+    const std::int64_t delaySum = stat("hist.delay.transmitter.sum");
+    w.key("delay").beginObject();
+    w.field("delayedTransmitters", delayed);
+    w.field("delayCyclesTotal", delaySum);
+    w.field("delayCyclesMax", stat("hist.delay.transmitter.max"));
+    w.field("meanDelay", delayed == 0 ? 0.0
+                                      : static_cast<double>(delaySum) /
+                                            static_cast<double>(delayed));
+    w.endObject();
     if (includeStats) {
       w.key("stats").beginObject();
       for (const auto& [name, value] : rec.stats) w.field(name, value);

@@ -4,6 +4,7 @@
 
 namespace lev::secure {
 
+using uarch::DelayCause;
 using uarch::DynInst;
 using uarch::LoadAction;
 using uarch::O3Core;
@@ -11,16 +12,21 @@ using uarch::O3Core;
 // ---------------------------------------------------------------- fence --
 
 bool FencePolicy::mayExecute(const O3Core& core, const DynInst& inst) {
-  return !core.hasUnresolvedBranchOlderThan(inst.seq);
+  const std::uint64_t blocking = core.oldestUnresolvedBranchOlderThan(inst.seq);
+  if (blocking == 0) return true;
+  noteDelay(blocking, DelayCause::UnresolvedBranch);
+  return false;
 }
 
 // ------------------------------------------------------------------ dom --
 
 LoadAction DomPolicy::onLoadIssue(const O3Core& core, const DynInst& inst) {
-  if (!core.hasUnresolvedBranchOlderThan(inst.seq)) return LoadAction::Proceed;
+  const std::uint64_t blocking = core.oldestUnresolvedBranchOlderThan(inst.seq);
+  if (blocking == 0) return LoadAction::Proceed;
   // Speculative: only an L1 hit may be served, and invisibly.
   if (core.hierarchy().l1d().contains(inst.memAddr))
     return LoadAction::ProceedInvisibly;
+  noteDelay(blocking, DelayCause::SpeculativeMiss);
   return LoadAction::Delay;
 }
 
@@ -32,7 +38,10 @@ bool SttPolicy::mayExecute(const O3Core& core, const DynInst& inst) {
   // taint's root access is non-speculative.
   if (!inst.isSpecSource()) return true;
   for (const auto& op : inst.ops)
-    if (op.present && taint_.tainted(core, op.producer)) return false;
+    if (op.present && taint_.tainted(core, op.producer)) {
+      noteDelay(taintBlocker(core, op.producer), DelayCause::TaintedOperand);
+      return false;
+    }
   return true;
 }
 
@@ -40,9 +49,21 @@ LoadAction SttPolicy::onLoadIssue(const O3Core& core, const DynInst& inst) {
   // Explicit transmitter = load whose *address* is tainted. The access
   // itself (the load that brings the secret in) proceeds, as in STT; only
   // forwarding tainted data to a transmitter is blocked.
-  if (taint_.tainted(core, inst.ops[0].producer))
+  if (taint_.tainted(core, inst.ops[0].producer)) {
+    noteDelay(taintBlocker(core, inst.ops[0].producer),
+              DelayCause::TaintedOperand);
     return LoadAction::Delay;
+  }
   return LoadAction::Proceed;
+}
+
+std::uint64_t SttPolicy::taintBlocker(const O3Core& core,
+                                      std::uint64_t producer) const {
+  // The branch the delay is really waiting on: the oldest unresolved
+  // speculation source older than the taint's root access (once it
+  // resolves on the correct path, the root untaints).
+  const std::uint64_t root = taint_.rootOf(producer);
+  return root == 0 ? 0 : core.oldestUnresolvedBranchOlderThan(root);
 }
 
 void SttPolicy::onWriteback(const O3Core& core, const DynInst& inst) {
@@ -66,14 +87,21 @@ bool SptPolicy::mayExecute(const O3Core& core, const DynInst& inst) {
   // the comprehensive model that is potentially a secret, so branches
   // resolve strictly in program order.
   if (!inst.isSpecSource()) return true;
-  return !core.hasUnresolvedBranchOlderThan(inst.seq);
+  const std::uint64_t blocking = core.oldestUnresolvedBranchOlderThan(inst.seq);
+  if (blocking == 0) return true;
+  noteDelay(blocking, DelayCause::UnresolvedBranch);
+  return false;
 }
 
 LoadAction SptPolicy::onLoadIssue(const O3Core& core, const DynInst& inst) {
   // Every load transmits (its address may encode any register value, and
   // under the comprehensive model every register may hold a secret), so it
   // must wait until it is non-speculative.
-  if (core.hasUnresolvedBranchOlderThan(inst.seq)) return LoadAction::Delay;
+  const std::uint64_t blocking = core.oldestUnresolvedBranchOlderThan(inst.seq);
+  if (blocking != 0) {
+    noteDelay(blocking, DelayCause::UnresolvedBranch);
+    return LoadAction::Delay;
+  }
   return LoadAction::Proceed;
 }
 
@@ -84,7 +112,10 @@ bool LeviosoPolicy::mayExecute(const O3Core& core, const DynInst& inst) {
   // condition is identical on every outstanding speculative path reveals
   // nothing by resolving early.
   if (!inst.isSpecSource()) return true;
-  return !core.hasUnresolvedTrueDependee(inst);
+  const std::uint64_t dependee = core.oldestUnresolvedTrueDependee(inst);
+  if (dependee == 0) return true;
+  noteDelay(dependee, DelayCause::TrueDependee);
+  return false;
 }
 
 LoadAction LeviosoPolicy::onLoadIssue(const O3Core& core,
@@ -93,7 +124,11 @@ LoadAction LeviosoPolicy::onLoadIssue(const O3Core& core,
   // load with no unresolved true dependee executes identically on every
   // outstanding speculative path, so running it early reveals nothing about
   // any unresolved branch outcome.
-  if (core.hasUnresolvedTrueDependee(inst)) return LoadAction::Delay;
+  const std::uint64_t dependee = core.oldestUnresolvedTrueDependee(inst);
+  if (dependee != 0) {
+    noteDelay(dependee, DelayCause::TrueDependee);
+    return LoadAction::Delay;
+  }
   return LoadAction::Proceed;
 }
 
@@ -105,13 +140,20 @@ bool LeviosoLitePolicy::mayExecute(const O3Core& core, const DynInst& inst) {
   for (const auto& op : inst.ops)
     if (op.present && taint_.tainted(core, op.producer)) tainted = true;
   if (!tainted) return true;
-  return !core.hasUnresolvedTrueDependee(inst);
+  const std::uint64_t dependee = core.oldestUnresolvedTrueDependee(inst);
+  if (dependee == 0) return true;
+  noteDelay(dependee, DelayCause::TrueDependee);
+  return false;
 }
 
 LoadAction LeviosoLitePolicy::onLoadIssue(const O3Core& core,
                                           const DynInst& inst) {
   if (!taint_.tainted(core, inst.ops[0].producer)) return LoadAction::Proceed;
-  if (core.hasUnresolvedTrueDependee(inst)) return LoadAction::Delay;
+  const std::uint64_t dependee = core.oldestUnresolvedTrueDependee(inst);
+  if (dependee != 0) {
+    noteDelay(dependee, DelayCause::TrueDependee);
+    return LoadAction::Delay;
+  }
   return LoadAction::Proceed;
 }
 

@@ -109,6 +109,11 @@ public:
   const TaintTracker& taint() const { return taint_; }
 
 private:
+  /// Oldest unresolved branch guarding `producer`'s taint root — the branch
+  /// a tainted-operand delay is really waiting on (0 = none).
+  std::uint64_t taintBlocker(const uarch::O3Core& core,
+                             std::uint64_t producer) const;
+
   TaintTracker taint_;
 };
 

@@ -20,6 +20,11 @@ public:
 
   uarch::RunExit run(std::uint64_t maxCycles = 100'000'000);
 
+  /// Attach a pipeline event ring (`src/trace/`): every fetch/issue/commit/
+  /// squash and policy delay/release decision is recorded until the run
+  /// ends. Pass nullptr to detach. The buffer must outlive the run.
+  void setTraceBuffer(trace::TraceBuffer* buf) { core_.setTraceBuffer(buf); }
+
   uarch::O3Core& core() { return core_; }
   const uarch::O3Core& core() const { return core_; }
   StatSet& stats() { return stats_; }

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <cstdio>
 
-namespace lev::runner {
+#include "support/error.hpp"
+
+namespace lev {
 
 JsonWriter::JsonWriter(std::ostream& os, int indent)
     : os_(os), indent_(indent) {}
@@ -20,6 +22,8 @@ void JsonWriter::beforeValue() {
     return;
   }
   if (stack_.empty()) return; // top-level value
+  if (stack_.back() == Scope::Object)
+    throw Error("JsonWriter: value inside an object requires key() first");
   if (!firstInScope_) os_ << ',';
   newline(static_cast<int>(stack_.size()));
   firstInScope_ = false;
@@ -34,6 +38,10 @@ JsonWriter& JsonWriter::beginObject() {
 }
 
 JsonWriter& JsonWriter::endObject() {
+  if (stack_.empty() || stack_.back() != Scope::Object)
+    throw Error("JsonWriter: endObject() without matching beginObject()");
+  if (afterKey_)
+    throw Error("JsonWriter: endObject() after a key with no value");
   stack_.pop_back();
   if (!firstInScope_) newline(static_cast<int>(stack_.size()));
   os_ << '}';
@@ -50,6 +58,8 @@ JsonWriter& JsonWriter::beginArray() {
 }
 
 JsonWriter& JsonWriter::endArray() {
+  if (stack_.empty() || stack_.back() != Scope::Array)
+    throw Error("JsonWriter: endArray() without matching beginArray()");
   stack_.pop_back();
   if (!firstInScope_) newline(static_cast<int>(stack_.size()));
   os_ << ']';
@@ -58,6 +68,9 @@ JsonWriter& JsonWriter::endArray() {
 }
 
 JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != Scope::Object)
+    throw Error("JsonWriter: key() outside an object");
+  if (afterKey_) throw Error("JsonWriter: key() immediately after key()");
   if (!firstInScope_) os_ << ',';
   newline(static_cast<int>(stack_.size()));
   firstInScope_ = false;
@@ -133,4 +146,4 @@ std::string JsonWriter::escape(std::string_view s) {
   return out;
 }
 
-} // namespace lev::runner
+} // namespace lev

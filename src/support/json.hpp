@@ -1,7 +1,10 @@
-// A small streaming JSON emitter for the experiment runner's machine-
-// readable reports (docs/RUNNER.md). Handles quoting/escaping, comma
-// placement and indentation; the caller supplies structure with
-// begin/end calls. No DOM, no allocation per value.
+// A small streaming JSON emitter for machine-readable output (runner
+// reports, docs/RUNNER.md; Chrome trace exports, docs/TRACING.md).
+// Handles quoting/escaping, comma placement and indentation; the caller
+// supplies structure with begin/end calls. No DOM, no allocation per
+// value. Structural misuse (key() outside an object, key after key,
+// end*() without a matching begin) throws lev::Error — a malformed
+// report must never be written silently.
 #pragma once
 
 #include <cstdint>
@@ -10,7 +13,7 @@
 #include <string_view>
 #include <vector>
 
-namespace lev::runner {
+namespace lev {
 
 class JsonWriter {
 public:
@@ -23,6 +26,7 @@ public:
   JsonWriter& endArray();
 
   /// Object member key; must be followed by exactly one value or begin*().
+  /// Throws lev::Error when called outside an object or twice in a row.
   JsonWriter& key(std::string_view k);
 
   JsonWriter& value(std::string_view s);
@@ -56,4 +60,8 @@ private:
   bool afterKey_ = false;
 };
 
-} // namespace lev::runner
+namespace runner {
+using lev::JsonWriter; ///< historical home of the runner report writer
+} // namespace runner
+
+} // namespace lev

@@ -1,0 +1,116 @@
+#include "trace/export.hpp"
+
+#include <array>
+
+#include "isa/disasm.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace lev::trace {
+
+namespace {
+
+std::array<bool, kNumEventKinds> includeMask(const ExportOptions& opts) {
+  std::array<bool, kNumEventKinds> mask;
+  mask.fill(opts.include.empty());
+  for (EventKind k : opts.include) mask[static_cast<int>(k)] = true;
+  return mask;
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void writeArgs(JsonWriter& w, const Event& e, const isa::Program* prog) {
+  w.key("args").beginObject();
+  w.field("seq", e.seq);
+  w.field("pc", hex(e.pc));
+  switch (e.kind) {
+  case EventKind::IssueLoad:
+  case EventKind::IssueStore:
+  case EventKind::CacheMiss:
+  case EventKind::CacheFill:
+    w.field("addr", hex(e.arg));
+    break;
+  case EventKind::PolicyDelay:
+    w.field("blockingBranch", e.arg);
+    w.field("cause", delayCauseName(static_cast<DelayCause>(e.cause)));
+    break;
+  case EventKind::PolicyRelease:
+    w.field("delayCycles", e.arg);
+    w.field("cause", delayCauseName(static_cast<DelayCause>(e.cause)));
+    break;
+  case EventKind::Squash:
+    w.field("squashedBy", e.arg);
+    break;
+  default:
+    break;
+  }
+  if (prog != nullptr && prog->pcInText(e.pc))
+    w.field("insn", isa::disasm(prog->instAt(e.pc), e.pc));
+  w.endObject();
+}
+
+} // namespace
+
+void writeChromeTrace(std::ostream& os, const TraceBuffer& buffer,
+                      const ExportOptions& opts) {
+  const auto mask = includeMask(opts);
+  JsonWriter w(os, /*indent=*/0);
+  w.beginObject();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData").beginObject();
+  w.field("tool", "levioso-trace");
+  w.field("recorded", buffer.recorded());
+  w.field("dropped", buffer.dropped());
+  w.endObject();
+  w.key("traceEvents").beginArray();
+  for (const Event& e : buffer.snapshot()) {
+    if (!mask[static_cast<int>(e.kind)]) continue;
+    w.beginObject();
+    w.field("name", eventKindName(e.kind));
+    w.field("ph", "i");
+    w.field("s", "t");
+    w.field("ts", e.cycle);
+    w.field("pid", 0);
+    w.field("tid", e.seq);
+    writeArgs(w, e, opts.program);
+    w.endObject();
+    // A release also knows how long the policy held the instruction: emit
+    // the whole delay window as a duration slice on the same track.
+    if (e.kind == EventKind::PolicyRelease && e.arg > 0) {
+      w.beginObject();
+      w.field("name", "delayed");
+      w.field("ph", "X");
+      w.field("ts", e.cycle - e.arg);
+      w.field("dur", e.arg);
+      w.field("pid", 0);
+      w.field("tid", e.seq);
+      w.key("args").beginObject();
+      w.field("delayCycles", e.arg);
+      w.field("cause", delayCauseName(static_cast<DelayCause>(e.cause)));
+      w.endObject();
+      w.endObject();
+    }
+  }
+  w.endArray();
+  w.endObject();
+  os << "\n";
+}
+
+void writeCsv(std::ostream& os, const TraceBuffer& buffer,
+              const ExportOptions& opts) {
+  const auto mask = includeMask(opts);
+  os << "cycle,event,seq,pc,arg,cause\n";
+  for (const Event& e : buffer.snapshot()) {
+    if (!mask[static_cast<int>(e.kind)]) continue;
+    os << e.cycle << ',' << eventKindName(e.kind) << ',' << e.seq << ','
+       << hex(e.pc) << ',' << e.arg << ','
+       << delayCauseName(static_cast<DelayCause>(e.cause)) << '\n';
+  }
+}
+
+} // namespace lev::trace

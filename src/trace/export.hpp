@@ -1,0 +1,30 @@
+// Trace exporters: Chrome trace-event JSON (open in chrome://tracing or
+// https://ui.perfetto.dev) and a compact CSV. Schema: docs/TRACING.md.
+#pragma once
+
+#include <ostream>
+
+#include "isa/program.hpp"
+#include "trace/trace.hpp"
+
+namespace lev::trace {
+
+struct ExportOptions {
+  /// Emit only these kinds; empty = every kind.
+  std::vector<EventKind> include;
+  /// When set, instruction events carry a disassembly argument.
+  const isa::Program* program = nullptr;
+};
+
+/// Chrome trace-event JSON: every pipeline event becomes an instant event
+/// on the track (tid) of its instruction's sequence number, and every
+/// policy-release becomes a duration event spanning the cycles the policy
+/// held the instruction back. 1 trace microsecond == 1 core cycle.
+void writeChromeTrace(std::ostream& os, const TraceBuffer& buffer,
+                      const ExportOptions& opts = {});
+
+/// One event per line: "cycle,event,seq,pc,arg,cause".
+void writeCsv(std::ostream& os, const TraceBuffer& buffer,
+              const ExportOptions& opts = {});
+
+} // namespace lev::trace

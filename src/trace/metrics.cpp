@@ -1,0 +1,29 @@
+#include "trace/metrics.hpp"
+
+namespace lev::trace {
+
+void LogHistogram::clear() {
+  for (auto& b : buckets_) b = 0;
+  count_ = sum_ = max_ = 0;
+}
+
+void LogHistogram::dumpInto(StatSet& stats, const std::string& prefix) const {
+  stats.counter(prefix + ".count") = static_cast<std::int64_t>(count_);
+  stats.counter(prefix + ".sum") = static_cast<std::int64_t>(sum_);
+  stats.counter(prefix + ".max") = static_cast<std::int64_t>(max_);
+  for (int b = 0; b < kBuckets; ++b)
+    if (buckets_[b] != 0)
+      stats.counter(prefix + ".le" + std::to_string(bucketMax(b))) =
+          static_cast<std::int64_t>(buckets_[b]);
+}
+
+void MetricsRegistry::clear() {
+  for (auto& [name, hist] : hists_) hist.clear();
+}
+
+void MetricsRegistry::dumpInto(StatSet& stats) const {
+  for (const auto& [name, hist] : hists_)
+    hist.dumpInto(stats, "hist." + name);
+}
+
+} // namespace lev::trace

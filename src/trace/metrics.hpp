@@ -1,0 +1,77 @@
+// Metrics registry: counters already live in StatSet; this adds log-scale
+// histograms (delay cycles per transmitter, IQ/ROB occupancy, ...) that
+// dump into the same end-of-run StatSet, so every consumer of the stat
+// dump — result cache entries, levioso-batch JSON reports, bench tables —
+// carries the distribution data without new plumbing.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/stats.hpp"
+
+namespace lev::trace {
+
+/// Power-of-two-bucketed histogram of non-negative 64-bit samples.
+/// Bucket 0 holds value 0; bucket k >= 1 holds values in [2^(k-1), 2^k).
+class LogHistogram {
+public:
+  static constexpr int kBuckets = 65;
+
+  void add(std::uint64_t value) {
+    ++buckets_[bucketOf(value)];
+    sum_ += value;
+    if (value > max_) max_ = value;
+    ++count_;
+  }
+
+  /// Bucket index a value lands in.
+  static int bucketOf(std::uint64_t value) { return std::bit_width(value); }
+  /// Inclusive upper bound of a bucket (2^bucket - 1; bucket 0 -> 0).
+  static std::uint64_t bucketMax(int bucket) {
+    return bucket >= 64 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << bucket) - 1;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t bucketCount(int bucket) const { return buckets_[bucket]; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  void clear();
+
+  /// Write "<prefix>.count/.sum/.max" and one "<prefix>.le<N>" counter per
+  /// non-empty bucket (N = bucketMax). Assigns (not adds), so re-dumping
+  /// after more samples stays consistent.
+  void dumpInto(StatSet& stats, const std::string& prefix) const;
+
+private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Named histograms with stable iteration order. Look histograms up once
+/// and keep the reference (stable for the registry's lifetime) — the hot
+/// path should never pay the map lookup.
+class MetricsRegistry {
+public:
+  LogHistogram& histogram(const std::string& name) { return hists_[name]; }
+
+  void clear();
+
+  /// Dump every histogram as "hist.<name>.*" counters.
+  void dumpInto(StatSet& stats) const;
+
+private:
+  std::map<std::string, LogHistogram> hists_;
+};
+
+} // namespace lev::trace

@@ -1,0 +1,64 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace lev::trace {
+
+namespace {
+constexpr std::string_view kKindNames[kNumEventKinds] = {
+    "fetch",        "dispatch",       "issue",      "issue-load",
+    "issue-store",  "writeback",      "resolve",    "mispredict",
+    "squash",       "commit",         "policy-delay", "policy-release",
+    "cache-miss",   "cache-fill",
+};
+} // namespace
+
+std::string_view eventKindName(EventKind kind) {
+  return kKindNames[static_cast<int>(kind)];
+}
+
+std::string_view delayCauseName(DelayCause cause) {
+  switch (cause) {
+  case DelayCause::None: return "none";
+  case DelayCause::UnresolvedBranch: return "unresolved-branch";
+  case DelayCause::TrueDependee: return "true-dependee";
+  case DelayCause::TaintedOperand: return "tainted-operand";
+  case DelayCause::SpeculativeMiss: return "speculative-miss";
+  }
+  return "none";
+}
+
+bool parseEventKind(std::string_view name, EventKind& out) {
+  for (int i = 0; i < kNumEventKinds; ++i)
+    if (kKindNames[i] == name) {
+      out = static_cast<EventKind>(i);
+      return true;
+    }
+  return false;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+std::size_t TraceBuffer::size() const {
+  return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                  : ring_.size();
+}
+
+void TraceBuffer::clear() {
+  head_ = 0;
+  recorded_ = 0;
+}
+
+std::vector<Event> TraceBuffer::snapshot() const {
+  std::vector<Event> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // Oldest retained event: head_ when the ring has wrapped, 0 otherwise.
+  const std::size_t start = recorded_ > ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+} // namespace lev::trace

@@ -1,0 +1,111 @@
+// Per-cycle pipeline event tracing.
+//
+// A TraceBuffer is a fixed-capacity ring of small typed events the core
+// (and the policies, through the core) append to as instructions move
+// through the pipeline. The buffer is attached by pointer: call sites are
+// a single null check when tracing is off, so the disabled cost is one
+// predictable branch per event site. When the ring fills, the oldest
+// events are overwritten and counted as dropped — the tracer never stalls
+// or reallocates on the simulation hot path.
+//
+// Exporters (trace/export.hpp) turn a buffer into Chrome trace-event JSON
+// (chrome://tracing / Perfetto) or a compact CSV; docs/TRACING.md has the
+// schema.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace lev::trace {
+
+/// What happened. Kind-specific payload goes in Event::arg (see each
+/// entry); PolicyDelay/PolicyRelease additionally carry a DelayCause in
+/// Event::cause.
+enum class EventKind : std::uint8_t {
+  Fetch,         ///< instruction fetched (seq not yet assigned; seq = 0)
+  Dispatch,      ///< entered the ROB
+  Issue,         ///< non-memory instruction began executing
+  IssueLoad,     ///< load accessed the memory hierarchy; arg = address
+  IssueStore,    ///< store computed its address; arg = address
+  Writeback,     ///< result produced
+  Resolve,       ///< speculation source resolved, prediction correct
+  Mispredict,    ///< speculation source resolved wrong; squash follows
+  Squash,        ///< wrong-path instruction removed; arg = squashing branch
+  Commit,        ///< retired architecturally
+  PolicyDelay,   ///< policy held the instruction back; arg = blocking branch
+  PolicyRelease, ///< previously-delayed instruction issued; arg = delay cycles
+  CacheMiss,     ///< demand access missed (data: seq set; inst: seq = 0);
+                 ///< arg = address
+  CacheFill,     ///< line filled by the miss; cycle = completion time
+};
+inline constexpr int kNumEventKinds = static_cast<int>(EventKind::CacheFill) + 1;
+
+/// Stable lower-case name ("policy-delay") used by exporters and CLI
+/// filters.
+std::string_view eventKindName(EventKind kind);
+
+/// Parse an eventKindName() string; returns false on unknown names.
+bool parseEventKind(std::string_view name, EventKind& out);
+
+/// Why a policy held an instruction back. Policies attach this to their
+/// delay decisions (uarch/policy.hpp) and it rides along in
+/// Event::cause, so a trace answers not just *that* a transmitter was
+/// delayed but *which rule* delayed it and under *which* branch.
+enum class DelayCause : std::uint8_t {
+  None = 0,
+  UnresolvedBranch, ///< any older unresolved speculation source (fence/spt)
+  TrueDependee,     ///< older unresolved TRUE dependee branch (levioso)
+  TaintedOperand,   ///< operand taint still live (stt/levioso-lite)
+  SpeculativeMiss,  ///< speculative load would miss L1 (dom)
+};
+inline constexpr int kNumDelayCauses =
+    static_cast<int>(DelayCause::SpeculativeMiss) + 1;
+
+std::string_view delayCauseName(DelayCause cause);
+
+/// One pipeline event. 40 bytes; plain data, no ownership.
+struct Event {
+  std::uint64_t cycle = 0;
+  std::uint64_t seq = 0; ///< dynamic instruction; 0 = no instruction (fetch)
+  std::uint64_t pc = 0;
+  std::uint64_t arg = 0;           ///< kind-specific (see EventKind)
+  EventKind kind = EventKind::Fetch;
+  std::uint8_t cause = 0; ///< uarch::DelayCause for PolicyDelay/PolicyRelease
+};
+
+/// Fixed-capacity chronological ring of events.
+class TraceBuffer {
+public:
+  /// `capacity` events are retained; older ones are overwritten (counted
+  /// in dropped()).
+  explicit TraceBuffer(std::size_t capacity = std::size_t{1} << 16);
+
+  /// Append one event. O(1), never allocates.
+  void record(const Event& e) {
+    ring_[head_] = e;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    ++recorded_;
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Events currently retained (<= capacity).
+  std::size_t size() const;
+  /// Total events ever recorded.
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to ring wrap-around.
+  std::uint64_t dropped() const { return recorded_ - size(); }
+
+  void clear();
+
+  /// Retained events, oldest first.
+  std::vector<Event> snapshot() const;
+
+private:
+  std::vector<Event> ring_;
+  std::size_t head_ = 0; ///< next write position
+  std::uint64_t recorded_ = 0;
+};
+
+} // namespace lev::trace

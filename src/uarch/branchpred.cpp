@@ -16,11 +16,13 @@ std::size_t BranchPredictor::tageIndex(int table, std::uint64_t pc,
                                        std::uint64_t history) const {
   const int len = cfg_.tageHistories[table];
   const std::uint64_t h = history & ((std::uint64_t{1} << len) - 1);
-  // Fold the history into tableBits chunks.
+  // Fold the history into tableBits-wide chunks. Each chunk is masked to
+  // the table width so `folded` never carries stray high bits into the
+  // index mixing below.
+  const std::uint64_t mask = (std::uint64_t{1} << cfg_.tageTableBits) - 1;
   std::uint64_t folded = 0;
   for (int shift = 0; shift < len; shift += cfg_.tageTableBits)
-    folded ^= (h >> shift);
-  const std::uint64_t mask = (std::uint64_t{1} << cfg_.tageTableBits) - 1;
+    folded ^= (h >> shift) & mask;
   return static_cast<std::size_t>(
       ((pc >> 3) ^ folded ^ (folded << 1) ^
        static_cast<std::uint64_t>(table) * 0x9E37u) &
@@ -31,10 +33,10 @@ std::uint16_t BranchPredictor::tageTag(int table, std::uint64_t pc,
                                        std::uint64_t history) const {
   const int len = cfg_.tageHistories[table];
   const std::uint64_t h = history & ((std::uint64_t{1} << len) - 1);
+  const std::uint64_t mask = (std::uint64_t{1} << cfg_.tageTagBits) - 1;
   std::uint64_t folded = 0;
   for (int shift = 0; shift < len; shift += cfg_.tageTagBits)
-    folded ^= (h >> shift);
-  const std::uint64_t mask = (std::uint64_t{1} << cfg_.tageTagBits) - 1;
+    folded ^= (h >> shift) & mask;
   return static_cast<std::uint16_t>(((pc >> 3) ^ (pc >> 11) ^ folded) & mask);
 }
 

@@ -75,6 +75,15 @@ public:
 
   std::uint64_t history() const { return history_; }
 
+  // --- TAGE hash functions (public for the distribution tests) -----------
+  /// Index into tagged table `table` for (pc, history); folds the history
+  /// into tableBits-wide chunks.
+  std::size_t tageIndex(int table, std::uint64_t pc,
+                        std::uint64_t history) const;
+  /// Tag for the same entry, folded to tagBits.
+  std::uint16_t tageTag(int table, std::uint64_t pc,
+                        std::uint64_t history) const;
+
 private:
   std::size_t condIndex(std::uint64_t pc, std::uint64_t history) const;
 
@@ -84,10 +93,6 @@ private:
     std::uint8_t ctr = 4;    ///< 3-bit counter, taken if >= 4
     std::uint8_t useful = 0; ///< 2-bit usefulness
   };
-  std::size_t tageIndex(int table, std::uint64_t pc,
-                        std::uint64_t history) const;
-  std::uint16_t tageTag(int table, std::uint64_t pc,
-                        std::uint64_t history) const;
   /// Provider table (longest history with a tag hit), or -1 for bimodal.
   int tageProvider(std::uint64_t pc, std::uint64_t history) const;
   bool tagePredict(std::uint64_t pc, std::uint64_t history) const;

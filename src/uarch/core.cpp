@@ -19,12 +19,23 @@ O3Core::O3Core(const isa::Program& prog, const CoreConfig& cfg,
                SpeculationPolicy& policy, StatSet& stats)
     : prog_(prog), cfg_(cfg), policy_(policy), stats_(stats),
       hier_(cfg.mem, stats), bp_(cfg.bp, stats),
-      prefetcher_(cfg.prefetch, stats) {
+      prefetcher_(cfg.prefetch, stats),
+      iqOccupancy_(metrics_.histogram("occ.iq")),
+      robOccupancy_(metrics_.histogram("occ.rob")),
+      delayPerTransmitter_(metrics_.histogram("delay.transmitter")) {
   mem_.loadProgram(prog);
   fetchPc_ = prog.entry;
   archRegs_[isa::kRegSp] = prog.stackTop;
   for (int r = 0; r < isa::kNumRegs; ++r)
     renameMap_[r] = RenameEntry{true, archRegs_[r], 0};
+  // StatSet::counter references stay valid for its lifetime, so the
+  // per-cycle paths below never pay the by-name lookup.
+  for (int c = 0; c < trace::kNumDelayCauses; ++c)
+    delayCauseCycles_[c] = &stats_.counter(
+        "policy.delayCycles." +
+        std::string(trace::delayCauseName(static_cast<trace::DelayCause>(c))));
+  commitStallCycles_ = &stats_.counter("commit.stallCycles");
+  issueStarvedCycles_ = &stats_.counter("issue.starvedCycles");
   policy_.reset();
 }
 
@@ -56,24 +67,58 @@ bool O3Core::trulyDependsOn(const DynInst& inst, const DynInst& branch) const {
   return inst.hint->dependsOn(branch.pc);
 }
 
-bool O3Core::hasUnresolvedTrueDependee(const DynInst& inst) const {
+std::uint64_t O3Core::oldestUnresolvedTrueDependee(const DynInst& inst) const {
   for (std::uint64_t seq : unresolvedBranches_) {
     if (seq >= inst.seq) break;
     const DynInst* branch = robFindConst(seq);
-    if (branch != nullptr && trulyDependsOn(inst, *branch)) return true;
+    if (branch != nullptr && trulyDependsOn(inst, *branch)) return seq;
   }
-  return false;
+  return 0;
 }
 
 namespace {
 /// One trace line: "<cycle> <event> seq=<n> pc=0x<pc> <disasm>".
-void traceLine(std::ostream* os, std::uint64_t cycle, const char* event,
+void traceLine(std::ostream* os, std::uint64_t cycle, std::string_view event,
                const DynInst& di) {
   if (os == nullptr) return;
   *os << cycle << " " << event << " seq=" << di.seq << " pc=0x" << std::hex
       << di.pc << std::dec << " " << isa::disasm(di.si, di.pc) << "\n";
 }
 } // namespace
+
+void O3Core::traceEventSlow(trace::EventKind kind, const DynInst& di,
+                            std::uint64_t arg, trace::DelayCause cause) {
+  traceLine(trace_, cycle_, trace::eventKindName(kind), di);
+  if (tbuf_ != nullptr) {
+    trace::Event e;
+    e.cycle = cycle_;
+    e.seq = di.seq;
+    e.pc = di.pc;
+    e.arg = arg;
+    e.kind = kind;
+    e.cause = static_cast<std::uint8_t>(cause);
+    tbuf_->record(e);
+  }
+}
+
+void O3Core::notePolicyDelay(DynInst& di) {
+  const DelayInfo& info = policy_.lastDelay();
+  ++di.policyDelayCycles;
+  di.policyDelayCause = info.cause;
+  ++*delayCauseCycles_[static_cast<int>(info.cause)];
+  if (tbuf_ != nullptr) {
+    trace::Event e;
+    e.cycle = cycle_;
+    e.seq = di.seq;
+    e.pc = di.pc;
+    e.arg = info.blockingBranch;
+    e.kind = trace::EventKind::PolicyDelay;
+    e.cause = static_cast<std::uint8_t>(info.cause);
+    tbuf_->record(e);
+  }
+}
+
+void O3Core::dumpMetrics() { metrics_.dumpInto(stats_); }
 
 void O3Core::dumpState(std::ostream& os) const {
   os << "cycle " << cycle_ << " fetchPc 0x" << std::hex << fetchPc_ << std::dec
@@ -113,6 +158,14 @@ void O3Core::fetchStage() {
       const int lat = hier_.accessInst(fetchPc_);
       icacheLine_ = line;
       if (lat > hier_.l1i().hitLatency()) {
+        if (tbuf_ != nullptr) {
+          trace::Event e;
+          e.cycle = cycle_;
+          e.pc = fetchPc_;
+          e.arg = fetchPc_;
+          e.kind = trace::EventKind::CacheMiss;
+          tbuf_->record(e);
+        }
         fetchResumeCycle_ = cycle_ + static_cast<std::uint64_t>(lat);
         return;
       }
@@ -166,6 +219,13 @@ void O3Core::fetchStage() {
     const bool isHalt = di.si.op == Opc::HALT;
     const bool redirected = di.predictedNext != nextSeqPc;
     const std::uint64_t next = di.predictedNext;
+    if (tbuf_ != nullptr) {
+      trace::Event e;
+      e.cycle = cycle_;
+      e.pc = di.pc;
+      e.kind = trace::EventKind::Fetch;
+      tbuf_->record(e);
+    }
     fetchQueue_.push_back(std::move(f));
     ++stats_.counter("fetch.insts");
 
@@ -259,7 +319,7 @@ void O3Core::dispatchStage() {
       }
     }
 
-    traceLine(trace_, cycle_, "dispatch", placed);
+    traceEvent(trace::EventKind::Dispatch, placed);
     policy_.onDispatch(*this, placed);
   }
 }
@@ -316,7 +376,7 @@ void O3Core::executeInst(DynInst& inst) {
   inst.issued = true;
   inst.completeCycle = cycle_ + static_cast<std::uint64_t>(latency);
   executing_.push_back(inst.seq);
-  traceLine(trace_, cycle_, "issue", inst);
+  traceEvent(trace::EventKind::Issue, inst);
 }
 
 bool O3Core::tryIssueLoad(DynInst& inst) {
@@ -353,9 +413,11 @@ bool O3Core::tryIssueLoad(DynInst& inst) {
   inst.memAddr = addr;
   inst.addrValid = true;
 
+  policy_.clearLastDelay();
   const LoadAction action = policy_.onLoadIssue(*this, inst);
   if (action == LoadAction::Delay) {
     ++stats_.counter("policy.loadDelayCycles");
+    notePolicyDelay(inst);
     inst.addrValid = false; // not yet visible to younger disambiguation
     return false;
   }
@@ -391,6 +453,18 @@ bool O3Core::tryIssueLoad(DynInst& inst) {
     latency = hier_.accessData(addr);
     if (wouldMiss && cfg_.mshrs > 0)
       missCompletions_.push_back(cycle_ + static_cast<std::uint64_t>(latency));
+    if (wouldMiss && tbuf_ != nullptr) {
+      trace::Event e;
+      e.seq = inst.seq;
+      e.pc = inst.pc;
+      e.arg = addr;
+      e.cycle = cycle_;
+      e.kind = trace::EventKind::CacheMiss;
+      tbuf_->record(e);
+      e.cycle = cycle_ + static_cast<std::uint64_t>(latency);
+      e.kind = trace::EventKind::CacheFill;
+      tbuf_->record(e);
+    }
     // Train/trigger the prefetcher on normal demand accesses only —
     // invisible (DoM) and delayed loads must leave no prefetch trace.
     for (std::uint64_t target :
@@ -402,7 +476,7 @@ bool O3Core::tryIssueLoad(DynInst& inst) {
   inst.issued = true;
   inst.completeCycle = cycle_ + static_cast<std::uint64_t>(latency);
   executing_.push_back(inst.seq);
-  traceLine(trace_, cycle_, "issue-load", inst);
+  traceEvent(trace::EventKind::IssueLoad, inst, addr);
   ++stats_.counter("issue.loads");
   return true;
 }
@@ -416,7 +490,7 @@ bool O3Core::tryIssueStore(DynInst& inst) {
   inst.issued = true;
   inst.completeCycle = cycle_ + 1;
   executing_.push_back(inst.seq);
-  traceLine(trace_, cycle_, "issue-store", inst);
+  traceEvent(trace::EventKind::IssueStore, inst, inst.memAddr);
   ++stats_.counter("issue.stores");
   return true;
 }
@@ -457,11 +531,14 @@ void O3Core::issueStage() {
       di.trueDepUnresolvedAtIssue = hasUnresolvedTrueDependee(di);
     }
 
+    policy_.clearLastDelay();
     if (!policy_.mayExecute(*this, di)) {
       ++stats_.counter("policy.execDelayCycles");
+      notePolicyDelay(di);
       continue;
     }
 
+    const std::uint32_t heldFor = di.policyDelayCycles;
     if (di.isLoad()) {
       if (!tryIssueLoad(di)) continue;
       ++memUsed;
@@ -475,6 +552,21 @@ void O3Core::issueStage() {
       else if (!isDiv)
         ++aluUsed;
     }
+    if (heldFor > 0) {
+      // This instruction had been held back by the policy and is now free:
+      // close out its delay window.
+      delayPerTransmitter_.add(heldFor);
+      if (tbuf_ != nullptr) {
+        trace::Event e;
+        e.cycle = cycle_;
+        e.seq = di.seq;
+        e.pc = di.pc;
+        e.arg = heldFor;
+        e.kind = trace::EventKind::PolicyRelease;
+        e.cause = static_cast<std::uint8_t>(di.policyDelayCause);
+        tbuf_->record(e);
+      }
+    }
     ++issued;
     done.push_back(seq);
   }
@@ -485,6 +577,7 @@ void O3Core::issueStage() {
     };
     std::erase_if(notIssued_, [&](std::uint64_t s) { return !keep(s); });
   }
+  if (issued == 0 && !notIssued_.empty()) ++*issueStarvedCycles_;
   stats_.counter("issue.insts") += issued;
 }
 
@@ -519,11 +612,11 @@ void O3Core::resolveBranch(DynInst& branch) {
 
   if (branch.actualNext != branch.predictedNext) {
     branch.mispredicted = true;
-    traceLine(trace_, cycle_, "mispredict", branch);
+    traceEvent(trace::EventKind::Mispredict, branch, branch.actualNext);
     ++stats_.counter("bp.mispredicts");
     squashAfter(branch);
   } else {
-    traceLine(trace_, cycle_, "resolve", branch);
+    traceEvent(trace::EventKind::Resolve, branch, branch.actualNext);
   }
 }
 
@@ -541,7 +634,7 @@ void O3Core::writebackStage() {
     if (di == nullptr || di->executed) continue; // squashed meanwhile
     di->executed = true;
     std::erase(executing_, seq);
-    traceLine(trace_, cycle_, "writeback", *di);
+    traceEvent(trace::EventKind::Writeback, *di);
     deliverValue(*di);
     policy_.onWriteback(*this, *di);
     if (di->isSpecSource()) resolveBranch(*di);
@@ -552,7 +645,7 @@ void O3Core::squashAfter(DynInst& branch) {
   const std::uint64_t boundary = branch.seq;
   while (!rob_.empty() && rob_.back().seq > boundary) {
     DynInst& victim = rob_.back();
-    traceLine(trace_, cycle_, "squash", victim);
+    traceEvent(trace::EventKind::Squash, victim, boundary);
     policy_.onSquash(*this, victim.seq);
     if (prevMapValid_.back()) {
       RenameEntry prev = prevMap_.back();
@@ -639,7 +732,7 @@ void O3Core::commitStage() {
         e = RenameEntry{true, head.result, 0};
     }
 
-    traceLine(trace_, cycle_, "commit", head);
+    traceEvent(trace::EventKind::Commit, head);
     policy_.onCommit(*this, head);
     ++committedInsts_;
     ++stats_.counter("commit.insts");
@@ -662,7 +755,10 @@ void O3Core::commitStage() {
 
 bool O3Core::tick() {
   if (halted_) return false;
+  const std::uint64_t committedBefore = committedInsts_;
   commitStage();
+  if (!rob_.empty() && committedInsts_ == committedBefore)
+    ++*commitStallCycles_;
   if (halted_) {
     ++cycle_;
     return false;
@@ -671,16 +767,30 @@ bool O3Core::tick() {
   issueStage();
   dispatchStage();
   fetchStage();
+  // Occupancy is sampled every 16th cycle: dense enough for the occupancy
+  // histograms, cheap enough to stay inside the tracing-disabled speed
+  // budget. Deterministic (keyed on cycle_), so runs stay reproducible.
+  if ((cycle_ & 15) == 0) {
+    iqOccupancy_.add(notIssued_.size());
+    robOccupancy_.add(rob_.size());
+  }
   ++cycle_;
   return true;
 }
 
 RunExit O3Core::run(std::uint64_t maxCycles) {
   while (!halted_) {
-    if (cycle_ >= maxCycles) return RunExit::CycleLimit;
+    if (cycle_ >= maxCycles) {
+      // A truncated run still dumps its metrics: a bounded levioso-trace
+      // session (--cycles N) must report the same histograms a full run
+      // would, just over fewer samples.
+      dumpMetrics();
+      return RunExit::CycleLimit;
+    }
     tick();
   }
   stats_.counter("sim.cycles") = static_cast<std::int64_t>(cycle_);
+  dumpMetrics();
   return RunExit::Halted;
 }
 

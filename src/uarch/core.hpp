@@ -20,6 +20,8 @@
 
 #include "isa/program.hpp"
 #include "support/stats.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "uarch/branchpred.hpp"
 #include "uarch/cache.hpp"
 #include "uarch/dyninst.hpp"
@@ -96,6 +98,11 @@ public:
   bool hasUnresolvedBranchOlderThan(std::uint64_t seq) const {
     return !unresolvedBranches_.empty() && unresolvedBranches_.front() < seq;
   }
+  /// Oldest unresolved speculation source older than `seq` (0 = none).
+  /// Policies report it as the blocking branch of a delay decision.
+  std::uint64_t oldestUnresolvedBranchOlderThan(std::uint64_t seq) const {
+    return hasUnresolvedBranchOlderThan(seq) ? unresolvedBranches_.front() : 0;
+  }
   /// Find an in-flight instruction by sequence number (nullptr if retired
   /// or squashed).
   const DynInst* findInst(std::uint64_t seq) const;
@@ -107,12 +114,29 @@ public:
   /// to `os`; pass nullptr to disable. Costly — debugging only.
   void setTrace(std::ostream* os) { trace_ = os; }
 
+  /// Record typed pipeline events into `buf` (trace/trace.hpp); pass
+  /// nullptr to disable. Cheap enough to leave on for whole runs — each
+  /// event site is one branch when disabled and one ring store when on.
+  void setTraceBuffer(trace::TraceBuffer* buf) { tbuf_ = buf; }
+
+  /// Always-on run metrics (occupancy and delay histograms). Dumped into
+  /// the StatSet by run() at halt; tick()-driven callers flush manually.
+  const trace::MetricsRegistry& metrics() const { return metrics_; }
+  /// Write the metrics histograms into the stat set as "hist.*" counters.
+  /// Idempotent (values are assigned, not accumulated).
+  void dumpMetrics();
+
   /// True when instruction `inst` truly depends (per its Levioso hint and
   /// the cross-function conservatism rule) on the unresolved speculation
   /// source `branch`.
   bool trulyDependsOn(const DynInst& inst, const DynInst& branch) const;
   /// Any older unresolved branch `inst` truly depends on?
-  bool hasUnresolvedTrueDependee(const DynInst& inst) const;
+  bool hasUnresolvedTrueDependee(const DynInst& inst) const {
+    return oldestUnresolvedTrueDependee(inst) != 0;
+  }
+  /// Oldest such branch's sequence number (0 = none) — the branch Levioso
+  /// reports as blocking a delayed transmitter.
+  std::uint64_t oldestUnresolvedTrueDependee(const DynInst& inst) const;
 
 private:
   struct RenameEntry {
@@ -188,6 +212,30 @@ private:
   std::uint64_t divBusyUntil_ = 0;
   bool halted_ = false;
   std::ostream* trace_ = nullptr;
+  trace::TraceBuffer* tbuf_ = nullptr;
+
+  // ---- metrics ---------------------------------------------------------
+  /// Record one event in both trace channels (text line + typed buffer).
+  /// The disabled-tracing cost at each call site is this inline null test.
+  void traceEvent(trace::EventKind kind, const DynInst& di,
+                  std::uint64_t arg = 0,
+                  trace::DelayCause cause = trace::DelayCause::None) {
+    if (trace_ != nullptr || tbuf_ != nullptr)
+      traceEventSlow(kind, di, arg, cause);
+  }
+  void traceEventSlow(trace::EventKind kind, const DynInst& di,
+                      std::uint64_t arg, trace::DelayCause cause);
+  /// Record a policy delay decision against `di` for this cycle.
+  void notePolicyDelay(DynInst& di);
+
+  trace::MetricsRegistry metrics_;
+  trace::LogHistogram& iqOccupancy_;
+  trace::LogHistogram& robOccupancy_;
+  trace::LogHistogram& delayPerTransmitter_;
+  /// Per-cause delay-decision counters, indexed by trace::DelayCause.
+  std::int64_t* delayCauseCycles_[trace::kNumDelayCauses];
+  std::int64_t* commitStallCycles_;  ///< cycles the ROB head was not retirable
+  std::int64_t* issueStarvedCycles_; ///< cycles nothing issued with IQ work
 };
 
 } // namespace lev::uarch

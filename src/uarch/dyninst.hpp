@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "isa/program.hpp"
+#include "trace/trace.hpp"
 #include "uarch/branchpred.hpp"
 
 namespace lev::uarch {
@@ -38,6 +39,13 @@ struct DynInst {
   // ---- status ----------------------------------------------------------
   bool issued = false;
   bool executed = false;
+  /// The last policy rule that held this instruction back, and for how many
+  /// cycles total (mayExecute false or LoadAction::Delay). Feeds the
+  /// policy-release trace event and the delay-per-transmitter histogram.
+  /// (Placed in this padding hole so the struct keeps its pre-tracing size —
+  /// ROB scans are size-sensitive.)
+  trace::DelayCause policyDelayCause = trace::DelayCause::None;
+  std::uint32_t policyDelayCycles = 0;
   std::uint64_t completeCycle = 0;
 
   std::uint64_t result = 0;

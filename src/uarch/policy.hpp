@@ -9,10 +9,24 @@
 #include <cstdint>
 #include <string>
 
+#include "trace/trace.hpp"
+
 namespace lev::uarch {
 
 class O3Core;
 struct DynInst;
+
+using trace::DelayCause;
+
+/// Why the most recent delay decision was taken: the restriction rule that
+/// fired and, when one exists, the speculation source it fired under. The
+/// core reads this right after a hook returns a delay and feeds it to the
+/// tracer/metrics, which is how traces name the *blocking branch* of every
+/// held-back transmitter.
+struct DelayInfo {
+  std::uint64_t blockingBranch = 0; ///< seq of the dependee branch; 0 = none
+  DelayCause cause = DelayCause::None;
+};
 
 /// What a load may do when it is ready to access the data cache.
 enum class LoadAction {
@@ -81,6 +95,25 @@ public:
     (void)core;
     (void)inst;
   }
+
+  // ---- delay attribution -------------------------------------------------
+  /// Why the last mayExecute()/onLoadIssue() call delayed. Only meaningful
+  /// immediately after a hook returned false / LoadAction::Delay; the core
+  /// clears it before every hook call.
+  const DelayInfo& lastDelay() const { return lastDelay_; }
+  void clearLastDelay() { lastDelay_ = DelayInfo{}; }
+
+protected:
+  /// Record the rule (and blocking branch, when one exists) behind a delay
+  /// decision this hook is about to return. Policies call this right before
+  /// returning false / LoadAction::Delay.
+  void noteDelay(std::uint64_t blockingBranch, DelayCause cause) {
+    lastDelay_.blockingBranch = blockingBranch;
+    lastDelay_.cause = cause;
+  }
+
+private:
+  DelayInfo lastDelay_;
 };
 
 } // namespace lev::uarch

@@ -322,17 +322,19 @@ Module xzMatch(int scale, Rng& rng) {
   const int iters = 12000 * scale;
 
   Module m;
-  // Correlated streams so matches have non-trivial length.
-  ir::Global& g1 = m.addGlobal("s1", static_cast<std::size_t>(n), 64);
-  ir::Global& g2 = m.addGlobal("s2", static_cast<std::size_t>(n), 64);
-  g1.init.resize(static_cast<std::size_t>(n));
-  g2.init.resize(static_cast<std::size_t>(n));
+  // Correlated streams so matches have non-trivial length. Generate both
+  // streams up front: a Global& returned by addGlobal is invalidated by the
+  // next addGlobal call (the module stores globals by value).
+  std::vector<std::uint8_t> s1(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> s2(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     const auto byte = static_cast<std::uint8_t>(rng.below(4));
-    g1.init[static_cast<std::size_t>(i)] = byte;
-    g2.init[static_cast<std::size_t>(i)] =
+    s1[static_cast<std::size_t>(i)] = byte;
+    s2[static_cast<std::size_t>(i)] =
         rng.chance(0.7) ? byte : static_cast<std::uint8_t>(rng.below(4));
   }
+  m.addGlobal("s1", static_cast<std::size_t>(n), 64).init = std::move(s1);
+  m.addGlobal("s2", static_cast<std::size_t>(n), 64).init = std::move(s2);
 
   ir::Function& fn = m.addFunction("main", 0);
   const int entry = fn.createBlock("entry");

@@ -4,15 +4,19 @@
 // real JSON parser, and parallel-vs-serial determinism.
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <thread>
 
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include "json_test_util.hpp"
 #include "runner/resultcache.hpp"
 #include "runner/sweep.hpp"
 #include "runner/threadpool.hpp"
@@ -22,183 +26,10 @@
 namespace fs = std::filesystem;
 using namespace lev;
 using namespace lev::runner;
+using levtest::JsonParser;
+using levtest::JsonValue;
 
 namespace {
-
-// ---- a minimal JSON parser: the report schema's consumer stand-in ------
-
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object } kind =
-      Kind::Null;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> items;
-  std::map<std::string, JsonValue> members;
-
-  const JsonValue& at(const std::string& key) const {
-    const auto it = members.find(key);
-    if (it == members.end()) throw std::runtime_error("no key " + key);
-    return it->second;
-  }
-};
-
-class JsonParser {
-public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = parseValue();
-    skipWs();
-    if (pos_ != text_.size()) fail("trailing garbage");
-    return v;
-  }
-
-private:
-  [[noreturn]] void fail(const std::string& why) {
-    throw std::runtime_error("json parse error at " + std::to_string(pos_) +
-                             ": " + why);
-  }
-  void skipWs() {
-    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
-                                   text_[pos_] == '\r' || text_[pos_] == '\t'))
-      ++pos_;
-  }
-  char peek() {
-    skipWs();
-    if (pos_ >= text_.size()) fail("unexpected end");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-  bool consume(std::string_view word) {
-    skipWs();
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  JsonValue parseValue() {
-    const char c = peek();
-    JsonValue v;
-    if (c == '{') return parseObject();
-    if (c == '[') return parseArray();
-    if (c == '"') {
-      v.kind = JsonValue::Kind::String;
-      v.str = parseString();
-      return v;
-    }
-    if (consume("true")) {
-      v.kind = JsonValue::Kind::Bool;
-      v.boolean = true;
-      return v;
-    }
-    if (consume("false")) {
-      v.kind = JsonValue::Kind::Bool;
-      return v;
-    }
-    if (consume("null")) return v;
-    return parseNumber();
-  }
-
-  JsonValue parseObject() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Object;
-    expect('{');
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      const std::string key = parseString();
-      expect(':');
-      v.members.emplace(key, parseValue());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue parseArray() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Array;
-    expect('[');
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.items.push_back(parseValue());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string parseString() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("bad escape");
-      const char e = text_[pos_++];
-      switch (e) {
-      case '"': out += '"'; break;
-      case '\\': out += '\\'; break;
-      case '/': out += '/'; break;
-      case 'b': out += '\b'; break;
-      case 'f': out += '\f'; break;
-      case 'n': out += '\n'; break;
-      case 'r': out += '\r'; break;
-      case 't': out += '\t'; break;
-      case 'u': {
-        if (pos_ + 4 > text_.size()) fail("bad \\u");
-        const unsigned code = static_cast<unsigned>(
-            std::strtoul(std::string(text_.substr(pos_, 4)).c_str(), nullptr,
-                         16));
-        pos_ += 4;
-        if (code > 0xff) fail("non-latin \\u unsupported in tests");
-        out += static_cast<char>(code);
-        break;
-      }
-      default: fail("unknown escape");
-      }
-    }
-    expect('"');
-    return out;
-  }
-
-  JsonValue parseNumber() {
-    skipWs();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E'))
-      ++pos_;
-    if (pos_ == start) fail("expected number");
-    JsonValue v;
-    v.kind = JsonValue::Kind::Number;
-    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
-                           nullptr);
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
 
 std::string freshDir(const std::string& tag) {
   const std::string dir =
@@ -317,6 +148,79 @@ TEST(JsonWriter, RoundTripsThroughAParser) {
   EXPECT_FALSE(v.at("nested").at("empty").boolean);
 }
 
+TEST(JsonWriter, EveryControlCharacterRoundTrips) {
+  // All bytes < 0x20 must come out \u-escaped and parse back verbatim
+  // under a strict parser (which rejects raw control bytes in strings).
+  std::string all;
+  for (int c = 1; c < 0x20; ++c) all += static_cast<char>(c);
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.beginObject().field("s", all).endObject();
+  EXPECT_EQ(os.str().find_first_of(std::string("\x01\x1f", 2)),
+            std::string::npos);
+  const JsonValue v = JsonParser(os.str()).parse();
+  EXPECT_EQ(v.at("s").str, all);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.beginObject();
+  w.field("nan", std::nan(""));
+  w.field("inf", std::numeric_limits<double>::infinity());
+  w.field("ninf", -std::numeric_limits<double>::infinity());
+  w.field("fine", 1.5);
+  w.endObject();
+  const JsonValue v = JsonParser(os.str()).parse();
+  EXPECT_EQ(v.at("nan").kind, JsonValue::Kind::Null);
+  EXPECT_EQ(v.at("inf").kind, JsonValue::Kind::Null);
+  EXPECT_EQ(v.at("ninf").kind, JsonValue::Kind::Null);
+  EXPECT_EQ(v.at("fine").number, 1.5);
+}
+
+TEST(JsonWriter, StructuralMisuseThrowsInsteadOfEmittingGarbage) {
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    EXPECT_THROW(w.key("k"), Error); // key() outside any object
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginArray();
+    EXPECT_THROW(w.key("k"), Error); // key() inside an array
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    EXPECT_THROW(w.value(1), Error); // value without a key
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject().key("a");
+    EXPECT_THROW(w.key("b"), Error); // key immediately after key
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject().key("a");
+    EXPECT_THROW(w.endObject(), Error); // dangling key
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    EXPECT_THROW(w.endArray(), Error); // scope mismatch
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    EXPECT_THROW(w.endObject(), Error); // nothing open
+  }
+}
+
 // ---- job descriptions --------------------------------------------------
 
 TEST(JobSpec, DescribeCoversConfigFields) {
@@ -420,6 +324,64 @@ TEST(ResultCache, HitMissAndSaltInvalidation) {
   fs::remove_all(dir);
 }
 
+TEST(ResultCache, ConcurrentWritersNeverTearAnEntry) {
+  // Regression for the temp-file collision: the temp name used to be a
+  // deterministic hash of the job description, so independent ResultCache
+  // instances (stand-ins for separate processes sharing one cache dir)
+  // racing on the SAME key interleaved writes into one temp file and could
+  // rename a torn entry into place. With per-writer-unique temp names every
+  // lookup must see either a miss or one writer's complete entry.
+  const std::string dir = freshDir("stress");
+  constexpr int kWriters = 8;
+  constexpr int kRounds = 60;
+  const std::string desc = "contended job description";
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> torn{false};
+  for (int t = 0; t < kWriters; ++t)
+    threads.emplace_back([&dir, &desc, &torn, t] {
+      ResultCache cache({dir, "salt"}); // one instance per "process"
+      for (int r = 0; r < kRounds; ++r) {
+        RunRecord rec;
+        // Every field derives from the writer id, so a mixed entry is
+        // detectable.
+        rec.summary.cycles = static_cast<std::uint64_t>(1000 + t);
+        rec.summary.insts = static_cast<std::uint64_t>(2000 + t);
+        rec.wallMicros = 3000 + t;
+        rec.stats["writer"] = t;
+        cache.store(desc, rec);
+        const auto got = cache.lookup(desc);
+        if (!got) continue; // a miss (mid-rename) is acceptable
+        const auto id = got->summary.cycles - 1000;
+        if (got->summary.insts != 2000 + id ||
+            static_cast<std::uint64_t>(got->wallMicros) != 3000 + id ||
+            got->stats.at("writer") != static_cast<std::int64_t>(id))
+          torn = true;
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(torn.load());
+  fs::remove_all(dir);
+}
+
+TEST(ResultCache, ServesWallTimeBackVerbatim) {
+  const std::string dir = freshDir("walltime");
+  ResultCache cache({dir, "salt"});
+  RunRecord rec;
+  rec.summary.cycles = 10;
+  rec.summary.insts = 20;
+  rec.wallMicros = 123456789;
+  cache.store("job", rec);
+  const auto got = cache.lookup("job");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->wallMicros, 123456789);
+  EXPECT_TRUE(got->fromCache);
+  // wallMicros is cache metadata, never a stat: the stats map must not
+  // grow a synthetic entry (the parallel-determinism test depends on it).
+  EXPECT_EQ(got->stats.count("wallMicros"), 0u);
+  fs::remove_all(dir);
+}
+
 TEST(ResultCache, CorruptEntryDegradesToMiss) {
   const std::string dir = freshDir("corrupt");
   ResultCache cache({dir, "salt"});
@@ -474,13 +436,16 @@ TEST(Report, SweepReportParsesBackWithTheExpectedSchema) {
   opts.jobs = 2;
   Sweep sweep(opts);
   sweep.add(smallJob("unsafe"));
-  sweep.add(smallJob("levioso-lite"));
+  // mcf_chase: pointer chasing under poorly predicted branches, so a
+  // restricting policy actually delays transmitters (x264_sad resolves its
+  // branches before any load becomes policy-relevant).
+  sweep.add(smallJob("levioso-lite", "mcf_chase"));
   sweep.run();
   std::ostringstream os;
   sweep.writeJson(os, /*includeStats=*/true);
 
   const JsonValue report = JsonParser(os.str()).parse();
-  EXPECT_EQ(report.at("version").number, 1);
+  EXPECT_EQ(report.at("version").number, 2);
   EXPECT_EQ(report.at("threads").number, 2);
   EXPECT_EQ(report.at("counters").at("points").number, 2);
   EXPECT_EQ(report.at("counters").at("simulated").number, 2);
@@ -492,9 +457,65 @@ TEST(Report, SweepReportParsesBackWithTheExpectedSchema) {
   EXPECT_FALSE(first.at("fromCache").boolean);
   EXPECT_GT(first.at("cycles").number, 0);
   EXPECT_GT(first.at("ipc").number, 0);
+  EXPECT_GT(first.at("wallMicros").number, 0);
   EXPECT_EQ(first.at("config").at("robSize").number, 192);
   EXPECT_EQ(first.at("key").str.size(), 16u);
   EXPECT_GT(first.at("stats").members.size(), 0u);
+  // Histogram metrics flow through the stat dump into the report...
+  EXPECT_TRUE(first.at("stats").has("hist.occ.rob.count"));
+  EXPECT_TRUE(first.at("stats").has("hist.delay.transmitter.count"));
+  // ...and the per-result delay summary is always present. A restricting
+  // policy must show delayed transmitters; the unsafe baseline none.
+  EXPECT_EQ(first.at("delay").at("delayedTransmitters").number, 0);
+  const JsonValue& lite = report.at("results").items[1];
+  EXPECT_EQ(lite.at("policy").str, "levioso-lite");
+  EXPECT_GT(lite.at("delay").at("delayedTransmitters").number, 0);
+  EXPECT_GT(lite.at("delay").at("meanDelay").number, 0);
+}
+
+TEST(Report, WarmCacheRerunReproducesMetricsBitIdentically) {
+  const std::string dir = freshDir("warm");
+  auto report = [&dir](std::size_t* simulated) {
+    ResultCache cache({dir, "salt"});
+    Sweep::Options opts;
+    opts.jobs = 2;
+    opts.cache = &cache;
+    Sweep sweep(opts);
+    sweep.add(smallJob("unsafe"));
+    sweep.add(smallJob("levioso"));
+    sweep.run();
+    if (simulated) *simulated = sweep.counters().simulated;
+    std::ostringstream os;
+    sweep.writeJson(os, /*includeStats=*/true);
+    return os.str();
+  };
+  std::size_t coldSim = 0, warmSim = 0;
+  const std::string cold = report(&coldSim);
+  const std::string warm = report(&warmSim);
+  EXPECT_EQ(coldSim, 2u);
+  EXPECT_EQ(warmSim, 0u); // fully cache-served
+  // Identical except fromCache and the run-counter block: compare every
+  // per-result numeric field (wallMicros included — it is persisted).
+  const JsonValue a = JsonParser(cold).parse();
+  const JsonValue b = JsonParser(warm).parse();
+  ASSERT_EQ(a.at("results").items.size(), b.at("results").items.size());
+  for (std::size_t i = 0; i < a.at("results").items.size(); ++i) {
+    const JsonValue& ra = a.at("results").items[i];
+    const JsonValue& rb = b.at("results").items[i];
+    EXPECT_FALSE(ra.at("fromCache").boolean);
+    EXPECT_TRUE(rb.at("fromCache").boolean);
+    for (const char* f : {"cycles", "insts", "ipc", "wallMicros",
+                          "loadDelayCycles", "execDelayCycles", "mispredicts"})
+      EXPECT_EQ(ra.at(f).number, rb.at(f).number) << i << " " << f;
+    for (const char* f : {"delayedTransmitters", "delayCyclesTotal",
+                          "delayCyclesMax", "meanDelay"})
+      EXPECT_EQ(ra.at("delay").at(f).number, rb.at("delay").at(f).number)
+          << i << " " << f;
+    EXPECT_EQ(ra.at("stats").members.size(), rb.at("stats").members.size());
+    for (const auto& [name, value] : ra.at("stats").members)
+      EXPECT_EQ(value.number, rb.at("stats").at(name).number) << name;
+  }
+  fs::remove_all(dir);
 }
 
 TEST(Report, LeviosoBatchToolEmitsParseableJson) {

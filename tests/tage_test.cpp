@@ -59,6 +59,67 @@ TEST(Tage, LearnsShortPeriodicPattern) {
   EXPECT_LT(tailMis, 6) << "warm-up mispredicts: " << mis;
 }
 
+TEST(Tage, HistoryFoldSpreadsIndicesAndTagsUniformly) {
+  // Regression for the history-fold hygiene fix (each chunk is now masked
+  // to the table/tag width before XOR): for every tagged table, a
+  // deterministic stream of (pc, history) pairs must touch every index slot
+  // and keep the occupancy spread tight. The masked fold is bit-identical
+  // to the previous arithmetic (XOR distributes over the final mask), so
+  // this also pins the figure-9-relevant hash shape against regressions.
+  StatSet stats;
+  const PredictorConfig cfg = tageConfig();
+  BranchPredictor bp(cfg, stats);
+  const std::size_t indexSlots = std::size_t{1} << cfg.tageTableBits;
+  const std::size_t tagSlots = std::size_t{1} << cfg.tageTagBits;
+  for (int table = 0; table < 3; ++table) {
+    std::vector<int> indexHits(indexSlots, 0);
+    std::vector<int> tagHits(tagSlots, 0);
+    std::uint64_t h = 0x243F6A8885A308D3ull;
+    const int samples = 1 << 16;
+    for (int i = 0; i < samples; ++i) {
+      h = h * 6364136223846793005ull + 1442695040888963407ull; // LCG
+      const std::uint64_t pc = 0x1000 + static_cast<std::uint64_t>(i % 997) * 8;
+      const std::size_t idx = bp.tageIndex(table, pc, h);
+      const std::uint16_t tag = bp.tageTag(table, pc, h);
+      ASSERT_LT(idx, indexSlots);
+      ASSERT_LT(tag, tagSlots);
+      ++indexHits[idx];
+      ++tagHits[tag];
+    }
+    const int meanIndex = samples / static_cast<int>(indexSlots);
+    for (std::size_t s = 0; s < indexSlots; ++s) {
+      EXPECT_GT(indexHits[s], 0) << "table " << table << " index " << s
+                                 << " never hit";
+      EXPECT_LT(indexHits[s], meanIndex * 4)
+          << "table " << table << " index " << s << " hot spot";
+    }
+    const int meanTag = samples / static_cast<int>(tagSlots);
+    for (std::size_t s = 0; s < tagSlots; ++s) {
+      EXPECT_GT(tagHits[s], 0) << "table " << table << " tag " << s;
+      EXPECT_LT(tagHits[s], meanTag * 4) << "table " << table << " tag " << s;
+    }
+  }
+}
+
+TEST(Tage, IndexIgnoresHistoryBeyondConfiguredLength) {
+  // The fold must depend only on the low tageHistories[t] bits.
+  StatSet stats;
+  const PredictorConfig cfg = tageConfig();
+  BranchPredictor bp(cfg, stats);
+  for (int table = 0; table < 3; ++table) {
+    const std::uint64_t len = static_cast<std::uint64_t>(cfg.tageHistories[table]);
+    const std::uint64_t low = 0x5A5A5A5A5A5A5A5Aull &
+                              ((std::uint64_t{1} << len) - 1);
+    const std::uint64_t withHighBits = low | (~std::uint64_t{0} << len);
+    EXPECT_EQ(bp.tageIndex(table, 0x4000, low),
+              bp.tageIndex(table, 0x4000, withHighBits))
+        << table;
+    EXPECT_EQ(bp.tageTag(table, 0x4000, low),
+              bp.tageTag(table, 0x4000, withHighBits))
+        << table;
+  }
+}
+
 TEST(Tage, CheckpointRestoreWorksLikeGshare) {
   StatSet stats;
   BranchPredictor bp(tageConfig(), stats);

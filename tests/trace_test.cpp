@@ -1,0 +1,521 @@
+// Tests for the pipeline trace & metrics subsystem (src/trace/): ring
+// buffer semantics, log-scale histograms, exporter output through a strict
+// JSON parser, policy-hook ordering against the recorded event stream for
+// every policy, and the levioso-on-spectre_v1 acceptance trace (delay
+// events naming their blocking branch).
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "backend/compiler.hpp"
+#include "json_test_util.hpp"
+#include "secure/policies.hpp"
+#include "support/stats.hpp"
+#include "trace/export.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+#include "uarch/core.hpp"
+#include "workloads/gadgets.hpp"
+#include "workloads/kernels.hpp"
+
+using namespace lev;
+using levtest::JsonParser;
+using levtest::JsonValue;
+using trace::Event;
+using trace::EventKind;
+using trace::TraceBuffer;
+
+namespace {
+
+Event makeEvent(std::uint64_t cycle, std::uint64_t seq,
+                EventKind kind = EventKind::Commit) {
+  Event e;
+  e.cycle = cycle;
+  e.seq = seq;
+  e.pc = 0x1000 + seq * 4;
+  e.kind = kind;
+  return e;
+}
+
+isa::Program compileGadget(workloads::Gadget g) {
+  return backend::compile(g.module).program;
+}
+
+/// A full kernel run produces millions of events — far more than any
+/// sensible ring. The Spectre-v1 gadget (training loops + attack) halts
+/// after ~10k events yet still exercises mispredicts, squashes, policy
+/// delays, and cache misses, so the drop-free tests use it throughout.
+isa::Program smallProgram() {
+  return compileGadget(workloads::buildSpectreV1());
+}
+
+} // namespace
+
+// ---- TraceBuffer -------------------------------------------------------
+
+TEST(TraceBuffer, RetainsEverythingBelowCapacity) {
+  TraceBuffer buf(8);
+  EXPECT_EQ(buf.capacity(), 8u);
+  EXPECT_EQ(buf.size(), 0u);
+  for (std::uint64_t i = 0; i < 5; ++i) buf.record(makeEvent(i, i + 1));
+  EXPECT_EQ(buf.size(), 5u);
+  EXPECT_EQ(buf.recorded(), 5u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  const auto events = buf.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(events[i].cycle, i);
+}
+
+TEST(TraceBuffer, WrapsOverwritingOldestAndCountsDropped) {
+  TraceBuffer buf(4);
+  for (std::uint64_t i = 0; i < 11; ++i) buf.record(makeEvent(i, i + 1));
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.recorded(), 11u);
+  EXPECT_EQ(buf.dropped(), 7u);
+  const auto events = buf.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first chronological order across the wrap point.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].cycle, 7 + i);
+}
+
+TEST(TraceBuffer, ClearKeepsCapacity) {
+  TraceBuffer buf(4);
+  for (std::uint64_t i = 0; i < 6; ++i) buf.record(makeEvent(i, 1));
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.recorded(), 0u);
+  EXPECT_EQ(buf.capacity(), 4u);
+  buf.record(makeEvent(42, 1));
+  EXPECT_EQ(buf.snapshot().at(0).cycle, 42u);
+}
+
+TEST(TraceEventKind, NamesRoundTripThroughTheParser) {
+  std::set<std::string> seen;
+  for (int k = 0; k < trace::kNumEventKinds; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    const std::string name(trace::eventKindName(kind));
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    EventKind parsed;
+    ASSERT_TRUE(trace::parseEventKind(name, parsed)) << name;
+    EXPECT_EQ(parsed, kind);
+  }
+  EventKind parsed;
+  EXPECT_FALSE(trace::parseEventKind("no-such-event", parsed));
+  EXPECT_FALSE(trace::parseEventKind("", parsed));
+}
+
+// ---- LogHistogram ------------------------------------------------------
+
+TEST(LogHistogram, BucketsArePowersOfTwo) {
+  EXPECT_EQ(trace::LogHistogram::bucketOf(0), 0);
+  EXPECT_EQ(trace::LogHistogram::bucketOf(1), 1);
+  EXPECT_EQ(trace::LogHistogram::bucketOf(2), 2);
+  EXPECT_EQ(trace::LogHistogram::bucketOf(3), 2);
+  EXPECT_EQ(trace::LogHistogram::bucketOf(4), 3);
+  EXPECT_EQ(trace::LogHistogram::bucketOf(1023), 10);
+  EXPECT_EQ(trace::LogHistogram::bucketOf(1024), 11);
+  EXPECT_EQ(trace::LogHistogram::bucketOf(~std::uint64_t{0}), 64);
+  EXPECT_EQ(trace::LogHistogram::bucketMax(0), 0u);
+  EXPECT_EQ(trace::LogHistogram::bucketMax(1), 1u);
+  EXPECT_EQ(trace::LogHistogram::bucketMax(3), 7u);
+  EXPECT_EQ(trace::LogHistogram::bucketMax(64), ~std::uint64_t{0});
+  // Every value lands in the bucket whose range covers it.
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 5ull, 100ull, 65536ull}) {
+    const int b = trace::LogHistogram::bucketOf(v);
+    EXPECT_LE(v, trace::LogHistogram::bucketMax(b));
+    if (b > 0) {
+      EXPECT_GT(v, trace::LogHistogram::bucketMax(b - 1));
+    }
+  }
+}
+
+TEST(LogHistogram, TracksCountSumMaxMean) {
+  trace::LogHistogram h;
+  EXPECT_EQ(h.mean(), 0.0);
+  for (std::uint64_t v : {0ull, 1ull, 3ull, 8ull}) h.add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 12u);
+  EXPECT_EQ(h.max(), 8u);
+  EXPECT_EQ(h.mean(), 3.0);
+  EXPECT_EQ(h.bucketCount(0), 1u); // 0
+  EXPECT_EQ(h.bucketCount(1), 1u); // 1
+  EXPECT_EQ(h.bucketCount(2), 1u); // 3
+  EXPECT_EQ(h.bucketCount(4), 1u); // 8
+}
+
+TEST(LogHistogram, DumpIntoAssignsIdempotently) {
+  trace::LogHistogram h;
+  h.add(5);
+  h.add(5);
+  StatSet stats;
+  h.dumpInto(stats, "hist.x");
+  EXPECT_EQ(stats.get("hist.x.count"), 2);
+  EXPECT_EQ(stats.get("hist.x.sum"), 10);
+  EXPECT_EQ(stats.get("hist.x.max"), 5);
+  EXPECT_EQ(stats.get("hist.x.le7"), 2);
+  // Dumping again must not double anything (values are assigned).
+  h.dumpInto(stats, "hist.x");
+  EXPECT_EQ(stats.get("hist.x.count"), 2);
+  EXPECT_EQ(stats.get("hist.x.le7"), 2);
+  // More samples then re-dump: the stat follows the histogram.
+  h.add(1);
+  h.dumpInto(stats, "hist.x");
+  EXPECT_EQ(stats.get("hist.x.count"), 3);
+}
+
+TEST(MetricsRegistry, HistogramReferencesAreStableAndDumpPrefixed) {
+  trace::MetricsRegistry reg;
+  trace::LogHistogram& a = reg.histogram("alpha");
+  a.add(7);
+  reg.histogram("beta").add(1);
+  EXPECT_EQ(&a, &reg.histogram("alpha")); // stable reference
+  StatSet stats;
+  reg.dumpInto(stats);
+  EXPECT_EQ(stats.get("hist.alpha.count"), 1);
+  EXPECT_EQ(stats.get("hist.alpha.sum"), 7);
+  EXPECT_EQ(stats.get("hist.beta.count"), 1);
+}
+
+// ---- core integration --------------------------------------------------
+
+namespace {
+
+/// Runs `prog` under policy `policyName` with a generously sized trace
+/// buffer attached; asserts the run completed and nothing was dropped.
+struct TracedRun {
+  StatSet stats;
+  TraceBuffer buffer{std::size_t{1} << 20};
+  std::vector<Event> events;
+  std::uint64_t cycles = 0;
+
+  TracedRun(const isa::Program& prog, const std::string& policyName,
+            uarch::SpeculationPolicy* policy = nullptr) {
+    std::unique_ptr<uarch::SpeculationPolicy> owned;
+    if (policy == nullptr) {
+      owned = secure::makePolicy(policyName);
+      policy = owned.get();
+    }
+    policy->reset();
+    uarch::O3Core core(prog, uarch::CoreConfig(), *policy, stats);
+    core.setTraceBuffer(&buffer);
+    EXPECT_EQ(core.run(20'000'000), uarch::RunExit::Halted) << policyName;
+    core.dumpMetrics();
+    cycles = core.cycle();
+    EXPECT_EQ(buffer.dropped(), 0u) << "trace buffer too small for test";
+    events = buffer.snapshot();
+  }
+};
+
+} // namespace
+
+TEST(CoreTrace, EventsFormWellOrderedEpisodesPerSequence) {
+  const isa::Program prog = smallProgram();
+  for (const std::string& policy : secure::policyNames()) {
+    TracedRun run(prog, policy);
+    ASSERT_FALSE(run.events.empty()) << policy;
+
+    // Chronological, and per-seq: Dispatch, then pipeline events, closed by
+    // exactly one Commit or Squash (seqs are reused across squashes, so a
+    // seq may carry many episodes).
+    std::map<std::uint64_t, char> state; // seq -> 'd' = open episode
+    std::uint64_t lastCycle = 0;
+    for (const Event& e : run.events) {
+      // CacheFill is stamped with its future completion cycle; every other
+      // event is recorded at the cycle it happened, in order.
+      if (e.kind != EventKind::CacheFill) {
+        EXPECT_GE(e.cycle, lastCycle) << policy;
+        lastCycle = e.cycle;
+      }
+      if (e.seq == 0) continue; // i-cache / frontend events carry no seq
+      switch (e.kind) {
+      case EventKind::Dispatch:
+        EXPECT_EQ(state.count(e.seq), 0u)
+            << policy << ": seq " << e.seq << " re-dispatched while in flight";
+        state[e.seq] = 'd';
+        break;
+      case EventKind::Commit:
+      case EventKind::Squash:
+        ASSERT_EQ(state.count(e.seq), 1u)
+            << policy << ": seq " << e.seq << " retired without dispatch";
+        state.erase(e.seq);
+        break;
+      default:
+        EXPECT_EQ(state.count(e.seq), 1u)
+            << policy << ": " << trace::eventKindName(e.kind) << " for seq "
+            << e.seq << " outside any episode";
+        break;
+      }
+    }
+    EXPECT_TRUE(state.empty())
+        << policy << ": " << state.size() << " episodes never closed";
+  }
+}
+
+namespace {
+
+/// Forwards every hook to an inner policy while recording the call stream
+/// per sequence number; re-publishes the inner policy's delay attribution
+/// so the core's trace events stay faithful.
+class RecordingPolicy final : public uarch::SpeculationPolicy {
+public:
+  struct Call {
+    char hook; // 'd'ispatch, 'm'ayExecute, 'l'oadIssue, 'c'ommit, 's'quash
+    std::uint64_t seq;
+  };
+
+  explicit RecordingPolicy(std::unique_ptr<uarch::SpeculationPolicy> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override { return "recording:" + inner_->name(); }
+  void reset() override { inner_->reset(); }
+
+  void onDispatch(const uarch::O3Core& core,
+                  const uarch::DynInst& inst) override {
+    calls.push_back({'d', inst.seq});
+    inner_->onDispatch(core, inst);
+  }
+  bool mayExecute(const uarch::O3Core& core,
+                  const uarch::DynInst& inst) override {
+    calls.push_back({'m', inst.seq});
+    inner_->clearLastDelay();
+    const bool ok = inner_->mayExecute(core, inst);
+    if (!ok)
+      noteDelay(inner_->lastDelay().blockingBranch, inner_->lastDelay().cause);
+    return ok;
+  }
+  uarch::LoadAction onLoadIssue(const uarch::O3Core& core,
+                                const uarch::DynInst& inst) override {
+    calls.push_back({'l', inst.seq});
+    inner_->clearLastDelay();
+    const uarch::LoadAction action = inner_->onLoadIssue(core, inst);
+    if (action == uarch::LoadAction::Delay)
+      noteDelay(inner_->lastDelay().blockingBranch, inner_->lastDelay().cause);
+    return action;
+  }
+  void onWriteback(const uarch::O3Core& core,
+                   const uarch::DynInst& inst) override {
+    inner_->onWriteback(core, inst);
+  }
+  void onBranchResolved(const uarch::O3Core& core,
+                        const uarch::DynInst& inst) override {
+    inner_->onBranchResolved(core, inst);
+  }
+  void onSquash(const uarch::O3Core& core, std::uint64_t seq) override {
+    calls.push_back({'s', seq});
+    inner_->onSquash(core, seq);
+  }
+  void onCommit(const uarch::O3Core& core,
+                const uarch::DynInst& inst) override {
+    calls.push_back({'c', inst.seq});
+    inner_->onCommit(core, inst);
+  }
+
+  std::vector<Call> calls;
+
+private:
+  std::unique_ptr<uarch::SpeculationPolicy> inner_;
+};
+
+} // namespace
+
+TEST(CoreTrace, HookOrderMatchesTraceForEveryPolicy) {
+  // The hook contract: every dynamic instruction sees onDispatch, then any
+  // number of mayExecute/onLoadIssue retries, then exactly one of
+  // onCommit/onSquash — and the hook stream agrees with what the trace
+  // buffer recorded (same dispatch/commit/squash multiset per seq).
+  const isa::Program prog = compileGadget(workloads::buildSpectreV1());
+  for (const std::string& policyName : secure::policyNames()) {
+    RecordingPolicy rec(secure::makePolicy(policyName));
+    TracedRun run(prog, policyName, &rec);
+
+    std::map<std::uint64_t, char> open; // seq -> in-episode marker
+    std::map<std::uint64_t, std::map<char, int>> hookCounts;
+    for (const RecordingPolicy::Call& c : rec.calls) {
+      ++hookCounts[c.seq][c.hook];
+      switch (c.hook) {
+      case 'd':
+        ASSERT_EQ(open.count(c.seq), 0u)
+            << policyName << ": onDispatch for in-flight seq " << c.seq;
+        open[c.seq] = 'd';
+        break;
+      case 'm':
+      case 'l':
+        ASSERT_EQ(open.count(c.seq), 1u)
+            << policyName << ": hook '" << c.hook
+            << "' before onDispatch for seq " << c.seq;
+        break;
+      case 'c':
+      case 's':
+        ASSERT_EQ(open.count(c.seq), 1u)
+            << policyName << ": retire hook without onDispatch, seq " << c.seq;
+        open.erase(c.seq);
+        break;
+      }
+    }
+    EXPECT_TRUE(open.empty()) << policyName;
+
+    // Cross-check against the trace buffer: per seq, dispatches == trace
+    // Dispatch events, commits == trace Commits, squashes == trace Squashes.
+    std::map<std::uint64_t, std::map<char, int>> traceCounts;
+    for (const Event& e : run.events) {
+      if (e.kind == EventKind::Dispatch) ++traceCounts[e.seq]['d'];
+      if (e.kind == EventKind::Commit) ++traceCounts[e.seq]['c'];
+      if (e.kind == EventKind::Squash) ++traceCounts[e.seq]['s'];
+    }
+    for (const auto& [seq, counts] : traceCounts) {
+      for (const char h : {'d', 'c', 's'}) {
+        const auto it = counts.find(h);
+        const int want = it == counts.end() ? 0 : it->second;
+        const auto jt = hookCounts[seq].find(h);
+        const int got = jt == hookCounts[seq].end() ? 0 : jt->second;
+        EXPECT_EQ(got, want)
+            << policyName << ": hook/trace mismatch for seq " << seq
+            << " hook '" << h << "'";
+      }
+    }
+  }
+}
+
+TEST(CoreTrace, AttachedBufferDoesNotPerturbTheSimulation) {
+  const isa::Program prog = smallProgram();
+  StatSet plainStats;
+  auto plainPolicy = secure::makePolicy("levioso");
+  uarch::O3Core plain(prog, uarch::CoreConfig(), *plainPolicy, plainStats);
+  ASSERT_EQ(plain.run(20'000'000), uarch::RunExit::Halted);
+  plain.dumpMetrics();
+
+  TracedRun traced(prog, "levioso");
+  EXPECT_EQ(traced.cycles, plain.cycle());
+  EXPECT_EQ(traced.stats.all(), plainStats.all());
+}
+
+TEST(CoreTrace, MetricsFlowIntoTheStatDump) {
+  const isa::Program prog = compileGadget(workloads::buildSpectreV1());
+  TracedRun run(prog, "levioso");
+  const auto& st = run.stats;
+  EXPECT_GT(st.get("hist.occ.rob.count"), 0);
+  EXPECT_GT(st.get("hist.occ.iq.count"), 0);
+  EXPECT_GT(st.get("hist.delay.transmitter.count"), 0);
+  EXPECT_GT(st.get("hist.delay.transmitter.sum"), 0);
+  EXPECT_GT(st.get("policy.delayCycles.true-dependee"), 0);
+  // Levioso delays only under true dependees — never the blanket rules.
+  EXPECT_EQ(st.get("policy.delayCycles.unresolved-branch"), 0);
+  // The per-cause counters partition the total delay-cycle count.
+  std::int64_t perCause = 0;
+  for (int c = 0; c < trace::kNumDelayCauses; ++c)
+    perCause += st.get(
+        "policy.delayCycles." +
+        std::string(delayCauseName(static_cast<trace::DelayCause>(c))));
+  EXPECT_EQ(perCause, st.get("policy.loadDelayCycles") +
+                          st.get("policy.execDelayCycles"));
+}
+
+TEST(CoreTrace, UnsafeBaselineRecordsNoPolicyEvents) {
+  const isa::Program prog = compileGadget(workloads::buildSpectreV1());
+  TracedRun run(prog, "unsafe");
+  for (const Event& e : run.events) {
+    EXPECT_NE(e.kind, EventKind::PolicyDelay);
+    EXPECT_NE(e.kind, EventKind::PolicyRelease);
+  }
+  EXPECT_EQ(run.stats.get("hist.delay.transmitter.count"), 0);
+}
+
+// ---- exporters ---------------------------------------------------------
+
+TEST(TraceExport, ChromeJsonIsStrictlyParseable) {
+  const isa::Program prog = smallProgram();
+  TracedRun run(prog, "fence");
+  std::ostringstream os;
+  trace::ExportOptions opts;
+  opts.program = &prog;
+  trace::writeChromeTrace(os, run.buffer, opts);
+
+  const JsonValue doc = JsonParser(os.str()).parse();
+  EXPECT_EQ(doc.at("otherData").at("tool").str, "levioso-trace");
+  EXPECT_EQ(doc.at("otherData").at("dropped").number, 0);
+  const auto& events = doc.at("traceEvents").items;
+  ASSERT_FALSE(events.empty());
+  for (const JsonValue& e : events) {
+    ASSERT_TRUE(e.has("name"));
+    ASSERT_TRUE(e.has("ph"));
+    ASSERT_TRUE(e.has("ts"));
+    ASSERT_TRUE(e.has("tid"));
+    if (e.at("ph").str == "X") {
+      EXPECT_EQ(e.at("name").str, "delayed");
+      EXPECT_GT(e.at("dur").number, 0);
+    } else {
+      EXPECT_EQ(e.at("ph").str, "i");
+      trace::EventKind kind;
+      EXPECT_TRUE(trace::parseEventKind(e.at("name").str, kind))
+          << e.at("name").str;
+    }
+  }
+}
+
+TEST(TraceExport, EventFilterKeepsOnlyRequestedKinds) {
+  const isa::Program prog = smallProgram();
+  TracedRun run(prog, "fence");
+  std::ostringstream os;
+  trace::ExportOptions opts;
+  opts.include = {EventKind::Commit};
+  trace::writeCsv(os, run.buffer, opts);
+
+  std::istringstream in(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "cycle,event,seq,pc,arg,cause");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    EXPECT_NE(line.find(",commit,"), std::string::npos) << line;
+    ++rows;
+  }
+  std::size_t commits = 0;
+  for (const Event& e : run.events)
+    if (e.kind == EventKind::Commit) ++commits;
+  EXPECT_EQ(rows, commits);
+  EXPECT_GT(rows, 0u);
+}
+
+TEST(TraceExport, LeviosoSpectreV1DelaysNameTheBlockingBranch) {
+  // The acceptance trace: levioso on the Spectre-v1 gadget must record
+  // policy-delay events whose blockingBranch is a real speculation source
+  // (a seq that later resolves or mispredicts), with cause true-dependee.
+  const isa::Program prog = compileGadget(workloads::buildSpectreV1());
+  TracedRun run(prog, "levioso");
+
+  std::set<std::uint64_t> resolvedBranches;
+  for (const Event& e : run.events)
+    if (e.kind == EventKind::Resolve || e.kind == EventKind::Mispredict)
+      resolvedBranches.insert(e.seq);
+
+  std::ostringstream os;
+  trace::ExportOptions opts;
+  opts.program = &prog;
+  opts.include = {EventKind::PolicyDelay, EventKind::PolicyRelease};
+  trace::writeChromeTrace(os, run.buffer, opts);
+  const JsonValue doc = JsonParser(os.str()).parse();
+
+  std::size_t delays = 0, releases = 0;
+  for (const JsonValue& e : doc.at("traceEvents").items) {
+    if (e.at("name").str == "policy-delay") {
+      ++delays;
+      EXPECT_EQ(e.at("args").at("cause").str, "true-dependee");
+      const auto blocking =
+          static_cast<std::uint64_t>(e.at("args").at("blockingBranch").number);
+      const auto delayedSeq = static_cast<std::uint64_t>(e.at("tid").number);
+      EXPECT_NE(blocking, 0u);
+      EXPECT_LT(blocking, delayedSeq); // an OLDER instruction
+      EXPECT_TRUE(resolvedBranches.count(blocking))
+          << "blocking branch " << blocking << " never resolved";
+      EXPECT_TRUE(e.at("args").has("insn")); // disassembly rides along
+    }
+    if (e.at("name").str == "policy-release") ++releases;
+  }
+  EXPECT_GT(delays, 0u);
+  EXPECT_GT(releases, 0u);
+}

@@ -1,12 +1,18 @@
-// levioso-trace: per-event pipeline trace of a program's first N cycles.
+// levioso-trace: pipeline trace of a program run under a policy.
 //
 //   levioso-trace --kernel mcf_chase --policy levioso --cycles 300
-//   levioso-trace file.asm --policy spt --cycles 200
+//   levioso-trace --gadget spectre_v1 --policy levioso --format chrome
+//                 --out trace.json
+//   levioso-trace file.asm --policy spt --format csv --events policy-delay
 //
-// Each line: "<cycle> <event> seq=<n> pc=0x<pc> <disasm>", where event is
-// one of dispatch / issue / issue-load / issue-store / writeback / resolve
-// / mispredict / squash / commit. Useful for watching exactly when a
-// policy holds a transmitter back and when the squash wave hits.
+// Formats:
+//   text    per-line "<cycle> <event> seq=<n> pc=0x<pc> <disasm>" (default)
+//   chrome  Chrome trace-event JSON — open in chrome://tracing or Perfetto
+//   csv     "cycle,event,seq,pc,arg,cause"
+//
+// --events filters to a comma-separated list of event kinds (chrome/csv);
+// --stats appends the end-of-run counter dump to stderr. Event schema:
+// docs/TRACING.md.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -15,42 +21,109 @@
 #include "isa/asmparser.hpp"
 #include "secure/policies.hpp"
 #include "support/stats.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "uarch/core.hpp"
+#include "workloads/gadgets.hpp"
 #include "workloads/kernels.hpp"
 
 using namespace lev;
 
 namespace {
+
 [[noreturn]] void usage() {
-  std::cerr << "usage: levioso-trace (<file.asm>|--kernel <name>) "
-               "[--policy P] [--cycles N]\n";
+  std::cerr
+      << "usage: levioso-trace (<file.asm>|--kernel <name>|--gadget <name>) "
+         "[options]\n"
+         "  --policy P       speculation policy (default unsafe)\n"
+         "  --cycles N       stop after N cycles (default 200; gadgets run "
+         "to halt)\n"
+         "  --format F       text | chrome | csv (default text)\n"
+         "  --out FILE       write the trace to FILE instead of stdout\n"
+         "  --events LIST    comma-separated event kinds to keep "
+         "(chrome/csv)\n"
+         "  --buffer N       ring capacity in events (default 65536)\n"
+         "  --stats          dump end-of-run counters to stderr\n"
+         "  gadgets: spectre_v1 | nonspec_secret | spectre_v2\n";
   std::exit(2);
 }
+
+std::vector<trace::EventKind> parseEventList(const std::string& list) {
+  std::vector<trace::EventKind> kinds;
+  std::stringstream ss(list);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    trace::EventKind k;
+    if (!trace::parseEventKind(name, k))
+      throw Error("unknown event kind: " + name);
+    kinds.push_back(k);
+  }
+  return kinds;
+}
+
+isa::Program buildGadget(const std::string& name) {
+  if (name == "spectre_v1") {
+    workloads::Gadget g = workloads::buildSpectreV1();
+    return backend::compile(g.module).program;
+  }
+  if (name == "nonspec_secret") {
+    workloads::Gadget g = workloads::buildNonSpecSecret();
+    return backend::compile(g.module).program;
+  }
+  if (name == "spectre_v2") return workloads::buildSpectreV2().program;
+  throw Error("unknown gadget: " + name +
+              " (spectre_v1, nonspec_secret, spectre_v2)");
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-  std::string file, kernel, policy = "unsafe";
-  std::uint64_t cycles = 200;
+  std::string file, kernel, gadget, policy = "unsafe", format = "text", out;
+  std::string events;
+  std::uint64_t cycles = 0;
+  std::size_t bufferCap = std::size_t{1} << 16;
+  bool dumpStats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--kernel" && i + 1 < argc)
       kernel = argv[++i];
+    else if (a == "--gadget" && i + 1 < argc)
+      gadget = argv[++i];
     else if (a == "--policy" && i + 1 < argc)
       policy = argv[++i];
     else if (a == "--cycles" && i + 1 < argc)
       cycles = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (a == "--format" && i + 1 < argc)
+      format = argv[++i];
+    else if (a == "--out" && i + 1 < argc)
+      out = argv[++i];
+    else if (a == "--events" && i + 1 < argc)
+      events = argv[++i];
+    else if (a == "--buffer" && i + 1 < argc)
+      bufferCap = static_cast<std::size_t>(std::atoll(argv[++i]));
+    else if (a == "--stats")
+      dumpStats = true;
     else if (!a.empty() && a[0] != '-')
       file = a;
     else
       usage();
   }
-  if (file.empty() == kernel.empty()) usage();
+  const int sources =
+      (!file.empty() ? 1 : 0) + (!kernel.empty() ? 1 : 0) +
+      (!gadget.empty() ? 1 : 0);
+  if (sources != 1) usage();
+  if (format != "text" && format != "chrome" && format != "csv") usage();
+  // Gadgets must run to completion for the attack window to appear;
+  // kernels/asm default to a short prefix as before.
+  if (cycles == 0) cycles = gadget.empty() ? 200 : 10'000'000;
 
   try {
     isa::Program prog;
     if (!kernel.empty()) {
       ir::Module mod = workloads::buildKernel(kernel);
       prog = backend::compile(mod).program;
+    } else if (!gadget.empty()) {
+      prog = buildGadget(gadget);
     } else {
       std::ifstream in(file);
       if (!in) throw Error("cannot open " + file);
@@ -59,13 +132,38 @@ int main(int argc, char** argv) {
       prog = isa::assemble(ss.str());
     }
 
+    std::ofstream outFile;
+    std::ostream* os = &std::cout;
+    if (!out.empty()) {
+      outFile.open(out);
+      if (!outFile) throw Error("cannot open " + out + " for writing");
+      os = &outFile;
+    }
+
     StatSet stats;
     auto pol = secure::makePolicy(policy);
     uarch::O3Core core(prog, uarch::CoreConfig(), *pol, stats);
-    core.setTrace(&std::cout);
+
+    trace::TraceBuffer buffer(bufferCap);
+    core.setTraceBuffer(&buffer);
+    if (format == "text") core.setTrace(os);
+
     while (!core.halted() && core.cycle() < cycles) core.tick();
+    core.dumpMetrics();
+
+    trace::ExportOptions exportOpts;
+    exportOpts.program = &prog;
+    if (!events.empty()) exportOpts.include = parseEventList(events);
+    if (format == "chrome")
+      trace::writeChromeTrace(*os, buffer, exportOpts);
+    else if (format == "csv")
+      trace::writeCsv(*os, buffer, exportOpts);
+
     std::cerr << "--- stopped at cycle " << core.cycle() << ", committed "
-              << core.committedInsts() << " (policy " << policy << ")\n";
+              << core.committedInsts() << " (policy " << policy << "); "
+              << buffer.recorded() << " events recorded, " << buffer.dropped()
+              << " dropped\n";
+    if (dumpStats) stats.print(std::cerr);
     return 0;
   } catch (const Error& e) {
     std::cerr << "levioso-trace: " << e.what() << "\n";
