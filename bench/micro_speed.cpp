@@ -1,13 +1,25 @@
 // Micro-benchmarks (google-benchmark): throughput of the simulator and the
 // compiler passes themselves. Not a paper figure — tooling health numbers
 // so regressions in the infrastructure are visible.
+//
+// `--speed-json FILE` switches to the perf-trajectory mode instead: it
+// measures host-side simulator throughput (simulated instructions per wall
+// second, MIPS) for every policy and writes a machine-readable report.
+// `bench/baselines/BENCH_speed.json` holds the committed baseline; CI
+// regenerates the report on every push (docs/PERF.md).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 
 #include "analysis/cfg.hpp"
 #include "analysis/domtree.hpp"
 #include "bench_common.hpp"
 #include "levioso/branchdeps.hpp"
 #include "secure/policies.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "uarch/cache.hpp"
 #include "uarch/funcsim.hpp"
@@ -95,6 +107,104 @@ void BM_PredictorLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictorLookup);
 
+// ------------------------------------------------------- speed-json mode --
+
+/// Wall-clock throughput of one policy on the reference kernel: repeat
+/// whole simulations until `minSeconds` of wall time accumulate (3 runs
+/// minimum so one noisy run cannot dominate).
+struct SpeedSample {
+  std::string policy;
+  int runs = 0;
+  std::uint64_t simInsts = 0;
+  std::uint64_t simCycles = 0;
+  double wallSeconds = 0.0;
+};
+
+SpeedSample measurePolicy(const std::string& policy, double minSeconds) {
+  using clock = std::chrono::steady_clock;
+  SpeedSample s;
+  s.policy = policy;
+  { // Warm-up run: page in code/data, settle the allocator.
+    sim::Simulation warm(compiledKernel().program, uarch::CoreConfig(), policy);
+    warm.run(4'000'000'000ull);
+  }
+  while (s.runs < 3 || s.wallSeconds < minSeconds) {
+    const auto t0 = clock::now();
+    sim::Simulation run(compiledKernel().program, uarch::CoreConfig(), policy);
+    run.run(4'000'000'000ull);
+    const auto t1 = clock::now();
+    s.wallSeconds += std::chrono::duration<double>(t1 - t0).count();
+    s.simInsts += run.core().committedInsts();
+    s.simCycles += run.core().cycle();
+    ++s.runs;
+  }
+  return s;
+}
+
+int speedJsonMain(const std::string& path, double minSeconds) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "micro_speed: cannot write " << path << "\n";
+    return 1;
+  }
+  JsonWriter w(out);
+  w.beginObject();
+  w.field("bench", "micro_speed");
+  w.field("kernel", "gcc_branchy");
+#ifdef NDEBUG
+  w.field("build", "release");
+#else
+  w.field("build", "debug");
+#endif
+  w.field("minSecondsPerPolicy", minSeconds);
+  w.key("policies").beginArray();
+  for (const std::string& policy : secure::policyNames()) {
+    const SpeedSample s = measurePolicy(policy, minSeconds);
+    const double mips =
+        static_cast<double>(s.simInsts) / s.wallSeconds / 1e6;
+    const double mcps =
+        static_cast<double>(s.simCycles) / s.wallSeconds / 1e6;
+    w.beginObject();
+    w.field("policy", s.policy);
+    w.field("runs", s.runs);
+    w.field("simInsts", s.simInsts);
+    w.field("simCycles", s.simCycles);
+    w.field("wallSeconds", s.wallSeconds);
+    w.field("hostMips", mips);
+    w.field("hostMcps", mcps);
+    w.endObject();
+    std::cerr << "  " << s.policy << ": " << mips << " MIPS (" << mcps
+              << " Mcycles/s, " << s.runs << " runs)\n";
+  }
+  w.endArray();
+  w.endObject();
+  out << "\n";
+  std::cerr << "micro_speed: wrote " << path << "\n";
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string speedJson;
+  double minSeconds = 1.0;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--speed-json") == 0 && i + 1 < argc) {
+      speedJson = argv[++i];
+    } else if (std::strcmp(argv[i], "--speed-secs") == 0 && i + 1 < argc) {
+      minSeconds = std::atof(argv[++i]);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!speedJson.empty()) return speedJsonMain(speedJson, minSeconds);
+
+  int bargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

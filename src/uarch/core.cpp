@@ -36,6 +36,12 @@ O3Core::O3Core(const isa::Program& prog, const CoreConfig& cfg,
         std::string(trace::delayCauseName(static_cast<trace::DelayCause>(c))));
   commitStallCycles_ = &stats_.counter("commit.stallCycles");
   issueStarvedCycles_ = &stats_.counter("issue.starvedCycles");
+  // These four fire in every run's first cycles, so binding them here never
+  // adds a counter the scan-based core would not have dumped.
+  fetchInsts_ = &stats_.counter("fetch.insts");
+  dispatchInsts_ = &stats_.counter("dispatch.insts");
+  issueInsts_ = &stats_.counter("issue.insts");
+  commitInsts_ = &stats_.counter("commit.insts");
   policy_.reset();
 }
 
@@ -58,22 +64,45 @@ const DynInst* O3Core::robFindConst(std::uint64_t seq) const {
 bool O3Core::trulyDependsOn(const DynInst& inst, const DynInst& branch) const {
   // Indirect control flow has no compiler annotation: conservative.
   if (branch.si.op == Opc::JALR) return true;
-  const int fi = prog_.funcIndexOfPc(inst.pc);
-  const int fb = prog_.funcIndexOfPc(branch.pc);
+  // Function indices are memoized per DynInst (dispatch fills them; the
+  // lazy guard covers externally constructed instructions).
+  if (inst.funcIndex == DynInst::kFuncIndexUnknown)
+    inst.funcIndex = prog_.funcIndexOfPc(inst.pc);
+  if (branch.funcIndex == DynInst::kFuncIndexUnknown)
+    branch.funcIndex = prog_.funcIndexOfPc(branch.pc);
   // Cross-function (or unknown provenance): the intra-procedural analysis
   // says nothing — conservative.
-  if (fi < 0 || fb < 0 || fi != fb) return true;
+  if (inst.funcIndex < 0 || branch.funcIndex < 0 ||
+      inst.funcIndex != branch.funcIndex)
+    return true;
   LEV_CHECK(inst.hint != nullptr, "dispatched instruction without hint");
   return inst.hint->dependsOn(branch.pc);
 }
 
 std::uint64_t O3Core::oldestUnresolvedTrueDependee(const DynInst& inst) const {
+  // Memoized: while the cached blocking branch stays unresolved it is still
+  // the oldest unresolved true dependee (the dependee set is static — hints
+  // don't change — and dispatch order means no *older* unresolved branch
+  // can appear under a live instruction). A cached "none" therefore holds
+  // for the instruction's whole lifetime. The scan below re-runs only when
+  // the blocking branch resolves, commits or squashes.
+  if (inst.memoDependeeValid) {
+    if (inst.memoDependee == 0) return 0;
+    const DynInst* b = robFindConst(inst.memoDependee);
+    if (b != nullptr && !b->resolved) return inst.memoDependee;
+  }
+  std::uint64_t found = 0;
   for (std::uint64_t seq : unresolvedBranches_) {
     if (seq >= inst.seq) break;
     const DynInst* branch = robFindConst(seq);
-    if (branch != nullptr && trulyDependsOn(inst, *branch)) return seq;
+    if (branch != nullptr && trulyDependsOn(inst, *branch)) {
+      found = seq;
+      break;
+    }
   }
-  return 0;
+  inst.memoDependee = found;
+  inst.memoDependeeValid = true;
+  return found;
 }
 
 namespace {
@@ -123,8 +152,10 @@ void O3Core::dumpMetrics() { metrics_.dumpInto(stats_); }
 void O3Core::dumpState(std::ostream& os) const {
   os << "cycle " << cycle_ << " fetchPc 0x" << std::hex << fetchPc_ << std::dec
      << " stopped=" << fetchStopped_ << " fq=" << fetchQueue_.size()
-     << " rob=" << rob_.size() << " notIssued=" << notIssued_.size()
-     << " executing=" << executing_.size()
+     << " rob=" << rob_.size() << " iq=" << iqCount_
+     << " ready=" << readyQueue_.size()
+     << " executing=" << completionHeap_.size()
+     << " stores=" << storeSeqs_.size() << "/" << sqUnknownAddr_ << "?"
      << " unresolved=" << unresolvedBranches_.size() << "\n";
   int shown = 0;
   for (const DynInst& di : rob_) {
@@ -186,7 +217,7 @@ void O3Core::fetchStage() {
       di.predictedNext = fetchPc_;
       fetchQueue_.push_back(std::move(f));
       fetchStopped_ = true;
-      ++stats_.counter("fetch.offTextPath");
+      ++lazyStat(ls_.fetchOffText, "fetch.offTextPath");
       return;
     }
 
@@ -227,7 +258,7 @@ void O3Core::fetchStage() {
       tbuf_->record(e);
     }
     fetchQueue_.push_back(std::move(f));
-    ++stats_.counter("fetch.insts");
+    ++*fetchInsts_;
 
     if (isHalt) {
       fetchStopped_ = true;
@@ -248,16 +279,19 @@ void O3Core::dispatchStage() {
         cycle_)
       return;
     if (static_cast<int>(rob_.size()) >= cfg_.robSize) {
-      ++stats_.counter("dispatch.robFullCycles");
+      ++lazyStat(ls_.dispatchRobFull, "dispatch.robFullCycles");
       return;
     }
-    if (static_cast<int>(notIssued_.size()) >= cfg_.iqSize) return;
+    if (iqCount_ >= cfg_.iqSize) return;
     if (f.di.isLoad() && loadsInFlight_ >= cfg_.lqSize) return;
-    if (f.di.isStore() && storesInFlight_ >= cfg_.sqSize) return;
+    if (f.di.isStore() && static_cast<int>(storeSeqs_.size()) >= cfg_.sqSize)
+      return;
 
     DynInst di = std::move(f.di);
     fetchQueue_.pop_front();
     di.seq = nextSeq_++;
+    di.gen = nextGen_++;
+    di.funcIndex = prog_.funcIndexOfPc(di.pc);
 
     // Capture operands from the rename map.
     auto captureOperand = [&](int idx, int reg) {
@@ -297,15 +331,18 @@ void O3Core::dispatchStage() {
     }
 
     if (di.isLoad()) ++loadsInFlight_;
-    if (di.isStore()) ++storesInFlight_;
+    if (di.isStore()) {
+      storeSeqs_.push_back(di.seq);
+      ++sqUnknownAddr_; // address unknown until the store "executes"
+    }
     if (di.isSpecSource()) unresolvedBranches_.push_back(di.seq);
 
     rob_.push_back(std::move(di));
     prevMap_.push_back(prev);
     prevMapValid_.push_back(prevValid);
-    waiters_.emplace_back();
-    notIssued_.push_back(rob_.back().seq);
-    ++stats_.counter("dispatch.insts");
+    waiters_.push_back(acquireWaiterList());
+    ++iqCount_;
+    ++*dispatchInsts_;
 
     // Register waiters for still-pending operands.
     DynInst& placed = rob_.back();
@@ -318,6 +355,7 @@ void O3Core::dispatchStage() {
             .push_back({placed.seq, opIdx});
       }
     }
+    wakeIfReady(placed); // already-ready instructions go straight to issue
 
     traceEvent(trace::EventKind::Dispatch, placed);
     policy_.onDispatch(*this, placed);
@@ -367,7 +405,7 @@ void O3Core::executeInst(DynInst& inst) {
     hier_.l1d().flushLine(addr);
     hier_.l2().flushLine(addr);
     inst.result = 0;
-    ++stats_.counter("exec.flushes");
+    ++lazyStat(ls_.execFlushes, "exec.flushes");
   } else {
     // HALT / NOP / synthetic: inert until commit.
     inst.result = 0;
@@ -375,7 +413,7 @@ void O3Core::executeInst(DynInst& inst) {
 
   inst.issued = true;
   inst.completeCycle = cycle_ + static_cast<std::uint64_t>(latency);
-  executing_.push_back(inst.seq);
+  scheduleCompletion(inst);
   traceEvent(trace::EventKind::Issue, inst);
 }
 
@@ -385,13 +423,30 @@ bool O3Core::tryIssueLoad(DynInst& inst) {
   const int size = isa::memSize(inst.si.op);
 
   // Conservative memory disambiguation: every older store must have a known
-  // address before any younger load may access memory.
+  // address before any younger load may access memory. The store-queue
+  // index makes this O(in-flight stores) — O(1) when no older store exists
+  // (the common case this rejects/accepts without touching the ROB) —
+  // instead of a walk over the whole ROB.
   const DynInst* forwardStore = nullptr;
-  for (const DynInst& older : rob_) {
-    if (older.seq >= inst.seq) break;
-    if (!older.isStore()) continue;
+  if (!storeSeqs_.empty() && storeSeqs_.front() < inst.seq &&
+      sqUnknownAddr_ > 0) {
+    // O(1) fast-path reject: the oldest in-flight store is older than this
+    // load and its address is still unknown — the scan below would stop on
+    // its first iteration.
+    const DynInst* oldest = robFindConst(storeSeqs_.front());
+    LEV_CHECK(oldest != nullptr, "store-queue entry missing from ROB");
+    if (!oldest->addrValid) {
+      ++lazyStat(ls_.lsqWaitUnknownStore, "lsq.loadWaitUnknownStoreAddr");
+      return false;
+    }
+  }
+  for (std::uint64_t storeSeq : storeSeqs_) {
+    if (storeSeq >= inst.seq) break;
+    const DynInst* sp = robFindConst(storeSeq);
+    LEV_CHECK(sp != nullptr, "store-queue entry missing from ROB");
+    const DynInst& older = *sp;
     if (!older.addrValid) {
-      ++stats_.counter("lsq.loadWaitUnknownStoreAddr");
+      ++lazyStat(ls_.lsqWaitUnknownStore, "lsq.loadWaitUnknownStoreAddr");
       return false;
     }
     const std::uint64_t sa = older.memAddr;
@@ -402,10 +457,10 @@ bool O3Core::tryIssueLoad(DynInst& inst) {
     if (!overlap) continue;
     const bool contained = sa <= la && la + ls <= sa + ss;
     if (contained) {
-      forwardStore = &older; // youngest containing store wins (keep looping)
+      forwardStore = sp; // youngest containing store wins (keep looping)
     } else {
       // Partial overlap: wait for the store to commit to memory.
-      ++stats_.counter("lsq.loadWaitPartialOverlap");
+      ++lazyStat(ls_.lsqWaitPartialOverlap, "lsq.loadWaitPartialOverlap");
       return false;
     }
   }
@@ -416,7 +471,7 @@ bool O3Core::tryIssueLoad(DynInst& inst) {
   policy_.clearLastDelay();
   const LoadAction action = policy_.onLoadIssue(*this, inst);
   if (action == LoadAction::Delay) {
-    ++stats_.counter("policy.loadDelayCycles");
+    ++lazyStat(ls_.policyLoadDelay, "policy.loadDelayCycles");
     notePolicyDelay(inst);
     inst.addrValid = false; // not yet visible to younger disambiguation
     return false;
@@ -429,12 +484,12 @@ bool O3Core::tryIssueLoad(DynInst& inst) {
     if (size < 8) value &= (1ull << (8 * size)) - 1;
     latency = cfg_.storeForwardLat;
     inst.forwardedFrom = forwardStore->seq;
-    ++stats_.counter("lsq.forwards");
+    ++lazyStat(ls_.lsqForwards, "lsq.forwards");
   } else if (action == LoadAction::ProceedInvisibly) {
     value = mem_.read(addr, size);
     latency = hier_.l1d().hitLatency();
     inst.invisibleLoad = true;
-    ++stats_.counter("policy.invisibleLoads");
+    ++lazyStat(ls_.policyInvisibleLoads, "policy.invisibleLoads");
   } else {
     // MSHR limit: a load that would start a new miss while all miss
     // registers are busy waits in the issue queue. Probed without touching
@@ -444,7 +499,7 @@ bool O3Core::tryIssueLoad(DynInst& inst) {
       std::erase_if(missCompletions_,
                     [&](std::uint64_t c) { return c <= cycle_; });
       if (static_cast<int>(missCompletions_.size()) >= cfg_.mshrs) {
-        ++stats_.counter("lsq.mshrFullCycles");
+        ++lazyStat(ls_.lsqMshrFull, "lsq.mshrFullCycles");
         inst.addrValid = false;
         return false;
       }
@@ -475,9 +530,9 @@ bool O3Core::tryIssueLoad(DynInst& inst) {
   inst.result = value;
   inst.issued = true;
   inst.completeCycle = cycle_ + static_cast<std::uint64_t>(latency);
-  executing_.push_back(inst.seq);
+  scheduleCompletion(inst);
   traceEvent(trace::EventKind::IssueLoad, inst, addr);
-  ++stats_.counter("issue.loads");
+  ++lazyStat(ls_.issueLoads, "issue.loads");
   return true;
 }
 
@@ -487,28 +542,28 @@ bool O3Core::tryIssueStore(DynInst& inst) {
   inst.memAddr = readOperand(inst, 0) + static_cast<std::uint64_t>(inst.si.imm);
   inst.storeData = readOperand(inst, 1);
   inst.addrValid = true;
+  --sqUnknownAddr_; // address now visible to younger disambiguation
   inst.issued = true;
   inst.completeCycle = cycle_ + 1;
-  executing_.push_back(inst.seq);
+  scheduleCompletion(inst);
   traceEvent(trace::EventKind::IssueStore, inst, inst.memAddr);
-  ++stats_.counter("issue.stores");
+  ++lazyStat(ls_.issueStores, "issue.stores");
   return true;
 }
 
 void O3Core::issueStage() {
   int aluUsed = 0, mulUsed = 0, memUsed = 0, issued = 0;
-  std::vector<std::uint64_t> done;
+  doneScratch_.clear();
 
-  for (std::uint64_t seq : notIssued_) {
+  // Event-driven select: only instructions whose operands are all ready are
+  // in the queue (deliverValue moved them here), oldest first — the same
+  // visit order the scan over notIssued_ produced, minus the futile visits
+  // to operand-waiting instructions.
+  for (std::uint64_t seq : readyQueue_) {
     if (issued >= cfg_.issueWidth) break;
     DynInst* ip = robFind(seq);
-    LEV_CHECK(ip != nullptr, "notIssued entry missing from ROB");
+    LEV_CHECK(ip != nullptr, "ready-queue entry missing from ROB");
     DynInst& di = *ip;
-
-    bool ready = true;
-    for (const auto& op : di.ops)
-      if (op.present && !op.ready) ready = false;
-    if (!ready) continue;
 
     // Structural hazards.
     const Opc op = di.si.op;
@@ -533,7 +588,7 @@ void O3Core::issueStage() {
 
     policy_.clearLastDelay();
     if (!policy_.mayExecute(*this, di)) {
-      ++stats_.counter("policy.execDelayCycles");
+      ++lazyStat(ls_.policyExecDelay, "policy.execDelayCycles");
       notePolicyDelay(di);
       continue;
     }
@@ -568,20 +623,51 @@ void O3Core::issueStage() {
       }
     }
     ++issued;
-    done.push_back(seq);
+    doneScratch_.push_back(seq);
+    --iqCount_;
   }
 
-  if (!done.empty()) {
-    auto keep = [&](std::uint64_t s) {
-      return !std::binary_search(done.begin(), done.end(), s);
-    };
-    std::erase_if(notIssued_, [&](std::uint64_t s) { return !keep(s); });
-  }
-  if (issued == 0 && !notIssued_.empty()) ++*issueStarvedCycles_;
-  stats_.counter("issue.insts") += issued;
+  if (!doneScratch_.empty())
+    std::erase_if(readyQueue_, [&](std::uint64_t s) {
+      return std::binary_search(doneScratch_.begin(), doneScratch_.end(), s);
+    });
+  if (issued == 0 && iqCount_ > 0) ++*issueStarvedCycles_;
+  *issueInsts_ += issued;
 }
 
 // ------------------------------------------------------------ writeback --
+
+void O3Core::wakeIfReady(DynInst& di) {
+  if (di.inReadyQueue || di.issued) return;
+  for (const auto& op : di.ops)
+    if (op.present && !op.ready) return;
+  // Keep the queue sorted by seq so issue select stays oldest-first. At
+  // dispatch the new seq is the maximum (append, O(1)); writeback wakeups
+  // insert into a queue bounded by the IQ size.
+  readyQueue_.insert(
+      std::upper_bound(readyQueue_.begin(), readyQueue_.end(), di.seq),
+      di.seq);
+  di.inReadyQueue = true;
+}
+
+void O3Core::scheduleCompletion(const DynInst& inst) {
+  completionHeap_.push_back({inst.completeCycle, inst.seq, inst.gen});
+  std::push_heap(completionHeap_.begin(), completionHeap_.end(),
+                 completionLater);
+}
+
+std::vector<O3Core::Waiter> O3Core::acquireWaiterList() {
+  if (waiterPool_.empty()) return {};
+  std::vector<Waiter> list = std::move(waiterPool_.back());
+  waiterPool_.pop_back();
+  return list; // cleared on release, capacity retained
+}
+
+void O3Core::releaseWaiterList(std::vector<Waiter>&& list) {
+  if (waiterPool_.size() >= 512) return; // cap pool at ~ROB+IQ churn depth
+  list.clear();
+  waiterPool_.push_back(std::move(list));
+}
 
 void O3Core::deliverValue(DynInst& producer) {
   const std::size_t idx =
@@ -593,6 +679,7 @@ void O3Core::deliverValue(DynInst& producer) {
     if (op.present && !op.ready && op.producer == producer.seq) {
       op.ready = true;
       op.value = producer.result;
+      wakeIfReady(*consumer); // last missing operand → into the ready queue
     }
   }
   waiters_[idx].clear();
@@ -613,7 +700,7 @@ void O3Core::resolveBranch(DynInst& branch) {
   if (branch.actualNext != branch.predictedNext) {
     branch.mispredicted = true;
     traceEvent(trace::EventKind::Mispredict, branch, branch.actualNext);
-    ++stats_.counter("bp.mispredicts");
+    ++lazyStat(ls_.bpMispredicts, "bp.mispredicts");
     squashAfter(branch);
   } else {
     traceEvent(trace::EventKind::Resolve, branch, branch.actualNext);
@@ -621,19 +708,25 @@ void O3Core::resolveBranch(DynInst& branch) {
 }
 
 void O3Core::writebackStage() {
-  // Snapshot: squashes triggered by resolution mutate executing_.
-  std::vector<std::uint64_t> completing;
-  for (std::uint64_t seq : executing_) {
-    const DynInst* di = robFindConst(seq);
-    if (di != nullptr && di->completeCycle <= cycle_) completing.push_back(seq);
+  // Pop every completion due this cycle before processing any: a squash
+  // triggered by a resolution must not leave this cycle's younger due
+  // entries in the heap (the snapshot semantics of the scan-based core).
+  // Heap pops arrive ordered (cycle, seq): oldest resolves first.
+  completingScratch_.clear();
+  while (!completionHeap_.empty() &&
+         completionHeap_.front().cycle <= cycle_) {
+    std::pop_heap(completionHeap_.begin(), completionHeap_.end(),
+                  completionLater);
+    completingScratch_.push_back(completionHeap_.back());
+    completionHeap_.pop_back();
   }
-  std::sort(completing.begin(), completing.end()); // resolve oldest first
 
-  for (std::uint64_t seq : completing) {
-    DynInst* di = robFind(seq);
-    if (di == nullptr || di->executed) continue; // squashed meanwhile
+  for (const Completion& c : completingScratch_) {
+    DynInst* di = robFind(c.seq);
+    // Stale entries: the instruction squashed meanwhile (gone, or its seq
+    // was reused by a younger dispatch — the generation tag catches that).
+    if (di == nullptr || di->gen != c.gen || di->executed) continue;
     di->executed = true;
-    std::erase(executing_, seq);
     traceEvent(trace::EventKind::Writeback, *di);
     deliverValue(*di);
     policy_.onWriteback(*this, *di);
@@ -657,17 +750,25 @@ void O3Core::squashAfter(DynInst& branch) {
       renameMap_[victim.si.rd] = prev;
     }
     if (victim.isLoad()) --loadsInFlight_;
-    if (victim.isStore()) --storesInFlight_;
+    if (victim.isStore()) {
+      LEV_CHECK(!storeSeqs_.empty() && storeSeqs_.back() == victim.seq,
+                "store-queue index out of sync at squash");
+      if (!victim.addrValid) --sqUnknownAddr_;
+      storeSeqs_.pop_back();
+    }
+    if (!victim.issued) --iqCount_;
+    releaseWaiterList(std::move(waiters_.back()));
     rob_.pop_back();
     prevMap_.pop_back();
     prevMapValid_.pop_back();
     waiters_.pop_back();
-    ++stats_.counter("squash.insts");
+    ++lazyStat(ls_.squashInsts, "squash.insts");
   }
-  std::erase_if(notIssued_, [&](std::uint64_t s) { return s > boundary; });
-  std::erase_if(executing_, [&](std::uint64_t s) { return s > boundary; });
+  std::erase_if(readyQueue_, [&](std::uint64_t s) { return s > boundary; });
   std::erase_if(unresolvedBranches_,
                 [&](std::uint64_t s) { return s > boundary; });
+  // Completion-wheel entries of squashed instructions stay behind; the
+  // writeback pop drops them via the generation tag.
   // Purge waiter registrations from squashed consumers.
   for (auto& list : waiters_)
     std::erase_if(list, [&](const Waiter& w) { return w.consumer > boundary; });
@@ -691,7 +792,7 @@ void O3Core::squashAfter(DynInst& branch) {
   fetchStopped_ = false;
   fetchResumeCycle_ = cycle_ + static_cast<std::uint64_t>(cfg_.redirectPenalty);
   icacheLine_ = ~0ull;
-  ++stats_.counter("squash.events");
+  ++lazyStat(ls_.squashEvents, "squash.events");
 }
 
 // --------------------------------------------------------------- commit --
@@ -712,18 +813,22 @@ void O3Core::commitStage() {
       // The store buffer drains into the hierarchy at commit; its fill is
       // architectural (correct-path) state.
       hier_.accessData(head.memAddr);
-      ++stats_.counter("commit.stores");
+      LEV_CHECK(!storeSeqs_.empty() && storeSeqs_.front() == head.seq,
+                "store-queue index out of sync at commit");
+      storeSeqs_.pop_front();
+      ++lazyStat(ls_.commitStores, "commit.stores");
     }
     if (head.isLoad()) {
-      ++stats_.counter("commit.loads");
+      ++lazyStat(ls_.commitLoads, "commit.loads");
       if (head.speculativeAtIssue)
-        ++stats_.counter("commit.loadsSpecAtIssue");
+        ++lazyStat(ls_.commitLoadsSpec, "commit.loadsSpecAtIssue");
       if (head.trueDepUnresolvedAtIssue)
-        ++stats_.counter("commit.loadsTrueDepAtIssue");
+        ++lazyStat(ls_.commitLoadsTrueDep, "commit.loadsTrueDepAtIssue");
     }
-    if (head.speculativeAtIssue) ++stats_.counter("commit.instsSpecAtIssue");
+    if (head.speculativeAtIssue)
+      ++lazyStat(ls_.commitInstsSpec, "commit.instsSpecAtIssue");
     if (head.trueDepUnresolvedAtIssue)
-      ++stats_.counter("commit.instsTrueDepAtIssue");
+      ++lazyStat(ls_.commitInstsTrueDep, "commit.instsTrueDepAtIssue");
 
     if (isa::writesReg(head.si.op) && head.si.rd != isa::kRegZero) {
       archRegs_[head.si.rd] = head.result;
@@ -735,11 +840,11 @@ void O3Core::commitStage() {
     traceEvent(trace::EventKind::Commit, head);
     policy_.onCommit(*this, head);
     ++committedInsts_;
-    ++stats_.counter("commit.insts");
+    ++*commitInsts_;
 
     if (head.isLoad()) --loadsInFlight_;
-    if (head.isStore()) --storesInFlight_;
     const bool isHalt = head.si.op == Opc::HALT;
+    releaseWaiterList(std::move(waiters_.front()));
     rob_.pop_front();
     prevMap_.pop_front();
     prevMapValid_.pop_front();
@@ -771,7 +876,7 @@ bool O3Core::tick() {
   // histograms, cheap enough to stay inside the tracing-disabled speed
   // budget. Deterministic (keyed on cycle_), so runs stay reproducible.
   if ((cycle_ & 15) == 0) {
-    iqOccupancy_.add(notIssued_.size());
+    iqOccupancy_.add(static_cast<std::uint64_t>(iqCount_));
     robOccupancy_.add(rob_.size());
   }
   ++cycle_;

@@ -153,6 +153,24 @@ private:
     DynInst di;
   };
 
+  /// One pending writeback in the completion wheel: instruction `seq`
+  /// (dispatch generation `gen`) finishes at `cycle`. Kept in a min-heap
+  /// ordered by (cycle, seq, gen) so writeback pops due entries oldest
+  /// first without snapshotting and sorting the whole executing set.
+  struct Completion {
+    std::uint64_t cycle = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t gen = 0;
+  };
+  /// Heap comparator: `a` writes back after `b`. With std::push_heap this
+  /// builds a min-heap — the earliest (cycle, seq) completion is at front,
+  /// so pops replay the old snapshot-sort-oldest-first order exactly.
+  static bool completionLater(const Completion& a, const Completion& b) {
+    if (a.cycle != b.cycle) return a.cycle > b.cycle;
+    if (a.seq != b.seq) return a.seq > b.seq;
+    return a.gen > b.gen;
+  }
+
   // Pipeline stages, called in reverse order each cycle.
   void commitStage();
   void writebackStage();
@@ -169,6 +187,27 @@ private:
   bool tryIssueLoad(DynInst& inst);
   bool tryIssueStore(DynInst& inst);
   std::uint64_t readOperand(const DynInst& inst, int opIndex) const;
+
+  // ---- event-driven scheduler (docs/PERF.md) ---------------------------
+  /// Move `di` into the ready queue once every present operand is ready.
+  /// Called at dispatch and from deliverValue wakeups; issueStage visits
+  /// only this queue, never the operand-waiting population.
+  void wakeIfReady(DynInst& di);
+  /// Enter `inst` (just issued, completeCycle set) into the completion
+  /// wheel.
+  void scheduleCompletion(const DynInst& inst);
+  /// Waiter-list free list: ROB entries recycle their waiter vectors so the
+  /// dispatch/commit/squash churn stops allocating in steady state.
+  std::vector<Waiter> acquireWaiterList();
+  void releaseWaiterList(std::vector<Waiter>&& list);
+  /// Bind-on-first-use cached counter. Counters must not be pre-created in
+  /// the constructor: a counter that never fires must stay absent from the
+  /// stat dump, exactly as with by-name lookups (the A/B equivalence test
+  /// pins this).
+  std::int64_t& lazyStat(std::int64_t*& slot, const char* name) {
+    if (slot == nullptr) slot = &stats_.counter(name);
+    return *slot;
+  }
 
   const isa::Program& prog_;
   CoreConfig cfg_;
@@ -197,16 +236,37 @@ private:
   /// (parallel to rob_).
   std::deque<RenameEntry> prevMap_;
   std::deque<bool> prevMapValid_;
-  std::vector<std::uint64_t> notIssued_;  ///< seqs, ascending
-  std::vector<std::uint64_t> executing_;  ///< seqs, ascending
+  /// Issue queue, event-driven: only instructions whose operands are all
+  /// ready (but may still be policy/structurally/disambiguation blocked).
+  /// Ascending seqs — issueStage walks it oldest first.
+  std::vector<std::uint64_t> readyQueue_;
+  /// Dispatched-not-yet-issued population (ready queue + operand waiters):
+  /// the issue-queue occupancy the scan-based core read off notIssued_.
+  int iqCount_ = 0;
   std::vector<std::uint64_t> unresolvedBranches_; ///< seqs, ascending
   std::deque<std::vector<Waiter>> waiters_; // parallel to rob_ (by index)
+  std::vector<std::vector<Waiter>> waiterPool_; ///< recycled waiter lists
+
+  /// Completion wheel: min-heap on (cycle, seq, gen) of issued-not-yet-
+  /// written-back instructions. Squash leaves stale entries behind; they
+  /// are dropped lazily at pop via the generation check.
+  std::vector<Completion> completionHeap_;
+
+  /// Store-queue index: seqs of in-flight (dispatched, uncommitted) stores,
+  /// ascending, plus how many still lack a computed address. Load
+  /// disambiguation walks this instead of the whole ROB.
+  std::deque<std::uint64_t> storeSeqs_;
+  int sqUnknownAddr_ = 0;
+
+  // Per-cycle scratch, reused so the hot loop never allocates.
+  std::vector<std::uint64_t> doneScratch_;       ///< issueStage
+  std::vector<Completion> completingScratch_;    ///< writebackStage
 
   int loadsInFlight_ = 0;
-  int storesInFlight_ = 0;
   /// Completion cycles of outstanding data-cache misses (MSHR occupancy).
   std::vector<std::uint64_t> missCompletions_;
   std::uint64_t nextSeq_ = 1;
+  std::uint64_t nextGen_ = 1;
   std::uint64_t cycle_ = 0;
   std::uint64_t committedInsts_ = 0;
   std::uint64_t divBusyUntil_ = 0;
@@ -236,6 +296,39 @@ private:
   std::int64_t* delayCauseCycles_[trace::kNumDelayCauses];
   std::int64_t* commitStallCycles_;  ///< cycles the ROB head was not retirable
   std::int64_t* issueStarvedCycles_; ///< cycles nothing issued with IQ work
+
+  // ---- interned hot-path counters --------------------------------------
+  // Bound in the constructor when the counter fires on every run anyway,
+  // lazily (lazyStat) when it is conditional — so a never-firing counter
+  // stays out of the stat dump exactly as under by-name lookup.
+  std::int64_t* fetchInsts_;    ///< fetch.insts (ctor-bound)
+  std::int64_t* dispatchInsts_; ///< dispatch.insts (ctor-bound)
+  std::int64_t* issueInsts_;    ///< issue.insts (ctor-bound)
+  std::int64_t* commitInsts_;   ///< commit.insts (ctor-bound)
+  struct LazyStats {
+    std::int64_t* fetchOffText = nullptr;
+    std::int64_t* dispatchRobFull = nullptr;
+    std::int64_t* execFlushes = nullptr;
+    std::int64_t* lsqWaitUnknownStore = nullptr;
+    std::int64_t* lsqWaitPartialOverlap = nullptr;
+    std::int64_t* lsqForwards = nullptr;
+    std::int64_t* lsqMshrFull = nullptr;
+    std::int64_t* issueLoads = nullptr;
+    std::int64_t* issueStores = nullptr;
+    std::int64_t* policyLoadDelay = nullptr;
+    std::int64_t* policyExecDelay = nullptr;
+    std::int64_t* policyInvisibleLoads = nullptr;
+    std::int64_t* bpMispredicts = nullptr;
+    std::int64_t* squashInsts = nullptr;
+    std::int64_t* squashEvents = nullptr;
+    std::int64_t* commitStores = nullptr;
+    std::int64_t* commitLoads = nullptr;
+    std::int64_t* commitLoadsSpec = nullptr;
+    std::int64_t* commitLoadsTrueDep = nullptr;
+    std::int64_t* commitInstsSpec = nullptr;
+    std::int64_t* commitInstsTrueDep = nullptr;
+  };
+  LazyStats ls_;
 };
 
 } // namespace lev::uarch

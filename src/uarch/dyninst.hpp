@@ -69,6 +69,28 @@ struct DynInst {
   bool mispredicted = false;
   std::uint64_t actualNext = 0;
 
+  // ---- event-driven scheduler bookkeeping (docs/PERF.md) ----------------
+  /// Dispatch generation. Unlike `seq` (which squash recovery reuses so the
+  /// ROB stays seq-contiguous), generations are never reused; completion-
+  /// wheel entries carry one so a stale entry can never be mistaken for a
+  /// younger instruction that inherited its seq.
+  std::uint64_t gen = 0;
+  /// This instruction sits in the core's ready queue (all operands ready,
+  /// not yet issued). Guards against double insertion when several operands
+  /// arrive in one writeback.
+  bool inReadyQueue = false;
+  static constexpr int kFuncIndexUnknown = -2;
+  /// Program::funcIndexOfPc(pc), memoized at dispatch (-1 = outside every
+  /// function). `mutable`: filled lazily through the core's const taint/
+  /// dependee query path.
+  mutable int funcIndex = kFuncIndexUnknown;
+  /// Memoized O3Core::oldestUnresolvedTrueDependee result. Valid while that
+  /// branch stays unresolved; a memoized 0 ("no dependee") holds for the
+  /// instruction's whole lifetime, because dispatch is in program order —
+  /// no unresolved branch older than a live instruction can ever appear.
+  mutable std::uint64_t memoDependee = 0;
+  mutable bool memoDependeeValid = false;
+
   bool isLoad() const { return isa::isLoad(si.op); }
   bool isStore() const { return isa::isStore(si.op); }
   bool isSpecSource() const { return isa::isSpeculationSource(si.op); }

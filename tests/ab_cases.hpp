@@ -1,0 +1,106 @@
+// Shared case list and run-formatting for the scheduler A/B equivalence
+// check.
+//
+// The event-driven scheduler rework (docs/PERF.md) carries a hard
+// invariant: it must be a pure re-plumbing of the per-cycle scans —
+// cycle-for-cycle behaviour, every stat counter, and the final
+// architectural state are bit-identical to the scan-based core. This
+// header defines the representative policy × kernel/gadget grid and
+// renders one run into a canonical text block; `tests/ab_golden.inc`
+// holds the blocks captured from the pre-optimization core (regenerate
+// with the `ab_golden_gen` tool after any *intended* behaviour change,
+// alongside a `kCodeVersionSalt` bump).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "backend/compiler.hpp"
+#include "secure/policies.hpp"
+#include "sim/simulation.hpp"
+#include "support/error.hpp"
+#include "workloads/gadgets.hpp"
+#include "workloads/kernels.hpp"
+
+namespace lev::abgold {
+
+/// Kernels chosen to exercise every scheduler structure: pointer chasing
+/// (load disambiguation), dense branching (squash paths + dependee scans),
+/// data-dependent loops, table mixing, and store-heavy insertion sort
+/// (store-queue index + forwarding).
+inline const std::vector<std::string>& kernels() {
+  static const std::vector<std::string> k = {
+      "mcf_chase", "gcc_branchy", "xz_match", "deepsjeng_mix", "sort_insert"};
+  return k;
+}
+
+/// Attack gadgets: transient windows, invisible loads, BTB-trained JALR.
+inline const std::vector<std::string>& gadgets() {
+  static const std::vector<std::string> g = {"spectre_v1", "nonspec_secret",
+                                             "spectre_v2"};
+  return g;
+}
+
+/// Render one finished run as "header + arch state + full stat dump".
+inline std::string renderRun(const std::string& caseName,
+                             const std::string& policy,
+                             const isa::Program& prog) {
+  sim::Simulation s(prog, uarch::CoreConfig(), policy);
+  const uarch::RunExit exit = s.run(100'000'000);
+  std::ostringstream os;
+  os << "== " << caseName << " " << policy << "\n";
+  os << "exit = " << (exit == uarch::RunExit::Halted ? "halted" : "limit")
+     << "\n";
+  for (int r = 0; r < isa::kNumRegs; ++r)
+    if (s.core().archReg(r) != 0)
+      os << "reg[" << r << "] = " << s.core().archReg(r) << "\n";
+  if (prog.symbols.count("result") != 0)
+    os << "mem.result = " << s.core().memory().read(prog.symbol("result"), 8)
+       << "\n";
+  s.stats().print(os, "stat ");
+  return os.str();
+}
+
+inline isa::Program compileCase(const std::string& caseName) {
+  if (caseName.rfind("kernel:", 0) == 0) {
+    // Mirror bench::compileKernel defaults (budget 4, memory propagation).
+    ir::Module mod = workloads::buildKernel(caseName.substr(7));
+    backend::CompileOptions opts;
+    opts.annotationBudget = 4;
+    opts.depOptions.propagateThroughMemory = true;
+    return backend::compile(mod, opts).program;
+  }
+  if (caseName == "gadget:spectre_v1") {
+    workloads::Gadget g = workloads::buildSpectreV1();
+    return backend::compile(g.module).program;
+  }
+  if (caseName == "gadget:nonspec_secret") {
+    workloads::Gadget g = workloads::buildNonSpecSecret();
+    return backend::compile(g.module).program;
+  }
+  if (caseName == "gadget:spectre_v2")
+    return workloads::buildSpectreV2().program;
+  throw Error("unknown A/B case: " + caseName);
+}
+
+/// All case names, kernels first, stable order.
+inline std::vector<std::string> caseNames() {
+  std::vector<std::string> names;
+  for (const std::string& k : kernels()) names.push_back("kernel:" + k);
+  for (const std::string& g : gadgets()) names.push_back("gadget:" + g);
+  return names;
+}
+
+/// Every case × every policy rendered into one golden document.
+inline std::string renderAll() {
+  std::string doc;
+  for (const std::string& c : caseNames()) {
+    const isa::Program prog = compileCase(c);
+    for (const std::string& p : secure::policyNames())
+      doc += renderRun(c, p, prog);
+  }
+  return doc;
+}
+
+} // namespace lev::abgold

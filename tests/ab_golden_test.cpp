@@ -1,0 +1,83 @@
+// Scheduler A/B equivalence regression: the event-driven core (ready
+// queue, completion heap, store-queue index, memoized dependee lookups —
+// docs/PERF.md) must reproduce the scan-based core bit for bit. Every
+// policy × representative kernel/gadget run is compared against golden
+// dumps captured from the pre-optimization core: same final architectural
+// state, same `sim.cycles`, same *full* stat dump. A mismatch here means
+// the optimization changed simulation behaviour — which also invalidates
+// every cached result (bump `kCodeVersionSalt` only for intended changes,
+// and regenerate the goldens with ab_golden_gen).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "ab_cases.hpp"
+
+namespace lev {
+namespace {
+
+const char kGolden[] =
+#include "ab_golden.inc"
+    ;
+
+/// Split a golden document into per-run blocks keyed "case policy".
+std::map<std::string, std::string> splitBlocks(const std::string& doc) {
+  std::map<std::string, std::string> blocks;
+  std::istringstream is(doc);
+  std::string line, key, body;
+  auto flush = [&] {
+    if (!key.empty()) blocks[key] = body;
+    body.clear();
+  };
+  while (std::getline(is, line)) {
+    if (line.rfind("== ", 0) == 0) {
+      flush();
+      key = line.substr(3);
+    }
+    body += line;
+    body += '\n';
+  }
+  flush();
+  return blocks;
+}
+
+/// First line where the two blocks disagree, for readable failures.
+std::string firstDiff(const std::string& got, const std::string& want) {
+  std::istringstream ga(got), wa(want);
+  std::string gl, wl;
+  int n = 0;
+  while (true) {
+    const bool gOk = static_cast<bool>(std::getline(ga, gl));
+    const bool wOk = static_cast<bool>(std::getline(wa, wl));
+    ++n;
+    if (!gOk && !wOk) return "(identical?)";
+    if (gl != wl || gOk != wOk)
+      return "line " + std::to_string(n) + ": got \"" + (gOk ? gl : "<eof>") +
+             "\" want \"" + (wOk ? wl : "<eof>") + "\"";
+  }
+}
+
+TEST(SchedulerABEquivalence, AllPoliciesMatchGoldenDumps) {
+  const auto golden = splitBlocks(kGolden);
+  ASSERT_FALSE(golden.empty()) << "golden file empty — regenerate with "
+                                  "ab_golden_gen";
+  std::size_t checked = 0;
+  for (const std::string& c : abgold::caseNames()) {
+    const isa::Program prog = abgold::compileCase(c);
+    for (const std::string& p : secure::policyNames()) {
+      SCOPED_TRACE(c + " under " + p);
+      const std::string block = abgold::renderRun(c, p, prog);
+      const auto it = golden.find(c + " " + p);
+      ASSERT_NE(it, golden.end()) << "case missing from golden file";
+      EXPECT_EQ(block, it->second) << firstDiff(block, it->second);
+      ++checked;
+    }
+  }
+  // Guard against the grid silently shrinking.
+  EXPECT_EQ(checked, golden.size());
+  EXPECT_EQ(checked, abgold::caseNames().size() * secure::policyNames().size());
+}
+
+} // namespace
+} // namespace lev
