@@ -3,31 +3,47 @@
 #include <fstream>
 #include <iostream>
 
+#include "runner/manifest.hpp"
+#include "support/log.hpp"
 #include "support/strings.hpp"
 
 namespace lev::bench {
 
 BenchArgs parseArgs(int argc, char** argv) {
   BenchArgs args;
+  args.tool = argc > 0 ? argv[0] : "bench";
+  if (const auto slash = args.tool.find_last_of('/');
+      slash != std::string::npos)
+    args.tool = args.tool.substr(slash + 1);
+  args.cmdline.assign(argv + std::min(argc, 1), argv + argc);
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--csv") {
       args.csv = true;
     } else if (a == "--no-cache") {
       args.useCache = false;
+    } else if (a == "--no-manifest") {
+      args.manifest = false;
+    } else if (a == "-v") {
+      log::setThreshold(log::Level::Debug);
+    } else if (a == "--quiet") {
+      log::setThreshold(log::Level::Warn);
     } else if (a == "--scale" && i + 1 < argc) {
       args.scale = std::max(1, std::atoi(argv[++i]));
     } else if (a == "--jobs" && i + 1 < argc) {
       args.jobs = std::max(1, std::atoi(argv[++i]));
     } else if (a == "--json" && i + 1 < argc) {
       args.jsonPath = argv[++i];
+    } else if (a == "--manifest" && i + 1 < argc) {
+      args.manifestPath = argv[++i];
     } else if (a == "--kernels" && i + 1 < argc) {
       for (auto part : split(argv[++i], ','))
         args.kernels.emplace_back(trim(part));
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--scale N] [--csv] [--kernels a,b,c] [--jobs N] "
-                   "[--json FILE] [--no-cache]\n";
+                   "[--json FILE] [--no-cache] [--manifest FILE] "
+                   "[--no-manifest] [-v] [--quiet]\n";
       std::exit(2);
     }
   }
@@ -59,6 +75,12 @@ std::vector<runner::RunRecord> runAll(
   runner::Sweep sweep(opts);
   for (const runner::JobSpec& spec : specs) sweep.add(spec);
   std::vector<runner::RunRecord> records = sweep.run();
+  const auto& c = sweep.counters();
+  LEV_LOG_INFO(args.tool.c_str(), "batch finished",
+               {{"points", c.points},
+                {"cacheHits", c.cacheHits},
+                {"simulated", c.simulated},
+                {"wallMicros", sweep.wallMicros()}});
   if (!args.jsonPath.empty()) {
     std::ofstream out(args.jsonPath);
     if (!out) {
@@ -66,6 +88,17 @@ std::vector<runner::RunRecord> runAll(
       std::exit(1);
     }
     sweep.writeJson(out);
+  }
+  // Manifests go next to the report; a bench invoked without --json (13
+  // benches share one cwd under run_benches.sh) writes one only when an
+  // explicit --manifest path was given.
+  if (args.manifest && (!args.jsonPath.empty() || !args.manifestPath.empty())) {
+    runner::Manifest m = runner::makeManifest(args.tool, args.cmdline, sweep);
+    m.reportPath = args.jsonPath;
+    runner::writeManifestFile(args.manifestPath.empty()
+                                  ? runner::manifestPathFor(args.jsonPath)
+                                  : args.manifestPath,
+                              m);
   }
   return records;
 }

@@ -7,6 +7,9 @@
 //   --jobs N          worker threads (default: LEVIOSO_JOBS, then ncpu)
 //   --json FILE       write the runner's machine-readable report
 //   --no-cache        skip the on-disk result cache (.levioso-cache/)
+//   --manifest FILE   run-manifest path (default: derived from --json)
+//   --no-manifest     skip the run manifest
+//   -v / --quiet      raise / lower the log threshold (support/log.hpp)
 //
 // All simulation runs are routed through the runner subsystem
 // (src/runner/): one bench builds its whole grid of points up front,
@@ -32,8 +35,12 @@ struct BenchArgs {
   bool csv = false;
   int jobs = 0;         ///< 0 = auto (LEVIOSO_JOBS env, then hardware)
   bool useCache = true; ///< consult/populate .levioso-cache/
-  std::string jsonPath; ///< non-empty: write the JSON report here
+  bool manifest = true; ///< write a run manifest next to the report
+  std::string jsonPath;     ///< non-empty: write the JSON report here
+  std::string manifestPath; ///< non-empty: explicit manifest location
   std::vector<std::string> kernels; ///< empty = full suite
+  std::string tool;                 ///< argv[0] basename (manifest id)
+  std::vector<std::string> cmdline; ///< raw argv[1..] (manifest args)
 };
 
 BenchArgs parseArgs(int argc, char** argv);

@@ -18,6 +18,7 @@
 #include "analysis/domtree.hpp"
 #include "bench_common.hpp"
 #include "levioso/branchdeps.hpp"
+#include "runner/manifest.hpp"
 #include "secure/policies.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
@@ -141,12 +142,27 @@ SpeedSample measurePolicy(const std::string& policy, double minSeconds) {
   return s;
 }
 
-int speedJsonMain(const std::string& path, double minSeconds) {
+int speedJsonMain(const std::string& path, double minSeconds,
+                  const std::vector<std::string>& cmdline) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "micro_speed: cannot write " << path << "\n";
     return 1;
   }
+  const auto epoch = std::chrono::steady_clock::now();
+  const auto sinceEpochMicros = [&epoch]() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+  };
+  // Hand-built manifest: micro_speed times policies serially instead of
+  // going through Sweep, so each policy measurement becomes one host span.
+  runner::Manifest manifest;
+  manifest.tool = "micro_speed";
+  manifest.args = cmdline;
+  manifest.reportPath = path;
+  manifest.threads = 1;
+
   JsonWriter w(out);
   w.beginObject();
   w.field("bench", "micro_speed");
@@ -159,7 +175,14 @@ int speedJsonMain(const std::string& path, double minSeconds) {
   w.field("minSecondsPerPolicy", minSeconds);
   w.key("policies").beginArray();
   for (const std::string& policy : secure::policyNames()) {
+    trace::HostSpan span;
+    span.label = policy;
+    span.phase = "measure";
+    span.worker = 0;
+    span.queuedMicros = span.startMicros = sinceEpochMicros();
     const SpeedSample s = measurePolicy(policy, minSeconds);
+    span.endMicros = sinceEpochMicros();
+    manifest.timings.push_back(std::move(span));
     const double mips =
         static_cast<double>(s.simInsts) / s.wallSeconds / 1e6;
     const double mcps =
@@ -180,6 +203,9 @@ int speedJsonMain(const std::string& path, double minSeconds) {
   w.endObject();
   out << "\n";
   std::cerr << "micro_speed: wrote " << path << "\n";
+  manifest.wallMicros =
+      static_cast<std::uint64_t>(sinceEpochMicros());
+  runner::writeManifestFile(runner::manifestPathFor(path), manifest);
   return 0;
 }
 
@@ -198,7 +224,9 @@ int main(int argc, char** argv) {
       passthrough.push_back(argv[i]);
     }
   }
-  if (!speedJson.empty()) return speedJsonMain(speedJson, minSeconds);
+  if (!speedJson.empty())
+    return speedJsonMain(speedJson, minSeconds,
+                         std::vector<std::string>(argv + 1, argv + argc));
 
   int bargc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bargc, passthrough.data());

@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
 # Regenerate every table and figure on stdout.
-# Usage: scripts/run_benches.sh [build-dir] [--jobs N] [extra bench args...]
+# Usage: scripts/run_benches.sh [build-dir] [--jobs N] [--log-dir DIR]
+#                               [extra bench args...]
 #
 # Exits non-zero if ANY bench fails (each failure is also reported inline).
-# --jobs and any other extra arguments are forwarded to every bench binary.
+# --jobs, -v and any other extra arguments are forwarded to every bench
+# binary.
+#
+# --log-dir DIR collects the observability artifacts of the whole sweep
+# (docs/OBSERVABILITY.md): per-bench JSON reports (DIR/<bench>.json), run
+# manifests (DIR/<bench>.manifest.json) and a shared JSON-lines structured
+# log (DIR/benches.log via LEVIOSO_LOG).
 set -u
 
 BUILD="build"
+LOGDIR=""
 ARGS=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -15,7 +23,12 @@ while [ $# -gt 0 ]; do
       ARGS+=("--jobs" "$2")
       shift 2
       ;;
-    --*)
+    --log-dir)
+      [ $# -ge 2 ] || { echo "error: --log-dir needs a value" >&2; exit 2; }
+      LOGDIR="$2"
+      shift 2
+      ;;
+    -v|--*)
       ARGS+=("$1")
       shift
       ;;
@@ -25,6 +38,11 @@ while [ $# -gt 0 ]; do
       ;;
   esac
 done
+
+if [ -n "$LOGDIR" ]; then
+  mkdir -p "$LOGDIR" || exit 2
+  export LEVIOSO_LOG="$LOGDIR/benches.log"
+fi
 
 status=0
 for b in "$BUILD"/bench/table1_threat_matrix \
@@ -40,8 +58,14 @@ for b in "$BUILD"/bench/table1_threat_matrix \
          "$BUILD"/bench/fig9_predictor \
          "$BUILD"/bench/table3_security \
          "$BUILD"/bench/table4_workloads; do
-  echo "### $(basename "$b")"
-  if ! "$b" ${ARGS+"${ARGS[@]}"}; then
+  name="$(basename "$b")"
+  echo "### $name"
+  PER_BENCH=()
+  if [ -n "$LOGDIR" ]; then
+    PER_BENCH+=("--json" "$LOGDIR/$name.json")
+    PER_BENCH+=("--manifest" "$LOGDIR/$name.manifest.json")
+  fi
+  if ! "$b" ${ARGS+"${ARGS[@]}"} ${PER_BENCH+"${PER_BENCH[@]}"}; then
     echo "FAILED: $b" >&2
     status=1
   fi

@@ -1,0 +1,107 @@
+#include "runner/manifest.hpp"
+
+#include <fstream>
+
+#include "support/json.hpp"
+#include "support/log.hpp"
+
+namespace lev::runner {
+
+Manifest makeManifest(std::string tool, std::vector<std::string> args,
+                      const Sweep& sweep) {
+  Manifest m;
+  m.tool = std::move(tool);
+  m.args = std::move(args);
+  m.threads = sweep.threadCount();
+  m.wallMicros = sweep.wallMicros();
+  m.jobs = sweep.counters();
+  m.pool = sweep.poolCounters();
+  if (const ResultCache* cache = sweep.cache()) {
+    Manifest::CacheInfo info;
+    info.dir = cache->dir();
+    info.salt = cache->salt();
+    info.counters = cache->counters();
+    m.cache = info;
+  }
+  m.timings = sweep.hostSpans();
+  return m;
+}
+
+void writeManifest(std::ostream& os, const Manifest& m) {
+  JsonWriter w(os);
+  w.beginObject();
+  w.field("manifestVersion", kManifestVersion);
+  w.field("tool", m.tool);
+  w.key("args").beginArray();
+  for (const std::string& a : m.args) w.value(a);
+  w.endArray();
+  if (!m.reportPath.empty()) w.field("report", m.reportPath);
+  w.field("threads", m.threads);
+  w.field("wallMicros", m.wallMicros);
+  if (m.jobs) {
+    w.key("jobs").beginObject();
+    w.field("points", m.jobs->points);
+    w.field("unique", m.jobs->unique);
+    w.field("cacheHits", m.jobs->cacheHits);
+    w.field("compiles", m.jobs->compiles);
+    w.field("simulated", m.jobs->simulated);
+    w.endObject();
+  }
+  if (m.pool) {
+    w.key("pool").beginObject();
+    w.field("submits", m.pool->submits);
+    w.field("executed", m.pool->executed);
+    w.field("steals", m.pool->steals);
+    w.field("peakQueueDepth", m.pool->peakQueueDepth);
+    w.endObject();
+  }
+  if (m.cache) {
+    w.key("cache").beginObject();
+    w.field("dir", m.cache->dir);
+    w.field("salt", m.cache->salt);
+    w.field("hits", m.cache->counters.hits);
+    w.field("misses", m.cache->counters.misses);
+    w.field("collisions", m.cache->counters.collisions);
+    w.field("storeFailures", m.cache->counters.storeFailures);
+    w.endObject();
+  }
+  w.key("timings").beginArray();
+  for (const trace::HostSpan& s : m.timings) {
+    w.beginObject();
+    w.field("label", s.label);
+    w.field("phase", s.phase);
+    w.field("worker", s.worker);
+    w.field("queuedMicros", s.queuedMicros);
+    w.field("startMicros", s.startMicros);
+    w.field("endMicros", s.endMicros);
+    w.field("durMicros", s.endMicros - s.startMicros);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  os << "\n";
+}
+
+bool writeManifestFile(const std::string& path, const Manifest& m) {
+  std::ofstream out(path);
+  if (out) writeManifest(out, m);
+  if (!out.good()) {
+    LEV_LOG_WARN("manifest", "cannot write run manifest", {{"path", path}});
+    return false;
+  }
+  LEV_LOG_DEBUG("manifest", "wrote run manifest", {{"path", path}});
+  return true;
+}
+
+std::string manifestPathFor(const std::string& reportPath) {
+  if (reportPath.empty()) return "manifest.json";
+  const std::string suffix = ".json";
+  if (reportPath.size() > suffix.size() &&
+      reportPath.compare(reportPath.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+    return reportPath.substr(0, reportPath.size() - suffix.size()) +
+           ".manifest.json";
+  return reportPath + ".manifest.json";
+}
+
+} // namespace lev::runner

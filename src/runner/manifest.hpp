@@ -1,0 +1,64 @@
+// The run manifest: one JSON document per runner invocation recording what
+// the run DID on the host — tool + arguments, thread count, wall time,
+// job/pool/cache counters and per-job phase timings — written next to the
+// run's report so any two runs can be compared after the fact
+// (tools/levioso-report). Schema: docs/OBSERVABILITY.md.
+//
+// The manifest observes the machinery around the simulator; nothing in it
+// feeds back into simulation, so producing one never perturbs results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runner/resultcache.hpp"
+#include "runner/sweep.hpp"
+#include "trace/export.hpp"
+
+namespace lev::runner {
+
+inline constexpr int kManifestVersion = 1;
+
+struct Manifest {
+  std::string tool;              ///< producing binary ("levioso-batch", ...)
+  std::vector<std::string> args; ///< its command line (argv[1..])
+  std::string reportPath;        ///< sibling JSON report, "" if none
+  int threads = 0;
+  std::int64_t wallMicros = 0;   ///< host wall time of the whole run
+
+  std::optional<Sweep::Counters> jobs;        ///< grid-level counters
+  std::optional<ThreadPool::Counters> pool;   ///< scheduling counters
+
+  struct CacheInfo {
+    std::string dir;
+    std::string salt;
+    ResultCache::Counters counters;
+  };
+  std::optional<CacheInfo> cache;
+
+  /// Per-job phase timings (compile/simulate spans). For non-sweep tools
+  /// (micro_speed) these can be hand-built — one span per measured unit.
+  std::vector<trace::HostSpan> timings;
+};
+
+/// Assemble a manifest from a finished Sweep (counters, pool, cache and
+/// span data are all pulled from it).
+Manifest makeManifest(std::string tool, std::vector<std::string> args,
+                      const Sweep& sweep);
+
+/// Serialize (schema: docs/OBSERVABILITY.md).
+void writeManifest(std::ostream& os, const Manifest& m);
+
+/// writeManifest to a file; failure is logged through the logger and
+/// reported via the return value, never thrown — a manifest must not be
+/// able to fail a run that already succeeded.
+bool writeManifestFile(const std::string& path, const Manifest& m);
+
+/// Where a run's manifest lives: "out.json" -> "out.manifest.json",
+/// "" -> "manifest.json" (cwd).
+std::string manifestPathFor(const std::string& reportPath);
+
+} // namespace lev::runner

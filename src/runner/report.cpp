@@ -1,0 +1,242 @@
+#include "runner/report.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace lev::runner::report {
+
+namespace {
+
+using json::JsonValue;
+
+/// Everything that identifies an experiment context EXCEPT the policy, so
+/// overheads pair each policy's run with the baseline run it should be
+/// normalized against.
+std::string contextOf(const JsonValue& result) {
+  std::string ctx = result.at("kernel").str;
+  ctx += '|' + std::to_string(result.at("scale").number);
+  if (result.has("budget"))
+    ctx += '|' + std::to_string(result.at("budget").number);
+  if (result.has("config")) {
+    const JsonValue& cfg = result.at("config");
+    for (const auto& [name, value] : cfg.members) {
+      ctx += '|' + name + '=';
+      switch (value.kind) {
+      case JsonValue::Kind::Number: ctx += std::to_string(value.number); break;
+      case JsonValue::Kind::String: ctx += value.str; break;
+      case JsonValue::Kind::Bool: ctx += value.boolean ? "1" : "0"; break;
+      default: break;
+      }
+    }
+  }
+  return ctx;
+}
+
+/// policy -> (context -> cycles) for one batch report.
+std::map<std::string, std::map<std::string, double>>
+cyclesByPolicy(const JsonValue& doc) {
+  std::map<std::string, std::map<std::string, double>> out;
+  for (const JsonValue& r : doc.at("results").items)
+    out[r.at("policy").str][contextOf(r)] = r.at("cycles").number;
+  return out;
+}
+
+/// policy -> hostMips for one speed baseline.
+std::map<std::string, double> mipsByPolicy(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  for (const JsonValue& p : doc.at("policies").items)
+    out[p.at("policy").str] = p.at("hostMips").number;
+  return out;
+}
+
+std::string deltaPct(double oldV, double newV) {
+  if (oldV <= 0) return "n/a";
+  const double pct = (newV - oldV) / oldV * 100.0;
+  std::string out;
+  if (pct >= 0) out += '+';
+  out += fmtF(pct, 2);
+  out += '%';
+  return out;
+}
+
+Diff diffBatch(const JsonValue& oldDoc, const JsonValue& newDoc,
+               const DiffOptions& opts) {
+  Diff d{Table({"policy", "overhead(old)", "overhead(new)", "delta",
+                "status"}),
+         {},
+         {}};
+  const auto oldOv = policyOverheads(oldDoc, opts.baselinePolicy);
+  const auto newOv = policyOverheads(newDoc, opts.baselinePolicy);
+  std::map<std::string, double> newMap(newOv.begin(), newOv.end());
+  std::set<std::string> seen;
+  for (const auto& [policy, oldV] : oldOv) {
+    seen.insert(policy);
+    const auto it = newMap.find(policy);
+    if (it == newMap.end()) {
+      d.table.addRow({policy, fmtF(oldV, 4), "-", "n/a", "missing"});
+      d.notes.push_back("policy '" + policy + "' absent from the new report");
+      continue;
+    }
+    const double newV = it->second;
+    const double pct = oldV > 0 ? (newV - oldV) / oldV * 100.0 : 0.0;
+    const bool regressed =
+        opts.maxRegressPct >= 0 && pct > opts.maxRegressPct;
+    d.table.addRow({policy, fmtF(oldV, 4), fmtF(newV, 4),
+                    deltaPct(oldV, newV), regressed ? "REGRESS" : "ok"});
+    if (regressed)
+      d.regressions.push_back("policy '" + policy + "' overhead " +
+                              fmtF(oldV, 4) + " -> " + fmtF(newV, 4) + " (" +
+                              deltaPct(oldV, newV) + " > " +
+                              fmtF(opts.maxRegressPct, 2) + "% allowed)");
+  }
+  for (const auto& [policy, newV] : newMap)
+    if (!seen.count(policy)) {
+      d.table.addRow({policy, "-", fmtF(newV, 4), "n/a", "new"});
+      d.notes.push_back("policy '" + policy + "' is new in the new report");
+    }
+  return d;
+}
+
+Diff diffSpeed(const JsonValue& oldDoc, const JsonValue& newDoc,
+               const DiffOptions& opts) {
+  Diff d{Table({"policy", "MIPS(old)", "MIPS(new)", "delta", "status"}),
+         {},
+         {}};
+  const auto oldM = mipsByPolicy(oldDoc);
+  const auto newM = mipsByPolicy(newDoc);
+  for (const auto& [policy, oldV] : oldM) {
+    const auto it = newM.find(policy);
+    if (it == newM.end()) {
+      d.table.addRow({policy, fmtF(oldV, 3), "-", "n/a", "missing"});
+      d.notes.push_back("policy '" + policy +
+                        "' absent from the new baseline");
+      continue;
+    }
+    const double newV = it->second;
+    const double dropPct = oldV > 0 ? (oldV - newV) / oldV * 100.0 : 0.0;
+    const bool regressed =
+        opts.maxRegressPct >= 0 && dropPct > opts.maxRegressPct;
+    d.table.addRow({policy, fmtF(oldV, 3), fmtF(newV, 3),
+                    deltaPct(oldV, newV), regressed ? "REGRESS" : "ok"});
+    if (regressed)
+      d.regressions.push_back("policy '" + policy + "' host MIPS " +
+                              fmtF(oldV, 3) + " -> " + fmtF(newV, 3) +
+                              " (dropped " + fmtF(dropPct, 2) + "% > " +
+                              fmtF(opts.maxRegressPct, 2) + "% allowed)");
+  }
+  for (const auto& [policy, newV] : newM)
+    if (!oldM.count(policy))
+      d.table.addRow({policy, "-", fmtF(newV, 3), "n/a", "new"});
+  return d;
+}
+
+double numberAt(const JsonValue& doc, const std::vector<std::string>& path) {
+  const JsonValue* v = &doc;
+  for (const std::string& key : path) {
+    if (!v->has(key)) return std::nan("");
+    v = &v->at(key);
+  }
+  return v->kind == JsonValue::Kind::Number ? v->number : std::nan("");
+}
+
+Diff diffManifest(const JsonValue& oldDoc, const JsonValue& newDoc) {
+  Diff d{Table({"metric", "old", "new", "delta"}), {}, {}};
+  const struct {
+    const char* name;
+    std::vector<std::string> path;
+  } kMetrics[] = {
+      {"wallMicros", {"wallMicros"}},
+      {"threads", {"threads"}},
+      {"jobs.points", {"jobs", "points"}},
+      {"jobs.unique", {"jobs", "unique"}},
+      {"jobs.cacheHits", {"jobs", "cacheHits"}},
+      {"jobs.compiles", {"jobs", "compiles"}},
+      {"jobs.simulated", {"jobs", "simulated"}},
+      {"pool.submits", {"pool", "submits"}},
+      {"pool.steals", {"pool", "steals"}},
+      {"pool.peakQueueDepth", {"pool", "peakQueueDepth"}},
+      {"cache.hits", {"cache", "hits"}},
+      {"cache.misses", {"cache", "misses"}},
+      {"cache.collisions", {"cache", "collisions"}},
+      {"cache.storeFailures", {"cache", "storeFailures"}},
+  };
+  for (const auto& m : kMetrics) {
+    const double oldV = numberAt(oldDoc, m.path);
+    const double newV = numberAt(newDoc, m.path);
+    if (std::isnan(oldV) && std::isnan(newV)) continue;
+    d.table.addRow({m.name, std::isnan(oldV) ? "-" : fmtF(oldV, 0),
+                    std::isnan(newV) ? "-" : fmtF(newV, 0),
+                    (std::isnan(oldV) || std::isnan(newV))
+                        ? "n/a"
+                        : deltaPct(oldV, newV)});
+  }
+  const double fails = numberAt(newDoc, {"cache", "storeFailures"});
+  if (!std::isnan(fails) && fails > 0)
+    d.notes.push_back("new run had " + fmtF(fails, 0) +
+                      " cache store failures (results were not persisted)");
+  return d;
+}
+
+} // namespace
+
+FileKind detectKind(const json::JsonValue& doc) {
+  if (doc.kind != JsonValue::Kind::Object) return FileKind::Unknown;
+  if (doc.has("manifestVersion")) return FileKind::Manifest;
+  if (doc.has("results") && doc.has("counters")) return FileKind::BatchReport;
+  if (doc.has("policies") && doc.has("bench")) return FileKind::SpeedBaseline;
+  return FileKind::Unknown;
+}
+
+const char* kindName(FileKind kind) {
+  switch (kind) {
+  case FileKind::BatchReport: return "runner report";
+  case FileKind::SpeedBaseline: return "speed baseline";
+  case FileKind::Manifest: return "run manifest";
+  case FileKind::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+std::vector<std::pair<std::string, double>>
+policyOverheads(const json::JsonValue& doc,
+                const std::string& baselinePolicy) {
+  const auto byPolicy = cyclesByPolicy(doc);
+  const auto base = byPolicy.find(baselinePolicy);
+  if (base == byPolicy.end())
+    throw Error("report has no baseline policy '" + baselinePolicy + "'");
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [policy, contexts] : byPolicy) {
+    if (policy == baselinePolicy) continue;
+    std::vector<double> ratios;
+    for (const auto& [ctx, cycles] : contexts) {
+      const auto b = base->second.find(ctx);
+      if (b != base->second.end() && b->second > 0)
+        ratios.push_back(cycles / b->second);
+    }
+    if (!ratios.empty()) out.emplace_back(policy, geomean(ratios));
+  }
+  return out;
+}
+
+Diff diff(const json::JsonValue& oldDoc, const json::JsonValue& newDoc,
+          const DiffOptions& opts) {
+  const FileKind oldKind = detectKind(oldDoc);
+  const FileKind newKind = detectKind(newDoc);
+  if (oldKind != newKind)
+    throw Error(std::string("cannot diff a ") + kindName(oldKind) +
+                " against a " + kindName(newKind));
+  switch (oldKind) {
+  case FileKind::BatchReport: return diffBatch(oldDoc, newDoc, opts);
+  case FileKind::SpeedBaseline: return diffSpeed(oldDoc, newDoc, opts);
+  case FileKind::Manifest: return diffManifest(oldDoc, newDoc);
+  case FileKind::Unknown: break;
+  }
+  throw Error("unrecognized document schema (expected a runner report, a "
+              "micro_speed baseline, or a run manifest)");
+}
+
+} // namespace lev::runner::report

@@ -1,0 +1,59 @@
+// Cross-run comparison: load two of the project's JSON artifacts and
+// render a per-policy delta table with optional regression thresholds.
+// This is the library behind tools/levioso-report; it lives in the runner
+// so the diff logic is unit-testable against synthetic fixtures.
+//
+// Three artifact kinds are understood (auto-detected from the document):
+//   * batch/bench runner reports  (Sweep::writeJson: {"results": [...]})
+//     -> per-policy OVERHEAD ratios vs a baseline policy, geomean'd over
+//        every matching {kernel, scale, config} context. Cycles are
+//        deterministic, so any drift is a real behavioral change.
+//   * micro_speed baselines       ({"policies": [...{"hostMips"}]})
+//     -> per-policy host MIPS (noisy; gate with generous thresholds or
+//        --warn-only).
+//   * run manifests               ({"manifestVersion": 1})
+//     -> host-side counters (wall time, hit rate, steals, store failures);
+//        report-only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/jsonparse.hpp"
+#include "support/table.hpp"
+
+namespace lev::runner::report {
+
+enum class FileKind { BatchReport, SpeedBaseline, Manifest, Unknown };
+
+/// Classify a parsed document by its schema markers.
+FileKind detectKind(const json::JsonValue& doc);
+const char* kindName(FileKind kind);
+
+struct DiffOptions {
+  /// The policy overheads are normalized to (batch reports only).
+  std::string baselinePolicy = "unsafe";
+  /// Max tolerated regression, in percent; negative = report-only.
+  /// Batch reports: relative increase of a policy's overhead ratio.
+  /// Speed baselines: relative drop of a policy's host MIPS.
+  double maxRegressPct = -1.0;
+};
+
+struct Diff {
+  Table table;                          ///< the rendered delta table
+  std::vector<std::string> regressions; ///< rows past the threshold
+  std::vector<std::string> notes;       ///< non-gating observations
+};
+
+/// Diff two documents of the SAME kind (throws lev::Error on a kind
+/// mismatch or an unrecognized document).
+Diff diff(const json::JsonValue& oldDoc, const json::JsonValue& newDoc,
+          const DiffOptions& opts = {});
+
+/// Per-policy overhead ratios of one batch report: geomean over every
+/// context (kernel/scale/config) of cycles(policy) / cycles(baseline).
+/// The baseline policy itself is omitted. Exposed for tests.
+std::vector<std::pair<std::string, double>>
+policyOverheads(const json::JsonValue& doc, const std::string& baselinePolicy);
+
+} // namespace lev::runner::report

@@ -11,6 +11,7 @@
 #include <unistd.h>
 #endif
 
+#include "support/log.hpp"
 #include "support/strings.hpp"
 
 namespace fs = std::filesystem;
@@ -59,13 +60,22 @@ std::optional<RunRecord> ResultCache::lookup(
   std::lock_guard<std::mutex> lock(mutex_);
   std::ifstream in(pathOf(keyOf(jobDescription)));
   if (!in) {
-    ++misses_;
+    ++counters_.misses;
     return std::nullopt;
   }
   std::string line;
-  if (!std::getline(in, line) || line != kMagic ||
-      !std::getline(in, line) || line != "key " + jobDescription) {
-    ++misses_; // corrupt, stale format, or hash collision
+  if (!std::getline(in, line) || line != kMagic) {
+    ++counters_.misses; // corrupt or stale entry format
+    return std::nullopt;
+  }
+  if (!std::getline(in, line) || line != "key " + jobDescription) {
+    // A well-formed entry for a DIFFERENT key: hash collision (or foreign
+    // salt). Degrades to a miss by design; counted separately so a run can
+    // tell aliasing from cold entries.
+    ++counters_.misses;
+    ++counters_.collisions;
+    LEV_LOG_DEBUG("cache", "key collision degraded to a miss",
+                  {{"file", pathOf(keyOf(jobDescription))}});
     return std::nullopt;
   }
   RunRecord rec;
@@ -99,12 +109,12 @@ std::optional<RunRecord> ResultCache::lookup(
     }
   }
   if (!sawCycles || rec.summary.cycles == 0) {
-    ++misses_;
+    ++counters_.misses;
     return std::nullopt;
   }
   rec.summary.ipc = static_cast<double>(rec.summary.insts) /
                     static_cast<double>(rec.summary.cycles);
-  ++hits_;
+  ++counters_.hits;
   return rec;
 }
 
@@ -113,12 +123,19 @@ void ResultCache::store(const std::string& jobDescription,
   std::lock_guard<std::mutex> lock(mutex_);
   std::error_code ec;
   fs::create_directories(opts_.dir, ec);
-  if (ec) return;
+  if (ec) {
+    noteStoreFailure("cannot create cache dir " + opts_.dir + ": " +
+                     ec.message());
+    return;
+  }
   const std::string path = pathOf(keyOf(jobDescription));
   const std::string tmp = path + uniqueTmpSuffix();
   {
     std::ofstream out(tmp);
-    if (!out) return;
+    if (!out) {
+      noteStoreFailure("cannot open temp file " + tmp);
+      return;
+    }
     out << kMagic << "\n";
     out << "key " << jobDescription << "\n";
     out << "cycles " << record.summary.cycles << "\n";
@@ -132,11 +149,35 @@ void ResultCache::store(const std::string& jobDescription,
     if (!out.good()) {
       out.close();
       fs::remove(tmp, ec);
+      noteStoreFailure("short write to " + tmp + " (disk full?)");
       return;
     }
   }
   fs::rename(tmp, path, ec);
-  if (ec) fs::remove(tmp, ec);
+  if (ec) {
+    noteStoreFailure("cannot rename " + tmp + ": " + ec.message());
+    fs::remove(tmp, ec);
+  }
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void ResultCache::noteStoreFailure(const std::string& why) {
+  // One WARN per cache instance (i.e. per run), then debug-level only: a
+  // read-only cache dir would otherwise emit one warning per finished job.
+  ++counters_.storeFailures;
+  if (counters_.storeFailures == 1) {
+    LEV_LOG_WARN("cache",
+                 "result store failed (cache disabled for this entry; "
+                 "further failures logged at debug level)",
+                 {{"dir", opts_.dir}, {"error", why}});
+  } else {
+    LEV_LOG_DEBUG("cache", "result store failed",
+                  {{"failures", counters_.storeFailures}, {"error", why}});
+  }
 }
 
 void ResultCache::clear() {

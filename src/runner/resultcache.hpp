@@ -40,25 +40,40 @@ public:
   /// colliding entry. Thread-safe.
   std::optional<RunRecord> lookup(const std::string& jobDescription);
 
-  /// Persist a result. Failures to write (read-only dir, disk full) are
-  /// swallowed: the cache is an accelerator, never a correctness input.
-  /// Thread-safe.
+  /// Persist a result. Failures to write (read-only dir, disk full) never
+  /// fail the run — the cache is an accelerator, never a correctness input
+  /// — but they are COUNTED and the first one per cache instance emits a
+  /// rate-limited warning through the logger (every further failure is a
+  /// debug-level message plus a counter increment). Thread-safe.
   void store(const std::string& jobDescription, const RunRecord& record);
 
   /// Delete every entry in the cache directory.
   void clear();
 
   const std::string& dir() const { return opts_.dir; }
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
+  const std::string& salt() const { return opts_.salt; }
+
+  /// Observability counters (monotone over the cache's life). A collision
+  /// is a lookup that found a well-formed entry whose stored key line did
+  /// not match (FNV aliasing or a foreign salt) — it also counts as a miss.
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t collisions = 0;
+    std::uint64_t storeFailures = 0;
+  };
+  Counters counters() const;
+
+  std::uint64_t hits() const { return counters().hits; }
+  std::uint64_t misses() const { return counters().misses; }
 
 private:
   std::string pathOf(std::uint64_t key) const;
+  void noteStoreFailure(const std::string& why); ///< mutex_ held
 
   Options opts_;
   mutable std::mutex mutex_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  Counters counters_;
 };
 
 /// Cache directory honoring the LEVIOSO_CACHE_DIR environment override.

@@ -1,5 +1,6 @@
 #include "runner/sweep.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <exception>
 #include <map>
@@ -8,6 +9,7 @@
 #include "backend/compiler.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
+#include "support/log.hpp"
 #include "workloads/kernels.hpp"
 
 namespace lev::runner {
@@ -50,7 +52,15 @@ backend::CompileResult compileSpec(const JobSpec& spec) {
 
 Sweep::Sweep() : Sweep(Options()) {}
 
-Sweep::Sweep(Options opts) : opts_(opts), pool_(opts.jobs) {}
+Sweep::Sweep(Options opts)
+    : opts_(std::move(opts)), pool_(opts_.jobs),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::int64_t Sweep::sinceEpochMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
 
 std::size_t Sweep::add(JobSpec spec) {
   descriptions_.push_back(describe(spec));
@@ -102,33 +112,68 @@ const std::vector<RunRecord>& Sweep::run() {
     std::exception_ptr error;
   };
   std::map<std::string, Compiled> programs; // compile key -> program
+  std::size_t pendingSims = 0;
   for (std::size_t slot = 0; slot < nUnique; ++slot)
-    if (!done[slot]) programs.try_emplace(describeCompile(specs_[slotSpec[slot]]));
+    if (!done[slot]) {
+      programs.try_emplace(describeCompile(specs_[slotSpec[slot]]));
+      ++pendingSims;
+    }
+
+  // Progress + span bookkeeping for this run() call. Spans are recorded
+  // into pre-sized per-phase vectors (each job owns one slot, so no lock),
+  // then appended to spans_ after the phase barrier.
+  const auto runStart = sinceEpochMicros();
+  const std::size_t totalJobs = programs.size() + pendingSims;
+  std::atomic<std::size_t> doneJobs{0};
+  const auto noteDone = [this, &doneJobs, totalJobs] {
+    const std::size_t n = doneJobs.fetch_add(1) + 1;
+    if (opts_.onProgress) opts_.onProgress(n, totalJobs);
+  };
+  LEV_LOG_DEBUG("sweep", "run started",
+                {{"points", specs_.size() - executedPoints_},
+                 {"compiles", programs.size()},
+                 {"simulations", pendingSims},
+                 {"cacheHits", counters_.cacheHits},
+                 {"threads", pool_.size()}});
+
   {
+    std::vector<trace::HostSpan> compileSpans(programs.size());
     std::vector<std::future<void>> futures;
+    std::size_t ci = 0;
     for (auto& [ckey, compiled] : programs) {
       const JobSpec* spec = nullptr;
       for (std::size_t slot = 0; slot < nUnique && !spec; ++slot)
         if (!done[slot] && describeCompile(specs_[slotSpec[slot]]) == ckey)
           spec = &specs_[slotSpec[slot]];
       Compiled* out = &compiled;
-      futures.push_back(pool_.submit([spec, out] {
+      trace::HostSpan* span = &compileSpans[ci++];
+      span->label = ckey;
+      span->phase = "compile";
+      span->queuedMicros = sinceEpochMicros();
+      futures.push_back(pool_.submit([this, spec, out, span, &noteDone] {
+        span->worker = ThreadPool::currentWorkerIndex();
+        span->startMicros = sinceEpochMicros();
         try {
           out->result = std::make_shared<const backend::CompileResult>(
               compileSpec(*spec));
         } catch (...) {
           out->error = std::current_exception();
         }
+        span->endMicros = sinceEpochMicros();
+        noteDone();
       }));
       ++counters_.compiles;
     }
     ThreadPool::waitAll(futures);
+    spans_.insert(spans_.end(), compileSpans.begin(), compileSpans.end());
   }
 
   // 4. Simulate the remaining unique points concurrently.
   std::vector<std::exception_ptr> errors(nUnique);
   {
+    std::vector<trace::HostSpan> simSpans(pendingSims);
     std::vector<std::future<void>> futures;
+    std::size_t si = 0;
     for (std::size_t slot = 0; slot < nUnique; ++slot) {
       if (done[slot]) continue;
       const JobSpec& spec = specs_[slotSpec[slot]];
@@ -137,8 +182,14 @@ const std::vector<RunRecord>& Sweep::run() {
       std::exception_ptr* err = &errors[slot];
       const std::string* desc = &descriptions_[slotSpec[slot]];
       ResultCache* cache = opts_.cache;
-      futures.push_back(pool_.submit([&spec, &compiled, out, err, desc,
-                                      cache] {
+      trace::HostSpan* span = &simSpans[si++];
+      span->label = *desc;
+      span->phase = "simulate";
+      span->queuedMicros = sinceEpochMicros();
+      futures.push_back(pool_.submit([this, &spec, &compiled, out, err, desc,
+                                      cache, span, &noteDone] {
+        span->worker = ThreadPool::currentWorkerIndex();
+        span->startMicros = sinceEpochMicros();
         try {
           if (compiled.error) std::rethrow_exception(compiled.error);
           *out = simulate(compiled.result->program, spec);
@@ -146,11 +197,18 @@ const std::vector<RunRecord>& Sweep::run() {
         } catch (...) {
           *err = std::current_exception();
         }
+        span->endMicros = sinceEpochMicros();
+        noteDone();
       }));
       ++counters_.simulated;
     }
     ThreadPool::waitAll(futures);
+    spans_.insert(spans_.end(), simSpans.begin(), simSpans.end());
   }
+
+  wallMicros_ += sinceEpochMicros() - runStart;
+  LEV_LOG_DEBUG("sweep", "run finished",
+                {{"jobs", totalJobs}, {"wallMicros", wallMicros_}});
 
   // 5. Surface the first failure (submission order) after everything ran.
   for (std::size_t slot = 0; slot < nUnique; ++slot)
@@ -161,6 +219,10 @@ const std::vector<RunRecord>& Sweep::run() {
     results_[i] = uniqueRecords[uniqueIndex_[i]];
   executedPoints_ = specs_.size();
   return results_;
+}
+
+void Sweep::writeHostTrace(std::ostream& os) const {
+  trace::writeHostChromeTrace(os, spans_);
 }
 
 void Sweep::writeJson(std::ostream& os, bool includeStats) const {

@@ -17,7 +17,10 @@
 // to a serial one (asserted by tests/runner_test.cpp).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -25,6 +28,7 @@
 #include "runner/job.hpp"
 #include "runner/resultcache.hpp"
 #include "runner/threadpool.hpp"
+#include "trace/export.hpp"
 
 namespace lev::runner {
 
@@ -33,6 +37,10 @@ public:
   struct Options {
     int jobs = 0;               ///< worker threads; 0 = auto (env/hardware)
     ResultCache* cache = nullptr; ///< optional, not owned
+    /// Invoked after every finished compile/simulate job with (done,
+    /// total) for THIS run() call. Called from pool worker threads
+    /// concurrently — the callback must be thread-safe and cheap.
+    std::function<void(std::size_t done, std::size_t total)> onProgress;
   };
 
   Sweep();
@@ -58,11 +66,27 @@ public:
   const Counters& counters() const { return counters_; }
   int threadCount() const { return pool_.size(); }
 
+  // -- host-side observability (docs/OBSERVABILITY.md) --------------------
+  /// Pool scheduling counters (submits, steals, peak queue depth).
+  ThreadPool::Counters poolCounters() const { return pool_.counters(); }
+  /// The attached result cache, if any (for its hit/miss/failure counters).
+  const ResultCache* cache() const { return opts_.cache; }
+  /// One span per executed compile/simulate job, timestamped in
+  /// microseconds since this Sweep's construction; accumulates across
+  /// run() calls. Cache-served points never appear here.
+  const std::vector<trace::HostSpan>& hostSpans() const { return spans_; }
+  /// Total wall time spent inside run(), summed across calls.
+  std::int64_t wallMicros() const { return wallMicros_; }
+  /// Chrome-trace JSON of hostSpans() (open in ui.perfetto.dev).
+  void writeHostTrace(std::ostream& os) const;
+
   /// Emit the machine-readable report (schema: docs/RUNNER.md). With
   /// `includeStats`, every result carries its full counter dump.
   void writeJson(std::ostream& os, bool includeStats = false) const;
 
 private:
+  std::int64_t sinceEpochMicros() const;
+
   Options opts_;
   ThreadPool pool_;
   std::vector<JobSpec> specs_;
@@ -71,6 +95,9 @@ private:
   std::vector<RunRecord> results_;           ///< parallel to specs_
   Counters counters_;
   std::size_t executedPoints_ = 0; ///< specs_ prefix already run()
+  std::chrono::steady_clock::time_point epoch_; ///< span timebase
+  std::vector<trace::HostSpan> spans_;
+  std::int64_t wallMicros_ = 0;
 };
 
 } // namespace lev::runner

@@ -1,6 +1,9 @@
 #include "runner/threadpool.hpp"
 
 #include <cstdlib>
+#include <exception>
+
+#include "support/log.hpp"
 
 namespace lev::runner {
 
@@ -54,9 +57,25 @@ void ThreadPool::post(std::packaged_task<void()> task) {
   {
     std::lock_guard<std::mutex> lock(sleepMutex_);
     ++pending_;
+    ++submits_;
+    if (pending_ > peakQueueDepth_) peakQueueDepth_ = pending_;
   }
   sleepCv_.notify_one();
 }
+
+ThreadPool::Counters ThreadPool::counters() const {
+  Counters c;
+  {
+    std::lock_guard<std::mutex> lock(sleepMutex_);
+    c.submits = submits_;
+    c.peakQueueDepth = peakQueueDepth_;
+  }
+  c.steals = steals_.load(std::memory_order_relaxed);
+  c.executed = executed_.load(std::memory_order_relaxed);
+  return c;
+}
+
+int ThreadPool::currentWorkerIndex() { return tlsWorkerIndex; }
 
 bool ThreadPool::popOwn(int index, std::packaged_task<void()>& out) {
   Worker& w = *workers_[static_cast<std::size_t>(index)];
@@ -75,6 +94,7 @@ bool ThreadPool::steal(int thief, std::packaged_task<void()>& out) {
     if (w.deque.empty()) continue;
     out = std::move(w.deque.front()); // FIFO when stealing
     w.deque.pop_front();
+    steals_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
@@ -90,6 +110,10 @@ void ThreadPool::workerLoop(int index) {
         std::lock_guard<std::mutex> lock(sleepMutex_);
         --pending_;
       }
+      // Count BEFORE running: the increment is sequenced before the
+      // future becomes ready inside task(), so a thread that observed
+      // completion (waitAll) always sees this task in the counter.
+      executed_.fetch_add(1, std::memory_order_relaxed);
       task(); // exceptions land in the task's future
       continue;
     }
@@ -100,15 +124,36 @@ void ThreadPool::workerLoop(int index) {
 }
 
 void ThreadPool::waitAll(std::vector<std::future<void>>& futures) {
+  // Rethrow only the FIRST failure (in submission order) so callers see a
+  // deterministic error — but never drop the rest silently: every further
+  // captured job exception is logged with its job index and message.
   std::exception_ptr first;
-  for (std::future<void>& f : futures) {
+  std::uint64_t failures = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
     try {
-      f.get();
+      futures[i].get();
+    } catch (const std::exception& e) {
+      ++failures;
+      if (!first)
+        first = std::current_exception();
+      else
+        LEV_LOG_WARN("pool", "additional job failure (first rethrown)",
+                     {{"job", i}, {"error", e.what()}});
     } catch (...) {
-      if (!first) first = std::current_exception();
+      ++failures;
+      if (!first)
+        first = std::current_exception();
+      else
+        LEV_LOG_WARN("pool", "additional job failure (first rethrown)",
+                     {{"job", i}, {"error", "non-std exception"}});
     }
   }
-  if (first) std::rethrow_exception(first);
+  if (first) {
+    if (failures > 1)
+      LEV_LOG_WARN("pool", "multiple jobs failed; rethrowing the first",
+                   {{"failed", failures}, {"jobs", futures.size()}});
+    std::rethrow_exception(first);
+  }
 }
 
 } // namespace lev::runner

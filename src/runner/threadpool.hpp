@@ -11,7 +11,9 @@
 // never takes down the pool or the other jobs.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -40,6 +42,20 @@ public:
 
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Scheduling counters, snapshotted at any time (monotone over the pool's
+  /// life). Host-side observability only — never a simulation input.
+  struct Counters {
+    std::uint64_t submits = 0;  ///< tasks posted via submit()
+    std::uint64_t executed = 0; ///< tasks a worker ran to completion
+    std::uint64_t steals = 0;   ///< tasks taken from a sibling's deque
+    std::uint64_t peakQueueDepth = 0; ///< max queued-but-unstarted tasks
+  };
+  Counters counters() const;
+
+  /// Index of the pool worker the calling thread runs as, -1 when called
+  /// from outside any pool worker (used to label host spans).
+  static int currentWorkerIndex();
+
   /// Enqueue a task; the future carries its result or exception.
   template <class F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
@@ -51,7 +67,9 @@ public:
   }
 
   /// Block until `futures` are all done, then rethrow the FIRST failure in
-  /// submission order (all jobs run to completion either way).
+  /// submission order (all jobs run to completion either way). Every
+  /// SUBSEQUENT captured failure is logged (job index + message) rather
+  /// than dropped, so a multi-job breakage is visible in full.
   static void waitAll(std::vector<std::future<void>>& futures);
 
 private:
@@ -69,11 +87,18 @@ private:
   std::vector<std::thread> threads_;
 
   // Sleep/wake machinery: pending_ counts queued-but-unstarted tasks.
-  std::mutex sleepMutex_;
+  mutable std::mutex sleepMutex_;
   std::condition_variable sleepCv_;
   std::size_t pending_ = 0;
   bool stop_ = false;
   std::size_t nextWorker_ = 0; ///< round-robin target for external submits
+
+  // Counters. submits_/peak_ are updated under sleepMutex_ (already taken
+  // on those paths); steals_/executed_ are hot-path atomics.
+  std::uint64_t submits_ = 0;
+  std::uint64_t peakQueueDepth_ = 0;
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> executed_{0};
 };
 
 } // namespace lev::runner

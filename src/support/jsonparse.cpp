@@ -1,0 +1,209 @@
+#include "support/jsonparse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace lev::json {
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parseValue();
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw Error("json parse error at " + std::to_string(pos_) + ": " + why);
+  }
+  void skipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\r' || text_[pos_] == '\t'))
+      ++pos_;
+  }
+  char peek() {
+    skipWs();
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(std::string_view word) {
+    skipWs();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parseValue() {
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') return parseObject();
+    if (c == '[') return parseArray();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::String;
+      v.str = parseString();
+      return v;
+    }
+    if (consume("true")) {
+      v.kind = JsonValue::Kind::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume("false")) {
+      v.kind = JsonValue::Kind::Bool;
+      return v;
+    }
+    if (consume("null")) return v;
+    return parseNumber();
+  }
+
+  JsonValue parseObject() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      const std::string key = parseString();
+      expect(':');
+      v.members.emplace(key, parseValue());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parseArray() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(parseValue());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  void appendUtf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("bad escape");
+      const char e = text_[pos_++];
+      switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (pos_ + 4 > text_.size()) fail("bad \\u");
+        for (int i = 0; i < 4; ++i)
+          if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + static_cast<std::size_t>(i)])))
+            fail("bad \\u");
+        const unsigned code = static_cast<unsigned>(std::strtoul(
+            std::string(text_.substr(pos_, 4)).c_str(), nullptr, 16));
+        pos_ += 4;
+        appendUtf8(out, code);
+        break;
+      }
+      default: fail("unknown escape");
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  JsonValue parseNumber() {
+    skipWs();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number =
+        std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                    nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto it = members.find(key);
+  if (it == members.end()) throw Error("json: no key '" + key + "'");
+  return it->second;
+}
+
+JsonValue parse(std::string_view text) { return Parser(text).parse(); }
+
+JsonValue parseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    return parse(ss.str());
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  }
+}
+
+} // namespace lev::json

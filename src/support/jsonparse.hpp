@@ -1,0 +1,39 @@
+// A minimal strict JSON parser, promoted from the test suite now that
+// production tools consume the project's own JSON artifacts (levioso-report
+// diffs runner reports, manifests and speed baselines).
+//
+// Strictness is deliberate: anything the writers emit must parse here with
+// no leniency, so writer bugs (bad escapes, NaN literals, trailing commas)
+// fail loudly instead of flowing into downstream tools. Parse errors throw
+// lev::Error with a byte offset.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lev::json {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind =
+      Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> members;
+
+  /// Object member access; throws lev::Error when the key is absent.
+  const JsonValue& at(const std::string& key) const;
+  bool has(const std::string& key) const { return members.count(key) != 0; }
+};
+
+/// Parse one complete JSON document (trailing garbage is an error).
+JsonValue parse(std::string_view text);
+
+/// Parse the contents of a file; throws lev::Error (with the path in the
+/// message) when the file cannot be read or does not parse.
+JsonValue parseFile(const std::string& path);
+
+} // namespace lev::json

@@ -1,0 +1,193 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+
+#include "support/json.hpp"
+
+namespace lev::log {
+
+namespace {
+
+/// Serializes every sink write; one message is one atomic line per sink.
+std::mutex& sinkMutex() {
+  static std::mutex m;
+  return m;
+}
+
+struct Sinks {
+  std::ostream* text = &std::cerr;
+  std::ostream* json = nullptr;
+  std::ofstream jsonFile; ///< owns the LEVIOSO_LOG file when used
+};
+
+Sinks& sinks() {
+  static Sinks s;
+  return s;
+}
+
+std::atomic<int>& thresholdVar() {
+  static std::atomic<int> lv{static_cast<int>(Level::Info)};
+  return lv;
+}
+
+/// One-time environment configuration: LEVIOSO_LOG (JSON-lines file path,
+/// appended so one script's benches share a log) and LEVIOSO_LOG_LEVEL.
+void initFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const char* lv = std::getenv("LEVIOSO_LOG_LEVEL"))
+      thresholdVar().store(
+          static_cast<int>(parseLevel(lv, Level::Info)),
+          std::memory_order_relaxed);
+    const char* path = std::getenv("LEVIOSO_LOG");
+    if (path == nullptr || *path == '\0') return;
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    sinks().jsonFile.open(path, std::ios::app);
+    if (sinks().jsonFile)
+      sinks().json = &sinks().jsonFile;
+    else
+      std::cerr << "levioso: cannot open LEVIOSO_LOG file " << path << "\n";
+  });
+}
+
+/// Microseconds since the Unix epoch (host wall clock; log metadata only).
+std::int64_t nowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void writeHuman(std::ostream& os, Level lv, std::string_view component,
+                std::string_view msg, std::initializer_list<Field> fields,
+                std::int64_t tsMicros) {
+  const std::time_t secs = static_cast<std::time_t>(tsMicros / 1'000'000);
+  std::tm tm{};
+#ifdef _WIN32
+  localtime_s(&tm, &secs);
+#else
+  localtime_r(&secs, &tm);
+#endif
+  char stamp[16];
+  std::snprintf(stamp, sizeof(stamp), "%02d:%02d:%02d.%03d", tm.tm_hour,
+                tm.tm_min, tm.tm_sec,
+                static_cast<int>((tsMicros / 1000) % 1000));
+  static const char kLetter[] = {'D', 'I', 'W', 'E'};
+  os << '[' << stamp << "] " << kLetter[static_cast<int>(lv)] << ' '
+     << component << ": " << msg;
+  bool first = true;
+  for (const Field& f : fields) {
+    os << (first ? " (" : ", ") << f.key << '=' << f.value;
+    first = false;
+  }
+  if (!first) os << ')';
+  os << '\n' << std::flush;
+}
+
+void writeJsonLine(std::ostream& os, Level lv, std::string_view component,
+                   std::string_view msg, std::initializer_list<Field> fields,
+                   std::int64_t tsMicros) {
+  // Hand-assembled (not JsonWriter) to keep one message on ONE line, but
+  // every string goes through JsonWriter::escape so the output always
+  // survives a strict parser.
+  os << "{\"ts\":" << tsMicros << ",\"level\":\"" << levelName(lv)
+     << "\",\"component\":\"" << JsonWriter::escape(component)
+     << "\",\"msg\":\"" << JsonWriter::escape(msg) << '"';
+  if (fields.size() != 0) {
+    os << ",\"fields\":{";
+    bool first = true;
+    for (const Field& f : fields) {
+      if (!first) os << ',';
+      first = false;
+      os << '"' << JsonWriter::escape(f.key) << "\":";
+      if (f.kind == Field::Kind::Str)
+        os << '"' << JsonWriter::escape(f.value) << '"';
+      else
+        os << f.value;
+    }
+    os << '}';
+  }
+  os << "}\n" << std::flush;
+}
+
+} // namespace
+
+Field::Field(std::string_view k, double v) : key(k), kind(Kind::Num) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan literal; degrade to a string field.
+    kind = Kind::Str;
+    value = v > 0 ? "inf" : (v < 0 ? "-inf" : "nan");
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  value = buf;
+}
+
+const char* levelName(Level lv) {
+  switch (lv) {
+  case Level::Debug: return "debug";
+  case Level::Info: return "info";
+  case Level::Warn: return "warn";
+  case Level::Error: return "error";
+  case Level::Off: return "off";
+  }
+  return "?";
+}
+
+Level parseLevel(std::string_view s, Level fallback) {
+  std::string lower;
+  lower.reserve(s.size());
+  for (const char c : s)
+    lower += static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  if (lower == "debug") return Level::Debug;
+  if (lower == "info") return Level::Info;
+  if (lower == "warn" || lower == "warning") return Level::Warn;
+  if (lower == "error") return Level::Error;
+  if (lower == "off" || lower == "none" || lower == "quiet")
+    return Level::Off;
+  return fallback;
+}
+
+Level threshold() {
+  initFromEnv();
+  return static_cast<Level>(thresholdVar().load(std::memory_order_relaxed));
+}
+
+void setThreshold(Level lv) {
+  initFromEnv(); // so a later env init cannot overwrite an explicit choice
+  thresholdVar().store(static_cast<int>(lv), std::memory_order_relaxed);
+}
+
+bool enabled(Level lv) { return lv >= threshold() && lv != Level::Off; }
+
+void message(Level lv, std::string_view component, std::string_view msg,
+             std::initializer_list<Field> fields) {
+  if (!enabled(lv)) return;
+  const std::int64_t ts = nowMicros();
+  std::lock_guard<std::mutex> lock(sinkMutex());
+  Sinks& s = sinks();
+  if (s.text != nullptr) writeHuman(*s.text, lv, component, msg, fields, ts);
+  if (s.json != nullptr) writeJsonLine(*s.json, lv, component, msg, fields, ts);
+}
+
+void setTextSink(std::ostream* os) {
+  initFromEnv();
+  std::lock_guard<std::mutex> lock(sinkMutex());
+  sinks().text = os;
+}
+
+void setJsonSink(std::ostream* os) {
+  initFromEnv();
+  std::lock_guard<std::mutex> lock(sinkMutex());
+  sinks().json = os;
+}
+
+} // namespace lev::log

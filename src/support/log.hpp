@@ -1,0 +1,116 @@
+// Structured logging for the HOST side of the experiment stack (runner,
+// tools, benches). Never called from the simulated pipeline: host logging
+// must not perturb simulation results, so the simulator keeps reporting
+// through StatSet/TraceBuffer and this logger only narrates what the
+// machinery AROUND the simulator did.
+//
+// Every message carries a severity, a component tag ("pool", "cache",
+// "sweep", a tool name, ...) and optional typed key=value fields. Two
+// sinks, each independently switchable:
+//
+//   * a human-readable line on stderr       ([12:34:56.789] W cache: ...)
+//   * a JSON-lines file when LEVIOSO_LOG=path (one object per line,
+//     escaped through JsonWriter so any message round-trips a strict
+//     parser)
+//
+// The runtime threshold defaults to Info and can be changed with
+// LEVIOSO_LOG_LEVEL=debug|info|warn|error|off or programmatically
+// (tools map -v / --quiet onto it). The LEV_LOG_* macros evaluate their
+// arguments only when the level is enabled, and LEV_LOG_DEBUG compiles
+// out entirely under -DLEVIOSO_NO_DEBUG_LOG. Thread-safe throughout: one
+// message is one atomic write per sink.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace lev::log {
+
+enum class Level : int { Debug = 0, Info, Warn, Error, Off };
+
+/// Lower-case level name ("debug", ... , "off").
+const char* levelName(Level lv);
+
+/// Parse a LEVIOSO_LOG_LEVEL-style spelling (case-insensitive); returns
+/// `fallback` on anything unrecognized.
+Level parseLevel(std::string_view s, Level fallback);
+
+/// Current runtime threshold; messages below it are dropped.
+Level threshold();
+void setThreshold(Level lv);
+
+/// Cheap per-message gate (atomic load); the macros call this before
+/// evaluating any message argument.
+bool enabled(Level lv);
+
+/// One typed key=value attachment. The value is rendered at construction;
+/// the kind survives so the JSON sink can emit numbers/bools unquoted.
+struct Field {
+  enum class Kind { Str, Num, Bool };
+
+  Field(std::string_view k, std::string_view v)
+      : key(k), value(v), kind(Kind::Str) {}
+  Field(std::string_view k, const char* v)
+      : key(k), value(v), kind(Kind::Str) {}
+  Field(std::string_view k, const std::string& v)
+      : key(k), value(v), kind(Kind::Str) {}
+  Field(std::string_view k, bool v)
+      : key(k), value(v ? "true" : "false"), kind(Kind::Bool) {}
+  Field(std::string_view k, double v);
+  Field(std::string_view k, long long v)
+      : key(k), value(std::to_string(v)), kind(Kind::Num) {}
+  Field(std::string_view k, unsigned long long v)
+      : key(k), value(std::to_string(v)), kind(Kind::Num) {}
+  Field(std::string_view k, int v) : Field(k, static_cast<long long>(v)) {}
+  Field(std::string_view k, long v) : Field(k, static_cast<long long>(v)) {}
+  Field(std::string_view k, unsigned v)
+      : Field(k, static_cast<unsigned long long>(v)) {}
+  Field(std::string_view k, unsigned long v)
+      : Field(k, static_cast<unsigned long long>(v)) {}
+
+  std::string key;
+  std::string value;
+  Kind kind;
+};
+
+/// Emit one message (already past the threshold check in the macros; safe
+/// to call directly — it re-checks). Thread-safe.
+void message(Level lv, std::string_view component, std::string_view msg,
+             std::initializer_list<Field> fields = {});
+
+/// Redirect the human-readable sink (default: stderr). nullptr silences
+/// it. Tests point this at a std::ostringstream.
+void setTextSink(std::ostream* os);
+
+/// Redirect the JSON-lines sink (default: the LEVIOSO_LOG file, if set).
+/// nullptr disables it. Tests point this at a std::ostringstream.
+void setJsonSink(std::ostream* os);
+
+} // namespace lev::log
+
+// The macros are the intended call sites: they gate on enabled() so field
+// rendering costs nothing when the level is off.
+#define LEV_LOG_AT(lv, component, ...)                                         \
+  do {                                                                         \
+    if (::lev::log::enabled(lv))                                               \
+      ::lev::log::message(lv, component, __VA_ARGS__);                         \
+  } while (false)
+
+#define LEV_LOG_ERROR(component, ...)                                          \
+  LEV_LOG_AT(::lev::log::Level::Error, component, __VA_ARGS__)
+#define LEV_LOG_WARN(component, ...)                                           \
+  LEV_LOG_AT(::lev::log::Level::Warn, component, __VA_ARGS__)
+#define LEV_LOG_INFO(component, ...)                                           \
+  LEV_LOG_AT(::lev::log::Level::Info, component, __VA_ARGS__)
+
+// Debug is additionally compile-out-able: -DLEVIOSO_NO_DEBUG_LOG turns
+// every LEV_LOG_DEBUG into a no-op that never evaluates its arguments.
+#ifdef LEVIOSO_NO_DEBUG_LOG
+#define LEV_LOG_DEBUG(component, ...) ((void)0)
+#else
+#define LEV_LOG_DEBUG(component, ...)                                          \
+  LEV_LOG_AT(::lev::log::Level::Debug, component, __VA_ARGS__)
+#endif

@@ -101,6 +101,51 @@ void writeChromeTrace(std::ostream& os, const TraceBuffer& buffer,
   os << "\n";
 }
 
+void writeHostChromeTrace(std::ostream& os,
+                          const std::vector<HostSpan>& spans) {
+  JsonWriter w(os, /*indent=*/0);
+  w.beginObject();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData").beginObject();
+  w.field("tool", "levioso-host-spans");
+  w.field("spans", static_cast<std::uint64_t>(spans.size()));
+  w.endObject();
+  w.key("traceEvents").beginArray();
+  for (const HostSpan& s : spans) {
+    // Queue-latency slice (submit → start), then the execution slice.
+    if (s.startMicros > s.queuedMicros) {
+      w.beginObject();
+      w.field("name", "queued");
+      w.field("cat", s.phase);
+      w.field("ph", "X");
+      w.field("ts", s.queuedMicros);
+      w.field("dur", s.startMicros - s.queuedMicros);
+      w.field("pid", 0);
+      w.field("tid", s.worker);
+      w.key("args").beginObject();
+      w.field("job", s.label);
+      w.endObject();
+      w.endObject();
+    }
+    w.beginObject();
+    w.field("name", s.phase);
+    w.field("cat", s.phase);
+    w.field("ph", "X");
+    w.field("ts", s.startMicros);
+    w.field("dur", s.endMicros - s.startMicros);
+    w.field("pid", 0);
+    w.field("tid", s.worker);
+    w.key("args").beginObject();
+    w.field("job", s.label);
+    w.field("queueMicros", s.startMicros - s.queuedMicros);
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  os << "\n";
+}
+
 void writeCsv(std::ostream& os, const TraceBuffer& buffer,
               const ExportOptions& opts) {
   const auto mask = includeMask(opts);

@@ -1,8 +1,13 @@
 // Trace exporters: Chrome trace-event JSON (open in chrome://tracing or
-// https://ui.perfetto.dev) and a compact CSV. Schema: docs/TRACING.md.
+// https://ui.perfetto.dev) and a compact CSV for the *simulated* pipeline,
+// plus a Chrome-trace writer for HOST-side runner spans (compile/simulate
+// jobs on pool workers). Schema: docs/TRACING.md, docs/OBSERVABILITY.md.
 #pragma once
 
+#include <cstdint>
 #include <ostream>
+#include <string>
+#include <vector>
 
 #include "isa/program.hpp"
 #include "trace/trace.hpp"
@@ -26,5 +31,26 @@ void writeChromeTrace(std::ostream& os, const TraceBuffer& buffer,
 /// One event per line: "cycle,event,seq,pc,arg,cause".
 void writeCsv(std::ostream& os, const TraceBuffer& buffer,
               const ExportOptions& opts = {});
+
+/// One HOST-side unit of work: a compile or simulate job executed on a
+/// thread-pool worker. All times are wall-clock microseconds relative to
+/// the owning run's epoch (Sweep construction). Host spans observe the
+/// machinery around the simulator and never feed back into it, so they
+/// cannot perturb simulation results.
+struct HostSpan {
+  std::string label;           ///< job description / compile key
+  const char* phase = "";      ///< "compile" | "simulate" | custom
+  int worker = -1;             ///< pool worker index (trace track)
+  std::int64_t queuedMicros = 0; ///< when the job was submitted
+  std::int64_t startMicros = 0;  ///< when a worker picked it up
+  std::int64_t endMicros = 0;    ///< when it finished
+};
+
+/// Chrome trace-event JSON of host spans: one "X" duration slice per span
+/// on its worker's track, preceded by a "queued" slice covering
+/// submit→start so scheduling latency is visible. 1 trace microsecond ==
+/// 1 wall-clock microsecond.
+void writeHostChromeTrace(std::ostream& os,
+                          const std::vector<HostSpan>& spans);
 
 } // namespace lev::trace

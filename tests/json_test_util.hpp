@@ -1,194 +1,22 @@
-// A minimal strict JSON parser shared by tests: the stand-in consumer for
-// every JSON artifact the project emits (runner reports, Chrome traces).
-// Strictness is the point — anything the writers emit must parse here with
-// no leniency, so writer bugs (bad escapes, NaN literals, trailing commas)
-// fail tests instead of downstream tools.
+// Compatibility shim: the strict JSON parser the tests pioneered now lives
+// in the library (src/support/jsonparse.hpp) because production tools parse
+// the project's JSON artifacts too (levioso-report). Tests keep their
+// historical levtest:: spelling.
 #pragma once
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
-#include <stdexcept>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "support/jsonparse.hpp"
 
 namespace levtest {
 
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object } kind =
-      Kind::Null;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> items;
-  std::map<std::string, JsonValue> members;
-
-  const JsonValue& at(const std::string& key) const {
-    const auto it = members.find(key);
-    if (it == members.end()) throw std::runtime_error("no key " + key);
-    return it->second;
-  }
-  bool has(const std::string& key) const { return members.count(key) != 0; }
-};
+using JsonValue = lev::json::JsonValue;
 
 class JsonParser {
 public:
   explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = parseValue();
-    skipWs();
-    if (pos_ != text_.size()) fail("trailing garbage");
-    return v;
-  }
+  JsonValue parse() { return lev::json::parse(text_); }
 
 private:
-  [[noreturn]] void fail(const std::string& why) {
-    throw std::runtime_error("json parse error at " + std::to_string(pos_) +
-                             ": " + why);
-  }
-  void skipWs() {
-    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
-                                   text_[pos_] == '\r' || text_[pos_] == '\t'))
-      ++pos_;
-  }
-  char peek() {
-    skipWs();
-    if (pos_ >= text_.size()) fail("unexpected end");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-  bool consume(std::string_view word) {
-    skipWs();
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  JsonValue parseValue() {
-    const char c = peek();
-    JsonValue v;
-    if (c == '{') return parseObject();
-    if (c == '[') return parseArray();
-    if (c == '"') {
-      v.kind = JsonValue::Kind::String;
-      v.str = parseString();
-      return v;
-    }
-    if (consume("true")) {
-      v.kind = JsonValue::Kind::Bool;
-      v.boolean = true;
-      return v;
-    }
-    if (consume("false")) {
-      v.kind = JsonValue::Kind::Bool;
-      return v;
-    }
-    if (consume("null")) return v;
-    return parseNumber();
-  }
-
-  JsonValue parseObject() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Object;
-    expect('{');
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      const std::string key = parseString();
-      expect(':');
-      v.members.emplace(key, parseValue());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue parseArray() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Array;
-    expect('[');
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.items.push_back(parseValue());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string parseString() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (static_cast<unsigned char>(c) < 0x20)
-        fail("unescaped control character in string");
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("bad escape");
-      const char e = text_[pos_++];
-      switch (e) {
-      case '"': out += '"'; break;
-      case '\\': out += '\\'; break;
-      case '/': out += '/'; break;
-      case 'b': out += '\b'; break;
-      case 'f': out += '\f'; break;
-      case 'n': out += '\n'; break;
-      case 'r': out += '\r'; break;
-      case 't': out += '\t'; break;
-      case 'u': {
-        if (pos_ + 4 > text_.size()) fail("bad \\u");
-        const unsigned code = static_cast<unsigned>(
-            std::strtoul(std::string(text_.substr(pos_, 4)).c_str(), nullptr,
-                         16));
-        pos_ += 4;
-        if (code > 0xff) fail("non-latin \\u unsupported in tests");
-        out += static_cast<char>(code);
-        break;
-      }
-      default: fail("unknown escape");
-      }
-    }
-    expect('"');
-    return out;
-  }
-
-  JsonValue parseNumber() {
-    skipWs();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E'))
-      ++pos_;
-    if (pos_ == start) fail("expected number");
-    JsonValue v;
-    v.kind = JsonValue::Kind::Number;
-    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
-                           nullptr);
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
+  std::string text_;
 };
 
 } // namespace levtest

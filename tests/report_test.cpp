@@ -1,0 +1,323 @@
+// Tests for the run-manifest writer (src/runner/manifest.*) and the
+// cross-run regression reporter (src/runner/report.*): manifest schema
+// round-trip from a real Sweep, artifact-kind detection, per-policy
+// overhead math, diff threshold gating on synthetic regression fixtures,
+// and the levioso-report CLI exit codes.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "runner/manifest.hpp"
+#include "runner/report.hpp"
+#include "runner/sweep.hpp"
+#include "support/error.hpp"
+#include "support/jsonparse.hpp"
+
+namespace fs = std::filesystem;
+using namespace lev;
+using namespace lev::runner;
+using json::JsonValue;
+
+namespace {
+
+std::string freshPath(const std::string& tag) {
+  const std::string p = testing::TempDir() + "levioso-report-" + tag + "-" +
+                        std::to_string(::getpid());
+  fs::remove_all(p);
+  return p;
+}
+
+/// A synthetic batch report (Sweep::writeJson schema) with one kernel and
+/// explicit per-policy cycle counts — the regression fixtures tweak these.
+std::string batchReport(double unsafeCycles, double fenceCycles,
+                        double leviosoCycles) {
+  std::ostringstream os;
+  os << R"({"version": 2, "threads": 1, "counters": {"points": 3},
+            "results": [)";
+  const struct {
+    const char* policy;
+    double cycles;
+  } rows[] = {{"unsafe", unsafeCycles},
+              {"fence", fenceCycles},
+              {"levioso", leviosoCycles}};
+  bool first = true;
+  for (const auto& r : rows) {
+    if (!first) os << ",";
+    first = false;
+    os << R"({"kernel": "k", "scale": 1, "policy": ")" << r.policy
+       << R"(", "budget": 4, "cycles": )" << r.cycles
+       << R"(, "insts": 100, "ipc": 1.0})";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string speedBaseline(double unsafeMips, double leviosoMips) {
+  std::ostringstream os;
+  os << R"({"bench": "micro_speed", "policies": [
+       {"policy": "unsafe", "hostMips": )"
+     << unsafeMips << R"(}, {"policy": "levioso", "hostMips": )"
+     << leviosoMips << "}]}";
+  return os.str();
+}
+
+} // namespace
+
+// ---- run manifests -----------------------------------------------------
+
+TEST(Manifest, RoundTripsARealSweepThroughAStrictParser) {
+  Sweep::Options opts;
+  opts.jobs = 2;
+  Sweep sweep(opts);
+  JobSpec spec;
+  spec.kernel = "x264_sad";
+  spec.policy = "unsafe";
+  sweep.add(spec);
+  spec.policy = "levioso-lite";
+  sweep.add(spec);
+  sweep.run();
+
+  Manifest m = makeManifest("report_test", {"--flag", "value"}, sweep);
+  m.reportPath = "out.json";
+  std::ostringstream os;
+  writeManifest(os, m);
+
+  const JsonValue v = json::parse(os.str());
+  EXPECT_EQ(v.at("manifestVersion").number, kManifestVersion);
+  EXPECT_EQ(v.at("tool").str, "report_test");
+  ASSERT_EQ(v.at("args").items.size(), 2u);
+  EXPECT_EQ(v.at("args").items[1].str, "value");
+  EXPECT_EQ(v.at("report").str, "out.json");
+  EXPECT_EQ(v.at("threads").number, 2);
+  EXPECT_GT(v.at("wallMicros").number, 0);
+
+  EXPECT_EQ(v.at("jobs").at("points").number, 2);
+  EXPECT_EQ(v.at("jobs").at("unique").number, 2);
+  EXPECT_EQ(v.at("jobs").at("simulated").number, 2);
+  EXPECT_EQ(v.at("jobs").at("compiles").number, 1); // one kernel/budget
+
+  // Pool counters: 1 compile + 2 simulate jobs went through the pool.
+  EXPECT_EQ(v.at("pool").at("submits").number, 3);
+  EXPECT_EQ(v.at("pool").at("executed").number, 3);
+  EXPECT_GE(v.at("pool").at("peakQueueDepth").number, 1);
+
+  EXPECT_FALSE(v.has("cache")); // no cache attached to this sweep
+
+  // One timing span per job, each with a sane phase and duration.
+  ASSERT_EQ(v.at("timings").items.size(), 3u);
+  int compiles = 0, sims = 0;
+  for (const JsonValue& span : v.at("timings").items) {
+    const std::string phase = span.at("phase").str;
+    compiles += phase == "compile";
+    sims += phase == "simulate";
+    EXPECT_GE(span.at("startMicros").number,
+              span.at("queuedMicros").number);
+    EXPECT_GE(span.at("endMicros").number, span.at("startMicros").number);
+    EXPECT_EQ(span.at("durMicros").number,
+              span.at("endMicros").number - span.at("startMicros").number);
+    EXPECT_GE(span.at("worker").number, 0);
+  }
+  EXPECT_EQ(compiles, 1);
+  EXPECT_EQ(sims, 2);
+
+  // The manifest is itself a diffable artifact.
+  EXPECT_EQ(report::detectKind(v), report::FileKind::Manifest);
+}
+
+TEST(Manifest, CacheBlockAppearsWhenTheSweepUsesOne) {
+  const std::string dir = freshPath("cachedir");
+  ResultCache cache({dir, "test-salt"});
+  Sweep::Options opts;
+  opts.jobs = 1;
+  opts.cache = &cache;
+  Sweep sweep(opts);
+  JobSpec spec;
+  spec.kernel = "x264_sad";
+  spec.policy = "unsafe";
+  sweep.add(spec);
+  sweep.run();
+
+  std::ostringstream os;
+  writeManifest(os, makeManifest("t", {}, sweep));
+  const JsonValue v = json::parse(os.str());
+  EXPECT_EQ(v.at("cache").at("dir").str, dir);
+  EXPECT_EQ(v.at("cache").at("salt").str, "test-salt");
+  EXPECT_EQ(v.at("cache").at("hits").number, 0);
+  EXPECT_EQ(v.at("cache").at("misses").number, 1);
+  EXPECT_EQ(v.at("cache").at("storeFailures").number, 0);
+  fs::remove_all(dir);
+}
+
+TEST(Manifest, PathDerivationSitsNextToTheReport) {
+  EXPECT_EQ(manifestPathFor(""), "manifest.json");
+  EXPECT_EQ(manifestPathFor("out.json"), "out.manifest.json");
+  EXPECT_EQ(manifestPathFor("dir/fig3.json"), "dir/fig3.manifest.json");
+  EXPECT_EQ(manifestPathFor("noext"), "noext.manifest.json");
+}
+
+TEST(Manifest, WriteFileReportsFailureInsteadOfThrowing) {
+  const std::string dir = freshPath("unwritable");
+  fs::create_directories(dir);
+  EXPECT_FALSE(writeManifestFile(dir, Manifest{})); // path IS a directory
+  const std::string ok = dir + "/m.json";
+  EXPECT_TRUE(writeManifestFile(ok, Manifest{}));
+  EXPECT_TRUE(fs::exists(ok));
+  fs::remove_all(dir);
+}
+
+// ---- artifact-kind detection ------------------------------------------
+
+TEST(ReportKind, DetectsAllThreeSchemas) {
+  using report::FileKind;
+  EXPECT_EQ(report::detectKind(json::parse(batchReport(100, 200, 110))),
+            FileKind::BatchReport);
+  EXPECT_EQ(report::detectKind(json::parse(speedBaseline(5, 4))),
+            FileKind::SpeedBaseline);
+  EXPECT_EQ(report::detectKind(json::parse(R"({"manifestVersion": 1})")),
+            FileKind::Manifest);
+  EXPECT_EQ(report::detectKind(json::parse(R"({"something": "else"})")),
+            FileKind::Unknown);
+  EXPECT_EQ(report::detectKind(json::parse("[1,2]")), FileKind::Unknown);
+}
+
+// ---- overhead math -----------------------------------------------------
+
+TEST(ReportDiff, OverheadsAreCyclesNormalizedToTheBaselinePolicy) {
+  const JsonValue doc = json::parse(batchReport(100, 250, 110));
+  const auto ov = report::policyOverheads(doc, "unsafe");
+  ASSERT_EQ(ov.size(), 2u); // baseline itself omitted
+  EXPECT_EQ(ov[0].first, "fence");
+  EXPECT_DOUBLE_EQ(ov[0].second, 2.5);
+  EXPECT_EQ(ov[1].first, "levioso");
+  EXPECT_DOUBLE_EQ(ov[1].second, 1.1);
+  EXPECT_THROW(report::policyOverheads(doc, "no_such_policy"), Error);
+}
+
+// ---- diff gating -------------------------------------------------------
+
+TEST(ReportDiff, IdenticalReportsShowNoRegression) {
+  const JsonValue doc = json::parse(batchReport(100, 250, 110));
+  report::DiffOptions opts;
+  opts.maxRegressPct = 0.5;
+  const report::Diff d = report::diff(doc, doc, opts);
+  EXPECT_TRUE(d.regressions.empty());
+  EXPECT_EQ(d.table.rowCount(), 2u);
+}
+
+TEST(ReportDiff, SyntheticOverheadRegressionTripsTheThreshold) {
+  // levioso overhead drifts 1.10 -> 1.21 (+10%): past a 0.5% gate, and
+  // fence stays flat so exactly one regression is reported.
+  const JsonValue oldDoc = json::parse(batchReport(100, 250, 110));
+  const JsonValue newDoc = json::parse(batchReport(100, 250, 121));
+  report::DiffOptions opts;
+  opts.maxRegressPct = 0.5;
+  const report::Diff d = report::diff(oldDoc, newDoc, opts);
+  ASSERT_EQ(d.regressions.size(), 1u);
+  EXPECT_NE(d.regressions[0].find("levioso"), std::string::npos);
+
+  // A generous threshold lets the same drift pass.
+  opts.maxRegressPct = 15.0;
+  EXPECT_TRUE(report::diff(oldDoc, newDoc, opts).regressions.empty());
+
+  // Negative threshold = report-only: never gate.
+  opts.maxRegressPct = -1.0;
+  EXPECT_TRUE(report::diff(oldDoc, newDoc, opts).regressions.empty());
+}
+
+TEST(ReportDiff, OverheadImprovementNeverGates) {
+  const JsonValue oldDoc = json::parse(batchReport(100, 250, 121));
+  const JsonValue newDoc = json::parse(batchReport(100, 250, 110));
+  report::DiffOptions opts;
+  opts.maxRegressPct = 0.0;
+  EXPECT_TRUE(report::diff(oldDoc, newDoc, opts).regressions.empty());
+}
+
+TEST(ReportDiff, SpeedBaselineGatesOnMipsDrop) {
+  const JsonValue oldDoc = json::parse(speedBaseline(10.0, 8.0));
+  const JsonValue slower = json::parse(speedBaseline(10.0, 5.0)); // -37.5%
+  report::DiffOptions opts;
+  opts.maxRegressPct = 30.0;
+  const report::Diff d = report::diff(oldDoc, slower, opts);
+  ASSERT_EQ(d.regressions.size(), 1u);
+  EXPECT_NE(d.regressions[0].find("levioso"), std::string::npos);
+  // A MIPS GAIN is never a regression.
+  const JsonValue faster = json::parse(speedBaseline(10.0, 16.0));
+  EXPECT_TRUE(report::diff(oldDoc, faster, opts).regressions.empty());
+}
+
+TEST(ReportDiff, MissingAndNewPoliciesBecomeNotesNotCrashes) {
+  const std::string oldOnly =
+      R"({"version":2,"counters":{"points":2},"results":[
+          {"kernel":"k","scale":1,"policy":"unsafe","cycles":100},
+          {"kernel":"k","scale":1,"policy":"fence","cycles":200}]})";
+  const std::string newOnly =
+      R"({"version":2,"counters":{"points":2},"results":[
+          {"kernel":"k","scale":1,"policy":"unsafe","cycles":100},
+          {"kernel":"k","scale":1,"policy":"levioso","cycles":110}]})";
+  const report::Diff d =
+      report::diff(json::parse(oldOnly), json::parse(newOnly), {});
+  EXPECT_TRUE(d.regressions.empty());
+  ASSERT_EQ(d.notes.size(), 2u);
+  EXPECT_NE(d.notes[0].find("fence"), std::string::npos);
+  EXPECT_NE(d.notes[1].find("levioso"), std::string::npos);
+}
+
+TEST(ReportDiff, KindMismatchAndUnknownSchemaThrow) {
+  const JsonValue batch = json::parse(batchReport(100, 200, 110));
+  const JsonValue speed = json::parse(speedBaseline(5, 4));
+  EXPECT_THROW(report::diff(batch, speed, {}), Error);
+  EXPECT_THROW(
+      report::diff(json::parse("{}"), json::parse("{}"), {}), Error);
+}
+
+TEST(ReportDiff, ManifestDiffSurfacesStoreFailures) {
+  const std::string oldM =
+      R"({"manifestVersion":1,"wallMicros":100,
+          "cache":{"hits":1,"misses":2,"collisions":0,"storeFailures":0}})";
+  const std::string newM =
+      R"({"manifestVersion":1,"wallMicros":120,
+          "cache":{"hits":1,"misses":2,"collisions":0,"storeFailures":3}})";
+  const report::Diff d =
+      report::diff(json::parse(oldM), json::parse(newM), {});
+  EXPECT_TRUE(d.regressions.empty()); // manifests are report-only
+  ASSERT_EQ(d.notes.size(), 1u);
+  EXPECT_NE(d.notes[0].find("store failures"), std::string::npos);
+}
+
+// ---- the CLI -----------------------------------------------------------
+
+TEST(ReportTool, ExitCodesFollowTheGate) {
+  const std::string tool = "../tools/levioso-report";
+  if (!fs::exists(tool)) GTEST_SKIP() << "tool binary not found";
+  const std::string oldF = freshPath("old") + ".json";
+  const std::string newF = freshPath("new") + ".json";
+  { std::ofstream(oldF) << batchReport(100, 250, 110); }
+  { std::ofstream(newF) << batchReport(100, 250, 121); }
+
+  auto runTool = [&](const std::string& extra) {
+    const std::string cmd = tool + " --diff " + oldF + " " + newF + " " +
+                            extra + " > /dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+  };
+  EXPECT_EQ(runTool(""), 0);                         // report-only
+  EXPECT_EQ(runTool("--max-regress 0.5"), 1);        // gated: regression
+  EXPECT_EQ(runTool("--max-regress 0.5 --warn-only"), 0);
+  EXPECT_EQ(runTool("--max-regress 15"), 0);         // inside threshold
+
+  // Unreadable input and usage errors exit 2.
+  const std::string bad = tool + " --diff /no/such/file.json " + newF +
+                          " > /dev/null 2>&1";
+  int rc = std::system(bad.c_str());
+  EXPECT_EQ(WIFEXITED(rc) ? WEXITSTATUS(rc) : -1, 2);
+  rc = std::system((tool + " > /dev/null 2>&1").c_str());
+  EXPECT_EQ(WIFEXITED(rc) ? WEXITSTATUS(rc) : -1, 2);
+
+  fs::remove(oldF);
+  fs::remove(newF);
+}

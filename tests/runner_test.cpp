@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <sstream>
 #include <thread>
@@ -22,6 +23,7 @@
 #include "runner/threadpool.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
+#include "support/log.hpp"
 
 namespace fs = std::filesystem;
 using namespace lev;
@@ -46,6 +48,18 @@ JobSpec smallJob(const std::string& policy,
   spec.policy = policy;
   return spec;
 }
+
+/// Routes the logger's human sink into a buffer for the duration of a
+/// test (and silences it afterwards so gtest output stays clean).
+class CapturedLog {
+public:
+  CapturedLog() { lev::log::setTextSink(&buffer_); }
+  ~CapturedLog() { lev::log::setTextSink(&std::cerr); }
+  std::string str() const { return buffer_.str(); }
+
+private:
+  std::ostringstream buffer_;
+};
 
 } // namespace
 
@@ -89,6 +103,67 @@ TEST(ThreadPool, WaitAllRethrowsFirstFailureInSubmissionOrder) {
     EXPECT_STREQ(e.what(), "first");
   }
   EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, WaitAllLogsEverySubsequentFailure) {
+  // The first failure is rethrown; every LATER captured exception used to
+  // be silently dropped. Now each one lands in the log, plus a summary.
+  CapturedLog captured;
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  futures.push_back(pool.submit([] { throw std::runtime_error("first"); }));
+  futures.push_back(pool.submit([] {})); // success between the failures
+  futures.push_back(pool.submit([] { throw std::runtime_error("second"); }));
+  futures.push_back(pool.submit([] { throw std::runtime_error("third"); }));
+  try {
+    ThreadPool::waitAll(futures);
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  const std::string logged = captured.str();
+  // The rethrown exception is NOT logged; every later one is, by message.
+  EXPECT_EQ(logged.find("error=first"), std::string::npos) << logged;
+  EXPECT_NE(logged.find("error=second"), std::string::npos) << logged;
+  EXPECT_NE(logged.find("error=third"), std::string::npos) << logged;
+  EXPECT_NE(logged.find("failed=3"), std::string::npos) << logged;
+}
+
+TEST(ThreadPool, CountersTrackSubmitsExecutionAndQueueDepth) {
+  ThreadPool pool(2);
+  {
+    const ThreadPool::Counters c = pool.counters();
+    EXPECT_EQ(c.submits, 0u);
+    EXPECT_EQ(c.executed, 0u);
+    EXPECT_EQ(c.peakQueueDepth, 0u);
+  }
+  constexpr int kJobs = 32;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < kJobs; ++i)
+    futures.push_back(pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }));
+  ThreadPool::waitAll(futures);
+  const ThreadPool::Counters c = pool.counters();
+  EXPECT_EQ(c.submits, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(c.executed, static_cast<std::uint64_t>(kJobs));
+  EXPECT_GE(c.peakQueueDepth, 1u);
+  EXPECT_LE(c.peakQueueDepth, static_cast<std::uint64_t>(kJobs));
+  EXPECT_LE(c.steals, c.executed); // stolen jobs still execute exactly once
+}
+
+TEST(ThreadPool, WorkerIndexIsVisibleInsideJobsOnly) {
+  EXPECT_EQ(ThreadPool::currentWorkerIndex(), -1); // not a pool thread
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 16; ++i)
+    futures.push_back(
+        pool.submit([] { return ThreadPool::currentWorkerIndex(); }));
+  for (auto& f : futures) {
+    const int idx = f.get();
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 3);
+  }
 }
 
 TEST(ThreadPool, NestedSubmitFromWorkerStillRuns) {
@@ -398,6 +473,99 @@ TEST(ResultCache, CorruptEntryDegradesToMiss) {
   EXPECT_FALSE(cache.lookup("some job").has_value());
   // A colliding key (different description, same file) must also miss.
   EXPECT_FALSE(cache.lookup("another job").has_value());
+  fs::remove_all(dir);
+}
+
+TEST(ResultCache, CollisionCounterSeparatesAliasingFromColdMisses) {
+  const std::string dir = freshDir("collide");
+  ResultCache cache({dir, "salt"});
+  RunRecord rec;
+  rec.summary.cycles = 11;
+  rec.summary.insts = 22;
+  cache.store("job A", rec);
+  ASSERT_TRUE(cache.lookup("job A").has_value());
+  EXPECT_EQ(cache.counters().collisions, 0u);
+
+  // Rewrite the (single) entry so the magic still matches but the key
+  // belongs to a different job: exactly what an FNV collision looks like.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ofstream out(entry.path());
+    out << "levioso-result v2\nkey some other job\ncycles 11\ninsts 22\n";
+  }
+  EXPECT_FALSE(cache.lookup("job A").has_value());
+  const ResultCache::Counters c = cache.counters();
+  EXPECT_EQ(c.collisions, 1u);
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u); // the collision also counts as a miss
+  fs::remove_all(dir);
+}
+
+TEST(ResultCache, StoreFailuresAreCountedAndWarnOnce) {
+  // Point the cache "directory" at an existing FILE: create_directories
+  // fails on every store, deterministically (and without permission
+  // tricks, which root would bypass).
+  const std::string file = freshDir("blocked");
+  { std::ofstream out(file); out << "in the way\n"; }
+
+  CapturedLog captured;
+  ResultCache cache({file, "salt"});
+  RunRecord rec;
+  rec.summary.cycles = 1;
+  rec.summary.insts = 1;
+  cache.store("job 1", rec);
+  cache.store("job 2", rec);
+  cache.store("job 3", rec);
+  EXPECT_EQ(cache.counters().storeFailures, 3u);
+  EXPECT_FALSE(cache.lookup("job 1").has_value()); // nothing persisted
+
+  // Rate limiting: ONE warning for the run, not one per failed store.
+  const std::string logged = captured.str();
+  std::size_t warns = 0;
+  for (std::size_t pos = logged.find("W cache"); pos != std::string::npos;
+       pos = logged.find("W cache", pos + 1))
+    ++warns;
+  EXPECT_EQ(warns, 1u) << logged;
+  EXPECT_NE(logged.find("result store failed"), std::string::npos) << logged;
+  fs::remove(file);
+}
+
+TEST(Sweep, ManifestCountersComposeAcrossPhases) {
+  // End-to-end: the sweep's pool/cache counters land in the manifest with
+  // consistent totals (submits == executed == compiles + simulations).
+  const std::string dir = freshDir("manifest-compose");
+  ResultCache cache({dir, "salt"});
+  Sweep::Options opts;
+  opts.jobs = 2;
+  opts.cache = &cache;
+  std::atomic<std::size_t> lastDone{0};
+  std::size_t lastTotal = 0;
+  opts.onProgress = [&lastDone, &lastTotal](std::size_t done,
+                                            std::size_t total) {
+    lastDone = done;
+    lastTotal = total;
+  };
+  Sweep sweep(opts);
+  sweep.add(smallJob("unsafe"));
+  sweep.add(smallJob("levioso"));
+  sweep.run();
+
+  const ThreadPool::Counters pool = sweep.poolCounters();
+  EXPECT_EQ(pool.submits, 3u); // 1 shared compile + 2 simulations
+  EXPECT_EQ(pool.executed, 3u);
+  EXPECT_EQ(lastDone.load(), 3u);
+  EXPECT_EQ(lastTotal, 3u);
+  EXPECT_GT(sweep.wallMicros(), 0);
+  ASSERT_EQ(sweep.hostSpans().size(), 3u);
+
+  // And the host-span Chrome trace parses back with one slice per span.
+  std::ostringstream os;
+  sweep.writeHostTrace(os);
+  const JsonValue trace = JsonParser(os.str()).parse();
+  EXPECT_GE(trace.at("traceEvents").items.size(), 3u);
+  for (const JsonValue& ev : trace.at("traceEvents").items) {
+    EXPECT_EQ(ev.at("ph").str, "X");
+    EXPECT_GE(ev.at("dur").number, 0);
+  }
   fs::remove_all(dir);
 }
 

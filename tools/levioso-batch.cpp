@@ -11,11 +11,24 @@
 // deduplicated, cached under .levioso-cache/ (unless --no-cache) and
 // executed concurrently; results print in grid order regardless of the
 // execution interleaving.
+//
+// Observability (docs/OBSERVABILITY.md): a live [done/total, hit-rate,
+// ETA] progress line on stderr while jobs run (TTY only), an end-of-run
+// summary line, a run manifest (manifest.json, or derived from --json as
+// <stem>.manifest.json) and an optional Chrome trace of host spans
+// (--host-trace). -v / --quiet move the log threshold.
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 
+#include <unistd.h>
+
+#include "runner/manifest.hpp"
 #include "runner/sweep.hpp"
 #include "support/error.hpp"
+#include "support/log.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "workloads/kernels.hpp"
@@ -31,7 +44,9 @@ namespace {
          "                     [--budgets K,L] [--robs N,M] [--widths N,M]\n"
          "                     [--drams N,M] [--jobs N] [--json FILE]\n"
          "                     [--csv] [--stats] [--no-cache] [--cache-dir "
-         "DIR]\n";
+         "DIR]\n"
+         "                     [--manifest FILE] [--no-manifest]\n"
+         "                     [--host-trace FILE] [--quiet] [-v]\n";
   std::exit(2);
 }
 
@@ -54,6 +69,53 @@ std::vector<int> parseInts(const std::string& s) {
   return out;
 }
 
+/// The live progress line: thread-safe (called from pool workers),
+/// rate-limited, TTY-only so CI logs are not flooded with \r frames.
+class ProgressLine {
+public:
+  explicit ProgressLine(const runner::ResultCache* cache)
+      : cache_(cache), tty_(::isatty(2) != 0),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void operator()(std::size_t done, std::size_t total) {
+    if (!tty_) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    if (done != total && now - lastDraw_ < std::chrono::milliseconds(100))
+      return;
+    lastDraw_ = now;
+    const double elapsed =
+        std::chrono::duration<double>(now - start_).count();
+    std::string line = "[" + std::to_string(done) + "/" +
+                       std::to_string(total) + " jobs";
+    if (cache_ != nullptr) {
+      const auto c = cache_->counters();
+      const std::uint64_t lookups = c.hits + c.misses;
+      if (lookups > 0)
+        line += ", " +
+                fmtPct(static_cast<double>(c.hits) /
+                       static_cast<double>(lookups)) +
+                " hit";
+    }
+    if (done > 0 && done < total) {
+      const double eta =
+          elapsed / static_cast<double>(done) *
+          static_cast<double>(total - done);
+      line += ", ETA " + fmtF(eta, 0) + "s";
+    }
+    line += "]";
+    std::cerr << '\r' << line << "\033[K" << std::flush;
+    if (done == total) std::cerr << '\r' << "\033[K" << std::flush;
+  }
+
+private:
+  const runner::ResultCache* cache_;
+  bool tty_;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mutex_;
+  std::chrono::steady_clock::time_point lastDraw_{};
+};
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -61,8 +123,9 @@ int main(int argc, char** argv) {
   std::vector<int> scales = {1}, budgets = {4}, robs = {0}, widths = {0},
                    drams = {0};
   int jobs = 0;
-  bool csv = false, includeStats = false, useCache = true;
-  std::string jsonPath, cacheDir;
+  bool csv = false, includeStats = false, useCache = true, quiet = false,
+       writeManifest = true;
+  std::string jsonPath, cacheDir, manifestPath, hostTracePath;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -90,12 +153,23 @@ int main(int argc, char** argv) {
       jsonPath = next();
     else if (a == "--cache-dir")
       cacheDir = next();
+    else if (a == "--manifest")
+      manifestPath = next();
+    else if (a == "--host-trace")
+      hostTracePath = next();
     else if (a == "--csv")
       csv = true;
     else if (a == "--stats")
       includeStats = true;
     else if (a == "--no-cache")
       useCache = false;
+    else if (a == "--no-manifest")
+      writeManifest = false;
+    else if (a == "--quiet") {
+      quiet = true;
+      log::setThreshold(log::Level::Warn);
+    } else if (a == "-v")
+      log::setThreshold(log::Level::Debug);
     else
       usage();
   }
@@ -103,6 +177,7 @@ int main(int argc, char** argv) {
   if (kernels.size() == 1 && kernels[0] == "all")
     kernels = workloads::kernelNames();
 
+  const std::vector<std::string> cmdline(argv + 1, argv + argc);
   try {
     runner::ResultCache cache(
         {cacheDir.empty() ? runner::defaultCacheDir() : cacheDir,
@@ -110,6 +185,11 @@ int main(int argc, char** argv) {
     runner::Sweep::Options opts;
     opts.jobs = jobs;
     opts.cache = useCache ? &cache : nullptr;
+    ProgressLine progress(opts.cache);
+    if (!quiet)
+      opts.onProgress = [&progress](std::size_t done, std::size_t total) {
+        progress(done, total);
+      };
     runner::Sweep sweep(opts);
 
     for (const std::string& kernel : kernels)
@@ -131,38 +211,83 @@ int main(int argc, char** argv) {
                   if (dram > 0) spec.cfg.mem.memLatency = dram;
                   sweep.add(spec);
                 }
+    LEV_LOG_INFO("batch", "sweep configured",
+                 {{"points", sweep.specs().size()},
+                  {"threads", sweep.threadCount()},
+                  {"cache", useCache ? cache.dir() : std::string("off")}});
 
-    const std::vector<runner::RunRecord>& records = sweep.run();
+    // Emit the manifest even when the run fails: a half-finished run's
+    // counters and spans are exactly what a post-mortem needs.
+    const auto finishManifest = [&](const char* outcome) {
+      if (!writeManifest) return;
+      runner::Manifest m =
+          runner::makeManifest("levioso-batch", cmdline, sweep);
+      m.reportPath = jsonPath;
+      if (*outcome != '\0') m.args.push_back(std::string("#") + outcome);
+      runner::writeManifestFile(manifestPath.empty()
+                                    ? runner::manifestPathFor(jsonPath)
+                                    : manifestPath,
+                                m);
+    };
 
-    Table t({"kernel", "scale", "policy", "budget", "rob", "width", "dram",
-             "cycles", "insts", "ipc", "cached"});
-    for (std::size_t i = 0; i < records.size(); ++i) {
-      const runner::JobSpec& s = sweep.specs()[i];
-      const runner::RunRecord& r = records[i];
-      t.addRow({s.kernel, std::to_string(s.scale), s.policy,
-                std::to_string(s.budget), std::to_string(s.cfg.robSize),
-                std::to_string(s.cfg.issueWidth),
-                std::to_string(s.cfg.mem.memLatency),
-                std::to_string(r.summary.cycles),
-                std::to_string(r.summary.insts), fmtF(r.summary.ipc, 3),
-                r.fromCache ? "yes" : "no"});
+    std::vector<runner::RunRecord> records;
+    try {
+      records = sweep.run();
+    } catch (...) {
+      finishManifest("failed");
+      throw;
     }
-    if (csv)
-      t.printCsv(std::cout);
-    else
-      t.print(std::cout);
+
+    if (!quiet) {
+      Table t({"kernel", "scale", "policy", "budget", "rob", "width", "dram",
+               "cycles", "insts", "ipc", "cached"});
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        const runner::JobSpec& s = sweep.specs()[i];
+        const runner::RunRecord& r = records[i];
+        t.addRow({s.kernel, std::to_string(s.scale), s.policy,
+                  std::to_string(s.budget), std::to_string(s.cfg.robSize),
+                  std::to_string(s.cfg.issueWidth),
+                  std::to_string(s.cfg.mem.memLatency),
+                  std::to_string(r.summary.cycles),
+                  std::to_string(r.summary.insts), fmtF(r.summary.ipc, 3),
+                  r.fromCache ? "yes" : "no"});
+      }
+      if (csv)
+        t.printCsv(std::cout);
+      else
+        t.print(std::cout);
+    }
+
+    // End-of-run summary: what ran, what the cache reused, how long.
     const auto& c = sweep.counters();
+    const double hitRate =
+        c.unique == 0 ? 0.0
+                      : static_cast<double>(c.cacheHits) /
+                            static_cast<double>(c.unique);
     std::cout << "# " << c.points << " points, " << c.unique << " unique, "
-              << c.cacheHits << " cache hits, " << c.simulated
-              << " simulated on " << sweep.threadCount() << " threads\n";
+              << c.cacheHits << " cache hits (" << fmtPct(hitRate)
+              << " hit rate), " << c.simulated << " simulated on "
+              << sweep.threadCount() << " threads in "
+              << fmtF(static_cast<double>(sweep.wallMicros()) / 1e6, 2)
+              << "s\n";
 
     if (!jsonPath.empty()) {
       std::ofstream out(jsonPath);
       if (!out) throw Error("cannot write " + jsonPath);
       sweep.writeJson(out, includeStats);
     }
+    if (!hostTracePath.empty()) {
+      std::ofstream out(hostTracePath);
+      if (!out) throw Error("cannot write " + hostTracePath);
+      sweep.writeHostTrace(out);
+      LEV_LOG_INFO("batch", "wrote host-span trace",
+                   {{"path", hostTracePath},
+                    {"spans", sweep.hostSpans().size()}});
+    }
+    finishManifest("");
     return 0;
   } catch (const Error& e) {
+    LEV_LOG_ERROR("batch", "run failed", {{"error", e.what()}});
     std::cerr << "levioso-batch: " << e.what() << "\n";
     return 1;
   }

@@ -1,0 +1,112 @@
+// levioso-report: compare two runs of the experiment stack and gate on
+// regressions. Accepts any two files of the SAME kind among
+//
+//   * runner reports     (levioso-batch / bench --json output)
+//   * speed baselines    (micro_speed --speed-json output)
+//   * run manifests      (manifest.json written next to a report)
+//
+// and prints a per-policy (or per-metric) delta table. With
+// --max-regress PCT the exit status becomes the gate: 1 when any policy
+// regressed past the threshold (overhead-ratio increase for reports, host
+// MIPS drop for speed baselines), 0 otherwise. --warn-only downgrades the
+// gate to a warning for noisy metrics (CI uses it for MIPS).
+//
+//   levioso-report --diff old.json new.json --max-regress 2
+//   levioso-report --diff bench/baselines/BENCH_speed.json BENCH_speed.json \
+//                  --max-regress 30 --warn-only
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runner/report.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+using namespace lev;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: levioso-report --diff OLD NEW [--max-regress PCT]\n"
+               "                      [--warn-only] [--baseline-policy P]\n"
+               "                      [--csv] [-v] [--quiet]\n"
+               "  OLD/NEW: two runner reports, two micro_speed baselines,\n"
+               "  or two run manifests (kinds must match).\n"
+               "  exit status: 0 ok, 1 regression past --max-regress,\n"
+               "  2 bad usage or unreadable input\n";
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  runner::report::DiffOptions opts;
+  bool warnOnly = false, csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--diff") {
+      files.push_back(next());
+      files.push_back(next());
+    } else if (a == "--max-regress") {
+      opts.maxRegressPct = std::atof(next().c_str());
+    } else if (a == "--baseline-policy") {
+      opts.baselinePolicy = next();
+    } else if (a == "--warn-only") {
+      warnOnly = true;
+    } else if (a == "--csv") {
+      csv = true;
+    } else if (a == "-v") {
+      log::setThreshold(log::Level::Debug);
+    } else if (a == "--quiet") {
+      log::setThreshold(log::Level::Warn);
+    } else if (!a.empty() && a[0] != '-') {
+      files.push_back(a); // bare OLD NEW positionals
+    } else {
+      usage();
+    }
+  }
+  if (files.size() != 2) usage();
+
+  try {
+    const json::JsonValue oldDoc = json::parseFile(files[0]);
+    const json::JsonValue newDoc = json::parseFile(files[1]);
+    const auto kind = runner::report::detectKind(oldDoc);
+    LEV_LOG_INFO("report", "diffing",
+                 {{"kind", runner::report::kindName(kind)},
+                  {"old", files[0]},
+                  {"new", files[1]}});
+    const runner::report::Diff d =
+        runner::report::diff(oldDoc, newDoc, opts);
+
+    std::cout << "== " << runner::report::kindName(kind) << " diff: "
+              << files[0] << " -> " << files[1] << " ==\n";
+    if (csv)
+      d.table.printCsv(std::cout);
+    else
+      d.table.print(std::cout);
+    for (const std::string& note : d.notes)
+      std::cout << "# note: " << note << "\n";
+
+    if (d.regressions.empty()) {
+      if (opts.maxRegressPct >= 0)
+        std::cout << "# ok: no regression past " << opts.maxRegressPct
+                  << "%\n";
+      return 0;
+    }
+    for (const std::string& r : d.regressions)
+      LEV_LOG_WARN("report", "regression", {{"what", r}});
+    std::cout << "# " << d.regressions.size() << " regression(s) past "
+              << opts.maxRegressPct << "%"
+              << (warnOnly ? " [warn-only]" : "") << "\n";
+    return warnOnly ? 0 : 1;
+  } catch (const Error& e) {
+    std::cerr << "levioso-report: " << e.what() << "\n";
+    return 2;
+  }
+}
