@@ -15,6 +15,19 @@ void describeCache(std::ostream& os, const char* tag,
 
 } // namespace
 
+const char* errorKindName(ErrorKind kind) {
+  switch (kind) {
+  case ErrorKind::None: return "none";
+  case ErrorKind::Transient: return "transient";
+  case ErrorKind::Compile: return "compile";
+  case ErrorKind::Sim: return "sim";
+  case ErrorKind::Deadline: return "deadline";
+  case ErrorKind::Cancelled: return "cancelled";
+  case ErrorKind::Other: return "other";
+  }
+  return "?";
+}
+
 std::string describeCompile(const JobSpec& job) {
   std::ostringstream os;
   os << "kernel=" << job.kernel << " scale=" << job.scale

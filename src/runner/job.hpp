@@ -26,6 +26,41 @@ struct JobSpec {
   int budget = 4;                 ///< annotation budget K
   bool memoryProp = true;         ///< propagate deps through memory
   std::uint64_t maxCycles = 4'000'000'000ull;
+  /// Per-job wall-clock budget in microseconds; 0 = unbounded. Host
+  /// scheduling metadata, deliberately NOT part of describe(): a job that
+  /// beats its deadline is bit-identical to an unbounded run, and one that
+  /// misses it fails (RunExit::Deadline) and is never cached — so the
+  /// deadline can never alias two distinct cached results.
+  std::int64_t deadlineMicros = 0;
+};
+
+/// Why a job failed (JobOutcome::errorKind). Ordering is meaningless; the
+/// names are the report-JSON vocabulary (errorKindName).
+enum class ErrorKind {
+  None,      ///< the job succeeded
+  Transient, ///< retryable host failure that exhausted its retry budget
+  Compile,   ///< kernel build / annotation / codegen failure
+  Sim,       ///< deterministic simulation failure (cycle limit, SimError)
+  Deadline,  ///< exceeded JobSpec::deadlineMicros
+  Cancelled, ///< skipped: FailFast cancelled outstanding jobs
+  Other,     ///< anything else (bad kernel name, internal invariant, ...)
+};
+
+/// Stable lower-case name of an ErrorKind ("sim", "deadline", ...).
+const char* errorKindName(ErrorKind kind);
+
+/// How one sweep point fared, carried alongside its RunRecord (the record
+/// is only meaningful when ok). docs/ROBUSTNESS.md.
+struct JobOutcome {
+  bool ok = true;
+  ErrorKind errorKind = ErrorKind::None;
+  std::string message;  ///< the failing exception's what(), "" when ok
+  /// Execution attempts (1 + retries) of the phase that decided this
+  /// outcome; 0 for cache-served points (nothing ran).
+  int attempts = 0;
+  /// Wall time burned on the job (retries and backoff included) before it
+  /// failed for good; 0 when ok.
+  std::int64_t gaveUpAfterMicros = 0;
 };
 
 /// What one executed (or cache-served) job yields: the headline summary

@@ -24,6 +24,7 @@ Manifest makeManifest(std::string tool, std::vector<std::string> args,
     m.cache = info;
   }
   m.timings = sweep.hostSpans();
+  if (faultinject::enabled()) m.faults = faultinject::stats();
   return m;
 }
 
@@ -45,6 +46,8 @@ void writeManifest(std::ostream& os, const Manifest& m) {
     w.field("cacheHits", m.jobs->cacheHits);
     w.field("compiles", m.jobs->compiles);
     w.field("simulated", m.jobs->simulated);
+    w.field("failed", m.jobs->failed);
+    w.field("retries", m.jobs->retries);
     w.endObject();
   }
   if (m.pool) {
@@ -63,7 +66,20 @@ void writeManifest(std::ostream& os, const Manifest& m) {
     w.field("misses", m.cache->counters.misses);
     w.field("collisions", m.cache->counters.collisions);
     w.field("storeFailures", m.cache->counters.storeFailures);
+    w.field("corruptEntries", m.cache->counters.corruptEntries);
     w.endObject();
+  }
+  if (!m.faults.empty()) {
+    w.key("faults").beginArray();
+    for (const faultinject::SiteStats& f : m.faults) {
+      w.beginObject();
+      w.field("site", f.site);
+      w.field("trigger", f.trigger);
+      w.field("arms", f.arms);
+      w.field("fires", f.fires);
+      w.endObject();
+    }
+    w.endArray();
   }
   w.key("timings").beginArray();
   for (const trace::HostSpan& s : m.timings) {

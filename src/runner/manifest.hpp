@@ -16,11 +16,12 @@
 
 #include "runner/resultcache.hpp"
 #include "runner/sweep.hpp"
+#include "support/faultinject.hpp"
 #include "trace/export.hpp"
 
 namespace lev::runner {
 
-inline constexpr int kManifestVersion = 1;
+inline constexpr int kManifestVersion = 2;
 
 struct Manifest {
   std::string tool;              ///< producing binary ("levioso-batch", ...)
@@ -42,6 +43,12 @@ struct Manifest {
   /// Per-job phase timings (compile/simulate spans). For non-sweep tools
   /// (micro_speed) these can be hand-built — one span per measured unit.
   std::vector<trace::HostSpan> timings;
+
+  /// Fault-injection sites armed this run (docs/ROBUSTNESS.md). Empty — and
+  /// absent from the JSON — unless LEVIOSO_FAULTS (or
+  /// faultinject::configure) was active, so an injected run can never be
+  /// mistaken for a clean one when manifests are compared.
+  std::vector<faultinject::SiteStats> faults;
 };
 
 /// Assemble a manifest from a finished Sweep (counters, pool, cache and

@@ -36,12 +36,34 @@ std::string contextOf(const JsonValue& result) {
   return ctx;
 }
 
-/// policy -> (context -> cycles) for one batch report.
+/// True for a version-3 report entry that carries an "error" object in
+/// place of measurements (docs/ROBUSTNESS.md). Such entries have no
+/// "cycles" field and must be excluded from overhead math.
+bool isErrorEntry(const JsonValue& result) { return result.has("error"); }
+
+/// policy -> (context -> cycles) for one batch report. Failed points are
+/// skipped (their absence then shows up as a missing context, not a zero).
 std::map<std::string, std::map<std::string, double>>
 cyclesByPolicy(const JsonValue& doc) {
   std::map<std::string, std::map<std::string, double>> out;
   for (const JsonValue& r : doc.at("results").items)
-    out[r.at("policy").str][contextOf(r)] = r.at("cycles").number;
+    if (!isErrorEntry(r))
+      out[r.at("policy").str][contextOf(r)] = r.at("cycles").number;
+  return out;
+}
+
+/// "kernel/policy: kind: message" lines for every failed point of a report.
+std::vector<std::string> errorLines(const JsonValue& doc) {
+  std::vector<std::string> out;
+  for (const JsonValue& r : doc.at("results").items) {
+    if (!isErrorEntry(r)) continue;
+    const JsonValue& e = r.at("error");
+    std::string line = r.at("kernel").str + "/" + r.at("policy").str + ": ";
+    line += e.has("kind") ? e.at("kind").str : "error";
+    if (e.has("message") && !e.at("message").str.empty())
+      line += ": " + e.at("message").str;
+    out.push_back(std::move(line));
+  }
   return out;
 }
 
@@ -98,6 +120,15 @@ Diff diffBatch(const JsonValue& oldDoc, const JsonValue& newDoc,
       d.table.addRow({policy, "-", fmtF(newV, 4), "n/a", "new"});
       d.notes.push_back("policy '" + policy + "' is new in the new report");
     }
+  // Failed points: old-side failures are informational, new-side failures
+  // gate the diff (regressions -> nonzero exit unless --warn-only).
+  for (const std::string& line : errorLines(oldDoc))
+    d.notes.push_back("old report had a failed point: " + line);
+  for (const std::string& line : errorLines(newDoc)) {
+    d.table.addRow({line.substr(0, line.find(':')), "-", "-", "n/a",
+                    "FAILED"});
+    d.regressions.push_back("new report has a failed point: " + line);
+  }
   return d;
 }
 
@@ -156,6 +187,8 @@ Diff diffManifest(const JsonValue& oldDoc, const JsonValue& newDoc) {
       {"jobs.cacheHits", {"jobs", "cacheHits"}},
       {"jobs.compiles", {"jobs", "compiles"}},
       {"jobs.simulated", {"jobs", "simulated"}},
+      {"jobs.failed", {"jobs", "failed"}},
+      {"jobs.retries", {"jobs", "retries"}},
       {"pool.submits", {"pool", "submits"}},
       {"pool.steals", {"pool", "steals"}},
       {"pool.peakQueueDepth", {"pool", "peakQueueDepth"}},
@@ -163,6 +196,7 @@ Diff diffManifest(const JsonValue& oldDoc, const JsonValue& newDoc) {
       {"cache.misses", {"cache", "misses"}},
       {"cache.collisions", {"cache", "collisions"}},
       {"cache.storeFailures", {"cache", "storeFailures"}},
+      {"cache.corruptEntries", {"cache", "corruptEntries"}},
   };
   for (const auto& m : kMetrics) {
     const double oldV = numberAt(oldDoc, m.path);
@@ -178,6 +212,14 @@ Diff diffManifest(const JsonValue& oldDoc, const JsonValue& newDoc) {
   if (!std::isnan(fails) && fails > 0)
     d.notes.push_back("new run had " + fmtF(fails, 0) +
                       " cache store failures (results were not persisted)");
+  const double corrupt = numberAt(newDoc, {"cache", "corruptEntries"});
+  if (!std::isnan(corrupt) && corrupt > 0)
+    d.notes.push_back("new run quarantined " + fmtF(corrupt, 0) +
+                      " corrupt cache entries (kept as .corrupt files)");
+  const double jobFails = numberAt(newDoc, {"jobs", "failed"});
+  if (!std::isnan(jobFails) && jobFails > 0)
+    d.regressions.push_back("new run had " + fmtF(jobFails, 0) +
+                            " failed jobs (see its report's error entries)");
   return d;
 }
 

@@ -11,6 +11,7 @@
 #include <unistd.h>
 #endif
 
+#include "support/faultinject.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 
@@ -35,50 +36,25 @@ std::string uniqueTmpSuffix() {
   return ".tmp." + std::to_string(pid) + "." +
          std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
 }
-} // namespace
 
-std::string defaultCacheDir() {
-  if (const char* env = std::getenv("LEVIOSO_CACHE_DIR"))
-    if (*env) return env;
-  return ".levioso-cache";
-}
+/// How a lookup's file read went; decides which counters move.
+enum class ReadOutcome {
+  NoFile,  ///< cold miss
+  Corrupt, ///< wrong magic or mandatory fields missing -> quarantine
+  Foreign, ///< well-formed entry for a different key -> quarantine
+  Hit,
+};
 
-ResultCache::ResultCache() : ResultCache(Options()) {}
-
-ResultCache::ResultCache(Options opts) : opts_(std::move(opts)) {}
-
-std::uint64_t ResultCache::keyOf(const std::string& jobDescription) const {
-  return fnv1a(jobDescription, fnv1a(opts_.salt));
-}
-
-std::string ResultCache::pathOf(std::uint64_t key) const {
-  return opts_.dir + "/" + hashHex(key) + ".result";
-}
-
-std::optional<RunRecord> ResultCache::lookup(
-    const std::string& jobDescription) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::ifstream in(pathOf(keyOf(jobDescription)));
-  if (!in) {
-    ++counters_.misses;
-    return std::nullopt;
-  }
+/// Parse one cache entry into `rec`. Pure function of the file contents;
+/// runs with no lock held.
+ReadOutcome readEntry(const std::string& path, const std::string& jobDescription,
+                      RunRecord& rec) {
+  std::ifstream in(path);
+  if (!in) return ReadOutcome::NoFile;
   std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
-    ++counters_.misses; // corrupt or stale entry format
-    return std::nullopt;
-  }
-  if (!std::getline(in, line) || line != "key " + jobDescription) {
-    // A well-formed entry for a DIFFERENT key: hash collision (or foreign
-    // salt). Degrades to a miss by design; counted separately so a run can
-    // tell aliasing from cold entries.
-    ++counters_.misses;
-    ++counters_.collisions;
-    LEV_LOG_DEBUG("cache", "key collision degraded to a miss",
-                  {{"file", pathOf(keyOf(jobDescription))}});
-    return std::nullopt;
-  }
-  RunRecord rec;
+  if (!std::getline(in, line) || line != kMagic) return ReadOutcome::Corrupt;
+  if (!std::getline(in, line) || line != "key " + jobDescription)
+    return ReadOutcome::Foreign;
   rec.fromCache = true;
   bool sawCycles = false;
   while (std::getline(in, line)) {
@@ -108,19 +84,125 @@ std::optional<RunRecord> ResultCache::lookup(
       rec.wallMicros = value;
     }
   }
-  if (!sawCycles || rec.summary.cycles == 0) {
+  if (!sawCycles || rec.summary.cycles == 0) return ReadOutcome::Corrupt;
+  rec.summary.ipc = static_cast<double>(rec.summary.insts) /
+                    static_cast<double>(rec.summary.cycles);
+  return ReadOutcome::Hit;
+}
+
+} // namespace
+
+std::string defaultCacheDir() {
+  if (const char* env = std::getenv("LEVIOSO_CACHE_DIR"))
+    if (*env) return env;
+  return ".levioso-cache";
+}
+
+ResultCache::ResultCache() : ResultCache(Options()) {}
+
+ResultCache::ResultCache(Options opts) : opts_(std::move(opts)) {}
+
+std::uint64_t ResultCache::keyOf(const std::string& jobDescription) const {
+  return fnv1a(jobDescription, fnv1a(opts_.salt));
+}
+
+std::string ResultCache::pathOf(std::uint64_t key) const {
+  return opts_.dir + "/" + hashHex(key) + ".result";
+}
+
+bool ResultCache::quarantine(const std::string& path) {
+  // Atomic rename: of N concurrent readers of one bad entry exactly one
+  // rename succeeds, so the caller can count quarantines exactly once.
+  // The .corrupt sibling is overwritten if a previous quarantine left one
+  // — the freshest evidence wins.
+  std::string target = path;
+  const std::string ext = ".result";
+  if (target.size() >= ext.size() &&
+      target.compare(target.size() - ext.size(), ext.size(), ext) == 0)
+    target.resize(target.size() - ext.size());
+  target += ".corrupt";
+  std::error_code ec;
+  fs::rename(path, target, ec);
+  return !ec;
+}
+
+std::optional<RunRecord> ResultCache::lookup(
+    const std::string& jobDescription) {
+  const std::string path = pathOf(keyOf(jobDescription));
+  if (faultinject::shouldFail("cache.read")) {
+    // An injected read fault behaves like a transiently unreadable file:
+    // the lookup degrades to a miss and the sweep resimulates the point.
+    std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.misses;
     return std::nullopt;
   }
-  rec.summary.ipc = static_cast<double>(rec.summary.insts) /
-                    static_cast<double>(rec.summary.cycles);
-  ++counters_.hits;
+
+  RunRecord rec;
+  const ReadOutcome outcome = readEntry(path, jobDescription, rec);
+  bool quarantined = false;
+  if (outcome == ReadOutcome::Corrupt || outcome == ReadOutcome::Foreign)
+    quarantined = quarantine(path);
+
+  std::uint64_t corruptSoFar = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (outcome) {
+    case ReadOutcome::Hit: ++counters_.hits; break;
+    case ReadOutcome::NoFile: ++counters_.misses; break;
+    case ReadOutcome::Corrupt: ++counters_.misses; break;
+    case ReadOutcome::Foreign:
+      ++counters_.misses;
+      ++counters_.collisions;
+      break;
+    }
+    if (quarantined) corruptSoFar = ++counters_.corruptEntries;
+  }
+
+  if (quarantined) {
+    // First quarantine per cache instance warns; the rest go to debug so a
+    // wholesale-corrupted directory does not flood stderr.
+    if (corruptSoFar == 1) {
+      LEV_LOG_WARN("cache",
+                   "quarantined unreadable cache entry (kept as .corrupt; "
+                   "further quarantines logged at debug level)",
+                   {{"file", path},
+                    {"reason", outcome == ReadOutcome::Foreign
+                                   ? "foreign key"
+                                   : "corrupt"}});
+    } else {
+      LEV_LOG_DEBUG("cache", "quarantined unreadable cache entry",
+                    {{"file", path}, {"total", corruptSoFar}});
+    }
+  } else if (outcome == ReadOutcome::Foreign) {
+    LEV_LOG_DEBUG("cache", "key collision degraded to a miss",
+                  {{"file", path}});
+  }
+
+  if (outcome != ReadOutcome::Hit) return std::nullopt;
   return rec;
 }
 
 void ResultCache::store(const std::string& jobDescription,
                         const RunRecord& record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  if (faultinject::shouldFail("cache.store")) {
+    noteStoreFailure("injected fault (LEVIOSO_FAULTS cache.store)");
+    return;
+  }
+
+  // Format the whole entry up front — the write below is one streamed blob
+  // and the cache mutex is never held across any of this I/O.
+  std::ostringstream payload;
+  payload << kMagic << "\n";
+  payload << "key " << jobDescription << "\n";
+  payload << "cycles " << record.summary.cycles << "\n";
+  payload << "insts " << record.summary.insts << "\n";
+  payload << "loadDelayCycles " << record.summary.loadDelayCycles << "\n";
+  payload << "execDelayCycles " << record.summary.execDelayCycles << "\n";
+  payload << "mispredicts " << record.summary.mispredicts << "\n";
+  payload << "wallMicros " << record.wallMicros << "\n";
+  for (const auto& [name, value] : record.stats)
+    payload << "stat " << name << " " << value << "\n";
+
   std::error_code ec;
   fs::create_directories(opts_.dir, ec);
   if (ec) {
@@ -136,16 +218,7 @@ void ResultCache::store(const std::string& jobDescription,
       noteStoreFailure("cannot open temp file " + tmp);
       return;
     }
-    out << kMagic << "\n";
-    out << "key " << jobDescription << "\n";
-    out << "cycles " << record.summary.cycles << "\n";
-    out << "insts " << record.summary.insts << "\n";
-    out << "loadDelayCycles " << record.summary.loadDelayCycles << "\n";
-    out << "execDelayCycles " << record.summary.execDelayCycles << "\n";
-    out << "mispredicts " << record.summary.mispredicts << "\n";
-    out << "wallMicros " << record.wallMicros << "\n";
-    for (const auto& [name, value] : record.stats)
-      out << "stat " << name << " " << value << "\n";
+    out << payload.str();
     if (!out.good()) {
       out.close();
       fs::remove(tmp, ec);
@@ -166,25 +239,30 @@ ResultCache::Counters ResultCache::counters() const {
 }
 
 void ResultCache::noteStoreFailure(const std::string& why) {
+  std::uint64_t failures = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    failures = ++counters_.storeFailures;
+  }
   // One WARN per cache instance (i.e. per run), then debug-level only: a
   // read-only cache dir would otherwise emit one warning per finished job.
-  ++counters_.storeFailures;
-  if (counters_.storeFailures == 1) {
+  if (failures == 1) {
     LEV_LOG_WARN("cache",
                  "result store failed (cache disabled for this entry; "
                  "further failures logged at debug level)",
                  {{"dir", opts_.dir}, {"error", why}});
   } else {
     LEV_LOG_DEBUG("cache", "result store failed",
-                  {{"failures", counters_.storeFailures}, {"error", why}});
+                  {{"failures", failures}, {"error", why}});
   }
 }
 
 void ResultCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(opts_.dir, ec))
-    if (entry.path().extension() == ".result") fs::remove(entry.path(), ec);
+    if (entry.path().extension() == ".result" ||
+        entry.path().extension() == ".corrupt")
+      fs::remove(entry.path(), ec);
 }
 
 } // namespace lev::runner

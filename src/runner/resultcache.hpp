@@ -8,6 +8,19 @@
 // readers never observe a torn entry. The full key line is stored inside
 // the entry and re-checked on lookup, so a hash collision degrades to a
 // miss, never to a wrong result.
+//
+// Self-healing (docs/ROBUSTNESS.md): an unreadable entry — truncated,
+// garbage, or carrying a different job's key line (foreign salt / FNV
+// alias) — is QUARANTINED on first sight: atomically renamed to
+// `<hash>.corrupt` so the bytes stay available for a post-mortem while the
+// slot is freed for the fresh result the rerun will store. The quarantine
+// is counted (`corruptEntries`) only by the thread whose rename wins, so
+// concurrent readers of the same bad entry count it exactly once.
+//
+// Locking: `mutex_` protects ONLY the counters. All file I/O (read,
+// format, write, rename) happens outside the lock — the rename-into-place
+// protocol already makes entries atomic, so serializing workers behind one
+// cache mutex on a slow disk would buy nothing but stalls.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +50,8 @@ public:
   std::uint64_t keyOf(const std::string& jobDescription) const;
 
   /// Fetch a stored result; nullopt on miss, salt mismatch, or a corrupt /
-  /// colliding entry. Thread-safe.
+  /// colliding entry (which is also quarantined — see the header comment).
+  /// Thread-safe. Fault-injection site: "cache.read" (degrades to a miss).
   std::optional<RunRecord> lookup(const std::string& jobDescription);
 
   /// Persist a result. Failures to write (read-only dir, disk full) never
@@ -45,9 +59,11 @@ public:
   /// — but they are COUNTED and the first one per cache instance emits a
   /// rate-limited warning through the logger (every further failure is a
   /// debug-level message plus a counter increment). Thread-safe.
+  /// Fault-injection site: "cache.store" (counted as a store failure).
   void store(const std::string& jobDescription, const RunRecord& record);
 
-  /// Delete every entry in the cache directory.
+  /// Delete every entry in the cache directory (quarantined `.corrupt`
+  /// files included).
   void clear();
 
   const std::string& dir() const { return opts_.dir; }
@@ -55,12 +71,15 @@ public:
 
   /// Observability counters (monotone over the cache's life). A collision
   /// is a lookup that found a well-formed entry whose stored key line did
-  /// not match (FNV aliasing or a foreign salt) — it also counts as a miss.
+  /// not match (FNV aliasing or a foreign salt) — it also counts as a miss
+  /// and, like a corrupt entry, as a quarantine (`corruptEntries`) when
+  /// this instance's rename won.
   struct Counters {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t collisions = 0;
     std::uint64_t storeFailures = 0;
+    std::uint64_t corruptEntries = 0; ///< entries quarantined to .corrupt
   };
   Counters counters() const;
 
@@ -69,10 +88,12 @@ public:
 
 private:
   std::string pathOf(std::uint64_t key) const;
-  void noteStoreFailure(const std::string& why); ///< mutex_ held
+  void noteStoreFailure(const std::string& why); ///< takes mutex_ itself
+  /// Rename `path` to its `.corrupt` sibling; true when THIS call moved it.
+  bool quarantine(const std::string& path);
 
   Options opts_;
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_; ///< guards counters_ only, never file I/O
   Counters counters_;
 };
 

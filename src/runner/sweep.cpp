@@ -5,9 +5,11 @@
 #include <exception>
 #include <map>
 #include <memory>
+#include <thread>
 
 #include "backend/compiler.hpp"
 #include "support/error.hpp"
+#include "support/faultinject.hpp"
 #include "support/json.hpp"
 #include "support/log.hpp"
 #include "workloads/kernels.hpp"
@@ -17,9 +19,17 @@ namespace lev::runner {
 namespace {
 
 RunRecord simulate(const isa::Program& prog, const JobSpec& spec) {
+  if (faultinject::shouldFail("sim"))
+    throw TransientError("injected fault (LEVIOSO_FAULTS sim) running " +
+                         spec.kernel);
   const auto t0 = std::chrono::steady_clock::now();
   sim::Simulation s(prog, spec.cfg, spec.policy);
-  if (s.run(spec.maxCycles) != uarch::RunExit::Halted)
+  const uarch::RunExit exit = s.run(spec.maxCycles, spec.deadlineMicros);
+  if (exit == uarch::RunExit::Deadline)
+    throw DeadlineError(spec.kernel + " under policy '" + spec.policy +
+                        "' exceeded its " +
+                        std::to_string(spec.deadlineMicros) + "us deadline");
+  if (exit != uarch::RunExit::Halted)
     throw SimError(spec.kernel + " under policy '" + spec.policy +
                    "' hit the cycle limit");
   RunRecord rec;
@@ -41,11 +51,54 @@ RunRecord simulate(const isa::Program& prog, const JobSpec& spec) {
 }
 
 backend::CompileResult compileSpec(const JobSpec& spec) {
+  if (faultinject::shouldFail("compile"))
+    throw TransientError("injected fault (LEVIOSO_FAULTS compile) building " +
+                         spec.kernel);
   ir::Module mod = workloads::buildKernel(spec.kernel, spec.scale);
   backend::CompileOptions opts;
   opts.annotationBudget = spec.budget;
   opts.depOptions.propagateThroughMemory = spec.memoryProp;
   return backend::compile(mod, opts);
+}
+
+/// Turn a captured failure into a JobOutcome. `compilePhase` folds
+/// non-transient compile failures into ErrorKind::Compile; the simulate
+/// phase distinguishes deadline / deterministic-sim / transient / other.
+JobOutcome classifyFailure(const std::exception_ptr& ep, bool compilePhase,
+                           int attempts, std::int64_t elapsedMicros) {
+  JobOutcome o;
+  o.ok = false;
+  o.attempts = attempts;
+  o.gaveUpAfterMicros = elapsedMicros;
+  try {
+    std::rethrow_exception(ep);
+  } catch (const DeadlineError& e) {
+    o.errorKind = ErrorKind::Deadline;
+    o.message = e.what();
+  } catch (const TransientError& e) {
+    o.errorKind = ErrorKind::Transient;
+    o.message = e.what();
+  } catch (const SimError& e) {
+    o.errorKind = ErrorKind::Sim;
+    o.message = e.what();
+  } catch (const std::exception& e) {
+    o.errorKind = compilePhase ? ErrorKind::Compile : ErrorKind::Other;
+    o.message = e.what();
+  } catch (...) {
+    o.errorKind = compilePhase ? ErrorKind::Compile : ErrorKind::Other;
+    o.message = "unknown exception";
+  }
+  if (compilePhase && o.errorKind == ErrorKind::Other)
+    o.errorKind = ErrorKind::Compile;
+  return o;
+}
+
+JobOutcome cancelledOutcome() {
+  JobOutcome o;
+  o.ok = false;
+  o.errorKind = ErrorKind::Cancelled;
+  o.message = "cancelled: an earlier job failed under FailPolicy::FailFast";
+  return o;
 }
 
 } // namespace
@@ -83,10 +136,12 @@ const std::vector<RunRecord>& Sweep::run() {
   const std::size_t nUnique = slotSpec.size();
 
   std::vector<RunRecord> uniqueRecords(nUnique);
+  std::vector<JobOutcome> uniqueOutcomes(nUnique);
   std::vector<char> done(nUnique, 0);
-  // Results of a previous run() stay valid: reuse, never resimulate.
+  // OK results of a previous run() stay valid: reuse, never resimulate.
+  // Points that failed a previous KeepGoing run are re-attempted.
   for (std::size_t i = 0; i < executedPoints_; ++i)
-    if (!done[uniqueIndex_[i]]) {
+    if (!done[uniqueIndex_[i]] && (i >= outcomes_.size() || outcomes_[i].ok)) {
       uniqueRecords[uniqueIndex_[i]] = results_[i];
       done[uniqueIndex_[i]] = 1;
     }
@@ -106,18 +161,57 @@ const std::vector<RunRecord>& Sweep::run() {
     }
   }
 
-  // 3. Compile each distinct program still needed, concurrently.
+  // 3. Compile each distinct program still needed, concurrently. The spec
+  // index is recorded when a compile key is FIRST inserted, so no job ever
+  // rescans the unique slots to find its inputs (that lookup used to be
+  // O(programs x unique points)).
   struct Compiled {
     std::shared_ptr<const backend::CompileResult> result;
     std::exception_ptr error;
+    const JobSpec* spec = nullptr; ///< a spec this key compiles
+    int attempts = 0;
+    std::int64_t elapsedMicros = 0;
+    bool cancelled = false;
   };
   std::map<std::string, Compiled> programs; // compile key -> program
   std::size_t pendingSims = 0;
   for (std::size_t slot = 0; slot < nUnique; ++slot)
     if (!done[slot]) {
-      programs.try_emplace(describeCompile(specs_[slotSpec[slot]]));
+      const JobSpec& spec = specs_[slotSpec[slot]];
+      const auto [it, inserted] = programs.try_emplace(describeCompile(spec));
+      if (inserted) it->second.spec = &spec;
       ++pendingSims;
     }
+
+  // Shared failure machinery for this run() call. `cancel` flips once under
+  // FailFast so jobs that have not started yet skip their work; `retries`
+  // counts backoff sleeps from all workers.
+  const bool failFast = opts_.failPolicy == FailPolicy::FailFast;
+  std::atomic<bool> cancel{false};
+  std::atomic<std::size_t> retries{0};
+  // Run `work` up to 1 + maxRetries times, backing off exponentially
+  // between attempts; only TransientError earns a retry. On final failure
+  // `err` holds the last exception.
+  const auto attemptWithRetry = [this, &retries](auto&& work,
+                                                 std::exception_ptr& err,
+                                                 int& attempts) {
+    for (attempts = 1;; ++attempts) {
+      try {
+        work();
+        err = nullptr;
+        return;
+      } catch (const TransientError&) {
+        err = std::current_exception();
+        if (attempts > opts_.maxRetries) return;
+        retries.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            opts_.retryBackoffMicros << (attempts - 1)));
+      } catch (...) {
+        err = std::current_exception();
+        return;
+      }
+    }
+  };
 
   // Progress + span bookkeeping for this run() call. Spans are recorded
   // into pre-sized per-phase vectors (each job owns one slot, so no lock),
@@ -134,51 +228,62 @@ const std::vector<RunRecord>& Sweep::run() {
                  {"compiles", programs.size()},
                  {"simulations", pendingSims},
                  {"cacheHits", counters_.cacheHits},
+                 {"keepGoing", !failFast},
                  {"threads", pool_.size()}});
 
+  std::atomic<std::size_t> compilesRun{0};
   {
     std::vector<trace::HostSpan> compileSpans(programs.size());
     std::vector<std::future<void>> futures;
     std::size_t ci = 0;
     for (auto& [ckey, compiled] : programs) {
-      const JobSpec* spec = nullptr;
-      for (std::size_t slot = 0; slot < nUnique && !spec; ++slot)
-        if (!done[slot] && describeCompile(specs_[slotSpec[slot]]) == ckey)
-          spec = &specs_[slotSpec[slot]];
       Compiled* out = &compiled;
       trace::HostSpan* span = &compileSpans[ci++];
       span->label = ckey;
       span->phase = "compile";
       span->queuedMicros = sinceEpochMicros();
-      futures.push_back(pool_.submit([this, spec, out, span, &noteDone] {
+      futures.push_back(pool_.submit([this, out, span, failFast, &cancel,
+                                      &compilesRun, &attemptWithRetry,
+                                      &noteDone] {
         span->worker = ThreadPool::currentWorkerIndex();
         span->startMicros = sinceEpochMicros();
-        try {
-          out->result = std::make_shared<const backend::CompileResult>(
-              compileSpec(*spec));
-        } catch (...) {
-          out->error = std::current_exception();
+        if (cancel.load(std::memory_order_relaxed)) {
+          out->cancelled = true;
+        } else {
+          compilesRun.fetch_add(1, std::memory_order_relaxed);
+          const auto t0 = sinceEpochMicros();
+          attemptWithRetry(
+              [out] {
+                out->result = std::make_shared<const backend::CompileResult>(
+                    compileSpec(*out->spec));
+              },
+              out->error, out->attempts);
+          out->elapsedMicros = sinceEpochMicros() - t0;
+          if (out->error && failFast)
+            cancel.store(true, std::memory_order_relaxed);
         }
         span->endMicros = sinceEpochMicros();
         noteDone();
       }));
-      ++counters_.compiles;
     }
     ThreadPool::waitAll(futures);
     spans_.insert(spans_.end(), compileSpans.begin(), compileSpans.end());
   }
+  counters_.compiles += compilesRun.load();
 
   // 4. Simulate the remaining unique points concurrently.
   std::vector<std::exception_ptr> errors(nUnique);
+  std::atomic<std::size_t> simsRun{0};
   {
     std::vector<trace::HostSpan> simSpans(pendingSims);
     std::vector<std::future<void>> futures;
     std::size_t si = 0;
     for (std::size_t slot = 0; slot < nUnique; ++slot) {
       if (done[slot]) continue;
-      const JobSpec& spec = specs_[slotSpec[slot]];
-      const Compiled& compiled = programs.at(describeCompile(spec));
+      const JobSpec* spec = &specs_[slotSpec[slot]];
+      const Compiled* compiled = &programs.at(describeCompile(*spec));
       RunRecord* out = &uniqueRecords[slot];
+      JobOutcome* outcome = &uniqueOutcomes[slot];
       std::exception_ptr* err = &errors[slot];
       const std::string* desc = &descriptions_[slotSpec[slot]];
       ResultCache* cache = opts_.cache;
@@ -186,37 +291,90 @@ const std::vector<RunRecord>& Sweep::run() {
       span->label = *desc;
       span->phase = "simulate";
       span->queuedMicros = sinceEpochMicros();
-      futures.push_back(pool_.submit([this, &spec, &compiled, out, err, desc,
-                                      cache, span, &noteDone] {
+      futures.push_back(pool_.submit([this, spec, compiled, out, outcome,
+                                      err, desc, cache, span, failFast,
+                                      &cancel, &simsRun, &attemptWithRetry,
+                                      &noteDone] {
         span->worker = ThreadPool::currentWorkerIndex();
         span->startMicros = sinceEpochMicros();
-        try {
-          if (compiled.error) std::rethrow_exception(compiled.error);
-          *out = simulate(compiled.result->program, spec);
-          if (cache) cache->store(*desc, *out);
-        } catch (...) {
-          *err = std::current_exception();
+        if (compiled->error) {
+          // Every point of a failed compile inherits that failure (and its
+          // attempt/elapsed bookkeeping).
+          *outcome = classifyFailure(compiled->error, /*compilePhase=*/true,
+                                     compiled->attempts,
+                                     compiled->elapsedMicros);
+          *err = compiled->error;
+        } else if (compiled->cancelled ||
+                   cancel.load(std::memory_order_relaxed)) {
+          *outcome = cancelledOutcome();
+        } else {
+          simsRun.fetch_add(1, std::memory_order_relaxed);
+          const auto t0 = sinceEpochMicros();
+          std::exception_ptr e;
+          int attempts = 0;
+          attemptWithRetry([&] { *out = simulate(compiled->result->program,
+                                                 *spec); },
+                           e, attempts);
+          if (e) {
+            *outcome = classifyFailure(e, /*compilePhase=*/false, attempts,
+                                       sinceEpochMicros() - t0);
+            *err = e;
+            if (failFast) cancel.store(true, std::memory_order_relaxed);
+          } else {
+            outcome->ok = true;
+            outcome->attempts = attempts;
+            if (cache) cache->store(*desc, *out);
+          }
         }
         span->endMicros = sinceEpochMicros();
         noteDone();
       }));
-      ++counters_.simulated;
     }
     ThreadPool::waitAll(futures);
     spans_.insert(spans_.end(), simSpans.begin(), simSpans.end());
   }
+  counters_.simulated += simsRun.load();
+  counters_.retries += retries.load();
 
   wallMicros_ += sinceEpochMicros() - runStart;
-  LEV_LOG_DEBUG("sweep", "run finished",
-                {{"jobs", totalJobs}, {"wallMicros", wallMicros_}});
 
-  // 5. Surface the first failure (submission order) after everything ran.
-  for (std::size_t slot = 0; slot < nUnique; ++slot)
-    if (errors[slot]) std::rethrow_exception(errors[slot]);
+  // 5. Expand per-unique outcomes to per-point outcomes (reused points keep
+  // their earlier OK outcome) and count this run's fresh failures.
+  std::vector<JobOutcome> pointOutcomes(specs_.size());
+  std::size_t freshFailures = 0;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const bool reused = i < executedPoints_ && i < outcomes_.size() &&
+                        outcomes_[i].ok;
+    pointOutcomes[i] = reused ? outcomes_[i] : uniqueOutcomes[uniqueIndex_[i]];
+    if (!pointOutcomes[i].ok &&
+        pointOutcomes[i].errorKind != ErrorKind::Cancelled)
+      ++freshFailures;
+  }
+  counters_.failed += freshFailures;
+  LEV_LOG_DEBUG("sweep", "run finished",
+                {{"jobs", totalJobs},
+                 {"failed", freshFailures},
+                 {"retries", retries.load()},
+                 {"wallMicros", wallMicros_}});
+
+  // 6. Surface failures per the fail policy. FailFast keeps the historical
+  // contract — the first failure (submission order) is rethrown after
+  // every job settles — but records the outcomes first, so a post-mortem
+  // manifest written from a catch block still sees what happened.
+  bool anyError = false;
+  for (std::size_t slot = 0; slot < nUnique && !anyError; ++slot)
+    if (errors[slot]) anyError = true;
+  if (anyError && failFast) {
+    outcomes_ = std::move(pointOutcomes);
+    for (std::size_t slot = 0; slot < nUnique; ++slot)
+      if (errors[slot]) std::rethrow_exception(errors[slot]);
+  }
 
   results_.resize(specs_.size());
   for (std::size_t i = 0; i < specs_.size(); ++i)
-    results_[i] = uniqueRecords[uniqueIndex_[i]];
+    if (pointOutcomes[i].ok) results_[i] = uniqueRecords[uniqueIndex_[i]];
+    else results_[i] = RunRecord{};
+  outcomes_ = std::move(pointOutcomes);
   executedPoints_ = specs_.size();
   return results_;
 }
@@ -228,7 +386,7 @@ void Sweep::writeHostTrace(std::ostream& os) const {
 void Sweep::writeJson(std::ostream& os, bool includeStats) const {
   JsonWriter w(os);
   w.beginObject();
-  w.field("version", 2);
+  w.field("version", 3);
   w.field("threads", pool_.size());
   w.key("counters").beginObject();
   w.field("points", counters_.points);
@@ -236,11 +394,14 @@ void Sweep::writeJson(std::ostream& os, bool includeStats) const {
   w.field("cacheHits", counters_.cacheHits);
   w.field("compiles", counters_.compiles);
   w.field("simulated", counters_.simulated);
+  w.field("failed", counters_.failed);
+  w.field("retries", counters_.retries);
   w.endObject();
   w.key("results").beginArray();
   for (std::size_t i = 0; i < results_.size(); ++i) {
     const JobSpec& spec = specs_[i];
     const RunRecord& rec = results_[i];
+    const bool failed = i < outcomes_.size() && !outcomes_[i].ok;
     w.beginObject();
     w.field("kernel", spec.kernel);
     w.field("scale", spec.scale);
@@ -256,6 +417,21 @@ void Sweep::writeJson(std::ostream& os, bool includeStats) const {
     w.field("prefetch", spec.cfg.prefetch.enabled);
     w.endObject();
     w.field("key", hashHex(fnv1a(descriptions_[i])));
+    w.field("ok", !failed);
+    if (failed) {
+      // A failed point carries its error instead of result fields, so
+      // downstream tools can neither mistake zeros for measurements nor
+      // lose track of what was attempted.
+      const JobOutcome& o = outcomes_[i];
+      w.key("error").beginObject();
+      w.field("kind", errorKindName(o.errorKind));
+      w.field("message", o.message);
+      w.field("attempts", o.attempts);
+      w.field("gaveUpAfterMicros", o.gaveUpAfterMicros);
+      w.endObject();
+      w.endObject();
+      continue;
+    }
     w.field("fromCache", rec.fromCache);
     w.field("wallMicros", rec.wallMicros);
     w.field("cycles", rec.summary.cycles);

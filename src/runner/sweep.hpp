@@ -10,8 +10,16 @@
 //                 needed is compiled once, concurrently
 //   4. simulate   remaining points run concurrently; each Simulation is
 //                 self-contained and shares only the read-only Program
-//   5. collect    per-job exceptions are captured and the first failure
-//                 (in submission order) is rethrown after all jobs finish
+//   5. collect    every job gets a JobOutcome; under FailPolicy::FailFast
+//                 the first failure (submission order) is rethrown after
+//                 all jobs finish, under KeepGoing nothing throws and the
+//                 failures ride in outcomes() / the JSON report
+//
+// Fault tolerance (docs/ROBUSTNESS.md): transient host failures
+// (TransientError — injected faults, I/O hiccups) are retried with bounded
+// exponential backoff; deterministic failures (SimError, DeadlineError,
+// compile errors) never are. Under FailFast an error also cancels every
+// job that has not started yet (outcome Cancelled).
 //
 // Simulations are cycle-deterministic, so a parallel run is bit-identical
 // to a serial one (asserted by tests/runner_test.cpp).
@@ -32,11 +40,28 @@
 
 namespace lev::runner {
 
+/// What run() does when a job fails. FailFast preserves the historical
+/// contract: outstanding jobs are cancelled and the first error (in
+/// submission order) is rethrown once every job has settled. KeepGoing
+/// runs everything, never throws, and records per-point errors in
+/// outcomes() — the mode for large sweeps where one bad point must not
+/// discard hundreds of good ones.
+enum class FailPolicy { FailFast, KeepGoing };
+
 class Sweep {
 public:
   struct Options {
     int jobs = 0;               ///< worker threads; 0 = auto (env/hardware)
     ResultCache* cache = nullptr; ///< optional, not owned
+    FailPolicy failPolicy = FailPolicy::FailFast;
+    /// Extra attempts granted to a job that fails with TransientError
+    /// (deterministic failures are never retried). 2 retries = up to 3
+    /// attempts total.
+    int maxRetries = 2;
+    /// Backoff before retry k is retryBackoffMicros << (k-1): 1ms, 2ms,
+    /// 4ms... Long enough to ride out an I/O hiccup, short enough to be
+    /// invisible next to a simulation.
+    std::int64_t retryBackoffMicros = 1000;
     /// Invoked after every finished compile/simulate job with (done,
     /// total) for THIS run() call. Called from pool worker threads
     /// concurrently — the callback must be thread-safe and cheap.
@@ -50,11 +75,17 @@ public:
   std::size_t add(JobSpec spec);
 
   /// Execute everything still pending; returns one record per add(), in
-  /// submission order. Callable repeatedly (later add()s re-run).
+  /// submission order. Callable repeatedly (later add()s re-run; points
+  /// that FAILED a previous KeepGoing run are re-attempted too).
   const std::vector<RunRecord>& run();
 
   const std::vector<JobSpec>& specs() const { return specs_; }
   const std::vector<RunRecord>& results() const { return results_; }
+  /// One outcome per add(), parallel to results(); a failed point's
+  /// RunRecord is default-constructed and must not be read. Populated by
+  /// run() under BOTH fail policies (under FailFast the vector is filled
+  /// before the rethrow, so a post-mortem manifest sees it).
+  const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
 
   struct Counters {
     std::size_t points = 0;    ///< add() calls
@@ -62,6 +93,8 @@ public:
     std::size_t cacheHits = 0; ///< unique points served from the cache
     std::size_t compiles = 0;  ///< kernel compilations performed
     std::size_t simulated = 0; ///< simulations actually executed
+    std::size_t failed = 0;    ///< point-level failures observed by run()
+    std::size_t retries = 0;   ///< transient-failure retries performed
   };
   const Counters& counters() const { return counters_; }
   int threadCount() const { return pool_.size(); }
@@ -80,8 +113,9 @@ public:
   /// Chrome-trace JSON of hostSpans() (open in ui.perfetto.dev).
   void writeHostTrace(std::ostream& os) const;
 
-  /// Emit the machine-readable report (schema: docs/RUNNER.md). With
-  /// `includeStats`, every result carries its full counter dump.
+  /// Emit the machine-readable report (schema: docs/RUNNER.md, version 3).
+  /// Failed points carry an "error" object instead of result fields. With
+  /// `includeStats`, every successful result carries its full counter dump.
   void writeJson(std::ostream& os, bool includeStats = false) const;
 
 private:
@@ -93,6 +127,7 @@ private:
   std::vector<std::string> descriptions_;    ///< parallel to specs_
   std::vector<std::size_t> uniqueIndex_;     ///< specs_ index -> unique slot
   std::vector<RunRecord> results_;           ///< parallel to specs_
+  std::vector<JobOutcome> outcomes_;         ///< parallel to specs_
   Counters counters_;
   std::size_t executedPoints_ = 0; ///< specs_ prefix already run()
   std::chrono::steady_clock::time_point epoch_; ///< span timebase

@@ -9,8 +9,9 @@ Simulation::Simulation(const isa::Program& prog, const uarch::CoreConfig& cfg,
     : policyName_(policyName), policy_(secure::makePolicy(policyName)),
       core_(prog, cfg, *policy_, stats_) {}
 
-uarch::RunExit Simulation::run(std::uint64_t maxCycles) {
-  return core_.run(maxCycles);
+uarch::RunExit Simulation::run(std::uint64_t maxCycles,
+                               std::int64_t deadlineMicros) {
+  return core_.run(maxCycles, deadlineMicros);
 }
 
 RunSummary runOnce(const isa::Program& prog, const uarch::CoreConfig& cfg,

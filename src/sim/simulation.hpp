@@ -18,7 +18,10 @@ public:
   Simulation(const isa::Program& prog, const uarch::CoreConfig& cfg,
              const std::string& policyName);
 
-  uarch::RunExit run(std::uint64_t maxCycles = 100'000'000);
+  /// Run to completion; a positive deadlineMicros bounds host wall time
+  /// (uarch::RunExit::Deadline on overrun, see O3Core::run).
+  uarch::RunExit run(std::uint64_t maxCycles = 100'000'000,
+                     std::int64_t deadlineMicros = 0);
 
   /// Attach a pipeline event ring (`src/trace/`): every fetch/issue/commit/
   /// squash and policy delay/release decision is recorded until the run

@@ -40,6 +40,24 @@ public:
   using Error::Error;
 };
 
+/// A host-side failure that is expected to succeed when simply tried again
+/// (an I/O hiccup, an injected fault from src/support/faultinject.hpp).
+/// The runner retries these with bounded exponential backoff; deterministic
+/// failures (SimError and friends) are never retried — rerunning a
+/// deterministic simulation can only reproduce the same outcome.
+class TransientError : public Error {
+public:
+  using Error::Error;
+};
+
+/// A job exceeded its wall-clock budget (JobSpec::deadlineMicros). Distinct
+/// from SimError so the runner can classify it separately; like SimError it
+/// is never retried (the job already consumed its time allowance).
+class DeadlineError : public Error {
+public:
+  using Error::Error;
+};
+
 namespace detail {
 [[noreturn]] inline void checkFailed(const char* cond, const char* file,
                                      int line, const std::string& msg) {

@@ -1,0 +1,188 @@
+#include "support/faultinject.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace lev::faultinject {
+
+namespace {
+
+enum class Trigger { Every, Once, Rate };
+
+struct Site {
+  std::string name;
+  std::string spec; ///< canonical trigger text
+  Trigger trigger = Trigger::Every;
+  std::uint64_t n = 1;      ///< every/once period or ordinal
+  double rate = 0.0;        ///< rate trigger probability
+  std::uint64_t seed = 0;   ///< rate trigger seed
+  std::uint64_t arms = 0;
+  std::uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<Site> sites; ///< spec order; linear scan (a handful of sites)
+  bool envLoaded = false;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t fnv1a64(std::string_view s, std::uint64_t h) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Full-avalanche 64-bit finalizer (the murmur3/splitmix constants). FNV
+/// alone is NOT enough here: its single trailing multiply barely moves the
+/// high bits for small input changes, so seed 7 vs seed 8 would produce
+/// near-identical fire patterns.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Deterministic per-arming decision for rate triggers: hash the site name,
+/// the arming ordinal and the seed into [0, 1) and compare against P.
+bool rateFires(const Site& s, std::uint64_t arm) {
+  std::uint64_t h = fnv1a64(s.name, 0xcbf29ce484222325ull);
+  h = mix64(h ^ mix64(arm ^ s.seed * 0x9e3779b97f4a7c15ull));
+  const double unit =
+      static_cast<double>(h >> 11) / static_cast<double>(1ull << 53);
+  return unit < s.rate;
+}
+
+[[noreturn]] void badSpec(const std::string& clause, const std::string& why) {
+  throw Error("LEVIOSO_FAULTS: bad clause '" + clause + "': " + why);
+}
+
+Site parseClause(const std::string& clause) {
+  const auto eq = clause.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == clause.size())
+    badSpec(clause, "expected site=trigger");
+  Site s;
+  s.name = trim(clause.substr(0, eq));
+  s.spec = trim(clause.substr(eq + 1));
+  const auto colon = s.spec.find(':');
+  if (colon == std::string::npos) badSpec(clause, "expected kind:arg");
+  const std::string kind = s.spec.substr(0, colon);
+  const std::string arg = s.spec.substr(colon + 1);
+  if (kind == "every" || kind == "once") {
+    s.trigger = kind == "every" ? Trigger::Every : Trigger::Once;
+    std::int64_t n = 0;
+    if (!parseInt(arg, n) || n < 1)
+      badSpec(clause, "count must be an integer >= 1");
+    s.n = static_cast<std::uint64_t>(n);
+  } else if (kind == "rate") {
+    s.trigger = Trigger::Rate;
+    const auto at = arg.find('@');
+    if (at == std::string::npos) badSpec(clause, "rate needs P@SEED");
+    char* end = nullptr;
+    const std::string p = arg.substr(0, at);
+    s.rate = std::strtod(p.c_str(), &end);
+    if (end == p.c_str() || *end != '\0' || s.rate < 0.0 || s.rate > 1.0)
+      badSpec(clause, "P must be a number in [0, 1]");
+    std::int64_t seed = 0;
+    if (!parseInt(arg.substr(at + 1), seed) || seed < 0)
+      badSpec(clause, "SEED must be a non-negative integer");
+    s.seed = static_cast<std::uint64_t>(seed);
+  } else {
+    badSpec(clause, "unknown trigger kind '" + kind + "'");
+  }
+  return s;
+}
+
+std::vector<Site> parseSpec(const std::string& spec) {
+  std::vector<Site> out;
+  for (const auto part : split(spec, ';')) {
+    const auto t = trim(part);
+    if (t.empty()) continue;
+    out.push_back(parseClause(std::string(t)));
+  }
+  return out;
+}
+
+/// mutex held. Loads LEVIOSO_FAULTS once, unless configure() ran first.
+void ensureEnvLoaded(Registry& r) {
+  if (r.envLoaded) return;
+  r.envLoaded = true;
+  const char* env = std::getenv("LEVIOSO_FAULTS");
+  if (env == nullptr || *env == '\0') return;
+  r.sites = parseSpec(env); // a malformed env spec must fail loudly
+  g_enabled.store(!r.sites.empty(), std::memory_order_relaxed);
+  if (!r.sites.empty())
+    LEV_LOG_WARN("faults", "fault injection active",
+                 {{"spec", std::string(env)}, {"sites", r.sites.size()}});
+}
+
+} // namespace
+
+bool enabled() {
+  if (g_enabled.load(std::memory_order_relaxed)) return true;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  ensureEnvLoaded(r);
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+bool shouldFail(const char* site) {
+  if (!enabled()) return false;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (Site& s : r.sites) {
+    if (s.name != site) continue;
+    const std::uint64_t arm = ++s.arms;
+    bool fire = false;
+    switch (s.trigger) {
+    case Trigger::Every: fire = arm % s.n == 0; break;
+    case Trigger::Once: fire = arm == s.n; break;
+    case Trigger::Rate: fire = rateFires(s, arm); break;
+    }
+    if (fire) {
+      ++s.fires;
+      LEV_LOG_DEBUG("faults", "injected fault fired",
+                    {{"site", s.name}, {"arm", arm}, {"fires", s.fires}});
+    }
+    return fire;
+  }
+  return false;
+}
+
+void configure(const std::string& spec) {
+  std::vector<Site> sites = parseSpec(spec); // may throw; leave state alone
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.envLoaded = true; // explicit configuration wins over the environment
+  r.sites = std::move(sites);
+  g_enabled.store(!r.sites.empty(), std::memory_order_relaxed);
+}
+
+std::vector<SiteStats> stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  ensureEnvLoaded(r);
+  std::vector<SiteStats> out;
+  out.reserve(r.sites.size());
+  for (const Site& s : r.sites)
+    out.push_back({s.name, s.spec, s.arms, s.fires});
+  return out;
+}
+
+} // namespace lev::faultinject

@@ -1,0 +1,57 @@
+// Deterministic fault injection for the host-side machinery (cache I/O,
+// compilation, JSON ingestion). Production code asks `shouldFail(site)` at
+// each failure point it wants testable; with no configuration the call is
+// one relaxed atomic load, so leaving sites compiled in costs nothing.
+//
+// Configuration comes from the LEVIOSO_FAULTS environment variable (or an
+// explicit configure() call in tests):
+//
+//   LEVIOSO_FAULTS="cache.store=every:3;compile=once:5;cache.read=rate:0.1@7"
+//
+// with one `site=trigger` clause per site:
+//
+//   every:N      fire on every Nth arming of the site (N >= 1)
+//   once:N       fire exactly once, on the Nth arming
+//   rate:P@SEED  fire on ~fraction P of armings, decided by a hash of
+//                (site, arming index, SEED) — deterministic, not random
+//
+// "Arming" means one shouldFail() call for that site. All triggers are
+// pure functions of the per-site arming counter, so a given spec produces
+// the same fire pattern on every run (the property tests/fault_test.cpp
+// pins). Per-site arm/fire counters are exported into the run manifest so
+// an injected run is self-describing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lev::faultinject {
+
+/// One configured site's canonical trigger plus lifetime counters.
+struct SiteStats {
+  std::string site;
+  std::string trigger;     ///< canonical spec, e.g. "every:3"
+  std::uint64_t arms = 0;  ///< shouldFail() calls for this site
+  std::uint64_t fires = 0; ///< how many of them fired
+};
+
+/// True when any site is configured. One relaxed atomic load — the fast
+/// path every instrumented site takes in normal (uninjected) runs.
+bool enabled();
+
+/// Arm the named site and report whether its fault fires now. Sites not
+/// named in the configuration never fire (and are not counted).
+/// Thread-safe; the first call reads LEVIOSO_FAULTS if configure() has not
+/// been called.
+bool shouldFail(const char* site);
+
+/// (Re)configure from a spec string; "" disables injection and clears all
+/// counters. Throws lev::Error on a malformed spec. Overrides any earlier
+/// environment configuration.
+void configure(const std::string& spec);
+
+/// Counters for every configured site, in spec order.
+std::vector<SiteStats> stats();
+
+} // namespace lev::faultinject

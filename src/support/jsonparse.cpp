@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/faultinject.hpp"
 
 namespace lev::json {
 
@@ -195,6 +196,11 @@ const JsonValue& JsonValue::at(const std::string& key) const {
 JsonValue parse(std::string_view text) { return Parser(text).parse(); }
 
 JsonValue parseFile(const std::string& path) {
+  // Fault site for tools that ingest the project's own artifacts: a fired
+  // fault behaves exactly like a transiently unreadable file.
+  if (faultinject::shouldFail("json.parse"))
+    throw TransientError("injected fault (LEVIOSO_FAULTS json.parse) reading " +
+                         path);
   std::ifstream in(path);
   if (!in) throw Error("cannot read " + path);
   std::ostringstream ss;

@@ -1,6 +1,7 @@
 #include "uarch/core.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
 
 #include "isa/disasm.hpp"
@@ -883,7 +884,12 @@ bool O3Core::tick() {
   return true;
 }
 
-RunExit O3Core::run(std::uint64_t maxCycles) {
+RunExit O3Core::run(std::uint64_t maxCycles, std::int64_t deadlineMicros) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      deadlineMicros > 0
+          ? clock::now() + std::chrono::microseconds(deadlineMicros)
+          : clock::time_point{};
   while (!halted_) {
     if (cycle_ >= maxCycles) {
       // A truncated run still dumps its metrics: a bounded levioso-trace
@@ -891,6 +897,13 @@ RunExit O3Core::run(std::uint64_t maxCycles) {
       // would, just over fewer samples.
       dumpMetrics();
       return RunExit::CycleLimit;
+    }
+    // The wall-clock deadline is sampled sparsely: with no deadline the
+    // whole feature is one integer compare per cycle, and with one it is
+    // one clock read per 8192 cycles.
+    if (deadlineMicros > 0 && (cycle_ & 8191) == 0 && clock::now() >= deadline) {
+      dumpMetrics();
+      return RunExit::Deadline;
     }
     tick();
   }

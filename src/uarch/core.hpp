@@ -60,8 +60,11 @@ struct CoreConfig {
   PrefetcherConfig prefetch;
 };
 
-/// Why a run() ended.
-enum class RunExit { Halted, CycleLimit };
+/// Why a run() ended. Deadline is the wall-clock analogue of CycleLimit:
+/// the run exceeded its host-time budget (run()'s deadlineMicros) before
+/// halting. Unlike CycleLimit it is nondeterministic (it depends on host
+/// speed), so deadline-terminated runs must never be cached or compared.
+enum class RunExit { Halted, CycleLimit, Deadline };
 
 class O3Core {
 public:
@@ -70,8 +73,14 @@ public:
   O3Core(const isa::Program& prog, const CoreConfig& cfg,
          SpeculationPolicy& policy, StatSet& stats);
 
-  /// Run until a committed HALT or the cycle limit.
-  RunExit run(std::uint64_t maxCycles = 100'000'000);
+  /// Run until a committed HALT, the cycle limit, or — when deadlineMicros
+  /// is positive — a wall-clock deadline measured from this call. The
+  /// deadline is checked every 8192 cycles (one steady_clock read), so a
+  /// run overshoots it by at most one check interval; with deadlineMicros
+  /// == 0 no clock is ever read and results are bit-identical to a
+  /// deadline-free build.
+  RunExit run(std::uint64_t maxCycles = 100'000'000,
+              std::int64_t deadlineMicros = 0);
 
   /// Step exactly one cycle. Returns false once halted.
   bool tick();

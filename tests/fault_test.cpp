@@ -1,0 +1,374 @@
+// Tests for the fault-tolerance stack (docs/ROBUSTNESS.md): the
+// deterministic fault-injection subsystem itself, bounded retry of
+// transient failures, per-job deadlines, KeepGoing/FailFast outcome
+// bookkeeping, and cache self-healing (quarantine + repopulation).
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "runner/resultcache.hpp"
+#include "runner/sweep.hpp"
+#include "support/error.hpp"
+#include "support/faultinject.hpp"
+#include "support/log.hpp"
+
+namespace fs = std::filesystem;
+using namespace lev;
+using namespace lev::runner;
+
+namespace {
+
+std::string freshDir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "levioso-fault-" + tag + "-" +
+                          std::to_string(::getpid());
+  fs::remove_all(dir);
+  return dir;
+}
+
+JobSpec smallJob(const std::string& policy,
+                 const std::string& kernel = "x264_sad") {
+  JobSpec spec;
+  spec.kernel = kernel;
+  spec.policy = policy;
+  return spec;
+}
+
+/// Silences the logger for the duration of a test (injected faults warn).
+class QuietLog {
+public:
+  QuietLog() { lev::log::setTextSink(&buffer_); }
+  ~QuietLog() { lev::log::setTextSink(&std::cerr); }
+  std::string str() const { return buffer_.str(); }
+
+private:
+  std::ostringstream buffer_;
+};
+
+/// Every test leaves the process with injection disabled, whatever happens
+/// in between — fault configuration is process-global state.
+class Fault : public ::testing::Test {
+protected:
+  void TearDown() override { faultinject::configure(""); }
+};
+
+/// The fire pattern of `site` over `arms` consecutive armings.
+std::vector<bool> firePattern(const char* site, int arms) {
+  std::vector<bool> out;
+  for (int i = 0; i < arms; ++i)
+    out.push_back(faultinject::shouldFail(site));
+  return out;
+}
+
+} // namespace
+
+// ---- the injection subsystem -------------------------------------------
+
+TEST_F(Fault, DisabledByDefaultAndAfterEmptySpec) {
+  faultinject::configure("");
+  EXPECT_FALSE(faultinject::enabled());
+  EXPECT_FALSE(faultinject::shouldFail("cache.read"));
+  EXPECT_TRUE(faultinject::stats().empty());
+}
+
+TEST_F(Fault, RejectsMalformedSpecs) {
+  EXPECT_THROW(faultinject::configure("cache.read"), Error); // no '='
+  EXPECT_THROW(faultinject::configure("x=every:0"), Error);  // N >= 1
+  EXPECT_THROW(faultinject::configure("x=once:0"), Error);
+  EXPECT_THROW(faultinject::configure("x=every:abc"), Error);
+  EXPECT_THROW(faultinject::configure("x=never:1"), Error); // unknown kind
+  EXPECT_THROW(faultinject::configure("x=rate:2@1"), Error); // P in [0,1]
+  EXPECT_THROW(faultinject::configure("x=rate:-0.1@1"), Error);
+  EXPECT_THROW(faultinject::configure("x=rate:0.5"), Error); // missing seed
+  EXPECT_THROW(faultinject::configure("=every:1"), Error);   // empty site
+  // A bad spec must not leave half a configuration behind.
+  EXPECT_FALSE(faultinject::enabled());
+}
+
+TEST_F(Fault, EveryNFiresOnExactlyEveryNthArming) {
+  faultinject::configure("s=every:3");
+  EXPECT_TRUE(faultinject::enabled());
+  const std::vector<bool> p = firePattern("s", 9);
+  const std::vector<bool> expect = {false, false, true,  false, false,
+                                    true,  false, false, true};
+  EXPECT_EQ(p, expect);
+  const auto stats = faultinject::stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].site, "s");
+  EXPECT_EQ(stats[0].trigger, "every:3");
+  EXPECT_EQ(stats[0].arms, 9u);
+  EXPECT_EQ(stats[0].fires, 3u);
+}
+
+TEST_F(Fault, OnceNFiresExactlyOnceOnTheNthArming) {
+  faultinject::configure("s=once:2");
+  const std::vector<bool> p = firePattern("s", 6);
+  const std::vector<bool> expect = {false, true, false, false, false, false};
+  EXPECT_EQ(p, expect);
+  EXPECT_EQ(faultinject::stats()[0].fires, 1u);
+}
+
+TEST_F(Fault, RatePatternIsDeterministicPerSeed) {
+  faultinject::configure("s=rate:0.5@7");
+  const std::vector<bool> first = firePattern("s", 200);
+  // Same spec again: counters reset, pattern identical (hash-driven, not
+  // random).
+  faultinject::configure("s=rate:0.5@7");
+  EXPECT_EQ(firePattern("s", 200), first);
+  // A different seed yields a different pattern...
+  faultinject::configure("s=rate:0.5@8");
+  EXPECT_NE(firePattern("s", 200), first);
+  // ...and the rate is roughly honored (very loose: determinism is the
+  // contract, the rate is a dial).
+  int fires = 0;
+  for (const bool b : first) fires += b ? 1 : 0;
+  EXPECT_GT(fires, 50);
+  EXPECT_LT(fires, 150);
+}
+
+TEST_F(Fault, UnconfiguredSitesNeverFireAndAreNotCounted) {
+  faultinject::configure("other=every:1");
+  EXPECT_FALSE(faultinject::shouldFail("s"));
+  EXPECT_FALSE(faultinject::shouldFail("s"));
+  ASSERT_EQ(faultinject::stats().size(), 1u); // only the configured site
+  EXPECT_EQ(faultinject::stats()[0].site, "other");
+}
+
+TEST_F(Fault, MultiClauseSpecConfiguresEachSiteIndependently) {
+  faultinject::configure("a=every:2;b=once:1;c=rate:1@3");
+  EXPECT_FALSE(faultinject::shouldFail("a"));
+  EXPECT_TRUE(faultinject::shouldFail("a"));
+  EXPECT_TRUE(faultinject::shouldFail("b"));
+  EXPECT_FALSE(faultinject::shouldFail("b"));
+  EXPECT_TRUE(faultinject::shouldFail("c")); // rate 1.0 always fires
+  ASSERT_EQ(faultinject::stats().size(), 3u);
+}
+
+// ---- retry / deadline / outcome plumbing through the Sweep -------------
+
+TEST_F(Fault, TransientCompileFaultIsRetriedWithinBudget) {
+  QuietLog quiet;
+  faultinject::configure("compile=once:1");
+  Sweep::Options opts;
+  opts.jobs = 2;
+  opts.maxRetries = 2;
+  opts.retryBackoffMicros = 1; // keep the test fast
+  Sweep sweep(opts);
+  sweep.add(smallJob("unsafe"));
+  const std::vector<RunRecord>& records = sweep.run(); // retried, succeeds
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_GT(records[0].summary.cycles, 0u);
+  EXPECT_EQ(sweep.counters().retries, 1u);
+  EXPECT_EQ(sweep.counters().failed, 0u);
+  ASSERT_EQ(sweep.outcomes().size(), 1u);
+  EXPECT_TRUE(sweep.outcomes()[0].ok);
+}
+
+TEST_F(Fault, TransientSimFaultRecordsItsSecondAttempt) {
+  QuietLog quiet;
+  faultinject::configure("sim=once:1");
+  Sweep::Options opts;
+  opts.jobs = 2;
+  opts.maxRetries = 1;
+  opts.retryBackoffMicros = 1;
+  Sweep sweep(opts);
+  sweep.add(smallJob("unsafe"));
+  sweep.run();
+  ASSERT_EQ(sweep.outcomes().size(), 1u);
+  EXPECT_TRUE(sweep.outcomes()[0].ok);
+  EXPECT_EQ(sweep.outcomes()[0].attempts, 2); // failed once, then succeeded
+  EXPECT_EQ(sweep.counters().retries, 1u);
+}
+
+TEST_F(Fault, ExhaustedRetryBudgetFailsTheJobWithTransientKind) {
+  QuietLog quiet;
+  faultinject::configure("sim=every:1"); // fires on every attempt
+  Sweep::Options opts;
+  opts.jobs = 2;
+  opts.failPolicy = FailPolicy::KeepGoing;
+  opts.maxRetries = 2;
+  opts.retryBackoffMicros = 1;
+  Sweep sweep(opts);
+  sweep.add(smallJob("unsafe"));
+  sweep.run(); // KeepGoing: must not throw
+  ASSERT_EQ(sweep.outcomes().size(), 1u);
+  EXPECT_FALSE(sweep.outcomes()[0].ok);
+  EXPECT_EQ(sweep.outcomes()[0].errorKind, ErrorKind::Transient);
+  EXPECT_EQ(sweep.outcomes()[0].attempts, 3); // 1 + maxRetries
+  EXPECT_EQ(sweep.counters().retries, 2u);
+  EXPECT_EQ(sweep.counters().failed, 1u);
+}
+
+TEST_F(Fault, DeterministicSimErrorIsNeverRetried) {
+  Sweep::Options opts;
+  opts.jobs = 2;
+  opts.failPolicy = FailPolicy::KeepGoing;
+  opts.maxRetries = 5; // generous budget that must NOT be spent
+  Sweep sweep(opts);
+  JobSpec doomed = smallJob("unsafe");
+  doomed.maxCycles = 10; // deterministic cycle-limit failure
+  sweep.add(doomed);
+  sweep.add(smallJob("levioso-lite"));
+  sweep.run();
+  ASSERT_EQ(sweep.outcomes().size(), 2u);
+  EXPECT_FALSE(sweep.outcomes()[0].ok);
+  EXPECT_EQ(sweep.outcomes()[0].errorKind, ErrorKind::Sim);
+  EXPECT_EQ(sweep.outcomes()[0].attempts, 1); // no retry of determinism
+  EXPECT_EQ(sweep.counters().retries, 0u);
+  EXPECT_TRUE(sweep.outcomes()[1].ok); // the sibling is unaffected
+  EXPECT_GT(sweep.results()[1].summary.cycles, 0u);
+}
+
+TEST_F(Fault, MissedDeadlineIsAPerJobErrorUnderKeepGoing) {
+  Sweep::Options opts;
+  opts.jobs = 2;
+  opts.failPolicy = FailPolicy::KeepGoing;
+  Sweep sweep(opts);
+  JobSpec slow = smallJob("unsafe");
+  slow.deadlineMicros = 1; // every kernel takes far longer than 1us
+  sweep.add(slow);
+  sweep.add(smallJob("levioso-lite"));
+  sweep.run();
+  ASSERT_EQ(sweep.outcomes().size(), 2u);
+  EXPECT_FALSE(sweep.outcomes()[0].ok);
+  EXPECT_EQ(sweep.outcomes()[0].errorKind, ErrorKind::Deadline);
+  EXPECT_EQ(sweep.outcomes()[0].attempts, 1); // deadlines are not retried
+  EXPECT_EQ(sweep.counters().retries, 0u);
+  EXPECT_EQ(sweep.counters().failed, 1u);
+  EXPECT_TRUE(sweep.outcomes()[1].ok);
+}
+
+TEST_F(Fault, MissedDeadlineJobsAreNeverCached) {
+  const std::string dir = freshDir("deadline-cache");
+  ResultCache cache({dir, "salt"});
+  Sweep::Options opts;
+  opts.jobs = 2;
+  opts.cache = &cache;
+  opts.failPolicy = FailPolicy::KeepGoing;
+  Sweep sweep(opts);
+  JobSpec slow = smallJob("unsafe");
+  slow.deadlineMicros = 1;
+  sweep.add(slow);
+  sweep.run();
+  EXPECT_FALSE(sweep.outcomes()[0].ok);
+  // The description ignores the deadline, so a poisoned entry would be
+  // served to an UNbounded run of the same point. There must be none.
+  JobSpec unbounded = smallJob("unsafe");
+  EXPECT_FALSE(cache.lookup(describe(unbounded)).has_value());
+  fs::remove_all(dir);
+}
+
+TEST_F(Fault, FailFastCancelsJobsThatHaveNotStarted) {
+  QuietLog quiet;
+  faultinject::configure("compile=once:1");
+  Sweep::Options opts;
+  opts.jobs = 1; // serial pool: compile order is submission order
+  opts.failPolicy = FailPolicy::FailFast;
+  opts.maxRetries = 0;
+  Sweep sweep(opts);
+  sweep.add(smallJob("unsafe", "mcf_chase"));
+  sweep.add(smallJob("unsafe", "x264_sad"));
+  EXPECT_THROW(sweep.run(), TransientError);
+  // Outcomes are recorded even though run() threw: one transient failure,
+  // and the other point cancelled without ever compiling.
+  ASSERT_EQ(sweep.outcomes().size(), 2u);
+  int transient = 0, cancelled = 0;
+  for (const JobOutcome& o : sweep.outcomes()) {
+    EXPECT_FALSE(o.ok);
+    if (o.errorKind == ErrorKind::Transient) ++transient;
+    if (o.errorKind == ErrorKind::Cancelled) ++cancelled;
+  }
+  EXPECT_EQ(transient, 1);
+  EXPECT_EQ(cancelled, 1);
+}
+
+// ---- cache self-healing -------------------------------------------------
+
+TEST_F(Fault, CorruptEntryIsQuarantinedOnceAndRepopulated) {
+  QuietLog quiet;
+  const std::string dir = freshDir("quarantine");
+  ResultCache cache({dir, "salt"});
+  RunRecord rec;
+  rec.summary.cycles = 77;
+  rec.summary.insts = 88;
+  cache.store("job", rec);
+  ASSERT_TRUE(cache.lookup("job").has_value());
+
+  // Corrupt the (single) entry on disk.
+  std::string entryPath;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    entryPath = entry.path().string();
+    std::ofstream out(entryPath);
+    out << "not a cache entry\n";
+  }
+  ASSERT_FALSE(entryPath.empty());
+
+  // First lookup: miss, quarantined exactly once, evidence preserved.
+  EXPECT_FALSE(cache.lookup("job").has_value());
+  EXPECT_EQ(cache.counters().corruptEntries, 1u);
+  const std::string corruptPath =
+      entryPath.substr(0, entryPath.size() - std::string(".result").size()) +
+      ".corrupt";
+  EXPECT_TRUE(fs::exists(corruptPath));
+  EXPECT_FALSE(fs::exists(entryPath)); // the bad entry is gone
+
+  // Second lookup: a plain cold miss — no re-quarantine, counter steady.
+  EXPECT_FALSE(cache.lookup("job").has_value());
+  EXPECT_EQ(cache.counters().corruptEntries, 1u);
+
+  // The slot is usable again: store repopulates, lookup hits.
+  cache.store("job", rec);
+  const auto healed = cache.lookup("job");
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(healed->summary.cycles, 77u);
+  // clear() sweeps the quarantined evidence too.
+  cache.clear();
+  EXPECT_FALSE(fs::exists(corruptPath));
+  fs::remove_all(dir);
+}
+
+TEST_F(Fault, InjectedCacheFaultsDegradeButNeverFailTheRun) {
+  QuietLog quiet;
+  faultinject::configure("cache.store=every:2;cache.read=every:2");
+  const std::string dir = freshDir("cache-faults");
+  ResultCache cache({dir, "salt"});
+  Sweep::Options opts;
+  opts.jobs = 2;
+  opts.cache = &cache;
+  Sweep sweep(opts);
+  sweep.add(smallJob("unsafe"));
+  sweep.add(smallJob("levioso-lite"));
+  const std::vector<RunRecord>& records = sweep.run(); // FailFast, no throw
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_GT(records[0].summary.cycles, 0u);
+  EXPECT_GT(records[1].summary.cycles, 0u);
+  EXPECT_EQ(sweep.counters().failed, 0u);
+  // Half the stores were eaten and half the reads degraded to misses; both
+  // show up in the counters (and via the manifest in real runs).
+  const ResultCache::Counters c = cache.counters();
+  EXPECT_EQ(c.storeFailures, 1u);
+  EXPECT_EQ(c.hits, 0u);
+  EXPECT_EQ(c.misses, 2u);
+  // The injection bookkeeping saw every arming.
+  bool sawStore = false, sawRead = false;
+  for (const auto& s : faultinject::stats()) {
+    if (s.site == "cache.store") {
+      sawStore = true;
+      EXPECT_EQ(s.arms, 2u);
+      EXPECT_EQ(s.fires, 1u);
+    }
+    if (s.site == "cache.read") {
+      sawRead = true;
+      EXPECT_EQ(s.arms, 2u);
+      EXPECT_EQ(s.fires, 1u);
+    }
+  }
+  EXPECT_TRUE(sawStore);
+  EXPECT_TRUE(sawRead);
+  fs::remove_all(dir);
+}

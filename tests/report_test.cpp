@@ -16,6 +16,7 @@
 #include "runner/report.hpp"
 #include "runner/sweep.hpp"
 #include "support/error.hpp"
+#include "support/faultinject.hpp"
 #include "support/jsonparse.hpp"
 
 namespace fs = std::filesystem;
@@ -287,6 +288,87 @@ TEST(ReportDiff, ManifestDiffSurfacesStoreFailures) {
   EXPECT_TRUE(d.regressions.empty()); // manifests are report-only
   ASSERT_EQ(d.notes.size(), 1u);
   EXPECT_NE(d.notes[0].find("store failures"), std::string::npos);
+}
+
+TEST(ReportDiff, FailedPointsInTheNewReportGateTheDiff) {
+  // Version-3 reports carry "error" objects for failed points
+  // (docs/ROBUSTNESS.md). New-side failures are regressions (they gate);
+  // old-side failures are merely noted. Error entries carry no "cycles",
+  // so they must also be excluded from the overhead math, not crash it.
+  const std::string oldR =
+      R"({"version":3,"counters":{"points":3,"failed":1},"results":[
+          {"kernel":"k","scale":1,"policy":"unsafe","cycles":100,"ok":true},
+          {"kernel":"k","scale":1,"policy":"levioso","cycles":110,"ok":true},
+          {"kernel":"k2","scale":1,"policy":"levioso","ok":false,
+           "error":{"kind":"sim","message":"cycle limit","attempts":1}}]})";
+  const std::string newR =
+      R"({"version":3,"counters":{"points":3,"failed":1},"results":[
+          {"kernel":"k","scale":1,"policy":"unsafe","cycles":100,"ok":true},
+          {"kernel":"k","scale":1,"policy":"levioso","cycles":110,"ok":true},
+          {"kernel":"k","scale":1,"policy":"fence","ok":false,
+           "error":{"kind":"deadline","message":"too slow","attempts":1}}]})";
+  const report::Diff d =
+      report::diff(json::parse(oldR), json::parse(newR), {});
+  ASSERT_EQ(d.regressions.size(), 1u);
+  EXPECT_NE(d.regressions[0].find("k/fence"), std::string::npos);
+  EXPECT_NE(d.regressions[0].find("deadline"), std::string::npos);
+  bool noted = false;
+  for (const std::string& n : d.notes)
+    noted = noted || n.find("k2/levioso") != std::string::npos;
+  EXPECT_TRUE(noted); // the OLD failure is informational only
+}
+
+TEST(ReportDiff, ManifestDiffGatesOnFailedJobsAndNotesQuarantines) {
+  const std::string oldM =
+      R"({"manifestVersion":2,"wallMicros":100,
+          "jobs":{"points":4,"failed":0,"retries":0},
+          "cache":{"hits":1,"misses":2,"collisions":0,"storeFailures":0,
+                   "corruptEntries":0}})";
+  const std::string newM =
+      R"({"manifestVersion":2,"wallMicros":120,
+          "jobs":{"points":4,"failed":2,"retries":1},
+          "cache":{"hits":1,"misses":2,"collisions":0,"storeFailures":0,
+                   "corruptEntries":3}})";
+  const report::Diff d =
+      report::diff(json::parse(oldM), json::parse(newM), {});
+  ASSERT_EQ(d.regressions.size(), 1u);
+  EXPECT_NE(d.regressions[0].find("2 failed jobs"), std::string::npos);
+  bool quarantineNote = false;
+  for (const std::string& n : d.notes)
+    quarantineNote = quarantineNote ||
+                     n.find("quarantined 3 corrupt") != std::string::npos;
+  EXPECT_TRUE(quarantineNote);
+}
+
+TEST(Manifest, FaultBlockAppearsOnlyWhenInjectionIsActive) {
+  // With injection off the manifest must be byte-for-byte free of fault
+  // noise; with it on, per-site arm/fire counters are self-describing.
+  Sweep::Options opts;
+  opts.jobs = 1;
+  Sweep sweep(opts);
+  JobSpec spec;
+  spec.kernel = "x264_sad";
+  spec.policy = "unsafe";
+  sweep.add(spec);
+  sweep.run();
+  {
+    std::ostringstream os;
+    writeManifest(os, makeManifest("report_test", {}, sweep));
+    EXPECT_FALSE(json::parse(os.str()).has("faults"));
+  }
+  faultinject::configure("some.site=every:2");
+  (void)faultinject::shouldFail("some.site");
+  (void)faultinject::shouldFail("some.site");
+  std::ostringstream os;
+  writeManifest(os, makeManifest("report_test", {}, sweep));
+  faultinject::configure("");
+  const JsonValue v = json::parse(os.str());
+  ASSERT_TRUE(v.has("faults"));
+  ASSERT_EQ(v.at("faults").items.size(), 1u);
+  EXPECT_EQ(v.at("faults").items[0].at("site").str, "some.site");
+  EXPECT_EQ(v.at("faults").items[0].at("trigger").str, "every:2");
+  EXPECT_EQ(v.at("faults").items[0].at("arms").number, 2);
+  EXPECT_EQ(v.at("faults").items[0].at("fires").number, 1);
 }
 
 // ---- the CLI -----------------------------------------------------------

@@ -529,6 +529,39 @@ TEST(ResultCache, StoreFailuresAreCountedAndWarnOnce) {
   fs::remove(file);
 }
 
+TEST(ResultCache, ConcurrentMixedTrafficKeepsCounterTotalsExact) {
+  // The counter mutex used to be held across file reads and writes, which
+  // both serialized the I/O and made torn counter updates easy to miss.
+  // Hammer one cache instance from a pool with stores, hitting lookups and
+  // missing lookups, then assert the EXACT totals: every operation must be
+  // counted exactly once even though the I/O now runs outside the lock.
+  const std::string dir = freshDir("hammer");
+  constexpr int kJobs = 64;
+  ResultCache cache({dir, "salt"});
+  ThreadPool pool(8);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < kJobs; ++i)
+    futures.push_back(pool.submit([&cache, i] {
+      RunRecord rec;
+      rec.summary.cycles = static_cast<std::uint64_t>(i + 1);
+      rec.summary.insts = 1;
+      const std::string mine = "job " + std::to_string(i);
+      cache.store(mine, rec);
+      if (!cache.lookup(mine)) // our own entry: must hit
+        throw Error("lost entry " + mine);
+      cache.lookup("absent " + std::to_string(i)); // must miss
+    }));
+  ThreadPool::waitAll(futures);
+  const ResultCache::Counters c = cache.counters();
+  EXPECT_EQ(c.hits, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(c.misses, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(c.hits + c.misses, static_cast<std::uint64_t>(2 * kJobs));
+  EXPECT_EQ(c.storeFailures, 0u);
+  EXPECT_EQ(c.collisions, 0u);
+  EXPECT_EQ(c.corruptEntries, 0u);
+  fs::remove_all(dir);
+}
+
 TEST(Sweep, ManifestCountersComposeAcrossPhases) {
   // End-to-end: the sweep's pool/cache counters land in the manifest with
   // consistent totals (submits == executed == compiles + simulations).
@@ -613,7 +646,7 @@ TEST(Report, SweepReportParsesBackWithTheExpectedSchema) {
   sweep.writeJson(os, /*includeStats=*/true);
 
   const JsonValue report = JsonParser(os.str()).parse();
-  EXPECT_EQ(report.at("version").number, 2);
+  EXPECT_EQ(report.at("version").number, 3);
   EXPECT_EQ(report.at("threads").number, 2);
   EXPECT_EQ(report.at("counters").at("points").number, 2);
   EXPECT_EQ(report.at("counters").at("simulated").number, 2);
@@ -679,6 +712,74 @@ TEST(Report, WarmCacheRerunReproducesMetricsBitIdentically) {
                           "delayCyclesMax", "meanDelay"})
       EXPECT_EQ(ra.at("delay").at(f).number, rb.at("delay").at(f).number)
           << i << " " << f;
+    EXPECT_EQ(ra.at("stats").members.size(), rb.at("stats").members.size());
+    for (const auto& [name, value] : ra.at("stats").members)
+      EXPECT_EQ(value.number, rb.at("stats").at(name).number) << name;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Report, KeepGoingSurvivorsAreCachedAndRerunBitIdentically) {
+  // Satellite of docs/ROBUSTNESS.md: one point fails deterministically
+  // (cycle limit), the siblings still produce results, the report carries
+  // an "error" object for the failed point — and a warm-cache rerun serves
+  // the survivors bit-identically (the cache entry format is unchanged).
+  const std::string dir = freshDir("keepgoing");
+  auto report = [&dir](std::size_t* simulated, std::size_t* cacheHits) {
+    ResultCache cache({dir, "salt"});
+    Sweep::Options opts;
+    opts.jobs = 2;
+    opts.cache = &cache;
+    opts.failPolicy = FailPolicy::KeepGoing;
+    Sweep sweep(opts);
+    sweep.add(smallJob("unsafe"));
+    JobSpec doomed = smallJob("levioso");
+    doomed.maxCycles = 10; // guaranteed cycle-limit SimError
+    sweep.add(doomed);
+    sweep.add(smallJob("levioso-lite"));
+    const std::vector<RunRecord>& records = sweep.run(); // must not throw
+    EXPECT_EQ(records.size(), 3u);
+    if (simulated) *simulated = sweep.counters().simulated;
+    if (cacheHits) *cacheHits = sweep.counters().cacheHits;
+    EXPECT_EQ(sweep.outcomes().size(), 3u);
+    EXPECT_TRUE(sweep.outcomes()[0].ok);
+    EXPECT_FALSE(sweep.outcomes()[1].ok);
+    EXPECT_EQ(sweep.outcomes()[1].errorKind, ErrorKind::Sim);
+    EXPECT_TRUE(sweep.outcomes()[2].ok);
+    std::ostringstream os;
+    sweep.writeJson(os, /*includeStats=*/true);
+    return os.str();
+  };
+
+  std::size_t coldSim = 0, coldHits = 0, warmSim = 0, warmHits = 0;
+  const std::string cold = report(&coldSim, &coldHits);
+  EXPECT_EQ(coldSim, 3u);
+  EXPECT_EQ(coldHits, 0u);
+
+  const JsonValue a = JsonParser(cold).parse();
+  EXPECT_EQ(a.at("counters").at("failed").number, 1);
+  ASSERT_EQ(a.at("results").items.size(), 3u);
+  const JsonValue& bad = a.at("results").items[1];
+  EXPECT_FALSE(bad.at("ok").boolean);
+  EXPECT_EQ(bad.at("error").at("kind").str, "sim");
+  EXPECT_EQ(bad.at("error").at("attempts").number, 1); // SimError: no retry
+  EXPECT_FALSE(bad.at("error").at("message").str.empty());
+  EXPECT_FALSE(bad.has("cycles")); // no fake measurements on failed points
+  EXPECT_TRUE(a.at("results").items[0].at("ok").boolean);
+
+  // Warm rerun: survivors come from the cache, the failed point (never
+  // cached) re-runs and fails again, and survivor metrics are identical.
+  const std::string warm = report(&warmSim, &warmHits);
+  EXPECT_EQ(warmSim, 1u); // only the doomed point re-simulates
+  EXPECT_EQ(warmHits, 2u);
+  const JsonValue b = JsonParser(warm).parse();
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    const JsonValue& ra = a.at("results").items[i];
+    const JsonValue& rb = b.at("results").items[i];
+    EXPECT_TRUE(rb.at("fromCache").boolean) << i;
+    for (const char* f : {"cycles", "insts", "ipc", "wallMicros",
+                          "loadDelayCycles", "execDelayCycles", "mispredicts"})
+      EXPECT_EQ(ra.at(f).number, rb.at(f).number) << i << " " << f;
     EXPECT_EQ(ra.at("stats").members.size(), rb.at("stats").members.size());
     for (const auto& [name, value] : ra.at("stats").members)
       EXPECT_EQ(value.number, rb.at("stats").at(name).number) << name;

@@ -17,6 +17,7 @@
 // summary line, a run manifest (manifest.json, or derived from --json as
 // <stem>.manifest.json) and an optional Chrome trace of host spans
 // (--host-trace). -v / --quiet move the log threshold.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
@@ -46,7 +47,11 @@ namespace {
          "                     [--csv] [--stats] [--no-cache] [--cache-dir "
          "DIR]\n"
          "                     [--manifest FILE] [--no-manifest]\n"
-         "                     [--host-trace FILE] [--quiet] [-v]\n";
+         "                     [--host-trace FILE] [--quiet] [-v]\n"
+         "                     [--keep-going|--fail-fast] [--retries N]\n"
+         "                     [--deadline-ms N]\n"
+         "exit codes: 0 all points ok, 1 partial failure (--keep-going),\n"
+         "            2 bad input, 3 total failure\n";
   std::exit(2);
 }
 
@@ -125,6 +130,9 @@ int main(int argc, char** argv) {
   int jobs = 0;
   bool csv = false, includeStats = false, useCache = true, quiet = false,
        writeManifest = true;
+  bool keepGoing = false;
+  int retries = 2;
+  std::int64_t deadlineMs = 0;
   std::string jsonPath, cacheDir, manifestPath, hostTracePath;
 
   for (int i = 1; i < argc; ++i) {
@@ -165,6 +173,14 @@ int main(int argc, char** argv) {
       useCache = false;
     else if (a == "--no-manifest")
       writeManifest = false;
+    else if (a == "--keep-going")
+      keepGoing = true;
+    else if (a == "--fail-fast")
+      keepGoing = false;
+    else if (a == "--retries")
+      retries = std::max(0, std::atoi(next().c_str()));
+    else if (a == "--deadline-ms")
+      deadlineMs = std::max(0, std::atoi(next().c_str()));
     else if (a == "--quiet") {
       quiet = true;
       log::setThreshold(log::Level::Warn);
@@ -177,6 +193,19 @@ int main(int argc, char** argv) {
   if (kernels.size() == 1 && kernels[0] == "all")
     kernels = workloads::kernelNames();
 
+  // Bad input is diagnosed up front (exit 2) rather than surfacing later as
+  // a per-job compile failure — a typo should not burn a whole sweep.
+  {
+    const std::vector<std::string> known = workloads::kernelNames();
+    for (const std::string& k : kernels)
+      if (std::find(known.begin(), known.end(), k) == known.end()) {
+        std::cerr << "levioso-batch: unknown kernel '" << k << "' (known:";
+        for (const std::string& n : known) std::cerr << ' ' << n;
+        std::cerr << ")\n";
+        return 2;
+      }
+  }
+
   const std::vector<std::string> cmdline(argv + 1, argv + argc);
   try {
     runner::ResultCache cache(
@@ -185,6 +214,9 @@ int main(int argc, char** argv) {
     runner::Sweep::Options opts;
     opts.jobs = jobs;
     opts.cache = useCache ? &cache : nullptr;
+    opts.failPolicy = keepGoing ? runner::FailPolicy::KeepGoing
+                                : runner::FailPolicy::FailFast;
+    opts.maxRetries = retries;
     ProgressLine progress(opts.cache);
     if (!quiet)
       opts.onProgress = [&progress](std::size_t done, std::size_t total) {
@@ -209,6 +241,7 @@ int main(int argc, char** argv) {
                     spec.cfg.fetchWidth = spec.cfg.renameWidth =
                         spec.cfg.issueWidth = spec.cfg.commitWidth = width;
                   if (dram > 0) spec.cfg.mem.memLatency = dram;
+                  spec.deadlineMicros = deadlineMs * 1000;
                   sweep.add(spec);
                 }
     LEV_LOG_INFO("batch", "sweep configured",
@@ -238,12 +271,24 @@ int main(int argc, char** argv) {
       throw;
     }
 
+    const auto& outcomes = sweep.outcomes();
+    const auto pointFailed = [&outcomes](std::size_t i) {
+      return i < outcomes.size() && !outcomes[i].ok;
+    };
     if (!quiet) {
       Table t({"kernel", "scale", "policy", "budget", "rob", "width", "dram",
                "cycles", "insts", "ipc", "cached"});
       for (std::size_t i = 0; i < records.size(); ++i) {
         const runner::JobSpec& s = sweep.specs()[i];
         const runner::RunRecord& r = records[i];
+        if (pointFailed(i)) {
+          t.addRow({s.kernel, std::to_string(s.scale), s.policy,
+                    std::to_string(s.budget), std::to_string(s.cfg.robSize),
+                    std::to_string(s.cfg.issueWidth),
+                    std::to_string(s.cfg.mem.memLatency), "-", "-", "-",
+                    runner::errorKindName(outcomes[i].errorKind)});
+          continue;
+        }
         t.addRow({s.kernel, std::to_string(s.scale), s.policy,
                   std::to_string(s.budget), std::to_string(s.cfg.robSize),
                   std::to_string(s.cfg.issueWidth),
@@ -264,12 +309,27 @@ int main(int argc, char** argv) {
         c.unique == 0 ? 0.0
                       : static_cast<double>(c.cacheHits) /
                             static_cast<double>(c.unique);
+    std::size_t failedPoints = 0;
+    for (std::size_t i = 0; i < records.size(); ++i)
+      if (pointFailed(i)) ++failedPoints;
     std::cout << "# " << c.points << " points, " << c.unique << " unique, "
               << c.cacheHits << " cache hits (" << fmtPct(hitRate)
               << " hit rate), " << c.simulated << " simulated on "
               << sweep.threadCount() << " threads in "
               << fmtF(static_cast<double>(sweep.wallMicros()) / 1e6, 2)
               << "s\n";
+    if (failedPoints > 0) {
+      std::cout << "# " << failedPoints << "/" << records.size()
+                << " points failed";
+      if (c.retries > 0) std::cout << " (" << c.retries << " retries)";
+      std::cout << "\n";
+      for (std::size_t i = 0; i < records.size(); ++i)
+        if (pointFailed(i))
+          std::cout << "# error: " << sweep.specs()[i].kernel << "/"
+                    << sweep.specs()[i].policy << ": "
+                    << runner::errorKindName(outcomes[i].errorKind) << ": "
+                    << outcomes[i].message << "\n";
+    }
 
     if (!jsonPath.empty()) {
       std::ofstream out(jsonPath);
@@ -284,11 +344,19 @@ int main(int argc, char** argv) {
                    {{"path", hostTracePath},
                     {"spans", sweep.hostSpans().size()}});
     }
-    finishManifest("");
-    return 0;
+    // Exit taxonomy (docs/ROBUSTNESS.md): 0 = every point ok, 1 = partial
+    // failure under --keep-going, 3 = nothing usable came out. Bad input
+    // exits 2 before any work starts; a FailFast failure lands in the
+    // catch below (also 3).
+    if (failedPoints == 0) {
+      finishManifest("");
+      return 0;
+    }
+    finishManifest(failedPoints == records.size() ? "failed" : "partial");
+    return failedPoints == records.size() ? 3 : 1;
   } catch (const Error& e) {
     LEV_LOG_ERROR("batch", "run failed", {{"error", e.what()}});
     std::cerr << "levioso-batch: " << e.what() << "\n";
-    return 1;
+    return 3;
   }
 }

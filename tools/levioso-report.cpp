@@ -11,6 +11,10 @@
 // MIPS drop for speed baselines), 0 otherwise. --warn-only downgrades the
 // gate to a warning for noisy metrics (CI uses it for MIPS).
 //
+// Failed points (version-3 "error" entries, docs/ROBUSTNESS.md) in the NEW
+// report always gate: each is listed as a FAILED table row and a
+// regression line, and the exit status is 1 unless --warn-only.
+//
 //   levioso-report --diff old.json new.json --max-regress 2
 //   levioso-report --diff bench/baselines/BENCH_speed.json BENCH_speed.json \
 //                  --max-regress 30 --warn-only
@@ -99,10 +103,14 @@ int main(int argc, char** argv) {
                   << "%\n";
       return 0;
     }
-    for (const std::string& r : d.regressions)
+    for (const std::string& r : d.regressions) {
       LEV_LOG_WARN("report", "regression", {{"what", r}});
-    std::cout << "# " << d.regressions.size() << " regression(s) past "
-              << opts.maxRegressPct << "%"
+      std::cout << "# regression: " << r << "\n";
+    }
+    std::cout << "# " << d.regressions.size() << " regression(s)"
+              << (opts.maxRegressPct >= 0
+                      ? " past " + std::to_string(opts.maxRegressPct) + "%"
+                      : std::string())
               << (warnOnly ? " [warn-only]" : "") << "\n";
     return warnOnly ? 0 : 1;
   } catch (const Error& e) {
