@@ -1,0 +1,107 @@
+#include "runner/execute.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "sim/simulation.hpp"
+#include "support/error.hpp"
+#include "support/faultinject.hpp"
+#include "workloads/kernels.hpp"
+
+namespace lev::runner {
+
+backend::CompileResult compileJob(const JobSpec& spec) {
+  if (faultinject::shouldFail("compile"))
+    throw TransientError("injected fault (LEVIOSO_FAULTS compile) building " +
+                         spec.kernel);
+  ir::Module mod = workloads::buildKernel(spec.kernel, spec.scale);
+  backend::CompileOptions opts;
+  opts.annotationBudget = spec.budget;
+  opts.depOptions.propagateThroughMemory = spec.memoryProp;
+  return backend::compile(mod, opts);
+}
+
+RunRecord simulateJob(const isa::Program& prog, const JobSpec& spec) {
+  if (faultinject::shouldFail("sim"))
+    throw TransientError("injected fault (LEVIOSO_FAULTS sim) running " +
+                         spec.kernel);
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Simulation s(prog, spec.cfg, spec.policy);
+  const uarch::RunExit exit = s.run(spec.maxCycles, spec.deadlineMicros);
+  if (exit == uarch::RunExit::Deadline)
+    throw DeadlineError(spec.kernel + " under policy '" + spec.policy +
+                        "' exceeded its " +
+                        std::to_string(spec.deadlineMicros) + "us deadline");
+  if (exit != uarch::RunExit::Halted)
+    throw SimError(spec.kernel + " under policy '" + spec.policy +
+                   "' hit the cycle limit");
+  RunRecord rec;
+  rec.wallMicros = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  rec.summary.policy = spec.policy;
+  rec.summary.cycles = s.core().cycle();
+  rec.summary.insts = s.core().committedInsts();
+  rec.summary.ipc = rec.summary.cycles == 0
+                        ? 0.0
+                        : static_cast<double>(rec.summary.insts) /
+                              static_cast<double>(rec.summary.cycles);
+  rec.summary.loadDelayCycles = s.stats().get("policy.loadDelayCycles");
+  rec.summary.execDelayCycles = s.stats().get("policy.execDelayCycles");
+  rec.summary.mispredicts = s.stats().get("bp.mispredicts");
+  rec.stats = s.stats().all();
+  return rec;
+}
+
+JobOutcome classifyFailure(const std::exception_ptr& ep, bool compilePhase,
+                           int attempts, std::int64_t elapsedMicros) {
+  JobOutcome o;
+  o.ok = false;
+  o.attempts = attempts;
+  o.gaveUpAfterMicros = elapsedMicros;
+  try {
+    std::rethrow_exception(ep);
+  } catch (const DeadlineError& e) {
+    o.errorKind = ErrorKind::Deadline;
+    o.message = e.what();
+  } catch (const TransientError& e) {
+    o.errorKind = ErrorKind::Transient;
+    o.message = e.what();
+  } catch (const SimError& e) {
+    o.errorKind = ErrorKind::Sim;
+    o.message = e.what();
+  } catch (const std::exception& e) {
+    o.errorKind = compilePhase ? ErrorKind::Compile : ErrorKind::Other;
+    o.message = e.what();
+  } catch (...) {
+    o.errorKind = compilePhase ? ErrorKind::Compile : ErrorKind::Other;
+    o.message = "unknown exception";
+  }
+  if (compilePhase && o.errorKind == ErrorKind::Other)
+    o.errorKind = ErrorKind::Compile;
+  return o;
+}
+
+std::size_t runWithRetry(const std::function<void()>& work, int maxRetries,
+                         std::int64_t backoffMicros, std::exception_ptr& err,
+                         int& attempts) {
+  std::size_t retries = 0;
+  for (attempts = 1;; ++attempts) {
+    try {
+      work();
+      err = nullptr;
+      return retries;
+    } catch (const TransientError&) {
+      err = std::current_exception();
+      if (attempts > maxRetries) return retries;
+      ++retries;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(backoffMicros << (attempts - 1)));
+    } catch (...) {
+      err = std::current_exception();
+      return retries;
+    }
+  }
+}
+
+} // namespace lev::runner

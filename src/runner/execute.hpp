@@ -1,0 +1,44 @@
+// The single-job execution path shared by the in-process Sweep and the
+// levioso-worker processes of the serve subsystem (docs/SERVE.md): compile
+// a JobSpec's kernel, run its simulation, classify failures into
+// JobOutcomes and retry transient ones. Factored out of sweep.cpp so a
+// remote worker runs EXACTLY the code path a local sweep runs — byte-
+// identical results between the two is the serve subsystem's core
+// contract.
+//
+// Fault-injection sites (docs/ROBUSTNESS.md): "compile" and "sim" arm once
+// per attempt, exactly as they did inside the Sweep.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+
+#include "backend/compiler.hpp"
+#include "runner/job.hpp"
+
+namespace lev::runner {
+
+/// Build a spec's kernel (fault site: "compile"). Throws on failure.
+backend::CompileResult compileJob(const JobSpec& spec);
+
+/// Run one simulation to completion (fault site: "sim"). Fills the record
+/// including wallMicros; throws SimError / DeadlineError / TransientError.
+RunRecord simulateJob(const isa::Program& prog, const JobSpec& spec);
+
+/// Turn a captured failure into a JobOutcome. `compilePhase` folds
+/// non-transient compile failures into ErrorKind::Compile; the simulate
+/// phase distinguishes deadline / deterministic-sim / transient / other.
+JobOutcome classifyFailure(const std::exception_ptr& ep, bool compilePhase,
+                           int attempts, std::int64_t elapsedMicros);
+
+/// Run `work` up to 1 + maxRetries times with exponential backoff
+/// (backoffMicros << (k-1)) between attempts; only TransientError earns a
+/// retry. Returns the number of retries performed; on final failure `err`
+/// holds the last exception (nullptr on success), `attempts` the attempt
+/// count that settled the outcome.
+std::size_t runWithRetry(const std::function<void()>& work, int maxRetries,
+                         std::int64_t backoffMicros, std::exception_ptr& err,
+                         int& attempts);
+
+} // namespace lev::runner

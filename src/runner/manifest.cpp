@@ -69,6 +69,19 @@ void writeManifest(std::ostream& os, const Manifest& m) {
     w.field("corruptEntries", m.cache->counters.corruptEntries);
     w.endObject();
   }
+  if (m.serve) {
+    w.key("serve").beginObject();
+    w.field("endpoint", m.serve->endpoint);
+    w.field("workersSeen", m.serve->workersSeen);
+    w.field("redispatches", m.serve->redispatches);
+    w.key("remoteCache").beginObject();
+    w.field("hits", m.serve->remoteCacheHits);
+    w.field("misses", m.serve->remoteCacheMisses);
+    w.field("puts", m.serve->remoteCachePuts);
+    w.field("rejected", m.serve->remoteCacheRejected);
+    w.endObject();
+    w.endObject();
+  }
   if (!m.faults.empty()) {
     w.key("faults").beginArray();
     for (const faultinject::SiteStats& f : m.faults) {

@@ -21,7 +21,10 @@
 
 namespace lev::runner {
 
-inline constexpr int kManifestVersion = 2;
+/// Version 3 added the optional "serve" section (distributed runs,
+/// docs/SERVE.md); absent for local runs, so v2 consumers reading v3
+/// local manifests only see the version number change.
+inline constexpr int kManifestVersion = 3;
 
 struct Manifest {
   std::string tool;              ///< producing binary ("levioso-batch", ...)
@@ -39,6 +42,20 @@ struct Manifest {
     ResultCache::Counters counters;
   };
   std::optional<CacheInfo> cache;
+
+  /// Distributed-run section (docs/SERVE.md): present only when the run
+  /// went through `levioso-batch --connect`. Counts are as the daemon
+  /// reported them at end of run.
+  struct ServeInfo {
+    std::string endpoint;
+    std::uint64_t workersSeen = 0;
+    std::uint64_t redispatches = 0;    ///< re-leases of this run's jobs
+    std::uint64_t remoteCacheHits = 0; ///< remote-tier lookups by workers
+    std::uint64_t remoteCacheMisses = 0;
+    std::uint64_t remoteCachePuts = 0;
+    std::uint64_t remoteCacheRejected = 0; ///< refused by admission control
+  };
+  std::optional<ServeInfo> serve;
 
   /// Per-job phase timings (compile/simulate spans). For non-sweep tools
   /// (micro_speed) these can be hand-built — one span per measured unit.

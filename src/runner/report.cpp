@@ -197,6 +197,11 @@ Diff diffManifest(const JsonValue& oldDoc, const JsonValue& newDoc) {
       {"cache.collisions", {"cache", "collisions"}},
       {"cache.storeFailures", {"cache", "storeFailures"}},
       {"cache.corruptEntries", {"cache", "corruptEntries"}},
+      {"serve.workersSeen", {"serve", "workersSeen"}},
+      {"serve.redispatches", {"serve", "redispatches"}},
+      {"serve.remoteCache.hits", {"serve", "remoteCache", "hits"}},
+      {"serve.remoteCache.misses", {"serve", "remoteCache", "misses"}},
+      {"serve.remoteCache.rejected", {"serve", "remoteCache", "rejected"}},
   };
   for (const auto& m : kMetrics) {
     const double oldV = numberAt(oldDoc, m.path);
@@ -216,6 +221,10 @@ Diff diffManifest(const JsonValue& oldDoc, const JsonValue& newDoc) {
   if (!std::isnan(corrupt) && corrupt > 0)
     d.notes.push_back("new run quarantined " + fmtF(corrupt, 0) +
                       " corrupt cache entries (kept as .corrupt files)");
+  const double redispatches = numberAt(newDoc, {"serve", "redispatches"});
+  if (!std::isnan(redispatches) && redispatches > 0)
+    d.notes.push_back("new run re-dispatched " + fmtF(redispatches, 0) +
+                      " leased jobs after worker loss (docs/SERVE.md)");
   const double jobFails = numberAt(newDoc, {"jobs", "failed"});
   if (!std::isnan(jobFails) && jobFails > 0)
     d.regressions.push_back("new run had " + fmtF(jobFails, 0) +

@@ -45,49 +45,14 @@ enum class ReadOutcome {
   Hit,
 };
 
-/// Parse one cache entry into `rec`. Pure function of the file contents;
-/// runs with no lock held.
-ReadOutcome readEntry(const std::string& path, const std::string& jobDescription,
-                      RunRecord& rec) {
-  std::ifstream in(path);
-  if (!in) return ReadOutcome::NoFile;
-  std::string line;
-  if (!std::getline(in, line) || line != kMagic) return ReadOutcome::Corrupt;
-  if (!std::getline(in, line) || line != "key " + jobDescription)
-    return ReadOutcome::Foreign;
-  rec.fromCache = true;
-  bool sawCycles = false;
-  while (std::getline(in, line)) {
-    std::istringstream ls(line);
-    std::string field, name;
-    std::int64_t value = 0;
-    ls >> field;
-    if (field == "stat") {
-      ls >> name >> value;
-      if (!ls.fail()) rec.stats[name] = value;
-      continue;
-    }
-    ls >> value;
-    if (ls.fail()) continue;
-    if (field == "cycles") {
-      rec.summary.cycles = static_cast<std::uint64_t>(value);
-      sawCycles = true;
-    } else if (field == "insts") {
-      rec.summary.insts = static_cast<std::uint64_t>(value);
-    } else if (field == "loadDelayCycles") {
-      rec.summary.loadDelayCycles = value;
-    } else if (field == "execDelayCycles") {
-      rec.summary.execDelayCycles = value;
-    } else if (field == "mispredicts") {
-      rec.summary.mispredicts = value;
-    } else if (field == "wallMicros") {
-      rec.wallMicros = value;
-    }
-  }
-  if (!sawCycles || rec.summary.cycles == 0) return ReadOutcome::Corrupt;
-  rec.summary.ipc = static_cast<double>(rec.summary.insts) /
-                    static_cast<double>(rec.summary.cycles);
-  return ReadOutcome::Hit;
+/// Slurp a file; false when it cannot be opened (a cold miss).
+bool readFile(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
 }
 
 } // namespace
@@ -126,19 +91,104 @@ bool ResultCache::quarantine(const std::string& path) {
   return !ec;
 }
 
+ResultCache::EntryCheck ResultCache::checkEntry(
+    const std::string& entryText, const std::string& jobDescription,
+    RunRecord& record) {
+  std::istringstream in(entryText);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return EntryCheck::Corrupt;
+  if (!std::getline(in, line) || line != "key " + jobDescription)
+    return EntryCheck::Foreign;
+  record.fromCache = true;
+  bool sawCycles = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string field, name;
+    std::int64_t value = 0;
+    ls >> field;
+    if (field == "stat") {
+      ls >> name >> value;
+      if (!ls.fail()) record.stats[name] = value;
+      continue;
+    }
+    ls >> value;
+    if (ls.fail()) continue;
+    if (field == "cycles") {
+      record.summary.cycles = static_cast<std::uint64_t>(value);
+      sawCycles = true;
+    } else if (field == "insts") {
+      record.summary.insts = static_cast<std::uint64_t>(value);
+    } else if (field == "loadDelayCycles") {
+      record.summary.loadDelayCycles = value;
+    } else if (field == "execDelayCycles") {
+      record.summary.execDelayCycles = value;
+    } else if (field == "mispredicts") {
+      record.summary.mispredicts = value;
+    } else if (field == "wallMicros") {
+      record.wallMicros = value;
+    }
+  }
+  if (!sawCycles || record.summary.cycles == 0) return EntryCheck::Corrupt;
+  record.summary.ipc = static_cast<double>(record.summary.insts) /
+                       static_cast<double>(record.summary.cycles);
+  return EntryCheck::Ok;
+}
+
+std::string ResultCache::formatEntry(const std::string& jobDescription,
+                                     const RunRecord& record) {
+  std::ostringstream payload;
+  payload << kMagic << "\n";
+  payload << "key " << jobDescription << "\n";
+  payload << "cycles " << record.summary.cycles << "\n";
+  payload << "insts " << record.summary.insts << "\n";
+  payload << "loadDelayCycles " << record.summary.loadDelayCycles << "\n";
+  payload << "execDelayCycles " << record.summary.execDelayCycles << "\n";
+  payload << "mispredicts " << record.summary.mispredicts << "\n";
+  payload << "wallMicros " << record.wallMicros << "\n";
+  for (const auto& [name, value] : record.stats)
+    payload << "stat " << name << " " << value << "\n";
+  return payload.str();
+}
+
 std::optional<RunRecord> ResultCache::lookup(
     const std::string& jobDescription) {
-  const std::string path = pathOf(keyOf(jobDescription));
+  RunRecord rec;
+  std::string text;
+  if (!readValidated(keyOf(jobDescription), jobDescription, text, rec))
+    return std::nullopt;
+  return rec;
+}
+
+std::optional<std::string> ResultCache::readByHash(
+    std::uint64_t key, const std::string& jobDescription) {
+  RunRecord rec;
+  std::string text;
+  if (!readValidated(key, jobDescription, text, rec)) return std::nullopt;
+  return text;
+}
+
+/// The shared validated-read path behind lookup() and readByHash():
+/// counters, quarantine and the "cache.read" fault site all live here.
+bool ResultCache::readValidated(std::uint64_t key,
+                                const std::string& jobDescription,
+                                std::string& text, RunRecord& rec) {
+  const std::string path = pathOf(key);
   if (faultinject::shouldFail("cache.read")) {
     // An injected read fault behaves like a transiently unreadable file:
     // the lookup degrades to a miss and the sweep resimulates the point.
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.misses;
-    return std::nullopt;
+    return false;
   }
 
-  RunRecord rec;
-  const ReadOutcome outcome = readEntry(path, jobDescription, rec);
+  ReadOutcome outcome = ReadOutcome::NoFile;
+  if (readFile(path, text)) {
+    switch (checkEntry(text, jobDescription, rec)) {
+    case EntryCheck::Ok: outcome = ReadOutcome::Hit; break;
+    case EntryCheck::Corrupt: outcome = ReadOutcome::Corrupt; break;
+    case EntryCheck::Foreign: outcome = ReadOutcome::Foreign; break;
+    }
+  }
   bool quarantined = false;
   if (outcome == ReadOutcome::Corrupt || outcome == ReadOutcome::Foreign)
     quarantined = quarantine(path);
@@ -178,59 +228,77 @@ std::optional<RunRecord> ResultCache::lookup(
                   {{"file", path}});
   }
 
-  if (outcome != ReadOutcome::Hit) return std::nullopt;
-  return rec;
+  return outcome == ReadOutcome::Hit;
 }
 
 void ResultCache::store(const std::string& jobDescription,
                         const RunRecord& record) {
+  // Format the whole entry up front — the write below is one streamed blob
+  // and the cache mutex is never held across any of this I/O. The local
+  // producer is trusted, so no admission re-validation on this path.
+  writeRaw(keyOf(jobDescription), formatEntry(jobDescription, record));
+}
+
+bool ResultCache::storeByHash(std::uint64_t key,
+                              const std::string& jobDescription,
+                              const std::string& entryText) {
+  // Admission control for entries arriving from OUTSIDE this process (the
+  // remote tier): the same validation the self-healing read path applies,
+  // plus a key/description consistency check, runs before a single byte
+  // lands in the directory.
+  if (key != keyOf(jobDescription)) {
+    LEV_LOG_DEBUG("cache", "raw store rejected: key does not match "
+                           "description under this salt",
+                  {{"key", hashHex(key)}, {"salt", opts_.salt}});
+    return false;
+  }
+  RunRecord rec;
+  if (checkEntry(entryText, jobDescription, rec) != EntryCheck::Ok) {
+    LEV_LOG_DEBUG("cache", "raw store rejected: entry failed validation",
+                  {{"key", hashHex(key)}});
+    return false;
+  }
+  return writeRaw(key, entryText);
+}
+
+/// The shared atomic write path behind store() and storeByHash().
+/// Fault-injection site: "cache.store" (counted as a store failure).
+bool ResultCache::writeRaw(std::uint64_t key, const std::string& entryText) {
   if (faultinject::shouldFail("cache.store")) {
     noteStoreFailure("injected fault (LEVIOSO_FAULTS cache.store)");
-    return;
+    return false;
   }
-
-  // Format the whole entry up front — the write below is one streamed blob
-  // and the cache mutex is never held across any of this I/O.
-  std::ostringstream payload;
-  payload << kMagic << "\n";
-  payload << "key " << jobDescription << "\n";
-  payload << "cycles " << record.summary.cycles << "\n";
-  payload << "insts " << record.summary.insts << "\n";
-  payload << "loadDelayCycles " << record.summary.loadDelayCycles << "\n";
-  payload << "execDelayCycles " << record.summary.execDelayCycles << "\n";
-  payload << "mispredicts " << record.summary.mispredicts << "\n";
-  payload << "wallMicros " << record.wallMicros << "\n";
-  for (const auto& [name, value] : record.stats)
-    payload << "stat " << name << " " << value << "\n";
 
   std::error_code ec;
   fs::create_directories(opts_.dir, ec);
   if (ec) {
     noteStoreFailure("cannot create cache dir " + opts_.dir + ": " +
                      ec.message());
-    return;
+    return false;
   }
-  const std::string path = pathOf(keyOf(jobDescription));
+  const std::string path = pathOf(key);
   const std::string tmp = path + uniqueTmpSuffix();
   {
-    std::ofstream out(tmp);
+    std::ofstream out(tmp, std::ios::binary);
     if (!out) {
       noteStoreFailure("cannot open temp file " + tmp);
-      return;
+      return false;
     }
-    out << payload.str();
+    out << entryText;
     if (!out.good()) {
       out.close();
       fs::remove(tmp, ec);
       noteStoreFailure("short write to " + tmp + " (disk full?)");
-      return;
+      return false;
     }
   }
   fs::rename(tmp, path, ec);
   if (ec) {
     noteStoreFailure("cannot rename " + tmp + ": " + ec.message());
     fs::remove(tmp, ec);
+    return false;
   }
+  return true;
 }
 
 ResultCache::Counters ResultCache::counters() const {

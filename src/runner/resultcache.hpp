@@ -52,7 +52,50 @@ public:
   /// Fetch a stored result; nullopt on miss, salt mismatch, or a corrupt /
   /// colliding entry (which is also quarantined — see the header comment).
   /// Thread-safe. Fault-injection site: "cache.read" (degrades to a miss).
+  /// Routed through readByHash(), so local lookups and the remote tier
+  /// share one validation + self-healing path.
   std::optional<RunRecord> lookup(const std::string& jobDescription);
+
+  // -- raw-entry API (the remote cache tier, docs/SERVE.md) ---------------
+  // Entries move between cache tiers as opaque text blobs in exactly the
+  // on-disk format, so a byte stored remotely is a byte any local cache
+  // can serve. The format, kCodeVersionSalt and the embedded key line are
+  // ONE contract: an entry is only meaningful under the salt that produced
+  // its key, which is why every raw read/store revalidates the description
+  // instead of trusting the file name (docs/RUNNER.md).
+
+  /// How a raw entry checks out against the description it claims to be
+  /// for: Ok (well-formed, matching key line), Corrupt (truncated, wrong
+  /// magic, no cycle count), or Foreign (well-formed but a different job's
+  /// entry — FNV alias or foreign salt).
+  enum class EntryCheck { Ok, Corrupt, Foreign };
+
+  /// Serialize a record into the entry format (pure function; what store()
+  /// writes and what the wire protocol ships).
+  static std::string formatEntry(const std::string& jobDescription,
+                                 const RunRecord& record);
+
+  /// Validate + parse a raw entry; `record` is filled (fromCache = true,
+  /// ipc recomputed) only when the result is Ok. Pure function.
+  static EntryCheck checkEntry(const std::string& entryText,
+                               const std::string& jobDescription,
+                               RunRecord& record);
+
+  /// Raw validated read: the entry bytes stored under `key`, checked
+  /// against `jobDescription`. Counters, quarantine and the "cache.read"
+  /// fault site behave exactly as in lookup() (this IS lookup's read
+  /// path). nullopt on miss/corrupt/foreign.
+  std::optional<std::string> readByHash(std::uint64_t key,
+                                        const std::string& jobDescription);
+
+  /// Raw validated store (remote-tier admission control): the entry must
+  /// check out Ok for `jobDescription` and `key` must equal
+  /// keyOf(jobDescription), otherwise nothing is written and false is
+  /// returned — a remote peer can never plant a corrupt or mis-keyed
+  /// entry. I/O failures are counted like store()'s. Fault-injection
+  /// site: "cache.store".
+  bool storeByHash(std::uint64_t key, const std::string& jobDescription,
+                   const std::string& entryText);
 
   /// Persist a result. Failures to write (read-only dir, disk full) never
   /// fail the run — the cache is an accelerator, never a correctness input
@@ -91,6 +134,11 @@ private:
   void noteStoreFailure(const std::string& why); ///< takes mutex_ itself
   /// Rename `path` to its `.corrupt` sibling; true when THIS call moved it.
   bool quarantine(const std::string& path);
+  /// Shared validated-read path (counters + quarantine + fault site).
+  bool readValidated(std::uint64_t key, const std::string& jobDescription,
+                     std::string& text, RunRecord& rec);
+  /// Shared atomic write path (tmp + rename; counted failures).
+  bool writeRaw(std::uint64_t key, const std::string& entryText);
 
   Options opts_;
   mutable std::mutex mutex_; ///< guards counters_ only, never file I/O

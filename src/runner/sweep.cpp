@@ -8,90 +8,14 @@
 #include <thread>
 
 #include "backend/compiler.hpp"
+#include "runner/execute.hpp"
 #include "support/error.hpp"
-#include "support/faultinject.hpp"
 #include "support/json.hpp"
 #include "support/log.hpp"
-#include "workloads/kernels.hpp"
 
 namespace lev::runner {
 
 namespace {
-
-RunRecord simulate(const isa::Program& prog, const JobSpec& spec) {
-  if (faultinject::shouldFail("sim"))
-    throw TransientError("injected fault (LEVIOSO_FAULTS sim) running " +
-                         spec.kernel);
-  const auto t0 = std::chrono::steady_clock::now();
-  sim::Simulation s(prog, spec.cfg, spec.policy);
-  const uarch::RunExit exit = s.run(spec.maxCycles, spec.deadlineMicros);
-  if (exit == uarch::RunExit::Deadline)
-    throw DeadlineError(spec.kernel + " under policy '" + spec.policy +
-                        "' exceeded its " +
-                        std::to_string(spec.deadlineMicros) + "us deadline");
-  if (exit != uarch::RunExit::Halted)
-    throw SimError(spec.kernel + " under policy '" + spec.policy +
-                   "' hit the cycle limit");
-  RunRecord rec;
-  rec.wallMicros = std::chrono::duration_cast<std::chrono::microseconds>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count();
-  rec.summary.policy = spec.policy;
-  rec.summary.cycles = s.core().cycle();
-  rec.summary.insts = s.core().committedInsts();
-  rec.summary.ipc = rec.summary.cycles == 0
-                        ? 0.0
-                        : static_cast<double>(rec.summary.insts) /
-                              static_cast<double>(rec.summary.cycles);
-  rec.summary.loadDelayCycles = s.stats().get("policy.loadDelayCycles");
-  rec.summary.execDelayCycles = s.stats().get("policy.execDelayCycles");
-  rec.summary.mispredicts = s.stats().get("bp.mispredicts");
-  rec.stats = s.stats().all();
-  return rec;
-}
-
-backend::CompileResult compileSpec(const JobSpec& spec) {
-  if (faultinject::shouldFail("compile"))
-    throw TransientError("injected fault (LEVIOSO_FAULTS compile) building " +
-                         spec.kernel);
-  ir::Module mod = workloads::buildKernel(spec.kernel, spec.scale);
-  backend::CompileOptions opts;
-  opts.annotationBudget = spec.budget;
-  opts.depOptions.propagateThroughMemory = spec.memoryProp;
-  return backend::compile(mod, opts);
-}
-
-/// Turn a captured failure into a JobOutcome. `compilePhase` folds
-/// non-transient compile failures into ErrorKind::Compile; the simulate
-/// phase distinguishes deadline / deterministic-sim / transient / other.
-JobOutcome classifyFailure(const std::exception_ptr& ep, bool compilePhase,
-                           int attempts, std::int64_t elapsedMicros) {
-  JobOutcome o;
-  o.ok = false;
-  o.attempts = attempts;
-  o.gaveUpAfterMicros = elapsedMicros;
-  try {
-    std::rethrow_exception(ep);
-  } catch (const DeadlineError& e) {
-    o.errorKind = ErrorKind::Deadline;
-    o.message = e.what();
-  } catch (const TransientError& e) {
-    o.errorKind = ErrorKind::Transient;
-    o.message = e.what();
-  } catch (const SimError& e) {
-    o.errorKind = ErrorKind::Sim;
-    o.message = e.what();
-  } catch (const std::exception& e) {
-    o.errorKind = compilePhase ? ErrorKind::Compile : ErrorKind::Other;
-    o.message = e.what();
-  } catch (...) {
-    o.errorKind = compilePhase ? ErrorKind::Compile : ErrorKind::Other;
-    o.message = "unknown exception";
-  }
-  if (compilePhase && o.errorKind == ErrorKind::Other)
-    o.errorKind = ErrorKind::Compile;
-  return o;
-}
 
 JobOutcome cancelledOutcome() {
   JobOutcome o;
@@ -185,33 +109,11 @@ const std::vector<RunRecord>& Sweep::run() {
 
   // Shared failure machinery for this run() call. `cancel` flips once under
   // FailFast so jobs that have not started yet skip their work; `retries`
-  // counts backoff sleeps from all workers.
+  // counts backoff sleeps from all workers. Retry/backoff semantics live in
+  // runner::runWithRetry, shared with the serve workers.
   const bool failFast = opts_.failPolicy == FailPolicy::FailFast;
   std::atomic<bool> cancel{false};
   std::atomic<std::size_t> retries{0};
-  // Run `work` up to 1 + maxRetries times, backing off exponentially
-  // between attempts; only TransientError earns a retry. On final failure
-  // `err` holds the last exception.
-  const auto attemptWithRetry = [this, &retries](auto&& work,
-                                                 std::exception_ptr& err,
-                                                 int& attempts) {
-    for (attempts = 1;; ++attempts) {
-      try {
-        work();
-        err = nullptr;
-        return;
-      } catch (const TransientError&) {
-        err = std::current_exception();
-        if (attempts > opts_.maxRetries) return;
-        retries.fetch_add(1, std::memory_order_relaxed);
-        std::this_thread::sleep_for(std::chrono::microseconds(
-            opts_.retryBackoffMicros << (attempts - 1)));
-      } catch (...) {
-        err = std::current_exception();
-        return;
-      }
-    }
-  };
 
   // Progress + span bookkeeping for this run() call. Spans are recorded
   // into pre-sized per-phase vectors (each job owns one slot, so no lock),
@@ -243,8 +145,7 @@ const std::vector<RunRecord>& Sweep::run() {
       span->phase = "compile";
       span->queuedMicros = sinceEpochMicros();
       futures.push_back(pool_.submit([this, out, span, failFast, &cancel,
-                                      &compilesRun, &attemptWithRetry,
-                                      &noteDone] {
+                                      &compilesRun, &retries, &noteDone] {
         span->worker = ThreadPool::currentWorkerIndex();
         span->startMicros = sinceEpochMicros();
         if (cancel.load(std::memory_order_relaxed)) {
@@ -252,12 +153,16 @@ const std::vector<RunRecord>& Sweep::run() {
         } else {
           compilesRun.fetch_add(1, std::memory_order_relaxed);
           const auto t0 = sinceEpochMicros();
-          attemptWithRetry(
-              [out] {
-                out->result = std::make_shared<const backend::CompileResult>(
-                    compileSpec(*out->spec));
-              },
-              out->error, out->attempts);
+          retries.fetch_add(
+              runWithRetry(
+                  [out] {
+                    out->result =
+                        std::make_shared<const backend::CompileResult>(
+                            compileJob(*out->spec));
+                  },
+                  opts_.maxRetries, opts_.retryBackoffMicros, out->error,
+                  out->attempts),
+              std::memory_order_relaxed);
           out->elapsedMicros = sinceEpochMicros() - t0;
           if (out->error && failFast)
             cancel.store(true, std::memory_order_relaxed);
@@ -293,7 +198,7 @@ const std::vector<RunRecord>& Sweep::run() {
       span->queuedMicros = sinceEpochMicros();
       futures.push_back(pool_.submit([this, spec, compiled, out, outcome,
                                       err, desc, cache, span, failFast,
-                                      &cancel, &simsRun, &attemptWithRetry,
+                                      &cancel, &simsRun, &retries,
                                       &noteDone] {
         span->worker = ThreadPool::currentWorkerIndex();
         span->startMicros = sinceEpochMicros();
@@ -312,9 +217,11 @@ const std::vector<RunRecord>& Sweep::run() {
           const auto t0 = sinceEpochMicros();
           std::exception_ptr e;
           int attempts = 0;
-          attemptWithRetry([&] { *out = simulate(compiled->result->program,
-                                                 *spec); },
-                           e, attempts);
+          retries.fetch_add(
+              runWithRetry(
+                  [&] { *out = simulateJob(compiled->result->program, *spec); },
+                  opts_.maxRetries, opts_.retryBackoffMicros, e, attempts),
+              std::memory_order_relaxed);
           if (e) {
             *outcome = classifyFailure(e, /*compilePhase=*/false, attempts,
                                        sinceEpochMicros() - t0);
@@ -384,24 +291,34 @@ void Sweep::writeHostTrace(std::ostream& os) const {
 }
 
 void Sweep::writeJson(std::ostream& os, bool includeStats) const {
+  writeReportJson(os, specs_, descriptions_, results_, outcomes_, counters_,
+                  pool_.size(), includeStats);
+}
+
+void writeReportJson(std::ostream& os, const std::vector<JobSpec>& specs,
+                     const std::vector<std::string>& descriptions,
+                     const std::vector<RunRecord>& results,
+                     const std::vector<JobOutcome>& outcomes,
+                     const Sweep::Counters& counters, int threads,
+                     bool includeStats) {
   JsonWriter w(os);
   w.beginObject();
   w.field("version", 3);
-  w.field("threads", pool_.size());
+  w.field("threads", threads);
   w.key("counters").beginObject();
-  w.field("points", counters_.points);
-  w.field("unique", counters_.unique);
-  w.field("cacheHits", counters_.cacheHits);
-  w.field("compiles", counters_.compiles);
-  w.field("simulated", counters_.simulated);
-  w.field("failed", counters_.failed);
-  w.field("retries", counters_.retries);
+  w.field("points", counters.points);
+  w.field("unique", counters.unique);
+  w.field("cacheHits", counters.cacheHits);
+  w.field("compiles", counters.compiles);
+  w.field("simulated", counters.simulated);
+  w.field("failed", counters.failed);
+  w.field("retries", counters.retries);
   w.endObject();
   w.key("results").beginArray();
-  for (std::size_t i = 0; i < results_.size(); ++i) {
-    const JobSpec& spec = specs_[i];
-    const RunRecord& rec = results_[i];
-    const bool failed = i < outcomes_.size() && !outcomes_[i].ok;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JobSpec& spec = specs[i];
+    const RunRecord& rec = results[i];
+    const bool failed = i < outcomes.size() && !outcomes[i].ok;
     w.beginObject();
     w.field("kernel", spec.kernel);
     w.field("scale", spec.scale);
@@ -416,13 +333,13 @@ void Sweep::writeJson(std::ostream& os, bool includeStats) const {
             spec.cfg.bp.kind == uarch::PredictorKind::Tage ? "tage" : "gshare");
     w.field("prefetch", spec.cfg.prefetch.enabled);
     w.endObject();
-    w.field("key", hashHex(fnv1a(descriptions_[i])));
+    w.field("key", hashHex(fnv1a(descriptions[i])));
     w.field("ok", !failed);
     if (failed) {
       // A failed point carries its error instead of result fields, so
       // downstream tools can neither mistake zeros for measurements nor
       // lose track of what was attempted.
-      const JobOutcome& o = outcomes_[i];
+      const JobOutcome& o = outcomes[i];
       w.key("error").beginObject();
       w.field("kind", errorKindName(o.errorKind));
       w.field("message", o.message);

@@ -135,4 +135,15 @@ private:
   std::int64_t wallMicros_ = 0;
 };
 
+/// The version-3 report serializer behind Sweep::writeJson, shared with the
+/// serve client: `levioso-batch --connect` must emit a report BYTE-IDENTICAL
+/// to a local run's (docs/SERVE.md), so there is exactly one serializer.
+/// `descriptions` parallels `specs` (canonical describe() lines).
+void writeReportJson(std::ostream& os, const std::vector<JobSpec>& specs,
+                     const std::vector<std::string>& descriptions,
+                     const std::vector<RunRecord>& results,
+                     const std::vector<JobOutcome>& outcomes,
+                     const Sweep::Counters& counters, int threads,
+                     bool includeStats);
+
 } // namespace lev::runner

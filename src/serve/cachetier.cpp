@@ -1,0 +1,58 @@
+#include "serve/cachetier.hpp"
+
+#include <filesystem>
+#include <system_error>
+
+#include "support/log.hpp"
+
+namespace fs = std::filesystem;
+
+namespace lev::serve {
+
+RemoteCacheTier::RemoteCacheTier(Options opts)
+    : opts_(opts), cache_({opts.dir, opts.salt}) {
+  // Scanned even when unbounded: usedBytes() is an observability value,
+  // not just the admission-control input.
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(opts_.dir, ec)) {
+    if (entry.path().extension() != ".result") continue;
+    const auto sz = entry.file_size(ec);
+    if (!ec) usedBytes_ += sz;
+  }
+}
+
+std::optional<std::string> RemoteCacheTier::get(std::uint64_t key,
+                                                const std::string& desc) {
+  auto entry = cache_.readByHash(key, desc);
+  if (entry) ++counters_.hits;
+  else ++counters_.misses;
+  return entry;
+}
+
+bool RemoteCacheTier::put(std::uint64_t key, const std::string& desc,
+                          const std::string& entry) {
+  // A put that would OVERWRITE an existing entry replaces bytes rather than
+  // adding them, but re-reading the old size per put is not worth it: the
+  // cap is a flood guard, not an accountant, and overcounting only makes it
+  // trip earlier (the safe direction).
+  if (opts_.maxBytes != 0 && usedBytes_ + entry.size() > opts_.maxBytes) {
+    ++counters_.rejected;
+    if (counters_.rejected == 1)
+      LEV_LOG_WARN("serve", "remote cache tier full; rejecting puts",
+                   {{"dir", opts_.dir},
+                    {"usedBytes", usedBytes_},
+                    {"maxBytes", opts_.maxBytes}});
+    return false;
+  }
+  if (!cache_.storeByHash(key, desc, entry)) {
+    // storeByHash already distinguished (and logged) validation rejections
+    // vs I/O failures; the tier counts both as a refused put.
+    ++counters_.rejected;
+    return false;
+  }
+  ++counters_.puts;
+  usedBytes_ += entry.size();
+  return true;
+}
+
+} // namespace lev::serve

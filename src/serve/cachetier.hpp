@@ -1,0 +1,64 @@
+// The daemon's remote cache tier (docs/SERVE.md): a ResultCache that
+// workers read and write over the wire by content hash, sitting above each
+// worker's local `.levioso-cache/` L1. Entries are the exact on-disk
+// format (ResultCache::formatEntry), so the tier can be pre-seeded by —
+// or later serve — any local run sharing the directory and salt.
+//
+// Admission control: a put is rejected (never written, counted in
+// `rejected`) when the entry fails ResultCache::storeByHash validation —
+// corrupt text, a key that does not match the description under this salt
+// — or when accepting it would push the directory past `maxBytes`. A
+// remote worker can therefore never poison or flood the shared tier.
+//
+// Single-threaded by design: only the daemon's event loop touches it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "runner/resultcache.hpp"
+
+namespace lev::serve {
+
+class RemoteCacheTier {
+public:
+  struct Options {
+    std::string dir = ".levioso-cache";
+    std::string salt = runner::kCodeVersionSalt;
+    /// Size cap for the directory (admission control); 0 = unbounded.
+    /// Measured over `.result` entries at construction and maintained
+    /// incrementally on accepted puts.
+    std::uint64_t maxBytes = 0;
+  };
+
+  explicit RemoteCacheTier(Options opts);
+
+  /// Validated lookup by content hash; nullopt on miss (corrupt entries
+  /// quarantine exactly as a local lookup would).
+  std::optional<std::string> get(std::uint64_t key, const std::string& desc);
+
+  /// Admission-controlled store; false when rejected (validation or size
+  /// cap) or when the write itself failed.
+  bool put(std::uint64_t key, const std::string& desc,
+           const std::string& entry);
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t puts = 0;     ///< accepted and written
+    std::uint64_t rejected = 0; ///< refused by admission control
+  };
+  const Counters& counters() const { return counters_; }
+
+  std::uint64_t usedBytes() const { return usedBytes_; }
+  runner::ResultCache& cache() { return cache_; }
+
+private:
+  Options opts_;
+  runner::ResultCache cache_;
+  Counters counters_;
+  std::uint64_t usedBytes_ = 0;
+};
+
+} // namespace lev::serve

@@ -1,0 +1,209 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "serve/protocol.hpp"
+#include "support/error.hpp"
+#include "support/framing.hpp"
+#include "support/socket.hpp"
+
+namespace lev::serve {
+
+namespace {
+
+std::int64_t nowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Map a remote failure back to the exception type a local Sweep would
+/// have thrown, so FailFast callers keep their catch blocks.
+[[noreturn]] void rethrowOutcome(const runner::JobOutcome& o) {
+  switch (o.errorKind) {
+  case runner::ErrorKind::Deadline: throw DeadlineError(o.message);
+  case runner::ErrorKind::Transient: throw TransientError(o.message);
+  case runner::ErrorKind::Sim: throw SimError(o.message);
+  default: throw Error(o.message);
+  }
+}
+
+} // namespace
+
+RemoteSweep::RemoteSweep(Options opts) : opts_(std::move(opts)) {}
+
+int RemoteSweep::threadCount() const {
+  return runner::resolveJobs(opts_.jobs);
+}
+
+std::size_t RemoteSweep::add(runner::JobSpec spec) {
+  descriptions_.push_back(runner::describe(spec));
+  specs_.push_back(std::move(spec));
+  ++counters_.points;
+  return specs_.size() - 1;
+}
+
+const std::vector<runner::RunRecord>& RemoteSweep::run() {
+  if (ran_) throw Error("RemoteSweep::run() is single-shot");
+  ran_ = true;
+  const auto runStart = nowMicros();
+
+  // 1. Dedup exactly like a local Sweep's phase 1.
+  std::map<std::string, std::size_t> slotOf;
+  std::vector<std::size_t> slotSpec;
+  std::vector<std::size_t> uniqueIndex(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const auto [it, inserted] =
+        slotOf.emplace(descriptions_[i], slotSpec.size());
+    if (inserted) slotSpec.push_back(i);
+    uniqueIndex[i] = it->second;
+  }
+  const std::size_t nUnique = slotSpec.size();
+  counters_.unique += nUnique;
+
+  // 2. Connect and submit one job per unique slot (id = slot).
+  std::string host;
+  std::uint16_t port = 0;
+  sock::parseEndpoint(opts_.endpoint, host, port);
+  sock::Fd fd = sock::connectTo(host, port);
+  serveStats_.endpoint = opts_.endpoint;
+
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.role = "client";
+  std::string outBytes = framing::encodeFrame(encodeMessage(hello));
+  for (std::size_t slot = 0; slot < nUnique; ++slot) {
+    Message m;
+    m.type = MsgType::Submit;
+    m.id = slot;
+    m.spec = toWire(specs_[slotSpec[slot]]);
+    m.desc = descriptions_[slotSpec[slot]];
+    m.maxRetries = opts_.maxRetries;
+    m.backoffMicros = opts_.retryBackoffMicros;
+    outBytes += framing::encodeFrame(encodeMessage(m));
+  }
+  {
+    Message done;
+    done.type = MsgType::Done;
+    outBytes += framing::encodeFrame(encodeMessage(done));
+  }
+  sock::writeAll(fd.get(), outBytes);
+
+  // 3. Stream the outcomes (and finally the serve stats) back.
+  std::vector<runner::RunRecord> uniqueRecords(nUnique);
+  std::vector<runner::JobOutcome> uniqueOutcomes(nUnique);
+  std::vector<char> settled(nUnique, 0);
+  std::size_t settledCount = 0;
+  bool cancelSent = false;
+  bool sawStats = false;
+  framing::FrameDecoder dec;
+  char buf[65536];
+  while (!sawStats) {
+    while (auto payload = dec.next()) {
+      Message m = decodeMessage(*payload);
+      if (m.type == MsgType::Stats) {
+        serveStats_.workersSeen = m.workersSeen;
+        serveStats_.redispatches = m.redispatchTotal;
+        serveStats_.remoteHits = m.remoteHits;
+        serveStats_.remoteMisses = m.remoteMisses;
+        serveStats_.remotePuts = m.remotePuts;
+        serveStats_.remoteRejected = m.remoteRejected;
+        sawStats = true;
+        continue;
+      }
+      if (m.type != MsgType::Outcome)
+        throw Error(std::string("unexpected ") + msgTypeName(m.type) +
+                    " frame from daemon");
+      if (m.id >= nUnique)
+        throw Error("daemon answered unknown job id " + std::to_string(m.id));
+      const std::size_t slot = static_cast<std::size_t>(m.id);
+      if (settled[slot])
+        throw Error("daemon answered job " + std::to_string(m.id) + " twice");
+      settled[slot] = 1;
+      ++settledCount;
+      uniqueOutcomes[slot] = m.outcome;
+      serveStats_.runRedispatches += m.redispatches;
+      counters_.retries += m.retries;
+      if (m.outcome.ok) {
+        if (!m.hasRecord)
+          throw Error("ok outcome without a record for job " +
+                      std::to_string(m.id));
+        runner::RunRecord rec;
+        const std::size_t si = slotSpec[slot];
+        if (runner::ResultCache::checkEntry(m.record, descriptions_[si],
+                                            rec) !=
+            runner::ResultCache::EntryCheck::Ok)
+          throw Error("daemon shipped a record that fails validation for " +
+                      descriptions_[si]);
+        rec.fromCache = m.fromCache;
+        rec.summary.policy = specs_[si].policy;
+        uniqueRecords[slot] = std::move(rec);
+        if (m.fromCache) ++counters_.cacheHits;
+      } else if (opts_.failPolicy == runner::FailPolicy::FailFast &&
+                 !cancelSent &&
+                 m.outcome.errorKind != runner::ErrorKind::Cancelled) {
+        Message cancel;
+        cancel.type = MsgType::Cancel;
+        sock::writeAll(fd.get(), framing::encodeFrame(encodeMessage(cancel)));
+        cancelSent = true;
+      }
+      if (opts_.onProgress) opts_.onProgress(settledCount, nUnique);
+    }
+    if (sawStats) break;
+    const std::size_t n = sock::readSome(fd.get(), buf, sizeof(buf));
+    if (n == 0)
+      throw TransientError("daemon closed the connection with " +
+                           std::to_string(nUnique - settledCount) +
+                           " outcomes outstanding");
+    dec.feed(buf, n);
+  }
+  if (settledCount != nUnique)
+    throw Error("daemon sent stats with " +
+                std::to_string(nUnique - settledCount) +
+                " outcomes outstanding");
+
+  // 4. Logical counters mirroring a local Sweep's phases: what was NOT
+  // served by a cache tier was compiled (once per distinct compile key)
+  // and simulated daemon-side. Compile-phase failures do not reach the
+  // simulator, exactly as locally.
+  std::set<std::string> compileKeys;
+  for (std::size_t slot = 0; slot < nUnique; ++slot) {
+    const runner::JobOutcome& o = uniqueOutcomes[slot];
+    const bool cached = o.ok && uniqueRecords[slot].fromCache;
+    if (cached || o.errorKind == runner::ErrorKind::Cancelled) continue;
+    compileKeys.insert(runner::describeCompile(specs_[slotSpec[slot]]));
+    if (o.errorKind != runner::ErrorKind::Compile) ++counters_.simulated;
+  }
+  counters_.compiles += compileKeys.size();
+
+  // 5. Expand per-unique to per-point, count failures, honor FailFast.
+  outcomes_.resize(specs_.size());
+  results_.resize(specs_.size());
+  std::size_t freshFailures = 0;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    outcomes_[i] = uniqueOutcomes[uniqueIndex[i]];
+    results_[i] = outcomes_[i].ok ? uniqueRecords[uniqueIndex[i]]
+                                  : runner::RunRecord{};
+    if (!outcomes_[i].ok &&
+        outcomes_[i].errorKind != runner::ErrorKind::Cancelled)
+      ++freshFailures;
+  }
+  counters_.failed += freshFailures;
+  wallMicros_ += nowMicros() - runStart;
+
+  if (opts_.failPolicy == runner::FailPolicy::FailFast)
+    for (std::size_t slot = 0; slot < nUnique; ++slot)
+      if (!uniqueOutcomes[slot].ok &&
+          uniqueOutcomes[slot].errorKind != runner::ErrorKind::Cancelled)
+        rethrowOutcome(uniqueOutcomes[slot]);
+  return results_;
+}
+
+void RemoteSweep::writeJson(std::ostream& os, bool includeStats) const {
+  runner::writeReportJson(os, specs_, descriptions_, results_, outcomes_,
+                          counters_, threadCount(), includeStats);
+}
+
+} // namespace lev::serve

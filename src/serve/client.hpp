@@ -1,0 +1,88 @@
+// The serve client (docs/SERVE.md): what `levioso-batch --connect` runs
+// instead of a local Sweep. Mirrors the Sweep API surface the batch tool
+// consumes — add()/run()/specs()/outcomes()/counters()/writeJson() — so
+// the table, report and exit-taxonomy code is shared verbatim, and the
+// JSON report comes from the SAME writeReportJson serializer a local run
+// uses (byte-identical warm-for-warm; the CI serve-smoke job pins this).
+//
+// The client is deliberately thin: it dedups grid points exactly like a
+// Sweep, ships one Submit per unique point, and reconstructs RunRecords
+// from the raw cache-entry text in each Outcome. All compilation,
+// simulation and caching happen daemon-side.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hpp"
+
+namespace lev::serve {
+
+class RemoteSweep {
+public:
+  struct Options {
+    std::string endpoint; ///< daemon "host:port"
+    /// Reported as the run's `threads` (resolved exactly like a local
+    /// Sweep's pool size, so warm reports compare byte-identical).
+    int jobs = 0;
+    runner::FailPolicy failPolicy = runner::FailPolicy::FailFast;
+    int maxRetries = 2;
+    std::int64_t retryBackoffMicros = 1000;
+    /// (settled, totalUnique) per streamed outcome; called from run().
+    std::function<void(std::size_t done, std::size_t total)> onProgress;
+  };
+
+  explicit RemoteSweep(Options opts);
+
+  /// Append a grid point; returns its submission index.
+  std::size_t add(runner::JobSpec spec);
+
+  /// Submit every point to the daemon and stream back the outcomes.
+  /// Single-shot (a second call throws). Under FailPolicy::FailFast the
+  /// first failure (submission order) is rethrown — mapped back to its
+  /// exception type — after every outcome has settled, exactly like a
+  /// local Sweep; under KeepGoing failures ride in outcomes().
+  const std::vector<runner::RunRecord>& run();
+
+  const std::vector<runner::JobSpec>& specs() const { return specs_; }
+  const std::vector<runner::RunRecord>& results() const { return results_; }
+  const std::vector<runner::JobOutcome>& outcomes() const {
+    return outcomes_;
+  }
+  const runner::Sweep::Counters& counters() const { return counters_; }
+  int threadCount() const;
+  std::int64_t wallMicros() const { return wallMicros_; }
+
+  /// Identical schema and serializer as Sweep::writeJson (version 3).
+  void writeJson(std::ostream& os, bool includeStats = false) const;
+
+  /// What the daemon reported about the service side of this run (the
+  /// manifest's "serve" section).
+  struct ServeStats {
+    std::string endpoint;
+    std::uint64_t workersSeen = 0;
+    std::uint64_t redispatches = 0; ///< daemon lifetime total
+    std::uint64_t runRedispatches = 0; ///< re-leases of THIS run's jobs
+    std::uint64_t remoteHits = 0;
+    std::uint64_t remoteMisses = 0;
+    std::uint64_t remotePuts = 0;
+    std::uint64_t remoteRejected = 0;
+  };
+  const ServeStats& serveStats() const { return serveStats_; }
+
+private:
+  Options opts_;
+  std::vector<runner::JobSpec> specs_;
+  std::vector<std::string> descriptions_;
+  std::vector<runner::RunRecord> results_;
+  std::vector<runner::JobOutcome> outcomes_;
+  runner::Sweep::Counters counters_;
+  ServeStats serveStats_;
+  std::int64_t wallMicros_ = 0;
+  bool ran_ = false;
+};
+
+} // namespace lev::serve

@@ -1,0 +1,446 @@
+#include "serve/daemon.hpp"
+
+#include <chrono>
+#include <map>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "support/error.hpp"
+#include "support/framing.hpp"
+#include "support/log.hpp"
+
+namespace lev::serve {
+
+namespace {
+
+std::int64_t nowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+struct Daemon::Impl {
+  enum class Role { Unknown, Client, Worker };
+
+  struct Conn {
+    sock::Fd fd;
+    framing::FrameDecoder dec;
+    std::string outBuf;
+    Role role = Role::Unknown;
+    bool pulling = false;           ///< worker waiting for a job
+    std::uint64_t leased = 0;       ///< jobId held, 0 = none
+    std::int64_t leaseDeadline = 0; ///< nowMicros() horizon for `leased`
+    bool doneSubmitting = false;    ///< client sent Done
+    std::size_t outstanding = 0;    ///< client jobs not yet answered
+    bool statsSent = false;
+    bool dead = false; ///< marked for removal after the event sweep
+  };
+
+  struct JobState {
+    std::uint64_t client = 0; ///< owning conn id; 0 = client went away
+    std::uint64_t submitId = 0;
+    WireSpec spec;
+    std::string desc;
+    int maxRetries = 2;
+    std::int64_t backoffMicros = 1000;
+    std::uint64_t dispatches = 0;
+    std::uint64_t worker = 0; ///< conn id while leased
+  };
+
+  DaemonOptions opts;
+  sock::Listener listener;
+  std::unique_ptr<RemoteCacheTier> tier; ///< null when cacheDir == ""
+  JobQueue queue;
+  std::map<std::uint64_t, Conn> conns;
+  std::map<std::uint64_t, JobState> jobs;
+  std::uint64_t nextConnId = 1;
+  std::uint64_t nextJobId = 1;
+  int stopPipe[2] = {-1, -1};
+  Stats stats;
+
+  explicit Impl(DaemonOptions o, sock::Listener l)
+      : opts(std::move(o)), listener(std::move(l)) {
+    if (!opts.cacheDir.empty())
+      tier = std::make_unique<RemoteCacheTier>(
+          RemoteCacheTier::Options{opts.cacheDir, runner::kCodeVersionSalt,
+                                   opts.cacheMaxBytes});
+    if (::pipe(stopPipe) != 0) throw Error("daemon: cannot create stop pipe");
+  }
+
+  ~Impl() {
+    if (stopPipe[0] >= 0) ::close(stopPipe[0]);
+    if (stopPipe[1] >= 0) ::close(stopPipe[1]);
+  }
+
+  void send(Conn& c, const Message& m) {
+    c.outBuf += framing::encodeFrame(encodeMessage(m));
+  }
+
+  void renewLease(Conn& c) {
+    if (c.leased != 0) c.leaseDeadline = nowMicros() + opts.leaseMicros;
+  }
+
+  /// Deliver a settled outcome to the owning client (silently dropped when
+  /// the client disconnected mid-run) and retire the job.
+  void settleJob(std::uint64_t jobId, const Message& outcomeMsg) {
+    auto it = jobs.find(jobId);
+    if (it == jobs.end()) return;
+    const std::uint64_t clientId = it->second.client;
+    jobs.erase(it);
+    ++stats.jobsCompleted;
+    auto cit = conns.find(clientId);
+    if (cit == conns.end() || cit->second.dead) return;
+    Conn& client = cit->second;
+    send(client, outcomeMsg);
+    if (client.outstanding > 0) --client.outstanding;
+    maybeFinishClient(client);
+  }
+
+  Message outcomeFor(const JobState& job, const Message& result) {
+    Message m;
+    m.type = MsgType::Outcome;
+    m.id = job.submitId;
+    m.outcome = result.outcome;
+    m.fromCache = result.fromCache;
+    m.retries = result.retries;
+    m.redispatches = job.dispatches == 0 ? 0 : job.dispatches - 1;
+    m.hasRecord = result.hasRecord;
+    m.record = result.record;
+    return m;
+  }
+
+  void maybeFinishClient(Conn& client) {
+    if (!client.doneSubmitting || client.outstanding != 0 ||
+        client.statsSent)
+      return;
+    Message m;
+    m.type = MsgType::Stats;
+    m.workersSeen = stats.workersSeen;
+    m.redispatchTotal = stats.redispatches;
+    if (tier) {
+      const auto& c = tier->counters();
+      m.remoteHits = c.hits;
+      m.remoteMisses = c.misses;
+      m.remotePuts = c.puts;
+      m.remoteRejected = c.rejected;
+    }
+    send(client, m);
+    client.statsSent = true;
+  }
+
+  /// A leased worker is gone (disconnect or lease expiry): requeue its job
+  /// at the front of the owner's lane, or settle it as a transient failure
+  /// once the dispatch budget is spent.
+  void forfeitLease(Conn& worker) {
+    const std::uint64_t jobId = worker.leased;
+    worker.leased = 0;
+    auto it = jobs.find(jobId);
+    if (it == jobs.end()) return;
+    JobState& job = it->second;
+    job.worker = 0;
+    ++stats.redispatches;
+    if (job.dispatches >= static_cast<std::uint64_t>(opts.maxDispatches)) {
+      LEV_LOG_WARN("serve", "job exhausted its dispatch budget",
+                   {{"desc", job.desc}, {"dispatches", job.dispatches}});
+      Message m;
+      m.type = MsgType::Outcome;
+      m.id = job.submitId;
+      m.outcome.ok = false;
+      m.outcome.errorKind = runner::ErrorKind::Transient;
+      m.outcome.message = "job lost " + std::to_string(job.dispatches) +
+                          " workers (dispatch budget exhausted)";
+      m.redispatches = job.dispatches - 1;
+      settleJob(jobId, m);
+      return;
+    }
+    LEV_LOG_INFO("serve", "worker lost; requeueing its job",
+                 {{"desc", job.desc}, {"dispatches", job.dispatches}});
+    queue.pushFront(job.client, jobId);
+  }
+
+  void killConn(std::uint64_t connId) {
+    auto it = conns.find(connId);
+    if (it == conns.end() || it->second.dead) return;
+    Conn& c = it->second;
+    c.dead = true;
+    if (c.role == Role::Worker && c.leased != 0) forfeitLease(c);
+    if (c.role == Role::Client) {
+      // Queued jobs die with their client; leased ones are orphaned and
+      // their results discarded on arrival (the worker's cache puts still
+      // land, so the work is not wasted).
+      for (const std::uint64_t jobId : queue.dropClient(connId))
+        jobs.erase(jobId);
+      for (auto& [jobId, job] : jobs)
+        if (job.client == connId) job.client = 0;
+    }
+  }
+
+  void handleClientFrame(std::uint64_t connId, Conn& c, Message& m) {
+    switch (m.type) {
+    case MsgType::Submit: {
+      const std::uint64_t jobId = nextJobId++;
+      JobState job;
+      job.client = connId;
+      job.submitId = m.id;
+      job.spec = std::move(m.spec);
+      job.desc = std::move(m.desc);
+      job.maxRetries = m.maxRetries;
+      job.backoffMicros = m.backoffMicros;
+      jobs.emplace(jobId, std::move(job));
+      ++c.outstanding;
+      queue.push(connId, jobId);
+      break;
+    }
+    case MsgType::Done:
+      c.doneSubmitting = true;
+      maybeFinishClient(c);
+      break;
+    case MsgType::Cancel: {
+      for (const std::uint64_t jobId : queue.dropClient(connId)) {
+        const JobState& job = jobs.at(jobId);
+        Message out;
+        out.type = MsgType::Outcome;
+        out.id = job.submitId;
+        out.outcome.ok = false;
+        out.outcome.errorKind = runner::ErrorKind::Cancelled;
+        out.outcome.message =
+            "cancelled: an earlier job failed under FailPolicy::FailFast";
+        settleJob(jobId, out);
+      }
+      break;
+    }
+    default:
+      throw Error(std::string("unexpected ") + msgTypeName(m.type) +
+                  " from a client");
+    }
+  }
+
+  void handleWorkerFrame(std::uint64_t connId, Conn& c, Message& m) {
+    renewLease(c);
+    switch (m.type) {
+    case MsgType::Pull:
+      c.pulling = true;
+      break;
+    case MsgType::Heartbeat:
+      break;
+    case MsgType::Result: {
+      if (m.id != c.leased)
+        throw Error("worker answered job " + std::to_string(m.id) +
+                    " while leasing " + std::to_string(c.leased));
+      const std::uint64_t jobId = c.leased;
+      c.leased = 0;
+      auto it = jobs.find(jobId);
+      if (it != jobs.end()) settleJob(jobId, outcomeFor(it->second, m));
+      break;
+    }
+    case MsgType::CacheGet: {
+      Message reply;
+      reply.key = m.key;
+      if (tier) {
+        if (auto entry = tier->get(m.key, m.desc)) {
+          reply.type = MsgType::CacheHit;
+          reply.entry = std::move(*entry);
+        } else {
+          reply.type = MsgType::CacheMiss;
+        }
+      } else {
+        reply.type = MsgType::CacheMiss;
+      }
+      send(c, reply);
+      break;
+    }
+    case MsgType::CachePut:
+      if (tier) tier->put(m.key, m.desc, m.entry);
+      break;
+    default:
+      throw Error(std::string("unexpected ") + msgTypeName(m.type) +
+                  " from a worker");
+    }
+    (void)connId;
+  }
+
+  void handleFrame(std::uint64_t connId, Conn& c, const std::string& payload) {
+    Message m = decodeMessage(payload);
+    if (c.role == Role::Unknown) {
+      if (m.type != MsgType::Hello)
+        throw Error("first frame must be hello, got " +
+                    std::string(msgTypeName(m.type)));
+      if (m.protocolVersion != kProtocolVersion)
+        throw Error("protocol version mismatch (daemon " +
+                    std::to_string(kProtocolVersion) + ", peer " +
+                    std::to_string(m.protocolVersion) + ")");
+      if (m.role == "client") {
+        c.role = Role::Client;
+      } else if (m.role == "worker") {
+        c.role = Role::Worker;
+        ++stats.workersSeen;
+        LEV_LOG_INFO("serve", "worker connected",
+                     {{"workersSeen", stats.workersSeen}});
+      } else {
+        throw Error("unknown peer role '" + m.role + "'");
+      }
+      return;
+    }
+    if (c.role == Role::Client) handleClientFrame(connId, c, m);
+    else handleWorkerFrame(connId, c, m);
+  }
+
+  /// Hand queued jobs to pulling workers until one side runs dry.
+  void pump() {
+    if (queue.empty()) return;
+    for (auto& [connId, c] : conns) {
+      if (c.dead || c.role != Role::Worker || !c.pulling || c.leased != 0)
+        continue;
+      const auto jobId = queue.pop();
+      if (!jobId) return;
+      JobState& job = jobs.at(*jobId);
+      ++job.dispatches;
+      job.worker = connId;
+      Message m;
+      m.type = MsgType::Job;
+      m.id = *jobId;
+      m.spec = job.spec;
+      m.desc = job.desc;
+      m.maxRetries = job.maxRetries;
+      m.backoffMicros = job.backoffMicros;
+      send(c, m);
+      c.pulling = false;
+      c.leased = *jobId;
+      c.leaseDeadline = nowMicros() + opts.leaseMicros;
+      if (queue.empty()) return;
+    }
+  }
+
+  void expireLeases() {
+    const std::int64_t now = nowMicros();
+    for (auto& [connId, c] : conns) {
+      if (c.dead || c.leased == 0 || now < c.leaseDeadline) continue;
+      LEV_LOG_WARN("serve", "lease expired; dropping silent worker",
+                   {{"conn", connId}});
+      killConn(connId);
+    }
+  }
+
+  void readFrom(std::uint64_t connId, Conn& c) {
+    char buf[65536];
+    try {
+      const std::size_t n = sock::readSome(c.fd.get(), buf, sizeof(buf));
+      if (n == 0) {
+        killConn(connId);
+        return;
+      }
+      c.dec.feed(buf, n);
+      while (auto payload = c.dec.next()) {
+        handleFrame(connId, c, *payload);
+        if (c.dead) return;
+      }
+    } catch (const std::exception& e) {
+      LEV_LOG_WARN("serve", "dropping peer",
+                   {{"conn", connId}, {"error", e.what()}});
+      killConn(connId);
+    }
+  }
+
+  void flushTo(std::uint64_t connId, Conn& c) {
+    try {
+      const std::size_t put =
+          sock::writeSome(c.fd.get(), c.outBuf.data(), c.outBuf.size());
+      c.outBuf.erase(0, put);
+    } catch (const std::exception& e) {
+      LEV_LOG_WARN("serve", "dropping peer on write failure",
+                   {{"conn", connId}, {"error", e.what()}});
+      killConn(connId);
+    }
+  }
+
+  void reap() {
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->second.dead) it = conns.erase(it);
+      else ++it;
+    }
+  }
+
+  void run() {
+    LEV_LOG_INFO("serve", "daemon listening",
+                 {{"port", listener.port()},
+                  {"cacheDir", opts.cacheDir.empty() ? std::string("off")
+                                                     : opts.cacheDir},
+                  {"leaseMicros", opts.leaseMicros}});
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> ids; ///< fds[i >= 2] -> conn id
+    for (;;) {
+      fds.clear();
+      ids.clear();
+      fds.push_back({stopPipe[0], POLLIN, 0});
+      fds.push_back({listener.fd(), POLLIN, 0});
+      for (auto& [connId, c] : conns) {
+        short events = POLLIN;
+        if (!c.outBuf.empty()) events |= POLLOUT;
+        fds.push_back({c.fd.get(), events, 0});
+        ids.push_back(connId);
+      }
+      const int rc = ::poll(fds.data(), fds.size(), /*timeout ms=*/100);
+      if (rc < 0 && errno != EINTR)
+        throw Error("daemon: poll() failed");
+      if (fds[0].revents & POLLIN) break; // stop() rang the pipe
+      if (fds[1].revents & POLLIN) {
+        const std::uint64_t connId = nextConnId++;
+        Conn c;
+        c.fd = sock::Fd(listener.acceptFd());
+        conns.emplace(connId, std::move(c));
+      }
+      for (std::size_t i = 2; i < fds.size(); ++i) {
+        auto it = conns.find(ids[i - 2]);
+        if (it == conns.end() || it->second.dead) continue;
+        if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+          readFrom(it->first, it->second);
+        if (!it->second.dead && (fds[i].revents & POLLOUT) &&
+            !it->second.outBuf.empty())
+          flushTo(it->first, it->second);
+      }
+      expireLeases();
+      pump();
+      // Opportunistic flush so small frames do not wait a poll round.
+      for (auto& [connId, c] : conns)
+        if (!c.dead && !c.outBuf.empty()) flushTo(connId, c);
+      reap();
+    }
+    conns.clear();
+    listener.close();
+    LEV_LOG_INFO("serve", "daemon stopped",
+                 {{"jobsCompleted", stats.jobsCompleted},
+                  {"redispatches", stats.redispatches}});
+  }
+};
+
+Daemon::Daemon(DaemonOptions opts)
+    : Daemon(opts, sock::Listener::open(opts.port)) {}
+
+Daemon::Daemon(DaemonOptions opts, sock::Listener listener)
+    : impl_(std::make_unique<Impl>(std::move(opts), std::move(listener))) {}
+
+Daemon::~Daemon() = default;
+
+std::uint16_t Daemon::port() const { return impl_->listener.port(); }
+
+void Daemon::run() { impl_->run(); }
+
+void Daemon::stop() {
+  const char byte = 1;
+  // Best-effort, async-signal-safe: one write to the self-pipe.
+  [[maybe_unused]] const auto n = ::write(impl_->stopPipe[1], &byte, 1);
+}
+
+Daemon::Stats Daemon::stats() const {
+  Stats s = impl_->stats;
+  if (impl_->tier) s.cache = impl_->tier->counters();
+  return s;
+}
+
+} // namespace lev::serve

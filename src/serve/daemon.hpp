@@ -1,0 +1,76 @@
+// levioso-serve's daemon (docs/SERVE.md): one single-threaded poll() loop
+// owning a TCP listener, a per-client-fair JobQueue, the remote cache
+// tier, and every peer connection. Clients submit grid points and stream
+// back outcomes; workers pull jobs under a heartbeat-renewed lease.
+//
+// Worker fail-over: a worker that disconnects — or whose lease expires
+// with no frame traffic — forfeits its leased job, which is requeued at
+// the front of its client's lane and re-dispatched to the next pulling
+// worker. A job re-leased more than `maxDispatches` times settles as a
+// transient failure instead of ping-ponging forever (a job that kills
+// every worker it touches must not take the service down with it).
+//
+// The loop never blocks on a peer: reads happen only when poll() reports
+// readability, writes go through per-connection buffers flushed on
+// writability, and a peer that errors mid-frame is dropped without
+// touching the others.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/cachetier.hpp"
+#include "support/socket.hpp"
+
+namespace lev::serve {
+
+struct DaemonOptions {
+  std::uint16_t port = 0; ///< 0 = pick an ephemeral port
+  /// Remote cache tier directory; "" disables the tier (CacheGet always
+  /// misses, CachePut is dropped).
+  std::string cacheDir = ".levioso-cache";
+  std::uint64_t cacheMaxBytes = 0; ///< tier size cap; 0 = unbounded
+  /// A leased worker that stays silent (no result, heartbeat, or cache
+  /// traffic) this long is presumed dead and its job re-dispatched.
+  std::int64_t leaseMicros = 15'000'000;
+  /// Lease grants per job before it settles as a transient failure.
+  int maxDispatches = 3;
+};
+
+class Daemon {
+public:
+  /// Bind + listen; throws lev::Error when the port is taken.
+  explicit Daemon(DaemonOptions opts);
+  /// Adopt a pre-bound listener (tests fork workers against the port
+  /// before the daemon thread starts).
+  Daemon(DaemonOptions opts, sock::Listener listener);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  std::uint16_t port() const;
+
+  /// Serve until stop(). Callable once.
+  void run();
+
+  /// Request run() to return; safe from signal handlers and other threads
+  /// (one self-pipe write).
+  void stop();
+
+  struct Stats {
+    std::uint64_t workersSeen = 0;   ///< worker hellos over the lifetime
+    std::uint64_t redispatches = 0;  ///< leases forfeited and requeued
+    std::uint64_t jobsCompleted = 0; ///< results delivered to clients
+    RemoteCacheTier::Counters cache;
+  };
+  /// Lifetime counters; read from the run() thread, or from anywhere once
+  /// run() has returned.
+  Stats stats() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+} // namespace lev::serve

@@ -1,0 +1,362 @@
+#include "serve/protocol.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/jsonparse.hpp"
+
+namespace lev::serve {
+
+namespace {
+
+runner::ErrorKind errorKindFromName(const std::string& name) {
+  using runner::ErrorKind;
+  if (name == "none") return ErrorKind::None;
+  if (name == "transient") return ErrorKind::Transient;
+  if (name == "compile") return ErrorKind::Compile;
+  if (name == "sim") return ErrorKind::Sim;
+  if (name == "deadline") return ErrorKind::Deadline;
+  if (name == "cancelled") return ErrorKind::Cancelled;
+  if (name == "other") return ErrorKind::Other;
+  throw Error("unknown error kind '" + name + "' in serve message");
+}
+
+MsgType msgTypeFromName(const std::string& name) {
+  if (name == "hello") return MsgType::Hello;
+  if (name == "submit") return MsgType::Submit;
+  if (name == "done") return MsgType::Done;
+  if (name == "cancel") return MsgType::Cancel;
+  if (name == "outcome") return MsgType::Outcome;
+  if (name == "stats") return MsgType::Stats;
+  if (name == "pull") return MsgType::Pull;
+  if (name == "result") return MsgType::Result;
+  if (name == "heartbeat") return MsgType::Heartbeat;
+  if (name == "cacheGet") return MsgType::CacheGet;
+  if (name == "cachePut") return MsgType::CachePut;
+  if (name == "job") return MsgType::Job;
+  if (name == "cacheHit") return MsgType::CacheHit;
+  if (name == "cacheMiss") return MsgType::CacheMiss;
+  throw Error("unknown serve message type '" + name + "'");
+}
+
+std::int64_t asInt(const json::JsonValue& v, const char* what) {
+  if (v.kind != json::JsonValue::Kind::Number)
+    throw Error(std::string("serve message field '") + what +
+                "' is not a number");
+  return static_cast<std::int64_t>(v.number);
+}
+
+std::uint64_t asUint(const json::JsonValue& v, const char* what) {
+  const std::int64_t n = asInt(v, what);
+  if (n < 0)
+    throw Error(std::string("serve message field '") + what +
+                "' is negative");
+  return static_cast<std::uint64_t>(n);
+}
+
+const std::string& asStr(const json::JsonValue& v, const char* what) {
+  if (v.kind != json::JsonValue::Kind::String)
+    throw Error(std::string("serve message field '") + what +
+                "' is not a string");
+  return v.str;
+}
+
+bool asBool(const json::JsonValue& v, const char* what) {
+  if (v.kind != json::JsonValue::Kind::Bool)
+    throw Error(std::string("serve message field '") + what +
+                "' is not a bool");
+  return v.boolean;
+}
+
+void writeSpec(JsonWriter& w, const WireSpec& s) {
+  w.key("spec").beginObject();
+  w.field("kernel", s.kernel);
+  w.field("scale", s.scale);
+  w.field("policy", s.policy);
+  w.field("budget", s.budget);
+  w.field("memoryProp", s.memoryProp);
+  w.field("maxCycles", s.maxCycles);
+  w.field("deadlineMicros", s.deadlineMicros);
+  w.field("rob", s.robSize);
+  w.field("fetchWidth", s.fetchWidth);
+  w.field("renameWidth", s.renameWidth);
+  w.field("issueWidth", s.issueWidth);
+  w.field("commitWidth", s.commitWidth);
+  w.field("dram", s.memLatency);
+  w.endObject();
+}
+
+WireSpec readSpec(const json::JsonValue& v) {
+  if (v.kind != json::JsonValue::Kind::Object)
+    throw Error("serve message field 'spec' is not an object");
+  WireSpec s;
+  s.kernel = asStr(v.at("kernel"), "kernel");
+  s.scale = static_cast<int>(asInt(v.at("scale"), "scale"));
+  s.policy = asStr(v.at("policy"), "policy");
+  s.budget = static_cast<int>(asInt(v.at("budget"), "budget"));
+  s.memoryProp = asBool(v.at("memoryProp"), "memoryProp");
+  s.maxCycles = asUint(v.at("maxCycles"), "maxCycles");
+  s.deadlineMicros = asInt(v.at("deadlineMicros"), "deadlineMicros");
+  s.robSize = static_cast<int>(asInt(v.at("rob"), "rob"));
+  s.fetchWidth = static_cast<int>(asInt(v.at("fetchWidth"), "fetchWidth"));
+  s.renameWidth = static_cast<int>(asInt(v.at("renameWidth"), "renameWidth"));
+  s.issueWidth = static_cast<int>(asInt(v.at("issueWidth"), "issueWidth"));
+  s.commitWidth = static_cast<int>(asInt(v.at("commitWidth"), "commitWidth"));
+  s.memLatency = static_cast<int>(asInt(v.at("dram"), "dram"));
+  return s;
+}
+
+void writeOutcome(JsonWriter& w, const runner::JobOutcome& o) {
+  w.key("outcome").beginObject();
+  w.field("ok", o.ok);
+  w.field("kind", runner::errorKindName(o.errorKind));
+  w.field("message", o.message);
+  w.field("attempts", o.attempts);
+  w.field("gaveUpAfterMicros", o.gaveUpAfterMicros);
+  w.endObject();
+}
+
+runner::JobOutcome readOutcome(const json::JsonValue& v) {
+  if (v.kind != json::JsonValue::Kind::Object)
+    throw Error("serve message field 'outcome' is not an object");
+  runner::JobOutcome o;
+  o.ok = asBool(v.at("ok"), "ok");
+  o.errorKind = errorKindFromName(asStr(v.at("kind"), "kind"));
+  o.message = asStr(v.at("message"), "message");
+  o.attempts = static_cast<int>(asInt(v.at("attempts"), "attempts"));
+  o.gaveUpAfterMicros = asInt(v.at("gaveUpAfterMicros"), "gaveUpAfterMicros");
+  return o;
+}
+
+} // namespace
+
+WireSpec toWire(const runner::JobSpec& spec) {
+  WireSpec w;
+  w.kernel = spec.kernel;
+  w.scale = spec.scale;
+  w.policy = spec.policy;
+  w.budget = spec.budget;
+  w.memoryProp = spec.memoryProp;
+  w.maxCycles = spec.maxCycles;
+  w.deadlineMicros = spec.deadlineMicros;
+  w.robSize = spec.cfg.robSize;
+  w.fetchWidth = spec.cfg.fetchWidth;
+  w.renameWidth = spec.cfg.renameWidth;
+  w.issueWidth = spec.cfg.issueWidth;
+  w.commitWidth = spec.cfg.commitWidth;
+  w.memLatency = spec.cfg.mem.memLatency;
+  return w;
+}
+
+runner::JobSpec fromWire(const WireSpec& w) {
+  runner::JobSpec spec;
+  spec.kernel = w.kernel;
+  spec.scale = w.scale;
+  spec.policy = w.policy;
+  spec.budget = w.budget;
+  spec.memoryProp = w.memoryProp;
+  spec.maxCycles = w.maxCycles;
+  spec.deadlineMicros = w.deadlineMicros;
+  spec.cfg.robSize = w.robSize;
+  spec.cfg.fetchWidth = w.fetchWidth;
+  spec.cfg.renameWidth = w.renameWidth;
+  spec.cfg.issueWidth = w.issueWidth;
+  spec.cfg.commitWidth = w.commitWidth;
+  spec.cfg.mem.memLatency = w.memLatency;
+  return spec;
+}
+
+const char* msgTypeName(MsgType t) {
+  switch (t) {
+  case MsgType::Hello: return "hello";
+  case MsgType::Submit: return "submit";
+  case MsgType::Done: return "done";
+  case MsgType::Cancel: return "cancel";
+  case MsgType::Outcome: return "outcome";
+  case MsgType::Stats: return "stats";
+  case MsgType::Pull: return "pull";
+  case MsgType::Result: return "result";
+  case MsgType::Heartbeat: return "heartbeat";
+  case MsgType::CacheGet: return "cacheGet";
+  case MsgType::CachePut: return "cachePut";
+  case MsgType::Job: return "job";
+  case MsgType::CacheHit: return "cacheHit";
+  case MsgType::CacheMiss: return "cacheMiss";
+  }
+  return "?";
+}
+
+std::string encodeMessage(const Message& m) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.beginObject();
+  w.field("type", msgTypeName(m.type));
+  switch (m.type) {
+  case MsgType::Hello:
+    w.field("role", m.role);
+    w.field("protocolVersion", m.protocolVersion);
+    break;
+  case MsgType::Submit:
+    w.field("id", m.id);
+    writeSpec(w, m.spec);
+    w.field("desc", m.desc);
+    w.field("maxRetries", m.maxRetries);
+    w.field("backoffMicros", m.backoffMicros);
+    break;
+  case MsgType::Done:
+  case MsgType::Cancel:
+  case MsgType::Pull:
+  case MsgType::Heartbeat:
+    break;
+  case MsgType::Outcome:
+    w.field("id", m.id);
+    writeOutcome(w, m.outcome);
+    w.field("fromCache", m.fromCache);
+    w.field("retries", m.retries);
+    w.field("redispatches", m.redispatches);
+    if (m.hasRecord) w.field("record", m.record);
+    break;
+  case MsgType::Stats:
+    w.field("workersSeen", m.workersSeen);
+    w.field("redispatches", m.redispatchTotal);
+    w.field("remoteHits", m.remoteHits);
+    w.field("remoteMisses", m.remoteMisses);
+    w.field("remotePuts", m.remotePuts);
+    w.field("remoteRejected", m.remoteRejected);
+    break;
+  case MsgType::Result:
+    w.field("id", m.id);
+    writeOutcome(w, m.outcome);
+    w.field("fromCache", m.fromCache);
+    w.field("retries", m.retries);
+    if (m.hasRecord) w.field("record", m.record);
+    break;
+  case MsgType::Job:
+    w.field("id", m.id);
+    writeSpec(w, m.spec);
+    w.field("desc", m.desc);
+    w.field("maxRetries", m.maxRetries);
+    w.field("backoffMicros", m.backoffMicros);
+    break;
+  case MsgType::CacheGet:
+    w.field("key", runner::hashHex(m.key));
+    w.field("desc", m.desc);
+    break;
+  case MsgType::CachePut:
+    w.field("key", runner::hashHex(m.key));
+    w.field("desc", m.desc);
+    w.field("entry", m.entry);
+    break;
+  case MsgType::CacheHit:
+    w.field("key", runner::hashHex(m.key));
+    w.field("entry", m.entry);
+    break;
+  case MsgType::CacheMiss:
+    w.field("key", runner::hashHex(m.key));
+    break;
+  }
+  w.endObject();
+  return os.str();
+}
+
+namespace {
+
+/// Content hashes are 64-bit and JSON numbers are doubles, so keys cross
+/// the wire as the same 16-hex-digit string the cache uses for file names.
+std::uint64_t keyFromHex(const std::string& hex) {
+  if (hex.size() != 16)
+    throw Error("malformed cache key '" + hex + "' (want 16 hex digits)");
+  std::uint64_t v = 0;
+  for (const char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else throw Error("malformed cache key '" + hex + "'");
+  }
+  return v;
+}
+
+} // namespace
+
+Message decodeMessage(const std::string& payload) {
+  const json::JsonValue v = json::parse(payload);
+  if (v.kind != json::JsonValue::Kind::Object)
+    throw Error("serve message is not a JSON object");
+  Message m;
+  m.type = msgTypeFromName(asStr(v.at("type"), "type"));
+  switch (m.type) {
+  case MsgType::Hello:
+    m.role = asStr(v.at("role"), "role");
+    m.protocolVersion =
+        static_cast<int>(asInt(v.at("protocolVersion"), "protocolVersion"));
+    break;
+  case MsgType::Submit:
+    m.id = asUint(v.at("id"), "id");
+    m.spec = readSpec(v.at("spec"));
+    m.desc = asStr(v.at("desc"), "desc");
+    m.maxRetries = static_cast<int>(asInt(v.at("maxRetries"), "maxRetries"));
+    m.backoffMicros = asInt(v.at("backoffMicros"), "backoffMicros");
+    break;
+  case MsgType::Done:
+  case MsgType::Cancel:
+  case MsgType::Pull:
+  case MsgType::Heartbeat:
+    break;
+  case MsgType::Outcome:
+    m.id = asUint(v.at("id"), "id");
+    m.outcome = readOutcome(v.at("outcome"));
+    m.fromCache = asBool(v.at("fromCache"), "fromCache");
+    m.retries = asUint(v.at("retries"), "retries");
+    m.redispatches = asUint(v.at("redispatches"), "redispatches");
+    if (v.has("record")) {
+      m.hasRecord = true;
+      m.record = asStr(v.at("record"), "record");
+    }
+    break;
+  case MsgType::Stats:
+    m.workersSeen = asUint(v.at("workersSeen"), "workersSeen");
+    m.redispatchTotal = asUint(v.at("redispatches"), "redispatches");
+    m.remoteHits = asUint(v.at("remoteHits"), "remoteHits");
+    m.remoteMisses = asUint(v.at("remoteMisses"), "remoteMisses");
+    m.remotePuts = asUint(v.at("remotePuts"), "remotePuts");
+    m.remoteRejected = asUint(v.at("remoteRejected"), "remoteRejected");
+    break;
+  case MsgType::Result:
+    m.id = asUint(v.at("id"), "id");
+    m.outcome = readOutcome(v.at("outcome"));
+    m.fromCache = asBool(v.at("fromCache"), "fromCache");
+    m.retries = asUint(v.at("retries"), "retries");
+    if (v.has("record")) {
+      m.hasRecord = true;
+      m.record = asStr(v.at("record"), "record");
+    }
+    break;
+  case MsgType::Job:
+    m.id = asUint(v.at("id"), "id");
+    m.spec = readSpec(v.at("spec"));
+    m.desc = asStr(v.at("desc"), "desc");
+    m.maxRetries = static_cast<int>(asInt(v.at("maxRetries"), "maxRetries"));
+    m.backoffMicros = asInt(v.at("backoffMicros"), "backoffMicros");
+    break;
+  case MsgType::CacheGet:
+    m.key = keyFromHex(asStr(v.at("key"), "key"));
+    m.desc = asStr(v.at("desc"), "desc");
+    break;
+  case MsgType::CachePut:
+    m.key = keyFromHex(asStr(v.at("key"), "key"));
+    m.desc = asStr(v.at("desc"), "desc");
+    m.entry = asStr(v.at("entry"), "entry");
+    break;
+  case MsgType::CacheHit:
+    m.key = keyFromHex(asStr(v.at("key"), "key"));
+    m.entry = asStr(v.at("entry"), "entry");
+    break;
+  case MsgType::CacheMiss:
+    m.key = keyFromHex(asStr(v.at("key"), "key"));
+    break;
+  }
+  return m;
+}
+
+} // namespace lev::serve

@@ -1,0 +1,127 @@
+// The levioso-serve wire protocol (docs/SERVE.md): length-prefixed JSON
+// messages (framing: support/framing.hpp) between the daemon and its two
+// kinds of peers — clients (levioso-batch --connect) submitting grid
+// points, and workers (levioso-worker) pulling jobs and moving cache
+// entries.
+//
+// A JobSpec crosses the wire as its BATCH-SETTABLE projection (the fields
+// levioso-batch can vary) plus the canonical describe() line. The receiver
+// rebuilds the spec from its own defaults and REJECTS the job when the
+// rebuilt describe() differs from the shipped one — a client and worker
+// built from different trees can never silently simulate different
+// machines under one cache key.
+//
+// RunRecords cross the wire as raw ResultCache entry text
+// (ResultCache::formatEntry / checkEntry), so the wire, each worker's L1
+// cache and the daemon's remote tier all share ONE serialization and one
+// validation path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runner/job.hpp"
+
+namespace lev::serve {
+
+/// Protocol revision; a peer whose hello carries a different one is
+/// disconnected (the describe() cross-check would catch a drift anyway,
+/// but a version bump fails fast with a readable error).
+inline constexpr int kProtocolVersion = 1;
+
+/// The batch-settable projection of a JobSpec (everything else is the
+/// receiver's compiled-in default, cross-checked via `desc`).
+struct WireSpec {
+  std::string kernel;
+  int scale = 1;
+  std::string policy = "unsafe";
+  int budget = 4;
+  bool memoryProp = true;
+  std::uint64_t maxCycles = 0;
+  std::int64_t deadlineMicros = 0;
+  int robSize = 0;
+  int fetchWidth = 0;
+  int renameWidth = 0;
+  int issueWidth = 0;
+  int commitWidth = 0;
+  int memLatency = 0;
+};
+
+WireSpec toWire(const runner::JobSpec& spec);
+runner::JobSpec fromWire(const WireSpec& w);
+
+enum class MsgType {
+  // peer -> daemon
+  Hello,   ///< first frame on every connection: role + protocol version
+  // client -> daemon
+  Submit,  ///< one grid point (client-scoped id)
+  Done,    ///< no more submits; daemon answers Stats after the last Outcome
+  Cancel,  ///< drop this client's queued jobs (leased ones finish)
+  // daemon -> client
+  Outcome, ///< one settled point: JobOutcome + optional record entry
+  Stats,   ///< end-of-run serve counters (workers, re-dispatches, cache)
+  // worker -> daemon
+  Pull,      ///< ready for one job
+  Result,    ///< the pulled job's outcome (+ record entry when ok)
+  Heartbeat, ///< keep-alive; renews the job lease
+  CacheGet,  ///< remote-tier lookup by content hash
+  CachePut,  ///< remote-tier store (daemon applies admission control)
+  // daemon -> worker
+  Job,       ///< one job to execute
+  CacheHit,  ///< CacheGet answer: the validated entry text
+  CacheMiss, ///< CacheGet answer: not present
+};
+
+/// Stable wire name of a message type ("submit", "cacheGet", ...).
+const char* msgTypeName(MsgType t);
+
+/// One protocol message. A tagged union kept flat (only the fields a type
+/// uses are serialized); decodeMessage() validates per-type required
+/// fields so a handler never reads a default-initialized hole.
+struct Message {
+  MsgType type = MsgType::Hello;
+
+  // Hello
+  std::string role; ///< "client" | "worker"
+  int protocolVersion = kProtocolVersion;
+
+  // Submit / Job / Outcome / Result
+  std::uint64_t id = 0; ///< client-scoped submit id; daemon echoes it back
+  WireSpec spec;
+  std::string desc; ///< canonical describe() line (cache + dedup identity)
+
+  // Submit / Job: the retry policy the worker must apply (the client's
+  // --retries flag rides through the daemon untouched)
+  int maxRetries = 2;
+  std::int64_t backoffMicros = 1000;
+
+  // Outcome / Result
+  runner::JobOutcome outcome;
+  bool hasRecord = false; ///< `record` below is meaningful
+  std::string record;     ///< ResultCache entry text (formatEntry)
+  bool fromCache = false; ///< served from a cache tier, not simulated
+  std::uint64_t retries = 0;      ///< worker-side transient retries
+  std::uint64_t redispatches = 0; ///< times the job was re-leased
+
+  // CacheGet / CacheHit / CacheMiss / CachePut
+  std::uint64_t key = 0; ///< content hash (ResultCache::keyOf)
+  std::string entry;     ///< entry text (CacheHit / CachePut)
+
+  // Stats
+  std::uint64_t workersSeen = 0;
+  std::uint64_t redispatchTotal = 0;
+  std::uint64_t remoteHits = 0;
+  std::uint64_t remoteMisses = 0;
+  std::uint64_t remotePuts = 0;
+  std::uint64_t remoteRejected = 0;
+};
+
+/// Serialize to one compact JSON payload (NOT framed; callers wrap it in
+/// framing::encodeFrame).
+std::string encodeMessage(const Message& m);
+
+/// Parse + validate one payload. Throws lev::Error on malformed JSON,
+/// unknown type, or missing per-type required fields.
+Message decodeMessage(const std::string& payload);
+
+} // namespace lev::serve

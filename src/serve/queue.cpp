@@ -1,0 +1,55 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+
+namespace lev::serve {
+
+void JobQueue::push(std::uint64_t client, std::uint64_t jobId) {
+  auto [it, inserted] = lanes_.try_emplace(client);
+  if (inserted) order_.push_back(client);
+  it->second.push_back(jobId);
+  ++size_;
+}
+
+void JobQueue::pushFront(std::uint64_t client, std::uint64_t jobId) {
+  auto [it, inserted] = lanes_.try_emplace(client);
+  if (inserted) order_.push_back(client);
+  it->second.push_front(jobId);
+  ++size_;
+}
+
+std::optional<std::uint64_t> JobQueue::pop() {
+  if (size_ == 0 || order_.empty()) return std::nullopt;
+  for (std::size_t step = 0; step < order_.size(); ++step) {
+    const std::size_t at = (cursor_ + step) % order_.size();
+    auto it = lanes_.find(order_[at]);
+    if (it == lanes_.end() || it->second.empty()) continue;
+    const std::uint64_t jobId = it->second.front();
+    it->second.pop_front();
+    --size_;
+    cursor_ = (at + 1) % order_.size();
+    return jobId;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint64_t> JobQueue::dropClient(std::uint64_t client) {
+  std::vector<std::uint64_t> dropped;
+  auto it = lanes_.find(client);
+  if (it == lanes_.end()) return dropped;
+  dropped.assign(it->second.begin(), it->second.end());
+  size_ -= dropped.size();
+  lanes_.erase(it);
+  const auto pos = std::find(order_.begin(), order_.end(), client);
+  if (pos != order_.end()) {
+    // Keep the cursor pointing at the same NEXT client after the erase.
+    const std::size_t idx = static_cast<std::size_t>(pos - order_.begin());
+    order_.erase(pos);
+    if (!order_.empty() && cursor_ > idx) --cursor_;
+    if (!order_.empty()) cursor_ %= order_.size();
+    else cursor_ = 0;
+  }
+  return dropped;
+}
+
+} // namespace lev::serve

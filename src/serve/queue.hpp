@@ -1,0 +1,52 @@
+// The daemon's dispatch queue (docs/SERVE.md): per-client FIFO lanes
+// drained round-robin, so one client's thousand-point sweep cannot starve
+// another client's ten-point one, while each client's own jobs still run
+// in submission order.
+//
+// Fail-over support: a job whose worker died is requeued at the FRONT of
+// its lane (pushFront) — it already waited its turn once, and the client
+// blocked on it is the one a lost worker hurt most.
+//
+// Single-threaded by design: only the daemon's event loop touches it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace lev::serve {
+
+class JobQueue {
+public:
+  /// Append `jobId` to `client`'s lane (creating the lane on first use).
+  void push(std::uint64_t client, std::uint64_t jobId);
+
+  /// Prepend `jobId` to `client`'s lane — the re-dispatch path.
+  void pushFront(std::uint64_t client, std::uint64_t jobId);
+
+  /// Next job, round-robin across clients with non-empty lanes; nullopt
+  /// when idle. The rotation cursor advances past the served client, so
+  /// interleaved submissions from N clients dispatch 1:1:...:1.
+  std::optional<std::uint64_t> pop();
+
+  /// Drop every queued job of `client` (its lane included); returns the
+  /// dropped ids in queue order. Leased jobs are not the queue's problem.
+  std::vector<std::uint64_t> dropClient(std::uint64_t client);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+private:
+  /// Lane bookkeeping: `order_` preserves first-submission order of
+  /// clients for a stable rotation; emptied lanes stay in place (cheap)
+  /// and are skipped by pop(), removed only by dropClient().
+  std::map<std::uint64_t, std::deque<std::uint64_t>> lanes_;
+  std::vector<std::uint64_t> order_;
+  std::size_t cursor_ = 0;
+  std::size_t size_ = 0;
+};
+
+} // namespace lev::serve

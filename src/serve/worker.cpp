@@ -1,0 +1,253 @@
+#include "serve/worker.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "runner/execute.hpp"
+#include "runner/resultcache.hpp"
+#include "serve/protocol.hpp"
+#include "support/error.hpp"
+#include "support/faultinject.hpp"
+#include "support/framing.hpp"
+#include "support/log.hpp"
+#include "support/socket.hpp"
+
+namespace lev::serve {
+
+namespace {
+
+std::int64_t nowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The connection, shared between the main loop and the heartbeat thread:
+/// all writes go through one mutex so frames never interleave.
+struct Link {
+  int fd = -1;
+  std::mutex writeMutex;
+  framing::FrameDecoder dec;
+
+  void send(const Message& m) {
+    const std::string frame = framing::encodeFrame(encodeMessage(m));
+    std::lock_guard<std::mutex> lock(writeMutex);
+    sock::writeAll(fd, frame);
+  }
+
+  /// Next frame off the wire (blocking); nullopt on orderly EOF.
+  std::optional<Message> recv() {
+    for (;;) {
+      if (auto payload = dec.next()) return decodeMessage(*payload);
+      char buf[65536];
+      const std::size_t n = sock::readSome(fd, buf, sizeof(buf));
+      if (n == 0) return std::nullopt;
+      dec.feed(buf, n);
+    }
+  }
+};
+
+/// Execute one job the way a local Sweep would (same execute.hpp calls,
+/// same retry policy) and shape the Result frame.
+Message executeJob(const Message& job,
+                   std::map<std::string, std::shared_ptr<const backend::CompileResult>>& compileMemo) {
+  Message res;
+  res.type = MsgType::Result;
+  res.id = job.id;
+
+  const runner::JobSpec spec = fromWire(job.spec);
+  if (runner::describe(spec) != job.desc) {
+    res.outcome.ok = false;
+    res.outcome.errorKind = runner::ErrorKind::Other;
+    res.outcome.message =
+        "spec mismatch: this worker's rebuilt describe() differs from the "
+        "client's (worker and client built from different trees?)";
+    return res;
+  }
+
+  // Compile (memoized per compile key, exactly like a Sweep's phase 3).
+  const std::string ckey = runner::describeCompile(spec);
+  std::shared_ptr<const backend::CompileResult> program;
+  std::uint64_t retries = 0;
+  {
+    const auto memo = compileMemo.find(ckey);
+    if (memo != compileMemo.end()) {
+      program = memo->second;
+    } else {
+      std::exception_ptr err;
+      int attempts = 0;
+      const auto t0 = nowMicros();
+      retries += runner::runWithRetry(
+          [&] {
+            program = std::make_shared<const backend::CompileResult>(
+                runner::compileJob(spec));
+          },
+          job.maxRetries, job.backoffMicros, err, attempts);
+      if (err) {
+        res.outcome = runner::classifyFailure(err, /*compilePhase=*/true,
+                                              attempts, nowMicros() - t0);
+        res.retries = retries;
+        return res;
+      }
+      compileMemo.emplace(ckey, program);
+    }
+  }
+
+  // Simulate.
+  runner::RunRecord rec;
+  std::exception_ptr err;
+  int attempts = 0;
+  const auto t0 = nowMicros();
+  retries += runner::runWithRetry(
+      [&] { rec = runner::simulateJob(program->program, spec); },
+      job.maxRetries, job.backoffMicros, err, attempts);
+  res.retries = retries;
+  if (err) {
+    res.outcome = runner::classifyFailure(err, /*compilePhase=*/false,
+                                          attempts, nowMicros() - t0);
+    return res;
+  }
+  res.outcome.ok = true;
+  res.outcome.attempts = attempts;
+  res.hasRecord = true;
+  res.record = runner::ResultCache::formatEntry(job.desc, rec);
+  res.fromCache = false;
+  return res;
+}
+
+} // namespace
+
+std::uint64_t runWorker(const WorkerOptions& opts) {
+  sock::Fd fd = sock::connectTo(opts.host, opts.port);
+  Link link;
+  link.fd = fd.get();
+
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.role = "worker";
+  link.send(hello);
+
+  // Heartbeat thread: keeps the job lease alive through long simulations.
+  // A failed heartbeat write just stops the thread — the main loop will
+  // hit the same dead socket and exit orderly.
+  std::mutex hbMutex;
+  std::condition_variable hbCv;
+  bool hbStop = false;
+  std::thread heartbeat([&] {
+    std::unique_lock<std::mutex> lock(hbMutex);
+    for (;;) {
+      hbCv.wait_for(lock, std::chrono::microseconds(opts.heartbeatMicros));
+      if (hbStop) return;
+      try {
+        Message hb;
+        hb.type = MsgType::Heartbeat;
+        link.send(hb);
+      } catch (const std::exception&) {
+        return;
+      }
+    }
+  });
+  const auto stopHeartbeat = [&] {
+    {
+      std::lock_guard<std::mutex> lock(hbMutex);
+      hbStop = true;
+    }
+    hbCv.notify_all();
+    heartbeat.join();
+  };
+
+  std::unique_ptr<runner::ResultCache> l1;
+  if (!opts.cacheDir.empty())
+    l1 = std::make_unique<runner::ResultCache>(runner::ResultCache::Options{
+        opts.cacheDir, runner::kCodeVersionSalt});
+
+  std::map<std::string, std::shared_ptr<const backend::CompileResult>>
+      compileMemo;
+  std::uint64_t jobsDone = 0;
+  try {
+    for (;;) {
+      Message pull;
+      pull.type = MsgType::Pull;
+      link.send(pull);
+      auto job = link.recv();
+      if (!job) break; // daemon closed: orderly shutdown
+      if (job->type != MsgType::Job)
+        throw Error(std::string("expected job frame, got ") +
+                    msgTypeName(job->type));
+
+      // The crash site fires AFTER the job is leased to this worker — the
+      // exact moment whose loss fail-over must absorb (docs/ROBUSTNESS.md).
+      if (faultinject::shouldFail("worker.crash")) {
+        LEV_LOG_WARN("worker", "injected worker.crash fault: raising SIGKILL",
+                     {{"desc", job->desc}});
+        ::raise(SIGKILL);
+      }
+
+      const std::uint64_t key =
+          runner::fnv1a(job->desc, runner::fnv1a(runner::kCodeVersionSalt));
+
+      // L1, then remote tier, then compute.
+      Message res;
+      std::optional<std::string> entry;
+      if (l1) entry = l1->readByHash(key, job->desc);
+      if (entry) {
+        res.type = MsgType::Result;
+        res.id = job->id;
+        res.outcome.ok = true;
+        res.fromCache = true;
+        res.hasRecord = true;
+        res.record = std::move(*entry);
+      } else {
+        Message get;
+        get.type = MsgType::CacheGet;
+        get.key = key;
+        get.desc = job->desc;
+        link.send(get);
+        auto reply = link.recv();
+        if (!reply) break;
+        if (reply->type == MsgType::CacheHit) {
+          if (l1) l1->storeByHash(key, job->desc, reply->entry);
+          res.type = MsgType::Result;
+          res.id = job->id;
+          res.outcome.ok = true;
+          res.fromCache = true;
+          res.hasRecord = true;
+          res.record = std::move(reply->entry);
+        } else if (reply->type == MsgType::CacheMiss) {
+          res = executeJob(*job, compileMemo);
+          if (res.outcome.ok) {
+            if (l1) l1->storeByHash(key, job->desc, res.record);
+            Message put;
+            put.type = MsgType::CachePut;
+            put.key = key;
+            put.desc = job->desc;
+            put.entry = res.record;
+            link.send(put);
+          }
+        } else {
+          throw Error(std::string("expected cache reply, got ") +
+                      msgTypeName(reply->type));
+        }
+      }
+      link.send(res);
+      ++jobsDone;
+    }
+  } catch (const TransientError& e) {
+    // A torn connection mid-run: the daemon (or the network) went away.
+    // The lease machinery re-dispatches anything this worker held.
+    LEV_LOG_WARN("worker", "connection lost; exiting",
+                 {{"error", e.what()}, {"jobsDone", jobsDone}});
+  } catch (...) {
+    stopHeartbeat();
+    throw;
+  }
+  stopHeartbeat();
+  return jobsDone;
+}
+
+} // namespace lev::serve

@@ -1,0 +1,44 @@
+// The levioso-worker execution loop (docs/SERVE.md): connect to a daemon,
+// pull jobs one at a time, and run each through EXACTLY the code path a
+// local sweep uses (runner/execute.hpp) — compile memoized per compile
+// key, simulation retried per the client's policy — reporting a Result
+// frame per job.
+//
+// Cache tiers: each job is served from the worker's local L1
+// (.levioso-cache/) first, then the daemon's remote tier (CacheGet), and
+// only then computed; fresh results are stored to the L1 and offered to
+// the remote tier (CachePut). Entries move as raw ResultCache text, so
+// every tier validates with the same code.
+//
+// Spec safety: the worker rebuilds the JobSpec from the wire projection
+// and REFUSES the job (ErrorKind::Other) when the rebuilt describe() line
+// differs from the client's — mismatched builds must fail loudly, not
+// poison a shared cache.
+//
+// Fault-injection site "worker.crash" (docs/ROBUSTNESS.md): fires after a
+// job is received — while its lease is held — and kills the process with
+// SIGKILL, the harshest loss mode fail-over must absorb.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lev::serve {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Local L1 result cache; "" disables it (remote tier still used).
+  std::string cacheDir = ".levioso-cache";
+  /// Keep-alive cadence; must be well under the daemon's lease window.
+  std::int64_t heartbeatMicros = 2'000'000;
+};
+
+/// Serve jobs until the daemon closes the connection; returns the number
+/// of jobs executed. Throws lev::Error on protocol violations (a daemon
+/// speaking a different protocol). A connection torn mid-run (daemon
+/// killed) is an orderly exit, not an error — the daemon owns job
+/// durability, not the worker.
+std::uint64_t runWorker(const WorkerOptions& opts);
+
+} // namespace lev::serve

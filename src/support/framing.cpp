@@ -1,0 +1,72 @@
+#include "support/framing.hpp"
+
+#include "support/error.hpp"
+
+namespace lev::framing {
+
+namespace {
+constexpr std::size_t kPrefixBytes = 4;
+} // namespace
+
+std::string encodeFrame(std::string_view payload, std::size_t maxFrameBytes) {
+  if (payload.size() > maxFrameBytes)
+    throw Error("frame payload of " + std::to_string(payload.size()) +
+                " bytes exceeds the " + std::to_string(maxFrameBytes) +
+                "-byte frame limit");
+  std::string out;
+  out.reserve(kPrefixBytes + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out += static_cast<char>((len >> 24) & 0xff);
+  out += static_cast<char>((len >> 16) & 0xff);
+  out += static_cast<char>((len >> 8) & 0xff);
+  out += static_cast<char>(len & 0xff);
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  // Drop the already-consumed prefix before growing, so a long-lived
+  // connection's buffer stays bounded by one partial frame.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+  // Validate the length prefix EAGERLY: a corrupt prefix must fail now,
+  // not after the decoder has buffered maxFrameBytes of garbage.
+  if (pendingBytes() >= kPrefixBytes) {
+    const auto* p =
+        reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+    const std::uint32_t len = (static_cast<std::uint32_t>(p[0]) << 24) |
+                              (static_cast<std::uint32_t>(p[1]) << 16) |
+                              (static_cast<std::uint32_t>(p[2]) << 8) |
+                              static_cast<std::uint32_t>(p[3]);
+    if (len > maxFrameBytes_)
+      throw Error("frame length prefix declares " + std::to_string(len) +
+                  " bytes, over the " + std::to_string(maxFrameBytes_) +
+                  "-byte limit (corrupt or hostile peer)");
+  }
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (pendingBytes() < kPrefixBytes) return std::nullopt;
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const std::uint32_t len = (static_cast<std::uint32_t>(p[0]) << 24) |
+                            (static_cast<std::uint32_t>(p[1]) << 16) |
+                            (static_cast<std::uint32_t>(p[2]) << 8) |
+                            static_cast<std::uint32_t>(p[3]);
+  if (len > maxFrameBytes_)
+    throw Error("frame length prefix declares " + std::to_string(len) +
+                " bytes, over the " + std::to_string(maxFrameBytes_) +
+                "-byte limit (corrupt or hostile peer)");
+  if (pendingBytes() < kPrefixBytes + len) return std::nullopt;
+  std::string payload = buffer_.substr(consumed_ + kPrefixBytes, len);
+  consumed_ += kPrefixBytes + len;
+  return payload;
+}
+
+} // namespace lev::framing

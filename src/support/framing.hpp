@@ -1,0 +1,59 @@
+// Length-prefixed message framing for the serve wire protocol
+// (docs/SERVE.md): every message on a connection is one frame, a 4-byte
+// big-endian payload length followed by that many payload bytes (JSON
+// text for levioso-serve, but the framing layer is payload-agnostic).
+//
+// Decoding is INCREMENTAL: a TCP read can deliver half a length prefix,
+// one and a half frames, or ten frames at once, and the decoder must never
+// hand a partial payload to the JSON parser (a truncated JSON document can
+// parse "successfully" as a smaller value — the bogus-parse failure mode
+// this layer exists to prevent). feed() buffers arbitrary byte chunks;
+// next() yields exactly the complete frames, in order.
+//
+// A frame whose declared length exceeds maxFrameBytes is a protocol error
+// (malicious or corrupt peer) and throws lev::Error immediately — before
+// buffering the payload, so a bad 4-byte prefix cannot make the decoder
+// allocate gigabytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lev::framing {
+
+/// Frames larger than this are rejected by default (a grid submission of
+/// thousands of points is ~1 MiB; nothing legitimate approaches 64 MiB).
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Wrap `payload` in a frame: 4-byte big-endian length + payload bytes.
+/// Throws lev::Error when payload exceeds maxFrameBytes.
+std::string encodeFrame(std::string_view payload,
+                        std::size_t maxFrameBytes = kDefaultMaxFrameBytes);
+
+class FrameDecoder {
+public:
+  explicit FrameDecoder(std::size_t maxFrameBytes = kDefaultMaxFrameBytes)
+      : maxFrameBytes_(maxFrameBytes) {}
+
+  /// Buffer `n` more bytes off the wire. Throws lev::Error as soon as a
+  /// complete length prefix declares an oversized frame.
+  void feed(const char* data, std::size_t n);
+  void feed(std::string_view data) { feed(data.data(), data.size()); }
+
+  /// The next complete frame's payload, or nullopt until more bytes
+  /// arrive. Call in a loop — one feed() can complete several frames.
+  std::optional<std::string> next();
+
+  /// Bytes buffered but not yet returned (partial prefix or payload).
+  std::size_t pendingBytes() const { return buffer_.size() - consumed_; }
+
+private:
+  std::size_t maxFrameBytes_;
+  std::string buffer_;
+  std::size_t consumed_ = 0; ///< prefix of buffer_ already handed out
+};
+
+} // namespace lev::framing

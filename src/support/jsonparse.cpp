@@ -173,11 +173,17 @@ private:
             text_[pos_] == 'e' || text_[pos_] == 'E'))
       ++pos_;
     if (pos_ == start) fail("expected number");
+    const std::string token(text_.substr(start, pos_ - start));
+    // JSON numbers start with '-' or a digit, never '+' or '.'.
+    if (token[0] == '+' || token[0] == '.') fail("malformed number");
+    // strtod parses the longest valid PREFIX, so "1.2.3" or "1e+2x" would
+    // silently yield 1.2 / error-free garbage; the whole token must be
+    // consumed or the value carries trailing garbage inside the number.
+    char* end = nullptr;
     JsonValue v;
     v.kind = JsonValue::Kind::Number;
-    v.number =
-        std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
-                    nullptr);
+    v.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
     return v;
   }
 

@@ -1,0 +1,165 @@
+#include "support/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+#include "support/faultinject.hpp"
+#include "support/strings.hpp"
+
+namespace lev::sock {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+void parseEndpoint(const std::string& endpoint, std::string& host,
+                   std::uint16_t& port) {
+  const auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size())
+    throw Error("malformed endpoint '" + endpoint + "' (expected host:port)");
+  std::int64_t p = 0;
+  if (!parseInt(endpoint.substr(colon + 1), p) || p < 1 || p > 65535)
+    throw Error("malformed port in endpoint '" + endpoint + "'");
+  host = endpoint.substr(0, colon);
+  port = static_cast<std::uint16_t>(p);
+}
+
+Fd& Fd::operator=(Fd&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener Listener::open(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throwErrno("socket()");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    throwErrno("bind(port " + std::to_string(port) + ")");
+  if (::listen(fd.get(), backlog) != 0) throwErrno("listen()");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    throwErrno("getsockname()");
+  Listener l;
+  l.fd_ = std::move(fd);
+  l.port_ = ntohs(addr.sin_port);
+  return l;
+}
+
+int Listener::acceptFd() {
+  for (;;) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    throwErrno("accept()");
+  }
+}
+
+Fd connectTo(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0 || res == nullptr)
+    throw Error("cannot resolve host '" + host +
+                "': " + ::gai_strerror(rc));
+  Fd fd(::socket(res->ai_family, res->ai_socktype, res->ai_protocol));
+  if (!fd.valid()) {
+    ::freeaddrinfo(res);
+    throwErrno("socket()");
+  }
+  const int ok = ::connect(fd.get(), res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (ok != 0)
+    throwErrno("connect(" + host + ":" + std::to_string(port) + ")");
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+std::size_t readSome(int fd, char* buf, std::size_t n) {
+  if (faultinject::shouldFail("net.read"))
+    throw TransientError("injected fault (LEVIOSO_FAULTS net.read) on fd " +
+                         std::to_string(fd));
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, n, 0);
+    if (got >= 0) return static_cast<std::size_t>(got);
+    if (errno == EINTR) continue;
+    throw TransientError("socket read failed on fd " + std::to_string(fd) +
+                         ": " + std::strerror(errno));
+  }
+}
+
+void writeAll(int fd, const char* data, std::size_t n) {
+  if (faultinject::shouldFail("net.write"))
+    throw TransientError("injected fault (LEVIOSO_FAULTS net.write) on fd " +
+                         std::to_string(fd));
+  std::size_t off = 0;
+  while (off < n) {
+    // MSG_NOSIGNAL: a peer that died mid-write must surface as EPIPE, not
+    // a process-killing SIGPIPE (worker loss is a recoverable event).
+    const ssize_t put = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (put > 0) {
+      off += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    throw TransientError("socket write failed on fd " + std::to_string(fd) +
+                         ": " + std::strerror(errno));
+  }
+}
+
+std::size_t writeSome(int fd, const char* data, std::size_t n) {
+  if (faultinject::shouldFail("net.write"))
+    throw TransientError("injected fault (LEVIOSO_FAULTS net.write) on fd " +
+                         std::to_string(fd));
+  for (;;) {
+    const ssize_t put = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (put >= 0) return static_cast<std::size_t>(put);
+    if (errno == EINTR) continue;
+    throw TransientError("socket write failed on fd " + std::to_string(fd) +
+                         ": " + std::strerror(errno));
+  }
+}
+
+} // namespace lev::sock

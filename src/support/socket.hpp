@@ -1,0 +1,88 @@
+// Thin RAII wrappers over POSIX TCP sockets for the serve subsystem
+// (docs/SERVE.md). Deliberately minimal: blocking stream sockets, a
+// listener, and helpers that loop over partial reads/writes — the daemon's
+// event loop does its own poll()ing on the raw fds.
+//
+// Fault injection (docs/ROBUSTNESS.md): readSome and writeAll arm the
+// "net.read" / "net.write" sites before touching the kernel; a fired fault
+// behaves exactly like an I/O error on the wire (TransientError), so every
+// failure path a flaky network can take is drivable deterministically from
+// LEVIOSO_FAULTS.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lev::sock {
+
+/// "host:port" -> pair; throws lev::Error on a malformed endpoint.
+void parseEndpoint(const std::string& endpoint, std::string& host,
+                   std::uint16_t& port);
+
+/// Owns one socket fd; closes on destruction. Move-only.
+class Fd {
+public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { close(); }
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Release ownership without closing (handing the fd to a child).
+  int release();
+  void close();
+
+private:
+  int fd_ = -1;
+};
+
+/// A bound + listening TCP socket (IPv4 loopback-or-any).
+class Listener {
+public:
+  /// Bind and listen on `port` (0 = pick an ephemeral port); throws
+  /// lev::Error on failure. SO_REUSEADDR is set so restarts don't trip
+  /// over TIME_WAIT.
+  static Listener open(std::uint16_t port, int backlog = 64);
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_.get(); }
+
+  /// Accept one connection (blocking); returns the connected fd. Throws
+  /// lev::Error on failure.
+  int acceptFd();
+
+  void close() { fd_.close(); }
+
+private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to host:port (blocking); throws lev::Error on failure.
+Fd connectTo(const std::string& host, std::uint16_t port);
+
+/// Read up to `n` bytes (blocking). Returns the byte count, 0 on orderly
+/// peer shutdown. Throws TransientError on an I/O error or an injected
+/// "net.read" fault; retries EINTR itself.
+std::size_t readSome(int fd, char* buf, std::size_t n);
+
+/// Write all `n` bytes (blocking, loops over partial writes). Throws
+/// TransientError on an I/O error, a closed peer, or an injected
+/// "net.write" fault.
+void writeAll(int fd, const char* data, std::size_t n);
+inline void writeAll(int fd, const std::string& s) {
+  writeAll(fd, s.data(), s.size());
+}
+
+/// One send() of up to `n` bytes; returns how many were accepted (can be
+/// less than n). For callers that poll() for writability and must not
+/// block behind a stalled peer (the daemon's buffered writes). Throws
+/// TransientError on an I/O error or an injected "net.write" fault.
+std::size_t writeSome(int fd, const char* data, std::size_t n);
+
+} // namespace lev::sock

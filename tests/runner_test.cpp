@@ -500,6 +500,69 @@ TEST(ResultCache, CollisionCounterSeparatesAliasingFromColdMisses) {
   fs::remove_all(dir);
 }
 
+TEST(ResultCache, RawEntryApiRoundTripsThroughFormatAndCheck) {
+  // The raw-entry contract (docs/RUNNER.md): formatEntry's bytes are the
+  // on-disk format, checkEntry is its one validator, and both are pure —
+  // this is what lets entries cross the serve wire as opaque text.
+  RunRecord rec;
+  rec.summary.cycles = 1000;
+  rec.summary.insts = 400;
+  rec.summary.loadDelayCycles = 7;
+  rec.wallMicros = 5555;
+  rec.stats["l1d.misses"] = 31;
+  const std::string desc = "kernel=x scale=1 policy=unsafe";
+  const std::string entry = ResultCache::formatEntry(desc, rec);
+
+  RunRecord back;
+  ASSERT_EQ(ResultCache::checkEntry(entry, desc, back),
+            ResultCache::EntryCheck::Ok);
+  EXPECT_EQ(back.summary.cycles, 1000u);
+  EXPECT_EQ(back.summary.insts, 400u);
+  EXPECT_EQ(back.summary.loadDelayCycles, 7);
+  EXPECT_EQ(back.wallMicros, 5555);
+  EXPECT_EQ(back.stats.at("l1d.misses"), 31);
+  EXPECT_TRUE(back.fromCache);
+  EXPECT_DOUBLE_EQ(back.summary.ipc, 0.4);
+
+  // The same bytes under a different description are Foreign, not Ok and
+  // not Corrupt — the distinction drives the collision counter.
+  EXPECT_EQ(ResultCache::checkEntry(entry, "some other job", back),
+            ResultCache::EntryCheck::Foreign);
+  EXPECT_EQ(ResultCache::checkEntry("garbage", desc, back),
+            ResultCache::EntryCheck::Corrupt);
+  EXPECT_EQ(ResultCache::checkEntry("", desc, back),
+            ResultCache::EntryCheck::Corrupt);
+}
+
+TEST(ResultCache, ReadAndStoreByHashShareLookupSemantics) {
+  const std::string dir = freshDir("rawapi");
+  ResultCache cache({dir, "salt"});
+  RunRecord rec;
+  rec.summary.cycles = 10;
+  rec.summary.insts = 20;
+  const std::string desc = "raw job";
+  const std::uint64_t key = cache.keyOf(desc);
+  const std::string entry = ResultCache::formatEntry(desc, rec);
+
+  EXPECT_FALSE(cache.readByHash(key, desc).has_value());
+  EXPECT_TRUE(cache.storeByHash(key, desc, entry));
+  const auto raw = cache.readByHash(key, desc);
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_EQ(*raw, entry);
+  // lookup() rides the same entry: one write path, one read path.
+  const auto viaLookup = cache.lookup(desc);
+  ASSERT_TRUE(viaLookup.has_value());
+  EXPECT_EQ(viaLookup->summary.cycles, 10u);
+
+  // Admission control: a mis-keyed store writes nothing...
+  EXPECT_FALSE(cache.storeByHash(key ^ 1, desc, entry));
+  EXPECT_FALSE(cache.readByHash(key ^ 1, desc).has_value());
+  // ...and corrupt text is refused before touching the disk.
+  EXPECT_FALSE(cache.storeByHash(key, desc, "not an entry"));
+  EXPECT_TRUE(cache.readByHash(key, desc).has_value());
+  fs::remove_all(dir);
+}
+
 TEST(ResultCache, StoreFailuresAreCountedAndWarnOnce) {
   // Point the cache "directory" at an existing FILE: create_directories
   // fails on every store, deterministically (and without permission

@@ -1,0 +1,679 @@
+// Tests for the distributed sweep service (src/serve/, docs/SERVE.md):
+// wire framing (truncated / oversized / corrupt / interleaved frames),
+// net.* fault-site plumbing, protocol encode/decode round-trips, the
+// per-client-fair JobQueue, remote-tier admission control, and end-to-end
+// daemon+worker runs — including SIGKILL worker loss mid-sweep and the
+// warm-for-warm byte-identical report contract levioso-batch --connect
+// relies on.
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "runner/resultcache.hpp"
+#include "runner/sweep.hpp"
+#include "serve/cachetier.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/worker.hpp"
+#include "support/error.hpp"
+#include "support/faultinject.hpp"
+#include "support/framing.hpp"
+#include "support/log.hpp"
+#include "support/socket.hpp"
+
+namespace fs = std::filesystem;
+using namespace lev;
+using namespace lev::runner;
+
+namespace {
+
+std::string freshDir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "levioso-serve-" + tag + "-" +
+                          std::to_string(::getpid());
+  fs::remove_all(dir);
+  return dir;
+}
+
+JobSpec smallJob(const std::string& policy,
+                 const std::string& kernel = "x264_sad") {
+  JobSpec spec;
+  spec.kernel = kernel;
+  spec.policy = policy;
+  return spec;
+}
+
+/// Silences the logger for the duration of a test.
+class QuietLog {
+public:
+  QuietLog() { lev::log::setTextSink(&buffer_); }
+  ~QuietLog() { lev::log::setTextSink(&std::cerr); }
+
+private:
+  std::ostringstream buffer_;
+};
+
+/// Every test leaves the process with injection disabled.
+class ServeFault : public ::testing::Test {
+protected:
+  void TearDown() override { faultinject::configure(""); }
+};
+
+} // namespace
+
+// ---- framing -----------------------------------------------------------
+
+TEST(Framing, RoundTripsOneFrame) {
+  framing::FrameDecoder dec;
+  dec.feed(framing::encodeFrame("hello"));
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, "hello");
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.pendingBytes(), 0u);
+}
+
+TEST(Framing, EmptyPayloadIsAValidFrame) {
+  framing::FrameDecoder dec;
+  dec.feed(framing::encodeFrame(""));
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->empty());
+}
+
+TEST(Framing, OneFeedCanCompleteSeveralFrames) {
+  framing::FrameDecoder dec;
+  dec.feed(framing::encodeFrame("a") + framing::encodeFrame("bb") +
+           framing::encodeFrame("ccc"));
+  EXPECT_EQ(dec.next().value(), "a");
+  EXPECT_EQ(dec.next().value(), "bb");
+  EXPECT_EQ(dec.next().value(), "ccc");
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(Framing, ReassemblesByteAtATime) {
+  // The harshest interleaving a TCP stream can deliver: every byte in its
+  // own read, frames crossing read boundaries everywhere.
+  const std::string wire =
+      framing::encodeFrame("first frame") + framing::encodeFrame("second");
+  framing::FrameDecoder dec;
+  std::vector<std::string> frames;
+  for (const char c : wire) {
+    dec.feed(&c, 1);
+    while (auto f = dec.next()) frames.push_back(*f);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], "first frame");
+  EXPECT_EQ(frames[1], "second");
+}
+
+TEST(Framing, TruncatedFrameNeverYields) {
+  const std::string wire = framing::encodeFrame("truncated payload");
+  framing::FrameDecoder dec;
+  dec.feed(wire.data(), wire.size() - 3); // cut mid-payload
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_GT(dec.pendingBytes(), 0u);
+  dec.feed(wire.data() + wire.size() - 3, 3);
+  EXPECT_EQ(dec.next().value(), "truncated payload");
+}
+
+TEST(Framing, TruncatedPrefixNeverYields) {
+  const std::string wire = framing::encodeFrame("x");
+  framing::FrameDecoder dec;
+  dec.feed(wire.data(), 2); // half a length prefix
+  EXPECT_FALSE(dec.next().has_value());
+  dec.feed(wire.data() + 2, wire.size() - 2);
+  EXPECT_EQ(dec.next().value(), "x");
+}
+
+TEST(Framing, OversizedDeclarationThrowsBeforeBuffering) {
+  // A corrupt 4-byte prefix declaring a huge frame must fail on feed() —
+  // before the decoder allocates the declared size.
+  framing::FrameDecoder dec(16);
+  const std::string wire = framing::encodeFrame("this payload is too long");
+  EXPECT_THROW(dec.feed(wire), Error);
+}
+
+TEST(Framing, EncodeRejectsOversizedPayload) {
+  EXPECT_THROW(framing::encodeFrame(std::string(32, 'x'), 16), Error);
+}
+
+TEST(Framing, CorruptPrefixAllOnesThrows) {
+  const char bad[4] = {'\xff', '\xff', '\xff', '\xff'};
+  framing::FrameDecoder dec;
+  EXPECT_THROW(dec.feed(bad, 4), Error);
+}
+
+// ---- net.* fault sites -------------------------------------------------
+
+TEST_F(ServeFault, NetReadFaultSurfacesAsTransientError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  sock::Fd a(fds[0]), b(fds[1]);
+  sock::writeAll(a.get(), "payload");
+  faultinject::configure("net.read=once:1");
+  char buf[16];
+  EXPECT_THROW(sock::readSome(b.get(), buf, sizeof buf), TransientError);
+  // The fault fired once; the data is still on the wire afterwards.
+  faultinject::configure("");
+  EXPECT_EQ(sock::readSome(b.get(), buf, sizeof buf), 7u);
+}
+
+TEST_F(ServeFault, NetWriteFaultSurfacesAsTransientError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  sock::Fd a(fds[0]), b(fds[1]);
+  faultinject::configure("net.write=once:1");
+  EXPECT_THROW(sock::writeAll(a.get(), "x", 1), TransientError);
+  EXPECT_THROW([&] {
+    faultinject::configure("net.write=once:1");
+    (void)sock::writeSome(a.get(), "x", 1);
+  }(), TransientError);
+}
+
+TEST_F(ServeFault, CorruptFrameOffTheWireIsAProtocolError) {
+  // net-level corruption that scrambles a length prefix: the decoder must
+  // reject it instead of waiting forever for gigabytes that never come.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  sock::Fd a(fds[0]), b(fds[1]);
+  std::string wire = framing::encodeFrame(std::string(100, 'p'));
+  wire[0] = '\x7f'; // scramble the prefix high byte: ~2 GiB declared
+  sock::writeAll(a.get(), wire);
+  char buf[256];
+  const std::size_t n = sock::readSome(b.get(), buf, sizeof buf);
+  framing::FrameDecoder dec;
+  EXPECT_THROW(dec.feed(buf, n), Error);
+}
+
+// ---- protocol ----------------------------------------------------------
+
+TEST(Protocol, WireSpecRoundTripPreservesDescribe) {
+  JobSpec spec = smallJob("levioso", "mcf_chase");
+  spec.scale = 3;
+  spec.budget = 7;
+  spec.cfg.robSize = 96;
+  spec.cfg.fetchWidth = spec.cfg.renameWidth = spec.cfg.issueWidth =
+      spec.cfg.commitWidth = 2;
+  spec.cfg.mem.memLatency = 250;
+  spec.deadlineMicros = 5'000'000;
+  const JobSpec back = serve::fromWire(serve::toWire(spec));
+  EXPECT_EQ(describe(back), describe(spec));
+  EXPECT_EQ(back.deadlineMicros, spec.deadlineMicros);
+}
+
+TEST(Protocol, SubmitRoundTrip) {
+  serve::Message m;
+  m.type = serve::MsgType::Submit;
+  m.id = 42;
+  m.spec = serve::toWire(smallJob("fence"));
+  m.desc = describe(smallJob("fence"));
+  m.maxRetries = 5;
+  m.backoffMicros = 777;
+  const serve::Message d = serve::decodeMessage(serve::encodeMessage(m));
+  EXPECT_EQ(d.type, serve::MsgType::Submit);
+  EXPECT_EQ(d.id, 42u);
+  EXPECT_EQ(d.desc, m.desc);
+  EXPECT_EQ(d.maxRetries, 5);
+  EXPECT_EQ(d.backoffMicros, 777);
+  EXPECT_EQ(describe(serve::fromWire(d.spec)), m.desc);
+}
+
+TEST(Protocol, ResultWithRecordRoundTrip) {
+  RunRecord rec;
+  rec.summary.cycles = 123;
+  rec.summary.insts = 456;
+  const std::string desc = describe(smallJob("unsafe"));
+  serve::Message m;
+  m.type = serve::MsgType::Result;
+  m.id = 7;
+  m.outcome.ok = true;
+  m.outcome.attempts = 2;
+  m.hasRecord = true;
+  m.record = ResultCache::formatEntry(desc, rec);
+  m.fromCache = true;
+  m.retries = 1;
+  const serve::Message d = serve::decodeMessage(serve::encodeMessage(m));
+  EXPECT_EQ(d.type, serve::MsgType::Result);
+  EXPECT_TRUE(d.outcome.ok);
+  EXPECT_EQ(d.outcome.attempts, 2);
+  ASSERT_TRUE(d.hasRecord);
+  EXPECT_TRUE(d.fromCache);
+  EXPECT_EQ(d.retries, 1u);
+  RunRecord back;
+  ASSERT_EQ(ResultCache::checkEntry(d.record, desc, back),
+            ResultCache::EntryCheck::Ok);
+  EXPECT_EQ(back.summary.cycles, 123u);
+  EXPECT_EQ(back.summary.insts, 456u);
+}
+
+TEST(Protocol, FailedOutcomeRoundTrip) {
+  serve::Message m;
+  m.type = serve::MsgType::Outcome;
+  m.id = 9;
+  m.outcome.ok = false;
+  m.outcome.errorKind = ErrorKind::Deadline;
+  m.outcome.message = "out of \"time\"\n";
+  m.outcome.gaveUpAfterMicros = 12345;
+  m.redispatches = 2;
+  const serve::Message d = serve::decodeMessage(serve::encodeMessage(m));
+  EXPECT_FALSE(d.outcome.ok);
+  EXPECT_EQ(d.outcome.errorKind, ErrorKind::Deadline);
+  EXPECT_EQ(d.outcome.message, "out of \"time\"\n");
+  EXPECT_EQ(d.outcome.gaveUpAfterMicros, 12345);
+  EXPECT_EQ(d.redispatches, 2u);
+  EXPECT_FALSE(d.hasRecord);
+}
+
+TEST(Protocol, CacheKeyCrossesTheWireLosslessly) {
+  // 64-bit keys ride as 16-hex-digit strings: a JSON double would corrupt
+  // anything above 2^53. Use a key with all nibbles exercised and the top
+  // bit set.
+  serve::Message m;
+  m.type = serve::MsgType::CacheGet;
+  m.key = 0xfedcba9876543210ull;
+  m.desc = "desc";
+  const serve::Message d = serve::decodeMessage(serve::encodeMessage(m));
+  EXPECT_EQ(d.key, 0xfedcba9876543210ull);
+}
+
+TEST(Protocol, StatsRoundTrip) {
+  serve::Message m;
+  m.type = serve::MsgType::Stats;
+  m.workersSeen = 3;
+  m.redispatchTotal = 2;
+  m.remoteHits = 10;
+  m.remoteMisses = 4;
+  m.remotePuts = 4;
+  m.remoteRejected = 1;
+  const serve::Message d = serve::decodeMessage(serve::encodeMessage(m));
+  EXPECT_EQ(d.workersSeen, 3u);
+  EXPECT_EQ(d.redispatchTotal, 2u);
+  EXPECT_EQ(d.remoteHits, 10u);
+  EXPECT_EQ(d.remoteMisses, 4u);
+  EXPECT_EQ(d.remotePuts, 4u);
+  EXPECT_EQ(d.remoteRejected, 1u);
+}
+
+TEST(Protocol, RejectsMalformedPayloads) {
+  EXPECT_THROW(serve::decodeMessage("not json"), Error);
+  EXPECT_THROW(serve::decodeMessage("{}"), Error);
+  EXPECT_THROW(serve::decodeMessage("{\"type\":\"warp\"}"), Error);
+  EXPECT_THROW(serve::decodeMessage("{\"type\":\"submit\"}"), Error);
+  // trailing garbage after a complete document (satellite: strict parser)
+  EXPECT_THROW(serve::decodeMessage(
+                   "{\"type\":\"pull\"}{\"type\":\"pull\"}"),
+               Error);
+  // a corrupt key string must not silently decode to key 0
+  EXPECT_THROW(
+      serve::decodeMessage("{\"type\":\"cacheGet\",\"key\":\"xyz\","
+                           "\"desc\":\"d\"}"),
+      Error);
+}
+
+// ---- JobQueue ----------------------------------------------------------
+
+TEST(JobQueue, SingleClientIsFifo) {
+  serve::JobQueue q;
+  q.push(1, 10);
+  q.push(1, 11);
+  q.push(1, 12);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().value(), 10u);
+  EXPECT_EQ(q.pop().value(), 11u);
+  EXPECT_EQ(q.pop().value(), 12u);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(JobQueue, RoundRobinAcrossClients) {
+  // Client 1 floods, client 2 trickles: dispatch must still alternate.
+  serve::JobQueue q;
+  for (std::uint64_t j = 0; j < 4; ++j) q.push(1, 100 + j);
+  q.push(2, 200);
+  q.push(2, 201);
+  std::vector<std::uint64_t> order;
+  while (auto id = q.pop()) order.push_back(*id);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{100, 200, 101, 201, 102, 103}));
+}
+
+TEST(JobQueue, PushFrontJumpsItsOwnLane) {
+  serve::JobQueue q;
+  q.push(1, 10);
+  q.push(1, 11);
+  q.pushFront(1, 99); // the re-dispatch path: already waited its turn once
+  EXPECT_EQ(q.pop().value(), 99u);
+  EXPECT_EQ(q.pop().value(), 10u);
+  EXPECT_EQ(q.pop().value(), 11u);
+}
+
+TEST(JobQueue, DropClientRemovesOnlyThatLane) {
+  serve::JobQueue q;
+  q.push(1, 10);
+  q.push(2, 20);
+  q.push(1, 11);
+  q.push(2, 21);
+  const auto dropped = q.dropClient(1);
+  EXPECT_EQ(dropped, (std::vector<std::uint64_t>{10, 11}));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().value(), 20u);
+  EXPECT_EQ(q.pop().value(), 21u);
+  // rotation still works for clients that arrive afterwards
+  q.push(3, 30);
+  EXPECT_EQ(q.pop().value(), 30u);
+}
+
+// ---- RemoteCacheTier ---------------------------------------------------
+
+namespace {
+
+/// A formatted entry + its key for an arbitrary description.
+struct TierFixture {
+  std::string desc;
+  std::uint64_t key;
+  std::string entry;
+};
+
+TierFixture tierEntry(const std::string& policy) {
+  const JobSpec spec = smallJob(policy);
+  RunRecord rec;
+  rec.summary.cycles = 1000;
+  rec.summary.insts = 500;
+  TierFixture f;
+  f.desc = describe(spec);
+  f.entry = ResultCache::formatEntry(f.desc, rec);
+  f.key = ResultCache({"/nonexistent", kCodeVersionSalt}).keyOf(f.desc);
+  return f;
+}
+
+} // namespace
+
+TEST(RemoteCacheTier, PutThenGetRoundTrips) {
+  QuietLog quiet;
+  serve::RemoteCacheTier tier({freshDir("tier-rt"), kCodeVersionSalt, 0});
+  const TierFixture f = tierEntry("unsafe");
+  EXPECT_FALSE(tier.get(f.key, f.desc).has_value());
+  EXPECT_TRUE(tier.put(f.key, f.desc, f.entry));
+  const auto back = tier.get(f.key, f.desc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, f.entry);
+  EXPECT_EQ(tier.counters().hits, 1u);
+  EXPECT_EQ(tier.counters().misses, 1u);
+  EXPECT_EQ(tier.counters().puts, 1u);
+  EXPECT_EQ(tier.usedBytes(), f.entry.size());
+}
+
+TEST(RemoteCacheTier, RejectsCorruptAndMisKeyedEntries) {
+  QuietLog quiet;
+  serve::RemoteCacheTier tier({freshDir("tier-adm"), kCodeVersionSalt, 0});
+  const TierFixture f = tierEntry("unsafe");
+  // corrupt text: never written
+  EXPECT_FALSE(tier.put(f.key, f.desc, "garbage bytes"));
+  // valid entry under the WRONG key: a poisoning attempt, refused
+  EXPECT_FALSE(tier.put(f.key ^ 1, f.desc, f.entry));
+  EXPECT_EQ(tier.counters().rejected, 2u);
+  EXPECT_EQ(tier.counters().puts, 0u);
+  EXPECT_FALSE(tier.get(f.key, f.desc).has_value());
+  EXPECT_FALSE(tier.get(f.key ^ 1, f.desc).has_value());
+}
+
+TEST(RemoteCacheTier, SizeCapRejectsOverflowingPuts) {
+  QuietLog quiet;
+  const TierFixture a = tierEntry("unsafe");
+  const TierFixture b = tierEntry("fence");
+  // Cap fits exactly one entry.
+  serve::RemoteCacheTier tier(
+      {freshDir("tier-cap"), kCodeVersionSalt, a.entry.size() + 1});
+  EXPECT_TRUE(tier.put(a.key, a.desc, a.entry));
+  EXPECT_FALSE(tier.put(b.key, b.desc, b.entry));
+  EXPECT_EQ(tier.counters().puts, 1u);
+  EXPECT_EQ(tier.counters().rejected, 1u);
+  // the accepted entry still serves
+  EXPECT_TRUE(tier.get(a.key, a.desc).has_value());
+}
+
+TEST(RemoteCacheTier, PreSeededDirectoryServesLocalEntries) {
+  // A local run's cache directory IS a valid remote tier: same bytes,
+  // same salt, same validation.
+  QuietLog quiet;
+  const std::string dir = freshDir("tier-seed");
+  const TierFixture f = tierEntry("levioso");
+  {
+    ResultCache local({dir, kCodeVersionSalt});
+    RunRecord rec;
+    rec.summary.cycles = 1000;
+    rec.summary.insts = 500;
+    local.store(f.desc, rec);
+  }
+  serve::RemoteCacheTier tier({dir, kCodeVersionSalt, 0});
+  EXPECT_TRUE(tier.get(f.key, f.desc).has_value());
+  EXPECT_GT(tier.usedBytes(), 0u); // construction scanned existing entries
+}
+
+// ---- end to end --------------------------------------------------------
+
+namespace {
+
+/// Spawn a worker process via fork(). Forking (not a thread) is what lets
+/// the crash test SIGKILL a worker without taking the test down, and
+/// keeps gtest's own threads out of the child.
+pid_t forkWorker(std::uint16_t port, const std::string& cacheDir,
+                 const char* faults) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  try {
+    if (faults != nullptr) faultinject::configure(faults);
+    serve::WorkerOptions w;
+    w.host = "127.0.0.1";
+    w.port = port;
+    w.cacheDir = cacheDir;
+    serve::runWorker(w);
+  } catch (...) {
+  }
+  ::_exit(0);
+}
+
+} // namespace
+
+TEST(ServeEndToEnd, DistributedRunMatchesLocalAndSurvivesWorkerCrash) {
+  QuietLog quiet;
+  // Pre-bind the listener so workers forked BEFORE the daemon thread
+  // exists can already connect (the backlog holds them).
+  sock::Listener listener = sock::Listener::open(0);
+  const std::uint16_t port = listener.port();
+  // Worker 1 SIGKILLs itself on its first job — while holding the lease.
+  const pid_t w1 =
+      forkWorker(port, freshDir("e2e-l1a"), "worker.crash=once:1");
+  const pid_t w2 = forkWorker(port, freshDir("e2e-l1b"), nullptr);
+  ASSERT_GT(w1, 0);
+  ASSERT_GT(w2, 0);
+
+  serve::DaemonOptions dopts;
+  dopts.cacheDir = freshDir("e2e-tier");
+  serve::Daemon daemon(dopts, std::move(listener));
+  std::thread daemonThread([&daemon] { daemon.run(); });
+
+  serve::RemoteSweep::Options copts;
+  copts.endpoint = "127.0.0.1:" + std::to_string(port);
+  copts.failPolicy = FailPolicy::KeepGoing;
+  serve::RemoteSweep sweep(copts);
+  const std::vector<JobSpec> grid = {smallJob("unsafe"), smallJob("fence"),
+                                     smallJob("levioso"),
+                                     smallJob("unsafe", "perl_hash")};
+  for (const JobSpec& s : grid) sweep.add(s);
+  const std::vector<RunRecord>& records = sweep.run();
+
+  daemon.stop();
+  daemonThread.join();
+  int status = 0;
+  ASSERT_EQ(::waitpid(w1, &status, 0), w1);
+  EXPECT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+  ASSERT_EQ(::waitpid(w2, &status, 0), w2);
+
+  // Every point settled ok despite the crash...
+  ASSERT_EQ(records.size(), grid.size());
+  for (const JobOutcome& o : sweep.outcomes())
+    EXPECT_TRUE(o.ok) << o.message;
+  // ...because the lost lease was re-dispatched, and that is observable.
+  EXPECT_GE(daemon.stats().redispatches, 1u);
+  EXPECT_GE(sweep.serveStats().runRedispatches, 1u);
+  EXPECT_EQ(sweep.serveStats().workersSeen, 2u);
+  EXPECT_EQ(daemon.stats().jobsCompleted, grid.size());
+
+  // The distributed results agree with a plain local sweep.
+  Sweep::Options lopts;
+  lopts.jobs = 1;
+  Sweep local(lopts);
+  for (const JobSpec& s : grid) local.add(s);
+  const std::vector<RunRecord>& expected = local.run();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(records[i].summary.cycles, expected[i].summary.cycles) << i;
+    EXPECT_EQ(records[i].summary.insts, expected[i].summary.insts) << i;
+  }
+}
+
+TEST(ServeEndToEnd, WarmDistributedReportIsByteIdenticalToLocal) {
+  QuietLog quiet;
+  const std::string dir = freshDir("warm-tier");
+  const std::vector<JobSpec> grid = {smallJob("unsafe"), smallJob("fence")};
+
+  // Local cold run seeds the cache directory...
+  {
+    ResultCache cache({dir, kCodeVersionSalt});
+    Sweep::Options o;
+    o.jobs = 1;
+    o.cache = &cache;
+    Sweep cold(o);
+    for (const JobSpec& s : grid) cold.add(s);
+    cold.run();
+  }
+  // ...a local warm run produces the reference report...
+  std::string localReport;
+  {
+    ResultCache cache({dir, kCodeVersionSalt});
+    Sweep::Options o;
+    o.jobs = 1;
+    o.cache = &cache;
+    Sweep warm(o);
+    for (const JobSpec& s : grid) warm.add(s);
+    warm.run();
+    std::ostringstream ss;
+    warm.writeJson(ss);
+    localReport = ss.str();
+  }
+
+  // ...and a distributed run over that directory as the REMOTE tier (the
+  // worker has no L1) must emit the same bytes.
+  serve::DaemonOptions dopts;
+  dopts.cacheDir = dir;
+  serve::Daemon daemon(dopts);
+  std::thread daemonThread([&daemon] { daemon.run(); });
+  std::thread workerThread([port = daemon.port()] {
+    try {
+      serve::WorkerOptions w;
+      w.port = port;
+      w.cacheDir.clear();
+      serve::runWorker(w);
+    } catch (...) {
+    }
+  });
+
+  serve::RemoteSweep::Options copts;
+  copts.endpoint = "127.0.0.1:" + std::to_string(daemon.port());
+  copts.jobs = 1; // reported threads must match the local run's pool size
+  serve::RemoteSweep sweep(copts);
+  for (const JobSpec& s : grid) sweep.add(s);
+  sweep.run();
+  std::ostringstream ss;
+  sweep.writeJson(ss);
+
+  daemon.stop();
+  daemonThread.join();
+  workerThread.join();
+
+  EXPECT_EQ(ss.str(), localReport);
+  EXPECT_EQ(sweep.counters().cacheHits, grid.size());
+  EXPECT_EQ(sweep.counters().simulated, 0u);
+  EXPECT_EQ(sweep.serveStats().remoteHits, grid.size());
+}
+
+TEST(ServeEndToEnd, SilentWorkerLeaseExpiresAndJobMovesOn) {
+  QuietLog quiet;
+  serve::DaemonOptions dopts;
+  dopts.cacheDir.clear();
+  dopts.leaseMicros = 300'000; // expire fast; heartbeats would renew it
+  serve::Daemon daemon(dopts);
+  std::thread daemonThread([&daemon] { daemon.run(); });
+
+  // A fake worker that hellos, pulls, receives its job — then goes silent
+  // (no heartbeat, no result, connection still open). Lease expiry is the
+  // ONLY thing that can rescue its job.
+  sock::Fd fake = sock::connectTo("127.0.0.1", daemon.port());
+  {
+    serve::Message hello;
+    hello.type = serve::MsgType::Hello;
+    hello.role = "worker";
+    sock::writeAll(fake.get(),
+                   framing::encodeFrame(serve::encodeMessage(hello)));
+    serve::Message pull;
+    pull.type = serve::MsgType::Pull;
+    sock::writeAll(fake.get(),
+                   framing::encodeFrame(serve::encodeMessage(pull)));
+  }
+  // Give the daemon time to register the fake worker's pull so the first
+  // job is leased to it, not to the real worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::thread workerThread([port = daemon.port()] {
+    try {
+      serve::WorkerOptions w;
+      w.port = port;
+      w.cacheDir.clear();
+      w.heartbeatMicros = 50'000;
+      serve::runWorker(w);
+    } catch (...) {
+    }
+  });
+
+  serve::RemoteSweep::Options copts;
+  copts.endpoint = "127.0.0.1:" + std::to_string(daemon.port());
+  copts.failPolicy = FailPolicy::KeepGoing;
+  serve::RemoteSweep sweep(copts);
+  sweep.add(smallJob("unsafe"));
+  sweep.add(smallJob("fence"));
+  sweep.run();
+
+  daemon.stop();
+  daemonThread.join();
+  workerThread.join();
+
+  for (const JobOutcome& o : sweep.outcomes())
+    EXPECT_TRUE(o.ok) << o.message;
+  EXPECT_GE(daemon.stats().redispatches, 1u);
+}
+
+TEST(ServeEndToEnd, ClientRunFailsCleanlyWhenDaemonVanishes) {
+  QuietLog quiet;
+  std::uint16_t port = 0;
+  {
+    // Bind, learn the port, close — nothing listens there afterwards.
+    sock::Listener l = sock::Listener::open(0);
+    port = l.port();
+  }
+  serve::RemoteSweep::Options copts;
+  copts.endpoint = "127.0.0.1:" + std::to_string(port);
+  serve::RemoteSweep sweep(copts);
+  sweep.add(smallJob("unsafe"));
+  EXPECT_THROW(sweep.run(), Error);
+}

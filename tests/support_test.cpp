@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "support/bits.hpp"
+#include "support/error.hpp"
+#include "support/jsonparse.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
@@ -166,6 +168,45 @@ TEST(Stats, StableReference) {
   s.counter("z") = 2;
   c = 42;
   EXPECT_EQ(s.get("a"), 42);
+}
+
+// ---- json parser strictness (docs/SERVE.md wire safety) ----------------
+// The wire protocol hands whole frames to the parser; a parser that
+// silently accepts trailing bytes or a truncated number could turn a torn
+// frame into a smaller-but-valid document instead of a loud error.
+
+TEST(JsonParse, AcceptsACompleteDocument) {
+  const json::JsonValue v = json::parse("{\"a\": [1, 2.5, -3e2], \"b\": true}");
+  EXPECT_EQ(v.at("a").items.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").items[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(v.at("a").items[2].number, -300.0);
+  EXPECT_TRUE(v.at("b").boolean);
+}
+
+TEST(JsonParse, RejectsTrailingGarbageAfterTopLevelValue) {
+  EXPECT_THROW(json::parse("{} {}"), Error);
+  EXPECT_THROW(json::parse("{\"a\":1}garbage"), Error);
+  EXPECT_THROW(json::parse("[1,2]]"), Error);
+  EXPECT_THROW(json::parse("1 2"), Error);
+  EXPECT_THROW(json::parse("true false"), Error);
+  // trailing whitespace is NOT garbage
+  EXPECT_NO_THROW(json::parse("{\"a\":1}  \n\t"));
+}
+
+TEST(JsonParse, RejectsMalformedNumbers) {
+  EXPECT_THROW(json::parse("1.2.3"), Error);
+  EXPECT_THROW(json::parse("+1"), Error);
+  EXPECT_THROW(json::parse(".5"), Error);
+  EXPECT_THROW(json::parse("1e"), Error);
+  EXPECT_THROW(json::parse("--2"), Error);
+  EXPECT_THROW(json::parse("[1e+2e]"), Error);
+}
+
+TEST(JsonParse, RejectsTruncatedDocuments) {
+  EXPECT_THROW(json::parse("{\"a\":"), Error);
+  EXPECT_THROW(json::parse("[1, 2"), Error);
+  EXPECT_THROW(json::parse("\"unterminated"), Error);
+  EXPECT_THROW(json::parse(""), Error);
 }
 
 } // namespace

@@ -6,21 +6,29 @@
 //                 --jobs 4 --json out.json
 //   levioso-batch --kernels all --policies unsafe,levioso
 //                 --robs 64,128,192 --drams 100,400 --budgets 2,4
+//   levioso-batch --kernels all --policies all --connect 127.0.0.1:7733
 //
 // The sweep is the cartesian product of every list option. Points are
 // deduplicated, cached under .levioso-cache/ (unless --no-cache) and
 // executed concurrently; results print in grid order regardless of the
 // execution interleaving.
 //
+// --connect HOST:PORT (docs/SERVE.md) runs the identical grid through a
+// levioso-serve daemon instead of in-process: same table, same version-3
+// JSON report (byte-identical warm-for-warm), same exit taxonomy; the run
+// manifest gains a "serve" section and drops the in-process pool/cache
+// ones. --jobs still sets the reported thread count for report parity.
+//
 // Observability (docs/OBSERVABILITY.md): a live [done/total, hit-rate,
 // ETA] progress line on stderr while jobs run (TTY only), an end-of-run
 // summary line, a run manifest (manifest.json, or derived from --json as
 // <stem>.manifest.json) and an optional Chrome trace of host spans
-// (--host-trace). -v / --quiet move the log threshold.
+// (--host-trace, local runs only). -v / --quiet move the log threshold.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <mutex>
 
@@ -28,6 +36,7 @@
 
 #include "runner/manifest.hpp"
 #include "runner/sweep.hpp"
+#include "serve/client.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
@@ -49,7 +58,7 @@ namespace {
          "                     [--manifest FILE] [--no-manifest]\n"
          "                     [--host-trace FILE] [--quiet] [-v]\n"
          "                     [--keep-going|--fail-fast] [--retries N]\n"
-         "                     [--deadline-ms N]\n"
+         "                     [--deadline-ms N] [--connect HOST:PORT]\n"
          "exit codes: 0 all points ok, 1 partial failure (--keep-going),\n"
          "            2 bad input, 3 total failure\n";
   std::exit(2);
@@ -121,19 +130,161 @@ private:
   std::chrono::steady_clock::time_point lastDraw_{};
 };
 
+/// Everything main() parsed, shared by the local and --connect paths.
+struct BatchConfig {
+  std::vector<std::string> kernels, policies;
+  std::vector<int> scales, budgets, robs, widths, drams;
+  std::int64_t deadlineMs = 0;
+  bool csv = false, includeStats = false, quiet = false;
+  bool writeManifest = true;
+  std::string jsonPath, manifestPath;
+  std::vector<std::string> cmdline;
+};
+
+template <class SweepT> void addGrid(SweepT& sweep, const BatchConfig& cfg) {
+  for (const std::string& kernel : cfg.kernels)
+    for (const int scale : cfg.scales)
+      for (const int budget : cfg.budgets)
+        for (const int rob : cfg.robs)
+          for (const int width : cfg.widths)
+            for (const int dram : cfg.drams)
+              for (const std::string& policy : cfg.policies) {
+                runner::JobSpec spec;
+                spec.kernel = kernel;
+                spec.scale = std::max(1, scale);
+                spec.policy = policy;
+                spec.budget = budget;
+                if (rob > 0) spec.cfg.robSize = rob;
+                if (width > 0)
+                  spec.cfg.fetchWidth = spec.cfg.renameWidth =
+                      spec.cfg.issueWidth = spec.cfg.commitWidth = width;
+                if (dram > 0) spec.cfg.mem.memLatency = dram;
+                spec.deadlineMicros = cfg.deadlineMs * 1000;
+                sweep.add(spec);
+              }
+}
+
+/// Run the configured sweep and produce every output (table, summary,
+/// JSON report, manifest) plus the exit code. Identical for a local Sweep
+/// and a RemoteSweep — only `makeM` differs (what goes in the manifest)
+/// and `afterRun` (local-only extras like the host trace).
+template <class SweepT>
+int runAndReport(SweepT& sweep, const BatchConfig& cfg,
+                 const std::function<runner::Manifest()>& makeM,
+                 const std::function<void()>& afterRun) {
+  // Emit the manifest even when the run fails: a half-finished run's
+  // counters and spans are exactly what a post-mortem needs.
+  const auto finishManifest = [&](const char* outcome) {
+    if (!cfg.writeManifest) return;
+    runner::Manifest m = makeM();
+    m.reportPath = cfg.jsonPath;
+    if (*outcome != '\0') m.args.push_back(std::string("#") + outcome);
+    runner::writeManifestFile(cfg.manifestPath.empty()
+                                  ? runner::manifestPathFor(cfg.jsonPath)
+                                  : cfg.manifestPath,
+                              m);
+  };
+
+  std::vector<runner::RunRecord> records;
+  try {
+    records = sweep.run();
+  } catch (...) {
+    finishManifest("failed");
+    throw;
+  }
+
+  const auto& outcomes = sweep.outcomes();
+  const auto pointFailed = [&outcomes](std::size_t i) {
+    return i < outcomes.size() && !outcomes[i].ok;
+  };
+  if (!cfg.quiet) {
+    Table t({"kernel", "scale", "policy", "budget", "rob", "width", "dram",
+             "cycles", "insts", "ipc", "cached"});
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const runner::JobSpec& s = sweep.specs()[i];
+      const runner::RunRecord& r = records[i];
+      if (pointFailed(i)) {
+        t.addRow({s.kernel, std::to_string(s.scale), s.policy,
+                  std::to_string(s.budget), std::to_string(s.cfg.robSize),
+                  std::to_string(s.cfg.issueWidth),
+                  std::to_string(s.cfg.mem.memLatency), "-", "-", "-",
+                  runner::errorKindName(outcomes[i].errorKind)});
+        continue;
+      }
+      t.addRow({s.kernel, std::to_string(s.scale), s.policy,
+                std::to_string(s.budget), std::to_string(s.cfg.robSize),
+                std::to_string(s.cfg.issueWidth),
+                std::to_string(s.cfg.mem.memLatency),
+                std::to_string(r.summary.cycles),
+                std::to_string(r.summary.insts), fmtF(r.summary.ipc, 3),
+                r.fromCache ? "yes" : "no"});
+    }
+    if (cfg.csv)
+      t.printCsv(std::cout);
+    else
+      t.print(std::cout);
+  }
+
+  // End-of-run summary: what ran, what the cache reused, how long.
+  const auto& c = sweep.counters();
+  const double hitRate =
+      c.unique == 0 ? 0.0
+                    : static_cast<double>(c.cacheHits) /
+                          static_cast<double>(c.unique);
+  std::size_t failedPoints = 0;
+  for (std::size_t i = 0; i < records.size(); ++i)
+    if (pointFailed(i)) ++failedPoints;
+  std::cout << "# " << c.points << " points, " << c.unique << " unique, "
+            << c.cacheHits << " cache hits (" << fmtPct(hitRate)
+            << " hit rate), " << c.simulated << " simulated on "
+            << sweep.threadCount() << " threads in "
+            << fmtF(static_cast<double>(sweep.wallMicros()) / 1e6, 2)
+            << "s\n";
+  if (failedPoints > 0) {
+    std::cout << "# " << failedPoints << "/" << records.size()
+              << " points failed";
+    if (c.retries > 0) std::cout << " (" << c.retries << " retries)";
+    std::cout << "\n";
+    for (std::size_t i = 0; i < records.size(); ++i)
+      if (pointFailed(i))
+        std::cout << "# error: " << sweep.specs()[i].kernel << "/"
+                  << sweep.specs()[i].policy << ": "
+                  << runner::errorKindName(outcomes[i].errorKind) << ": "
+                  << outcomes[i].message << "\n";
+  }
+
+  if (!cfg.jsonPath.empty()) {
+    std::ofstream out(cfg.jsonPath);
+    if (!out) throw Error("cannot write " + cfg.jsonPath);
+    sweep.writeJson(out, cfg.includeStats);
+  }
+  if (afterRun) afterRun();
+  // Exit taxonomy (docs/ROBUSTNESS.md): 0 = every point ok, 1 = partial
+  // failure under --keep-going, 3 = nothing usable came out. Bad input
+  // exits 2 before any work starts; a FailFast failure lands in the
+  // catch in main() (also 3).
+  if (failedPoints == 0) {
+    finishManifest("");
+    return 0;
+  }
+  finishManifest(failedPoints == records.size() ? "failed" : "partial");
+  return failedPoints == records.size() ? 3 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> kernels, policies;
-  std::vector<int> scales = {1}, budgets = {4}, robs = {0}, widths = {0},
-                   drams = {0};
+  BatchConfig cfg;
+  cfg.scales = {1};
+  cfg.budgets = {4};
+  cfg.robs = {0};
+  cfg.widths = {0};
+  cfg.drams = {0};
   int jobs = 0;
-  bool csv = false, includeStats = false, useCache = true, quiet = false,
-       writeManifest = true;
+  bool useCache = true;
   bool keepGoing = false;
   int retries = 2;
-  std::int64_t deadlineMs = 0;
-  std::string jsonPath, cacheDir, manifestPath, hostTracePath;
+  std::string cacheDir, hostTracePath, connect;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -142,37 +293,39 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--kernels")
-      kernels = parseList(next());
+      cfg.kernels = parseList(next());
     else if (a == "--policies")
-      policies = parseList(next());
+      cfg.policies = parseList(next());
     else if (a == "--scales")
-      scales = parseInts(next());
+      cfg.scales = parseInts(next());
     else if (a == "--budgets")
-      budgets = parseInts(next());
+      cfg.budgets = parseInts(next());
     else if (a == "--robs")
-      robs = parseInts(next());
+      cfg.robs = parseInts(next());
     else if (a == "--widths")
-      widths = parseInts(next());
+      cfg.widths = parseInts(next());
     else if (a == "--drams")
-      drams = parseInts(next());
+      cfg.drams = parseInts(next());
     else if (a == "--jobs")
       jobs = std::max(1, std::atoi(next().c_str()));
     else if (a == "--json")
-      jsonPath = next();
+      cfg.jsonPath = next();
     else if (a == "--cache-dir")
       cacheDir = next();
     else if (a == "--manifest")
-      manifestPath = next();
+      cfg.manifestPath = next();
     else if (a == "--host-trace")
       hostTracePath = next();
+    else if (a == "--connect")
+      connect = next();
     else if (a == "--csv")
-      csv = true;
+      cfg.csv = true;
     else if (a == "--stats")
-      includeStats = true;
+      cfg.includeStats = true;
     else if (a == "--no-cache")
       useCache = false;
     else if (a == "--no-manifest")
-      writeManifest = false;
+      cfg.writeManifest = false;
     else if (a == "--keep-going")
       keepGoing = true;
     else if (a == "--fail-fast")
@@ -180,24 +333,24 @@ int main(int argc, char** argv) {
     else if (a == "--retries")
       retries = std::max(0, std::atoi(next().c_str()));
     else if (a == "--deadline-ms")
-      deadlineMs = std::max(0, std::atoi(next().c_str()));
+      cfg.deadlineMs = std::max(0, std::atoi(next().c_str()));
     else if (a == "--quiet") {
-      quiet = true;
+      cfg.quiet = true;
       log::setThreshold(log::Level::Warn);
     } else if (a == "-v")
       log::setThreshold(log::Level::Debug);
     else
       usage();
   }
-  if (kernels.empty() || policies.empty()) usage();
-  if (kernels.size() == 1 && kernels[0] == "all")
-    kernels = workloads::kernelNames();
+  if (cfg.kernels.empty() || cfg.policies.empty()) usage();
+  if (cfg.kernels.size() == 1 && cfg.kernels[0] == "all")
+    cfg.kernels = workloads::kernelNames();
 
   // Bad input is diagnosed up front (exit 2) rather than surfacing later as
   // a per-job compile failure — a typo should not burn a whole sweep.
   {
     const std::vector<std::string> known = workloads::kernelNames();
-    for (const std::string& k : kernels)
+    for (const std::string& k : cfg.kernels)
       if (std::find(known.begin(), known.end(), k) == known.end()) {
         std::cerr << "levioso-batch: unknown kernel '" << k << "' (known:";
         for (const std::string& n : known) std::cerr << ' ' << n;
@@ -206,154 +359,83 @@ int main(int argc, char** argv) {
       }
   }
 
-  const std::vector<std::string> cmdline(argv + 1, argv + argc);
+  cfg.cmdline.assign(argv + 1, argv + argc);
+  const auto failPolicy = keepGoing ? runner::FailPolicy::KeepGoing
+                                    : runner::FailPolicy::FailFast;
   try {
+    if (!connect.empty()) {
+      // Thin-client mode (docs/SERVE.md): the daemon and its workers do
+      // all the work; this process only ships the grid and the report.
+      serve::RemoteSweep::Options opts;
+      opts.endpoint = connect;
+      opts.jobs = jobs;
+      opts.failPolicy = failPolicy;
+      opts.maxRetries = retries;
+      ProgressLine progress(nullptr);
+      if (!cfg.quiet)
+        opts.onProgress = [&progress](std::size_t done, std::size_t total) {
+          progress(done, total);
+        };
+      serve::RemoteSweep sweep(opts);
+      addGrid(sweep, cfg);
+      LEV_LOG_INFO("batch", "sweep configured",
+                   {{"points", sweep.specs().size()},
+                    {"connect", connect}});
+      const auto makeM = [&]() {
+        runner::Manifest m;
+        m.tool = "levioso-batch";
+        m.args = cfg.cmdline;
+        m.threads = sweep.threadCount();
+        m.wallMicros = sweep.wallMicros();
+        m.jobs = sweep.counters();
+        const auto& s = sweep.serveStats();
+        runner::Manifest::ServeInfo info;
+        info.endpoint = s.endpoint.empty() ? connect : s.endpoint;
+        info.workersSeen = s.workersSeen;
+        info.redispatches = s.runRedispatches;
+        info.remoteCacheHits = s.remoteHits;
+        info.remoteCacheMisses = s.remoteMisses;
+        info.remoteCachePuts = s.remotePuts;
+        info.remoteCacheRejected = s.remoteRejected;
+        m.serve = info;
+        if (faultinject::enabled()) m.faults = faultinject::stats();
+        return m;
+      };
+      return runAndReport(sweep, cfg, makeM, nullptr);
+    }
+
     runner::ResultCache cache(
         {cacheDir.empty() ? runner::defaultCacheDir() : cacheDir,
          runner::kCodeVersionSalt});
     runner::Sweep::Options opts;
     opts.jobs = jobs;
     opts.cache = useCache ? &cache : nullptr;
-    opts.failPolicy = keepGoing ? runner::FailPolicy::KeepGoing
-                                : runner::FailPolicy::FailFast;
+    opts.failPolicy = failPolicy;
     opts.maxRetries = retries;
     ProgressLine progress(opts.cache);
-    if (!quiet)
+    if (!cfg.quiet)
       opts.onProgress = [&progress](std::size_t done, std::size_t total) {
         progress(done, total);
       };
     runner::Sweep sweep(opts);
-
-    for (const std::string& kernel : kernels)
-      for (const int scale : scales)
-        for (const int budget : budgets)
-          for (const int rob : robs)
-            for (const int width : widths)
-              for (const int dram : drams)
-                for (const std::string& policy : policies) {
-                  runner::JobSpec spec;
-                  spec.kernel = kernel;
-                  spec.scale = std::max(1, scale);
-                  spec.policy = policy;
-                  spec.budget = budget;
-                  if (rob > 0) spec.cfg.robSize = rob;
-                  if (width > 0)
-                    spec.cfg.fetchWidth = spec.cfg.renameWidth =
-                        spec.cfg.issueWidth = spec.cfg.commitWidth = width;
-                  if (dram > 0) spec.cfg.mem.memLatency = dram;
-                  spec.deadlineMicros = deadlineMs * 1000;
-                  sweep.add(spec);
-                }
+    addGrid(sweep, cfg);
     LEV_LOG_INFO("batch", "sweep configured",
                  {{"points", sweep.specs().size()},
                   {"threads", sweep.threadCount()},
                   {"cache", useCache ? cache.dir() : std::string("off")}});
-
-    // Emit the manifest even when the run fails: a half-finished run's
-    // counters and spans are exactly what a post-mortem needs.
-    const auto finishManifest = [&](const char* outcome) {
-      if (!writeManifest) return;
-      runner::Manifest m =
-          runner::makeManifest("levioso-batch", cmdline, sweep);
-      m.reportPath = jsonPath;
-      if (*outcome != '\0') m.args.push_back(std::string("#") + outcome);
-      runner::writeManifestFile(manifestPath.empty()
-                                    ? runner::manifestPathFor(jsonPath)
-                                    : manifestPath,
-                                m);
+    const auto makeM = [&]() {
+      return runner::makeManifest("levioso-batch", cfg.cmdline, sweep);
     };
-
-    std::vector<runner::RunRecord> records;
-    try {
-      records = sweep.run();
-    } catch (...) {
-      finishManifest("failed");
-      throw;
-    }
-
-    const auto& outcomes = sweep.outcomes();
-    const auto pointFailed = [&outcomes](std::size_t i) {
-      return i < outcomes.size() && !outcomes[i].ok;
-    };
-    if (!quiet) {
-      Table t({"kernel", "scale", "policy", "budget", "rob", "width", "dram",
-               "cycles", "insts", "ipc", "cached"});
-      for (std::size_t i = 0; i < records.size(); ++i) {
-        const runner::JobSpec& s = sweep.specs()[i];
-        const runner::RunRecord& r = records[i];
-        if (pointFailed(i)) {
-          t.addRow({s.kernel, std::to_string(s.scale), s.policy,
-                    std::to_string(s.budget), std::to_string(s.cfg.robSize),
-                    std::to_string(s.cfg.issueWidth),
-                    std::to_string(s.cfg.mem.memLatency), "-", "-", "-",
-                    runner::errorKindName(outcomes[i].errorKind)});
-          continue;
-        }
-        t.addRow({s.kernel, std::to_string(s.scale), s.policy,
-                  std::to_string(s.budget), std::to_string(s.cfg.robSize),
-                  std::to_string(s.cfg.issueWidth),
-                  std::to_string(s.cfg.mem.memLatency),
-                  std::to_string(r.summary.cycles),
-                  std::to_string(r.summary.insts), fmtF(r.summary.ipc, 3),
-                  r.fromCache ? "yes" : "no"});
-      }
-      if (csv)
-        t.printCsv(std::cout);
-      else
-        t.print(std::cout);
-    }
-
-    // End-of-run summary: what ran, what the cache reused, how long.
-    const auto& c = sweep.counters();
-    const double hitRate =
-        c.unique == 0 ? 0.0
-                      : static_cast<double>(c.cacheHits) /
-                            static_cast<double>(c.unique);
-    std::size_t failedPoints = 0;
-    for (std::size_t i = 0; i < records.size(); ++i)
-      if (pointFailed(i)) ++failedPoints;
-    std::cout << "# " << c.points << " points, " << c.unique << " unique, "
-              << c.cacheHits << " cache hits (" << fmtPct(hitRate)
-              << " hit rate), " << c.simulated << " simulated on "
-              << sweep.threadCount() << " threads in "
-              << fmtF(static_cast<double>(sweep.wallMicros()) / 1e6, 2)
-              << "s\n";
-    if (failedPoints > 0) {
-      std::cout << "# " << failedPoints << "/" << records.size()
-                << " points failed";
-      if (c.retries > 0) std::cout << " (" << c.retries << " retries)";
-      std::cout << "\n";
-      for (std::size_t i = 0; i < records.size(); ++i)
-        if (pointFailed(i))
-          std::cout << "# error: " << sweep.specs()[i].kernel << "/"
-                    << sweep.specs()[i].policy << ": "
-                    << runner::errorKindName(outcomes[i].errorKind) << ": "
-                    << outcomes[i].message << "\n";
-    }
-
-    if (!jsonPath.empty()) {
-      std::ofstream out(jsonPath);
-      if (!out) throw Error("cannot write " + jsonPath);
-      sweep.writeJson(out, includeStats);
-    }
-    if (!hostTracePath.empty()) {
+    const auto afterRun = [&]() {
+      if (hostTracePath.empty()) return;
       std::ofstream out(hostTracePath);
       if (!out) throw Error("cannot write " + hostTracePath);
       sweep.writeHostTrace(out);
       LEV_LOG_INFO("batch", "wrote host-span trace",
                    {{"path", hostTracePath},
                     {"spans", sweep.hostSpans().size()}});
-    }
-    // Exit taxonomy (docs/ROBUSTNESS.md): 0 = every point ok, 1 = partial
-    // failure under --keep-going, 3 = nothing usable came out. Bad input
-    // exits 2 before any work starts; a FailFast failure lands in the
-    // catch below (also 3).
-    if (failedPoints == 0) {
-      finishManifest("");
-      return 0;
-    }
-    finishManifest(failedPoints == records.size() ? "failed" : "partial");
-    return failedPoints == records.size() ? 3 : 1;
+    };
+    return runAndReport(sweep, cfg, makeM, afterRun);
   } catch (const Error& e) {
     LEV_LOG_ERROR("batch", "run failed", {{"error", e.what()}});
     std::cerr << "levioso-batch: " << e.what() << "\n";

@@ -1,0 +1,108 @@
+// levioso-serve: the distributed-sweep daemon (docs/SERVE.md). Listens for
+// levioso-batch --connect clients and levioso-worker processes, queues
+// submitted grid points with per-client fairness, leases them to workers
+// with heartbeat-based fail-over, and fronts the shared remote result
+// cache tier.
+//
+//   levioso-serve --port 7733 --cache-dir .levioso-cache
+//   levioso-serve --port 0 --port-file serve.port   # ephemeral port for CI
+//
+// The bound port is printed to stdout (and to --port-file when given) the
+// moment the daemon is listening, so scripts can wait for it. SIGINT /
+// SIGTERM stop the daemon cleanly; in-flight jobs are lost (clients see
+// the connection close and fail their run), cached results are not.
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "serve/daemon.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+using namespace lev;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: levioso-serve [--port N] [--port-file FILE]\n"
+         "                     [--cache-dir DIR|--no-cache] [--cache-max-mb N]\n"
+         "                     [--lease-ms N] [--max-dispatches N]\n"
+         "                     [--quiet] [-v]\n"
+         "--port 0 (the default) picks an ephemeral port; the bound port is\n"
+         "printed to stdout either way.\n";
+  std::exit(2);
+}
+
+serve::Daemon* gDaemon = nullptr;
+
+void onSignal(int) {
+  if (gDaemon != nullptr) gDaemon->stop();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  serve::DaemonOptions opts;
+  std::string portFile;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--port")
+      opts.port = static_cast<std::uint16_t>(std::atoi(next().c_str()));
+    else if (a == "--port-file")
+      portFile = next();
+    else if (a == "--cache-dir")
+      opts.cacheDir = next();
+    else if (a == "--no-cache")
+      opts.cacheDir.clear();
+    else if (a == "--cache-max-mb")
+      opts.cacheMaxBytes =
+          static_cast<std::uint64_t>(std::atoll(next().c_str())) << 20;
+    else if (a == "--lease-ms")
+      opts.leaseMicros = std::atoll(next().c_str()) * 1000;
+    else if (a == "--max-dispatches")
+      opts.maxDispatches = std::max(1, std::atoi(next().c_str()));
+    else if (a == "--quiet")
+      log::setThreshold(log::Level::Warn);
+    else if (a == "-v")
+      log::setThreshold(log::Level::Debug);
+    else
+      usage();
+  }
+
+  try {
+    serve::Daemon daemon(opts);
+    gDaemon = &daemon;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    std::cout << daemon.port() << std::endl;
+    if (!portFile.empty()) {
+      std::ofstream out(portFile);
+      out << daemon.port() << "\n";
+      if (!out.good()) {
+        std::cerr << "levioso-serve: cannot write " << portFile << "\n";
+        return 2;
+      }
+    }
+
+    daemon.run();
+    const auto s = daemon.stats();
+    LEV_LOG_INFO("serve", "final counters",
+                 {{"workersSeen", s.workersSeen},
+                  {"jobsCompleted", s.jobsCompleted},
+                  {"redispatches", s.redispatches},
+                  {"remoteHits", s.cache.hits},
+                  {"remotePuts", s.cache.puts}});
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "levioso-serve: " << e.what() << "\n";
+    return 3;
+  }
+}

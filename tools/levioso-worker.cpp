@@ -1,0 +1,71 @@
+// levioso-worker: one serve-fleet execution process (docs/SERVE.md).
+// Connects to a levioso-serve daemon, pulls jobs one at a time, runs them
+// through the exact compile/simulate path a local sweep uses, and reports
+// each outcome. Results are cached locally (L1, .levioso-cache/) and
+// offered to the daemon's shared remote tier.
+//
+//   levioso-worker --connect host:7733
+//   levioso-worker --connect 127.0.0.1:7733 --cache-dir /tmp/l1 --quiet
+//
+// Exits 0 when the daemon closes the connection (orderly shutdown or a
+// network loss — the daemon re-dispatches anything this worker held), 2 on
+// bad arguments, 3 on a protocol error.
+#include <iostream>
+#include <string>
+
+#include "serve/worker.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/socket.hpp"
+
+using namespace lev;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: levioso-worker --connect HOST:PORT\n"
+               "                      [--cache-dir DIR|--no-cache]\n"
+               "                      [--heartbeat-ms N] [--quiet] [-v]\n";
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  serve::WorkerOptions opts;
+  std::string endpoint;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--connect")
+      endpoint = next();
+    else if (a == "--cache-dir")
+      opts.cacheDir = next();
+    else if (a == "--no-cache")
+      opts.cacheDir.clear();
+    else if (a == "--heartbeat-ms")
+      opts.heartbeatMicros = std::atoll(next().c_str()) * 1000;
+    else if (a == "--quiet")
+      log::setThreshold(log::Level::Warn);
+    else if (a == "-v")
+      log::setThreshold(log::Level::Debug);
+    else
+      usage();
+  }
+  if (endpoint.empty()) usage();
+
+  try {
+    sock::parseEndpoint(endpoint, opts.host, opts.port);
+    const std::uint64_t jobs = serve::runWorker(opts);
+    LEV_LOG_INFO("worker", "daemon disconnected; exiting",
+                 {{"jobsDone", jobs}});
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "levioso-worker: " << e.what() << "\n";
+    return 3;
+  }
+}
