@@ -1,0 +1,219 @@
+#include "fuzz/minimize.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace lev::fuzz {
+
+namespace {
+
+/// Parse + clean up + verify + reprint. nullopt when the candidate is not a
+/// legal program (the minimizer then discards it without consulting the
+/// predicate). The unreachable-block sweep is what makes branch folding
+/// legal: the verifier requires every block reachable from entry.
+std::optional<std::string> canonicalize(const std::string& text) {
+  try {
+    ir::Module mod = ir::parseModule(text);
+    for (const auto& fn : mod.functions()) {
+      fn->removeUnreachableBlocks();
+      fn->renumber();
+    }
+    ir::verify(mod);
+    return ir::toString(mod);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::string> toLines(const std::string& text) {
+  std::vector<std::string> out;
+  for (std::string_view line : split(text, '\n')) out.emplace_back(line);
+  // split() yields one trailing empty element for the final newline; drop
+  // empties at the tail so joins don't accumulate blank lines.
+  while (!out.empty() && trim(out.back()).empty()) out.pop_back();
+  return out;
+}
+
+std::string joinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string_view firstToken(std::string_view s) {
+  s = trim(s);
+  const std::size_t sp = s.find_first_of(" \t");
+  return sp == std::string_view::npos ? s : s.substr(0, sp);
+}
+
+/// Mnemonic of an instruction line ("" for labels/braces/decls).
+std::string_view mnemonicOf(const std::string& line) {
+  std::string_view t = trim(line);
+  if (t.empty() || t.back() == ':' || t == "}") return {};
+  if (startsWith(t, "func ") || startsWith(t, "global ") ||
+      startsWith(t, "#"))
+    return {};
+  const std::size_t eq = t.find('=');
+  if (startsWith(t, "%v") && eq != std::string_view::npos)
+    t = trim(t.substr(eq + 1));
+  return firstToken(t);
+}
+
+bool isTerminator(std::string_view mnemonic) {
+  return mnemonic == "br" || mnemonic == "jmp" || mnemonic == "halt" ||
+         mnemonic == "ret";
+}
+
+/// Indices of lines ddmin may delete: instructions that are not control
+/// flow. Removing a definition is fine — later uses read an implicit zero,
+/// and candidates the verifier rejects are discarded anyway.
+std::vector<std::size_t> removableIndices(
+    const std::vector<std::string>& lines) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view m = mnemonicOf(lines[i]);
+    if (!m.empty() && !isTerminator(m)) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t countInsts(const std::string& text) {
+  std::size_t n = 0;
+  for (std::string_view line : split(text, '\n'))
+    if (!mnemonicOf(std::string(line)).empty()) ++n;
+  return n;
+}
+
+/// One ddmin sweep: for shrinking chunk sizes, try deleting each run of
+/// `chunk` consecutive removable lines. Returns true if anything went.
+bool ddminPass(std::string& text,
+               const std::function<bool(const std::string&)>& stillFails,
+               MinimizeStats& stats) {
+  bool any = false;
+  std::vector<std::string> lines = toLines(text);
+  std::size_t chunk = removableIndices(lines).size();
+  while (chunk >= 1) {
+    bool removedAtThisSize = false;
+    const std::vector<std::size_t> removable = removableIndices(lines);
+    for (std::size_t start = 0; start < removable.size();
+         start += chunk) {
+      const std::size_t end = std::min(start + chunk, removable.size());
+      std::vector<std::string> candidate;
+      candidate.reserve(lines.size());
+      std::size_t k = start;
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (k < end && removable[k] == i) {
+          ++k;
+          continue;
+        }
+        candidate.push_back(lines[i]);
+      }
+      ++stats.probes;
+      const std::optional<std::string> canon =
+          canonicalize(joinLines(candidate));
+      if (canon && stillFails(*canon)) {
+        text = *canon;
+        lines = toLines(text);
+        any = removedAtThisSize = true;
+        break; // line indices shifted; redo this chunk size
+      }
+    }
+    if (!removedAtThisSize) chunk /= 2;
+  }
+  return any;
+}
+
+/// Branch-folding sweep: rewrite each `br c, A, B` as `jmp A` / `jmp B`,
+/// letting canonicalize() drop the dead arm. Returns true on first success
+/// (the caller loops to a fixed point).
+bool foldBranchPass(std::string& text,
+                    const std::function<bool(const std::string&)>& stillFails,
+                    MinimizeStats& stats) {
+  const std::vector<std::string> lines = toLines(text);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (mnemonicOf(lines[i]) != "br") continue;
+    std::string_view t = trim(lines[i]);
+    const auto parts = split(t.substr(2), ','); // cond, then-label, else-label
+    if (parts.size() != 3) continue;
+    for (int arm = 1; arm <= 2; ++arm) {
+      std::vector<std::string> candidate = lines;
+      candidate[i] =
+          "  jmp " + std::string(trim(parts[static_cast<std::size_t>(arm)]));
+      ++stats.probes;
+      const std::optional<std::string> canon =
+          canonicalize(joinLines(candidate));
+      if (canon && stillFails(*canon)) {
+        text = *canon;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+std::string minimizeText(
+    const std::string& text,
+    const std::function<bool(const std::string&)>& stillFails,
+    MinimizeStats* stats) {
+  MinimizeStats local;
+  MinimizeStats& st = stats != nullptr ? *stats : local;
+
+  const std::optional<std::string> canon = canonicalize(text);
+  if (!canon) throw Error("minimizeText: input does not parse or verify");
+  std::string cur = *canon;
+  st.fromInsts = countInsts(cur);
+  if (!stillFails(cur)) {
+    // Nothing to chase (the failure was not reproducible from text alone);
+    // hand back the canonical input unchanged.
+    st.toInsts = st.fromInsts;
+    return cur;
+  }
+
+  for (;;) {
+    ++st.rounds;
+    bool progress = ddminPass(cur, stillFails, st);
+    progress = foldBranchPass(cur, stillFails, st) || progress;
+    if (!progress) break;
+  }
+  st.toInsts = countInsts(cur);
+  return cur;
+}
+
+FailureSignature signatureOf(const CheckResult& result) {
+  FailureSignature sig;
+  for (const auto& r : result.runs) {
+    if (!r.violations.empty() || r.divergent) {
+      sig.policy = r.policy;
+      sig.violations = !r.violations.empty();
+      sig.divergent = r.divergent;
+      return sig;
+    }
+  }
+  sig.simFailed = result.simFailed;
+  return sig;
+}
+
+bool matches(const CheckResult& result, const FailureSignature& sig) {
+  if (!sig.failing()) return false;
+  if (sig.simFailed) return result.simFailed;
+  for (const auto& r : result.runs) {
+    if (r.policy != sig.policy) continue;
+    if (sig.violations && r.violations.empty()) continue;
+    if (sig.divergent && !r.divergent) continue;
+    return true;
+  }
+  return false;
+}
+
+} // namespace lev::fuzz

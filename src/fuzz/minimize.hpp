@@ -1,0 +1,58 @@
+// Delta-debugging minimizer for failing fuzz programs (docs/FUZZING.md).
+//
+// Works on the textual IR form so minimized kernels are directly
+// committable as self-contained fixtures (globals carry their random
+// initial contents via the printer's `init <hex>` payload). Two reduction
+// passes iterate to a fixed point:
+//
+//   1. ddmin over instruction lines — remove chunks of non-terminator
+//      instructions, halving the chunk size down to single lines;
+//   2. branch folding — rewrite each `br c, A, B` into `jmp A` / `jmp B`,
+//      dropping whole arms (plus their now-unreachable blocks).
+//
+// Every candidate must re-parse, re-verify, and still fail the caller's
+// predicate; the survivor is the canonical reprint of the reduced module.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "fuzz/oracle.hpp"
+
+namespace lev::fuzz {
+
+struct MinimizeStats {
+  int rounds = 0;       ///< fixed-point iterations
+  int probes = 0;       ///< candidate programs tried
+  std::size_t fromInsts = 0; ///< instruction count before
+  std::size_t toInsts = 0;   ///< instruction count after
+};
+
+/// Shrink `text` (parseable, verifiable IR) while `stillFails` keeps
+/// returning true for the candidate. `stillFails` is never called on text
+/// that fails to parse or verify. Returns the minimized canonical text
+/// (the input's canonical reprint when nothing could be removed).
+std::string minimizeText(const std::string& text,
+                         const std::function<bool(const std::string&)>& stillFails,
+                         MinimizeStats* stats = nullptr);
+
+/// What made a CheckResult "failing" — the reproduction target during
+/// minimization. Captures the first failing run.
+struct FailureSignature {
+  std::string policy;
+  bool violations = false;
+  bool divergent = false;
+  bool simFailed = false;
+  bool failing() const { return violations || divergent || simFailed; }
+};
+
+/// Signature of the first failing run in `result` (default-constructed,
+/// non-failing signature when the result is clean).
+FailureSignature signatureOf(const CheckResult& result);
+
+/// Does `result` still exhibit `sig`? Same policy, and at least the same
+/// failure classes (a candidate that fails *harder* still counts).
+bool matches(const CheckResult& result, const FailureSignature& sig);
+
+} // namespace lev::fuzz

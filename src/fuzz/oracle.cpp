@@ -1,0 +1,389 @@
+#include "fuzz/oracle.hpp"
+
+#include <algorithm>
+
+#include "backend/compiler.hpp"
+#include "fuzz/progen.hpp"
+#include "ir/interp.hpp"
+#include "sim/simulation.hpp"
+#include "support/error.hpp"
+
+namespace lev::fuzz {
+
+using uarch::DelayCause;
+using uarch::DynInst;
+using uarch::LoadAction;
+using uarch::O3Core;
+
+GuardKind guardFor(const std::string& policyName) {
+  if (policyName == "unsafe") return GuardKind::None;
+  if (policyName == "fence") return GuardKind::AllInstructions;
+  if (policyName == "dom") return GuardKind::DelayOnMiss;
+  if (policyName == "stt") return GuardKind::Taint;
+  if (policyName == "spt") return GuardKind::NonSpeculative;
+  if (policyName == "levioso") return GuardKind::TrueDependee;
+  if (policyName == "levioso-lite") return GuardKind::TaintTrueDependee;
+  throw Error("no oracle guard for policy: " + policyName);
+}
+
+const char* violationKindName(Violation::Kind kind) {
+  switch (kind) {
+  case Violation::Kind::ExecutePermitted: return "execute-permitted";
+  case Violation::Kind::LoadPermitted: return "load-permitted";
+  case Violation::Kind::InvisibleMiss: return "invisible-miss";
+  case Violation::Kind::BadAttribution: return "bad-attribution";
+  }
+  return "?";
+}
+
+// -------------------------------------------------------- OraclePolicy --
+
+OraclePolicy::OraclePolicy(std::unique_ptr<uarch::SpeculationPolicy> inner)
+    : inner_(std::move(inner)), guard_(guardFor(inner_->name())) {}
+
+void OraclePolicy::reset() {
+  taint_.clear();
+  violations_.clear();
+  inner_->reset();
+}
+
+void OraclePolicy::onDispatch(const O3Core& core, const DynInst& inst) {
+  inner_->onDispatch(core, inst);
+}
+
+bool OraclePolicy::mayExecute(const O3Core& core, const DynInst& inst) {
+  // The core clears OUR lastDelay before this call; mirror that for the
+  // inner policy so its noteDelay state is fresh, forward, and copy its
+  // attribution back up so the core's tracing sees exactly what the inner
+  // policy reported.
+  inner_->clearLastDelay();
+  const bool permit = inner_->mayExecute(core, inst);
+  if (permit) {
+    checkPermit(core, inst, /*isLoadIssue=*/false, LoadAction::Proceed);
+  } else {
+    const uarch::DelayInfo& d = inner_->lastDelay();
+    noteDelay(d.blockingBranch, d.cause);
+    checkAttribution(core, inst);
+  }
+  return permit;
+}
+
+LoadAction OraclePolicy::onLoadIssue(const O3Core& core, const DynInst& inst) {
+  inner_->clearLastDelay();
+  const LoadAction action = inner_->onLoadIssue(core, inst);
+  if (action == LoadAction::Delay) {
+    const uarch::DelayInfo& d = inner_->lastDelay();
+    noteDelay(d.blockingBranch, d.cause);
+    checkAttribution(core, inst);
+  } else {
+    checkPermit(core, inst, /*isLoadIssue=*/true, action);
+  }
+  return action;
+}
+
+void OraclePolicy::onWriteback(const O3Core& core, const DynInst& inst) {
+  inner_->onWriteback(core, inst);
+  // Mirror maintenance matches SttPolicy/LeviosoLitePolicy exactly: a load
+  // issued under an unresolved speculation source roots new taint.
+  taint_.recordWriteback(core, inst,
+                         inst.isLoad() && inst.speculativeAtIssue);
+}
+
+void OraclePolicy::onBranchResolved(const O3Core& core, const DynInst& inst) {
+  inner_->onBranchResolved(core, inst);
+}
+
+void OraclePolicy::onSquash(const O3Core& core, std::uint64_t seq) {
+  inner_->onSquash(core, seq);
+  taint_.erase(seq);
+}
+
+void OraclePolicy::onCommit(const O3Core& core, const DynInst& inst) {
+  inner_->onCommit(core, inst);
+  taint_.erase(inst.seq);
+}
+
+std::uint64_t OraclePolicy::oldestTrueDependeeScan(const O3Core& core,
+                                                   const DynInst& inst) const {
+  // Ground-truth levioso rule, recomputed from scratch: walk the unresolved
+  // speculation sources oldest-first and return the first one `inst` truly
+  // depends on. Never consults DynInst::memoDependee, so a stale memo in
+  // the core shows up as a disagreement here.
+  for (const std::uint64_t seq : core.unresolvedBranches()) {
+    if (seq >= inst.seq) break; // ascending; younger sources can't guard
+    const DynInst* br = core.findInst(seq);
+    if (br != nullptr && core.trulyDependsOn(inst, *br)) return seq;
+  }
+  return 0;
+}
+
+bool OraclePolicy::anyOperandTainted(const O3Core& core,
+                                     const DynInst& inst) const {
+  for (const auto& op : inst.ops)
+    if (op.present && taint_.tainted(core, op.producer)) return true;
+  return false;
+}
+
+void OraclePolicy::checkPermit(const O3Core& core, const DynInst& inst,
+                               bool isLoadIssue, LoadAction action) {
+  const Violation::Kind kind = isLoadIssue ? Violation::Kind::LoadPermitted
+                                           : Violation::Kind::ExecutePermitted;
+  switch (guard_) {
+  case GuardKind::None:
+    return;
+  case GuardKind::AllInstructions: {
+    const std::uint64_t b = core.oldestUnresolvedBranchOlderThan(inst.seq);
+    if (b != 0)
+      record(kind, core, inst, b,
+             "instruction permitted under an unresolved branch");
+    return;
+  }
+  case GuardKind::NonSpeculative: {
+    if (!isLoadIssue && !inst.isSpecSource()) return;
+    const std::uint64_t b = core.oldestUnresolvedBranchOlderThan(inst.seq);
+    if (b != 0)
+      record(kind, core, inst, b, "transmitter permitted while speculative");
+    return;
+  }
+  case GuardKind::DelayOnMiss: {
+    if (!isLoadIssue) return;
+    const std::uint64_t b = core.oldestUnresolvedBranchOlderThan(inst.seq);
+    if (b == 0) return;
+    if (action == LoadAction::Proceed)
+      record(kind, core, inst, b,
+             "speculative load permitted to mutate cache state");
+    else if (action == LoadAction::ProceedInvisibly &&
+             !core.hierarchy().l1d().contains(inst.memAddr))
+      record(Violation::Kind::InvisibleMiss, core, inst, b,
+             "speculative L1 miss served as an invisible hit");
+    return;
+  }
+  case GuardKind::Taint: {
+    if (isLoadIssue) {
+      if (taint_.tainted(core, inst.ops[0].producer))
+        record(kind, core, inst, 0, "load with tainted address permitted");
+    } else if (inst.isSpecSource() && anyOperandTainted(core, inst)) {
+      record(kind, core, inst, 0,
+             "speculation source with tainted operand permitted");
+    }
+    return;
+  }
+  case GuardKind::TrueDependee: {
+    if (!isLoadIssue && !inst.isSpecSource()) return;
+    const std::uint64_t b = oldestTrueDependeeScan(core, inst);
+    if (b != 0)
+      record(kind, core, inst, b,
+             "transmitter permitted under an unresolved true dependee");
+    return;
+  }
+  case GuardKind::TaintTrueDependee: {
+    const bool tainted =
+        isLoadIssue ? taint_.tainted(core, inst.ops[0].producer)
+                    : inst.isSpecSource() && anyOperandTainted(core, inst);
+    if (!tainted) return;
+    const std::uint64_t b = oldestTrueDependeeScan(core, inst);
+    if (b != 0)
+      record(kind, core, inst, b,
+             "tainted transmitter permitted under an unresolved true "
+             "dependee");
+    return;
+  }
+  }
+}
+
+void OraclePolicy::checkAttribution(const O3Core& core, const DynInst& inst) {
+  if (guard_ == GuardKind::None) return; // unsafe claims nothing
+  const uarch::DelayInfo& d = inner_->lastDelay();
+
+  DelayCause expected = DelayCause::None;
+  switch (guard_) {
+  case GuardKind::AllInstructions:
+  case GuardKind::NonSpeculative: expected = DelayCause::UnresolvedBranch; break;
+  case GuardKind::DelayOnMiss: expected = DelayCause::SpeculativeMiss; break;
+  case GuardKind::Taint: expected = DelayCause::TaintedOperand; break;
+  case GuardKind::TrueDependee:
+  case GuardKind::TaintTrueDependee: expected = DelayCause::TrueDependee; break;
+  case GuardKind::None: break;
+  }
+  if (d.cause != expected) {
+    record(Violation::Kind::BadAttribution, core, inst, d.blockingBranch,
+           "delay cause '" + std::string(trace::delayCauseName(d.cause)) +
+               "' outside the policy's rule set");
+    return;
+  }
+  if (d.blockingBranch == 0) {
+    record(Violation::Kind::BadAttribution, core, inst, 0,
+           "delay without a named blocking branch");
+    return;
+  }
+  if (d.blockingBranch >= inst.seq) {
+    record(Violation::Kind::BadAttribution, core, inst, d.blockingBranch,
+           "named blocking branch is not older than the delayed instruction");
+    return;
+  }
+  const auto& unresolved = core.unresolvedBranches();
+  if (!std::binary_search(unresolved.begin(), unresolved.end(),
+                          d.blockingBranch)) {
+    record(Violation::Kind::BadAttribution, core, inst, d.blockingBranch,
+           "named blocking branch is not an unresolved speculation source");
+    return;
+  }
+  if (d.cause == DelayCause::TrueDependee) {
+    const DynInst* br = core.findInst(d.blockingBranch);
+    if (br == nullptr || !core.trulyDependsOn(inst, *br))
+      record(Violation::Kind::BadAttribution, core, inst, d.blockingBranch,
+             "named blocking branch is not a true dependee");
+  }
+}
+
+void OraclePolicy::record(Violation::Kind kind, const O3Core& core,
+                          const DynInst& inst, std::uint64_t blockingBranch,
+                          std::string detail) {
+  // Bound memory under a badly broken policy (a weakened run can trip on
+  // every flipped decision); the caller only needs representatives.
+  static constexpr std::size_t kMaxRecorded = 4096;
+  if (violations_.size() >= kMaxRecorded) return;
+  Violation v;
+  v.kind = kind;
+  v.policy = inner_->name();
+  v.cycle = core.cycle();
+  v.seq = inst.seq;
+  v.pc = inst.pc;
+  v.blockingBranch = blockingBranch;
+  v.detail = std::move(detail);
+  violations_.push_back(std::move(v));
+}
+
+// ------------------------------------------------------ WeakenedPolicy --
+
+WeakenedPolicy::WeakenedPolicy(std::unique_ptr<uarch::SpeculationPolicy> inner,
+                               int everyN)
+    : inner_(std::move(inner)), everyN_(everyN < 1 ? 1 : everyN) {}
+
+void WeakenedPolicy::reset() {
+  delays_ = 0;
+  inner_->reset();
+}
+
+void WeakenedPolicy::onDispatch(const O3Core& core, const DynInst& inst) {
+  inner_->onDispatch(core, inst);
+}
+
+bool WeakenedPolicy::weakenNow() {
+  ++delays_;
+  return delays_ % static_cast<std::uint64_t>(everyN_) == 0;
+}
+
+bool WeakenedPolicy::mayExecute(const O3Core& core, const DynInst& inst) {
+  inner_->clearLastDelay();
+  if (inner_->mayExecute(core, inst)) return true;
+  if (weakenNow()) return true; // the planted hole: permit a guarded inst
+  const uarch::DelayInfo& d = inner_->lastDelay();
+  noteDelay(d.blockingBranch, d.cause);
+  return false;
+}
+
+LoadAction WeakenedPolicy::onLoadIssue(const O3Core& core,
+                                       const DynInst& inst) {
+  inner_->clearLastDelay();
+  const LoadAction action = inner_->onLoadIssue(core, inst);
+  if (action != LoadAction::Delay) return action;
+  if (weakenNow()) return LoadAction::Proceed;
+  const uarch::DelayInfo& d = inner_->lastDelay();
+  noteDelay(d.blockingBranch, d.cause);
+  return LoadAction::Delay;
+}
+
+void WeakenedPolicy::onWriteback(const O3Core& core, const DynInst& inst) {
+  inner_->onWriteback(core, inst);
+}
+
+void WeakenedPolicy::onBranchResolved(const O3Core& core,
+                                      const DynInst& inst) {
+  inner_->onBranchResolved(core, inst);
+}
+
+void WeakenedPolicy::onSquash(const O3Core& core, std::uint64_t seq) {
+  inner_->onSquash(core, seq);
+}
+
+void WeakenedPolicy::onCommit(const O3Core& core, const DynInst& inst) {
+  inner_->onCommit(core, inst);
+}
+
+// -------------------------------------------------------- checkProgram --
+
+std::size_t CheckResult::totalViolations() const {
+  std::size_t n = 0;
+  for (const auto& r : runs) n += r.violations.size();
+  return n;
+}
+
+std::size_t CheckResult::totalDivergences() const {
+  std::size_t n = 0;
+  for (const auto& r : runs)
+    if (r.divergent) ++n;
+  return n;
+}
+
+CheckResult checkProgram(const std::function<ir::Module()>& makeModule,
+                         const CheckOptions& opts) {
+  CheckResult out;
+
+  // Reference semantics: the IR interpreter on an uncompiled module. Any
+  // engine exception (budget overrun on a looping minimization candidate,
+  // a compile rejection, ...) is a simFailed verdict, never a throw — the
+  // minimizer's predicate must be able to probe freely.
+  std::vector<std::uint8_t> want;
+  try {
+    ir::Module refMod = makeModule();
+    ir::Interpreter interp(refMod);
+    interp.run(opts.maxInterpInsts);
+    want = snapshotInterp(interp);
+  } catch (const std::exception& e) {
+    out.simFailed = true;
+    out.simError = std::string("reference interpreter: ") + e.what();
+    return out;
+  }
+
+  const std::vector<std::string>& policies =
+      opts.policies.empty() ? secure::policyNames() : opts.policies;
+  for (const std::string& name : policies) {
+    PolicyRunResult r;
+    r.policy = name;
+    try {
+      // compile() mutates the module, so each engine gets a fresh one.
+      ir::Module mod = makeModule();
+      backend::CompileResult res = backend::compile(mod);
+
+      std::unique_ptr<uarch::SpeculationPolicy> inner =
+          secure::makePolicy(name);
+      if (name == opts.weakenPolicy)
+        inner = std::make_unique<WeakenedPolicy>(std::move(inner),
+                                                 opts.weakenEveryN);
+      auto oracle = std::make_unique<OraclePolicy>(std::move(inner));
+      OraclePolicy& watch = *oracle;
+
+      sim::Simulation s(res.program, opts.cfg, std::move(oracle));
+      if (s.run(opts.maxCycles) != uarch::RunExit::Halted) {
+        out.simFailed = true;
+        out.simError =
+            "policy '" + name + "' did not halt within the cycle budget";
+        out.runs.push_back(std::move(r));
+        continue;
+      }
+      r.cycles = s.core().cycle();
+      r.insts = s.core().committedInsts();
+      r.snapshot = snapshotMachine(s.core().memory(), res.program);
+      r.divergent = r.snapshot != want;
+      r.violations = watch.violations();
+    } catch (const std::exception& e) {
+      out.simFailed = true;
+      out.simError = "policy '" + name + "': " + e.what();
+    }
+    out.runs.push_back(std::move(r));
+  }
+  return out;
+}
+
+} // namespace lev::fuzz

@@ -1,0 +1,202 @@
+// The security oracle (docs/FUZZING.md): machine-checks, per simulated
+// instruction, the no-transmit invariant each policy claims in Table 1 /
+// Table 3 — *no transmitter issues while a branch the policy claims to
+// guard is unresolved* — plus cross-policy architectural equality.
+//
+// The oracle is a SpeculationPolicy decorator: it wraps the real policy,
+// forwards every hook unchanged (so simulations stay bit-identical), and
+// at each PERMIT decision re-derives the policy's guarantee independently:
+//
+//   fence         no instruction may run under ANY older unresolved source
+//   spt           no transmitter (load / speculation source) may
+//   dom           speculative loads only as invisible L1 hits
+//   stt           no transmitter with a taint-rooted operand (checked
+//                 against the oracle's OWN TaintTracker mirror)
+//   levioso       no transmitter under an unresolved TRUE dependee —
+//                 recomputed by a direct scan of unresolvedBranches() ×
+//                 trulyDependsOn(), independent of the core's memoized
+//                 oldestUnresolvedTrueDependee fast path
+//   levioso-lite  the levioso rule, for taint-carrying transmitters
+//
+// At each DELAY decision it cross-checks the delay attribution the policy
+// reported through noteDelay (uarch/policy.hpp): the named blocking branch
+// must really be an older, still-unresolved speculation source and the
+// DelayCause must belong to the policy's rule set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "secure/policies.hpp"
+#include "secure/taint.hpp"
+#include "uarch/core.hpp"
+#include "uarch/policy.hpp"
+
+namespace lev::fuzz {
+
+/// Which guarantee the oracle holds a policy to. Derived from the policy
+/// name, so a weakened wrapper is still checked against the claim of the
+/// policy it impersonates.
+enum class GuardKind {
+  None,             ///< unsafe: no restriction claimed
+  AllInstructions,  ///< fence
+  NonSpeculative,   ///< spt: transmitters wait for every older source
+  DelayOnMiss,      ///< dom: speculative loads only as invisible L1 hits
+  Taint,            ///< stt
+  TrueDependee,     ///< levioso
+  TaintTrueDependee ///< levioso-lite
+};
+
+/// Guard for a canonical policy name; throws lev::Error on unknown names.
+GuardKind guardFor(const std::string& policyName);
+
+/// One invariant breach observed during a run.
+struct Violation {
+  enum class Kind {
+    ExecutePermitted, ///< mayExecute let a guarded transmitter start
+    LoadPermitted,    ///< onLoadIssue let a guarded load access the caches
+    InvisibleMiss,    ///< dom served a speculative L1 MISS "invisibly"
+    BadAttribution,   ///< noteDelay named a bogus branch / wrong cause
+  };
+  Kind kind = Kind::ExecutePermitted;
+  std::string policy;
+  std::uint64_t cycle = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t pc = 0;
+  /// The unresolved branch the oracle says should have guarded this
+  /// instruction (0 for taint/attribution breaches with no single branch).
+  std::uint64_t blockingBranch = 0;
+  std::string detail;
+};
+
+const char* violationKindName(Violation::Kind kind);
+
+/// Decorator enforcing the oracle checks around an inner policy. Forwards
+/// every decision unchanged; never perturbs timing.
+class OraclePolicy final : public uarch::SpeculationPolicy {
+public:
+  explicit OraclePolicy(std::unique_ptr<uarch::SpeculationPolicy> inner);
+
+  std::string name() const override { return inner_->name(); }
+  void reset() override;
+  void onDispatch(const uarch::O3Core& core,
+                  const uarch::DynInst& inst) override;
+  bool mayExecute(const uarch::O3Core& core,
+                  const uarch::DynInst& inst) override;
+  uarch::LoadAction onLoadIssue(const uarch::O3Core& core,
+                                const uarch::DynInst& inst) override;
+  void onWriteback(const uarch::O3Core& core,
+                   const uarch::DynInst& inst) override;
+  void onBranchResolved(const uarch::O3Core& core,
+                        const uarch::DynInst& inst) override;
+  void onSquash(const uarch::O3Core& core, std::uint64_t seq) override;
+  void onCommit(const uarch::O3Core& core,
+                const uarch::DynInst& inst) override;
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+private:
+  /// Oldest unresolved speculation source older than `inst` that `inst`
+  /// truly depends on — the independent (memo-free) levioso scan.
+  std::uint64_t oldestTrueDependeeScan(const uarch::O3Core& core,
+                                       const uarch::DynInst& inst) const;
+  bool anyOperandTainted(const uarch::O3Core& core,
+                         const uarch::DynInst& inst) const;
+  void checkPermit(const uarch::O3Core& core, const uarch::DynInst& inst,
+                   bool isLoadIssue, uarch::LoadAction action);
+  void checkAttribution(const uarch::O3Core& core, const uarch::DynInst& inst);
+  void record(Violation::Kind kind, const uarch::O3Core& core,
+              const uarch::DynInst& inst, std::uint64_t blockingBranch,
+              std::string detail);
+
+  std::unique_ptr<uarch::SpeculationPolicy> inner_;
+  GuardKind guard_;
+  /// The oracle's own taint mirror — maintained independently of any
+  /// tracker the inner policy may keep, so a policy that corrupts its own
+  /// bookkeeping cannot blind the check.
+  secure::TaintTracker taint_;
+  std::vector<Violation> violations_;
+};
+
+/// A deliberately broken policy for self-testing the oracle: forwards to
+/// the real policy but flips every `everyN`-th DELAY decision into a
+/// permit. name() impersonates the inner policy, so the oracle holds it to
+/// the real policy's guarantee — and must flag the flipped decisions.
+class WeakenedPolicy final : public uarch::SpeculationPolicy {
+public:
+  WeakenedPolicy(std::unique_ptr<uarch::SpeculationPolicy> inner, int everyN);
+
+  std::string name() const override { return inner_->name(); }
+  void reset() override;
+  void onDispatch(const uarch::O3Core& core,
+                  const uarch::DynInst& inst) override;
+  bool mayExecute(const uarch::O3Core& core,
+                  const uarch::DynInst& inst) override;
+  uarch::LoadAction onLoadIssue(const uarch::O3Core& core,
+                                const uarch::DynInst& inst) override;
+  void onWriteback(const uarch::O3Core& core,
+                   const uarch::DynInst& inst) override;
+  void onBranchResolved(const uarch::O3Core& core,
+                        const uarch::DynInst& inst) override;
+  void onSquash(const uarch::O3Core& core, std::uint64_t seq) override;
+  void onCommit(const uarch::O3Core& core,
+                const uarch::DynInst& inst) override;
+
+private:
+  bool weakenNow();
+
+  std::unique_ptr<uarch::SpeculationPolicy> inner_;
+  int everyN_;
+  std::uint64_t delays_ = 0;
+};
+
+// ---- whole-program checking ---------------------------------------------
+
+/// How one policy fared on one program.
+struct PolicyRunResult {
+  std::string policy;
+  std::vector<Violation> violations;
+  std::vector<std::uint8_t> snapshot; ///< architectural memory at halt
+  std::uint64_t cycles = 0;
+  std::uint64_t insts = 0;
+  bool divergent = false; ///< snapshot differs from the IR-interp reference
+};
+
+/// Everything the oracle found on one program.
+struct CheckResult {
+  std::vector<PolicyRunResult> runs;
+  bool simFailed = false;  ///< a run did not halt within the cycle budget
+  std::string simError;
+  std::size_t totalViolations() const;
+  std::size_t totalDivergences() const;
+  bool clean() const { return !simFailed && totalViolations() == 0 &&
+                              totalDivergences() == 0; }
+};
+
+struct CheckOptions {
+  /// Policies to run; empty = all seven canonical policies.
+  std::vector<std::string> policies;
+  /// Weaken this policy (WeakenedPolicy) — "" = none.
+  std::string weakenPolicy;
+  int weakenEveryN = 1;
+  uarch::CoreConfig cfg;
+  std::uint64_t maxCycles = 2'000'000'000ull;
+  /// Reference-interpreter instruction budget. Generated programs always
+  /// terminate, but minimization candidates can loop forever (e.g. with a
+  /// loop increment deleted); overruns surface as simFailed, not a throw.
+  std::uint64_t maxInterpInsts = 10'000'000;
+};
+
+/// Run every requested policy (oracle attached) over the program produced
+/// by `makeModule` and cross-check architectural state against the IR
+/// interpreter. `makeModule` is invoked once per engine — compilation
+/// mutates modules, so each engine needs a fresh one; the factory MUST be
+/// deterministic.
+CheckResult checkProgram(const std::function<ir::Module()>& makeModule,
+                         const CheckOptions& opts);
+
+} // namespace lev::fuzz

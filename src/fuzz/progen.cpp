@@ -1,0 +1,226 @@
+#include "fuzz/progen.hpp"
+
+#include <functional>
+
+#include "ir/verifier.hpp"
+
+namespace lev::fuzz {
+
+using ir::IRBuilder;
+using ir::Op;
+using ir::Value;
+
+ProgramGen::ProgramGen(const GenOptions& opts) : opts_(opts), rng_(opts.seed) {}
+
+ir::Module ProgramGen::generate() {
+  ir::Module mod;
+  auto& scratch = mod.addGlobal("mem", kMemBytes, 64);
+  scratch.init.resize(kMemBytes);
+  for (auto& b : scratch.init) b = static_cast<std::uint8_t>(rng_.next());
+  auto& secret = mod.addGlobal("secret", kSecretBytes, 64);
+  secret.init.resize(kSecretBytes);
+  for (auto& b : secret.init) b = static_cast<std::uint8_t>(rng_.next());
+  mod.addGlobal("result", 8, 8);
+
+  ir::Function& fn = mod.addFunction("main", 0);
+  const int entry = fn.createBlock("entry");
+  b_ = std::make_unique<IRBuilder>(fn);
+  fn_ = &fn;
+  b_->setBlock(entry);
+
+  base_ = b_->lea("mem");
+  secretBase_ = b_->lea("secret");
+  for (int i = 0; i < 4; ++i)
+    pool_.push_back(b_->mov(Value::makeImm(rng_.range(-100, 100))));
+
+  emitBody(opts_.maxDepth, 8 + static_cast<int>(rng_.below(10)));
+
+  // Checksum everything live into result.
+  int acc = b_->mov(Value::makeImm(0));
+  for (int r : pool_)
+    acc = b_->xor_(Value::makeReg(acc), Value::makeReg(r));
+  const int res = b_->lea("result");
+  b_->store(Value::makeReg(res), Value::makeReg(acc));
+  b_->halt();
+  ir::verify(mod);
+  return mod;
+}
+
+Value ProgramGen::randOperand() {
+  if (rng_.chance(0.3)) return Value::makeImm(rng_.range(-64, 64));
+  return Value::makeReg(
+      pool_[static_cast<std::size_t>(rng_.below(pool_.size()))]);
+}
+
+int ProgramGen::randReg() {
+  return pool_[static_cast<std::size_t>(rng_.below(pool_.size()))];
+}
+
+/// A random in-bounds, 8-aligned scratch address in a fresh register.
+int ProgramGen::randAddress() {
+  const int masked =
+      b_->and_(Value::makeReg(randReg()), Value::makeImm(kMemBytes - 8));
+  return b_->add(Value::makeReg(base_), Value::makeReg(masked));
+}
+
+/// A random in-bounds secret-region address in a fresh register.
+int ProgramGen::randSecretAddress() {
+  const int masked =
+      b_->and_(Value::makeReg(randReg()), Value::makeImm(kSecretBytes - 8));
+  return b_->add(Value::makeReg(secretBase_), Value::makeReg(masked));
+}
+
+void ProgramGen::emitStatement(int depth) {
+  // Secret-touching shapes ride on top of the base shape distribution so a
+  // secretShapes weight of 0 reproduces the original generator exactly.
+  if (opts_.secretShapes > 0 && rng_.chance(opts_.secretShapes)) {
+    if (rng_.chance(0.5)) {
+      // Secret-indexed load (the transmit half of a Spectre gadget): a
+      // loaded secret byte steers the address of a second load into the
+      // public scratch region. Both values join the pool, so they feed the
+      // final checksum and later branch conditions.
+      const int s = b_->load(Value::makeReg(randSecretAddress()), 0, 1);
+      const int scaled = b_->shl(Value::makeReg(s), Value::makeImm(3));
+      const int masked =
+          b_->and_(Value::makeReg(scaled), Value::makeImm(kMemBytes - 8));
+      const int addr = b_->add(Value::makeReg(base_), Value::makeReg(masked));
+      pool_.push_back(s);
+      pool_.push_back(b_->load(Value::makeReg(addr), 0, 8));
+    } else if (depth > 0) {
+      // Branch-on-secret: control flow keyed on a loaded secret bit. Under
+      // stt this is an implicit transmitter with a tainted condition; under
+      // levioso the arms' loads sit under a true-dependee branch.
+      const int s = b_->load(Value::makeReg(randSecretAddress()), 0, 1);
+      const int cond = b_->and_(Value::makeReg(s), Value::makeImm(1));
+      const int thenB = fn_->createBlock();
+      const int elseB = fn_->createBlock();
+      const int join = fn_->createBlock();
+      b_->br(Value::makeReg(cond), thenB, elseB);
+      const int merged = randReg();
+      b_->setBlock(thenB);
+      emitLinear(depth - 1, 1 + static_cast<int>(rng_.below(2)));
+      b_->binaryInto(merged, Op::Add, Value::makeReg(merged), randOperand());
+      b_->jmp(join);
+      b_->setBlock(elseB);
+      emitLinear(depth - 1, 1 + static_cast<int>(rng_.below(2)));
+      b_->binaryInto(merged, Op::Xor, Value::makeReg(merged), randOperand());
+      b_->jmp(join);
+      b_->setBlock(join);
+      pool_.push_back(s);
+    } else {
+      // Too deep to branch: degrade to a plain secret load into the pool.
+      pool_.push_back(b_->load(Value::makeReg(randSecretAddress()), 0, 1));
+    }
+    if (pool_.size() > 24)
+      pool_.erase(pool_.begin(),
+                  pool_.begin() + static_cast<std::ptrdiff_t>(8));
+    return;
+  }
+
+  const std::uint64_t kind = rng_.below(depth > 0 ? 6 : 4);
+  switch (kind) {
+  case 0:
+  case 1: { // arithmetic
+    static const Op kOps[] = {Op::Add,  Op::Sub,  Op::Mul,    Op::DivU,
+                              Op::RemS, Op::And,  Op::Or,     Op::Xor,
+                              Op::Shl,  Op::ShrL, Op::CmpLtS, Op::CmpEq};
+    const Op op = kOps[rng_.below(std::size(kOps))];
+    pool_.push_back(b_->binary(op, randOperand(), randOperand()));
+    break;
+  }
+  case 2: { // load
+    const int addr = randAddress();
+    static const int kSizes[] = {1, 2, 4, 8};
+    pool_.push_back(b_->load(Value::makeReg(addr), 0, kSizes[rng_.below(4)]));
+    break;
+  }
+  case 3: { // store
+    const int addr = randAddress();
+    static const int kSizes[] = {1, 2, 4, 8};
+    b_->store(Value::makeReg(addr), randOperand(), 0, kSizes[rng_.below(4)]);
+    break;
+  }
+  case 4: { // if/else (data-dependent condition)
+    const int cond = b_->and_(Value::makeReg(randReg()), Value::makeImm(1));
+    const int thenB = fn_->createBlock();
+    const int elseB = fn_->createBlock();
+    const int join = fn_->createBlock();
+    b_->br(Value::makeReg(cond), thenB, elseB);
+    // Branch arms mutate an existing register so the merge is visible.
+    const int merged = randReg();
+    b_->setBlock(thenB);
+    emitLinear(depth - 1, 1 + static_cast<int>(rng_.below(3)));
+    b_->binaryInto(merged, Op::Add, Value::makeReg(merged), randOperand());
+    b_->jmp(join);
+    b_->setBlock(elseB);
+    emitLinear(depth - 1, 1 + static_cast<int>(rng_.below(3)));
+    b_->binaryInto(merged, Op::Xor, Value::makeReg(merged), randOperand());
+    b_->jmp(join);
+    b_->setBlock(join);
+    break;
+  }
+  default: { // counted loop
+    const int trips = 1 + static_cast<int>(rng_.below(6));
+    const int i = b_->mov(Value::makeImm(0));
+    const int loop = fn_->createBlock();
+    const int exit = fn_->createBlock();
+    b_->jmp(loop);
+    b_->setBlock(loop);
+    emitLinear(depth - 1, 1 + static_cast<int>(rng_.below(3)));
+    b_->binaryInto(i, Op::Add, Value::makeReg(i), Value::makeImm(1));
+    const int c = b_->cmpLtS(Value::makeReg(i), Value::makeImm(trips));
+    b_->br(Value::makeReg(c), loop, exit);
+    b_->setBlock(exit);
+    break;
+  }
+  }
+  // Bound the register pool (keeps regalloc pressure interesting but the
+  // checksum loop finite).
+  if (pool_.size() > 24)
+    pool_.erase(pool_.begin(), pool_.begin() + static_cast<std::ptrdiff_t>(8));
+}
+
+void ProgramGen::emitLinear(int depth, int n) {
+  for (int i = 0; i < n; ++i)
+    emitStatement(std::min(depth, 1)); // at most one more nesting level
+}
+
+void ProgramGen::emitBody(int depth, int n) {
+  for (int i = 0; i < n; ++i) emitStatement(depth);
+}
+
+namespace {
+
+void appendRegion(std::vector<std::uint8_t>& out, std::uint64_t base, int n,
+                  const std::function<std::uint64_t(std::uint64_t)>& read) {
+  for (int i = 0; i < n; ++i)
+    out.push_back(
+        static_cast<std::uint8_t>(read(base + static_cast<std::uint64_t>(i))));
+}
+
+} // namespace
+
+std::vector<std::uint8_t> snapshotInterp(ir::Interpreter& interp) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kMemBytes + kSecretBytes + 8);
+  const auto read = [&interp](std::uint64_t a) {
+    return interp.readMemory(a, 1);
+  };
+  appendRegion(out, interp.globalAddress("mem"), kMemBytes, read);
+  appendRegion(out, interp.globalAddress("secret"), kSecretBytes, read);
+  appendRegion(out, interp.globalAddress("result"), 8, read);
+  return out;
+}
+
+std::vector<std::uint8_t> snapshotMachine(const uarch::Memory& mem,
+                                          const isa::Program& prog) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kMemBytes + kSecretBytes + 8);
+  const auto read = [&mem](std::uint64_t a) { return mem.peek(a, 1); };
+  appendRegion(out, prog.symbol("mem"), kMemBytes, read);
+  appendRegion(out, prog.symbol("secret"), kSecretBytes, read);
+  appendRegion(out, prog.symbol("result"), 8, read);
+  return out;
+}
+
+} // namespace lev::fuzz

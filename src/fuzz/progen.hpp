@@ -1,0 +1,86 @@
+// Seeded random-program generation for security fuzzing (docs/FUZZING.md).
+//
+// Grown out of tests/fuzz_differential_test.cpp's ProgramGen: every program
+// is verifier-legal, guaranteed to terminate, and ends by checksumming all
+// live registers into @result — so ANY two engines / policies that disagree
+// on architectural state disagree on the final memory image.
+//
+// New over the original test generator: a secret-labelled memory region
+// (@secret) plus adversarial statement shapes built around it —
+// secret-indexed loads (a loaded secret byte steers a second load's
+// address, the classic Spectre transmit pattern) and branch-on-secret
+// (control flow keyed on a loaded secret bit). These force the policies'
+// restrictions to actually engage: taint reaches transmitter operands
+// (stt/levioso-lite), transmitters sit under unresolved true-dependee
+// branches (levioso), and mispredicted paths reach secret data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/interp.hpp"
+#include "ir/ir.hpp"
+#include "isa/program.hpp"
+#include "support/rng.hpp"
+#include "uarch/memory.hpp"
+
+namespace lev::fuzz {
+
+/// Public scratch region size (bytes); loads/stores are masked in-bounds.
+inline constexpr int kMemBytes = 4096;
+/// Secret-labelled region size (bytes).
+inline constexpr int kSecretBytes = 256;
+
+/// Knobs of one generated program. Everything that shapes the program is
+/// derived from `seed` alone, so a seed fully reproduces a program.
+struct GenOptions {
+  std::uint64_t seed = 0;
+  /// Maximum control-flow nesting depth of the program body.
+  int maxDepth = 3;
+  /// Probability weight of the secret-touching statement shapes; 0 disables
+  /// them (recovers the original differential-test generator's shapes).
+  double secretShapes = 0.35;
+};
+
+/// Generates one random, guaranteed-terminating program: straight-line
+/// arithmetic, loads/stores into a bounded scratch array, nested ifs and
+/// counted loops, secret-indexed loads and branch-on-secret shapes. All
+/// branches are data-dependent on computed values, so the O3 core
+/// mispredicts plenty.
+class ProgramGen {
+public:
+  explicit ProgramGen(std::uint64_t seed) : ProgramGen(GenOptions{seed}) {}
+  explicit ProgramGen(const GenOptions& opts);
+
+  /// Build and verify the module. One-shot: call once per ProgramGen.
+  ir::Module generate();
+
+private:
+  ir::Value randOperand();
+  int randReg();
+  int randAddress();
+  int randSecretAddress();
+  void emitStatement(int depth);
+  void emitLinear(int depth, int n);
+  void emitBody(int depth, int n);
+
+  GenOptions opts_;
+  Rng rng_;
+  std::unique_ptr<ir::IRBuilder> b_;
+  ir::Function* fn_ = nullptr;
+  int base_ = 0;       ///< register holding &mem
+  int secretBase_ = 0; ///< register holding &secret
+  std::vector<int> pool_;
+};
+
+/// Full architectural-memory snapshot (@mem + @secret + @result) from the
+/// IR interpreter after a run.
+std::vector<std::uint8_t> snapshotInterp(ir::Interpreter& interp);
+
+/// The same snapshot from a machine-level engine's memory.
+std::vector<std::uint8_t> snapshotMachine(const uarch::Memory& mem,
+                                          const isa::Program& prog);
+
+} // namespace lev::fuzz

@@ -67,14 +67,37 @@ private:
   }
 
   void parseGlobal(Module& mod) {
-    // global @name size N align A
+    // global @name size N align A [init <hex>]
     auto toks = splitWs(peek());
-    if (toks.size() != 6 || toks[2] != "size" || toks[4] != "align" ||
-        !startsWith(toks[1], "@"))
+    const bool hasInit = toks.size() == 8 && toks[6] == "init";
+    if ((toks.size() != 6 && !hasInit) || toks[2] != "size" ||
+        toks[4] != "align" || !startsWith(toks[1], "@"))
       fail("malformed global declaration");
     const std::string name(toks[1].substr(1));
-    mod.addGlobal(name, static_cast<std::uint64_t>(parseIntOrFail(toks[3])),
-                  static_cast<std::uint64_t>(parseIntOrFail(toks[5])));
+    const auto size = static_cast<std::uint64_t>(parseIntOrFail(toks[3]));
+    Global& g = mod.addGlobal(
+        name, size, static_cast<std::uint64_t>(parseIntOrFail(toks[5])));
+    if (hasInit) {
+      const std::string_view hex = toks[7];
+      if (hex.empty() || hex.size() % 2 != 0 || hex.size() / 2 > size)
+        fail("malformed global init payload");
+      g.init.reserve(hex.size() / 2);
+      for (std::size_t i = 0; i < hex.size(); i += 2) {
+        int byte = 0;
+        for (int j = 0; j < 2; ++j) {
+          const char c = hex[i + static_cast<std::size_t>(j)];
+          int digit;
+          if (c >= '0' && c <= '9')
+            digit = c - '0';
+          else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+          else
+            fail("bad hex digit in global init");
+          byte = byte * 16 + digit;
+        }
+        g.init.push_back(static_cast<std::uint8_t>(byte));
+      }
+    }
     ++pos_;
   }
 

@@ -103,8 +103,20 @@ void printModule(std::ostream& os, const Module& mod) {
     printFunction(os, *fn);
   }
   for (const Global& g : mod.globals()) {
-    os << "global @" << g.name << " size " << g.size << " align " << g.align
-       << "\n";
+    os << "global @" << g.name << " size " << g.size << " align " << g.align;
+    // Initial contents as lowercase hex, trailing zero bytes stripped (the
+    // tail of `init` is implicitly zero). Keeps randomly-initialized fuzz
+    // programs self-contained when they round-trip through text.
+    std::size_t used = g.init.size();
+    while (used > 0 && g.init[used - 1] == 0) --used;
+    if (used > 0) {
+      static const char* kHex = "0123456789abcdef";
+      os << " init ";
+      for (std::size_t i = 0; i < used; ++i) {
+        os << kHex[g.init[i] >> 4] << kHex[g.init[i] & 0xf];
+      }
+    }
+    os << "\n";
   }
 }
 

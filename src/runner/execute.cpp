@@ -95,8 +95,10 @@ std::size_t runWithRetry(const std::function<void()>& work, int maxRetries,
       err = std::current_exception();
       if (attempts > maxRetries) return retries;
       ++retries;
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(backoffMicros << (attempts - 1)));
+      const std::int64_t sleepMicros =
+          retryBackoffMicros(backoffMicros, attempts);
+      if (sleepMicros > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(sleepMicros));
     } catch (...) {
       err = std::current_exception();
       return retries;

@@ -32,8 +32,30 @@ RunRecord simulateJob(const isa::Program& prog, const JobSpec& spec);
 JobOutcome classifyFailure(const std::exception_ptr& ep, bool compilePhase,
                            int attempts, std::int64_t elapsedMicros);
 
+/// Ceiling on a single retry sleep. Exponential backoff exists to spread
+/// contending workers out, not to park one for minutes; two seconds is
+/// already far beyond any observed transient-blip window.
+inline constexpr std::int64_t kMaxRetryBackoffMicros = 2'000'000;
+
+/// Backoff slept after failed attempt `attempt` (1-based): nominally
+/// backoffMicros doubled per attempt (backoffMicros << (attempt-1)), but
+/// saturated at kMaxRetryBackoffMicros. The saturation matters for
+/// correctness, not just politeness: a shift count of 64+ is undefined
+/// behaviour, and with retries driven by a keep-going sweep the attempt
+/// number is caller-controlled.
+constexpr std::int64_t retryBackoffMicros(std::int64_t backoffMicros,
+                                          int attempt) {
+  if (backoffMicros <= 0) return 0;
+  const int shift = attempt > 1 ? attempt - 1 : 0;
+  // kMax >> shift underestimates to 0 well before shift hits the UB zone,
+  // so a single comparison handles both overflow and the ceiling.
+  if (shift >= 62 || backoffMicros > (kMaxRetryBackoffMicros >> shift))
+    return kMaxRetryBackoffMicros;
+  return backoffMicros << shift;
+}
+
 /// Run `work` up to 1 + maxRetries times with exponential backoff
-/// (backoffMicros << (k-1)) between attempts; only TransientError earns a
+/// (retryBackoffMicros) between attempts; only TransientError earns a
 /// retry. Returns the number of retries performed; on final failure `err`
 /// holds the last exception (nullptr on success), `attempts` the attempt
 /// count that settled the outcome.

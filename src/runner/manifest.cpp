@@ -82,6 +82,19 @@ void writeManifest(std::ostream& os, const Manifest& m) {
     w.endObject();
     w.endObject();
   }
+  if (m.fuzz) {
+    w.key("fuzz").beginObject();
+    w.field("seeds", m.fuzz->seeds);
+    w.field("seedBase", m.fuzz->seedBase);
+    w.key("policies").beginArray();
+    for (const std::string& p : m.fuzz->policies) w.value(p);
+    w.endArray();
+    w.field("violations", m.fuzz->violations);
+    w.field("divergences", m.fuzz->divergences);
+    w.field("simFailures", m.fuzz->simFailures);
+    w.field("minimized", m.fuzz->minimized);
+    w.endObject();
+  }
   if (!m.faults.empty()) {
     w.key("faults").beginArray();
     for (const faultinject::SiteStats& f : m.faults) {

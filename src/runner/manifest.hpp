@@ -22,9 +22,11 @@
 namespace lev::runner {
 
 /// Version 3 added the optional "serve" section (distributed runs,
-/// docs/SERVE.md); absent for local runs, so v2 consumers reading v3
-/// local manifests only see the version number change.
-inline constexpr int kManifestVersion = 3;
+/// docs/SERVE.md); version 4 the optional "fuzz" section (security-fuzzing
+/// runs, docs/FUZZING.md). Both are absent unless their subsystem ran, so
+/// older consumers of other tools' manifests only see the version number
+/// change.
+inline constexpr int kManifestVersion = 4;
 
 struct Manifest {
   std::string tool;              ///< producing binary ("levioso-batch", ...)
@@ -56,6 +58,20 @@ struct Manifest {
     std::uint64_t remoteCacheRejected = 0; ///< refused by admission control
   };
   std::optional<ServeInfo> serve;
+
+  /// Security-fuzzing section (docs/FUZZING.md): present only for
+  /// levioso-fuzz runs. Seeds and policies pin down reproduction; the
+  /// violation/divergence totals are the run's verdict.
+  struct FuzzInfo {
+    std::uint64_t seeds = 0;    ///< seeds checked (or files replayed)
+    std::uint64_t seedBase = 0;
+    std::vector<std::string> policies;
+    std::uint64_t violations = 0;  ///< invariant breaches across all runs
+    std::uint64_t divergences = 0; ///< architectural mismatches vs reference
+    std::uint64_t simFailures = 0; ///< runs that did not halt / threw
+    std::uint64_t minimized = 0;   ///< regression kernels written out
+  };
+  std::optional<FuzzInfo> fuzz;
 
   /// Per-job phase timings (compile/simulate spans). For non-sweep tools
   /// (micro_speed) these can be hand-built — one span per measured unit.

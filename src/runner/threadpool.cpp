@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <exception>
 
+#include "support/cliparse.hpp"
 #include "support/log.hpp"
 
 namespace lev::runner {
@@ -17,8 +18,12 @@ thread_local ThreadPool* tlsPool = nullptr;
 int resolveJobs(int n) {
   if (n > 0) return n;
   if (const char* env = std::getenv("LEVIOSO_JOBS")) {
-    const int fromEnv = std::atoi(env);
-    if (fromEnv > 0) return fromEnv;
+    std::int64_t fromEnv = 0;
+    if (parseIntIn(env, 1, 4096, fromEnv)) return static_cast<int>(fromEnv);
+    // Unparsable or out-of-range: warn instead of silently falling back so
+    // a typo'd LEVIOSO_JOBS doesn't masquerade as "use every core".
+    LEV_LOG_WARN("pool", "ignoring LEVIOSO_JOBS (expected integer in [1,4096])",
+                 {{"value", env}});
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

@@ -9,6 +9,11 @@ Simulation::Simulation(const isa::Program& prog, const uarch::CoreConfig& cfg,
     : policyName_(policyName), policy_(secure::makePolicy(policyName)),
       core_(prog, cfg, *policy_, stats_) {}
 
+Simulation::Simulation(const isa::Program& prog, const uarch::CoreConfig& cfg,
+                       std::unique_ptr<uarch::SpeculationPolicy> policy)
+    : policyName_(policy->name()), policy_(std::move(policy)),
+      core_(prog, cfg, *policy_, stats_) {}
+
 uarch::RunExit Simulation::run(std::uint64_t maxCycles,
                                std::int64_t deadlineMicros) {
   return core_.run(maxCycles, deadlineMicros);

@@ -18,6 +18,12 @@ public:
   Simulation(const isa::Program& prog, const uarch::CoreConfig& cfg,
              const std::string& policyName);
 
+  /// Run under a caller-built policy instance (e.g. a decorated/wrapped
+  /// policy — src/fuzz's oracle). The name reported by policyName() is the
+  /// instance's name().
+  Simulation(const isa::Program& prog, const uarch::CoreConfig& cfg,
+             std::unique_ptr<uarch::SpeculationPolicy> policy);
+
   /// Run to completion; a positive deadlineMicros bounds host wall time
   /// (uarch::RunExit::Deadline on overrun, see O3Core::run).
   uarch::RunExit run(std::uint64_t maxCycles = 100'000'000,

@@ -1,0 +1,42 @@
+#include "support/cliparse.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace lev {
+
+bool parseIntIn(const std::string& s, std::int64_t min, std::int64_t max,
+                std::int64_t& out) {
+  std::int64_t v = 0;
+  if (!parseInt(s, v)) return false;
+  if (v < min || v > max) return false;
+  out = v;
+  return true;
+}
+
+std::int64_t requireInt(const char* tool, const char* flag,
+                        const std::string& value, std::int64_t min,
+                        std::int64_t max) {
+  std::int64_t v = 0;
+  if (parseIntIn(value, min, max, v)) return v;
+  std::int64_t parsed = 0;
+  if (parseInt(value, parsed))
+    std::fprintf(stderr,
+                 "%s: invalid value for %s: '%s' (must be between %lld and "
+                 "%lld)\n",
+                 tool, flag, value.c_str(), static_cast<long long>(min),
+                 static_cast<long long>(max));
+  else
+    std::fprintf(stderr, "%s: invalid value for %s: '%s' (not an integer)\n",
+                 tool, flag, value.c_str());
+  std::exit(2);
+}
+
+int requireIntArg(const char* tool, const char* flag, const std::string& value,
+                  std::int64_t min, std::int64_t max) {
+  return static_cast<int>(requireInt(tool, flag, value, min, max));
+}
+
+} // namespace lev

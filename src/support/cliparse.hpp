@@ -1,0 +1,31 @@
+// Strict integer parsing for tool command lines.
+//
+// The tools originally ran flag values through std::atoi, which returns 0
+// on garbage — so `--budget=oops` silently meant budget 0 and quietly
+// changed what an experiment measured. These helpers either produce a
+// validated value or exit with a diagnostic on stderr; nothing in between.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lev {
+
+/// Strict parse + range check (inclusive bounds). Returns false on
+/// malformed input or out-of-range values; `out` is untouched on failure.
+bool parseIntIn(const std::string& s, std::int64_t min, std::int64_t max,
+                std::int64_t& out);
+
+/// Parse the value of `flag` or die: prints
+/// "<tool>: invalid value for <flag>: '<value>' ..." to stderr and exits
+/// with status 2 (the usage-error convention) on malformed or out-of-range
+/// input.
+std::int64_t requireInt(const char* tool, const char* flag,
+                        const std::string& value, std::int64_t min,
+                        std::int64_t max);
+
+/// requireInt() narrowed to int, for the many int-typed tool knobs.
+int requireIntArg(const char* tool, const char* flag, const std::string& value,
+                  std::int64_t min, std::int64_t max);
+
+} // namespace lev

@@ -4,6 +4,7 @@
 // bookkeeping, and cache self-healing (quarantine + repopulation).
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "runner/execute.hpp"
 #include "runner/resultcache.hpp"
 #include "runner/sweep.hpp"
 #include "support/error.hpp"
@@ -183,6 +185,37 @@ TEST_F(Fault, TransientSimFaultRecordsItsSecondAttempt) {
   EXPECT_TRUE(sweep.outcomes()[0].ok);
   EXPECT_EQ(sweep.outcomes()[0].attempts, 2); // failed once, then succeeded
   EXPECT_EQ(sweep.counters().retries, 1u);
+}
+
+TEST(RetryBackoff, DoublesThenSaturatesWithoutShiftOverflow) {
+  // attempt N sleeps base << (N-1), capped at kMaxRetryBackoffMicros. The
+  // old code shifted unconditionally — UB from attempt 65 on (and absurd
+  // sleeps well before that, e.g. attempt 22 at base 1000 = ~35 minutes).
+  EXPECT_EQ(retryBackoffMicros(1000, 1), 1000);
+  EXPECT_EQ(retryBackoffMicros(1000, 2), 2000);
+  EXPECT_EQ(retryBackoffMicros(1000, 3), 4000);
+  EXPECT_EQ(retryBackoffMicros(1000, 11), 1000 << 10);
+
+  // Saturation: every later attempt pins at the ceiling, however large.
+  EXPECT_EQ(retryBackoffMicros(1000, 12), kMaxRetryBackoffMicros);
+  EXPECT_EQ(retryBackoffMicros(1000, 64), kMaxRetryBackoffMicros);
+  EXPECT_EQ(retryBackoffMicros(1000, 65), kMaxRetryBackoffMicros); // was UB
+  EXPECT_EQ(retryBackoffMicros(1000, std::numeric_limits<int>::max()),
+            kMaxRetryBackoffMicros);
+  EXPECT_EQ(retryBackoffMicros(1, 100), kMaxRetryBackoffMicros);
+
+  // A base already over the ceiling clamps immediately.
+  EXPECT_EQ(retryBackoffMicros(kMaxRetryBackoffMicros + 1, 1),
+            kMaxRetryBackoffMicros);
+
+  // Degenerate inputs: no backoff requested, or pre-first-retry attempts.
+  EXPECT_EQ(retryBackoffMicros(0, 50), 0);
+  EXPECT_EQ(retryBackoffMicros(-5, 3), 0);
+  EXPECT_EQ(retryBackoffMicros(1000, 0), 1000);
+
+  // constexpr: the saturation logic is checkable at compile time.
+  static_assert(retryBackoffMicros(1000, 65) == kMaxRetryBackoffMicros);
+  static_assert(retryBackoffMicros(1000, 2) == 2000);
 }
 
 TEST_F(Fault, ExhaustedRetryBudgetFailsTheJobWithTransientKind) {

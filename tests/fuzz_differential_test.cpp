@@ -7,192 +7,19 @@
 // optimizer, the register allocator, the lowering, the ISA semantics, the
 // pipeline (squash/forwarding/renaming) and the policies' claim of being
 // timing-only, all at once.
+//
+// The program generator and snapshot helpers live in src/fuzz/progen.hpp,
+// shared with the security-fuzzing oracle (tools/levioso-fuzz).
 #include <gtest/gtest.h>
 
 #include "backend/compiler.hpp"
-#include "ir/builder.hpp"
+#include "fuzz/progen.hpp"
 #include "ir/interp.hpp"
-#include "ir/verifier.hpp"
 #include "sim/simulation.hpp"
-#include "support/rng.hpp"
 #include "uarch/funcsim.hpp"
 
 namespace lev {
 namespace {
-
-using ir::IRBuilder;
-using ir::Op;
-using ir::Value;
-
-constexpr int kMemBytes = 4096;
-
-/// Generates one random, guaranteed-terminating program: straight-line
-/// arithmetic, loads/stores into a bounded scratch array, nested ifs and
-/// counted loops. All branches are data-dependent on computed values, so
-/// the O3 core mispredicts plenty.
-class ProgramGen {
-public:
-  explicit ProgramGen(std::uint64_t seed) : rng_(seed) {}
-
-  ir::Module generate() {
-    ir::Module mod;
-    auto& scratch = mod.addGlobal("mem", kMemBytes, 64);
-    scratch.init.resize(kMemBytes);
-    for (auto& b : scratch.init) b = static_cast<std::uint8_t>(rng_.next());
-    mod.addGlobal("result", 8, 8);
-
-    ir::Function& fn = mod.addFunction("main", 0);
-    const int entry = fn.createBlock("entry");
-    b_ = std::make_unique<IRBuilder>(fn);
-    fn_ = &fn;
-    b_->setBlock(entry);
-
-    base_ = b_->lea("mem");
-    for (int i = 0; i < 4; ++i)
-      pool_.push_back(b_->mov(Value::makeImm(rng_.range(-100, 100))));
-
-    emitBody(3, 8 + static_cast<int>(rng_.below(10)));
-
-    // Checksum everything live into result.
-    int acc = b_->mov(Value::makeImm(0));
-    for (int r : pool_)
-      acc = b_->xor_(Value::makeReg(acc), Value::makeReg(r));
-    const int res = b_->lea("result");
-    b_->store(Value::makeReg(res), Value::makeReg(acc));
-    b_->halt();
-    ir::verify(mod);
-    return mod;
-  }
-
-private:
-  Value randOperand() {
-    if (rng_.chance(0.3)) return Value::makeImm(rng_.range(-64, 64));
-    return Value::makeReg(
-        pool_[static_cast<std::size_t>(rng_.below(pool_.size()))]);
-  }
-  int randReg() {
-    return pool_[static_cast<std::size_t>(rng_.below(pool_.size()))];
-  }
-
-  /// A random in-bounds, 8-aligned scratch address in a fresh register.
-  int randAddress() {
-    const int masked =
-        b_->and_(Value::makeReg(randReg()), Value::makeImm(kMemBytes - 8));
-    return b_->add(Value::makeReg(base_), Value::makeReg(masked));
-  }
-
-  void emitStatement(int depth) {
-    const std::uint64_t kind = rng_.below(depth > 0 ? 6 : 4);
-    switch (kind) {
-    case 0:
-    case 1: { // arithmetic
-      static const Op kOps[] = {Op::Add,  Op::Sub,  Op::Mul,    Op::DivU,
-                                Op::RemS, Op::And,  Op::Or,     Op::Xor,
-                                Op::Shl,  Op::ShrL, Op::CmpLtS, Op::CmpEq};
-      const Op op = kOps[rng_.below(std::size(kOps))];
-      pool_.push_back(b_->binary(op, randOperand(), randOperand()));
-      break;
-    }
-    case 2: { // load
-      const int addr = randAddress();
-      static const int kSizes[] = {1, 2, 4, 8};
-      pool_.push_back(b_->load(Value::makeReg(addr), 0,
-                               kSizes[rng_.below(4)]));
-      break;
-    }
-    case 3: { // store
-      const int addr = randAddress();
-      static const int kSizes[] = {1, 2, 4, 8};
-      b_->store(Value::makeReg(addr), randOperand(), 0,
-                kSizes[rng_.below(4)]);
-      break;
-    }
-    case 4: { // if/else (data-dependent condition)
-      const int cond = b_->and_(Value::makeReg(randReg()), Value::makeImm(1));
-      const int thenB = fn_->createBlock();
-      const int elseB = fn_->createBlock();
-      const int join = fn_->createBlock();
-      b_->br(Value::makeReg(cond), thenB, elseB);
-      // Branch arms mutate an existing register so the merge is visible.
-      const int merged = randReg();
-      b_->setBlock(thenB);
-      emitLinear(depth - 1, 1 + static_cast<int>(rng_.below(3)));
-      b_->binaryInto(merged, Op::Add, Value::makeReg(merged),
-                     randOperand());
-      b_->jmp(join);
-      b_->setBlock(elseB);
-      emitLinear(depth - 1, 1 + static_cast<int>(rng_.below(3)));
-      b_->binaryInto(merged, Op::Xor, Value::makeReg(merged),
-                     randOperand());
-      b_->jmp(join);
-      b_->setBlock(join);
-      break;
-    }
-    default: { // counted loop
-      const int trips = 1 + static_cast<int>(rng_.below(6));
-      const int i = b_->mov(Value::makeImm(0));
-      const int loop = fn_->createBlock();
-      const int exit = fn_->createBlock();
-      b_->jmp(loop);
-      b_->setBlock(loop);
-      emitLinear(depth - 1, 1 + static_cast<int>(rng_.below(3)));
-      b_->binaryInto(i, Op::Add, Value::makeReg(i), Value::makeImm(1));
-      const int c = b_->cmpLtS(Value::makeReg(i), Value::makeImm(trips));
-      b_->br(Value::makeReg(c), loop, exit);
-      b_->setBlock(exit);
-      break;
-    }
-    }
-    // Bound the register pool (keeps regalloc pressure interesting but the
-    // checksum loop finite).
-    if (pool_.size() > 24)
-      pool_.erase(pool_.begin(),
-                  pool_.begin() + static_cast<std::ptrdiff_t>(8));
-  }
-
-  void emitLinear(int depth, int n) {
-    for (int i = 0; i < n; ++i)
-      emitStatement(std::min(depth, 1)); // at most one more nesting level
-  }
-
-  void emitBody(int depth, int n) {
-    for (int i = 0; i < n; ++i) emitStatement(depth);
-  }
-
-  Rng rng_;
-  std::unique_ptr<IRBuilder> b_;
-  ir::Function* fn_ = nullptr;
-  int base_ = 0;
-  std::vector<int> pool_;
-};
-
-/// Full scratch-memory snapshot from an engine.
-std::vector<std::uint8_t> snapshotInterp(ir::Interpreter& interp) {
-  std::vector<std::uint8_t> out(kMemBytes + 8);
-  const std::uint64_t base = interp.globalAddress("mem");
-  for (int i = 0; i < kMemBytes; ++i)
-    out[static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(interp.readMemory(base + i, 1));
-  const std::uint64_t res = interp.globalAddress("result");
-  for (int i = 0; i < 8; ++i)
-    out[static_cast<std::size_t>(kMemBytes + i)] =
-        static_cast<std::uint8_t>(interp.readMemory(res + i, 1));
-  return out;
-}
-
-std::vector<std::uint8_t> snapshotMachine(const uarch::Memory& mem,
-                                          const isa::Program& prog) {
-  std::vector<std::uint8_t> out(kMemBytes + 8);
-  const std::uint64_t base = prog.symbol("mem");
-  for (int i = 0; i < kMemBytes; ++i)
-    out[static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(mem.peek(base + i, 1));
-  const std::uint64_t res = prog.symbol("result");
-  for (int i = 0; i < 8; ++i)
-    out[static_cast<std::size_t>(kMemBytes + i)] =
-        static_cast<std::uint8_t>(mem.peek(res + i, 1));
-  return out;
-}
 
 class FuzzDifferential : public ::testing::TestWithParam<int> {};
 
@@ -200,34 +27,34 @@ TEST_P(FuzzDifferential, AllEnginesAgree) {
   const auto seed = static_cast<std::uint64_t>(GetParam());
 
   // Engine 1: IR interpreter on the raw module.
-  ProgramGen gen1(seed * 7919 + 1);
+  fuzz::ProgramGen gen1(seed * 7919 + 1);
   ir::Module rawMod = gen1.generate();
   ir::Interpreter interp(rawMod);
   interp.run(50'000'000);
-  const auto want = snapshotInterp(interp);
+  const auto want = fuzz::snapshotInterp(interp);
 
   // Engine 2a/2b: functional machine sim, optimized and unoptimized.
   for (const bool optimize : {true, false}) {
-    ProgramGen gen(seed * 7919 + 1);
+    fuzz::ProgramGen gen(seed * 7919 + 1);
     ir::Module mod = gen.generate();
     backend::CompileOptions opts;
     opts.optimize = optimize;
     backend::CompileResult res = backend::compile(mod, opts);
     uarch::FuncSim fsim(res.program);
     fsim.run(100'000'000);
-    EXPECT_EQ(snapshotMachine(fsim.memory(), res.program), want)
+    EXPECT_EQ(fuzz::snapshotMachine(fsim.memory(), res.program), want)
         << "funcsim optimize=" << optimize << " seed=" << seed;
   }
 
   // Engine 3: the O3 core under three policies and a skewed configuration.
-  ProgramGen gen3(seed * 7919 + 1);
+  fuzz::ProgramGen gen3(seed * 7919 + 1);
   ir::Module mod3 = gen3.generate();
   backend::CompileResult res3 = backend::compile(mod3);
   for (const std::string policy : {"unsafe", "levioso", "dom"}) {
     sim::Simulation s(res3.program, uarch::CoreConfig(), policy);
     ASSERT_EQ(s.run(4'000'000'000ull), uarch::RunExit::Halted)
         << policy << " seed=" << seed;
-    EXPECT_EQ(snapshotMachine(s.core().memory(), res3.program), want)
+    EXPECT_EQ(fuzz::snapshotMachine(s.core().memory(), res3.program), want)
         << policy << " seed=" << seed;
   }
   uarch::CoreConfig narrow;
@@ -241,7 +68,7 @@ TEST_P(FuzzDifferential, AllEnginesAgree) {
   narrow.bp.kind = uarch::PredictorKind::Tage;
   sim::Simulation s(res3.program, narrow, "stt");
   ASSERT_EQ(s.run(4'000'000'000ull), uarch::RunExit::Halted);
-  EXPECT_EQ(snapshotMachine(s.core().memory(), res3.program), want)
+  EXPECT_EQ(fuzz::snapshotMachine(s.core().memory(), res3.program), want)
       << "narrow-core stt seed=" << seed;
 }
 

@@ -1,0 +1,225 @@
+// Security-oracle tests (docs/FUZZING.md): the oracle must (1) stay silent
+// on every real policy across random programs, (2) flag a deliberately
+// weakened policy (the planted-violation self-test), (3) never perturb
+// simulation timing, and (4) shrink failing programs into replayable
+// regression kernels. The committed kernels under tests/fuzz_regressions/
+// are replayed here on every run.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "backend/compiler.hpp"
+#include "fuzz/minimize.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/progen.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "sim/simulation.hpp"
+#include "support/error.hpp"
+
+namespace lev {
+namespace {
+
+namespace fs = std::filesystem;
+
+fuzz::CheckResult checkSeed(std::uint64_t seed, const fuzz::CheckOptions& opts,
+                            double secretShapes = 0.35) {
+  fuzz::GenOptions gen;
+  gen.seed = seed;
+  gen.secretShapes = secretShapes;
+  return fuzz::checkProgram([gen] { return fuzz::ProgramGen(gen).generate(); },
+                            opts);
+}
+
+TEST(FuzzOracle, GuardForMapsEveryPolicy) {
+  for (const std::string& name : secure::policyNames())
+    EXPECT_NO_THROW(fuzz::guardFor(name)) << name;
+  EXPECT_EQ(fuzz::guardFor("unsafe"), fuzz::GuardKind::None);
+  EXPECT_EQ(fuzz::guardFor("fence"), fuzz::GuardKind::AllInstructions);
+  EXPECT_EQ(fuzz::guardFor("levioso"), fuzz::GuardKind::TrueDependee);
+  EXPECT_THROW(fuzz::guardFor("nonesuch"), Error);
+}
+
+TEST(FuzzOracle, RealPoliciesAreCleanAcrossSeeds) {
+  fuzz::CheckOptions opts; // all seven policies
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const fuzz::CheckResult result = checkSeed(seed, opts);
+    EXPECT_TRUE(result.clean())
+        << "seed " << seed << ": " << result.totalViolations()
+        << " violations, " << result.totalDivergences() << " divergences, "
+        << result.simError;
+  }
+}
+
+class FuzzOracleWeakened : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FuzzOracleWeakened, PlantedHoleIsFlagged) {
+  const std::string policy = GetParam();
+  fuzz::CheckOptions opts;
+  opts.policies = {policy};
+  opts.weakenPolicy = policy;
+  opts.weakenEveryN = 1;
+  std::size_t violations = 0;
+  for (std::uint64_t seed = 0; seed < 6 && violations == 0; ++seed) {
+    const fuzz::CheckResult result = checkSeed(seed, opts);
+    violations += result.totalViolations();
+    // Policies are timing-only: even fully weakened, architectural results
+    // must match the reference.
+    EXPECT_EQ(result.totalDivergences(), 0u) << policy << " seed " << seed;
+    EXPECT_FALSE(result.simFailed) << result.simError;
+  }
+  EXPECT_GT(violations, 0u)
+      << "oracle missed every flipped decision of weakened " << policy;
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, FuzzOracleWeakened,
+                         ::testing::Values("fence", "dom", "stt", "spt",
+                                           "levioso", "levioso-lite"));
+
+TEST(FuzzOracle, OracleIsTimingNeutral) {
+  // Wrapping a policy in the oracle must not change a single cycle —
+  // that's what lets the oracle ride along without a kCodeVersionSalt
+  // bump. Compare full runs with and without the wrapper.
+  for (std::uint64_t seed : {1ull, 5ull}) {
+    fuzz::GenOptions gen;
+    gen.seed = seed;
+    ir::Module mod = fuzz::ProgramGen(gen).generate();
+    const backend::CompileResult res = backend::compile(mod);
+    for (const std::string& name : secure::policyNames()) {
+      sim::Simulation plain(res.program, uarch::CoreConfig(), name);
+      ASSERT_EQ(plain.run(2'000'000'000ull), uarch::RunExit::Halted);
+      sim::Simulation watched(
+          res.program, uarch::CoreConfig(),
+          std::make_unique<fuzz::OraclePolicy>(secure::makePolicy(name)));
+      ASSERT_EQ(watched.run(2'000'000'000ull), uarch::RunExit::Halted);
+      EXPECT_EQ(plain.core().cycle(), watched.core().cycle())
+          << name << " seed " << seed;
+      EXPECT_EQ(plain.core().committedInsts(), watched.core().committedInsts())
+          << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(FuzzOracle, SecretShapesReachTheTaintAndDependeeMachinery) {
+  // The adversarial generator must actually engage the policies: across a
+  // few seeds, stt and levioso must delay something (otherwise the oracle
+  // is auditing decisions that never happen).
+  fuzz::GenOptions gen;
+  gen.seed = 3;
+  ir::Module mod = fuzz::ProgramGen(gen).generate();
+  const backend::CompileResult res = backend::compile(mod);
+  bool anyDelay = false;
+  for (const std::string name : {"stt", "levioso", "spt"}) {
+    sim::Simulation s(res.program, uarch::CoreConfig(), name);
+    ASSERT_EQ(s.run(2'000'000'000ull), uarch::RunExit::Halted);
+    if (s.stats().get("policy.loadDelayCycles") > 0 ||
+        s.stats().get("policy.execDelayCycles") > 0)
+      anyDelay = true;
+  }
+  EXPECT_TRUE(anyDelay);
+}
+
+TEST(FuzzOracle, MinimizeShrinksAndStillReproduces) {
+  fuzz::CheckOptions opts;
+  opts.policies = {"levioso"};
+  opts.weakenPolicy = "levioso";
+  opts.weakenEveryN = 1;
+
+  // Find a failing seed.
+  std::uint64_t seed = 0;
+  fuzz::FailureSignature sig;
+  std::string text;
+  for (; seed < 10; ++seed) {
+    const fuzz::CheckResult result = checkSeed(seed, opts);
+    sig = fuzz::signatureOf(result);
+    if (sig.failing()) {
+      fuzz::GenOptions gen;
+      gen.seed = seed;
+      ir::Module mod = fuzz::ProgramGen(gen).generate();
+      text = ir::toString(mod);
+      break;
+    }
+  }
+  ASSERT_TRUE(sig.failing()) << "no weakened-levioso failure in 10 seeds";
+
+  const auto stillFails = [&](const std::string& candidate) {
+    return fuzz::matches(
+        fuzz::checkProgram(
+            [&candidate] { return ir::parseModule(candidate); }, opts),
+        sig);
+  };
+  fuzz::MinimizeStats stats;
+  const std::string minimized = fuzz::minimizeText(text, stillFails, &stats);
+  EXPECT_LT(stats.toInsts, stats.fromInsts);
+  EXPECT_TRUE(stillFails(minimized));
+  // And the minimized kernel must be a legal, reprintable program.
+  EXPECT_NO_THROW(ir::parseModule(minimized));
+}
+
+TEST(FuzzOracle, GlobalInitSurvivesTextRoundTrip) {
+  fuzz::GenOptions gen;
+  gen.seed = 11;
+  ir::Module mod = fuzz::ProgramGen(gen).generate();
+  ir::Module reparsed = ir::parseModule(ir::toString(mod));
+  ASSERT_EQ(mod.globals().size(), reparsed.globals().size());
+  for (std::size_t i = 0; i < mod.globals().size(); ++i) {
+    const ir::Global& a = mod.globals()[i];
+    const ir::Global& b = reparsed.globals()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.size, b.size);
+    // The printer strips trailing zero bytes; compare zero-padded.
+    std::vector<std::uint8_t> ap = a.init, bp = b.init;
+    ap.resize(a.size, 0);
+    bp.resize(b.size, 0);
+    EXPECT_EQ(ap, bp) << a.name;
+  }
+}
+
+/// The committed minimized kernels: clean under every real policy, failing
+/// under the weakened policy recorded in their header.
+TEST(FuzzOracle, CommittedRegressionKernelsReplay) {
+  const fs::path dir(LEV_FUZZ_REGRESSION_DIR);
+  ASSERT_TRUE(fs::is_directory(dir)) << dir;
+  std::size_t kernels = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".ir") continue;
+    ++kernels;
+    std::ifstream in(entry.path());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    // Policy under test, from the "# policy: <name> ..." header line.
+    std::string policy;
+    std::istringstream lines(text);
+    for (std::string line; std::getline(lines, line);) {
+      const std::string prefix = "# policy: ";
+      if (line.rfind(prefix, 0) == 0) {
+        policy = line.substr(prefix.size());
+        policy = policy.substr(0, policy.find(' '));
+        break;
+      }
+    }
+    ASSERT_FALSE(policy.empty()) << entry.path() << " lacks a policy header";
+
+    const auto makeModule = [&text] { return ir::parseModule(text); };
+
+    fuzz::CheckOptions clean; // all real policies, no weakening
+    EXPECT_TRUE(fuzz::checkProgram(makeModule, clean).clean()) << entry.path();
+
+    fuzz::CheckOptions weakened;
+    weakened.policies = {policy};
+    weakened.weakenPolicy = policy;
+    weakened.weakenEveryN = 1;
+    const fuzz::CheckResult result = fuzz::checkProgram(makeModule, weakened);
+    EXPECT_GT(result.totalViolations(), 0u)
+        << entry.path() << " no longer reproduces under weakened " << policy;
+    EXPECT_EQ(result.totalDivergences(), 0u) << entry.path();
+  }
+  EXPECT_GE(kernels, 2u) << "expected committed regression kernels in " << dir;
+}
+
+} // namespace
+} // namespace lev

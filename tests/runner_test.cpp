@@ -189,6 +189,20 @@ TEST(ThreadPool, ResolveJobsPrefersExplicitThenEnvThenHardware) {
   EXPECT_GE(resolveJobs(0), 1);
 }
 
+TEST(ThreadPool, ResolveJobsIgnoresUnparsableEnvironment) {
+  // Garbage used to atoi() to 0 and then read as "unset"; now it's
+  // explicitly rejected (with a warning) and auto-detection takes over.
+  ::unsetenv("LEVIOSO_JOBS");
+  const int hardware = resolveJobs(0);
+  for (const char* bad : {"garbage", "0", "-2", "5000", "3x", ""}) {
+    ::setenv("LEVIOSO_JOBS", bad, 1);
+    EXPECT_EQ(resolveJobs(0), hardware) << "LEVIOSO_JOBS='" << bad << "'";
+  }
+  ::setenv("LEVIOSO_JOBS", "7", 1);
+  EXPECT_EQ(resolveJobs(0), 7);
+  ::unsetenv("LEVIOSO_JOBS");
+}
+
 // ---- JsonWriter --------------------------------------------------------
 
 TEST(JsonWriter, EscapesControlAndQuoteCharacters) {

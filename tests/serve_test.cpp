@@ -375,6 +375,69 @@ TEST(JobQueue, DropClientRemovesOnlyThatLane) {
   EXPECT_EQ(q.pop().value(), 30u);
 }
 
+TEST(JobQueue, DropOfTheLaneUnderTheCursorServesTheNextClient) {
+  // The rotation cursor points at client 2 when client 2 disconnects; the
+  // cursor must land on client 3 (the next lane), not skip it or re-serve
+  // client 1 out of turn.
+  serve::JobQueue q;
+  for (std::uint64_t c : {1u, 2u, 3u}) {
+    q.push(c, c * 10);
+    q.push(c, c * 10 + 1);
+  }
+  EXPECT_EQ(q.pop().value(), 10u); // cursor now at client 2
+  EXPECT_EQ(q.dropClient(2), (std::vector<std::uint64_t>{20, 21}));
+  std::vector<std::uint64_t> order;
+  while (auto id = q.pop()) order.push_back(*id);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{30, 11, 31}));
+}
+
+TEST(JobQueue, DropOfALaneBeforeTheCursorKeepsTheNextClientNext) {
+  // Erasing an earlier lane shifts indices; the cursor must keep pointing
+  // at the same NEXT client (3), not drift back to an already-served one.
+  serve::JobQueue q;
+  for (std::uint64_t c : {1u, 2u, 3u}) {
+    q.push(c, c * 10);
+    q.push(c, c * 10 + 1);
+  }
+  EXPECT_EQ(q.pop().value(), 10u);
+  EXPECT_EQ(q.pop().value(), 20u); // cursor now at client 3
+  EXPECT_EQ(q.dropClient(1), (std::vector<std::uint64_t>{11}));
+  std::vector<std::uint64_t> order;
+  while (auto id = q.pop()) order.push_back(*id);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{30, 21, 31}));
+}
+
+TEST(JobQueue, DropOfTheLastLaneLeavesAWorkingQueue) {
+  serve::JobQueue q;
+  q.push(7, 70);
+  q.push(7, 71);
+  EXPECT_EQ(q.pop().value(), 70u); // cursor wrapped back onto the sole lane
+  EXPECT_EQ(q.dropClient(7), (std::vector<std::uint64_t>{71}));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+  // A fresh client after total drain must dispatch normally.
+  q.push(8, 80);
+  q.pushFront(8, 79);
+  EXPECT_EQ(q.pop().value(), 79u);
+  EXPECT_EQ(q.pop().value(), 80u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(JobQueue, PushFrontJumpsItsLaneButNotTheRotation) {
+  // A re-dispatched job goes first WITHIN its client's lane, but must not
+  // steal another client's turn.
+  serve::JobQueue q;
+  q.push(1, 10);
+  q.push(1, 11);
+  q.push(2, 20);
+  EXPECT_EQ(q.pop().value(), 10u); // cursor now at client 2
+  q.pushFront(1, 99);              // client 1's worker died
+  EXPECT_EQ(q.pop().value(), 20u); // still client 2's turn
+  EXPECT_EQ(q.pop().value(), 99u); // then the requeued job, before 11
+  EXPECT_EQ(q.pop().value(), 11u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
 // ---- RemoteCacheTier ---------------------------------------------------
 
 namespace {

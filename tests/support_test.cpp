@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/bits.hpp"
+#include "support/cliparse.hpp"
 #include "support/error.hpp"
 #include "support/jsonparse.hpp"
 #include "support/rng.hpp"
@@ -112,6 +113,38 @@ TEST(Strings, ParseInt) {
   EXPECT_FALSE(parseInt("", v));
   EXPECT_FALSE(parseInt("12a", v));
   EXPECT_FALSE(parseInt("-", v));
+}
+
+TEST(CliParse, ParseIntInAcceptsOnlyInRangeIntegers) {
+  std::int64_t v = 99;
+  EXPECT_TRUE(parseIntIn("42", 0, 100, v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parseIntIn("0", 0, 100, v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(parseIntIn("100", 0, 100, v));
+  EXPECT_EQ(v, 100);
+
+  // Out of range, malformed, empty: rejected, `out` untouched.
+  v = 7;
+  EXPECT_FALSE(parseIntIn("101", 0, 100, v));
+  EXPECT_FALSE(parseIntIn("-1", 0, 100, v));
+  EXPECT_FALSE(parseIntIn("oops", 0, 100, v));
+  EXPECT_FALSE(parseIntIn("12a", 0, 100, v));
+  EXPECT_FALSE(parseIntIn("", 0, 100, v));
+  EXPECT_FALSE(parseIntIn("4 2", 0, 100, v));
+  EXPECT_EQ(v, 7);
+
+  // The atoi failure mode this replaces: garbage must NOT read as zero.
+  EXPECT_FALSE(parseIntIn("garbage", 0, 100, v));
+}
+
+TEST(CliParseDeath, RequireIntExitsWithStatus2AndNamesTheFlag) {
+  EXPECT_EXIT((void)requireInt("levioso-sim", "--budget", "oops", 0, 1024),
+              ::testing::ExitedWithCode(2), "invalid value for --budget");
+  EXPECT_EXIT((void)requireInt("levioso-sim", "--budget", "9999", 0, 1024),
+              ::testing::ExitedWithCode(2), "must be between 0 and 1024");
+  EXPECT_EQ(requireInt("levioso-sim", "--budget", "8", 0, 1024), 8);
+  EXPECT_EQ(requireIntArg("levioso-sim", "--rob", "224", 0, 1 << 20), 224);
 }
 
 TEST(Strings, Fmt) {

@@ -37,6 +37,7 @@
 #include "runner/manifest.hpp"
 #include "runner/sweep.hpp"
 #include "serve/client.hpp"
+#include "support/cliparse.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
@@ -307,7 +308,7 @@ int main(int argc, char** argv) {
     else if (a == "--drams")
       cfg.drams = parseInts(next());
     else if (a == "--jobs")
-      jobs = std::max(1, std::atoi(next().c_str()));
+      jobs = requireIntArg("levioso-batch", "--jobs", next(), 1, 4096);
     else if (a == "--json")
       cfg.jsonPath = next();
     else if (a == "--cache-dir")
@@ -331,9 +332,10 @@ int main(int argc, char** argv) {
     else if (a == "--fail-fast")
       keepGoing = false;
     else if (a == "--retries")
-      retries = std::max(0, std::atoi(next().c_str()));
+      retries = requireIntArg("levioso-batch", "--retries", next(), 0, 100);
     else if (a == "--deadline-ms")
-      cfg.deadlineMs = std::max(0, std::atoi(next().c_str()));
+      cfg.deadlineMs =
+          requireIntArg("levioso-batch", "--deadline-ms", next(), 0, 86'400'000);
     else if (a == "--quiet") {
       cfg.quiet = true;
       log::setThreshold(log::Level::Warn);

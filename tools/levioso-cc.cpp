@@ -12,6 +12,7 @@
 #include "ir/parser.hpp"
 #include "isa/disasm.hpp"
 #include "levioso/annotation.hpp"
+#include "support/cliparse.hpp"
 #include "support/strings.hpp"
 #include "workloads/kernels.hpp"
 
@@ -39,7 +40,8 @@ int main(int argc, char** argv) {
     if (a == "--kernel" && i + 1 < argc)
       kernel = argv[++i];
     else if (a == "--budget" && i + 1 < argc)
-      opts.annotationBudget = std::atoi(argv[++i]);
+      opts.annotationBudget =
+          requireIntArg("levioso-cc", "--budget", argv[++i], 0, 1024);
     else if (a == "--no-hints")
       opts.emitHints = false;
     else if (a == "--no-memdep")

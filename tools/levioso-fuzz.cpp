@@ -1,0 +1,354 @@
+// levioso-fuzz: the security fuzzing oracle driver (docs/FUZZING.md).
+//
+// Generates seeded random programs with a secret-labelled memory region,
+// runs each under the requested policies with the invariant oracle
+// attached (src/fuzz/oracle.hpp), and reports every invariant violation
+// and architectural divergence. Failing seeds can be delta-debugged into
+// minimal self-contained regression kernels (--minimize --out DIR), and
+// committed kernels re-checked with --replay.
+//
+// Exit status: 0 = all runs clean, 1 = violations/divergences/failures
+// found, 2 = usage error.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "fuzz/minimize.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/progen.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "runner/manifest.hpp"
+#include "runner/threadpool.hpp"
+#include "support/cliparse.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace lev;
+namespace fs = std::filesystem;
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: levioso-fuzz [options]\n"
+         "  --seeds N          seeds to fuzz (default 50)\n"
+         "  --seed-base K      first seed value (default 0)\n"
+         "  --policies a,b,c   policies to check (default: all seven)\n"
+         "  --secret-pct N     weight of secret-touching shapes, percent\n"
+         "                     (default 35; 0 recovers plain differential)\n"
+         "  --weaken POLICY    planted-violation self-test: flip POLICY's\n"
+         "                     delay decisions to permits\n"
+         "  --weaken-every N   flip every Nth delay only (default 1)\n"
+         "  --minimize         delta-debug failing seeds into kernels\n"
+         "  --out DIR          directory for minimized kernels (default\n"
+         "                     fuzz-out)\n"
+         "  --replay PATH      re-check a committed .ir kernel (or every\n"
+         "                     *.ir in a directory) instead of fuzzing\n"
+         "  --jobs N           worker threads (default: all cores)\n"
+         "  --manifest PATH    write a run manifest (fuzz section)\n"
+         "  --fail-fast        stop scheduling after the first failure\n";
+  std::exit(2);
+}
+
+/// One seed's (or replayed file's) verdict, reduced for reporting.
+struct SeedVerdict {
+  std::string label;          ///< "seed 17" or a file path
+  std::uint64_t seed = 0;
+  bool replay = false;
+  std::string text;           ///< program text (filled for failures)
+  std::size_t violations = 0;
+  std::size_t divergences = 0;
+  bool simFailed = false;
+  std::string firstDetail;    ///< representative violation line
+  fuzz::FailureSignature signature;
+  bool failing() const { return violations > 0 || divergences > 0 || simFailed; }
+};
+
+std::string describeViolation(const fuzz::Violation& v) {
+  std::ostringstream ss;
+  ss << v.policy << ": " << fuzz::violationKindName(v.kind) << " seq=" << v.seq
+     << " pc=0x" << std::hex << v.pc << std::dec << " cycle=" << v.cycle;
+  if (v.blockingBranch != 0) ss << " blockingBranch=" << v.blockingBranch;
+  ss << " (" << v.detail << ")";
+  return ss.str();
+}
+
+SeedVerdict summarize(const fuzz::CheckResult& result) {
+  SeedVerdict v;
+  for (const auto& r : result.runs) {
+    v.violations += r.violations.size();
+    if (r.divergent) ++v.divergences;
+    if (v.firstDetail.empty() && !r.violations.empty())
+      v.firstDetail = describeViolation(r.violations.front());
+    if (v.firstDetail.empty() && r.divergent)
+      v.firstDetail = r.policy + ": architectural state diverges from the "
+                                 "IR-interpreter reference";
+  }
+  v.simFailed = result.simFailed;
+  if (v.firstDetail.empty() && result.simFailed) v.firstDetail = result.simError;
+  v.signature = fuzz::signatureOf(result);
+  return v;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 50, seedBase = 0;
+  std::vector<std::string> policies;
+  int secretPct = 35;
+  std::string weakenPolicy;
+  int weakenEveryN = 1;
+  bool minimize = false;
+  std::string outDir = "fuzz-out";
+  std::vector<std::string> replayPaths;
+  int jobs = 0;
+  std::string manifestPath;
+  bool failFast = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--seeds")
+      seeds = static_cast<std::uint64_t>(
+          requireInt("levioso-fuzz", "--seeds", next(), 1, 1'000'000));
+    else if (a == "--seed-base")
+      seedBase = static_cast<std::uint64_t>(requireInt(
+          "levioso-fuzz", "--seed-base", next(), 0, 1'000'000'000));
+    else if (a == "--policies") {
+      policies.clear();
+      for (auto part : split(next(), ',')) policies.emplace_back(trim(part));
+      if (policies.empty()) usage();
+    } else if (a == "--secret-pct")
+      secretPct = requireIntArg("levioso-fuzz", "--secret-pct", next(), 0, 100);
+    else if (a == "--weaken")
+      weakenPolicy = next();
+    else if (a == "--weaken-every")
+      weakenEveryN =
+          requireIntArg("levioso-fuzz", "--weaken-every", next(), 1, 1'000'000);
+    else if (a == "--minimize")
+      minimize = true;
+    else if (a == "--out")
+      outDir = next();
+    else if (a == "--replay")
+      replayPaths.push_back(next());
+    else if (a == "--jobs")
+      jobs = requireIntArg("levioso-fuzz", "--jobs", next(), 0, 4096);
+    else if (a == "--manifest")
+      manifestPath = next();
+    else if (a == "--fail-fast")
+      failFast = true;
+    else
+      usage();
+  }
+
+  fuzz::CheckOptions checkOpts;
+  checkOpts.policies = policies;
+  checkOpts.weakenPolicy = weakenPolicy;
+  checkOpts.weakenEveryN = weakenEveryN;
+
+  // Work items: generated seeds, or replayed kernel files.
+  struct WorkItem {
+    std::uint64_t seed = 0;
+    std::string path; ///< non-empty = replay this file
+  };
+  std::vector<WorkItem> items;
+  if (replayPaths.empty()) {
+    for (std::uint64_t i = 0; i < seeds; ++i)
+      items.push_back({seedBase + i, ""});
+  } else {
+    for (const std::string& p : replayPaths) {
+      std::error_code ec;
+      if (fs::is_directory(p, ec)) {
+        std::vector<std::string> found;
+        for (const auto& e : fs::directory_iterator(p, ec))
+          if (e.path().extension() == ".ir") found.push_back(e.path().string());
+        std::sort(found.begin(), found.end());
+        for (auto& f : found) items.push_back({0, std::move(f)});
+      } else {
+        items.push_back({0, p});
+      }
+    }
+    if (items.empty()) {
+      std::cerr << "levioso-fuzz: no .ir kernels under the --replay paths\n";
+      return 2;
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const fuzz::GenOptions genBase{0, 3, static_cast<double>(secretPct) / 100.0};
+
+  auto checkItem = [&](const WorkItem& item) -> fuzz::CheckResult {
+    if (!item.path.empty()) {
+      std::ifstream in(item.path);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const std::string text = ss.str();
+      return fuzz::checkProgram([&text] { return ir::parseModule(text); },
+                                checkOpts);
+    }
+    fuzz::GenOptions gen = genBase;
+    gen.seed = item.seed;
+    return fuzz::checkProgram(
+        [gen] { return fuzz::ProgramGen(gen).generate(); }, checkOpts);
+  };
+
+  runner::ThreadPool pool(jobs);
+  std::vector<SeedVerdict> verdicts(items.size());
+  std::atomic<bool> stop{false};
+  std::vector<std::future<void>> futures;
+  futures.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    futures.push_back(pool.submit([&, i] {
+      if (stop.load(std::memory_order_relaxed)) return;
+      SeedVerdict v;
+      v.seed = items[i].seed;
+      v.replay = !items[i].path.empty();
+      v.label = v.replay ? items[i].path
+                         : "seed " + std::to_string(items[i].seed);
+      try {
+        const fuzz::CheckResult result = checkItem(items[i]);
+        const SeedVerdict sum = summarize(result);
+        v.violations = sum.violations;
+        v.divergences = sum.divergences;
+        v.simFailed = sum.simFailed;
+        v.firstDetail = sum.firstDetail;
+        v.signature = sum.signature;
+        if (v.failing()) {
+          // Capture the program text for reporting/minimization. Replays
+          // already have it on disk; seeds re-print deterministically.
+          if (!v.replay) {
+            fuzz::GenOptions gen = genBase;
+            gen.seed = items[i].seed;
+            const ir::Module mod = fuzz::ProgramGen(gen).generate();
+            v.text = ir::toString(mod);
+          }
+        }
+      } catch (const std::exception& e) {
+        v.simFailed = true;
+        v.firstDetail = e.what();
+      }
+      if (v.failing() && failFast) stop.store(true, std::memory_order_relaxed);
+      verdicts[i] = std::move(v);
+    }));
+  }
+  runner::ThreadPool::waitAll(futures);
+
+  // Report, then minimize failures (serially: each minimization is itself
+  // a long chain of oracle runs).
+  std::uint64_t totalViolations = 0, totalDivergences = 0, totalSimFailed = 0,
+                written = 0;
+  std::vector<std::size_t> failing;
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    const SeedVerdict& v = verdicts[i];
+    totalViolations += v.violations;
+    totalDivergences += v.divergences;
+    totalSimFailed += v.simFailed ? 1 : 0;
+    if (v.failing()) failing.push_back(i);
+  }
+
+  for (const std::size_t i : failing) {
+    const SeedVerdict& v = verdicts[i];
+    std::cout << "FAIL " << v.label << ": " << v.violations << " violation(s), "
+              << v.divergences << " divergence(s)"
+              << (v.simFailed ? ", sim failure" : "") << "\n";
+    if (!v.firstDetail.empty()) std::cout << "     " << v.firstDetail << "\n";
+  }
+
+  if (minimize && !failing.empty()) {
+    std::error_code ec;
+    fs::create_directories(outDir, ec);
+    for (const std::size_t i : failing) {
+      SeedVerdict& v = verdicts[i];
+      if (v.text.empty() && v.replay) {
+        std::ifstream in(items[i].path);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        v.text = ss.str();
+      }
+      if (v.text.empty() || !v.signature.failing()) continue;
+      const fuzz::FailureSignature sig = v.signature;
+      fuzz::MinimizeStats stats;
+      const std::string minimized = fuzz::minimizeText(
+          v.text,
+          [&](const std::string& candidate) {
+            return fuzz::matches(
+                fuzz::checkProgram(
+                    [&candidate] { return ir::parseModule(candidate); },
+                    checkOpts),
+                sig);
+          },
+          &stats);
+      std::string name = v.replay
+                             ? fs::path(items[i].path).stem().string() + "-min"
+                             : "seed" + std::to_string(v.seed);
+      const std::string outPath =
+          (fs::path(outDir) / (name + "-" + sig.policy + ".ir")).string();
+      std::ofstream out(outPath);
+      // The '#' header makes the kernel self-describing; the IR parser
+      // skips comment lines, so the fixture replays as-is.
+      out << "# levioso-fuzz minimized regression kernel\n"
+          << "# source: " << v.label << "\n"
+          << "# policy: " << sig.policy
+          << (sig.violations ? " (invariant violation)" : "")
+          << (sig.divergent ? " (architectural divergence)" : "") << "\n";
+      if (!weakenPolicy.empty())
+        out << "# weakened: " << weakenPolicy << " every " << weakenEveryN
+            << "\n";
+      out << "# minimized: " << stats.fromInsts << " -> " << stats.toInsts
+          << " insts in " << stats.rounds << " round(s), " << stats.probes
+          << " probes\n"
+          << minimized;
+      if (out.good()) {
+        ++written;
+        std::cout << "MINIMIZED " << v.label << " -> " << outPath << " ("
+                  << stats.fromInsts << " -> " << stats.toInsts
+                  << " insts)\n";
+      } else {
+        std::cerr << "levioso-fuzz: cannot write " << outPath << "\n";
+      }
+    }
+  }
+
+  const auto wallMicros = std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  std::cout << (replayPaths.empty() ? "fuzzed " : "replayed ") << items.size()
+            << (replayPaths.empty() ? " seeds" : " kernels") << " across "
+            << (checkOpts.policies.empty()
+                    ? secure::policyNames().size()
+                    : checkOpts.policies.size())
+            << " policies: " << totalViolations << " violation(s), "
+            << totalDivergences << " divergence(s), " << totalSimFailed
+            << " sim failure(s)\n";
+
+  if (!manifestPath.empty()) {
+    runner::Manifest m;
+    m.tool = "levioso-fuzz";
+    for (int i = 1; i < argc; ++i) m.args.emplace_back(argv[i]);
+    m.threads = pool.size();
+    m.wallMicros = wallMicros;
+    m.pool = pool.counters();
+    runner::Manifest::FuzzInfo info;
+    info.seeds = items.size();
+    info.seedBase = seedBase;
+    info.policies =
+        checkOpts.policies.empty() ? secure::policyNames() : checkOpts.policies;
+    info.violations = totalViolations;
+    info.divergences = totalDivergences;
+    info.simFailures = totalSimFailed;
+    info.minimized = written;
+    m.fuzz = info;
+    runner::writeManifestFile(manifestPath, m);
+  }
+
+  return failing.empty() ? 0 : 1;
+}

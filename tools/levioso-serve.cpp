@@ -17,6 +17,7 @@
 #include <string>
 
 #include "serve/daemon.hpp"
+#include "support/cliparse.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 
@@ -54,7 +55,8 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--port")
-      opts.port = static_cast<std::uint16_t>(std::atoi(next().c_str()));
+      opts.port = static_cast<std::uint16_t>(
+          requireInt("levioso-serve", "--port", next(), 0, 65535));
     else if (a == "--port-file")
       portFile = next();
     else if (a == "--cache-dir")
@@ -63,11 +65,17 @@ int main(int argc, char** argv) {
       opts.cacheDir.clear();
     else if (a == "--cache-max-mb")
       opts.cacheMaxBytes =
-          static_cast<std::uint64_t>(std::atoll(next().c_str())) << 20;
+          static_cast<std::uint64_t>(requireInt("levioso-serve",
+                                                "--cache-max-mb", next(), 0,
+                                                1 << 20))
+          << 20;
     else if (a == "--lease-ms")
-      opts.leaseMicros = std::atoll(next().c_str()) * 1000;
+      opts.leaseMicros =
+          requireInt("levioso-serve", "--lease-ms", next(), 1, 86'400'000) *
+          1000;
     else if (a == "--max-dispatches")
-      opts.maxDispatches = std::max(1, std::atoi(next().c_str()));
+      opts.maxDispatches = requireIntArg("levioso-serve", "--max-dispatches",
+                                         next(), 1, 1 << 30);
     else if (a == "--quiet")
       log::setThreshold(log::Level::Warn);
     else if (a == "-v")

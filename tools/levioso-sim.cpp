@@ -18,6 +18,7 @@
 #include "isa/asmparser.hpp"
 #include "runner/sweep.hpp"
 #include "sim/simulation.hpp"
+#include "support/cliparse.hpp"
 #include "support/strings.hpp"
 #include "uarch/funcsim.hpp"
 #include "workloads/kernels.hpp"
@@ -60,15 +61,15 @@ int main(int argc, char** argv) {
         policies.emplace_back(trim(part));
       if (policies.empty()) usage();
     } else if (a == "--budget" && i + 1 < argc)
-      budget = std::atoi(argv[++i]);
+      budget = requireIntArg("levioso-sim", "--budget", argv[++i], 0, 1024);
     else if (a == "--rob" && i + 1 < argc)
-      rob = std::atoi(argv[++i]);
+      rob = requireIntArg("levioso-sim", "--rob", argv[++i], 0, 1 << 20);
     else if (a == "--width" && i + 1 < argc)
-      width = std::atoi(argv[++i]);
+      width = requireIntArg("levioso-sim", "--width", argv[++i], 0, 64);
     else if (a == "--dram" && i + 1 < argc)
-      dram = std::atoi(argv[++i]);
+      dram = requireIntArg("levioso-sim", "--dram", argv[++i], 0, 1 << 20);
     else if (a == "--jobs" && i + 1 < argc)
-      jobs = std::atoi(argv[++i]);
+      jobs = requireIntArg("levioso-sim", "--jobs", argv[++i], 0, 4096);
     else if (a == "--golden")
       golden = true;
     else if (a == "--dump-stats")
