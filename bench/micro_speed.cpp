@@ -4,7 +4,9 @@
 //
 // `--speed-json FILE` switches to the perf-trajectory mode instead: it
 // measures host-side simulator throughput (simulated instructions per wall
-// second, MIPS) for every policy and writes a machine-readable report.
+// second, MIPS) for every policy of every selected kernel and writes a
+// machine-readable report. `--kernel a,b,c` selects the kernels (strict:
+// unknown names exit 2; default gcc_branchy).
 // `bench/baselines/BENCH_speed.json` holds the committed baseline; CI
 // regenerates the report on every push (docs/PERF.md).
 #include <benchmark/benchmark.h>
@@ -13,6 +15,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "analysis/cfg.hpp"
 #include "analysis/domtree.hpp"
@@ -20,19 +23,37 @@
 #include "levioso/branchdeps.hpp"
 #include "runner/manifest.hpp"
 #include "secure/policies.hpp"
+#include "support/cliparse.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
+#include "support/strings.hpp"
 #include "uarch/cache.hpp"
 #include "uarch/funcsim.hpp"
+#include "uarch/predecode.hpp"
 
 using namespace lev;
 
 namespace {
 
+/// One kernel compiled once and predecoded once; every measurement run of
+/// every policy shares the same read-only PredecodedProgram — the same
+/// sharing discipline the Sweep uses (docs/PERF.md).
+struct KernelBundle {
+  backend::CompileResult compiled;
+  uarch::PredecodedProgram pd;
+  explicit KernelBundle(const std::string& name)
+      : compiled(bench::compileKernel(name, 1)), pd(compiled.program) {}
+};
+
+const KernelBundle& kernelBundle(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<KernelBundle>> kCache;
+  std::unique_ptr<KernelBundle>& slot = kCache[name];
+  if (!slot) slot = std::make_unique<KernelBundle>(name);
+  return *slot;
+}
+
 const backend::CompileResult& compiledKernel() {
-  static const backend::CompileResult kCompiled =
-      bench::compileKernel("gcc_branchy", 1);
-  return kCompiled;
+  return kernelBundle("gcc_branchy").compiled;
 }
 
 void BM_O3CoreKIPS(benchmark::State& state) {
@@ -121,17 +142,18 @@ struct SpeedSample {
   double wallSeconds = 0.0;
 };
 
-SpeedSample measurePolicy(const std::string& policy, double minSeconds) {
+SpeedSample measurePolicy(const KernelBundle& k, const std::string& policy,
+                          double minSeconds) {
   using clock = std::chrono::steady_clock;
   SpeedSample s;
   s.policy = policy;
   { // Warm-up run: page in code/data, settle the allocator.
-    sim::Simulation warm(compiledKernel().program, uarch::CoreConfig(), policy);
+    sim::Simulation warm(k.pd, uarch::CoreConfig(), policy);
     warm.run(4'000'000'000ull);
   }
   while (s.runs < 3 || s.wallSeconds < minSeconds) {
     const auto t0 = clock::now();
-    sim::Simulation run(compiledKernel().program, uarch::CoreConfig(), policy);
+    sim::Simulation run(k.pd, uarch::CoreConfig(), policy);
     run.run(4'000'000'000ull);
     const auto t1 = clock::now();
     s.wallSeconds += std::chrono::duration<double>(t1 - t0).count();
@@ -143,6 +165,7 @@ SpeedSample measurePolicy(const std::string& policy, double minSeconds) {
 }
 
 int speedJsonMain(const std::string& path, double minSeconds,
+                  const std::vector<std::string>& kernels,
                   const std::vector<std::string>& cmdline) {
   std::ofstream out(path);
   if (!out) {
@@ -163,10 +186,15 @@ int speedJsonMain(const std::string& path, double minSeconds,
   manifest.reportPath = path;
   manifest.threads = 1;
 
+  std::string kernelList;
+  for (const std::string& k : kernels) {
+    if (!kernelList.empty()) kernelList += ',';
+    kernelList += k;
+  }
   JsonWriter w(out);
   w.beginObject();
   w.field("bench", "micro_speed");
-  w.field("kernel", "gcc_branchy");
+  w.field("kernel", kernelList);
 #ifdef NDEBUG
   w.field("build", "release");
 #else
@@ -174,30 +202,35 @@ int speedJsonMain(const std::string& path, double minSeconds,
 #endif
   w.field("minSecondsPerPolicy", minSeconds);
   w.key("policies").beginArray();
-  for (const std::string& policy : secure::policyNames()) {
-    trace::HostSpan span;
-    span.label = policy;
-    span.phase = "measure";
-    span.worker = 0;
-    span.queuedMicros = span.startMicros = sinceEpochMicros();
-    const SpeedSample s = measurePolicy(policy, minSeconds);
-    span.endMicros = sinceEpochMicros();
-    manifest.timings.push_back(std::move(span));
-    const double mips =
-        static_cast<double>(s.simInsts) / s.wallSeconds / 1e6;
-    const double mcps =
-        static_cast<double>(s.simCycles) / s.wallSeconds / 1e6;
-    w.beginObject();
-    w.field("policy", s.policy);
-    w.field("runs", s.runs);
-    w.field("simInsts", s.simInsts);
-    w.field("simCycles", s.simCycles);
-    w.field("wallSeconds", s.wallSeconds);
-    w.field("hostMips", mips);
-    w.field("hostMcps", mcps);
-    w.endObject();
-    std::cerr << "  " << s.policy << ": " << mips << " MIPS (" << mcps
-              << " Mcycles/s, " << s.runs << " runs)\n";
+  for (const std::string& kernel : kernels) {
+    const KernelBundle& bundle = kernelBundle(kernel);
+    for (const std::string& policy : secure::policyNames()) {
+      trace::HostSpan span;
+      span.label = kernel + "/" + policy;
+      span.phase = "measure";
+      span.worker = 0;
+      span.queuedMicros = span.startMicros = sinceEpochMicros();
+      const SpeedSample s = measurePolicy(bundle, policy, minSeconds);
+      span.endMicros = sinceEpochMicros();
+      manifest.timings.push_back(std::move(span));
+      const double mips =
+          static_cast<double>(s.simInsts) / s.wallSeconds / 1e6;
+      const double mcps =
+          static_cast<double>(s.simCycles) / s.wallSeconds / 1e6;
+      w.beginObject();
+      w.field("kernel", kernel);
+      w.field("policy", s.policy);
+      w.field("runs", s.runs);
+      w.field("simInsts", s.simInsts);
+      w.field("simCycles", s.simCycles);
+      w.field("wallSeconds", s.wallSeconds);
+      w.field("hostMips", mips);
+      w.field("hostMcps", mcps);
+      w.endObject();
+      std::cerr << "  " << kernel << "/" << s.policy << ": " << mips
+                << " MIPS (" << mcps << " Mcycles/s, " << s.runs
+                << " runs)\n";
+    }
   }
   w.endArray();
   w.endObject();
@@ -214,18 +247,29 @@ int speedJsonMain(const std::string& path, double minSeconds,
 int main(int argc, char** argv) {
   std::string speedJson;
   double minSeconds = 1.0;
+  std::vector<std::string> kernels = {"gcc_branchy"};
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--speed-json") == 0 && i + 1 < argc) {
       speedJson = argv[++i];
     } else if (std::strcmp(argv[i], "--speed-secs") == 0 && i + 1 < argc) {
       minSeconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+      kernels.clear();
+      for (auto part : split(argv[++i], ','))
+        kernels.push_back(requireChoice("micro_speed", "--kernel",
+                                        std::string(trim(part)),
+                                        workloads::kernelNames()));
+      if (kernels.empty()) {
+        std::cerr << "micro_speed: --kernel needs at least one name\n";
+        return 2;
+      }
     } else {
       passthrough.push_back(argv[i]);
     }
   }
   if (!speedJson.empty())
-    return speedJsonMain(speedJson, minSeconds,
+    return speedJsonMain(speedJson, minSeconds, kernels,
                          std::vector<std::string>(argv + 1, argv + argc));
 
   int bargc = static_cast<int>(passthrough.size());

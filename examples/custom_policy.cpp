@@ -52,7 +52,8 @@ int main() {
 
   DelayDeepPolicy policy;
   StatSet stats;
-  uarch::O3Core core(compiled.program, uarch::CoreConfig(), policy, stats);
+  uarch::PredecodedProgram pd(compiled.program);
+  uarch::O3Core core(pd, uarch::CoreConfig(), policy, stats);
   core.run(4'000'000'000ull);
   std::cout << "delay-deep on x264_sad: " << core.cycle() << " cycles, "
             << stats.get("policy.loadDelayCycles") << " delayed-load cycles\n";
@@ -67,8 +68,8 @@ int main() {
   backend::CompileResult g = backend::compile(gadget.module);
   DelayDeepPolicy attackPolicy;
   StatSet attackStats;
-  uarch::O3Core victim(g.program, uarch::CoreConfig(), attackPolicy,
-                       attackStats);
+  uarch::PredecodedProgram gpd(g.program);
+  uarch::O3Core victim(gpd, uarch::CoreConfig(), attackPolicy, attackStats);
   victim.run(50'000'000);
   const std::uint64_t probe = g.program.symbol("array2");
   const std::uint64_t line =
@@ -118,7 +119,8 @@ skip:
 )");
   DelayDeepPolicy minimalPolicy;
   StatSet minimalStats;
-  uarch::O3Core v2(minimal, uarch::CoreConfig(), minimalPolicy, minimalStats);
+  uarch::PredecodedProgram mpd(minimal);
+  uarch::O3Core v2(mpd, uarch::CoreConfig(), minimalPolicy, minimalStats);
   v2.run(10'000'000);
   const std::uint64_t line2 = minimal.symbol("array2") + 0x4cull * 64;
   const bool leaked2 = v2.hierarchy().l1d().contains(line2) ||
@@ -129,7 +131,7 @@ skip:
   std::cout << "(the same gadget under levioso: ";
   auto realPolicy = secure::makePolicy("levioso");
   StatSet s3;
-  uarch::O3Core v3(minimal, uarch::CoreConfig(), *realPolicy, s3);
+  uarch::O3Core v3(mpd, uarch::CoreConfig(), *realPolicy, s3);
   v3.run(10'000'000);
   const bool leaked3 = v3.hierarchy().l1d().contains(line2) ||
                        v3.hierarchy().l2().contains(line2);

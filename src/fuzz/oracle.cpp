@@ -111,7 +111,7 @@ std::uint64_t OraclePolicy::oldestTrueDependeeScan(const O3Core& core,
   // the core shows up as a disagreement here.
   for (const std::uint64_t seq : core.unresolvedBranches()) {
     if (seq >= inst.seq) break; // ascending; younger sources can't guard
-    const DynInst* br = core.findInst(seq);
+    const DynInst* br = core.robFindConst(seq);
     if (br != nullptr && core.trulyDependsOn(inst, *br)) return seq;
   }
   return 0;
@@ -229,7 +229,7 @@ void OraclePolicy::checkAttribution(const O3Core& core, const DynInst& inst) {
     return;
   }
   if (d.cause == DelayCause::TrueDependee) {
-    const DynInst* br = core.findInst(d.blockingBranch);
+    const DynInst* br = core.robFindConst(d.blockingBranch);
     if (br == nullptr || !core.trulyDependsOn(inst, *br))
       record(Violation::Kind::BadAttribution, core, inst, d.blockingBranch,
              "named blocking branch is not a true dependee");

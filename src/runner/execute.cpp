@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "sim/sampling.hpp"
 #include "sim/simulation.hpp"
 #include "support/error.hpp"
 #include "support/faultinject.hpp"
@@ -21,10 +22,46 @@ backend::CompileResult compileJob(const JobSpec& spec) {
   return backend::compile(mod, opts);
 }
 
-RunRecord simulateJob(const isa::Program& prog, const JobSpec& spec) {
+namespace {
+
+/// The --sample path: functional fast-forward + detailed windows. Shares
+/// simulateJob's record shape so downstream reporting is uniform; the
+/// record is flagged sampled and must never be cached.
+RunRecord simulateSampled(const uarch::PredecodedProgram& prog,
+                          const JobSpec& spec) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::SampleOptions opts;
+  opts.periodInsts = spec.sampleEveryInsts;
+  opts.windowInsts = spec.sampleWindowInsts;
+  const sim::SampleResult r = sim::runSampled(
+      prog, spec.cfg, spec.policy, opts, spec.maxCycles, spec.deadlineMicros);
+  RunRecord rec;
+  rec.sampled = true;
+  rec.wallMicros = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  rec.summary.policy = spec.policy;
+  rec.summary.cycles = r.estimatedCycles;
+  rec.summary.insts = r.totalInsts;
+  rec.summary.ipc = rec.summary.cycles == 0
+                        ? 0.0
+                        : static_cast<double>(rec.summary.insts) /
+                              static_cast<double>(rec.summary.cycles);
+  rec.summary.loadDelayCycles = r.stats.get("policy.loadDelayCycles");
+  rec.summary.execDelayCycles = r.stats.get("policy.execDelayCycles");
+  rec.summary.mispredicts = r.stats.get("bp.mispredicts");
+  rec.stats = r.stats.all();
+  return rec;
+}
+
+} // namespace
+
+RunRecord simulateJob(const uarch::PredecodedProgram& prog,
+                      const JobSpec& spec) {
   if (faultinject::shouldFail("sim"))
     throw TransientError("injected fault (LEVIOSO_FAULTS sim) running " +
                          spec.kernel);
+  if (spec.sampled()) return simulateSampled(prog, spec);
   const auto t0 = std::chrono::steady_clock::now();
   sim::Simulation s(prog, spec.cfg, spec.policy);
   const uarch::RunExit exit = s.run(spec.maxCycles, spec.deadlineMicros);

@@ -16,6 +16,7 @@
 
 #include "backend/compiler.hpp"
 #include "runner/job.hpp"
+#include "uarch/predecode.hpp"
 
 namespace lev::runner {
 
@@ -24,7 +25,13 @@ backend::CompileResult compileJob(const JobSpec& spec);
 
 /// Run one simulation to completion (fault site: "sim"). Fills the record
 /// including wallMicros; throws SimError / DeadlineError / TransientError.
-RunRecord simulateJob(const isa::Program& prog, const JobSpec& spec);
+/// Takes the program predecoded: the caller (Sweep, levioso-worker) builds
+/// ONE PredecodedProgram per compiled program and shares it read-only
+/// across every policy run of that program (docs/PERF.md). Sampled specs
+/// (JobSpec::sampled()) take the checkpointed-sampling path and mark the
+/// record accordingly.
+RunRecord simulateJob(const uarch::PredecodedProgram& prog,
+                      const JobSpec& spec);
 
 /// Turn a captured failure into a JobOutcome. `compilePhase` folds
 /// non-transient compile failures into ErrorKind::Compile; the simulate

@@ -62,6 +62,10 @@ std::string describe(const JobSpec& job) {
      << c.bp.tageHistories[2];
   os << " pf=" << (c.prefetch.enabled ? 1 : 0) << '/'
      << c.prefetch.tableEntries << '/' << c.prefetch.degree;
+  // Appended only when sampling is on: every pre-sampling describe() line —
+  // and with it every cached exact result — stays byte-identical.
+  if (job.sampled())
+    os << " sample=" << job.sampleEveryInsts << ':' << job.sampleWindowInsts;
   return os.str();
 }
 

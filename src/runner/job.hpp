@@ -32,6 +32,17 @@ struct JobSpec {
   /// misses it fails (RunExit::Deadline) and is never cached — so the
   /// deadline can never alias two distinct cached results.
   std::int64_t deadlineMicros = 0;
+  /// Sampled simulation (--sample N:M, docs/PERF.md): a detailed window of
+  /// sampleWindowInsts instructions every sampleEveryInsts instructions,
+  /// fast-forwarded functionally in between. 0 = exact mode (the default).
+  /// Appended to describe() ONLY when active — exact jobs' cache identities
+  /// are untouched — and sampled jobs are never written to the ResultCache
+  /// at all (their cycle counts are estimates, flagged "sampled" in report
+  /// JSON).
+  std::uint64_t sampleEveryInsts = 0;
+  std::uint64_t sampleWindowInsts = 0;
+
+  bool sampled() const { return sampleEveryInsts > 0; }
 };
 
 /// Why a job failed (JobOutcome::errorKind). Ordering is meaningless; the
@@ -75,6 +86,10 @@ struct RunRecord {
   /// warm-cache rerun reports bit-identical numbers. Kept OUT of `stats`
   /// (it is scheduling metadata, not a simulation outcome).
   std::int64_t wallMicros = 0;
+  /// True when this record came from a sampled run (JobSpec::sampled()):
+  /// cycles are an extrapolated estimate, stats cover only the detailed
+  /// windows, and the record must never enter the ResultCache.
+  bool sampled = false;
 };
 
 /// Canonical one-line description of the *compilation* inputs of a job

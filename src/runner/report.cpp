@@ -67,11 +67,15 @@ std::vector<std::string> errorLines(const JsonValue& doc) {
   return out;
 }
 
-/// policy -> hostMips for one speed baseline.
+/// "kernel/policy" (or bare policy for single-kernel pre-multi-kernel
+/// baselines, which carry no per-entry "kernel") -> hostMips.
 std::map<std::string, double> mipsByPolicy(const JsonValue& doc) {
   std::map<std::string, double> out;
-  for (const JsonValue& p : doc.at("policies").items)
-    out[p.at("policy").str] = p.at("hostMips").number;
+  for (const JsonValue& p : doc.at("policies").items) {
+    std::string key = p.at("policy").str;
+    if (p.has("kernel")) key = p.at("kernel").str + "/" + key;
+    out[key] = p.at("hostMips").number;
+  }
   return out;
 }
 

@@ -74,9 +74,11 @@ const std::vector<RunRecord>& Sweep::run() {
     if (!done[slot]) ++newUnique;
   counters_.unique += newUnique;
 
-  // 2. Serve what we can from the on-disk cache.
+  // 2. Serve what we can from the on-disk cache. Sampled points never
+  // touch the cache in either direction: their results are estimates.
   for (std::size_t slot = 0; slot < nUnique; ++slot) {
-    if (done[slot] || !opts_.cache) continue;
+    if (done[slot] || !opts_.cache || specs_[slotSpec[slot]].sampled())
+      continue;
     if (auto hit = opts_.cache->lookup(descriptions_[slotSpec[slot]])) {
       hit->summary.policy = specs_[slotSpec[slot]].policy;
       uniqueRecords[slot] = std::move(*hit);
@@ -91,6 +93,10 @@ const std::vector<RunRecord>& Sweep::run() {
   // O(programs x unique points)).
   struct Compiled {
     std::shared_ptr<const backend::CompileResult> result;
+    /// Built once alongside the compile and shared read-only by every
+    /// policy run of this program (docs/PERF.md). Points into `result`'s
+    /// Program, which the shared_ptr keeps alive.
+    std::shared_ptr<const uarch::PredecodedProgram> predecoded;
     std::exception_ptr error;
     const JobSpec* spec = nullptr; ///< a spec this key compiles
     int attempts = 0;
@@ -159,6 +165,9 @@ const std::vector<RunRecord>& Sweep::run() {
                     out->result =
                         std::make_shared<const backend::CompileResult>(
                             compileJob(*out->spec));
+                    out->predecoded =
+                        std::make_shared<const uarch::PredecodedProgram>(
+                            out->result->program);
                   },
                   opts_.maxRetries, opts_.retryBackoffMicros, out->error,
                   out->attempts),
@@ -219,7 +228,7 @@ const std::vector<RunRecord>& Sweep::run() {
           int attempts = 0;
           retries.fetch_add(
               runWithRetry(
-                  [&] { *out = simulateJob(compiled->result->program, *spec); },
+                  [&] { *out = simulateJob(*compiled->predecoded, *spec); },
                   opts_.maxRetries, opts_.retryBackoffMicros, e, attempts),
               std::memory_order_relaxed);
           if (e) {
@@ -230,7 +239,7 @@ const std::vector<RunRecord>& Sweep::run() {
           } else {
             outcome->ok = true;
             outcome->attempts = attempts;
-            if (cache) cache->store(*desc, *out);
+            if (cache && !spec->sampled()) cache->store(*desc, *out);
           }
         }
         span->endMicros = sinceEpochMicros();
@@ -350,6 +359,9 @@ void writeReportJson(std::ostream& os, const std::vector<JobSpec>& specs,
       continue;
     }
     w.field("fromCache", rec.fromCache);
+    // Written only when true: exact-mode reports stay byte-identical to
+    // pre-sampling ones (the serve byte-identity contract relies on it).
+    if (rec.sampled) w.field("sampled", true);
     w.field("wallMicros", rec.wallMicros);
     w.field("cycles", rec.summary.cycles);
     w.field("insts", rec.summary.insts);

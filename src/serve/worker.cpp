@@ -52,10 +52,18 @@ struct Link {
   }
 };
 
+/// One memoized compile: the CompileResult plus the PredecodedProgram built
+/// from it, shared read-only by every policy run of the same program
+/// (docs/PERF.md) — the worker-side mirror of the Sweep's Compiled struct.
+struct MemoizedCompile {
+  std::shared_ptr<const backend::CompileResult> result;
+  std::shared_ptr<const uarch::PredecodedProgram> predecoded;
+};
+
 /// Execute one job the way a local Sweep would (same execute.hpp calls,
 /// same retry policy) and shape the Result frame.
 Message executeJob(const Message& job,
-                   std::map<std::string, std::shared_ptr<const backend::CompileResult>>& compileMemo) {
+                   std::map<std::string, MemoizedCompile>& compileMemo) {
   Message res;
   res.type = MsgType::Result;
   res.id = job.id;
@@ -72,7 +80,7 @@ Message executeJob(const Message& job,
 
   // Compile (memoized per compile key, exactly like a Sweep's phase 3).
   const std::string ckey = runner::describeCompile(spec);
-  std::shared_ptr<const backend::CompileResult> program;
+  MemoizedCompile program;
   std::uint64_t retries = 0;
   {
     const auto memo = compileMemo.find(ckey);
@@ -84,8 +92,11 @@ Message executeJob(const Message& job,
       const auto t0 = nowMicros();
       retries += runner::runWithRetry(
           [&] {
-            program = std::make_shared<const backend::CompileResult>(
+            program.result = std::make_shared<const backend::CompileResult>(
                 runner::compileJob(spec));
+            program.predecoded =
+                std::make_shared<const uarch::PredecodedProgram>(
+                    program.result->program);
           },
           job.maxRetries, job.backoffMicros, err, attempts);
       if (err) {
@@ -104,7 +115,7 @@ Message executeJob(const Message& job,
   int attempts = 0;
   const auto t0 = nowMicros();
   retries += runner::runWithRetry(
-      [&] { rec = runner::simulateJob(program->program, spec); },
+      [&] { rec = runner::simulateJob(*program.predecoded, spec); },
       job.maxRetries, job.backoffMicros, err, attempts);
   res.retries = retries;
   if (err) {
@@ -166,8 +177,7 @@ std::uint64_t runWorker(const WorkerOptions& opts) {
     l1 = std::make_unique<runner::ResultCache>(runner::ResultCache::Options{
         opts.cacheDir, runner::kCodeVersionSalt});
 
-  std::map<std::string, std::shared_ptr<const backend::CompileResult>>
-      compileMemo;
+  std::map<std::string, MemoizedCompile> compileMemo;
   std::uint64_t jobsDone = 0;
   try {
     for (;;) {
@@ -191,10 +201,15 @@ std::uint64_t runWorker(const WorkerOptions& opts) {
       const std::uint64_t key =
           runner::fnv1a(job->desc, runner::fnv1a(runner::kCodeVersionSalt));
 
+      // Sampled jobs (desc carries a " sample=" field) never touch either
+      // cache tier: their records are estimates. levioso-batch refuses
+      // --sample with --connect, so this is defense in depth.
+      const bool sampledJob = job->desc.find(" sample=") != std::string::npos;
+
       // L1, then remote tier, then compute.
       Message res;
       std::optional<std::string> entry;
-      if (l1) entry = l1->readByHash(key, job->desc);
+      if (l1 && !sampledJob) entry = l1->readByHash(key, job->desc);
       if (entry) {
         res.type = MsgType::Result;
         res.id = job->id;
@@ -202,6 +217,8 @@ std::uint64_t runWorker(const WorkerOptions& opts) {
         res.fromCache = true;
         res.hasRecord = true;
         res.record = std::move(*entry);
+      } else if (sampledJob) {
+        res = executeJob(*job, compileMemo);
       } else {
         Message get;
         get.type = MsgType::CacheGet;

@@ -1,0 +1,142 @@
+#include "sim/sampling.hpp"
+
+#include <chrono>
+#include <optional>
+
+#include "secure/policies.hpp"
+#include "support/error.hpp"
+#include "uarch/archstate.hpp"
+#include "uarch/branchpred.hpp"
+#include "uarch/funcsim.hpp"
+
+namespace lev::sim {
+
+namespace {
+
+/// Fold one detailed window's counters into the accumulated set. Counters
+/// sum, except histogram maxima ("hist.*.max"), which take the max — a
+/// summed max would claim a delay no single instruction ever saw.
+void accumulateStats(StatSet& into, const StatSet& window) {
+  for (const auto& [name, value] : window.all()) {
+    std::int64_t& slot = into.counter(name);
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".max") == 0)
+      slot = std::max(slot, value);
+    else
+      slot += value;
+  }
+}
+
+} // namespace
+
+SampleOptions parseSampleSpec(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size())
+    throw Error("bad --sample spec '" + spec + "' (expected N:M)");
+  SampleOptions opts;
+  try {
+    std::size_t pos = 0;
+    opts.periodInsts = std::stoull(spec.substr(0, colon), &pos);
+    if (pos != colon) throw Error("");
+    const std::string m = spec.substr(colon + 1);
+    opts.windowInsts = std::stoull(m, &pos);
+    if (pos != m.size()) throw Error("");
+  } catch (const std::exception&) {
+    throw Error("bad --sample spec '" + spec + "' (expected N:M)");
+  }
+  if (opts.periodInsts == 0)
+    throw Error("bad --sample spec '" + spec + "': period must be > 0");
+  if (opts.windowInsts == 0)
+    throw Error("bad --sample spec '" + spec + "': window must be > 0");
+  if (opts.windowInsts > opts.periodInsts)
+    throw Error("bad --sample spec '" + spec +
+                "': window must not exceed the period (windows may not "
+                "overlap)");
+  return opts;
+}
+
+SampleResult runSampled(const uarch::PredecodedProgram& prog,
+                        const uarch::CoreConfig& cfg,
+                        const std::string& policyName,
+                        const SampleOptions& opts, std::uint64_t maxCycles,
+                        std::int64_t deadlineMicros) {
+  if (opts.periodInsts == 0)
+    throw Error("runSampled called with sampling disabled (period 0)");
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      deadlineMicros > 0
+          ? clock::now() + std::chrono::microseconds(deadlineMicros)
+          : clock::time_point{};
+
+  uarch::FuncSim fs(prog.program());
+  StatSet warmStats; // the warm-up structures' counters are never reported
+  std::optional<uarch::BranchPredictor> warm;
+  if (opts.warmPredictor) {
+    warm.emplace(cfg.bp, warmStats);
+    fs.setPredictorWarming(&*warm);
+  }
+  std::optional<uarch::MemHierarchy> warmHier;
+  if (opts.warmCaches) {
+    warmHier.emplace(cfg.mem, warmStats);
+    fs.setCacheWarming(&*warmHier);
+  }
+
+  SampleResult r;
+  uarch::ArchCheckpoint cp;
+  bool covered = true; // did every instruction land in a detailed window?
+
+  while (!fs.halted()) {
+    // Detailed window from the current architectural state.
+    fs.snapshot(cp);
+    auto policy = secure::makePolicy(policyName);
+    StatSet winStats;
+    uarch::O3Core core(prog, cfg, *policy, winStats, &cp);
+    if (warm.has_value()) core.warmPredictor(*warm);
+    if (warmHier.has_value()) core.warmHierarchy(*warmHier);
+    while (!core.halted() && core.committedInsts() < opts.windowInsts) {
+      const std::uint64_t detailed = r.sampledCycles + core.cycle();
+      if (detailed >= maxCycles)
+        throw SimError("sampled run under policy '" + policyName +
+                       "' hit the detailed-cycle limit");
+      if (deadlineMicros > 0 && (detailed & 8191) == 0 &&
+          clock::now() >= deadline)
+        throw DeadlineError("sampled run under policy '" + policyName +
+                            "' exceeded its " +
+                            std::to_string(deadlineMicros) + "us deadline");
+      core.tick();
+    }
+    core.dumpMetrics();
+    r.sampledCycles += core.cycle();
+    r.sampledInsts += core.committedInsts();
+    ++r.windows;
+    accumulateStats(r.stats, winStats);
+
+    // Replay the window architecturally on the fast path (the detailed core
+    // never feeds state back), then skip the unsampled rest of the period.
+    fs.runInsts(core.committedInsts());
+    if (core.halted() || fs.halted()) break;
+    const std::uint64_t skip = opts.periodInsts - core.committedInsts();
+    if (skip > 0 && fs.runInsts(skip) > 0) covered = false;
+  }
+
+  r.totalInsts = fs.instsExecuted();
+  r.exact = covered && r.sampledInsts == r.totalInsts;
+  if (r.exact) {
+    r.estimatedCycles = r.sampledCycles;
+  } else if (r.sampledInsts > 0) {
+    // 128-bit intermediate: cycles * insts overflows u64 on long workloads.
+    r.estimatedCycles = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(r.sampledCycles) * r.totalInsts /
+        r.sampledInsts);
+  }
+  r.stats.counter("sim.cycles") = static_cast<std::int64_t>(r.estimatedCycles);
+  r.stats.counter("sample.windows") = static_cast<std::int64_t>(r.windows);
+  r.stats.counter("sample.detailedInsts") =
+      static_cast<std::int64_t>(r.sampledInsts);
+  r.stats.counter("sample.detailedCycles") =
+      static_cast<std::int64_t>(r.sampledCycles);
+  r.stats.counter("sample.totalInsts") =
+      static_cast<std::int64_t>(r.totalInsts);
+  return r;
+}
+
+} // namespace lev::sim

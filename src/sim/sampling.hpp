@@ -1,0 +1,82 @@
+// Checkpointed sampled simulation (SMARTS-style, Wunderlich et al. ISCA'03;
+// docs/PERF.md).
+//
+// The exact path simulates every dynamic instruction on the detailed O3
+// core. For long workloads most of those cycles never feed a figure — the
+// per-policy overhead ratios converge long before the run ends. Sampling
+// exploits that: a fast *functional* simulator (FuncSim) executes the
+// program architecturally, and every `periodInsts` instructions it
+// snapshots the architectural state (ArchCheckpoint) and hands the O3 core
+// a detailed window of `windowInsts` instructions starting there. The
+// run's cycle count is then estimated as
+//
+//   estimatedCycles = sampledCycles * totalInsts / sampledInsts
+//
+// i.e. the detailed windows' measured CPI extrapolated over the whole
+// dynamic instruction stream.
+//
+// Caveats (EXPERIMENTS.md): the estimate is approximate — windows start
+// with cold caches (the branch predictor IS warmed, architecturally,
+// by the fast-forward when `warmPredictor` is on), RDCYC reads
+// instruction counts during fast-forward, and the accumulated stat
+// counters cover only the detailed windows. Sampled results are therefore
+// never cached and always flagged "sampled" in reports. With
+// `windowInsts` >= the whole program (first window swallows the run) the
+// estimate degenerates to the exact cycle count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/stats.hpp"
+#include "uarch/core.hpp"
+#include "uarch/predecode.hpp"
+
+namespace lev::sim {
+
+/// Sampling regime: detailed windows of `windowInsts` instructions, one
+/// window every `periodInsts` instructions. Disabled when periodInsts == 0.
+struct SampleOptions {
+  std::uint64_t periodInsts = 0; ///< N in --sample N:M (0 = exact mode)
+  std::uint64_t windowInsts = 0; ///< M in --sample N:M
+  /// Train a branch predictor architecturally during fast-forward and seed
+  /// each window's predictor from it.
+  bool warmPredictor = true;
+  /// Touch a cache hierarchy with the architectural access stream during
+  /// fast-forward and seed each window's caches from it. Without this every
+  /// window starts all-miss, which wildly overstates the overhead of
+  /// miss-sensitive policies (fence/dom/spt).
+  bool warmCaches = true;
+};
+
+/// What one sampled run yields.
+struct SampleResult {
+  std::uint64_t estimatedCycles = 0; ///< extrapolated whole-run cycles
+  std::uint64_t totalInsts = 0;      ///< architectural instruction count
+  std::uint64_t sampledInsts = 0;    ///< instructions simulated in detail
+  std::uint64_t sampledCycles = 0;   ///< detailed cycles actually simulated
+  std::uint64_t windows = 0;         ///< detailed windows run
+  /// True when the windows covered every instruction (the estimate is the
+  /// exact cycle count).
+  bool exact = false;
+  /// Stat counters accumulated across the detailed windows only, plus the
+  /// "sample.*" bookkeeping counters and "sim.cycles" = estimatedCycles.
+  StatSet stats;
+};
+
+/// Parse "N:M" (e.g. "100000:2000") into options. Throws lev::Error on
+/// malformed input, zero M, or M > N (windows may not overlap).
+SampleOptions parseSampleSpec(const std::string& spec);
+
+/// Run `policyName` over the program with sampling. `maxCycles` bounds the
+/// *detailed* cycles accumulated across windows (the analogue of the exact
+/// path's cycle limit; SimError past it); `deadlineMicros` > 0 bounds host
+/// wall time for the whole sampled run (DeadlineError past it).
+SampleResult runSampled(const uarch::PredecodedProgram& prog,
+                        const uarch::CoreConfig& cfg,
+                        const std::string& policyName,
+                        const SampleOptions& opts,
+                        std::uint64_t maxCycles = 4'000'000'000ull,
+                        std::int64_t deadlineMicros = 0);
+
+} // namespace lev::sim

@@ -7,9 +7,23 @@ namespace lev::sim {
 Simulation::Simulation(const isa::Program& prog, const uarch::CoreConfig& cfg,
                        const std::string& policyName)
     : policyName_(policyName), policy_(secure::makePolicy(policyName)),
-      core_(prog, cfg, *policy_, stats_) {}
+      ownedPredecode_(std::make_unique<uarch::PredecodedProgram>(prog)),
+      core_(*ownedPredecode_, cfg, *policy_, stats_) {}
 
 Simulation::Simulation(const isa::Program& prog, const uarch::CoreConfig& cfg,
+                       std::unique_ptr<uarch::SpeculationPolicy> policy)
+    : policyName_(policy->name()), policy_(std::move(policy)),
+      ownedPredecode_(std::make_unique<uarch::PredecodedProgram>(prog)),
+      core_(*ownedPredecode_, cfg, *policy_, stats_) {}
+
+Simulation::Simulation(const uarch::PredecodedProgram& prog,
+                       const uarch::CoreConfig& cfg,
+                       const std::string& policyName)
+    : policyName_(policyName), policy_(secure::makePolicy(policyName)),
+      core_(prog, cfg, *policy_, stats_) {}
+
+Simulation::Simulation(const uarch::PredecodedProgram& prog,
+                       const uarch::CoreConfig& cfg,
                        std::unique_ptr<uarch::SpeculationPolicy> policy)
     : policyName_(policy->name()), policy_(std::move(policy)),
       core_(prog, cfg, *policy_, stats_) {}

@@ -24,6 +24,15 @@ public:
   Simulation(const isa::Program& prog, const uarch::CoreConfig& cfg,
              std::unique_ptr<uarch::SpeculationPolicy> policy);
 
+  /// Share a caller-owned predecode across runs (the sweep path: one
+  /// PredecodedProgram serves all policies of a grid point, docs/PERF.md).
+  /// `prog` — and the Program it wraps — must outlive the Simulation.
+  Simulation(const uarch::PredecodedProgram& prog,
+             const uarch::CoreConfig& cfg, const std::string& policyName);
+  Simulation(const uarch::PredecodedProgram& prog,
+             const uarch::CoreConfig& cfg,
+             std::unique_ptr<uarch::SpeculationPolicy> policy);
+
   /// Run to completion; a positive deadlineMicros bounds host wall time
   /// (uarch::RunExit::Deadline on overrun, see O3Core::run).
   uarch::RunExit run(std::uint64_t maxCycles = 100'000'000,
@@ -44,6 +53,10 @@ private:
   std::string policyName_;
   std::unique_ptr<uarch::SpeculationPolicy> policy_;
   StatSet stats_;
+  /// Set by the Program-taking constructors only; the PredecodedProgram-
+  /// taking ones borrow the caller's. Declared before core_ (which keeps a
+  /// reference into it).
+  std::unique_ptr<uarch::PredecodedProgram> ownedPredecode_;
   uarch::O3Core core_;
 };
 

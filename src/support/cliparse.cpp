@@ -39,4 +39,19 @@ int requireIntArg(const char* tool, const char* flag, const std::string& value,
   return static_cast<int>(requireInt(tool, flag, value, min, max));
 }
 
+std::string requireChoice(const char* tool, const char* flag,
+                          const std::string& value,
+                          const std::vector<std::string>& choices) {
+  for (const std::string& c : choices)
+    if (c == value) return value;
+  std::string list;
+  for (const std::string& c : choices) {
+    if (!list.empty()) list += ", ";
+    list += c;
+  }
+  std::fprintf(stderr, "%s: invalid value for %s: '%s' (choices: %s)\n", tool,
+               flag, value.c_str(), list.c_str());
+  std::exit(2);
+}
+
 } // namespace lev

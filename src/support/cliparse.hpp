@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace lev {
 
@@ -27,5 +28,13 @@ std::int64_t requireInt(const char* tool, const char* flag,
 /// requireInt() narrowed to int, for the many int-typed tool knobs.
 int requireIntArg(const char* tool, const char* flag, const std::string& value,
                   std::int64_t min, std::int64_t max);
+
+/// Validate `value` against a closed set of choices or die: prints
+/// "<tool>: invalid value for <flag>: '<value>' (choices: ...)" to stderr
+/// and exits with status 2 on anything not in the set. Returns `value`
+/// unchanged so call sites can initialize from it.
+std::string requireChoice(const char* tool, const char* flag,
+                          const std::string& value,
+                          const std::vector<std::string>& choices);
 
 } // namespace lev

@@ -1,0 +1,27 @@
+// A full architectural checkpoint: the program-visible machine state at an
+// instruction boundary.
+//
+// Produced by FuncSim::snapshot() during sampled simulation's functional
+// fast-forward; consumed by O3Core's checkpoint-start constructor to begin
+// detailed simulation mid-program (docs/PERF.md). Holds a deep copy of the
+// sparse memory image, so a checkpoint stays valid while the producing
+// simulator runs on.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+#include "uarch/memory.hpp"
+
+namespace lev::uarch {
+
+struct ArchCheckpoint {
+  std::uint64_t pc = 0;
+  std::uint64_t regs[isa::kNumRegs] = {};
+  /// Instructions retired before this point (the checkpoint's position in
+  /// the dynamic instruction stream).
+  std::uint64_t instsExecuted = 0;
+  Memory mem;
+};
+
+} // namespace lev::uarch

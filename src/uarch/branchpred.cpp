@@ -141,7 +141,15 @@ void BranchPredictor::updateCond(std::uint64_t pc, bool taken,
     if (taken && counter < 3) ++counter;
     if (!taken && counter > 0) --counter;
   }
-  ++stats_.counter(taken ? "bp.resolvedTaken" : "bp.resolvedNotTaken");
+  if (taken) {
+    if (resolvedTaken_ == nullptr)
+      resolvedTaken_ = &stats_.counter("bp.resolvedTaken");
+    ++*resolvedTaken_;
+  } else {
+    if (resolvedNotTaken_ == nullptr)
+      resolvedNotTaken_ = &stats_.counter("bp.resolvedNotTaken");
+    ++*resolvedNotTaken_;
+  }
 }
 
 void BranchPredictor::updateIndirect(std::uint64_t pc, std::uint64_t target) {

@@ -59,7 +59,29 @@ public:
   void updateIndirect(std::uint64_t pc, std::uint64_t target);
 
   Checkpoint checkpoint() const;
+  /// Fill an existing (pooled) checkpoint in place. Equivalent to
+  /// `cp = checkpoint()` but reuses the RAS vector's capacity — the hot
+  /// fetch path takes one of these per predicted branch, and with pooling
+  /// it allocates nothing in steady state.
+  void checkpointInto(Checkpoint& cp) const {
+    cp.history = history_;
+    cp.ras.assign(ras_.begin(), ras_.end());
+  }
   void restore(const Checkpoint& cp);
+
+  /// Copy another predictor's learned state (tables, BTB, RAS, history,
+  /// allocation seed) into this one. Both predictors must share the same
+  /// PredictorConfig geometry. Stats stay separate. Used by sampled
+  /// simulation to warm each detailed window's predictor from the
+  /// functional fast-forward's trained predictor (docs/PERF.md).
+  void copyStateFrom(const BranchPredictor& other) {
+    counters_ = other.counters_;
+    for (int t = 0; t < 3; ++t) tageTables_[t] = other.tageTables_[t];
+    btb_ = other.btb_;
+    ras_ = other.ras_;
+    history_ = other.history_;
+    allocSeed_ = other.allocSeed_;
+  }
 
   /// After restoring a mispredicted conditional branch's checkpoint, shift
   /// in its actual outcome (the correct-path history).
@@ -111,6 +133,10 @@ private:
   std::vector<std::uint64_t> ras_;
   std::uint64_t history_ = 0;
   StatSet& stats_;
+  /// Bind-on-first-use counter caches (see Cache: counters that never fire
+  /// must stay absent from the stat dump).
+  std::int64_t* resolvedTaken_ = nullptr;
+  std::int64_t* resolvedNotTaken_ = nullptr;
 };
 
 } // namespace lev::uarch

@@ -72,11 +72,13 @@ bool Cache::access(std::uint64_t addr, bool updateReplacement) {
         line.lastUse = useClock_;
         line.referenced = true;
       }
-      ++stats_.counter(cfg_.name + ".hits");
+      if (hits_ == nullptr) hits_ = &stats_.counter(cfg_.name + ".hits");
+      ++*hits_;
       return true;
     }
   }
-  ++stats_.counter(cfg_.name + ".misses");
+  if (misses_ == nullptr) misses_ = &stats_.counter(cfg_.name + ".misses");
+  ++*misses_;
   if (!updateReplacement) return false;
   Line& victim = pickVictim(base);
   victim.valid = true;

@@ -57,6 +57,15 @@ public:
   /// (prime+probe primitive).
   int occupancy(std::uint64_t addr) const;
 
+  /// Copy another cache's line/replacement state (same geometry assumed).
+  /// Stats stay separate. Used by sampled simulation to warm each detailed
+  /// window's caches from the functional fast-forward (docs/PERF.md).
+  void copyStateFrom(const Cache& other) {
+    lines_ = other.lines_;
+    useClock_ = other.useClock_;
+    randState_ = other.randState_;
+  }
+
 private:
   struct Line {
     bool valid = false;
@@ -75,6 +84,11 @@ private:
   std::uint64_t useClock_ = 0;
   std::uint64_t randState_ = 0x853c49e6748fea9bull; ///< Random replacement
   StatSet& stats_;
+  /// Bind-on-first-use counter caches. Counters must not be pre-created in
+  /// the constructor: a counter that never fires must stay absent from the
+  /// stat dump, exactly as with by-name lookups (goldens pin this).
+  std::int64_t* hits_ = nullptr;
+  std::int64_t* misses_ = nullptr;
 };
 
 /// The L1D/L1I + shared L2 + DRAM hierarchy. Access returns the total
@@ -103,6 +117,14 @@ public:
   const Cache& l1d() const { return l1d_; }
   const Cache& l2() const { return l2_; }
   int memLatency() const { return cfg_.memLatency; }
+
+  /// Copy all three caches' state from another hierarchy (same geometry).
+  /// Sampled-window warm-up; stats stay separate.
+  void copyStateFrom(const MemHierarchy& other) {
+    l1d_.copyStateFrom(other.l1d_);
+    l1i_.copyStateFrom(other.l1i_);
+    l2_.copyStateFrom(other.l2_);
+  }
 
 private:
   Config cfg_;

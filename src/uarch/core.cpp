@@ -11,24 +11,28 @@ namespace lev::uarch {
 
 using isa::Opc;
 
-namespace {
-/// Hint used for synthetic instructions fetched outside the text segment.
-const isa::Hint kConservativeHint{{}, true};
-} // namespace
-
-O3Core::O3Core(const isa::Program& prog, const CoreConfig& cfg,
-               SpeculationPolicy& policy, StatSet& stats)
-    : prog_(prog), cfg_(cfg), policy_(policy), stats_(stats),
+O3Core::O3Core(const PredecodedProgram& prog, const CoreConfig& cfg,
+               SpeculationPolicy& policy, StatSet& stats,
+               const ArchCheckpoint* start)
+    : pd_(prog), cfg_(cfg), policy_(policy), stats_(stats),
       hier_(cfg.mem, stats), bp_(cfg.bp, stats),
       prefetcher_(cfg.prefetch, stats),
       iqOccupancy_(metrics_.histogram("occ.iq")),
       robOccupancy_(metrics_.histogram("occ.rob")),
       delayPerTransmitter_(metrics_.histogram("delay.transmitter")) {
-  mem_.loadProgram(prog);
-  fetchPc_ = prog.entry;
-  archRegs_[isa::kRegSp] = prog.stackTop;
+  if (start == nullptr) {
+    mem_.loadProgram(prog.program());
+    fetchPc_ = prog.program().entry;
+    archRegs_[isa::kRegSp] = prog.program().stackTop;
+  } else {
+    mem_.copyFrom(start->mem);
+    fetchPc_ = start->pc;
+    for (int r = 0; r < isa::kNumRegs; ++r) archRegs_[r] = start->regs[r];
+  }
   for (int r = 0; r < isa::kNumRegs; ++r)
     renameMap_[r] = RenameEntry{true, archRegs_[r], 0};
+  rob_.reset(cfg.robSize);
+  fetchQueue_.reset(cfg.fetchWidth * 2 + 2 * cfg.frontendDepth);
   // StatSet::counter references stay valid for its lifetime, so the
   // per-cycle paths below never pay the by-name lookup.
   for (int c = 0; c < trace::kNumDelayCauses; ++c)
@@ -46,38 +50,43 @@ O3Core::O3Core(const isa::Program& prog, const CoreConfig& cfg,
   policy_.reset();
 }
 
-const DynInst* O3Core::findInst(std::uint64_t seq) const {
-  return robFindConst(seq);
-}
-
 DynInst* O3Core::robFind(std::uint64_t seq) {
   if (rob_.empty() || seq < rob_.front().seq || seq > rob_.back().seq)
     return nullptr;
-  return &rob_[static_cast<std::size_t>(seq - rob_.front().seq)];
+  return &rob_.instAt(static_cast<std::size_t>(seq - rob_.front().seq));
 }
 
 const DynInst* O3Core::robFindConst(std::uint64_t seq) const {
   if (rob_.empty() || seq < rob_.front().seq || seq > rob_.back().seq)
     return nullptr;
-  return &rob_[static_cast<std::size_t>(seq - rob_.front().seq)];
+  return &rob_.instAt(static_cast<std::size_t>(seq - rob_.front().seq));
+}
+
+std::uint32_t O3Core::acquireCheckpoint() {
+  if (!cpFree_.empty()) {
+    const std::uint32_t idx = cpFree_.back();
+    cpFree_.pop_back();
+    return idx;
+  }
+  cpPool_.emplace_back();
+  return static_cast<std::uint32_t>(cpPool_.size() - 1);
+}
+
+void O3Core::releaseCheckpoint(DynInst& di) {
+  if (di.checkpointIndex == DynInst::kNoCheckpoint) return;
+  cpFree_.push_back(di.checkpointIndex);
+  di.checkpointIndex = DynInst::kNoCheckpoint;
 }
 
 bool O3Core::trulyDependsOn(const DynInst& inst, const DynInst& branch) const {
   // Indirect control flow has no compiler annotation: conservative.
-  if (branch.si.op == Opc::JALR) return true;
-  // Function indices are memoized per DynInst (dispatch fills them; the
-  // lazy guard covers externally constructed instructions).
-  if (inst.funcIndex == DynInst::kFuncIndexUnknown)
-    inst.funcIndex = prog_.funcIndexOfPc(inst.pc);
-  if (branch.funcIndex == DynInst::kFuncIndexUnknown)
-    branch.funcIndex = prog_.funcIndexOfPc(branch.pc);
+  if (branch.ps->isJalr()) return true;
   // Cross-function (or unknown provenance): the intra-procedural analysis
-  // says nothing — conservative.
-  if (inst.funcIndex < 0 || branch.funcIndex < 0 ||
-      inst.funcIndex != branch.funcIndex)
+  // says nothing — conservative. Function indices come predecoded.
+  if (inst.funcIndex() < 0 || branch.funcIndex() < 0 ||
+      inst.funcIndex() != branch.funcIndex())
     return true;
-  LEV_CHECK(inst.hint != nullptr, "dispatched instruction without hint");
-  return inst.hint->dependsOn(branch.pc);
+  return inst.hint()->dependsOn(branch.pc);
 }
 
 std::uint64_t O3Core::oldestUnresolvedTrueDependee(const DynInst& inst) const {
@@ -112,7 +121,7 @@ void traceLine(std::ostream* os, std::uint64_t cycle, std::string_view event,
                const DynInst& di) {
   if (os == nullptr) return;
   *os << cycle << " " << event << " seq=" << di.seq << " pc=0x" << std::hex
-      << di.pc << std::dec << " " << isa::disasm(di.si, di.pc) << "\n";
+      << di.pc << std::dec << " " << isa::disasm(di.si(), di.pc) << "\n";
 }
 } // namespace
 
@@ -158,19 +167,19 @@ void O3Core::dumpState(std::ostream& os) const {
      << " executing=" << completionHeap_.size()
      << " stores=" << storeSeqs_.size() << "/" << sqUnknownAddr_ << "?"
      << " unresolved=" << unresolvedBranches_.size() << "\n";
-  int shown = 0;
-  for (const DynInst& di : rob_) {
-    if (++shown > 24) {
+  for (std::size_t i = 0; i < rob_.size(); ++i) {
+    if (i >= 24) {
       os << "  ...\n";
       break;
     }
+    const DynInst& di = rob_.instAt(i);
     os << "  seq " << di.seq << " pc 0x" << std::hex << di.pc << std::dec
-       << " " << isa::disasm(di.si, di.pc) << " issued=" << di.issued
+       << " " << isa::disasm(di.si(), di.pc) << " issued=" << di.issued
        << " exec=" << di.executed;
-    for (int i = 0; i < 2; ++i)
-      if (di.ops[i].present)
-        os << " op" << i << (di.ops[i].ready ? "=rdy" : "=wait:")
-           << (di.ops[i].ready ? "" : std::to_string(di.ops[i].producer));
+    for (int j = 0; j < 2; ++j)
+      if (di.ops[j].present)
+        os << " op" << j << (di.ops[j].ready ? "=rdy" : "=wait:")
+           << (di.ops[j].ready ? "" : std::to_string(di.ops[j].producer));
     os << "\n";
   }
 }
@@ -179,9 +188,8 @@ void O3Core::dumpState(std::ostream& os) const {
 
 void O3Core::fetchStage() {
   if (halted_ || fetchStopped_ || cycle_ < fetchResumeCycle_) return;
-  const int queueCap = cfg_.fetchWidth * 2 + 2 * cfg_.frontendDepth;
   for (int i = 0; i < cfg_.fetchWidth; ++i) {
-    if (static_cast<int>(fetchQueue_.size()) >= queueCap) return;
+    if (fetchQueue_.full()) return;
 
     // Instruction-cache access, one per line transition.
     const std::uint64_t line =
@@ -203,52 +211,51 @@ void O3Core::fetchStage() {
       }
     }
 
-    FetchedInst f;
+    // Build directly in the ring slot; slots are reused, so start from a
+    // fresh DynInst before filling in this fetch's fields.
+    FetchedInst& f = fetchQueue_.pushBack();
     DynInst& di = f.di;
+    di = DynInst{};
     di.pc = fetchPc_;
     di.fetchedCycle = cycle_;
 
-    if (!prog_.pcInText(fetchPc_)) {
+    if (!pd_.pcInText(fetchPc_)) {
       // Wrong-path fetch ran into data or unmapped space. Inject an inert
       // synthetic HALT; it blocks fetch until the misprediction that led
       // here is squashed. Committing it means the *program* is broken.
-      di.si.op = Opc::HALT;
-      di.synthetic = true;
-      di.hint = &kConservativeHint;
+      di.ps = &PredecodedProgram::syntheticHalt();
       di.predictedNext = fetchPc_;
-      fetchQueue_.push_back(std::move(f));
       fetchStopped_ = true;
       ++lazyStat(ls_.fetchOffText, "fetch.offTextPath");
       return;
     }
 
-    di.si = prog_.instAt(fetchPc_);
-    di.hint = &prog_.hintAt(fetchPc_);
+    di.ps = &pd_.at(fetchPc_);
     const std::uint64_t nextSeqPc = fetchPc_ + isa::kInstBytes;
     di.predictedNext = nextSeqPc;
 
-    if (isa::isCondBranch(di.si.op)) {
-      di.bpCheckpoint = bp_.checkpoint();
-      di.hasCheckpoint = true;
+    if (di.ps->isCondBranch()) {
+      di.checkpointIndex = acquireCheckpoint();
+      bp_.checkpointInto(cpPool_[di.checkpointIndex]);
       di.historyAtPredict = bp_.history();
       di.predictedTaken = bp_.predictCond(di.pc);
       di.predictedNext = di.predictedTaken
-                             ? di.pc + static_cast<std::uint64_t>(di.si.imm)
+                             ? di.pc + static_cast<std::uint64_t>(di.si().imm)
                              : nextSeqPc;
-    } else if (di.si.op == Opc::JAL) {
-      di.predictedNext = di.pc + static_cast<std::uint64_t>(di.si.imm);
-      if (di.si.rd == isa::kRegRa) bp_.pushReturn(nextSeqPc);
-    } else if (di.si.op == Opc::JALR) {
-      di.bpCheckpoint = bp_.checkpoint();
-      di.hasCheckpoint = true;
+    } else if (di.op() == Opc::JAL) {
+      di.predictedNext = di.pc + static_cast<std::uint64_t>(di.si().imm);
+      if (di.si().rd == isa::kRegRa) bp_.pushReturn(nextSeqPc);
+    } else if (di.ps->isJalr()) {
+      di.checkpointIndex = acquireCheckpoint();
+      bp_.checkpointInto(cpPool_[di.checkpointIndex]);
       const bool isReturn =
-          di.si.rd == isa::kRegZero && di.si.rs1 == isa::kRegRa;
+          di.si().rd == isa::kRegZero && di.si().rs1 == isa::kRegRa;
       const std::uint64_t predicted = bp_.predictIndirect(di.pc, isReturn);
       di.predictedNext = predicted != 0 ? predicted : nextSeqPc;
-      if (di.si.rd == isa::kRegRa) bp_.pushReturn(nextSeqPc);
+      if (di.si().rd == isa::kRegRa) bp_.pushReturn(nextSeqPc);
     }
 
-    const bool isHalt = di.si.op == Opc::HALT;
+    const bool isHalt = di.op() == Opc::HALT;
     const bool redirected = di.predictedNext != nextSeqPc;
     const std::uint64_t next = di.predictedNext;
     if (tbuf_ != nullptr) {
@@ -258,7 +265,6 @@ void O3Core::fetchStage() {
       e.kind = trace::EventKind::Fetch;
       tbuf_->record(e);
     }
-    fetchQueue_.push_back(std::move(f));
     ++*fetchInsts_;
 
     if (isHalt) {
@@ -288,11 +294,16 @@ void O3Core::dispatchStage() {
     if (f.di.isStore() && static_cast<int>(storeSeqs_.size()) >= cfg_.sqSize)
       return;
 
-    DynInst di = std::move(f.di);
-    fetchQueue_.pop_front();
+    // Claim the ROB slot up front and build the DynInst in place: copying
+    // through a stack temporary and then into the slot would move the
+    // 176-byte record twice per instruction. robFind stays valid — the new
+    // slot's seq is assigned before any producer lookup below.
+    RobSlot& slot = rob_.pushBack();
+    DynInst& di = slot.di;
+    di = f.di;
+    fetchQueue_.popFront();
     di.seq = nextSeq_++;
     di.gen = nextGen_++;
-    di.funcIndex = prog_.funcIndexOfPc(di.pc);
 
     // Capture operands from the rename map.
     auto captureOperand = [&](int idx, int reg) {
@@ -319,16 +330,14 @@ void O3Core::dispatchStage() {
         // else: register as waiter below, once this inst is in the ROB.
       }
     };
-    if (isa::readsRs1(di.si.op)) captureOperand(0, di.si.rs1);
-    if (isa::readsRs2(di.si.op)) captureOperand(1, di.si.rs2);
+    if (di.ps->readsRs1()) captureOperand(0, di.si().rs1);
+    if (di.ps->readsRs2()) captureOperand(1, di.si().rs2);
 
     // Save the previous mapping of rd for squash walk-back, then claim it.
-    RenameEntry prev;
-    bool prevValid = false;
-    if (isa::writesReg(di.si.op) && di.si.rd != isa::kRegZero) {
-      prev = renameMap_[di.si.rd];
-      prevValid = true;
-      renameMap_[di.si.rd] = RenameEntry{false, 0, di.seq};
+    if (di.ps->writesReg() && di.si().rd != isa::kRegZero) {
+      slot.prev = renameMap_[di.si().rd];
+      slot.prevValid = true;
+      renameMap_[di.si().rd] = RenameEntry{false, 0, di.seq};
     }
 
     if (di.isLoad()) ++loadsInFlight_;
@@ -338,22 +347,18 @@ void O3Core::dispatchStage() {
     }
     if (di.isSpecSource()) unresolvedBranches_.push_back(di.seq);
 
-    rob_.push_back(std::move(di));
-    prevMap_.push_back(prev);
-    prevMapValid_.push_back(prevValid);
-    waiters_.push_back(acquireWaiterList());
     ++iqCount_;
     ++*dispatchInsts_;
 
     // Register waiters for still-pending operands.
-    DynInst& placed = rob_.back();
+    DynInst& placed = slot.di;
     for (int opIdx = 0; opIdx < 2; ++opIdx) {
       DynInst::Operand& op = placed.ops[opIdx];
       if (op.present && !op.ready) {
         DynInst* producer = robFind(op.producer);
         LEV_CHECK(producer != nullptr, "pending operand without producer");
-        waiters_[static_cast<std::size_t>(producer->seq - rob_.front().seq)]
-            .push_back({placed.seq, opIdx});
+        rob_.slotAt(static_cast<std::size_t>(producer->seq - rob_.front().seq))
+            .waiters.push_back({placed.seq, opIdx});
       }
     }
     wakeIfReady(placed); // already-ready instructions go straight to issue
@@ -372,9 +377,9 @@ std::uint64_t O3Core::readOperand(const DynInst& inst, int opIndex) const {
 }
 
 void O3Core::executeInst(DynInst& inst) {
-  const Opc op = inst.si.op;
+  const Opc op = inst.op();
   int latency = cfg_.aluLat;
-  const auto imm = static_cast<std::uint64_t>(inst.si.imm);
+  const auto imm = static_cast<std::uint64_t>(inst.si().imm);
 
   if (op >= Opc::ADD && op <= Opc::SGEU) {
     inst.result = isa::evalAlu(op, readOperand(inst, 0), readOperand(inst, 1));
@@ -386,7 +391,7 @@ void O3Core::executeInst(DynInst& inst) {
     }
   } else if (op >= Opc::ADDI && op <= Opc::SLTUI) {
     inst.result = isa::evalAlu(op, readOperand(inst, 0), imm);
-  } else if (isa::isCondBranch(op)) {
+  } else if (inst.ps->isCondBranch()) {
     const bool taken =
         isa::evalBranch(op, readOperand(inst, 0), readOperand(inst, 1));
     inst.actualNext = taken ? inst.pc + imm : inst.pc + isa::kInstBytes;
@@ -420,8 +425,8 @@ void O3Core::executeInst(DynInst& inst) {
 
 bool O3Core::tryIssueLoad(DynInst& inst) {
   const std::uint64_t addr =
-      readOperand(inst, 0) + static_cast<std::uint64_t>(inst.si.imm);
-  const int size = isa::memSize(inst.si.op);
+      readOperand(inst, 0) + static_cast<std::uint64_t>(inst.si().imm);
+  const int size = inst.memAccessSize();
 
   // Conservative memory disambiguation: every older store must have a known
   // address before any younger load may access memory. The store-queue
@@ -451,7 +456,7 @@ bool O3Core::tryIssueLoad(DynInst& inst) {
       return false;
     }
     const std::uint64_t sa = older.memAddr;
-    const auto ss = static_cast<std::uint64_t>(isa::memSize(older.si.op));
+    const auto ss = static_cast<std::uint64_t>(older.memAccessSize());
     const std::uint64_t la = addr;
     const auto ls = static_cast<std::uint64_t>(size);
     const bool overlap = sa < la + ls && la < sa + ss;
@@ -540,7 +545,8 @@ bool O3Core::tryIssueLoad(DynInst& inst) {
 bool O3Core::tryIssueStore(DynInst& inst) {
   // "Executing" a store computes its address and captures its data; the
   // memory write happens at commit.
-  inst.memAddr = readOperand(inst, 0) + static_cast<std::uint64_t>(inst.si.imm);
+  inst.memAddr =
+      readOperand(inst, 0) + static_cast<std::uint64_t>(inst.si().imm);
   inst.storeData = readOperand(inst, 1);
   inst.addrValid = true;
   --sqUnknownAddr_; // address now visible to younger disambiguation
@@ -567,7 +573,7 @@ void O3Core::issueStage() {
     DynInst& di = *ip;
 
     // Structural hazards.
-    const Opc op = di.si.op;
+    const Opc op = di.op();
     const bool isDiv =
         op == Opc::DIVS || op == Opc::DIVU || op == Opc::REMS || op == Opc::REMU;
     if (di.isLoad() || di.isStore()) {
@@ -578,13 +584,6 @@ void O3Core::issueStage() {
       if (divBusyUntil_ > cycle_) continue;
     } else {
       if (aluUsed >= cfg_.intAlus) continue;
-    }
-
-    // Record the motivation-figure flags the first time the instruction is
-    // *eligible* (operands ready), whether or not a policy then delays it.
-    if (!di.issued) {
-      di.speculativeAtIssue = hasUnresolvedBranchOlderThan(di.seq);
-      di.trueDepUnresolvedAtIssue = hasUnresolvedTrueDependee(di);
     }
 
     policy_.clearLastDelay();
@@ -608,6 +607,21 @@ void O3Core::issueStage() {
       else if (!isDiv)
         ++aluUsed;
     }
+
+    // Record the motivation-figure flags for the cycle the instruction
+    // actually issues. Consumers (commit stats, policy writeback hooks, the
+    // fuzz oracle) only ever read them after issue, and the historical
+    // every-poll recomputation overwrote them right up to this cycle — so
+    // computing them once here yields bit-identical values without paying
+    // the dependee lookup on every futile poll of a delayed instruction.
+    // Nothing on the issue path above mutates the inputs (unresolved-branch
+    // list, ROB resolved bits, hint tables): branches resolve at writeback.
+    di.speculativeAtIssue = hasUnresolvedBranchOlderThan(di.seq);
+    // With no unresolved older branch the dependee scan provably returns
+    // "none" (it only inspects unresolved branches older than di), so skip
+    // it — that scan is the single hottest call under permissive policies.
+    di.trueDepUnresolvedAtIssue =
+        di.speculativeAtIssue && hasUnresolvedTrueDependee(di);
     if (heldFor > 0) {
       // This instruction had been held back by the policy and is now free:
       // close out its delay window.
@@ -657,23 +671,11 @@ void O3Core::scheduleCompletion(const DynInst& inst) {
                  completionLater);
 }
 
-std::vector<O3Core::Waiter> O3Core::acquireWaiterList() {
-  if (waiterPool_.empty()) return {};
-  std::vector<Waiter> list = std::move(waiterPool_.back());
-  waiterPool_.pop_back();
-  return list; // cleared on release, capacity retained
-}
-
-void O3Core::releaseWaiterList(std::vector<Waiter>&& list) {
-  if (waiterPool_.size() >= 512) return; // cap pool at ~ROB+IQ churn depth
-  list.clear();
-  waiterPool_.push_back(std::move(list));
-}
-
 void O3Core::deliverValue(DynInst& producer) {
   const std::size_t idx =
       static_cast<std::size_t>(producer.seq - rob_.front().seq);
-  for (const Waiter& w : waiters_[idx]) {
+  std::vector<Waiter>& waiters = rob_.slotAt(idx).waiters;
+  for (const Waiter& w : waiters) {
     DynInst* consumer = robFind(w.consumer);
     if (consumer == nullptr) continue; // squashed
     DynInst::Operand& op = consumer->ops[w.opIndex];
@@ -683,16 +685,16 @@ void O3Core::deliverValue(DynInst& producer) {
       wakeIfReady(*consumer); // last missing operand → into the ready queue
     }
   }
-  waiters_[idx].clear();
+  waiters.clear();
 }
 
 void O3Core::resolveBranch(DynInst& branch) {
   branch.resolved = true;
   std::erase(unresolvedBranches_, branch.seq);
 
-  if (isa::isCondBranch(branch.si.op)) {
+  if (branch.ps->isCondBranch()) {
     bp_.updateCond(branch.pc, branch.result != 0, branch.historyAtPredict);
-  } else if (branch.si.op == Opc::JALR) {
+  } else if (branch.ps->isJalr()) {
     bp_.updateIndirect(branch.pc, branch.actualNext);
   }
 
@@ -706,6 +708,9 @@ void O3Core::resolveBranch(DynInst& branch) {
   } else {
     traceEvent(trace::EventKind::Resolve, branch, branch.actualNext);
   }
+  // Outcome known (and any squash restored from it): the predictor
+  // checkpoint goes back to the pool.
+  releaseCheckpoint(branch);
 }
 
 void O3Core::writebackStage() {
@@ -738,17 +743,18 @@ void O3Core::writebackStage() {
 void O3Core::squashAfter(DynInst& branch) {
   const std::uint64_t boundary = branch.seq;
   while (!rob_.empty() && rob_.back().seq > boundary) {
-    DynInst& victim = rob_.back();
+    RobSlot& victimSlot = rob_.slotAt(rob_.size() - 1);
+    DynInst& victim = victimSlot.di;
     traceEvent(trace::EventKind::Squash, victim, boundary);
     policy_.onSquash(*this, victim.seq);
-    if (prevMapValid_.back()) {
-      RenameEntry prev = prevMap_.back();
+    if (victimSlot.prevValid) {
+      RenameEntry prev = victimSlot.prev;
       if (!prev.ready && robFind(prev.producer) == nullptr) {
         // The shadowed producer retired while this mapping was hidden; its
         // value is the architectural one now.
-        prev = RenameEntry{true, archRegs_[victim.si.rd], 0};
+        prev = RenameEntry{true, archRegs_[victim.si().rd], 0};
       }
-      renameMap_[victim.si.rd] = prev;
+      renameMap_[victim.si().rd] = prev;
     }
     if (victim.isLoad()) --loadsInFlight_;
     if (victim.isStore()) {
@@ -758,11 +764,8 @@ void O3Core::squashAfter(DynInst& branch) {
       storeSeqs_.pop_back();
     }
     if (!victim.issued) --iqCount_;
-    releaseWaiterList(std::move(waiters_.back()));
-    rob_.pop_back();
-    prevMap_.pop_back();
-    prevMapValid_.pop_back();
-    waiters_.pop_back();
+    releaseCheckpoint(victim); // unresolved spec sources still hold one
+    rob_.popBack();
     ++lazyStat(ls_.squashInsts, "squash.insts");
   }
   std::erase_if(readyQueue_, [&](std::uint64_t s) { return s > boundary; });
@@ -771,21 +774,23 @@ void O3Core::squashAfter(DynInst& branch) {
   // Completion-wheel entries of squashed instructions stay behind; the
   // writeback pop drops them via the generation tag.
   // Purge waiter registrations from squashed consumers.
-  for (auto& list : waiters_)
-    std::erase_if(list, [&](const Waiter& w) { return w.consumer > boundary; });
+  for (std::size_t i = 0; i < rob_.size(); ++i)
+    std::erase_if(rob_.slotAt(i).waiters,
+                  [&](const Waiter& w) { return w.consumer > boundary; });
   // Reuse sequence numbers so ROB seqs stay contiguous.
   nextSeq_ = boundary + 1;
 
+  fetchQueue_.forEach([&](FetchedInst& f) { releaseCheckpoint(f.di); });
   fetchQueue_.clear();
-  LEV_CHECK(branch.hasCheckpoint, "squashing branch without checkpoint");
-  bp_.restore(branch.bpCheckpoint);
-  if (isa::isCondBranch(branch.si.op)) {
+  LEV_CHECK(branch.hasCheckpoint(), "squashing branch without checkpoint");
+  bp_.restore(cpPool_[branch.checkpointIndex]);
+  if (branch.ps->isCondBranch()) {
     bp_.applyCondOutcome(branch.result != 0);
-  } else if (branch.si.op == Opc::JALR) {
+  } else if (branch.ps->isJalr()) {
     const bool isReturn =
-        branch.si.rd == isa::kRegZero && branch.si.rs1 == isa::kRegRa;
+        branch.si().rd == isa::kRegZero && branch.si().rs1 == isa::kRegRa;
     if (isReturn) bp_.dropRasTop();
-    if (branch.si.rd == isa::kRegRa)
+    if (branch.si().rd == isa::kRegRa)
       bp_.pushReturn(branch.pc + isa::kInstBytes);
   }
 
@@ -804,13 +809,13 @@ void O3Core::commitStage() {
     if (!head.executed) return;
     if (head.isSpecSource() && !head.resolved) return;
 
-    if (head.synthetic)
+    if (head.synthetic())
       throw SimError("program ran off the text segment (committed synthetic "
                      "halt at pc 0x" +
                      std::to_string(head.pc) + ")");
 
     if (head.isStore()) {
-      mem_.write(head.memAddr, head.storeData, isa::memSize(head.si.op));
+      mem_.write(head.memAddr, head.storeData, head.memAccessSize());
       // The store buffer drains into the hierarchy at commit; its fill is
       // architectural (correct-path) state.
       hier_.accessData(head.memAddr);
@@ -831,9 +836,9 @@ void O3Core::commitStage() {
     if (head.trueDepUnresolvedAtIssue)
       ++lazyStat(ls_.commitInstsTrueDep, "commit.instsTrueDepAtIssue");
 
-    if (isa::writesReg(head.si.op) && head.si.rd != isa::kRegZero) {
-      archRegs_[head.si.rd] = head.result;
-      RenameEntry& e = renameMap_[head.si.rd];
+    if (head.ps->writesReg() && head.si().rd != isa::kRegZero) {
+      archRegs_[head.si().rd] = head.result;
+      RenameEntry& e = renameMap_[head.si().rd];
       if (!e.ready && e.producer == head.seq)
         e = RenameEntry{true, head.result, 0};
     }
@@ -844,12 +849,8 @@ void O3Core::commitStage() {
     ++*commitInsts_;
 
     if (head.isLoad()) --loadsInFlight_;
-    const bool isHalt = head.si.op == Opc::HALT;
-    releaseWaiterList(std::move(waiters_.front()));
-    rob_.pop_front();
-    prevMap_.pop_front();
-    prevMapValid_.pop_front();
-    waiters_.pop_front();
+    const bool isHalt = head.op() == Opc::HALT;
+    rob_.popFront();
     if (isHalt) {
       halted_ = true;
       return;

@@ -12,6 +12,12 @@
 // really mutate the cache hierarchy (unless the active SpeculationPolicy
 // stops them). That transient cache mutation is the side channel the
 // security harness measures.
+//
+// Data layout (docs/PERF.md): static per-instruction facts come from a
+// shared read-only PredecodedProgram; the ROB is a fixed-capacity ring of
+// slots whose allocations (waiter lists) are reset and reused, never freed;
+// branch-predictor checkpoints live in a recycled side pool referenced by
+// index from the lean DynInst.
 #pragma once
 
 #include <deque>
@@ -22,11 +28,13 @@
 #include "support/stats.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
+#include "uarch/archstate.hpp"
 #include "uarch/branchpred.hpp"
 #include "uarch/cache.hpp"
 #include "uarch/dyninst.hpp"
 #include "uarch/memory.hpp"
 #include "uarch/policy.hpp"
+#include "uarch/predecode.hpp"
 #include "uarch/prefetcher.hpp"
 
 namespace lev::uarch {
@@ -68,10 +76,14 @@ enum class RunExit { Halted, CycleLimit, Deadline };
 
 class O3Core {
 public:
-  /// The policy must outlive the core. `stats` collects both core and cache
-  /// counters.
-  O3Core(const isa::Program& prog, const CoreConfig& cfg,
-         SpeculationPolicy& policy, StatSet& stats);
+  /// The policy and the predecoded program (and the Program it wraps) must
+  /// outlive the core. `stats` collects both core and cache counters.
+  /// With `start` non-null the core begins from that architectural
+  /// checkpoint (registers, PC, memory image) instead of the program's
+  /// entry state — the sampled-simulation window path (docs/PERF.md).
+  O3Core(const PredecodedProgram& prog, const CoreConfig& cfg,
+         SpeculationPolicy& policy, StatSet& stats,
+         const ArchCheckpoint* start = nullptr);
 
   /// Run until a committed HALT, the cycle limit, or — when deadlineMicros
   /// is positive — a wall-clock deadline measured from this call. The
@@ -85,6 +97,20 @@ public:
   /// Step exactly one cycle. Returns false once halted.
   bool tick();
 
+  /// Seed the branch predictor's learned state (tables, history, RAS) from
+  /// another predictor — sampled-window warm-up. Only meaningful before the
+  /// first tick().
+  void warmPredictor(const BranchPredictor& trained) {
+    bp_.copyStateFrom(trained);
+  }
+
+  /// Seed the cache hierarchy's tag/replacement state from a hierarchy
+  /// trained during the functional fast-forward — sampled-window warm-up.
+  /// Only meaningful before the first tick().
+  void warmHierarchy(const MemHierarchy& trained) {
+    hier_.copyStateFrom(trained);
+  }
+
   // ---- observation API (tests, policies, attack harness) ---------------
   std::uint64_t cycle() const { return cycle_; }
   std::uint64_t committedInsts() const { return committedInsts_; }
@@ -95,7 +121,8 @@ public:
   const Memory& memory() const { return mem_; }
   MemHierarchy& hierarchy() { return hier_; }
   const MemHierarchy& hierarchy() const { return hier_; }
-  const isa::Program& program() const { return prog_; }
+  const isa::Program& program() const { return pd_.program(); }
+  const PredecodedProgram& predecoded() const { return pd_; }
   StatSet& stats() { return stats_; }
 
   // ---- speculation state exposed to policies ---------------------------
@@ -114,7 +141,7 @@ public:
   }
   /// Find an in-flight instruction by sequence number (nullptr if retired
   /// or squashed).
-  const DynInst* findInst(std::uint64_t seq) const;
+  const DynInst* robFindConst(std::uint64_t seq) const;
 
   /// Dump the in-flight window (diagnostics).
   void dumpState(std::ostream& os) const;
@@ -162,6 +189,113 @@ private:
     DynInst di;
   };
 
+  /// Fixed-capacity ring over the fetch queue. The queue is bounded by
+  /// construction (fetchWidth and frontendDepth are fixed per run), and a
+  /// deque here showed up hot in profiles: at ~2 FetchedInsts per 512-byte
+  /// deque node the slow push path allocated every other instruction.
+  /// pushBack() hands out the slot for in-place construction — the caller
+  /// must overwrite `di` in full (slots are reused, not reset).
+  class FetchRing {
+  public:
+    void reset(int capacity) {
+      slots_.clear();
+      slots_.resize(static_cast<std::size_t>(capacity));
+      cap_ = static_cast<std::size_t>(capacity);
+      head_ = count_ = 0;
+    }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ == cap_; }
+    std::size_t size() const { return count_; }
+    FetchedInst& front() { return slots_[head_]; }
+    /// Claim the next slot (precondition: !full()).
+    FetchedInst& pushBack() {
+      FetchedInst& s = slots_[wrap(head_ + count_)];
+      ++count_;
+      return s;
+    }
+    void popFront() {
+      head_ = wrap(head_ + 1);
+      --count_;
+    }
+    void clear() { head_ = count_ = 0; }
+    template <typename Fn> void forEach(Fn&& fn) {
+      for (std::size_t i = 0; i < count_; ++i) fn(slots_[wrap(head_ + i)]);
+    }
+
+  private:
+    std::size_t wrap(std::size_t i) const { return i >= cap_ ? i - cap_ : i; }
+    std::vector<FetchedInst> slots_;
+    std::size_t cap_ = 0;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
+  /// One ROB slot: the in-flight instruction plus its rename-recovery
+  /// shadow and waiter list. Slots live in a fixed ring (RobRing) and are
+  /// RESET on reuse, never reallocated — the waiter vector keeps its
+  /// capacity across the dispatch/commit/squash churn, so the steady-state
+  /// back end does not allocate.
+  struct RobSlot {
+    DynInst di;
+    /// rd rename entry saved at dispatch for squash walk-back.
+    RenameEntry prev;
+    bool prevValid = false;
+    std::vector<Waiter> waiters;
+  };
+
+  /// Fixed-capacity ring buffer of RobSlots (capacity = CoreConfig::
+  /// robSize). Replaces the four parallel deques (rob_/prevMap_/
+  /// prevMapValid_/waiters_) of the deque-based core: one allocation for
+  /// the run's lifetime, stable slot addresses, O(1) seq lookup via the
+  /// seq-contiguity invariant (slot i from front holds seq front+i).
+  class RobRing {
+  public:
+    void reset(int capacity) {
+      slots_.clear();
+      slots_.resize(static_cast<std::size_t>(capacity));
+      cap_ = static_cast<std::size_t>(capacity);
+      head_ = count_ = 0;
+    }
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    DynInst& front() { return slots_[head_].di; }
+    const DynInst& front() const { return slots_[head_].di; }
+    DynInst& back() { return slots_[wrap(head_ + count_ - 1)].di; }
+    const DynInst& back() const { return slots_[wrap(head_ + count_ - 1)].di; }
+    RobSlot& frontSlot() { return slots_[head_]; }
+    RobSlot& slotAt(std::size_t i) { return slots_[wrap(head_ + i)]; }
+    const RobSlot& slotAt(std::size_t i) const {
+      return slots_[wrap(head_ + i)];
+    }
+    DynInst& instAt(std::size_t i) { return slotAt(i).di; }
+    const DynInst& instAt(std::size_t i) const { return slotAt(i).di; }
+    /// Claim the next slot (precondition: size() < capacity). The slot is
+    /// reset — prev invalid, waiter list cleared with its capacity retained
+    /// — except for `di`, which the caller must overwrite in full before
+    /// anything else looks at the ROB (dispatch assigns the fetched DynInst
+    /// straight into the slot; resetting it here would just add a dead
+    /// 176-byte store per instruction).
+    RobSlot& pushBack() {
+      RobSlot& s = slots_[wrap(head_ + count_)];
+      s.prevValid = false;
+      s.waiters.clear();
+      ++count_;
+      return s;
+    }
+    void popFront() {
+      head_ = wrap(head_ + 1);
+      --count_;
+    }
+    void popBack() { --count_; }
+
+  private:
+    std::size_t wrap(std::size_t i) const { return i >= cap_ ? i - cap_ : i; }
+    std::vector<RobSlot> slots_;
+    std::size_t cap_ = 0;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
   /// One pending writeback in the completion wheel: instruction `seq`
   /// (dispatch generation `gen`) finishes at `cycle`. Kept in a min-heap
   /// ordered by (cycle, seq, gen) so writeback pops due entries oldest
@@ -188,7 +322,6 @@ private:
   void fetchStage();
 
   DynInst* robFind(std::uint64_t seq);
-  const DynInst* robFindConst(std::uint64_t seq) const;
   void deliverValue(DynInst& producer);
   void resolveBranch(DynInst& branch);
   void squashAfter(DynInst& branch);
@@ -205,10 +338,12 @@ private:
   /// Enter `inst` (just issued, completeCycle set) into the completion
   /// wheel.
   void scheduleCompletion(const DynInst& inst);
-  /// Waiter-list free list: ROB entries recycle their waiter vectors so the
-  /// dispatch/commit/squash churn stops allocating in steady state.
-  std::vector<Waiter> acquireWaiterList();
-  void releaseWaiterList(std::vector<Waiter>&& list);
+  /// Checkpoint side pool: speculation sources hold a BranchPredictor
+  /// checkpoint by index (DynInst::checkpointIndex). Freed slots are
+  /// recycled, and checkpointInto() reuses each slot's RAS vector capacity
+  /// — so the per-branch checkpoint costs no allocation in steady state.
+  std::uint32_t acquireCheckpoint();
+  void releaseCheckpoint(DynInst& di);
   /// Bind-on-first-use cached counter. Counters must not be pre-created in
   /// the constructor: a counter that never fires must stay absent from the
   /// stat dump, exactly as with by-name lookups (the A/B equivalence test
@@ -218,7 +353,7 @@ private:
     return *slot;
   }
 
-  const isa::Program& prog_;
+  const PredecodedProgram& pd_;
   CoreConfig cfg_;
   SpeculationPolicy& policy_;
   StatSet& stats_;
@@ -236,15 +371,11 @@ private:
   bool fetchStopped_ = false;
   std::uint64_t fetchResumeCycle_ = 0;
   std::uint64_t icacheLine_ = ~0ull; ///< last line fetched (hit fast path)
-  std::deque<FetchedInst> fetchQueue_;
+  FetchRing fetchQueue_;
 
   // Back end.
-  std::deque<DynInst> rob_; ///< contiguous seqs; front = oldest
+  RobRing rob_; ///< contiguous seqs; front = oldest
   RenameEntry renameMap_[isa::kNumRegs];
-  /// rd rename entries saved at dispatch for squash walk-back, keyed by seq
-  /// (parallel to rob_).
-  std::deque<RenameEntry> prevMap_;
-  std::deque<bool> prevMapValid_;
   /// Issue queue, event-driven: only instructions whose operands are all
   /// ready (but may still be policy/structurally/disambiguation blocked).
   /// Ascending seqs — issueStage walks it oldest first.
@@ -253,8 +384,10 @@ private:
   /// the issue-queue occupancy the scan-based core read off notIssued_.
   int iqCount_ = 0;
   std::vector<std::uint64_t> unresolvedBranches_; ///< seqs, ascending
-  std::deque<std::vector<Waiter>> waiters_; // parallel to rob_ (by index)
-  std::vector<std::vector<Waiter>> waiterPool_; ///< recycled waiter lists
+
+  /// Checkpoint side pool (acquireCheckpoint/releaseCheckpoint).
+  std::vector<BranchPredictor::Checkpoint> cpPool_;
+  std::vector<std::uint32_t> cpFree_;
 
   /// Completion wheel: min-heap on (cycle, seq, gen) of issued-not-yet-
   /// written-back instructions. Squash leaves stale entries behind; they

@@ -1,31 +1,76 @@
 // A dynamic (in-flight) instruction.
+//
+// Layout discipline (docs/PERF.md): the ROB moves and resets these by the
+// hundred thousand per simulated millisecond, so DynInst is kept lean. All
+// static per-instruction facts (decoded fields, the Levioso hint, the
+// function index, opcode classification) live in the shared PredecodedProgram
+// and are reached through one pointer; the branch-predictor checkpoint —
+// heap-owning and needed only by speculation sources — lives in the core's
+// side pool and is referenced by index; the status booleans are packed into
+// bit-fields. kDynInstSizeBudget pins the result: growing the struct past
+// the budget is a conscious decision, not an accident.
 #pragma once
 
 #include <cstdint>
 
 #include "isa/program.hpp"
 #include "trace/trace.hpp"
-#include "uarch/branchpred.hpp"
+#include "uarch/predecode.hpp"
 
 namespace lev::uarch {
 
+/// Compile-time ceiling on sizeof(DynInst). Bumping it requires a matching
+/// docs/PERF.md note (the budget is part of the perf contract).
+inline constexpr std::size_t kDynInstSizeBudget = 176;
+
 /// One in-flight instruction in the out-of-order window.
 struct DynInst {
+  /// Sentinel for checkpointIndex: no branch-predictor checkpoint held.
+  static constexpr std::uint32_t kNoCheckpoint = ~std::uint32_t{0};
+
   std::uint64_t seq = 0; ///< program-order sequence number (dispatch order)
   std::uint64_t pc = 0;
-  isa::Inst si;
-  const isa::Hint* hint = nullptr; ///< Levioso hint (never null once dispatched)
+  /// Static facts (decoded instruction, hint, func index, classification).
+  /// Never null once fetched; points into the run's PredecodedProgram or at
+  /// PredecodedProgram::syntheticHalt().
+  const PredecodedInst* ps = nullptr;
 
   // ---- front end -------------------------------------------------------
   std::uint64_t fetchedCycle = 0;
   std::uint64_t predictedNext = 0; ///< fetch continued here
-  bool predictedTaken = false;
   std::uint64_t historyAtPredict = 0;
-  BranchPredictor::Checkpoint bpCheckpoint; ///< speculation sources only
-  bool hasCheckpoint = false;
-  /// Synthetic HALT injected when fetch ran off the text segment on a wrong
-  /// path; committing one of these is a simulation error.
-  bool synthetic = false;
+  /// Branch-predictor checkpoint handle (speculation sources only): index
+  /// into the core's checkpoint pool, kNoCheckpoint when none is held.
+  std::uint32_t checkpointIndex = kNoCheckpoint;
+
+  /// The last policy rule that held this instruction back, and for how many
+  /// cycles total (mayExecute false or LoadAction::Delay). Feeds the
+  /// policy-release trace event and the delay-per-transmitter histogram.
+  std::uint32_t policyDelayCycles = 0;
+  trace::DelayCause policyDelayCause = trace::DelayCause::None;
+
+  // ---- status bits -----------------------------------------------------
+  bool predictedTaken : 1 = false;
+  bool issued : 1 = false;
+  bool executed : 1 = false;
+  bool addrValid : 1 = false;
+  /// True when this load was allowed to proceed "invisibly" (no cache-state
+  /// change); recorded for stats.
+  bool invisibleLoad : 1 = false;
+  /// Did an older unresolved speculation source exist when this issued?
+  bool speculativeAtIssue : 1 = false;
+  /// Did an older unresolved TRUE dependee (per the Levioso hint) exist when
+  /// this issued? (collected for the fig1 motivation data)
+  bool trueDepUnresolvedAtIssue : 1 = false;
+  bool resolved : 1 = false; ///< speculation sources: outcome known
+  bool mispredicted : 1 = false;
+  /// This instruction sits in the core's ready queue (all operands ready,
+  /// not yet issued). Guards against double insertion when several operands
+  /// arrive in one writeback.
+  bool inReadyQueue : 1 = false;
+  /// Memoized O3Core::oldestUnresolvedTrueDependee validity. `mutable`:
+  /// filled lazily through the core's const dependee query path.
+  mutable bool memoDependeeValid : 1 = false;
 
   // ---- rename ----------------------------------------------------------
   struct Operand {
@@ -36,37 +81,12 @@ struct DynInst {
   };
   Operand ops[2]; ///< [0] = rs1, [1] = rs2
 
-  // ---- status ----------------------------------------------------------
-  bool issued = false;
-  bool executed = false;
-  /// The last policy rule that held this instruction back, and for how many
-  /// cycles total (mayExecute false or LoadAction::Delay). Feeds the
-  /// policy-release trace event and the delay-per-transmitter histogram.
-  /// (Placed in this padding hole so the struct keeps its pre-tracing size —
-  /// ROB scans are size-sensitive.)
-  trace::DelayCause policyDelayCause = trace::DelayCause::None;
-  std::uint32_t policyDelayCycles = 0;
+  // ---- execute / memory ------------------------------------------------
   std::uint64_t completeCycle = 0;
-
   std::uint64_t result = 0;
-
-  // ---- memory ----------------------------------------------------------
-  bool addrValid = false;
   std::uint64_t memAddr = 0;
   std::uint64_t storeData = 0;
   std::uint64_t forwardedFrom = 0; ///< store seq that forwarded, 0 = none
-  /// True when this load was allowed to proceed "invisibly" (no cache-state
-  /// change); recorded for stats.
-  bool invisibleLoad = false;
-
-  // ---- speculation bookkeeping ------------------------------------------
-  /// Did an older unresolved speculation source exist when this issued?
-  bool speculativeAtIssue = false;
-  /// Did an older unresolved TRUE dependee (per the Levioso hint) exist when
-  /// this issued? (collected for the fig1 motivation data)
-  bool trueDepUnresolvedAtIssue = false;
-  bool resolved = false; ///< speculation sources: outcome known
-  bool mispredicted = false;
   std::uint64_t actualNext = 0;
 
   // ---- event-driven scheduler bookkeeping (docs/PERF.md) ----------------
@@ -75,25 +95,31 @@ struct DynInst {
   /// wheel entries carry one so a stale entry can never be mistaken for a
   /// younger instruction that inherited its seq.
   std::uint64_t gen = 0;
-  /// This instruction sits in the core's ready queue (all operands ready,
-  /// not yet issued). Guards against double insertion when several operands
-  /// arrive in one writeback.
-  bool inReadyQueue = false;
-  static constexpr int kFuncIndexUnknown = -2;
-  /// Program::funcIndexOfPc(pc), memoized at dispatch (-1 = outside every
-  /// function). `mutable`: filled lazily through the core's const taint/
-  /// dependee query path.
-  mutable int funcIndex = kFuncIndexUnknown;
   /// Memoized O3Core::oldestUnresolvedTrueDependee result. Valid while that
   /// branch stays unresolved; a memoized 0 ("no dependee") holds for the
   /// instruction's whole lifetime, because dispatch is in program order —
   /// no unresolved branch older than a live instruction can ever appear.
   mutable std::uint64_t memoDependee = 0;
-  mutable bool memoDependeeValid = false;
 
-  bool isLoad() const { return isa::isLoad(si.op); }
-  bool isStore() const { return isa::isStore(si.op); }
-  bool isSpecSource() const { return isa::isSpeculationSource(si.op); }
+  // ---- static-fact accessors (one indirection into the predecode) ------
+  const isa::Inst& si() const { return ps->inst; }
+  isa::Opc op() const { return ps->inst.op; }
+  const isa::Hint* hint() const { return ps->hint; }
+  int funcIndex() const { return ps->funcIndex; }
+  bool isLoad() const { return ps->isLoad(); }
+  bool isStore() const { return ps->isStore(); }
+  bool isSpecSource() const { return ps->isSpecSource(); }
+  bool isTransmitter() const { return ps->isTransmitter(); }
+  int memAccessSize() const { return ps->memAccessSize; }
+  /// Synthetic HALT injected when fetch ran off the text segment on a wrong
+  /// path; committing one of these is a simulation error.
+  bool synthetic() const { return ps->synthetic(); }
+  bool hasCheckpoint() const { return checkpointIndex != kNoCheckpoint; }
 };
+
+static_assert(sizeof(DynInst) <= kDynInstSizeBudget,
+              "DynInst outgrew its size budget (docs/PERF.md): move new "
+              "static facts into PredecodedInst, new cold state into a side "
+              "pool, or consciously raise kDynInstSizeBudget");
 
 } // namespace lev::uarch

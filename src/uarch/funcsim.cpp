@@ -17,6 +17,15 @@ bool FuncSim::step() {
     throw SimError("functional sim: PC left text segment");
   const Inst inst = prog_.instAt(pc_);
   ++icount_;
+  if (warmHier_ != nullptr) {
+    // Mirror the core's fetch: one i-cache access per line transition.
+    const std::uint64_t iline =
+        pc_ / static_cast<std::uint64_t>(warmHier_->l1i().lineBytes());
+    if (iline != warmILine_) {
+      warmHier_->accessInst(pc_);
+      warmILine_ = iline;
+    }
+  }
   std::uint64_t nextPc = pc_ + kInstBytes;
   const std::uint64_t a = regs_[inst.rs1];
   const std::uint64_t b = regs_[inst.rs2];
@@ -27,20 +36,40 @@ bool FuncSim::step() {
   } else if (inst.op >= Opc::ADDI && inst.op <= Opc::SLTUI) {
     setReg(inst.rd, evalAlu(inst.op, a, imm));
   } else if (isLoad(inst.op)) {
+    if (warmHier_ != nullptr) warmHier_->accessData(a + imm);
     setReg(inst.rd, mem_.read(a + imm, memSize(inst.op)));
   } else if (isStore(inst.op)) {
+    if (warmHier_ != nullptr) warmHier_->accessData(a + imm);
     mem_.write(a + imm, b, memSize(inst.op));
   } else if (isCondBranch(inst.op)) {
-    if (evalBranch(inst.op, a, b)) nextPc = pc_ + imm;
+    const bool taken = evalBranch(inst.op, a, b);
+    if (taken) nextPc = pc_ + imm;
+    if (warmBp_ != nullptr) {
+      // Train with the resolved outcome against the current (architectural)
+      // history — the same update a correct-path resolution applies — then
+      // shift the outcome into the history.
+      warmBp_->updateCond(pc_, taken, warmBp_->history());
+      warmBp_->applyCondOutcome(taken);
+    }
   } else {
     switch (inst.op) {
     case Opc::JAL:
       setReg(inst.rd, pc_ + kInstBytes);
       nextPc = pc_ + imm;
+      if (warmBp_ != nullptr && inst.rd == kRegRa)
+        warmBp_->pushReturn(pc_ + kInstBytes);
       break;
     case Opc::JALR:
       setReg(inst.rd, pc_ + kInstBytes);
       nextPc = (a + imm) & ~std::uint64_t{7};
+      if (warmBp_ != nullptr) {
+        // Mirror the core's architectural RAS discipline: a return consumes
+        // the top entry, a linking call pushes one, and the BTB learns the
+        // resolved target.
+        if (inst.rd == kRegZero && inst.rs1 == kRegRa) warmBp_->dropRasTop();
+        if (inst.rd == kRegRa) warmBp_->pushReturn(pc_ + kInstBytes);
+        warmBp_->updateIndirect(pc_, nextPc);
+      }
       break;
     case Opc::RDCYC:
       // No cycle notion here; expose the instruction count so programs that
@@ -49,7 +78,13 @@ bool FuncSim::step() {
       setReg(inst.rd, icount_);
       break;
     case Opc::FLUSH:
-      // No caches in the golden model; only the register effect remains.
+      // No caches in the golden model; only the register effect remains
+      // (but a warming hierarchy must see the eviction, as the core's
+      // execute stage applies it to l1d and l2).
+      if (warmHier_ != nullptr) {
+        warmHier_->l1d().flushLine(a + imm);
+        warmHier_->l2().flushLine(a + imm);
+      }
       setReg(inst.rd, 0);
       break;
     case Opc::HALT:
@@ -72,6 +107,19 @@ std::uint64_t FuncSim::run(std::uint64_t maxInsts) {
     step();
   }
   return icount_;
+}
+
+std::uint64_t FuncSim::runInsts(std::uint64_t n) {
+  const std::uint64_t start = icount_;
+  while (!halted_ && icount_ - start < n) step();
+  return icount_ - start;
+}
+
+void FuncSim::snapshot(ArchCheckpoint& out) const {
+  out.pc = pc_;
+  for (int r = 0; r < isa::kNumRegs; ++r) out.regs[r] = regs_[r];
+  out.instsExecuted = icount_;
+  out.mem.copyFrom(mem_);
 }
 
 } // namespace lev::uarch

@@ -3,11 +3,21 @@
 // Executes one instruction per step with no timing, no speculation and no
 // caches. Integration tests validate the out-of-order core against this
 // model: for any program, both must produce identical architectural results.
+//
+// It doubles as the fast-forward engine of sampled simulation
+// (docs/PERF.md): snapshot() captures a full ArchCheckpoint at any
+// instruction boundary, runInsts() advances a bounded number of
+// instructions between detailed windows, and setPredictorWarming() lets the
+// fast-forward train a BranchPredictor architecturally (resolved outcomes
+// only, no speculation) so each window starts with warm tables.
 #pragma once
 
 #include <cstdint>
 
 #include "isa/program.hpp"
+#include "uarch/archstate.hpp"
+#include "uarch/branchpred.hpp"
+#include "uarch/cache.hpp"
 #include "uarch/memory.hpp"
 
 namespace lev::uarch {
@@ -21,8 +31,33 @@ public:
   /// the PC leaves the text segment.
   std::uint64_t run(std::uint64_t maxInsts = 100'000'000);
 
+  /// Advance at most `n` instructions (stops early at HALT). Returns the
+  /// number actually executed.
+  std::uint64_t runInsts(std::uint64_t n);
+
   /// Single-step one instruction. Returns false when halted.
   bool step();
+
+  /// Capture the architectural state (PC, registers, deep-copied memory,
+  /// retired-instruction count) into `out`.
+  void snapshot(ArchCheckpoint& out) const;
+
+  /// Train `bp` on every control-flow instruction executed from now on, as
+  /// if each branch resolved immediately (architectural outcomes, no
+  /// wrong-path pollution). Pass nullptr to stop. `bp` must outlive the
+  /// warming period; its prediction queries are never used here.
+  void setPredictorWarming(BranchPredictor* bp) { warmBp_ = bp; }
+
+  /// Touch `hier` with every architectural instruction-line transition,
+  /// load, store and FLUSH executed from now on, so sampled windows start
+  /// with warm cache tags instead of an all-miss hierarchy (an all-miss
+  /// start wildly overstates the miss-sensitive policies' overheads).
+  /// Pass nullptr to stop. `hier` must outlive the warming period; its
+  /// latencies are ignored here.
+  void setCacheWarming(MemHierarchy* hier) {
+    warmHier_ = hier;
+    warmILine_ = ~0ull;
+  }
 
   std::uint64_t reg(int r) const { return regs_[r]; }
   void setReg(int r, std::uint64_t v) {
@@ -42,6 +77,9 @@ private:
   std::uint64_t pc_ = 0;
   std::uint64_t icount_ = 0;
   bool halted_ = false;
+  BranchPredictor* warmBp_ = nullptr;
+  MemHierarchy* warmHier_ = nullptr;
+  std::uint64_t warmILine_ = ~0ull; ///< last i-line fed to warmHier_
 };
 
 } // namespace lev::uarch

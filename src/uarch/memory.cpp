@@ -12,22 +12,37 @@ void Memory::loadProgram(const isa::Program& prog) {
       write(seg.addr + i, seg.bytes[i], 1);
 }
 
-std::uint8_t* Memory::pagePtr(std::uint64_t addr) const {
-  const std::uint64_t pageNo = addr / kPageBytes;
+std::uint8_t* Memory::pageBase(std::uint64_t pageNo) const {
+  if (pageNo == cachedPageNo_) return cachedPage_;
   auto it = pages_.find(pageNo);
   if (it == pages_.end()) {
     auto page = std::make_unique<std::array<std::uint8_t, kPageBytes>>();
     page->fill(0);
     it = pages_.emplace(pageNo, std::move(page)).first;
   }
-  return it->second->data() + (addr % kPageBytes);
+  cachedPageNo_ = pageNo;
+  cachedPage_ = it->second->data();
+  return cachedPage_;
+}
+
+std::uint8_t* Memory::pagePtr(std::uint64_t addr) const {
+  return pageBase(addr / kPageBytes) + (addr % kPageBytes);
 }
 
 std::uint64_t Memory::read(std::uint64_t addr, int size) const {
   LEV_CHECK(size == 1 || size == 2 || size == 4 || size == 8,
             "bad memory access size");
+  const std::uint64_t off = addr % kPageBytes;
   std::uint64_t v = 0;
-  // Byte-wise to handle page-crossing accesses; accesses are small.
+  if (off + static_cast<std::uint64_t>(size) <= kPageBytes) {
+    // Common case: one page lookup, then byte assembly from the page
+    // (endian-independent; the compiler fuses it into a single load).
+    const std::uint8_t* p = pageBase(addr / kPageBytes) + off;
+    for (int i = 0; i < size; ++i)
+      v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+  }
+  // Page-crossing access: byte-wise.
   for (int i = 0; i < size; ++i)
     v |= static_cast<std::uint64_t>(*pagePtr(addr + static_cast<std::uint64_t>(i)))
          << (8 * i);
@@ -37,9 +52,26 @@ std::uint64_t Memory::read(std::uint64_t addr, int size) const {
 void Memory::write(std::uint64_t addr, std::uint64_t value, int size) {
   LEV_CHECK(size == 1 || size == 2 || size == 4 || size == 8,
             "bad memory access size");
+  const std::uint64_t off = addr % kPageBytes;
+  if (off + static_cast<std::uint64_t>(size) <= kPageBytes) {
+    std::uint8_t* p = pageBase(addr / kPageBytes) + off;
+    for (int i = 0; i < size; ++i)
+      p[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    return;
+  }
   for (int i = 0; i < size; ++i)
     *pagePtr(addr + static_cast<std::uint64_t>(i)) =
         static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+void Memory::copyFrom(const Memory& other) {
+  pages_.clear();
+  cachedPageNo_ = ~0ull;
+  cachedPage_ = nullptr;
+  pages_.reserve(other.pages_.size());
+  for (const auto& [pageNo, page] : other.pages_)
+    pages_.emplace(pageNo,
+                   std::make_unique<std::array<std::uint8_t, kPageBytes>>(*page));
 }
 
 std::uint64_t Memory::peek(std::uint64_t addr, int size) const {

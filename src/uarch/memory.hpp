@@ -30,14 +30,26 @@ public:
   /// Read without allocating: returns 0 for untouched memory.
   std::uint64_t peek(std::uint64_t addr, int size) const;
 
+  /// Replace this image with a deep copy of `other` (sampled-simulation
+  /// checkpoints: the copy stays frozen while the source runs on).
+  void copyFrom(const Memory& other);
+
   std::size_t pagesAllocated() const { return pages_.size(); }
 
 private:
   std::uint8_t* pagePtr(std::uint64_t addr) const;
+  /// Base of `pageNo`'s backing page, allocating on first touch. Caches the
+  /// most recent page: accesses cluster heavily, so the common case skips
+  /// the hash lookup entirely.
+  std::uint8_t* pageBase(std::uint64_t pageNo) const;
 
   mutable std::unordered_map<std::uint64_t,
                              std::unique_ptr<std::array<std::uint8_t, kPageBytes>>>
       pages_;
+  /// One-entry MRU cache over pages_ (speed only — never observable).
+  /// Invalidated by anything that can move or drop pages (copyFrom).
+  mutable std::uint64_t cachedPageNo_ = ~0ull;
+  mutable std::uint8_t* cachedPage_ = nullptr;
 };
 
 } // namespace lev::uarch

@@ -1,0 +1,55 @@
+#include "uarch/predecode.hpp"
+
+namespace lev::uarch {
+
+namespace {
+
+std::uint16_t classify(const isa::Inst& inst) {
+  using namespace isa;
+  std::uint16_t flags = 0;
+  if (isLoad(inst.op)) flags |= PredecodedInst::kIsLoad;
+  if (isStore(inst.op)) flags |= PredecodedInst::kIsStore;
+  if (isCondBranch(inst.op)) flags |= PredecodedInst::kIsCondBranch;
+  if (isSpeculationSource(inst.op)) flags |= PredecodedInst::kIsSpecSource;
+  if (writesReg(inst.op)) flags |= PredecodedInst::kWritesReg;
+  if (readsRs1(inst.op)) flags |= PredecodedInst::kReadsRs1;
+  if (readsRs2(inst.op)) flags |= PredecodedInst::kReadsRs2;
+  if (inst.op == Opc::JALR) flags |= PredecodedInst::kIsJalr;
+  if ((flags & (PredecodedInst::kIsLoad | PredecodedInst::kIsSpecSource)) != 0)
+    flags |= PredecodedInst::kIsTransmitter;
+  return flags;
+}
+
+} // namespace
+
+PredecodedProgram::PredecodedProgram(const isa::Program& prog)
+    : prog_(&prog), textBase_(prog.textBase) {
+  insts_.resize(prog.text.size());
+  for (std::size_t i = 0; i < prog.text.size(); ++i) {
+    const std::uint64_t pc = prog.textBase + i * isa::kInstBytes;
+    PredecodedInst& p = insts_[i];
+    p.inst = prog.text[i];
+    p.hint = &prog.hintAt(pc);
+    p.funcIndex = prog.funcIndexOfPc(pc);
+    p.flags = classify(p.inst);
+    p.memAccessSize =
+        (p.isLoad() || p.isStore())
+            ? static_cast<std::uint8_t>(isa::memSize(p.inst.op))
+            : 0;
+  }
+}
+
+const PredecodedInst& PredecodedProgram::syntheticHalt() {
+  static const isa::Hint kConservativeHint{{}, true};
+  static const PredecodedInst kHalt = [] {
+    PredecodedInst p;
+    p.inst.op = isa::Opc::HALT;
+    p.hint = &kConservativeHint;
+    p.funcIndex = -1;
+    p.flags = PredecodedInst::kSynthetic;
+    return p;
+  }();
+  return kHalt;
+}
+
+} // namespace lev::uarch

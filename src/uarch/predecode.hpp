@@ -1,0 +1,87 @@
+// Immutable per-program predecode: everything about an instruction that is
+// static (policy- and run-invariant), computed once and shared read-only
+// across every simulation of the same binary.
+//
+// A grid point simulates the same compiled program under 7 policies; before
+// this layer each run re-derived the decoded instruction, its Levioso hint,
+// its function index and its opcode classification per *dynamic* instruction
+// (`Program::instAt` + `hintAt` + `funcIndexOfPc` + out-of-line `isa::is*`
+// predicate calls in every pipeline stage). A PredecodedProgram folds all of
+// that into one 32-byte entry per static instruction; DynInst carries a
+// pointer into this table instead of copying the fields.
+//
+// Thread safety: const after construction. Concurrent simulations may share
+// one instance (tests/runner_test.cpp runs all policies against a single
+// table under ASan/TSan-style scrutiny).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace lev::uarch {
+
+/// Static per-instruction facts, packed for the hot path. 32 bytes.
+struct PredecodedInst {
+  // clang-format off
+  enum : std::uint16_t {
+    kIsLoad       = 1u << 0,
+    kIsStore      = 1u << 1,
+    kIsCondBranch = 1u << 2,
+    kIsSpecSource = 1u << 3,  ///< conditional branch or JALR
+    kWritesReg    = 1u << 4,
+    kReadsRs1     = 1u << 5,
+    kReadsRs2     = 1u << 6,
+    kIsTransmitter= 1u << 7,  ///< load or speculation source
+    kIsJalr       = 1u << 8,
+    kSynthetic    = 1u << 9,  ///< off-text wrong-path HALT (not in any table)
+  };
+  // clang-format on
+
+  isa::Inst inst;                   ///< decoded copy (locality)
+  const isa::Hint* hint = nullptr;  ///< resolved Levioso hint (never null)
+  std::int32_t funcIndex = -1;      ///< Program::funcIndexOfPc, -1 = none
+  std::uint16_t flags = 0;
+  std::uint8_t memAccessSize = 0;   ///< isa::memSize for loads/stores, else 0
+
+  bool isLoad() const { return (flags & kIsLoad) != 0; }
+  bool isStore() const { return (flags & kIsStore) != 0; }
+  bool isCondBranch() const { return (flags & kIsCondBranch) != 0; }
+  bool isSpecSource() const { return (flags & kIsSpecSource) != 0; }
+  bool writesReg() const { return (flags & kWritesReg) != 0; }
+  bool readsRs1() const { return (flags & kReadsRs1) != 0; }
+  bool readsRs2() const { return (flags & kReadsRs2) != 0; }
+  bool isTransmitter() const { return (flags & kIsTransmitter) != 0; }
+  bool isJalr() const { return (flags & kIsJalr) != 0; }
+  bool synthetic() const { return (flags & kSynthetic) != 0; }
+};
+
+/// One decoded program, indexable by text PC. The Program must outlive it
+/// (entries point into the Program's hint storage).
+class PredecodedProgram {
+public:
+  explicit PredecodedProgram(const isa::Program& prog);
+
+  const isa::Program& program() const { return *prog_; }
+
+  bool pcInText(std::uint64_t pc) const { return prog_->pcInText(pc); }
+
+  /// Entry for a text PC. Precondition: pcInText(pc).
+  const PredecodedInst& at(std::uint64_t pc) const {
+    return insts_[static_cast<std::size_t>((pc - textBase_) /
+                                           isa::kInstBytes)];
+  }
+
+  /// The shared entry for wrong-path fetches that left the text segment:
+  /// an inert HALT with the conservative hint. Committing an instruction
+  /// that points here is a simulation error.
+  static const PredecodedInst& syntheticHalt();
+
+private:
+  const isa::Program* prog_;
+  std::uint64_t textBase_;
+  std::vector<PredecodedInst> insts_;
+};
+
+} // namespace lev::uarch

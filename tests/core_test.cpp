@@ -15,13 +15,26 @@ namespace lev::uarch {
 using isa::assemble;
 namespace {
 
+// The DynInst data-layout budget (docs/PERF.md): dyninst.hpp enforces it
+// with its own static_assert, but this duplicate keeps the budget visible
+// in the test suite — a layout regression fails the BUILD of the tier-1
+// tests, not just some downstream target.
+static_assert(sizeof(DynInst) <= kDynInstSizeBudget,
+              "DynInst outgrew its size budget (see docs/PERF.md before "
+              "raising kDynInstSizeBudget)");
+
+TEST(DynInstLayout, StaysWithinSizeBudget) {
+  EXPECT_LE(sizeof(DynInst), kDynInstSizeBudget);
+}
+
 struct Rig {
   explicit Rig(const isa::Program& prog,
                const CoreConfig& cfg = CoreConfig(),
                const std::string& policy = "unsafe")
-      : program(prog), pol(secure::makePolicy(policy)),
-        core(program, cfg, *pol, stats) {}
+      : program(prog), pd(prog), pol(secure::makePolicy(policy)),
+        core(pd, cfg, *pol, stats) {}
   const isa::Program& program;
+  PredecodedProgram pd;
   StatSet stats;
   std::unique_ptr<SpeculationPolicy> pol;
   O3Core core;

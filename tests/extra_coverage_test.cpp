@@ -212,7 +212,8 @@ main:
 )");
   StatSet stats;
   auto pol = secure::makePolicy("unsafe");
-  uarch::O3Core core(p, uarch::CoreConfig(), *pol, stats);
+  uarch::PredecodedProgram pd(p);
+  uarch::O3Core core(pd, uarch::CoreConfig(), *pol, stats);
   core.tick();
   core.tick();
   std::ostringstream os;

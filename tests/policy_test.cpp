@@ -229,7 +229,8 @@ TEST(TaintTracker, RootPropagationAndLaziness) {
   isa::Program p = independentLoadProgram();
   SttPolicy policy;
   StatSet stats;
-  uarch::O3Core core(p, CoreConfig(), policy, stats);
+  uarch::PredecodedProgram pd(p);
+  uarch::O3Core core(pd, CoreConfig(), policy, stats);
   EXPECT_EQ(core.run(), RunExit::Halted);
   // The tracker is private state; observable contract: the run halted and
   // results match unsafe (covered above). Here we just ensure reset works.

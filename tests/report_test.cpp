@@ -251,6 +251,31 @@ TEST(ReportDiff, SpeedBaselineGatesOnMipsDrop) {
   EXPECT_TRUE(report::diff(oldDoc, faster, opts).regressions.empty());
 }
 
+TEST(ReportDiff, MultiKernelSpeedBaselinePairsByKernelAndPolicy) {
+  // Multi-kernel baselines (micro_speed --kernel a,b) carry a per-entry
+  // "kernel" field; the diff must pair rows by kernel/policy so one
+  // kernel's regression never hides behind another kernel's gain.
+  const auto baseline = [](double aMips, double bMips) {
+    std::ostringstream os;
+    os << R"({"bench": "micro_speed", "policies": [
+         {"kernel": "ka", "policy": "unsafe", "hostMips": )"
+       << aMips << R"(}, {"kernel": "kb", "policy": "unsafe", "hostMips": )"
+       << bMips << "}]}";
+    return os.str();
+  };
+  const JsonValue oldDoc = json::parse(baseline(10.0, 10.0));
+  const JsonValue mixed = json::parse(baseline(20.0, 5.0)); // kb -50%
+  report::DiffOptions opts;
+  opts.maxRegressPct = 30.0;
+  const report::Diff d = report::diff(oldDoc, mixed, opts);
+  ASSERT_EQ(d.regressions.size(), 1u);
+  EXPECT_NE(d.regressions[0].find("kb/unsafe"), std::string::npos);
+  // A legacy single-kernel baseline (no per-entry kernel) still diffs
+  // against itself under the bare-policy key.
+  const JsonValue legacy = json::parse(speedBaseline(10.0, 8.0));
+  EXPECT_TRUE(report::diff(legacy, legacy, opts).regressions.empty());
+}
+
 TEST(ReportDiff, MissingAndNewPoliciesBecomeNotesNotCrashes) {
   const std::string oldOnly =
       R"({"version":2,"counters":{"points":2},"results":[

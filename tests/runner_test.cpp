@@ -17,13 +17,18 @@
 
 #include <gtest/gtest.h>
 
+#include "backend/compiler.hpp"
 #include "json_test_util.hpp"
 #include "runner/resultcache.hpp"
 #include "runner/sweep.hpp"
 #include "runner/threadpool.hpp"
+#include "secure/policies.hpp"
+#include "sim/simulation.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
 #include "support/log.hpp"
+#include "uarch/predecode.hpp"
+#include "workloads/kernels.hpp"
 
 namespace fs = std::filesystem;
 using namespace lev;
@@ -887,4 +892,101 @@ TEST(Report, LeviosoBatchToolEmitsParseableJson) {
   EXPECT_GT(report.at("results").items[1].at("cycles").number, 0);
   fs::remove(out);
   fs::remove_all(cacheDir);
+}
+
+// ---- predecode sharing + sampled jobs (docs/PERF.md) ---------------------
+
+TEST(PredecodeSharing, ConcurrentPoliciesMatchSequentialBitIdentically) {
+  // One immutable PredecodedProgram shared read-only by all 7 policies at
+  // once on the thread pool: a const-correctness / data-race smoke (the
+  // ASan+UBSan CI job runs it instrumented) that must reproduce the
+  // sequential stat dumps bit-for-bit.
+  ir::Module mod = workloads::buildKernel("x264_sad", 1);
+  const backend::CompileResult compiled = backend::compile(mod);
+  const uarch::PredecodedProgram pd(compiled.program);
+  const std::vector<std::string> policies = secure::policyNames();
+
+  const auto dumpOf = [&pd](const std::string& policy) {
+    sim::Simulation s(pd, uarch::CoreConfig(), policy);
+    if (s.run(1'000'000'000ull) != uarch::RunExit::Halted)
+      throw Error("policy " + policy + " did not halt");
+    std::ostringstream os;
+    os << "cycles=" << s.core().cycle()
+       << " insts=" << s.core().committedInsts() << "\n";
+    s.stats().print(os, "");
+    return os.str();
+  };
+
+  std::vector<std::string> sequential;
+  sequential.reserve(policies.size());
+  for (const std::string& p : policies) sequential.push_back(dumpOf(p));
+
+  ThreadPool pool(static_cast<int>(policies.size()));
+  std::vector<std::future<std::string>> futures;
+  for (const std::string& p : policies)
+    futures.push_back(pool.submit([&dumpOf, &p] { return dumpOf(p); }));
+  for (std::size_t i = 0; i < policies.size(); ++i)
+    EXPECT_EQ(futures[i].get(), sequential[i]) << policies[i];
+}
+
+TEST(Sampling, SampledRecordsAreFlaggedAndNeverCached) {
+  const std::string dir = freshDir("sample-cache");
+  JobSpec sampled = smallJob("unsafe");
+  sampled.sampleEveryInsts = 20'000;
+  sampled.sampleWindowInsts = 1'000;
+  ASSERT_TRUE(sampled.sampled());
+  // The sampling knobs join the identity line only when active, so every
+  // exact describe() — and with it every cached exact result — is
+  // untouched by this feature (no kCodeVersionSalt bump needed).
+  EXPECT_EQ(describe(smallJob("unsafe")),
+            describe(sampled).substr(0, describe(sampled).find(" sample=")));
+  EXPECT_NE(describe(sampled).find(" sample=20000:1000"), std::string::npos);
+
+  {
+    ResultCache cache({dir, "sample-salt"});
+    Sweep::Options opts;
+    opts.cache = &cache;
+    Sweep sweep(opts);
+    sweep.add(sampled);
+    const std::vector<RunRecord>& records = sweep.run();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_TRUE(records[0].sampled);
+    EXPECT_FALSE(records[0].fromCache);
+    EXPECT_GT(records[0].summary.cycles, 0u);
+    EXPECT_EQ(sweep.counters().simulated, 1u);
+  }
+  {
+    // Identical sampled sweep against the same cache dir: nothing was
+    // stored, nothing is served — it simulates again.
+    ResultCache cache({dir, "sample-salt"});
+    Sweep::Options opts;
+    opts.cache = &cache;
+    Sweep sweep(opts);
+    sweep.add(sampled);
+    sweep.run();
+    EXPECT_EQ(sweep.counters().cacheHits, 0u);
+    EXPECT_EQ(sweep.counters().simulated, 1u);
+  }
+  {
+    // Control: the exact twin of the same point both stores and serves.
+    ResultCache cache({dir, "sample-salt"});
+    Sweep::Options opts;
+    opts.cache = &cache;
+    Sweep sweep(opts);
+    sweep.add(smallJob("unsafe"));
+    const std::vector<RunRecord>& records = sweep.run();
+    EXPECT_FALSE(records[0].sampled);
+    EXPECT_EQ(sweep.counters().simulated, 1u);
+
+    ResultCache cache2({dir, "sample-salt"});
+    Sweep::Options opts2;
+    opts2.cache = &cache2;
+    Sweep warm(opts2);
+    warm.add(smallJob("unsafe"));
+    const std::vector<RunRecord>& served = warm.run();
+    EXPECT_TRUE(served[0].fromCache);
+    EXPECT_FALSE(served[0].sampled);
+    EXPECT_EQ(warm.counters().cacheHits, 1u);
+  }
+  fs::remove_all(dir);
 }

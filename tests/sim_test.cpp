@@ -3,11 +3,15 @@
 // and memory latencies, under every policy.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "backend/compiler.hpp"
 #include "isa/asmparser.hpp"
+#include "sim/sampling.hpp"
 #include "sim/simulation.hpp"
 #include "support/error.hpp"
 #include "uarch/funcsim.hpp"
+#include "uarch/predecode.hpp"
 #include "workloads/kernels.hpp"
 
 namespace lev::sim {
@@ -168,6 +172,102 @@ TEST(ConfigSweep, LargerRobHelpsMemoryBoundCode) {
   const RunSummary a = runOnce(compiled.program, small, "unsafe");
   const RunSummary b = runOnce(compiled.program, big, "unsafe");
   EXPECT_LT(b.cycles, a.cycles);
+}
+
+// ---- checkpointed sampled simulation (docs/PERF.md) ----------------------
+
+TEST(Sampling, ParseSampleSpecValidatesStrictly) {
+  const SampleOptions s = parseSampleSpec("100000:2000");
+  EXPECT_EQ(s.periodInsts, 100'000u);
+  EXPECT_EQ(s.windowInsts, 2'000u);
+  EXPECT_THROW(parseSampleSpec(""), Error);
+  EXPECT_THROW(parseSampleSpec("100000"), Error);
+  EXPECT_THROW(parseSampleSpec("abc:def"), Error);
+  EXPECT_THROW(parseSampleSpec("100000:"), Error);
+  EXPECT_THROW(parseSampleSpec("0:0"), Error);
+  EXPECT_THROW(parseSampleSpec("1000:0"), Error);   // zero-length window
+  EXPECT_THROW(parseSampleSpec("1000:2000"), Error); // overlapping windows
+}
+
+TEST(Sampling, FullProgramWindowRecoversExactCycleCounts) {
+  // With the window swallowing the whole run the one detailed window starts
+  // from the same architectural state as a fresh exact simulation, so the
+  // "estimate" must degenerate to the exact cycle count bit-for-bit.
+  ir::Module mod = workloads::buildKernel("x264_sad", 1);
+  const backend::CompileResult compiled = backend::compile(mod);
+  const uarch::PredecodedProgram pd(compiled.program);
+  SampleOptions opts;
+  opts.periodInsts = 1'000'000'000ull;
+  opts.windowInsts = 1'000'000'000ull;
+  for (const std::string policy : {"unsafe", "fence", "levioso"}) {
+    Simulation exact(pd, uarch::CoreConfig(), policy);
+    ASSERT_EQ(exact.run(1'000'000'000ull), uarch::RunExit::Halted) << policy;
+    const SampleResult r =
+        runSampled(pd, uarch::CoreConfig(), policy, opts);
+    EXPECT_TRUE(r.exact) << policy;
+    EXPECT_EQ(r.windows, 1u) << policy;
+    EXPECT_EQ(r.estimatedCycles, exact.core().cycle()) << policy;
+    EXPECT_EQ(r.totalInsts, exact.core().committedInsts()) << policy;
+    EXPECT_EQ(r.sampledInsts, r.totalInsts) << policy;
+  }
+}
+
+TEST(Sampling, PeriodicWindowsExtrapolateAndCountCoverage) {
+  ir::Module mod = workloads::buildKernel("gcc_branchy", 1);
+  const backend::CompileResult compiled = backend::compile(mod);
+  const uarch::PredecodedProgram pd(compiled.program);
+  Simulation exact(pd, uarch::CoreConfig(), "unsafe");
+  ASSERT_EQ(exact.run(1'000'000'000ull), uarch::RunExit::Halted);
+
+  SampleOptions opts;
+  opts.periodInsts = 50'000;
+  opts.windowInsts = 2'000;
+  const SampleResult r = runSampled(pd, uarch::CoreConfig(), "unsafe", opts);
+  EXPECT_FALSE(r.exact);
+  EXPECT_GT(r.windows, 1u);
+  // The fast-forward replays the same architectural stream the exact run
+  // commits, so the dynamic instruction count must agree exactly.
+  EXPECT_EQ(r.totalInsts, exact.core().committedInsts());
+  EXPECT_LT(r.sampledInsts, r.totalInsts);
+  EXPECT_GT(r.estimatedCycles, 0u);
+  // The estimate is approximate but must stay in the same decade as the
+  // measured run — a sanity band, not a precision claim.
+  EXPECT_GT(r.estimatedCycles, exact.core().cycle() / 4);
+  EXPECT_LT(r.estimatedCycles, exact.core().cycle() * 4);
+  // Bookkeeping counters surface in the stat dump.
+  EXPECT_EQ(r.stats.get("sample.windows"),
+            static_cast<std::int64_t>(r.windows));
+  EXPECT_EQ(r.stats.get("sim.cycles"),
+            static_cast<std::int64_t>(r.estimatedCycles));
+}
+
+TEST(Sampling, CacheWarmingTightensRestrictivePolicyEstimates) {
+  // fence is the miss-sensitive worst case: an all-miss window start makes
+  // every speculative load stall behind a full memory round-trip, inflating
+  // the estimate severely. Warmed windows must land closer to the exact
+  // cycle count than cold ones — deterministically (no timing involved).
+  ir::Module mod = workloads::buildKernel("gcc_branchy", 2);
+  const backend::CompileResult compiled = backend::compile(mod);
+  const uarch::PredecodedProgram pd(compiled.program);
+  Simulation exact(pd, uarch::CoreConfig(), "fence");
+  ASSERT_EQ(exact.run(1'000'000'000ull), uarch::RunExit::Halted);
+  const double exactCycles = static_cast<double>(exact.core().cycle());
+
+  SampleOptions opts;
+  opts.periodInsts = 50'000;
+  opts.windowInsts = 4'000;
+  const SampleResult warmed = runSampled(pd, uarch::CoreConfig(), "fence", opts);
+  opts.warmCaches = false;
+  const SampleResult cold = runSampled(pd, uarch::CoreConfig(), "fence", opts);
+
+  ASSERT_FALSE(warmed.exact);
+  const double warmErr =
+      std::abs(static_cast<double>(warmed.estimatedCycles) - exactCycles);
+  const double coldErr =
+      std::abs(static_cast<double>(cold.estimatedCycles) - exactCycles);
+  EXPECT_LT(warmErr, coldErr);
+  // And the warmed estimate is genuinely usable: within 10% of exact.
+  EXPECT_LT(warmErr / exactCycles, 0.10);
 }
 
 } // namespace

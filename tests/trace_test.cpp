@@ -201,7 +201,8 @@ struct TracedRun {
       policy = owned.get();
     }
     policy->reset();
-    uarch::O3Core core(prog, uarch::CoreConfig(), *policy, stats);
+    uarch::PredecodedProgram pd(prog);
+    uarch::O3Core core(pd, uarch::CoreConfig(), *policy, stats);
     core.setTraceBuffer(&buffer);
     EXPECT_EQ(core.run(20'000'000), uarch::RunExit::Halted) << policyName;
     core.dumpMetrics();
@@ -385,7 +386,8 @@ TEST(CoreTrace, AttachedBufferDoesNotPerturbTheSimulation) {
   const isa::Program prog = smallProgram();
   StatSet plainStats;
   auto plainPolicy = secure::makePolicy("levioso");
-  uarch::O3Core plain(prog, uarch::CoreConfig(), *plainPolicy, plainStats);
+  uarch::PredecodedProgram pd(prog);
+  uarch::O3Core plain(pd, uarch::CoreConfig(), *plainPolicy, plainStats);
   ASSERT_EQ(plain.run(20'000'000), uarch::RunExit::Halted);
   plain.dumpMetrics();
 

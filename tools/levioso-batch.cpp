@@ -13,6 +13,12 @@
 // executed concurrently; results print in grid order regardless of the
 // execution interleaving.
 //
+// --sample N:M (docs/PERF.md) switches every point to checkpointed sampled
+// simulation: a detailed window of M instructions every N instructions,
+// fast-forwarded functionally in between. Cycle counts become estimates,
+// records are flagged "sampled" in the JSON report, never enter the result
+// cache, and --sample is refused together with --connect.
+//
 // --connect HOST:PORT (docs/SERVE.md) runs the identical grid through a
 // levioso-serve daemon instead of in-process: same table, same version-3
 // JSON report (byte-identical warm-for-warm), same exit taxonomy; the run
@@ -37,6 +43,7 @@
 #include "runner/manifest.hpp"
 #include "runner/sweep.hpp"
 #include "serve/client.hpp"
+#include "sim/sampling.hpp"
 #include "support/cliparse.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
@@ -59,7 +66,8 @@ namespace {
          "                     [--manifest FILE] [--no-manifest]\n"
          "                     [--host-trace FILE] [--quiet] [-v]\n"
          "                     [--keep-going|--fail-fast] [--retries N]\n"
-         "                     [--deadline-ms N] [--connect HOST:PORT]\n"
+         "                     [--deadline-ms N] [--sample N:M]\n"
+         "                     [--connect HOST:PORT]\n"
          "exit codes: 0 all points ok, 1 partial failure (--keep-going),\n"
          "            2 bad input, 3 total failure\n";
   std::exit(2);
@@ -136,6 +144,10 @@ struct BatchConfig {
   std::vector<std::string> kernels, policies;
   std::vector<int> scales, budgets, robs, widths, drams;
   std::int64_t deadlineMs = 0;
+  /// --sample N:M (docs/PERF.md): 0 = exact. Sampled points are estimates,
+  /// never cached, and refused in --connect mode (remote workers share a
+  /// cache whose records must all be exact).
+  std::uint64_t sampleEveryInsts = 0, sampleWindowInsts = 0;
   bool csv = false, includeStats = false, quiet = false;
   bool writeManifest = true;
   std::string jsonPath, manifestPath;
@@ -161,6 +173,8 @@ template <class SweepT> void addGrid(SweepT& sweep, const BatchConfig& cfg) {
                       spec.cfg.issueWidth = spec.cfg.commitWidth = width;
                 if (dram > 0) spec.cfg.mem.memLatency = dram;
                 spec.deadlineMicros = cfg.deadlineMs * 1000;
+                spec.sampleEveryInsts = cfg.sampleEveryInsts;
+                spec.sampleWindowInsts = cfg.sampleWindowInsts;
                 sweep.add(spec);
               }
 }
@@ -336,6 +350,16 @@ int main(int argc, char** argv) {
     else if (a == "--deadline-ms")
       cfg.deadlineMs =
           requireIntArg("levioso-batch", "--deadline-ms", next(), 0, 86'400'000);
+    else if (a == "--sample") {
+      try {
+        const sim::SampleOptions s = sim::parseSampleSpec(next());
+        cfg.sampleEveryInsts = s.periodInsts;
+        cfg.sampleWindowInsts = s.windowInsts;
+      } catch (const Error& e) {
+        std::cerr << "levioso-batch: " << e.what() << "\n";
+        return 2;
+      }
+    }
     else if (a == "--quiet") {
       cfg.quiet = true;
       log::setThreshold(log::Level::Warn);
@@ -345,6 +369,12 @@ int main(int argc, char** argv) {
       usage();
   }
   if (cfg.kernels.empty() || cfg.policies.empty()) usage();
+  if (cfg.sampleEveryInsts > 0 && !connect.empty()) {
+    std::cerr << "levioso-batch: --sample cannot be combined with --connect "
+                 "(sampled results are estimates and must not enter the "
+                 "shared serve cache)\n";
+    return 2;
+  }
   if (cfg.kernels.size() == 1 && cfg.kernels[0] == "all")
     cfg.kernels = workloads::kernelNames();
 

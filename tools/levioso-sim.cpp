@@ -5,10 +5,13 @@
 //   levioso-sim file.asm --policy spt          (assembly with !deps hints)
 //   levioso-sim file.ir --policy dom --budget 2
 //   levioso-sim --kernel mcf_chase --policy unsafe,spt,levioso --jobs 4
+//   levioso-sim --kernel mcf_chase --sample 100000:2000
 //   options: --rob N --width N --dram N --jobs N --golden --dump-stats
 //
 // A comma-separated --policy list on a --kernel run fans the policies out
-// as one concurrent sweep on the runner subsystem.
+// as one concurrent sweep on the runner subsystem. --sample N:M switches to
+// checkpointed sampled simulation (docs/PERF.md): cycle counts become
+// estimates, are flagged as such, and are never cached.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -17,6 +20,7 @@
 #include "ir/parser.hpp"
 #include "isa/asmparser.hpp"
 #include "runner/sweep.hpp"
+#include "sim/sampling.hpp"
 #include "sim/simulation.hpp"
 #include "support/cliparse.hpp"
 #include "support/strings.hpp"
@@ -31,7 +35,7 @@ namespace {
   std::cerr
       << "usage: levioso-sim (<file.ir>|<file.asm>|--kernel <name>) "
          "[--policy P[,Q,..]] [--budget K] [--rob N] [--width N] [--dram N] "
-         "[--jobs N] [--golden] [--dump-stats]\n";
+         "[--jobs N] [--sample N:M] [--golden] [--dump-stats]\n";
   std::exit(2);
 }
 
@@ -51,6 +55,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> policies = {"unsafe"};
   int budget = 4, rob = 0, width = 0, dram = 0, jobs = 0;
   bool golden = false, dumpStats = false;
+  sim::SampleOptions sample;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--kernel" && i + 1 < argc)
@@ -70,7 +75,14 @@ int main(int argc, char** argv) {
       dram = requireIntArg("levioso-sim", "--dram", argv[++i], 0, 1 << 20);
     else if (a == "--jobs" && i + 1 < argc)
       jobs = requireIntArg("levioso-sim", "--jobs", argv[++i], 0, 4096);
-    else if (a == "--golden")
+    else if (a == "--sample" && i + 1 < argc) {
+      try {
+        sample = sim::parseSampleSpec(argv[++i]);
+      } catch (const Error& e) {
+        std::cerr << "levioso-sim: " << e.what() << "\n";
+        return 2;
+      }
+    } else if (a == "--golden")
       golden = true;
     else if (a == "--dump-stats")
       dumpStats = true;
@@ -103,12 +115,17 @@ int main(int argc, char** argv) {
               spec.cfg.commitWidth = width;
         if (dram > 0) spec.cfg.mem.memLatency = dram;
         spec.maxCycles = 10'000'000'000ull;
+        spec.sampleEveryInsts = sample.periodInsts;
+        spec.sampleWindowInsts = sample.windowInsts;
         sweep.add(spec);
       }
       const std::vector<runner::RunRecord>& records = sweep.run();
       for (std::size_t i = 0; i < records.size(); ++i) {
         printSummary(policies[i], records[i].summary.cycles,
                      records[i].summary.insts);
+        if (records[i].sampled)
+          std::cout << "  (sampled estimate; --sample " << sample.periodInsts
+                    << ":" << sample.windowInsts << ")\n";
         if (dumpStats)
           for (const auto& [name, value] : records[i].stats)
             std::cout << "  " << name << " = " << value << "\n";
@@ -152,6 +169,20 @@ int main(int argc, char** argv) {
       cfg.fetchWidth = cfg.renameWidth = cfg.issueWidth = cfg.commitWidth =
           width;
     if (dram > 0) cfg.mem.memLatency = dram;
+
+    if (sample.periodInsts > 0) {
+      const uarch::PredecodedProgram pd(prog);
+      const sim::SampleResult r =
+          sim::runSampled(pd, cfg, policy, sample, 10'000'000'000ull);
+      printSummary(policy, r.estimatedCycles, r.totalInsts);
+      std::cout << "  (" << (r.exact ? "exact: windows covered every "
+                                       "instruction"
+                                     : "sampled estimate")
+                << "; " << r.windows << " windows, " << r.sampledInsts
+                << " detailed insts)\n";
+      if (dumpStats) r.stats.print(std::cout, "  ");
+      return 0;
+    }
 
     sim::Simulation s(prog, cfg, policy);
     if (s.run(10'000'000'000ull) != uarch::RunExit::Halted)

@@ -142,7 +142,8 @@ int main(int argc, char** argv) {
 
     StatSet stats;
     auto pol = secure::makePolicy(policy);
-    uarch::O3Core core(prog, uarch::CoreConfig(), *pol, stats);
+    uarch::PredecodedProgram pd(prog);
+    uarch::O3Core core(pd, uarch::CoreConfig(), *pol, stats);
 
     trace::TraceBuffer buffer(bufferCap);
     core.setTraceBuffer(&buffer);
