@@ -80,6 +80,16 @@ void writeManifest(std::ostream& os, const Manifest& m) {
     w.field("puts", m.serve->remoteCachePuts);
     w.field("rejected", m.serve->remoteCacheRejected);
     w.endObject();
+    if (m.serve->daemonUptimeMicros >= 0) {
+      w.key("status").beginObject();
+      w.field("daemonSalt", m.serve->daemonSalt);
+      w.field("daemonUptimeMicros", m.serve->daemonUptimeMicros);
+      w.field("daemonProtocolVersion", m.serve->daemonProtocolVersion);
+      w.field("clockOffsetMicros", m.serve->clockOffsetMicros);
+      w.field("clockRttMicros", m.serve->clockRttMicros);
+      w.field("workerSpans", m.serve->workerSpans);
+      w.endObject();
+    }
     w.endObject();
   }
   if (m.fuzz) {
@@ -117,6 +127,10 @@ void writeManifest(std::ostream& os, const Manifest& m) {
     w.field("startMicros", s.startMicros);
     w.field("endMicros", s.endMicros);
     w.field("durMicros", s.endMicros - s.startMicros);
+    // Cross-host fields (manifest v5): only distributed runs set them, so
+    // local manifests keep their exact pre-v5 entry layout.
+    if (!s.host.empty()) w.field("host", s.host);
+    if (!s.traceId.empty()) w.field("traceId", s.traceId);
     w.endObject();
   }
   w.endArray();

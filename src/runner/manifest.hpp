@@ -23,10 +23,12 @@ namespace lev::runner {
 
 /// Version 3 added the optional "serve" section (distributed runs,
 /// docs/SERVE.md); version 4 the optional "fuzz" section (security-fuzzing
-/// runs, docs/FUZZING.md). Both are absent unless their subsystem ran, so
-/// older consumers of other tools' manifests only see the version number
-/// change.
-inline constexpr int kManifestVersion = 4;
+/// runs, docs/FUZZING.md); version 5 the optional "serve.status" subsection
+/// (the daemon handshake snapshot) and optional "host"/"traceId" fields on
+/// timing entries (cross-host spans). All are absent unless their subsystem
+/// ran, so older consumers of other tools' manifests only see the version
+/// number change.
+inline constexpr int kManifestVersion = 5;
 
 struct Manifest {
   std::string tool;              ///< producing binary ("levioso-batch", ...)
@@ -56,6 +58,15 @@ struct Manifest {
     std::uint64_t remoteCacheMisses = 0;
     std::uint64_t remoteCachePuts = 0;
     std::uint64_t remoteCacheRejected = 0; ///< refused by admission control
+    // Status-handshake snapshot (manifest v5, docs/SERVE.md "Live
+    // status"); serialized as a "status" subobject only when the
+    // handshake happened (daemonUptimeMicros >= 0).
+    std::string daemonSalt;
+    std::int64_t daemonUptimeMicros = -1;
+    int daemonProtocolVersion = 0;
+    std::int64_t clockOffsetMicros = 0; ///< daemonClock - clientClock
+    std::int64_t clockRttMicros = -1;
+    std::uint64_t workerSpans = 0; ///< worker-side spans merged this run
   };
   std::optional<ServeInfo> serve;
 

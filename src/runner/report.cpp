@@ -1,6 +1,8 @@
 #include "runner/report.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <map>
 #include <set>
 
@@ -206,6 +208,10 @@ Diff diffManifest(const JsonValue& oldDoc, const JsonValue& newDoc) {
       {"serve.remoteCache.hits", {"serve", "remoteCache", "hits"}},
       {"serve.remoteCache.misses", {"serve", "remoteCache", "misses"}},
       {"serve.remoteCache.rejected", {"serve", "remoteCache", "rejected"}},
+      {"serve.status.workerSpans", {"serve", "status", "workerSpans"}},
+      {"serve.status.clockRttMicros", {"serve", "status", "clockRttMicros"}},
+      {"serve.status.daemonUptimeMicros",
+       {"serve", "status", "daemonUptimeMicros"}},
   };
   for (const auto& m : kMetrics) {
     const double oldV = numberAt(oldDoc, m.path);
@@ -236,6 +242,50 @@ Diff diffManifest(const JsonValue& oldDoc, const JsonValue& newDoc) {
   return d;
 }
 
+std::size_t arraySizeAt(const JsonValue& doc, const std::string& key) {
+  if (!doc.has(key)) return 0;
+  const JsonValue& v = doc.at(key);
+  return v.kind == JsonValue::Kind::Array ? v.items.size() : 0;
+}
+
+Diff diffServeStatus(const JsonValue& oldDoc, const JsonValue& newDoc) {
+  Diff d{Table({"metric", "old", "new", "delta"}), {}, {}};
+  const struct {
+    const char* name;
+    std::vector<std::string> path;
+  } kMetrics[] = {
+      {"uptimeMicros", {"uptimeMicros"}},
+      {"queued", {"queued"}},
+      {"workersSeen", {"workersSeen"}},
+      {"redispatches", {"redispatches"}},
+      {"jobsCompleted", {"jobsCompleted"}},
+      {"remoteCache.hits", {"remoteCache", "hits"}},
+      {"remoteCache.misses", {"remoteCache", "misses"}},
+      {"remoteCache.puts", {"remoteCache", "puts"}},
+      {"remoteCache.rejected", {"remoteCache", "rejected"}},
+  };
+  for (const auto& m : kMetrics) {
+    const double oldV = numberAt(oldDoc, m.path);
+    const double newV = numberAt(newDoc, m.path);
+    if (std::isnan(oldV) && std::isnan(newV)) continue;
+    d.table.addRow({m.name, std::isnan(oldV) ? "-" : fmtF(oldV, 0),
+                    std::isnan(newV) ? "-" : fmtF(newV, 0),
+                    (std::isnan(oldV) || std::isnan(newV))
+                        ? "n/a"
+                        : deltaPct(oldV, newV)});
+  }
+  d.table.addRow({"workers", fmtF(arraySizeAt(oldDoc, "workers"), 0),
+                  fmtF(arraySizeAt(newDoc, "workers"), 0), "n/a"});
+  d.table.addRow({"inflight", fmtF(arraySizeAt(oldDoc, "inflight"), 0),
+                  fmtF(arraySizeAt(newDoc, "inflight"), 0), "n/a"});
+  if (oldDoc.has("salt") && newDoc.has("salt") &&
+      oldDoc.at("salt").str != newDoc.at("salt").str)
+    d.notes.push_back("daemon version salt changed: '" +
+                      oldDoc.at("salt").str + "' -> '" +
+                      newDoc.at("salt").str + "'");
+  return d;
+}
+
 } // namespace
 
 FileKind detectKind(const json::JsonValue& doc) {
@@ -243,6 +293,8 @@ FileKind detectKind(const json::JsonValue& doc) {
   if (doc.has("manifestVersion")) return FileKind::Manifest;
   if (doc.has("results") && doc.has("counters")) return FileKind::BatchReport;
   if (doc.has("policies") && doc.has("bench")) return FileKind::SpeedBaseline;
+  if (doc.has("uptimeMicros") && doc.has("workers"))
+    return FileKind::ServeStatus;
   return FileKind::Unknown;
 }
 
@@ -251,6 +303,7 @@ const char* kindName(FileKind kind) {
   case FileKind::BatchReport: return "runner report";
   case FileKind::SpeedBaseline: return "speed baseline";
   case FileKind::Manifest: return "run manifest";
+  case FileKind::ServeStatus: return "serve status";
   case FileKind::Unknown: return "unknown";
   }
   return "?";
@@ -288,10 +341,73 @@ Diff diff(const json::JsonValue& oldDoc, const json::JsonValue& newDoc,
   case FileKind::BatchReport: return diffBatch(oldDoc, newDoc, opts);
   case FileKind::SpeedBaseline: return diffSpeed(oldDoc, newDoc, opts);
   case FileKind::Manifest: return diffManifest(oldDoc, newDoc);
+  case FileKind::ServeStatus: return diffServeStatus(oldDoc, newDoc);
   case FileKind::Unknown: break;
   }
   throw Error("unrecognized document schema (expected a runner report, a "
-              "micro_speed baseline, or a run manifest)");
+              "micro_speed baseline, a run manifest, or a serve status "
+              "snapshot)");
+}
+
+Diff summarizeMetricsLog(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open metrics log '" + path + "'");
+  std::vector<JsonValue> snaps;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    JsonValue v;
+    try {
+      v = json::parse(line);
+    } catch (const Error& e) {
+      throw Error("metrics log '" + path + "' line " +
+                  std::to_string(lineNo) + ": " + e.what());
+    }
+    if (detectKind(v) != FileKind::ServeStatus)
+      throw Error("metrics log '" + path + "' line " +
+                  std::to_string(lineNo) +
+                  " is not a serve status snapshot");
+    snaps.push_back(std::move(v));
+  }
+  if (snaps.empty())
+    throw Error("metrics log '" + path + "' has no snapshots");
+
+  double peakQueued = 0, peakInflight = 0, peakWorkers = 0;
+  for (const JsonValue& s : snaps) {
+    peakQueued = std::max(peakQueued, numberAt(s, {"queued"}));
+    peakInflight =
+        std::max(peakInflight, static_cast<double>(arraySizeAt(s, "inflight")));
+    peakWorkers =
+        std::max(peakWorkers, static_cast<double>(arraySizeAt(s, "workers")));
+  }
+  const JsonValue& first = snaps.front();
+  const JsonValue& last = snaps.back();
+  const double covered =
+      numberAt(last, {"uptimeMicros"}) - numberAt(first, {"uptimeMicros"});
+
+  Diff d{Table({"metric", "value"}), {}, {}};
+  d.table.addRow({"snapshots", fmtF(static_cast<double>(snaps.size()), 0)});
+  d.table.addRow({"coveredMicros", fmtF(covered, 0)});
+  d.table.addRow({"peak.queued", fmtF(peakQueued, 0)});
+  d.table.addRow({"peak.inflight", fmtF(peakInflight, 0)});
+  d.table.addRow({"peak.workers", fmtF(peakWorkers, 0)});
+  d.table.addRow(
+      {"jobsCompleted", fmtF(numberAt(last, {"jobsCompleted"}), 0)});
+  d.table.addRow({"redispatches", fmtF(numberAt(last, {"redispatches"}), 0)});
+  d.table.addRow(
+      {"remoteCache.hits", fmtF(numberAt(last, {"remoteCache", "hits"}), 0)});
+  d.table.addRow({"remoteCache.misses",
+                  fmtF(numberAt(last, {"remoteCache", "misses"}), 0)});
+  const double endQueued = numberAt(last, {"queued"});
+  const double endInflight = static_cast<double>(arraySizeAt(last, "inflight"));
+  if (endQueued > 0 || endInflight > 0)
+    d.notes.push_back("log ends with work outstanding (queued=" +
+                      fmtF(endQueued, 0) + ", inflight=" +
+                      fmtF(endInflight, 0) +
+                      "): the daemon stopped mid-sweep");
+  return d;
 }
 
 } // namespace lev::runner::report

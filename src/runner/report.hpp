@@ -14,6 +14,10 @@
 //   * run manifests               ({"manifestVersion": 1})
 //     -> host-side counters (wall time, hit rate, steals, store failures);
 //        report-only.
+//   * serve status snapshots      ({"uptimeMicros", "workers": [...]})
+//     -> daemon-side counters (queue depth, workers, remote cache);
+//        report-only. The same schema a StatusReply frame, a levioso-top
+//        --json poll and a --metrics-log line all carry (docs/SERVE.md).
 #pragma once
 
 #include <string>
@@ -24,7 +28,13 @@
 
 namespace lev::runner::report {
 
-enum class FileKind { BatchReport, SpeedBaseline, Manifest, Unknown };
+enum class FileKind {
+  BatchReport,
+  SpeedBaseline,
+  Manifest,
+  ServeStatus,
+  Unknown,
+};
 
 /// Classify a parsed document by its schema markers.
 FileKind detectKind(const json::JsonValue& doc);
@@ -55,5 +65,11 @@ Diff diff(const json::JsonValue& oldDoc, const json::JsonValue& newDoc,
 /// The baseline policy itself is omitted. Exposed for tests.
 std::vector<std::pair<std::string, double>>
 policyOverheads(const json::JsonValue& doc, const std::string& baselinePolicy);
+
+/// Summarize a daemon --metrics-log file (JSON lines of serve status
+/// snapshots, docs/OBSERVABILITY.md): covered time, peak queue/inflight
+/// depth, completed-job and redispatch deltas over the log. Throws
+/// lev::Error when the file cannot be read or a line does not parse.
+Diff summarizeMetricsLog(const std::string& path);
 
 } // namespace lev::runner::report

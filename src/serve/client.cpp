@@ -1,6 +1,7 @@
 #include "serve/client.hpp"
 
 #include <chrono>
+#include <iterator>
 #include <map>
 #include <set>
 
@@ -32,7 +33,9 @@ std::int64_t nowMicros() {
 
 } // namespace
 
-RemoteSweep::RemoteSweep(Options opts) : opts_(std::move(opts)) {}
+RemoteSweep::RemoteSweep(Options opts) : opts_(std::move(opts)) {
+  epochMicros_ = nowMicros();
+}
 
 int RemoteSweep::threadCount() const {
   return runner::resolveJobs(opts_.jobs);
@@ -70,10 +73,52 @@ const std::vector<runner::RunRecord>& RemoteSweep::run() {
   sock::Fd fd = sock::connectTo(host, port);
   serveStats_.endpoint = opts_.endpoint;
 
+  framing::FrameDecoder dec;
+  char buf[65536];
+  // Next decoded frame, transparently skipping unknown types (a newer
+  // daemon); blocks until one arrives.
+  const auto nextFrame = [&]() -> Message {
+    for (;;) {
+      while (auto payload = dec.next()) {
+        Message m = decodeMessage(*payload);
+        if (m.type != MsgType::Unknown) return m;
+      }
+      const std::size_t n = sock::readSome(fd.get(), buf, sizeof(buf));
+      if (n == 0)
+        throw TransientError("daemon closed the connection mid-run");
+      dec.feed(buf, n);
+    }
+  };
+
+  // 2a. Status handshake: pairs the daemon's clock against ours (NTP
+  // midpoint over one round trip) so dispatch timestamps on Outcomes can
+  // be placed on this run's trace, and records the daemon's version salt
+  // and uptime for the manifest (docs/SERVE.md "Distributed tracing").
   Message hello;
   hello.type = MsgType::Hello;
   hello.role = "client";
-  std::string outBytes = framing::encodeFrame(encodeMessage(hello));
+  std::int64_t daemonOffset = 0;
+  {
+    Message statusReq;
+    statusReq.type = MsgType::Status;
+    const std::int64_t t0 = nowMicros();
+    sock::writeAll(fd.get(),
+                   framing::encodeFrame(encodeMessage(hello)) +
+                       framing::encodeFrame(encodeMessage(statusReq)));
+    Message reply = nextFrame();
+    const std::int64_t t1 = nowMicros();
+    if (reply.type != MsgType::StatusReply)
+      throw Error(std::string("expected statusReply from daemon, got ") +
+                  msgTypeName(reply.type));
+    serveStats_.daemonSalt = reply.status.salt;
+    serveStats_.daemonUptimeMicros = reply.status.uptimeMicros;
+    serveStats_.daemonProtocolVersion = reply.status.protocolVersion;
+    serveStats_.clockRttMicros = t1 - t0;
+    daemonOffset = reply.status.nowMicros - (t0 + t1) / 2;
+    serveStats_.clockOffsetMicros = daemonOffset;
+  }
+
+  std::string outBytes;
   for (std::size_t slot = 0; slot < nUnique; ++slot) {
     Message m;
     m.type = MsgType::Submit;
@@ -98,11 +143,10 @@ const std::vector<runner::RunRecord>& RemoteSweep::run() {
   std::size_t settledCount = 0;
   bool cancelSent = false;
   bool sawStats = false;
-  framing::FrameDecoder dec;
-  char buf[65536];
   while (!sawStats) {
     while (auto payload = dec.next()) {
       Message m = decodeMessage(*payload);
+      if (m.type == MsgType::Unknown) continue;
       if (m.type == MsgType::Stats) {
         serveStats_.workersSeen = m.workersSeen;
         serveStats_.redispatches = m.redispatchTotal;
@@ -126,6 +170,20 @@ const std::vector<runner::RunRecord>& RemoteSweep::run() {
       uniqueOutcomes[slot] = m.outcome;
       serveStats_.runRedispatches += m.redispatches;
       counters_.retries += m.retries;
+      // Merge this job's cross-host spans into the client trace. Jobs the
+      // daemon answered straight from its cache tier never dispatched, so
+      // they carry no dispatch timestamps and add no spans.
+      if (m.resultMicros != 0) {
+        serveStats_.workerSpans += m.spans.size();
+        auto merged = mergeOutcomeSpans(
+            descriptions_[slotSpec[slot]], m.workerConn, std::move(m.traceId),
+            m.submitMicros, m.dispatchMicros, m.resultMicros,
+            std::move(m.spans), m.clockOffsetMicros, m.offsetRttMicros,
+            daemonOffset, epochMicros_);
+        hostSpans_.insert(hostSpans_.end(),
+                          std::make_move_iterator(merged.begin()),
+                          std::make_move_iterator(merged.end()));
+      }
       if (m.outcome.ok) {
         if (!m.hasRecord)
           throw Error("ok outcome without a record for job " +
@@ -204,6 +262,64 @@ const std::vector<runner::RunRecord>& RemoteSweep::run() {
 void RemoteSweep::writeJson(std::ostream& os, bool includeStats) const {
   runner::writeReportJson(os, specs_, descriptions_, results_, outcomes_,
                           counters_, threadCount(), includeStats);
+}
+
+void RemoteSweep::writeHostTrace(std::ostream& os) const {
+  trace::writeHostChromeTrace(os, hostSpans_);
+}
+
+std::vector<trace::HostSpan> mergeOutcomeSpans(
+    const std::string& label, std::uint64_t workerConn, std::string traceId,
+    std::int64_t submitMicros, std::int64_t dispatchMicros,
+    std::int64_t resultMicros, std::vector<trace::HostSpan> workerSpans,
+    std::int64_t workerOffsetMicros, std::int64_t workerOffsetRttMicros,
+    std::int64_t daemonOffsetMicros, std::int64_t clientEpochMicros) {
+  // daemonClock -> client trace time (micros since the client epoch).
+  const auto toClient = [&](std::int64_t daemonTs) {
+    return daemonTs - daemonOffsetMicros - clientEpochMicros;
+  };
+  std::vector<trace::HostSpan> out;
+  out.reserve(1 + workerSpans.size());
+  trace::HostSpan d;
+  d.label = label;
+  d.phase = "dispatch";
+  d.worker = static_cast<int>(workerConn);
+  d.host = "daemon";
+  d.traceId = traceId;
+  d.queuedMicros = toClient(submitMicros);
+  d.startMicros = toClient(dispatchMicros);
+  d.endMicros = toClient(resultMicros);
+  out.push_back(d);
+  if (workerSpans.empty()) return out;
+
+  // workerClock -> client trace time. Without an offset estimate (the
+  // worker's first ack never landed) fall back to pinning the worker's
+  // first span to the dispatch instant — relative phase durations stay
+  // exact, only the absolute placement is approximate.
+  std::int64_t shift;
+  if (workerOffsetRttMicros >= 0)
+    shift = workerOffsetMicros - daemonOffsetMicros - clientEpochMicros;
+  else
+    shift = d.startMicros - workerSpans.front().startMicros;
+  // Clamp into the dispatch -> result window: the daemon OBSERVED the job
+  // leave and return inside it, so spans poking outside are offset noise,
+  // and clamping guarantees the merged trace nests causally.
+  const auto clamp = [&](std::int64_t t) {
+    return t < d.startMicros ? d.startMicros
+                             : (t > d.endMicros ? d.endMicros : t);
+  };
+  const std::string host = "worker-" + std::to_string(workerConn);
+  for (trace::HostSpan& s : workerSpans) {
+    s.label = label;
+    s.worker = static_cast<int>(workerConn);
+    s.host = host;
+    s.traceId = traceId;
+    s.queuedMicros = clamp(s.queuedMicros + shift);
+    s.startMicros = clamp(s.startMicros + shift);
+    s.endMicros = clamp(s.endMicros + shift);
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 } // namespace lev::serve

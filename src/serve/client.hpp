@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "runner/sweep.hpp"
+#include "trace/export.hpp"
 
 namespace lev::serve {
 
@@ -70,8 +71,23 @@ public:
     std::uint64_t remoteMisses = 0;
     std::uint64_t remotePuts = 0;
     std::uint64_t remoteRejected = 0;
+    // From the Status handshake (manifest v5 "serve.status" section):
+    std::string daemonSalt;               ///< daemon's kCodeVersionSalt
+    std::int64_t daemonUptimeMicros = -1; ///< -1 = no handshake (old daemon)
+    int daemonProtocolVersion = 0;
+    std::int64_t clockOffsetMicros = 0; ///< daemonClock - clientClock
+    std::int64_t clockRttMicros = -1;   ///< handshake round trip; -1 = none
+    std::uint64_t workerSpans = 0;      ///< worker-side spans merged
   };
   const ServeStats& serveStats() const { return serveStats_; }
+
+  /// The merged cross-host trace (docs/SERVE.md "Distributed tracing"):
+  /// one daemon-side dispatch span per settled job plus the worker-side
+  /// phase spans, all mapped into THIS process's clock with time zero at
+  /// RemoteSweep construction.
+  const std::vector<trace::HostSpan>& hostSpans() const { return hostSpans_; }
+  /// Chrome trace-event JSON of hostSpans() (trace::writeHostChromeTrace).
+  void writeHostTrace(std::ostream& os) const;
 
 private:
   Options opts_;
@@ -81,8 +97,26 @@ private:
   std::vector<runner::JobOutcome> outcomes_;
   runner::Sweep::Counters counters_;
   ServeStats serveStats_;
+  std::vector<trace::HostSpan> hostSpans_;
+  std::int64_t epochMicros_ = 0; ///< construction time: trace time zero
   std::int64_t wallMicros_ = 0;
   bool ran_ = false;
 };
+
+/// Merge one settled job's cross-host spans into CLIENT trace time
+/// (microseconds since clientEpochMicros). Emits the daemon's dispatch
+/// span (queued at submit, running dispatch -> result, host "daemon")
+/// followed by the worker's phase spans (host "worker-<conn>"), mapped
+/// through workerOffset/daemonOffset and CLAMPED into the dispatch ->
+/// result window so the merged trace is causally nested even when the
+/// offset estimates carry noise. When the worker never got an offset
+/// estimate (workerOffsetRttMicros < 0) its spans are aligned so the
+/// first one starts at dispatch. Exposed for tests.
+std::vector<trace::HostSpan> mergeOutcomeSpans(
+    const std::string& label, std::uint64_t workerConn, std::string traceId,
+    std::int64_t submitMicros, std::int64_t dispatchMicros,
+    std::int64_t resultMicros, std::vector<trace::HostSpan> workerSpans,
+    std::int64_t workerOffsetMicros, std::int64_t workerOffsetRttMicros,
+    std::int64_t daemonOffsetMicros, std::int64_t clientEpochMicros);
 
 } // namespace lev::serve

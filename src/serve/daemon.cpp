@@ -1,6 +1,7 @@
 #include "serve/daemon.hpp"
 
 #include <chrono>
+#include <fstream>
 #include <map>
 #include <vector>
 
@@ -11,7 +12,9 @@
 #include "serve/queue.hpp"
 #include "support/error.hpp"
 #include "support/framing.hpp"
+#include "support/json.hpp"
 #include "support/log.hpp"
+#include "trace/metrics.hpp"
 
 namespace lev::serve {
 
@@ -40,6 +43,10 @@ struct Daemon::Impl {
     std::size_t outstanding = 0;    ///< client jobs not yet answered
     bool statsSent = false;
     bool dead = false; ///< marked for removal after the event sweep
+    // Introspection (Status snapshots, docs/SERVE.md "Live status"):
+    std::int64_t lastHeartbeatMicros = -1; ///< workers; -1 = none yet
+    std::uint64_t jobsCompleted = 0;       ///< results this worker sent
+    std::uint64_t failures = 0;            ///< results carrying !ok
   };
 
   struct JobState {
@@ -51,6 +58,10 @@ struct Daemon::Impl {
     std::int64_t backoffMicros = 1000;
     std::uint64_t dispatches = 0;
     std::uint64_t worker = 0; ///< conn id while leased
+    std::int64_t submitMicros = 0;   ///< daemon clock at Submit
+    std::int64_t dispatchMicros = 0; ///< daemon clock at last lease grant
+    std::string traceId; ///< stamped at first dispatch, stable across
+                         ///< re-dispatches (one logical job, one trace)
   };
 
   DaemonOptions opts;
@@ -63,6 +74,11 @@ struct Daemon::Impl {
   std::uint64_t nextJobId = 1;
   int stopPipe[2] = {-1, -1};
   Stats stats;
+  const std::int64_t startMicros = nowMicros();
+  /// Job-latency histograms dumped into every Status snapshot:
+  /// serve.queueMicros (submit -> dispatch), serve.jobMicros (dispatch ->
+  /// result), serve.heartbeatRttMicros (workers' reported ack RTTs).
+  trace::MetricsRegistry metrics;
 
   explicit Impl(DaemonOptions o, sock::Listener l)
       : opts(std::move(o)), listener(std::move(l)) {
@@ -102,7 +118,7 @@ struct Daemon::Impl {
     maybeFinishClient(client);
   }
 
-  Message outcomeFor(const JobState& job, const Message& result) {
+  Message outcomeFor(const JobState& job, Message& result) {
     Message m;
     m.type = MsgType::Outcome;
     m.id = job.submitId;
@@ -111,7 +127,18 @@ struct Daemon::Impl {
     m.retries = result.retries;
     m.redispatches = job.dispatches == 0 ? 0 : job.dispatches - 1;
     m.hasRecord = result.hasRecord;
-    m.record = result.record;
+    m.record = std::move(result.record);
+    // Distributed-tracing freight (docs/SERVE.md): the job's daemon-clock
+    // lifecycle, the answering worker, and the worker's own phase spans +
+    // clock-offset estimate, forwarded verbatim for the client to merge.
+    m.traceId = job.traceId;
+    m.submitMicros = job.submitMicros;
+    m.dispatchMicros = job.dispatchMicros;
+    m.resultMicros = nowMicros();
+    m.workerConn = job.worker;
+    m.clockOffsetMicros = result.clockOffsetMicros;
+    m.offsetRttMicros = result.offsetRttMicros;
+    m.spans = std::move(result.spans);
     return m;
   }
 
@@ -192,6 +219,7 @@ struct Daemon::Impl {
       job.desc = std::move(m.desc);
       job.maxRetries = m.maxRetries;
       job.backoffMicros = m.backoffMicros;
+      job.submitMicros = nowMicros();
       jobs.emplace(jobId, std::move(job));
       ++c.outstanding;
       queue.push(connId, jobId);
@@ -228,6 +256,17 @@ struct Daemon::Impl {
       c.pulling = true;
       break;
     case MsgType::Heartbeat:
+      c.lastHeartbeatMicros = nowMicros();
+      // A timestamped heartbeat gets an ack so the worker can estimate
+      // its clock offset to the daemon; bare ones (old workers) just
+      // renew the lease as before.
+      if (m.hbSentMicros >= 0) {
+        Message ack;
+        ack.type = MsgType::HeartbeatAck;
+        ack.echoMicros = m.hbSentMicros;
+        ack.ackNowMicros = nowMicros();
+        send(c, ack);
+      }
       break;
     case MsgType::Result: {
       if (m.id != c.leased)
@@ -235,8 +274,18 @@ struct Daemon::Impl {
                     " while leasing " + std::to_string(c.leased));
       const std::uint64_t jobId = c.leased;
       c.leased = 0;
+      ++c.jobsCompleted;
+      if (!m.outcome.ok) ++c.failures;
+      if (m.offsetRttMicros >= 0)
+        metrics.histogram("serve.heartbeatRttMicros")
+            .add(static_cast<std::uint64_t>(m.offsetRttMicros));
       auto it = jobs.find(jobId);
-      if (it != jobs.end()) settleJob(jobId, outcomeFor(it->second, m));
+      if (it != jobs.end()) {
+        const std::int64_t waited = nowMicros() - it->second.dispatchMicros;
+        metrics.histogram("serve.jobMicros")
+            .add(waited > 0 ? static_cast<std::uint64_t>(waited) : 0);
+        settleJob(jobId, outcomeFor(it->second, m));
+      }
       break;
     }
     case MsgType::CacheGet: {
@@ -287,8 +336,93 @@ struct Daemon::Impl {
       }
       return;
     }
+    // Forward compatibility (docs/SERVE.md): a frame type this build does
+    // not know is skipped, not fatal — a newer peer keeps working against
+    // an older daemon as long as the frames it NEEDS answered are known.
+    if (m.type == MsgType::Unknown) {
+      LEV_LOG_INFO("serve", "skipping frame of unknown type",
+                   {{"conn", connId}});
+      return;
+    }
+    // Status is answerable at ANY time by ANY peer — it reads daemon
+    // state without touching job accounting, so a levioso-top poller can
+    // share a connection role with a real client or worker.
+    if (m.type == MsgType::Status) {
+      if (c.role == Role::Worker) renewLease(c);
+      Message reply;
+      reply.type = MsgType::StatusReply;
+      reply.status = buildStatus();
+      send(c, reply);
+      return;
+    }
     if (c.role == Role::Client) handleClientFrame(connId, c, m);
     else handleWorkerFrame(connId, c, m);
+  }
+
+  /// One live snapshot of everything the daemon knows (docs/SERVE.md
+  /// "Live status"): shared by StatusReply frames and --metrics-log lines.
+  StatusInfo buildStatus() {
+    const std::int64_t now = nowMicros();
+    StatusInfo s;
+    s.nowMicros = now;
+    s.uptimeMicros = now - startMicros;
+    s.salt = runner::kCodeVersionSalt;
+    s.queuedJobs = queue.size();
+    for (const auto& [client, depth] : queue.laneDepths())
+      s.lanes.push_back({client, depth});
+    for (const auto& [jobId, job] : jobs) {
+      if (job.worker == 0) continue; // queued or orphaned, not leased
+      StatusInfo::InflightJob j;
+      j.id = jobId;
+      j.desc = job.desc;
+      j.traceId = job.traceId;
+      j.client = job.client;
+      j.worker = job.worker;
+      j.dispatches = job.dispatches;
+      j.leaseAgeMicros = now - job.dispatchMicros;
+      s.inflight.push_back(std::move(j));
+    }
+    for (const auto& [connId, c] : conns) {
+      if (c.dead || c.role != Role::Worker) continue;
+      StatusInfo::WorkerInfo w;
+      w.id = connId;
+      w.state = c.leased != 0 ? "leased" : (c.pulling ? "pulling" : "idle");
+      w.jobsCompleted = c.jobsCompleted;
+      w.failures = c.failures;
+      w.lastHeartbeatAgeMicros =
+          c.lastHeartbeatMicros < 0 ? -1 : now - c.lastHeartbeatMicros;
+      w.leasedJob = c.leased;
+      if (c.leased != 0) {
+        const auto it = jobs.find(c.leased);
+        if (it != jobs.end())
+          w.leaseAgeMicros = now - it->second.dispatchMicros;
+      }
+      s.workers.push_back(std::move(w));
+    }
+    s.workersSeen = stats.workersSeen;
+    s.redispatches = stats.redispatches;
+    s.jobsCompleted = stats.jobsCompleted;
+    if (tier) {
+      const auto& c = tier->counters();
+      s.remoteHits = c.hits;
+      s.remoteMisses = c.misses;
+      s.remotePuts = c.puts;
+      s.remoteRejected = c.rejected;
+    }
+    StatSet dump;
+    metrics.dumpInto(dump);
+    s.metrics = dump.all();
+    return s;
+  }
+
+  /// One --metrics-log line: the StatusInfo snapshot as compact JSON.
+  void writeMetricsLine(std::ostream& os) {
+    JsonWriter w(os, /*indent=*/0);
+    w.beginObject();
+    writeStatusFields(w, buildStatus());
+    w.endObject();
+    os << "\n";
+    os.flush();
   }
 
   /// Hand queued jobs to pulling workers until one side runs dry.
@@ -302,6 +436,14 @@ struct Daemon::Impl {
       JobState& job = jobs.at(*jobId);
       ++job.dispatches;
       job.worker = connId;
+      job.dispatchMicros = nowMicros();
+      if (job.traceId.empty())
+        job.traceId = runner::hashHex(runner::fnv1a(
+            std::to_string(*jobId),
+            runner::fnv1a(std::to_string(startMicros))));
+      const std::int64_t queued = job.dispatchMicros - job.submitMicros;
+      metrics.histogram("serve.queueMicros")
+          .add(queued > 0 ? static_cast<std::uint64_t>(queued) : 0);
       Message m;
       m.type = MsgType::Job;
       m.id = *jobId;
@@ -309,6 +451,7 @@ struct Daemon::Impl {
       m.desc = job.desc;
       m.maxRetries = job.maxRetries;
       m.backoffMicros = job.backoffMicros;
+      m.traceId = job.traceId;
       send(c, m);
       c.pulling = false;
       c.leased = *jobId;
@@ -349,9 +492,17 @@ struct Daemon::Impl {
 
   void flushTo(std::uint64_t connId, Conn& c) {
     try {
-      const std::size_t put =
-          sock::writeSome(c.fd.get(), c.outBuf.data(), c.outBuf.size());
-      c.outBuf.erase(0, put);
+      // MSG_DONTWAIT: the loop must never block behind one slow peer — a
+      // stalled status poller with a full kernel buffer cannot be allowed
+      // to stall dispatch for everyone else (docs/SERVE.md).
+      const std::size_t put = sock::writeSomeNonblocking(
+          c.fd.get(), c.outBuf.data(), c.outBuf.size());
+      if (put > 0) c.outBuf.erase(0, put);
+      if (c.outBuf.size() > opts.maxPeerBufferBytes) {
+        LEV_LOG_WARN("serve", "dropping peer that stopped reading",
+                     {{"conn", connId}, {"buffered", c.outBuf.size()}});
+        killConn(connId);
+      }
     } catch (const std::exception& e) {
       LEV_LOG_WARN("serve", "dropping peer on write failure",
                    {{"conn", connId}, {"error", e.what()}});
@@ -372,6 +523,16 @@ struct Daemon::Impl {
                   {"cacheDir", opts.cacheDir.empty() ? std::string("off")
                                                      : opts.cacheDir},
                   {"leaseMicros", opts.leaseMicros}});
+    std::ofstream metricsLog;
+    std::int64_t nextMetricsMicros = 0;
+    if (!opts.metricsLogPath.empty()) {
+      metricsLog.open(opts.metricsLogPath, std::ios::trunc);
+      if (!metricsLog)
+        throw Error("daemon: cannot open metrics log '" +
+                    opts.metricsLogPath + "'");
+      writeMetricsLine(metricsLog);
+      nextMetricsMicros = nowMicros() + opts.metricsIntervalMicros;
+    }
     std::vector<pollfd> fds;
     std::vector<std::uint64_t> ids; ///< fds[i >= 2] -> conn id
     for (;;) {
@@ -410,7 +571,13 @@ struct Daemon::Impl {
       for (auto& [connId, c] : conns)
         if (!c.dead && !c.outBuf.empty()) flushTo(connId, c);
       reap();
+      if (metricsLog.is_open() && nowMicros() >= nextMetricsMicros) {
+        writeMetricsLine(metricsLog);
+        nextMetricsMicros = nowMicros() + opts.metricsIntervalMicros;
+      }
     }
+    // One final snapshot so a log always ends with the drained state.
+    if (metricsLog.is_open()) writeMetricsLine(metricsLog);
     conns.clear();
     listener.close();
     LEV_LOG_INFO("serve", "daemon stopped",

@@ -36,6 +36,15 @@ struct DaemonOptions {
   std::int64_t leaseMicros = 15'000'000;
   /// Lease grants per job before it settles as a transient failure.
   int maxDispatches = 3;
+  /// Append one StatusInfo JSON line here every metricsIntervalMicros
+  /// (plus one on startup and one on stop); "" disables the log
+  /// (docs/OBSERVABILITY.md "Live status").
+  std::string metricsLogPath;
+  std::int64_t metricsIntervalMicros = 1'000'000;
+  /// A peer whose buffered outbound bytes exceed this is dropped — a
+  /// stalled status poller (or client) must not grow the daemon's memory
+  /// without bound. Writes never block regardless (MSG_DONTWAIT).
+  std::uint64_t maxPeerBufferBytes = 64ull << 20;
 };
 
 class Daemon {

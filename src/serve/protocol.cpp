@@ -1,5 +1,7 @@
 #include "serve/protocol.hpp"
 
+#include <mutex>
+#include <set>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -37,7 +39,13 @@ MsgType msgTypeFromName(const std::string& name) {
   if (name == "job") return MsgType::Job;
   if (name == "cacheHit") return MsgType::CacheHit;
   if (name == "cacheMiss") return MsgType::CacheMiss;
-  throw Error("unknown serve message type '" + name + "'");
+  if (name == "status") return MsgType::Status;
+  if (name == "statusReply") return MsgType::StatusReply;
+  if (name == "heartbeatAck") return MsgType::HeartbeatAck;
+  // Forward compatibility: a type this build does not know is a SKIPPABLE
+  // frame, not a protocol error — a newer daemon/worker in the fleet may
+  // speak additions we have not learned yet (docs/SERVE.md).
+  return MsgType::Unknown;
 }
 
 std::int64_t asInt(const json::JsonValue& v, const char* what) {
@@ -129,6 +137,40 @@ runner::JobOutcome readOutcome(const json::JsonValue& v) {
   return o;
 }
 
+/// Worker phase spans cross the wire as {phase,startMicros,endMicros}
+/// only: label/worker/host are filled by the receiving side from its own
+/// job table, and a worker records queued==start (it observes no queueing
+/// of its own).
+void writeSpans(JsonWriter& w, const std::vector<trace::HostSpan>& spans) {
+  w.key("spans").beginArray();
+  for (const trace::HostSpan& s : spans) {
+    w.beginObject();
+    w.field("phase", s.phase);
+    w.field("startMicros", s.startMicros);
+    w.field("endMicros", s.endMicros);
+    w.endObject();
+  }
+  w.endArray();
+}
+
+std::vector<trace::HostSpan> readSpans(const json::JsonValue& v) {
+  if (v.kind != json::JsonValue::Kind::Array)
+    throw Error("serve message field 'spans' is not an array");
+  std::vector<trace::HostSpan> out;
+  out.reserve(v.items.size());
+  for (const json::JsonValue& e : v.items) {
+    if (e.kind != json::JsonValue::Kind::Object)
+      throw Error("serve message span is not an object");
+    trace::HostSpan s;
+    s.phase = internPhase(asStr(e.at("phase"), "phase"));
+    s.startMicros = asInt(e.at("startMicros"), "startMicros");
+    s.endMicros = asInt(e.at("endMicros"), "endMicros");
+    s.queuedMicros = s.startMicros;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 } // namespace
 
 WireSpec toWire(const runner::JobSpec& spec) {
@@ -183,8 +225,27 @@ const char* msgTypeName(MsgType t) {
   case MsgType::Job: return "job";
   case MsgType::CacheHit: return "cacheHit";
   case MsgType::CacheMiss: return "cacheMiss";
+  case MsgType::Status: return "status";
+  case MsgType::StatusReply: return "statusReply";
+  case MsgType::HeartbeatAck: return "heartbeatAck";
+  case MsgType::Unknown: return "unknown";
   }
   return "?";
+}
+
+const char* internPhase(const std::string& name) {
+  // The handful of phases this build emits itself come back as their
+  // static literals — no allocation, and pointer-comparable with spans
+  // recorded locally.
+  for (const char* known : {"compile", "simulate", "receive", "cacheProbe",
+                            "cachePut", "dispatch", "queued"})
+    if (name == known) return known;
+  // Novel phases (a newer worker) are interned for process lifetime;
+  // std::set node addresses are stable across inserts.
+  static std::mutex mu;
+  static std::set<std::string> interned;
+  std::lock_guard<std::mutex> lock(mu);
+  return interned.insert(name).first->c_str();
 }
 
 std::string encodeMessage(const Message& m) {
@@ -207,7 +268,19 @@ std::string encodeMessage(const Message& m) {
   case MsgType::Done:
   case MsgType::Cancel:
   case MsgType::Pull:
+  case MsgType::Status:
+    break;
   case MsgType::Heartbeat:
+    // Timestamped heartbeats feed the worker's clock-offset estimator via
+    // HeartbeatAck; bare ones still renew the lease (old workers).
+    if (m.hbSentMicros >= 0) w.field("sentMicros", m.hbSentMicros);
+    break;
+  case MsgType::HeartbeatAck:
+    w.field("echoMicros", m.echoMicros);
+    w.field("nowMicros", m.ackNowMicros);
+    break;
+  case MsgType::StatusReply:
+    writeStatusFields(w, m.status);
     break;
   case MsgType::Outcome:
     w.field("id", m.id);
@@ -216,6 +289,21 @@ std::string encodeMessage(const Message& m) {
     w.field("retries", m.retries);
     w.field("redispatches", m.redispatches);
     if (m.hasRecord) w.field("record", m.record);
+    if (!m.traceId.empty()) w.field("traceId", m.traceId);
+    // Lifecycle timestamps ride along only when the daemon stamped them
+    // (it always does for dispatched jobs; remote-tier hits settle with
+    // dispatchMicros == 0 and ship the submit/result pair alone).
+    if (m.resultMicros != 0) {
+      w.field("submitMicros", m.submitMicros);
+      w.field("dispatchMicros", m.dispatchMicros);
+      w.field("resultMicros", m.resultMicros);
+      w.field("workerConn", m.workerConn);
+    }
+    if (m.offsetRttMicros >= 0) {
+      w.field("clockOffsetMicros", m.clockOffsetMicros);
+      w.field("offsetRttMicros", m.offsetRttMicros);
+    }
+    if (!m.spans.empty()) writeSpans(w, m.spans);
     break;
   case MsgType::Stats:
     w.field("workersSeen", m.workersSeen);
@@ -231,6 +319,11 @@ std::string encodeMessage(const Message& m) {
     w.field("fromCache", m.fromCache);
     w.field("retries", m.retries);
     if (m.hasRecord) w.field("record", m.record);
+    if (m.offsetRttMicros >= 0) {
+      w.field("clockOffsetMicros", m.clockOffsetMicros);
+      w.field("offsetRttMicros", m.offsetRttMicros);
+    }
+    if (!m.spans.empty()) writeSpans(w, m.spans);
     break;
   case MsgType::Job:
     w.field("id", m.id);
@@ -238,6 +331,7 @@ std::string encodeMessage(const Message& m) {
     w.field("desc", m.desc);
     w.field("maxRetries", m.maxRetries);
     w.field("backoffMicros", m.backoffMicros);
+    if (!m.traceId.empty()) w.field("traceId", m.traceId);
     break;
   case MsgType::CacheGet:
     w.field("key", runner::hashHex(m.key));
@@ -255,9 +349,141 @@ std::string encodeMessage(const Message& m) {
   case MsgType::CacheMiss:
     w.field("key", runner::hashHex(m.key));
     break;
+  case MsgType::Unknown:
+    // Unknown is a DECODE-side placeholder; a local caller asking to
+    // encode one is a programming error, not a wire condition.
+    throw Error("cannot encode serve message of unknown type");
   }
   w.endObject();
   return os.str();
+}
+
+void writeStatusFields(JsonWriter& w, const StatusInfo& s) {
+  w.field("nowMicros", s.nowMicros);
+  w.field("uptimeMicros", s.uptimeMicros);
+  w.field("salt", s.salt);
+  w.field("protocolVersion", s.protocolVersion);
+  w.field("queued", s.queuedJobs);
+  w.key("lanes").beginArray();
+  for (const StatusInfo::Lane& l : s.lanes) {
+    w.beginObject();
+    w.field("client", l.client);
+    w.field("depth", l.depth);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("inflight").beginArray();
+  for (const StatusInfo::InflightJob& j : s.inflight) {
+    w.beginObject();
+    w.field("id", j.id);
+    w.field("desc", j.desc);
+    if (!j.traceId.empty()) w.field("traceId", j.traceId);
+    w.field("client", j.client);
+    w.field("worker", j.worker);
+    w.field("dispatches", j.dispatches);
+    w.field("leaseAgeMicros", j.leaseAgeMicros);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("workers").beginArray();
+  for (const StatusInfo::WorkerInfo& wk : s.workers) {
+    w.beginObject();
+    w.field("id", wk.id);
+    w.field("state", wk.state);
+    w.field("jobsCompleted", wk.jobsCompleted);
+    w.field("failures", wk.failures);
+    w.field("lastHeartbeatAgeMicros", wk.lastHeartbeatAgeMicros);
+    w.field("leasedJob", wk.leasedJob);
+    w.field("leaseAgeMicros", wk.leaseAgeMicros);
+    w.endObject();
+  }
+  w.endArray();
+  w.field("workersSeen", s.workersSeen);
+  w.field("redispatches", s.redispatches);
+  w.field("jobsCompleted", s.jobsCompleted);
+  w.key("remoteCache").beginObject();
+  w.field("hits", s.remoteHits);
+  w.field("misses", s.remoteMisses);
+  w.field("puts", s.remotePuts);
+  w.field("rejected", s.remoteRejected);
+  w.endObject();
+  w.key("metrics").beginObject();
+  for (const auto& [name, value] : s.metrics) w.field(name, value);
+  w.endObject();
+}
+
+StatusInfo readStatusFields(const json::JsonValue& v) {
+  if (v.kind != json::JsonValue::Kind::Object)
+    throw Error("serve status is not a JSON object");
+  StatusInfo s;
+  s.nowMicros = asInt(v.at("nowMicros"), "nowMicros");
+  s.uptimeMicros = asInt(v.at("uptimeMicros"), "uptimeMicros");
+  s.salt = asStr(v.at("salt"), "salt");
+  s.protocolVersion =
+      static_cast<int>(asInt(v.at("protocolVersion"), "protocolVersion"));
+  s.queuedJobs = asUint(v.at("queued"), "queued");
+  if (v.has("lanes")) {
+    const json::JsonValue& lanes = v.at("lanes");
+    if (lanes.kind != json::JsonValue::Kind::Array)
+      throw Error("serve status field 'lanes' is not an array");
+    for (const json::JsonValue& e : lanes.items) {
+      StatusInfo::Lane l;
+      l.client = asUint(e.at("client"), "client");
+      l.depth = asUint(e.at("depth"), "depth");
+      s.lanes.push_back(l);
+    }
+  }
+  if (v.has("inflight")) {
+    const json::JsonValue& inflight = v.at("inflight");
+    if (inflight.kind != json::JsonValue::Kind::Array)
+      throw Error("serve status field 'inflight' is not an array");
+    for (const json::JsonValue& e : inflight.items) {
+      StatusInfo::InflightJob j;
+      j.id = asUint(e.at("id"), "id");
+      j.desc = asStr(e.at("desc"), "desc");
+      if (e.has("traceId")) j.traceId = asStr(e.at("traceId"), "traceId");
+      j.client = asUint(e.at("client"), "client");
+      j.worker = asUint(e.at("worker"), "worker");
+      j.dispatches = asUint(e.at("dispatches"), "dispatches");
+      j.leaseAgeMicros = asInt(e.at("leaseAgeMicros"), "leaseAgeMicros");
+      s.inflight.push_back(std::move(j));
+    }
+  }
+  if (v.has("workers")) {
+    const json::JsonValue& workers = v.at("workers");
+    if (workers.kind != json::JsonValue::Kind::Array)
+      throw Error("serve status field 'workers' is not an array");
+    for (const json::JsonValue& e : workers.items) {
+      StatusInfo::WorkerInfo wk;
+      wk.id = asUint(e.at("id"), "id");
+      wk.state = asStr(e.at("state"), "state");
+      wk.jobsCompleted = asUint(e.at("jobsCompleted"), "jobsCompleted");
+      wk.failures = asUint(e.at("failures"), "failures");
+      wk.lastHeartbeatAgeMicros =
+          asInt(e.at("lastHeartbeatAgeMicros"), "lastHeartbeatAgeMicros");
+      wk.leasedJob = asUint(e.at("leasedJob"), "leasedJob");
+      wk.leaseAgeMicros = asInt(e.at("leaseAgeMicros"), "leaseAgeMicros");
+      s.workers.push_back(std::move(wk));
+    }
+  }
+  s.workersSeen = asUint(v.at("workersSeen"), "workersSeen");
+  s.redispatches = asUint(v.at("redispatches"), "redispatches");
+  s.jobsCompleted = asUint(v.at("jobsCompleted"), "jobsCompleted");
+  if (v.has("remoteCache")) {
+    const json::JsonValue& rc = v.at("remoteCache");
+    s.remoteHits = asUint(rc.at("hits"), "hits");
+    s.remoteMisses = asUint(rc.at("misses"), "misses");
+    s.remotePuts = asUint(rc.at("puts"), "puts");
+    s.remoteRejected = asUint(rc.at("rejected"), "rejected");
+  }
+  if (v.has("metrics")) {
+    const json::JsonValue& metrics = v.at("metrics");
+    if (metrics.kind != json::JsonValue::Kind::Object)
+      throw Error("serve status field 'metrics' is not an object");
+    for (const auto& [name, value] : metrics.members)
+      s.metrics[name] = asInt(value, "metrics entry");
+  }
+  return s;
 }
 
 namespace {
@@ -301,7 +527,19 @@ Message decodeMessage(const std::string& payload) {
   case MsgType::Done:
   case MsgType::Cancel:
   case MsgType::Pull:
+  case MsgType::Status:
+  case MsgType::Unknown:
+    break;
   case MsgType::Heartbeat:
+    if (v.has("sentMicros"))
+      m.hbSentMicros = asInt(v.at("sentMicros"), "sentMicros");
+    break;
+  case MsgType::HeartbeatAck:
+    m.echoMicros = asInt(v.at("echoMicros"), "echoMicros");
+    m.ackNowMicros = asInt(v.at("nowMicros"), "nowMicros");
+    break;
+  case MsgType::StatusReply:
+    m.status = readStatusFields(v);
     break;
   case MsgType::Outcome:
     m.id = asUint(v.at("id"), "id");
@@ -313,6 +551,19 @@ Message decodeMessage(const std::string& payload) {
       m.hasRecord = true;
       m.record = asStr(v.at("record"), "record");
     }
+    if (v.has("traceId")) m.traceId = asStr(v.at("traceId"), "traceId");
+    if (v.has("resultMicros")) {
+      m.submitMicros = asInt(v.at("submitMicros"), "submitMicros");
+      m.dispatchMicros = asInt(v.at("dispatchMicros"), "dispatchMicros");
+      m.resultMicros = asInt(v.at("resultMicros"), "resultMicros");
+      m.workerConn = asUint(v.at("workerConn"), "workerConn");
+    }
+    if (v.has("offsetRttMicros")) {
+      m.clockOffsetMicros =
+          asInt(v.at("clockOffsetMicros"), "clockOffsetMicros");
+      m.offsetRttMicros = asInt(v.at("offsetRttMicros"), "offsetRttMicros");
+    }
+    if (v.has("spans")) m.spans = readSpans(v.at("spans"));
     break;
   case MsgType::Stats:
     m.workersSeen = asUint(v.at("workersSeen"), "workersSeen");
@@ -331,6 +582,12 @@ Message decodeMessage(const std::string& payload) {
       m.hasRecord = true;
       m.record = asStr(v.at("record"), "record");
     }
+    if (v.has("offsetRttMicros")) {
+      m.clockOffsetMicros =
+          asInt(v.at("clockOffsetMicros"), "clockOffsetMicros");
+      m.offsetRttMicros = asInt(v.at("offsetRttMicros"), "offsetRttMicros");
+    }
+    if (v.has("spans")) m.spans = readSpans(v.at("spans"));
     break;
   case MsgType::Job:
     m.id = asUint(v.at("id"), "id");
@@ -338,6 +595,7 @@ Message decodeMessage(const std::string& payload) {
     m.desc = asStr(v.at("desc"), "desc");
     m.maxRetries = static_cast<int>(asInt(v.at("maxRetries"), "maxRetries"));
     m.backoffMicros = asInt(v.at("backoffMicros"), "backoffMicros");
+    if (v.has("traceId")) m.traceId = asStr(v.at("traceId"), "traceId");
     break;
   case MsgType::CacheGet:
     m.key = keyFromHex(asStr(v.at("key"), "key"));

@@ -18,15 +18,27 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "runner/job.hpp"
+#include "support/jsonparse.hpp"
+#include "trace/export.hpp"
+
+namespace lev {
+class JsonWriter;
+} // namespace lev
 
 namespace lev::serve {
 
 /// Protocol revision; a peer whose hello carries a different one is
 /// disconnected (the describe() cross-check would catch a drift anyway,
-/// but a version bump fails fast with a readable error).
+/// but a version bump fails fast with a readable error). ADDITIVE changes
+/// (new message types, new optional fields) deliberately do NOT bump it:
+/// decode skips unknown types and fields, so mixed-version fleets keep
+/// working, and Status carries the daemon's version salt so a real drift
+/// stays visible (docs/SERVE.md).
 inline constexpr int kProtocolVersion = 1;
 
 /// The batch-settable projection of a JobSpec (everything else is the
@@ -70,10 +82,86 @@ enum class MsgType {
   Job,       ///< one job to execute
   CacheHit,  ///< CacheGet answer: the validated entry text
   CacheMiss, ///< CacheGet answer: not present
+  // introspection (docs/SERVE.md "Live status")
+  Status,       ///< any peer -> daemon: ask for a live snapshot
+  StatusReply,  ///< daemon -> peer: the StatusInfo snapshot
+  HeartbeatAck, ///< daemon -> worker: echo of a timestamped heartbeat
+                ///< (the worker's clock-offset estimator feeds on these)
+  /// Decode-side placeholder for a wire type THIS build does not know
+  /// (a newer peer in a mixed-version fleet). Never encoded; handlers
+  /// skip such frames instead of dropping the peer.
+  Unknown,
 };
 
 /// Stable wire name of a message type ("submit", "cacheGet", ...).
 const char* msgTypeName(MsgType t);
+
+/// Live daemon snapshot carried by a StatusReply frame — everything a
+/// levioso-top poller or a --metrics-log line needs: uptime + version
+/// salt, per-lane queue depth, leased jobs with lease ages, per-worker
+/// health, remote cache-tier counters, and the job-latency log-histogram
+/// counters (trace::MetricsRegistry dump).
+struct StatusInfo {
+  std::int64_t nowMicros = 0;    ///< daemon steady-clock at snapshot time
+  std::int64_t uptimeMicros = 0; ///< now - daemon construction
+  std::string salt;              ///< daemon's runner::kCodeVersionSalt
+  int protocolVersion = kProtocolVersion;
+
+  std::uint64_t queuedJobs = 0; ///< total across lanes (excludes leased)
+  struct Lane {
+    std::uint64_t client = 0; ///< daemon-side conn id
+    std::uint64_t depth = 0;
+  };
+  std::vector<Lane> lanes;
+
+  struct InflightJob {
+    std::uint64_t id = 0; ///< daemon-side job id
+    std::string desc;
+    std::string traceId;
+    std::uint64_t client = 0;
+    std::uint64_t worker = 0;          ///< leasing worker's conn id
+    std::uint64_t dispatches = 0;      ///< lease grants so far
+    std::int64_t leaseAgeMicros = 0;   ///< now - last dispatch
+  };
+  std::vector<InflightJob> inflight;
+
+  struct WorkerInfo {
+    std::uint64_t id = 0;       ///< conn id
+    std::string state;          ///< "idle" | "pulling" | "leased"
+    std::uint64_t jobsCompleted = 0;
+    std::uint64_t failures = 0; ///< results that carried a failed outcome
+    std::int64_t lastHeartbeatAgeMicros = -1; ///< -1 = none seen yet
+    std::uint64_t leasedJob = 0;              ///< 0 = none
+    std::int64_t leaseAgeMicros = 0;
+  };
+  std::vector<WorkerInfo> workers;
+
+  // Daemon-lifetime counters (the same ones a Stats frame reports).
+  std::uint64_t workersSeen = 0;
+  std::uint64_t redispatches = 0;
+  std::uint64_t jobsCompleted = 0;
+  std::uint64_t remoteHits = 0;
+  std::uint64_t remoteMisses = 0;
+  std::uint64_t remotePuts = 0;
+  std::uint64_t remoteRejected = 0;
+
+  /// trace::MetricsRegistry dump ("hist.serve.jobMicros.count", ...).
+  std::map<std::string, std::int64_t> metrics;
+};
+
+/// Serialize just the StatusInfo members into an OPEN JSON object — shared
+/// by encodeMessage(StatusReply), the daemon's --metrics-log lines and
+/// levioso-top --json, so every consumer sees one schema.
+void writeStatusFields(JsonWriter& w, const StatusInfo& s);
+
+/// Parse StatusInfo members out of a decoded JSON object (the inverse of
+/// writeStatusFields; unknown fields are ignored, absent ones default).
+StatusInfo readStatusFields(const json::JsonValue& v);
+
+/// Process-lifetime-stable pointer for a phase name that crossed the wire
+/// (trace::HostSpan::phase is a const char*). Known phases return their
+/// static literal; novel ones are interned.
+const char* internPhase(const std::string& name);
 
 /// One protocol message. A tagged union kept flat (only the fields a type
 /// uses are serialized); decodeMessage() validates per-type required
@@ -114,14 +202,49 @@ struct Message {
   std::uint64_t remoteMisses = 0;
   std::uint64_t remotePuts = 0;
   std::uint64_t remoteRejected = 0;
+
+  // Job / Outcome: cross-host correlation id stamped by the daemon at
+  // dispatch; rides through the worker's Result untouched. Empty on the
+  // wire when unset (old peers simply never see the field).
+  std::string traceId;
+
+  // Result / Outcome: the worker-side phase spans of this job, in the
+  // WORKER's steady clock, plus its daemon-clock offset estimate
+  // (clockOffsetMicros = daemonClock - workerClock; offsetRttMicros < 0 =
+  // no estimate yet). The daemon forwards them verbatim; RemoteSweep does
+  // the clock mapping (docs/SERVE.md "Distributed tracing").
+  std::vector<trace::HostSpan> spans;
+  std::int64_t clockOffsetMicros = 0;
+  std::int64_t offsetRttMicros = -1;
+
+  // Outcome: the job's daemon-clock lifecycle timestamps and the conn id
+  // of the worker that answered — what the client needs to place the
+  // daemon's queued/dispatch slices on the merged trace.
+  std::int64_t submitMicros = 0;
+  std::int64_t dispatchMicros = 0;
+  std::int64_t resultMicros = 0;
+  std::uint64_t workerConn = 0;
+
+  // Heartbeat: the worker's steady-clock send time; -1 = not carried (an
+  // old worker). The daemon only acks timestamped heartbeats.
+  std::int64_t hbSentMicros = -1;
+
+  // HeartbeatAck: echo of hbSentMicros + the daemon's own clock.
+  std::int64_t echoMicros = 0;
+  std::int64_t ackNowMicros = 0;
+
+  // StatusReply
+  StatusInfo status;
 };
 
 /// Serialize to one compact JSON payload (NOT framed; callers wrap it in
 /// framing::encodeFrame).
 std::string encodeMessage(const Message& m);
 
-/// Parse + validate one payload. Throws lev::Error on malformed JSON,
-/// unknown type, or missing per-type required fields.
+/// Parse + validate one payload. Throws lev::Error on malformed JSON or
+/// missing per-type required fields. An unknown type name decodes to
+/// MsgType::Unknown (forward compatibility for mixed-version fleets) and
+/// unknown fields are ignored — only structurally broken frames throw.
 Message decodeMessage(const std::string& payload);
 
 } // namespace lev::serve

@@ -15,6 +15,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 namespace lev::serve {
@@ -38,6 +39,19 @@ public:
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Per-client queue depths for Status introspection (docs/SERVE.md).
+  /// Emptied-but-not-dropped lanes are skipped; order is lane creation
+  /// order (the rotation order clients were first seen in).
+  std::vector<std::pair<std::uint64_t, std::size_t>> laneDepths() const {
+    std::vector<std::pair<std::uint64_t, std::size_t>> out;
+    for (const std::uint64_t client : order_) {
+      const auto it = lanes_.find(client);
+      if (it != lanes_.end() && !it->second.empty())
+        out.emplace_back(client, it->second.size());
+    }
+    return out;
+  }
 
 private:
   /// Lane bookkeeping: `order_` preserves first-submission order of

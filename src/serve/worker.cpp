@@ -52,6 +52,50 @@ struct Link {
   }
 };
 
+/// The worker's running estimate of the daemon's clock: offset =
+/// daemonClock - workerClock, derived from timestamped heartbeat acks the
+/// same way NTP does (midpoint of send/receive), keeping the LOWEST-RTT
+/// sample — the one with the least queueing noise. rttMicros < 0 until
+/// the first ack lands.
+struct ClockSync {
+  std::int64_t offsetMicros = 0;
+  std::int64_t rttMicros = -1;
+};
+
+/// recv() that transparently feeds heartbeat acks into the clock-offset
+/// estimate and skips frames of unknown type (a newer daemon), returning
+/// only frames the job loop must handle.
+std::optional<Message> recvFiltered(Link& link, ClockSync& sync) {
+  for (;;) {
+    auto m = link.recv();
+    if (!m) return std::nullopt;
+    if (m->type == MsgType::HeartbeatAck) {
+      const std::int64_t now = nowMicros();
+      const std::int64_t rtt = now - m->echoMicros;
+      if (rtt >= 0 && (sync.rttMicros < 0 || rtt < sync.rttMicros)) {
+        sync.rttMicros = rtt;
+        sync.offsetMicros = m->ackNowMicros - (m->echoMicros + now) / 2;
+      }
+      continue;
+    }
+    if (m->type == MsgType::Unknown) {
+      LEV_LOG_INFO("worker", "skipping frame of unknown type", {});
+      continue;
+    }
+    return m;
+  }
+}
+
+trace::HostSpan makeSpan(const char* phase, std::int64_t start,
+                         std::int64_t end) {
+  trace::HostSpan s;
+  s.phase = phase;
+  s.queuedMicros = start; // the worker observes no queueing of its own
+  s.startMicros = start;
+  s.endMicros = end;
+  return s;
+}
+
 /// One memoized compile: the CompileResult plus the PredecodedProgram built
 /// from it, shared read-only by every policy run of the same program
 /// (docs/PERF.md) — the worker-side mirror of the Sweep's Compiled struct.
@@ -63,7 +107,8 @@ struct MemoizedCompile {
 /// Execute one job the way a local Sweep would (same execute.hpp calls,
 /// same retry policy) and shape the Result frame.
 Message executeJob(const Message& job,
-                   std::map<std::string, MemoizedCompile>& compileMemo) {
+                   std::map<std::string, MemoizedCompile>& compileMemo,
+                   std::vector<trace::HostSpan>& spans) {
   Message res;
   res.type = MsgType::Result;
   res.id = job.id;
@@ -99,6 +144,7 @@ Message executeJob(const Message& job,
                     program.result->program);
           },
           job.maxRetries, job.backoffMicros, err, attempts);
+      spans.push_back(makeSpan("compile", t0, nowMicros()));
       if (err) {
         res.outcome = runner::classifyFailure(err, /*compilePhase=*/true,
                                               attempts, nowMicros() - t0);
@@ -117,6 +163,7 @@ Message executeJob(const Message& job,
   retries += runner::runWithRetry(
       [&] { rec = runner::simulateJob(*program.predecoded, spec); },
       job.maxRetries, job.backoffMicros, err, attempts);
+  spans.push_back(makeSpan("simulate", t0, nowMicros()));
   res.retries = retries;
   if (err) {
     res.outcome = runner::classifyFailure(err, /*compilePhase=*/false,
@@ -143,6 +190,18 @@ std::uint64_t runWorker(const WorkerOptions& opts) {
   hello.role = "worker";
   link.send(hello);
 
+  // One timestamped heartbeat right behind the hello: the daemon handles
+  // frames in order and queues the ack before the first Job it leases us,
+  // so a clock-offset estimate exists before the first Result ships
+  // (docs/SERVE.md "Distributed tracing").
+  ClockSync sync;
+  {
+    Message hb;
+    hb.type = MsgType::Heartbeat;
+    hb.hbSentMicros = nowMicros();
+    link.send(hb);
+  }
+
   // Heartbeat thread: keeps the job lease alive through long simulations.
   // A failed heartbeat write just stops the thread — the main loop will
   // hit the same dead socket and exit orderly.
@@ -157,6 +216,7 @@ std::uint64_t runWorker(const WorkerOptions& opts) {
       try {
         Message hb;
         hb.type = MsgType::Heartbeat;
+        hb.hbSentMicros = nowMicros();
         link.send(hb);
       } catch (const std::exception&) {
         return;
@@ -183,12 +243,18 @@ std::uint64_t runWorker(const WorkerOptions& opts) {
     for (;;) {
       Message pull;
       pull.type = MsgType::Pull;
+      const std::int64_t pullMicros = nowMicros();
       link.send(pull);
-      auto job = link.recv();
+      auto job = recvFiltered(link, sync);
       if (!job) break; // daemon closed: orderly shutdown
       if (job->type != MsgType::Job)
         throw Error(std::string("expected job frame, got ") +
                     msgTypeName(job->type));
+
+      // Phase spans for the merged cross-host trace (docs/SERVE.md): all
+      // in THIS worker's clock; the client maps them via the offset below.
+      std::vector<trace::HostSpan> spans;
+      spans.push_back(makeSpan("receive", pullMicros, nowMicros()));
 
       // The crash site fires AFTER the job is leased to this worker — the
       // exact moment whose loss fail-over must absorb (docs/ROBUSTNESS.md).
@@ -218,15 +284,17 @@ std::uint64_t runWorker(const WorkerOptions& opts) {
         res.hasRecord = true;
         res.record = std::move(*entry);
       } else if (sampledJob) {
-        res = executeJob(*job, compileMemo);
+        res = executeJob(*job, compileMemo, spans);
       } else {
         Message get;
         get.type = MsgType::CacheGet;
         get.key = key;
         get.desc = job->desc;
+        const std::int64_t probe0 = nowMicros();
         link.send(get);
-        auto reply = link.recv();
+        auto reply = recvFiltered(link, sync);
         if (!reply) break;
+        spans.push_back(makeSpan("cacheProbe", probe0, nowMicros()));
         if (reply->type == MsgType::CacheHit) {
           if (l1) l1->storeByHash(key, job->desc, reply->entry);
           res.type = MsgType::Result;
@@ -236,8 +304,9 @@ std::uint64_t runWorker(const WorkerOptions& opts) {
           res.hasRecord = true;
           res.record = std::move(reply->entry);
         } else if (reply->type == MsgType::CacheMiss) {
-          res = executeJob(*job, compileMemo);
+          res = executeJob(*job, compileMemo, spans);
           if (res.outcome.ok) {
+            const std::int64_t put0 = nowMicros();
             if (l1) l1->storeByHash(key, job->desc, res.record);
             Message put;
             put.type = MsgType::CachePut;
@@ -245,12 +314,16 @@ std::uint64_t runWorker(const WorkerOptions& opts) {
             put.desc = job->desc;
             put.entry = res.record;
             link.send(put);
+            spans.push_back(makeSpan("cachePut", put0, nowMicros()));
           }
         } else {
           throw Error(std::string("expected cache reply, got ") +
                       msgTypeName(reply->type));
         }
       }
+      res.spans = std::move(spans);
+      res.clockOffsetMicros = sync.offsetMicros;
+      res.offsetRttMicros = sync.rttMicros;
       link.send(res);
       ++jobsDone;
     }

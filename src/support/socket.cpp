@@ -162,4 +162,18 @@ std::size_t writeSome(int fd, const char* data, std::size_t n) {
   }
 }
 
+std::size_t writeSomeNonblocking(int fd, const char* data, std::size_t n) {
+  if (faultinject::shouldFail("net.write"))
+    throw TransientError("injected fault (LEVIOSO_FAULTS net.write) on fd " +
+                         std::to_string(fd));
+  for (;;) {
+    const ssize_t put = ::send(fd, data, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (put >= 0) return static_cast<std::size_t>(put);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    throw TransientError("socket write failed on fd " + std::to_string(fd) +
+                         ": " + std::strerror(errno));
+  }
+}
+
 } // namespace lev::sock

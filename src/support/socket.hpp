@@ -83,6 +83,16 @@ inline void writeAll(int fd, const std::string& s) {
 /// less than n). For callers that poll() for writability and must not
 /// block behind a stalled peer (the daemon's buffered writes). Throws
 /// TransientError on an I/O error or an injected "net.write" fault.
+///
+/// CAVEAT: on a blocking fd whose kernel buffer is FULL this still blocks
+/// (send() waits for space even when poll() did not report writability) —
+/// use writeSomeNonblocking from single-threaded event loops.
 std::size_t writeSome(int fd, const char* data, std::size_t n);
+
+/// writeSome that can never block: send(MSG_DONTWAIT). Returns 0 when the
+/// kernel buffer is full (EAGAIN) — the caller keeps its user-space buffer
+/// and retries on the next POLLOUT. Same error/fault behavior as
+/// writeSome otherwise.
+std::size_t writeSomeNonblocking(int fd, const char* data, std::size_t n);
 
 } // namespace lev::sock

@@ -103,6 +103,17 @@ void writeChromeTrace(std::ostream& os, const TraceBuffer& buffer,
 
 void writeHostChromeTrace(std::ostream& os,
                           const std::vector<HostSpan>& spans) {
+  // One trace process per distinct host, in first-appearance order. The
+  // local host (empty name) is always pid 0 so single-machine traces keep
+  // their historical layout.
+  std::vector<std::string> hosts;
+  const auto pidOf = [&hosts](const std::string& host) -> int {
+    if (host.empty()) return 0;
+    for (std::size_t i = 0; i < hosts.size(); ++i)
+      if (hosts[i] == host) return static_cast<int>(i) + 1;
+    hosts.push_back(host);
+    return static_cast<int>(hosts.size());
+  };
   JsonWriter w(os, /*indent=*/0);
   w.beginObject();
   w.field("displayTimeUnit", "ms");
@@ -112,6 +123,14 @@ void writeHostChromeTrace(std::ostream& os,
   w.endObject();
   w.key("traceEvents").beginArray();
   for (const HostSpan& s : spans) {
+    const int pid = pidOf(s.host);
+    const auto writeArgs = [&w, &s](bool withQueue) {
+      w.key("args").beginObject();
+      w.field("job", s.label);
+      if (withQueue) w.field("queueMicros", s.startMicros - s.queuedMicros);
+      if (!s.traceId.empty()) w.field("traceId", s.traceId);
+      w.endObject();
+    };
     // Queue-latency slice (submit → start), then the execution slice.
     if (s.startMicros > s.queuedMicros) {
       w.beginObject();
@@ -120,11 +139,9 @@ void writeHostChromeTrace(std::ostream& os,
       w.field("ph", "X");
       w.field("ts", s.queuedMicros);
       w.field("dur", s.startMicros - s.queuedMicros);
-      w.field("pid", 0);
+      w.field("pid", pid);
       w.field("tid", s.worker);
-      w.key("args").beginObject();
-      w.field("job", s.label);
-      w.endObject();
+      writeArgs(/*withQueue=*/false);
       w.endObject();
     }
     w.beginObject();
@@ -133,11 +150,20 @@ void writeHostChromeTrace(std::ostream& os,
     w.field("ph", "X");
     w.field("ts", s.startMicros);
     w.field("dur", s.endMicros - s.startMicros);
-    w.field("pid", 0);
+    w.field("pid", pid);
     w.field("tid", s.worker);
+    writeArgs(/*withQueue=*/true);
+    w.endObject();
+  }
+  // Name the non-local processes so the viewer shows "daemon"/"worker-N"
+  // instead of bare pids.
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    w.beginObject();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", static_cast<int>(i) + 1);
     w.key("args").beginObject();
-    w.field("job", s.label);
-    w.field("queueMicros", s.startMicros - s.queuedMicros);
+    w.field("name", hosts[i]);
     w.endObject();
     w.endObject();
   }

@@ -44,12 +44,22 @@ struct HostSpan {
   std::int64_t queuedMicros = 0; ///< when the job was submitted
   std::int64_t startMicros = 0;  ///< when a worker picked it up
   std::int64_t endMicros = 0;    ///< when it finished
+  /// Which machine observed the span in a distributed run ("daemon",
+  /// "worker-3", ...). Empty = the local process; local-only runs never
+  /// set it, so their manifests and traces are unchanged byte-for-byte.
+  std::string host;
+  /// Cross-host correlation id stamped by the daemon at dispatch time
+  /// (docs/SERVE.md). Empty outside distributed runs.
+  std::string traceId;
 };
 
 /// Chrome trace-event JSON of host spans: one "X" duration slice per span
 /// on its worker's track, preceded by a "queued" slice covering
 /// submit→start so scheduling latency is visible. 1 trace microsecond ==
-/// 1 wall-clock microsecond.
+/// 1 wall-clock microsecond. Spans from different hosts (HostSpan::host)
+/// land in different trace processes (pid), named via process_name
+/// metadata, so one export shows a distributed run's client, daemon and
+/// worker timelines side by side.
 void writeHostChromeTrace(std::ostream& os,
                           const std::vector<HostSpan>& spans);
 

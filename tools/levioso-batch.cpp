@@ -29,7 +29,10 @@
 // ETA] progress line on stderr while jobs run (TTY only), an end-of-run
 // summary line, a run manifest (manifest.json, or derived from --json as
 // <stem>.manifest.json) and an optional Chrome trace of host spans
-// (--host-trace, local runs only). -v / --quiet move the log threshold.
+// (--host-trace). With --connect the trace is the MERGED cross-host one:
+// daemon queue/dispatch slices plus the worker-side compile/simulate
+// spans, mapped into this process's clock (docs/SERVE.md "Distributed
+// tracing"). -v / --quiet move the log threshold.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -429,11 +432,28 @@ int main(int argc, char** argv) {
         info.remoteCacheMisses = s.remoteMisses;
         info.remoteCachePuts = s.remotePuts;
         info.remoteCacheRejected = s.remoteRejected;
+        info.daemonSalt = s.daemonSalt;
+        info.daemonUptimeMicros = s.daemonUptimeMicros;
+        info.daemonProtocolVersion = s.daemonProtocolVersion;
+        info.clockOffsetMicros = s.clockOffsetMicros;
+        info.clockRttMicros = s.clockRttMicros;
+        info.workerSpans = s.workerSpans;
         m.serve = info;
+        m.timings = sweep.hostSpans();
         if (faultinject::enabled()) m.faults = faultinject::stats();
         return m;
       };
-      return runAndReport(sweep, cfg, makeM, nullptr);
+      const auto afterRun = [&]() {
+        if (hostTracePath.empty()) return;
+        std::ofstream out(hostTracePath);
+        if (!out) throw Error("cannot write " + hostTracePath);
+        sweep.writeHostTrace(out);
+        LEV_LOG_INFO("batch", "wrote merged cross-host trace",
+                     {{"path", hostTracePath},
+                      {"spans", sweep.hostSpans().size()},
+                      {"workerSpans", sweep.serveStats().workerSpans}});
+      };
+      return runAndReport(sweep, cfg, makeM, afterRun);
     }
 
     runner::ResultCache cache(

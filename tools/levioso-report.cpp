@@ -15,9 +15,15 @@
 // report always gate: each is listed as a FAILED table row and a
 // regression line, and the exit status is 1 unless --warn-only.
 //
+// --serve-log FILE is a single-file mode: it summarizes a levioso-serve
+// --metrics-log (JSON lines of status snapshots, docs/OBSERVABILITY.md)
+// as covered time, peak queue/in-flight depth and job-completion deltas.
+// Always report-only (exit 0 or 2).
+//
 //   levioso-report --diff old.json new.json --max-regress 2
-//   levioso-report --diff bench/baselines/BENCH_speed.json BENCH_speed.json \
-//                  --max-regress 30 --warn-only
+//   levioso-report --diff bench/baselines/BENCH_speed.json
+//                  BENCH_speed.json --max-regress 30 --warn-only
+//   levioso-report --serve-log serve-metrics.jsonl
 #include <iostream>
 #include <string>
 #include <vector>
@@ -34,8 +40,11 @@ namespace {
   std::cerr << "usage: levioso-report --diff OLD NEW [--max-regress PCT]\n"
                "                      [--warn-only] [--baseline-policy P]\n"
                "                      [--csv] [-v] [--quiet]\n"
+               "       levioso-report --serve-log FILE [--csv]\n"
                "  OLD/NEW: two runner reports, two micro_speed baselines,\n"
-               "  or two run manifests (kinds must match).\n"
+               "  two run manifests or two serve status snapshots (kinds\n"
+               "  must match). --serve-log summarizes one levioso-serve\n"
+               "  --metrics-log file instead of diffing two documents.\n"
                "  exit status: 0 ok, 1 regression past --max-regress,\n"
                "  2 bad usage or unreadable input\n";
   std::exit(2);
@@ -45,6 +54,7 @@ namespace {
 
 int main(int argc, char** argv) {
   std::vector<std::string> files;
+  std::string serveLog;
   runner::report::DiffOptions opts;
   bool warnOnly = false, csv = false;
 
@@ -57,6 +67,8 @@ int main(int argc, char** argv) {
     if (a == "--diff") {
       files.push_back(next());
       files.push_back(next());
+    } else if (a == "--serve-log") {
+      serveLog = next();
     } else if (a == "--max-regress") {
       opts.maxRegressPct = std::atof(next().c_str());
     } else if (a == "--baseline-policy") {
@@ -73,6 +85,24 @@ int main(int argc, char** argv) {
       files.push_back(a); // bare OLD NEW positionals
     } else {
       usage();
+    }
+  }
+  if (!serveLog.empty()) {
+    if (!files.empty()) usage(); // one mode per invocation
+    try {
+      const runner::report::Diff d =
+          runner::report::summarizeMetricsLog(serveLog);
+      std::cout << "== serve metrics log: " << serveLog << " ==\n";
+      if (csv)
+        d.table.printCsv(std::cout);
+      else
+        d.table.print(std::cout);
+      for (const std::string& note : d.notes)
+        std::cout << "# note: " << note << "\n";
+      return 0;
+    } catch (const Error& e) {
+      std::cerr << "levioso-report: " << e.what() << "\n";
+      return 2;
     }
   }
   if (files.size() != 2) usage();

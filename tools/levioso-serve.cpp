@@ -30,9 +30,11 @@ namespace {
       << "usage: levioso-serve [--port N] [--port-file FILE]\n"
          "                     [--cache-dir DIR|--no-cache] [--cache-max-mb N]\n"
          "                     [--lease-ms N] [--max-dispatches N]\n"
+         "                     [--metrics-log FILE] [--metrics-interval-ms N]\n"
          "                     [--quiet] [-v]\n"
          "--port 0 (the default) picks an ephemeral port; the bound port is\n"
-         "printed to stdout either way.\n";
+         "printed to stdout either way. --metrics-log appends one JSON status\n"
+         "snapshot per interval (levioso-report --serve-log summarizes it).\n";
   std::exit(2);
 }
 
@@ -76,6 +78,13 @@ int main(int argc, char** argv) {
     else if (a == "--max-dispatches")
       opts.maxDispatches = requireIntArg("levioso-serve", "--max-dispatches",
                                          next(), 1, 1 << 30);
+    else if (a == "--metrics-log")
+      opts.metricsLogPath = next();
+    else if (a == "--metrics-interval-ms")
+      opts.metricsIntervalMicros =
+          requireInt("levioso-serve", "--metrics-interval-ms", next(), 1,
+                     86'400'000) *
+          1000;
     else if (a == "--quiet")
       log::setThreshold(log::Level::Warn);
     else if (a == "-v")

@@ -1,0 +1,214 @@
+// levioso-top: live introspection of a running levioso-serve daemon
+// (docs/SERVE.md "Live status"). Connects as a plain client, sends Status
+// frames and renders the StatusReply snapshots — queue depth per lane,
+// in-flight jobs with lease ages, per-worker health, remote cache-tier
+// counters and job-latency histogram totals.
+//
+//   levioso-top --connect 127.0.0.1:7733            # refreshing display
+//   levioso-top --connect 127.0.0.1:7733 --json     # one snapshot, JSON
+//
+// --json prints exactly one snapshot as a JSON object (the same schema a
+// --metrics-log line carries; docs/OBSERVABILITY.md) and exits — the mode
+// CI and scripts consume. Without it the tool polls every --interval-ms
+// (ANSI-refreshing when stderr is a TTY, plain appended snapshots when
+// not) until interrupted. Exits 0 on success / orderly daemon shutdown,
+// 2 on bad arguments, 3 on a connection or protocol error.
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "runner/resultcache.hpp"
+#include "serve/protocol.hpp"
+#include "support/cliparse.hpp"
+#include "support/error.hpp"
+#include "support/framing.hpp"
+#include "support/json.hpp"
+#include "support/log.hpp"
+#include "support/socket.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+#include <unistd.h>
+
+using namespace lev;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: levioso-top --connect HOST:PORT [--json]\n"
+               "                   [--interval-ms N] [--quiet] [-v]\n"
+               "--json prints one status snapshot as JSON and exits;\n"
+               "otherwise the status is re-polled every --interval-ms\n"
+               "(default 1000) until interrupted.\n";
+  std::exit(2);
+}
+
+volatile std::sig_atomic_t gStop = 0;
+void onSignal(int) { gStop = 1; }
+
+/// Blocking request/reply on an established daemon connection. Returns
+/// false on orderly EOF (daemon shut down); throws on a protocol error.
+bool pollStatus(int fd, framing::FrameDecoder& dec, serve::StatusInfo& out) {
+  sock::writeAll(fd, framing::encodeFrame(serve::encodeMessage(
+                         [] {
+                           serve::Message m;
+                           m.type = serve::MsgType::Status;
+                           return m;
+                         }())));
+  for (;;) {
+    while (auto payload = dec.next()) {
+      const serve::Message m = serve::decodeMessage(*payload);
+      if (m.type == serve::MsgType::Unknown) continue; // newer daemon
+      if (m.type != serve::MsgType::StatusReply)
+        throw Error(std::string("unexpected ") + serve::msgTypeName(m.type) +
+                    " frame while waiting for a status reply");
+      out = m.status;
+      return true;
+    }
+    char buf[65536];
+    const std::size_t n = sock::readSome(fd, buf, sizeof(buf));
+    if (n == 0) return false;
+    dec.feed(buf, n);
+  }
+}
+
+std::string fmtAge(std::int64_t micros) {
+  if (micros < 0) return "-";
+  return fmtF(static_cast<double>(micros) / 1e6, 1) + "s";
+}
+
+void render(std::ostream& os, const serve::StatusInfo& s) {
+  os << "levioso-serve up " << fmtAge(s.uptimeMicros) << ", salt "
+     << s.salt << ", protocol v" << s.protocolVersion << "\n";
+  os << "queued " << s.queuedJobs << " across " << s.lanes.size()
+     << " lane(s), inflight " << s.inflight.size() << ", workers "
+     << s.workers.size() << " connected / " << s.workersSeen
+     << " lifetime, jobs completed " << s.jobsCompleted << ", redispatches "
+     << s.redispatches << "\n";
+  os << "remote cache: " << s.remoteHits << " hits, " << s.remoteMisses
+     << " misses, " << s.remotePuts << " puts, " << s.remoteRejected
+     << " rejected\n";
+
+  if (!s.lanes.empty()) {
+    Table t({"lane(client)", "depth"});
+    for (const auto& l : s.lanes)
+      t.addRow({std::to_string(l.client), std::to_string(l.depth)});
+    t.print(os);
+  }
+  if (!s.workers.empty()) {
+    Table t({"worker", "state", "done", "failures", "heartbeat", "job",
+             "lease"});
+    for (const auto& w : s.workers)
+      t.addRow({std::to_string(w.id), w.state,
+                std::to_string(w.jobsCompleted), std::to_string(w.failures),
+                fmtAge(w.lastHeartbeatAgeMicros),
+                w.leasedJob == 0 ? "-" : std::to_string(w.leasedJob),
+                w.leasedJob == 0 ? "-" : fmtAge(w.leaseAgeMicros)});
+    t.print(os);
+  }
+  if (!s.inflight.empty()) {
+    Table t({"job", "spec", "worker", "dispatches", "lease"});
+    for (const auto& j : s.inflight)
+      t.addRow({std::to_string(j.id), j.desc, std::to_string(j.worker),
+                std::to_string(j.dispatches), fmtAge(j.leaseAgeMicros)});
+    t.print(os);
+  }
+
+  // The latency histograms summarize as count/mean/max per metric.
+  const auto metric = [&](const char* name, const char* suffix) {
+    const auto it = s.metrics.find(std::string("hist.") + name + suffix);
+    return it == s.metrics.end() ? std::int64_t{0} : it->second;
+  };
+  for (const char* name : {"serve.queueMicros", "serve.jobMicros",
+                           "serve.heartbeatRttMicros"}) {
+    const std::int64_t count = metric(name, ".count");
+    if (count == 0) continue;
+    const std::int64_t sum = metric(name, ".sum");
+    os << name << ": n=" << count << " mean="
+       << fmtF(static_cast<double>(sum) / static_cast<double>(count) / 1e3, 2)
+       << "ms max="
+       << fmtF(static_cast<double>(metric(name, ".max")) / 1e3, 2) << "ms\n";
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string endpoint;
+  bool jsonOnce = false;
+  std::int64_t intervalMicros = 1'000'000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--connect")
+      endpoint = next();
+    else if (a == "--json")
+      jsonOnce = true;
+    else if (a == "--interval-ms")
+      intervalMicros =
+          requireInt("levioso-top", "--interval-ms", next(), 1, 86'400'000) *
+          1000;
+    else if (a == "--quiet")
+      log::setThreshold(log::Level::Warn);
+    else if (a == "-v")
+      log::setThreshold(log::Level::Debug);
+    else
+      usage();
+  }
+  if (endpoint.empty()) usage();
+
+  try {
+    std::string host;
+    std::uint16_t port = 0;
+    sock::parseEndpoint(endpoint, host, port);
+    sock::Fd fd = sock::connectTo(host, port);
+
+    serve::Message hello;
+    hello.type = serve::MsgType::Hello;
+    hello.role = "client";
+    sock::writeAll(fd.get(),
+                   framing::encodeFrame(serve::encodeMessage(hello)));
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    framing::FrameDecoder dec;
+    const bool tty = ::isatty(1) != 0;
+    bool first = true;
+    for (;;) {
+      serve::StatusInfo s;
+      if (!pollStatus(fd.get(), dec, s)) {
+        if (first) throw Error("daemon closed the connection");
+        std::cerr << "levioso-top: daemon shut down\n";
+        return 0;
+      }
+      if (jsonOnce) {
+        JsonWriter w(std::cout, 2);
+        w.beginObject();
+        serve::writeStatusFields(w, s);
+        w.endObject();
+        std::cout << "\n";
+        return 0;
+      }
+      if (tty && !first) std::cout << "\033[H\033[2J";
+      render(std::cout, s);
+      if (s.salt != runner::kCodeVersionSalt)
+        std::cout << "WARNING: daemon salt '" << s.salt
+                  << "' differs from this build's '"
+                  << runner::kCodeVersionSalt
+                  << "' — results are not cache-compatible\n";
+      std::cout.flush();
+      first = false;
+      if (gStop != 0) return 0;
+      ::usleep(static_cast<useconds_t>(intervalMicros));
+      if (gStop != 0) return 0;
+    }
+  } catch (const Error& e) {
+    std::cerr << "levioso-top: " << e.what() << "\n";
+    return 3;
+  }
+}

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "serve/worker.hpp"
+#include "support/cliparse.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/socket.hpp"
@@ -48,7 +49,10 @@ int main(int argc, char** argv) {
     else if (a == "--no-cache")
       opts.cacheDir.clear();
     else if (a == "--heartbeat-ms")
-      opts.heartbeatMicros = std::atoll(next().c_str()) * 1000;
+      opts.heartbeatMicros =
+          requireInt("levioso-worker", "--heartbeat-ms", next(), 1,
+                     86'400'000) *
+          1000;
     else if (a == "--quiet")
       log::setThreshold(log::Level::Warn);
     else if (a == "-v")
