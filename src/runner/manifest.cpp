@@ -74,11 +74,14 @@ void writeManifest(std::ostream& os, const Manifest& m) {
     w.field("endpoint", m.serve->endpoint);
     w.field("workersSeen", m.serve->workersSeen);
     w.field("redispatches", m.serve->redispatches);
+    w.field("reconnects", m.serve->reconnects);
     w.key("remoteCache").beginObject();
     w.field("hits", m.serve->remoteCacheHits);
     w.field("misses", m.serve->remoteCacheMisses);
     w.field("puts", m.serve->remoteCachePuts);
     w.field("rejected", m.serve->remoteCacheRejected);
+    w.field("evictions", m.serve->remoteCacheEvictions);
+    w.field("evictedBytes", m.serve->remoteCacheEvictedBytes);
     w.endObject();
     if (m.serve->daemonUptimeMicros >= 0) {
       w.key("status").beginObject();

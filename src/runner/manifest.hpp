@@ -25,10 +25,12 @@ namespace lev::runner {
 /// docs/SERVE.md); version 4 the optional "fuzz" section (security-fuzzing
 /// runs, docs/FUZZING.md); version 5 the optional "serve.status" subsection
 /// (the daemon handshake snapshot) and optional "host"/"traceId" fields on
-/// timing entries (cross-host spans). All are absent unless their subsystem
-/// ran, so older consumers of other tools' manifests only see the version
-/// number change.
-inline constexpr int kManifestVersion = 5;
+/// timing entries (cross-host spans); version 6 "serve.reconnects" and the
+/// "evictions"/"evictedBytes" remote-cache counters (crash-safe serve,
+/// docs/SERVE.md "Surviving restarts"). All are absent unless their
+/// subsystem ran, so older consumers of other tools' manifests only see
+/// the version number change.
+inline constexpr int kManifestVersion = 6;
 
 struct Manifest {
   std::string tool;              ///< producing binary ("levioso-batch", ...)
@@ -54,10 +56,13 @@ struct Manifest {
     std::string endpoint;
     std::uint64_t workersSeen = 0;
     std::uint64_t redispatches = 0;    ///< re-leases of this run's jobs
+    std::uint64_t reconnects = 0;      ///< client reconnects (manifest v6)
     std::uint64_t remoteCacheHits = 0; ///< remote-tier lookups by workers
     std::uint64_t remoteCacheMisses = 0;
     std::uint64_t remoteCachePuts = 0;
     std::uint64_t remoteCacheRejected = 0; ///< refused by admission control
+    std::uint64_t remoteCacheEvictions = 0;     ///< LRU drops (manifest v6)
+    std::uint64_t remoteCacheEvictedBytes = 0;
     // Status-handshake snapshot (manifest v5, docs/SERVE.md "Live
     // status"); serialized as a "status" subobject only when the
     // handshake happened (daemonUptimeMicros >= 0).

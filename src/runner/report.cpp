@@ -205,9 +205,11 @@ Diff diffManifest(const JsonValue& oldDoc, const JsonValue& newDoc) {
       {"cache.corruptEntries", {"cache", "corruptEntries"}},
       {"serve.workersSeen", {"serve", "workersSeen"}},
       {"serve.redispatches", {"serve", "redispatches"}},
+      {"serve.reconnects", {"serve", "reconnects"}},
       {"serve.remoteCache.hits", {"serve", "remoteCache", "hits"}},
       {"serve.remoteCache.misses", {"serve", "remoteCache", "misses"}},
       {"serve.remoteCache.rejected", {"serve", "remoteCache", "rejected"}},
+      {"serve.remoteCache.evictions", {"serve", "remoteCache", "evictions"}},
       {"serve.status.workerSpans", {"serve", "status", "workerSpans"}},
       {"serve.status.clockRttMicros", {"serve", "status", "clockRttMicros"}},
       {"serve.status.daemonUptimeMicros",
@@ -235,6 +237,11 @@ Diff diffManifest(const JsonValue& oldDoc, const JsonValue& newDoc) {
   if (!std::isnan(redispatches) && redispatches > 0)
     d.notes.push_back("new run re-dispatched " + fmtF(redispatches, 0) +
                       " leased jobs after worker loss (docs/SERVE.md)");
+  const double reconnects = numberAt(newDoc, {"serve", "reconnects"});
+  if (!std::isnan(reconnects) && reconnects > 0)
+    d.notes.push_back("new run reconnected to the daemon " +
+                      fmtF(reconnects, 0) +
+                      " time(s) (docs/SERVE.md \"Surviving restarts\")");
   const double jobFails = numberAt(newDoc, {"jobs", "failed"});
   if (!std::isnan(jobFails) && jobFails > 0)
     d.regressions.push_back("new run had " + fmtF(jobFails, 0) +

@@ -9,40 +9,123 @@ namespace fs = std::filesystem;
 
 namespace lev::serve {
 
+namespace {
+
+/// Entry file names are `<16-hex-digits>.result` (ResultCache::pathFor);
+/// anything else in the directory is not ours to account or evict.
+std::optional<std::uint64_t> keyFromStem(const std::string& stem) {
+  if (stem.size() != 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : stem) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return std::nullopt;
+  }
+  return v;
+}
+
+} // namespace
+
 RemoteCacheTier::RemoteCacheTier(Options opts)
     : opts_(opts), cache_({opts.dir, opts.salt}) {
   // Scanned even when unbounded: usedBytes() is an observability value,
-  // not just the admission-control input.
+  // not just the eviction input.
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(opts_.dir, ec)) {
     if (entry.path().extension() != ".result") continue;
+    const auto key = keyFromStem(entry.path().stem().string());
+    if (!key) continue;
     const auto sz = entry.file_size(ec);
-    if (!ec) usedBytes_ += sz;
+    if (ec) continue;
+    usedBytes_ += sz;
+    lru_.push_front(*key);
+    index_[*key] = Node{lru_.begin(), sz};
   }
+}
+
+void RemoteCacheTier::forget(std::uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  usedBytes_ -= it->second.bytes < usedBytes_ ? it->second.bytes : usedBytes_;
+  lru_.erase(it->second.pos);
+  index_.erase(it);
+}
+
+void RemoteCacheTier::evictOne() {
+  const std::uint64_t victim = lru_.back();
+  const std::uint64_t bytes = index_.at(victim).bytes;
+  std::error_code ec;
+  fs::remove(opts_.dir + "/" + runner::hashHex(victim) + ".result", ec);
+  // A failed remove leaves the bytes on disk but the entry still comes out
+  // of the index (we will not retry it forever); the accounting self-heals
+  // if a later scan or lookup rediscovers the file.
+  forget(victim);
+  ++counters_.evictions;
+  counters_.evictedBytes += bytes;
+  if (counters_.evictions == 1)
+    LEV_LOG_WARN("serve",
+                 "remote cache tier at size cap; evicting LRU entries "
+                 "(further evictions logged at debug level)",
+                 {{"dir", opts_.dir},
+                  {"usedBytes", usedBytes_},
+                  {"maxBytes", opts_.maxBytes}});
+  else
+    LEV_LOG_DEBUG("serve", "evicted remote cache entry",
+                  {{"key", runner::hashHex(victim)}, {"bytes", bytes}});
 }
 
 std::optional<std::string> RemoteCacheTier::get(std::uint64_t key,
                                                 const std::string& desc) {
   auto entry = cache_.readByHash(key, desc);
-  if (entry) ++counters_.hits;
-  else ++counters_.misses;
+  if (entry) {
+    ++counters_.hits;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Touch: a hit is the recency signal the eviction order feeds on.
+      lru_.splice(lru_.begin(), lru_, it->second.pos);
+    } else {
+      // Present on disk but not indexed (placed there by an external local
+      // run, or accounting drift after a failed evict) — adopt it.
+      usedBytes_ += entry->size();
+      lru_.push_front(key);
+      index_[key] = Node{lru_.begin(), entry->size()};
+    }
+  } else {
+    ++counters_.misses;
+    // After ANY miss the `.result` file is gone: absent, or quarantined to
+    // a `.corrupt` sibling by readByHash. Either way its bytes no longer
+    // count and its slot must not shield fresher entries from eviction.
+    forget(key);
+  }
   return entry;
 }
 
 bool RemoteCacheTier::put(std::uint64_t key, const std::string& desc,
                           const std::string& entry) {
-  // A put that would OVERWRITE an existing entry replaces bytes rather than
-  // adding them, but re-reading the old size per put is not worth it: the
-  // cap is a flood guard, not an accountant, and overcounting only makes it
-  // trip earlier (the safe direction).
-  if (opts_.maxBytes != 0 && usedBytes_ + entry.size() > opts_.maxBytes) {
+  if (opts_.maxBytes != 0 && entry.size() > opts_.maxBytes) {
+    // Evicting the whole tier still could not admit it.
     ++counters_.rejected;
     if (counters_.rejected == 1)
-      LEV_LOG_WARN("serve", "remote cache tier full; rejecting puts",
+      LEV_LOG_WARN("serve", "remote cache put larger than the tier size cap",
                    {{"dir", opts_.dir},
-                    {"usedBytes", usedBytes_},
+                    {"entryBytes", entry.size()},
                     {"maxBytes", opts_.maxBytes}});
     return false;
+  }
+  // An overwrite replaces the old entry's bytes rather than adding to them.
+  const auto prior = index_.find(key);
+  const std::uint64_t replaced = prior != index_.end() ? prior->second.bytes : 0;
+  if (opts_.maxBytes != 0) {
+    while (usedBytes_ - replaced + entry.size() > opts_.maxBytes &&
+           !lru_.empty() && !(lru_.size() == 1 && lru_.back() == key)) {
+      if (lru_.back() == key) {
+        // Never evict the very entry being overwritten; rotate it away.
+        lru_.splice(lru_.begin(), lru_, prior->second.pos);
+        continue;
+      }
+      evictOne();
+    }
   }
   if (!cache_.storeByHash(key, desc, entry)) {
     // storeByHash already distinguished (and logged) validation rejections
@@ -51,7 +134,17 @@ bool RemoteCacheTier::put(std::uint64_t key, const std::string& desc,
     return false;
   }
   ++counters_.puts;
-  usedBytes_ += entry.size();
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    usedBytes_ += entry.size();
+    usedBytes_ -= it->second.bytes < usedBytes_ ? it->second.bytes : usedBytes_;
+    it->second.bytes = entry.size();
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+  } else {
+    usedBytes_ += entry.size();
+    lru_.push_front(key);
+    index_[key] = Node{lru_.begin(), entry.size()};
+  }
   return true;
 }
 

@@ -7,15 +7,23 @@
 // Admission control: a put is rejected (never written, counted in
 // `rejected`) when the entry fails ResultCache::storeByHash validation —
 // corrupt text, a key that does not match the description under this salt
-// — or when accepting it would push the directory past `maxBytes`. A
-// remote worker can therefore never poison or flood the shared tier.
+// — or when the entry alone is larger than `maxBytes`. A remote worker
+// can therefore never poison the shared tier; it can no longer FLOOD it
+// either, because at the size cap the tier now evicts its least-recently
+//-used entries instead of refusing new work's results (docs/SERVE.md
+// "Surviving restarts"): every validated get touches its entry to the
+// front of the recency order, quarantined entries fall out of the
+// accounting the moment a lookup discovers them, and evictions are
+// surfaced through `evictions`/`evictedBytes` counters.
 //
 // Single-threaded by design: only the daemon's event loop touches it.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "runner/resultcache.hpp"
 
@@ -26,28 +34,32 @@ public:
   struct Options {
     std::string dir = ".levioso-cache";
     std::string salt = runner::kCodeVersionSalt;
-    /// Size cap for the directory (admission control); 0 = unbounded.
-    /// Measured over `.result` entries at construction and maintained
-    /// incrementally on accepted puts.
+    /// Size cap for the directory; 0 = unbounded. Measured over `.result`
+    /// entries at construction and maintained incrementally; puts that
+    /// would exceed it evict least-recently-used entries first.
     std::uint64_t maxBytes = 0;
   };
 
   explicit RemoteCacheTier(Options opts);
 
   /// Validated lookup by content hash; nullopt on miss (corrupt entries
-  /// quarantine exactly as a local lookup would).
+  /// quarantine exactly as a local lookup would, and leave the recency
+  /// index). A hit marks the entry most-recently-used.
   std::optional<std::string> get(std::uint64_t key, const std::string& desc);
 
-  /// Admission-controlled store; false when rejected (validation or size
-  /// cap) or when the write itself failed.
+  /// Validated store; evicts LRU entries to make room under `maxBytes`.
+  /// False when rejected (validation, or an entry that could never fit)
+  /// or when the write itself failed.
   bool put(std::uint64_t key, const std::string& desc,
            const std::string& entry);
 
   struct Counters {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
-    std::uint64_t puts = 0;     ///< accepted and written
-    std::uint64_t rejected = 0; ///< refused by admission control
+    std::uint64_t puts = 0;          ///< accepted and written
+    std::uint64_t rejected = 0;      ///< refused by admission control
+    std::uint64_t evictions = 0;     ///< LRU entries dropped at cap
+    std::uint64_t evictedBytes = 0;  ///< bytes those entries freed
   };
   const Counters& counters() const { return counters_; }
 
@@ -55,10 +67,23 @@ public:
   runner::ResultCache& cache() { return cache_; }
 
 private:
+  struct Node {
+    std::list<std::uint64_t>::iterator pos; ///< position in lru_
+    std::uint64_t bytes = 0;
+  };
+
+  void forget(std::uint64_t key);
+  void evictOne();
+
   Options opts_;
   runner::ResultCache cache_;
   Counters counters_;
   std::uint64_t usedBytes_ = 0;
+  /// Recency order over indexed keys: front = most recently used. Entries
+  /// found on disk at construction enter in directory order (no access
+  /// history survives a restart — any order is as honest as another).
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, Node> index_;
 };
 
 } // namespace lev::serve

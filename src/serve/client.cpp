@@ -3,11 +3,15 @@
 #include <chrono>
 #include <iterator>
 #include <map>
+#include <random>
 #include <set>
+#include <thread>
 
+#include "runner/execute.hpp"
 #include "serve/protocol.hpp"
 #include "support/error.hpp"
 #include "support/framing.hpp"
+#include "support/log.hpp"
 #include "support/socket.hpp"
 
 namespace lev::serve {
@@ -66,156 +70,218 @@ const std::vector<runner::RunRecord>& RemoteSweep::run() {
   const std::size_t nUnique = slotSpec.size();
   counters_.unique += nUnique;
 
-  // 2. Connect and submit one job per unique slot (id = slot).
+  // 2. Connect and run the sweep — reconnecting on a lost daemon
+  // (docs/SERVE.md "Surviving restarts"). All settlement state lives
+  // OUTSIDE the per-connection scope: each connection re-handshakes,
+  // re-submits only the slots still unsettled (stable id = slot, so a
+  // journal-recovering daemon adopts rather than duplicates them), and
+  // re-calibrates the daemon clock pairing so merged traces stay causal
+  // across the gap.
   std::string host;
   std::uint16_t port = 0;
   sock::parseEndpoint(opts_.endpoint, host, port);
-  sock::Fd fd = sock::connectTo(host, port);
   serveStats_.endpoint = opts_.endpoint;
 
-  framing::FrameDecoder dec;
-  char buf[65536];
-  // Next decoded frame, transparently skipping unknown types (a newer
-  // daemon); blocks until one arrives.
-  const auto nextFrame = [&]() -> Message {
-    for (;;) {
-      while (auto payload = dec.next()) {
-        Message m = decodeMessage(*payload);
-        if (m.type != MsgType::Unknown) return m;
-      }
-      const std::size_t n = sock::readSome(fd.get(), buf, sizeof(buf));
-      if (n == 0)
-        throw TransientError("daemon closed the connection mid-run");
-      dec.feed(buf, n);
-    }
-  };
-
-  // 2a. Status handshake: pairs the daemon's clock against ours (NTP
-  // midpoint over one round trip) so dispatch timestamps on Outcomes can
-  // be placed on this run's trace, and records the daemon's version salt
-  // and uptime for the manifest (docs/SERVE.md "Distributed tracing").
-  Message hello;
-  hello.type = MsgType::Hello;
-  hello.role = "client";
-  std::int64_t daemonOffset = 0;
-  {
-    Message statusReq;
-    statusReq.type = MsgType::Status;
-    const std::int64_t t0 = nowMicros();
-    sock::writeAll(fd.get(),
-                   framing::encodeFrame(encodeMessage(hello)) +
-                       framing::encodeFrame(encodeMessage(statusReq)));
-    Message reply = nextFrame();
-    const std::int64_t t1 = nowMicros();
-    if (reply.type != MsgType::StatusReply)
-      throw Error(std::string("expected statusReply from daemon, got ") +
-                  msgTypeName(reply.type));
-    serveStats_.daemonSalt = reply.status.salt;
-    serveStats_.daemonUptimeMicros = reply.status.uptimeMicros;
-    serveStats_.daemonProtocolVersion = reply.status.protocolVersion;
-    serveStats_.clockRttMicros = t1 - t0;
-    daemonOffset = reply.status.nowMicros - (t0 + t1) / 2;
-    serveStats_.clockOffsetMicros = daemonOffset;
-  }
-
-  std::string outBytes;
-  for (std::size_t slot = 0; slot < nUnique; ++slot) {
-    Message m;
-    m.type = MsgType::Submit;
-    m.id = slot;
-    m.spec = toWire(specs_[slotSpec[slot]]);
-    m.desc = descriptions_[slotSpec[slot]];
-    m.maxRetries = opts_.maxRetries;
-    m.backoffMicros = opts_.retryBackoffMicros;
-    outBytes += framing::encodeFrame(encodeMessage(m));
-  }
-  {
-    Message done;
-    done.type = MsgType::Done;
-    outBytes += framing::encodeFrame(encodeMessage(done));
-  }
-  sock::writeAll(fd.get(), outBytes);
-
-  // 3. Stream the outcomes (and finally the serve stats) back.
   std::vector<runner::RunRecord> uniqueRecords(nUnique);
   std::vector<runner::JobOutcome> uniqueOutcomes(nUnique);
   std::vector<char> settled(nUnique, 0);
   std::size_t settledCount = 0;
   bool cancelSent = false;
   bool sawStats = false;
-  while (!sawStats) {
-    while (auto payload = dec.next()) {
-      Message m = decodeMessage(*payload);
-      if (m.type == MsgType::Unknown) continue;
-      if (m.type == MsgType::Stats) {
-        serveStats_.workersSeen = m.workersSeen;
-        serveStats_.redispatches = m.redispatchTotal;
-        serveStats_.remoteHits = m.remoteHits;
-        serveStats_.remoteMisses = m.remoteMisses;
-        serveStats_.remotePuts = m.remotePuts;
-        serveStats_.remoteRejected = m.remoteRejected;
-        sawStats = true;
-        continue;
-      }
-      if (m.type != MsgType::Outcome)
-        throw Error(std::string("unexpected ") + msgTypeName(m.type) +
-                    " frame from daemon");
-      if (m.id >= nUnique)
-        throw Error("daemon answered unknown job id " + std::to_string(m.id));
-      const std::size_t slot = static_cast<std::size_t>(m.id);
-      if (settled[slot])
-        throw Error("daemon answered job " + std::to_string(m.id) + " twice");
-      settled[slot] = 1;
-      ++settledCount;
-      uniqueOutcomes[slot] = m.outcome;
-      serveStats_.runRedispatches += m.redispatches;
-      counters_.retries += m.retries;
-      // Merge this job's cross-host spans into the client trace. Jobs the
-      // daemon answered straight from its cache tier never dispatched, so
-      // they carry no dispatch timestamps and add no spans.
-      if (m.resultMicros != 0) {
-        serveStats_.workerSpans += m.spans.size();
-        auto merged = mergeOutcomeSpans(
-            descriptions_[slotSpec[slot]], m.workerConn, std::move(m.traceId),
-            m.submitMicros, m.dispatchMicros, m.resultMicros,
-            std::move(m.spans), m.clockOffsetMicros, m.offsetRttMicros,
-            daemonOffset, epochMicros_);
-        hostSpans_.insert(hostSpans_.end(),
-                          std::make_move_iterator(merged.begin()),
-                          std::make_move_iterator(merged.end()));
-      }
-      if (m.outcome.ok) {
-        if (!m.hasRecord)
-          throw Error("ok outcome without a record for job " +
-                      std::to_string(m.id));
-        runner::RunRecord rec;
-        const std::size_t si = slotSpec[slot];
-        if (runner::ResultCache::checkEntry(m.record, descriptions_[si],
-                                            rec) !=
-            runner::ResultCache::EntryCheck::Ok)
-          throw Error("daemon shipped a record that fails validation for " +
-                      descriptions_[si]);
-        rec.fromCache = m.fromCache;
-        rec.summary.policy = specs_[si].policy;
-        uniqueRecords[slot] = std::move(rec);
-        if (m.fromCache) ++counters_.cacheHits;
-      } else if (opts_.failPolicy == runner::FailPolicy::FailFast &&
-                 !cancelSent &&
-                 m.outcome.errorKind != runner::ErrorKind::Cancelled) {
-        Message cancel;
-        cancel.type = MsgType::Cancel;
-        sock::writeAll(fd.get(), framing::encodeFrame(encodeMessage(cancel)));
-        cancelSent = true;
-      }
-      if (opts_.onProgress) opts_.onProgress(settledCount, nUnique);
+
+  // One connection lifetime: handshake, submit the unsettled slots, and
+  // stream outcomes until the Stats frame. Throws TransientError when the
+  // daemon goes away mid-flight (retryable); protocol violations stay
+  // plain Error (fatal).
+  const auto runConnection = [&] {
+    sock::Fd fd;
+    try {
+      fd = sock::connectTo(host, port);
+    } catch (const Error& e) {
+      // An absent daemon is retryable — it may be mid-restart.
+      throw TransientError(e.what());
     }
-    if (sawStats) break;
-    const std::size_t n = sock::readSome(fd.get(), buf, sizeof(buf));
-    if (n == 0)
-      throw TransientError("daemon closed the connection with " +
-                           std::to_string(nUnique - settledCount) +
-                           " outcomes outstanding");
-    dec.feed(buf, n);
+    framing::FrameDecoder dec;
+    char buf[65536];
+    // Next decoded frame, transparently skipping unknown types (a newer
+    // daemon); blocks until one arrives.
+    const auto nextFrame = [&]() -> Message {
+      for (;;) {
+        while (auto payload = dec.next()) {
+          Message m = decodeMessage(*payload);
+          if (m.type != MsgType::Unknown) return m;
+        }
+        const std::size_t n = sock::readSome(fd.get(), buf, sizeof(buf));
+        if (n == 0)
+          throw TransientError("daemon closed the connection mid-run");
+        dec.feed(buf, n);
+      }
+    };
+
+    // 2a. Status handshake: pairs the daemon's clock against ours (NTP
+    // midpoint over one round trip) so dispatch timestamps on Outcomes can
+    // be placed on this run's trace, and records the daemon's version salt
+    // and uptime for the manifest (docs/SERVE.md "Distributed tracing").
+    // Runs afresh every connection: a restarted daemon is a NEW clock.
+    Message hello;
+    hello.type = MsgType::Hello;
+    hello.role = "client";
+    hello.token = opts_.token;
+    std::int64_t daemonOffset = 0;
+    {
+      Message statusReq;
+      statusReq.type = MsgType::Status;
+      const std::int64_t t0 = nowMicros();
+      sock::writeAll(fd.get(),
+                     framing::encodeFrame(encodeMessage(hello)) +
+                         framing::encodeFrame(encodeMessage(statusReq)));
+      Message reply = nextFrame();
+      const std::int64_t t1 = nowMicros();
+      if (reply.type != MsgType::StatusReply)
+        throw Error(std::string("expected statusReply from daemon, got ") +
+                    msgTypeName(reply.type));
+      serveStats_.daemonSalt = reply.status.salt;
+      serveStats_.daemonUptimeMicros = reply.status.uptimeMicros;
+      serveStats_.daemonProtocolVersion = reply.status.protocolVersion;
+      serveStats_.clockRttMicros = t1 - t0;
+      daemonOffset = reply.status.nowMicros - (t0 + t1) / 2;
+      serveStats_.clockOffsetMicros = daemonOffset;
+    }
+
+    std::string outBytes;
+    for (std::size_t slot = 0; slot < nUnique; ++slot) {
+      if (settled[slot]) continue;
+      Message m;
+      m.type = MsgType::Submit;
+      m.id = slot;
+      m.spec = toWire(specs_[slotSpec[slot]]);
+      m.desc = descriptions_[slotSpec[slot]];
+      m.maxRetries = opts_.maxRetries;
+      m.backoffMicros = opts_.retryBackoffMicros;
+      outBytes += framing::encodeFrame(encodeMessage(m));
+    }
+    {
+      Message done;
+      done.type = MsgType::Done;
+      outBytes += framing::encodeFrame(encodeMessage(done));
+    }
+    if (cancelSent) {
+      // A restarted daemon never saw the original Cancel; re-send it so
+      // FailFast semantics survive the gap.
+      Message cancel;
+      cancel.type = MsgType::Cancel;
+      outBytes += framing::encodeFrame(encodeMessage(cancel));
+    }
+    sock::writeAll(fd.get(), outBytes);
+
+    // 3. Stream the outcomes (and finally the serve stats) back.
+    while (!sawStats) {
+      while (auto payload = dec.next()) {
+        Message m = decodeMessage(*payload);
+        if (m.type == MsgType::Unknown) continue;
+        if (m.type == MsgType::Stats) {
+          serveStats_.workersSeen = m.workersSeen;
+          serveStats_.redispatches = m.redispatchTotal;
+          serveStats_.remoteHits = m.remoteHits;
+          serveStats_.remoteMisses = m.remoteMisses;
+          serveStats_.remotePuts = m.remotePuts;
+          serveStats_.remoteRejected = m.remoteRejected;
+          serveStats_.remoteEvictions = m.remoteEvictions;
+          serveStats_.remoteEvictedBytes = m.remoteEvictedBytes;
+          sawStats = true;
+          continue;
+        }
+        if (m.type != MsgType::Outcome)
+          throw Error(std::string("unexpected ") + msgTypeName(m.type) +
+                      " frame from daemon");
+        if (m.id >= nUnique)
+          throw Error("daemon answered unknown job id " +
+                      std::to_string(m.id));
+        const std::size_t slot = static_cast<std::size_t>(m.id);
+        if (settled[slot]) continue; // duplicate across a reconnect seam
+        settled[slot] = 1;
+        ++settledCount;
+        uniqueOutcomes[slot] = m.outcome;
+        serveStats_.runRedispatches += m.redispatches;
+        counters_.retries += m.retries;
+        // Merge this job's cross-host spans into the client trace. Jobs
+        // the daemon answered straight from its cache tier never
+        // dispatched, so they carry no dispatch timestamps and no spans.
+        if (m.resultMicros != 0) {
+          serveStats_.workerSpans += m.spans.size();
+          auto merged = mergeOutcomeSpans(
+              descriptions_[slotSpec[slot]], m.workerConn,
+              std::move(m.traceId), m.submitMicros, m.dispatchMicros,
+              m.resultMicros, std::move(m.spans), m.clockOffsetMicros,
+              m.offsetRttMicros, daemonOffset, epochMicros_);
+          hostSpans_.insert(hostSpans_.end(),
+                            std::make_move_iterator(merged.begin()),
+                            std::make_move_iterator(merged.end()));
+        }
+        if (m.outcome.ok) {
+          if (!m.hasRecord)
+            throw Error("ok outcome without a record for job " +
+                        std::to_string(m.id));
+          runner::RunRecord rec;
+          const std::size_t si = slotSpec[slot];
+          if (runner::ResultCache::checkEntry(m.record, descriptions_[si],
+                                              rec) !=
+              runner::ResultCache::EntryCheck::Ok)
+            throw Error(
+                "daemon shipped a record that fails validation for " +
+                descriptions_[si]);
+          rec.fromCache = m.fromCache;
+          rec.summary.policy = specs_[si].policy;
+          uniqueRecords[slot] = std::move(rec);
+          if (m.fromCache) ++counters_.cacheHits;
+        } else if (opts_.failPolicy == runner::FailPolicy::FailFast &&
+                   !cancelSent &&
+                   m.outcome.errorKind != runner::ErrorKind::Cancelled) {
+          Message cancel;
+          cancel.type = MsgType::Cancel;
+          sock::writeAll(fd.get(),
+                         framing::encodeFrame(encodeMessage(cancel)));
+          cancelSent = true;
+        }
+        if (opts_.onProgress) opts_.onProgress(settledCount, nUnique);
+      }
+      if (sawStats) break;
+      const std::size_t n = sock::readSome(fd.get(), buf, sizeof(buf));
+      if (n == 0)
+        throw TransientError("daemon closed the connection with " +
+                             std::to_string(nUnique - settledCount) +
+                             " outcomes outstanding");
+      dec.feed(buf, n);
+    }
+  };
+
+  std::mt19937_64 rng(std::random_device{}());
+  int consecutiveFailures = 0;
+  while (!sawStats) {
+    const std::size_t settledBefore = settledCount;
+    try {
+      runConnection();
+    } catch (const TransientError& e) {
+      // Progress on the failed connection earns back the full retry
+      // budget: only BACK-TO-BACK dead connections count against it.
+      if (settledCount > settledBefore) consecutiveFailures = 0;
+      if (++consecutiveFailures > opts_.maxReconnects) throw;
+      ++serveStats_.reconnects;
+      const std::int64_t cap = runner::retryBackoffMicros(
+          opts_.reconnectBackoffMicros, consecutiveFailures);
+      const std::int64_t sleep =
+          cap > 0 ? static_cast<std::int64_t>(
+                        rng() % (static_cast<std::uint64_t>(cap) + 1))
+                  : 0;
+      LEV_LOG_WARN("serve",
+                   "lost the daemon; reconnecting with backoff",
+                   {{"endpoint", opts_.endpoint},
+                    {"attempt", consecutiveFailures},
+                    {"settled", settledCount},
+                    {"backoffMicros", sleep},
+                    {"error", e.what()}});
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep));
+    }
   }
   if (settledCount != nUnique)
     throw Error("daemon sent stats with " +

@@ -32,6 +32,17 @@ public:
     runner::FailPolicy failPolicy = runner::FailPolicy::FailFast;
     int maxRetries = 2;
     std::int64_t retryBackoffMicros = 1000;
+    /// Consecutive failed connection attempts tolerated before the run
+    /// gives up (docs/SERVE.md "Surviving restarts"); 0 = the legacy
+    /// single-shot behavior. A connection that settles at least one new
+    /// outcome resets the count — the run survives any daemon outage
+    /// shorter than the full backoff ladder, however often it recurs.
+    int maxReconnects = 10;
+    /// Base for the jittered exponential backoff between attempts
+    /// (runner::retryBackoffMicros caps the growth at 2 s).
+    std::int64_t reconnectBackoffMicros = 200'000;
+    /// Shared-secret handshake token (--token / LEVIOSO_TOKEN); "" = none.
+    std::string token;
     /// (settled, totalUnique) per streamed outcome; called from run().
     std::function<void(std::size_t done, std::size_t total)> onProgress;
   };
@@ -71,6 +82,12 @@ public:
     std::uint64_t remoteMisses = 0;
     std::uint64_t remotePuts = 0;
     std::uint64_t remoteRejected = 0;
+    std::uint64_t remoteEvictions = 0;    ///< tier LRU drops (manifest v6)
+    std::uint64_t remoteEvictedBytes = 0;
+    /// Connection attempts AFTER the first — each one re-handshakes,
+    /// re-submits only unsettled jobs, and re-calibrates the clock pairing
+    /// (manifest v6 "serve.reconnects").
+    std::uint64_t reconnects = 0;
     // From the Status handshake (manifest v5 "serve.status" section):
     std::string daemonSalt;               ///< daemon's kCodeVersionSalt
     std::int64_t daemonUptimeMicros = -1; ///< -1 = no handshake (old daemon)

@@ -8,6 +8,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
 #include "support/error.hpp"
@@ -67,6 +68,7 @@ struct Daemon::Impl {
   DaemonOptions opts;
   sock::Listener listener;
   std::unique_ptr<RemoteCacheTier> tier; ///< null when cacheDir == ""
+  std::unique_ptr<JobJournal> journal;   ///< null when journalPath == ""
   JobQueue queue;
   std::map<std::uint64_t, Conn> conns;
   std::map<std::uint64_t, JobState> jobs;
@@ -86,6 +88,32 @@ struct Daemon::Impl {
       tier = std::make_unique<RemoteCacheTier>(
           RemoteCacheTier::Options{opts.cacheDir, runner::kCodeVersionSalt,
                                    opts.cacheMaxBytes});
+    if (!opts.journalPath.empty()) {
+      journal = std::make_unique<JobJournal>(opts.journalPath);
+      // Recovered jobs re-enter the queue OWNERLESS (lane 0): their client
+      // connection died with the previous daemon. A reconnecting client
+      // that re-submits a matching desc adopts them (handleClientFrame);
+      // until then any worker may still burn through them, warming the
+      // cache tier for that re-submission.
+      for (const RecoveredJob& r : journal->recovered()) {
+        JobState job;
+        job.client = 0;
+        job.spec = r.spec;
+        job.desc = r.desc;
+        job.maxRetries = r.maxRetries;
+        job.backoffMicros = r.backoffMicros;
+        job.dispatches = r.dispatches;
+        job.submitMicros = nowMicros();
+        jobs.emplace(r.id, std::move(job));
+        queue.push(0, r.id);
+        if (r.id >= nextJobId) nextJobId = r.id + 1;
+        ++stats.jobsRecovered;
+      }
+      if (stats.jobsRecovered != 0)
+        LEV_LOG_INFO("serve", "recovered unfinished jobs from journal",
+                     {{"path", opts.journalPath},
+                      {"jobs", stats.jobsRecovered}});
+    }
     if (::pipe(stopPipe) != 0) throw Error("daemon: cannot create stop pipe");
   }
 
@@ -110,6 +138,7 @@ struct Daemon::Impl {
     const std::uint64_t clientId = it->second.client;
     jobs.erase(it);
     ++stats.jobsCompleted;
+    if (journal) journal->outcome(jobId);
     auto cit = conns.find(clientId);
     if (cit == conns.end() || cit->second.dead) return;
     Conn& client = cit->second;
@@ -156,6 +185,8 @@ struct Daemon::Impl {
       m.remoteMisses = c.misses;
       m.remotePuts = c.puts;
       m.remoteRejected = c.rejected;
+      m.remoteEvictions = c.evictions;
+      m.remoteEvictedBytes = c.evictedBytes;
     }
     send(client, m);
     client.statsSent = true;
@@ -198,11 +229,14 @@ struct Daemon::Impl {
     c.dead = true;
     if (c.role == Role::Worker && c.leased != 0) forfeitLease(c);
     if (c.role == Role::Client) {
-      // Queued jobs die with their client; leased ones are orphaned and
-      // their results discarded on arrival (the worker's cache puts still
-      // land, so the work is not wasted).
-      for (const std::uint64_t jobId : queue.dropClient(connId))
+      // Queued jobs die with their client (journaled as client-done, so a
+      // restarted daemon will not resurrect work nobody is waiting for);
+      // leased ones are orphaned and their results discarded on arrival
+      // (the worker's cache puts still land, so the work is not wasted).
+      for (const std::uint64_t jobId : queue.dropClient(connId)) {
         jobs.erase(jobId);
+        if (journal) journal->clientDone(jobId);
+      }
       for (auto& [jobId, job] : jobs)
         if (job.client == connId) job.client = 0;
     }
@@ -211,6 +245,25 @@ struct Daemon::Impl {
   void handleClientFrame(std::uint64_t connId, Conn& c, Message& m) {
     switch (m.type) {
     case MsgType::Submit: {
+      // Adoption (docs/SERVE.md "Surviving restarts"): a submit matching
+      // an ORPHANED job — journal-recovered, or left behind by a dropped
+      // client — re-owns that job instead of queueing a duplicate. The
+      // orphan may already be leased; its result then flows to this
+      // client like any other.
+      bool adopted = false;
+      for (auto& [jobId, job] : jobs) {
+        if (job.client != 0 || job.desc != m.desc) continue;
+        job.client = connId;
+        job.submitId = m.id;
+        job.maxRetries = m.maxRetries;
+        job.backoffMicros = m.backoffMicros;
+        ++c.outstanding;
+        adopted = true;
+        LEV_LOG_INFO("serve", "client adopted an orphaned job",
+                     {{"desc", job.desc}, {"job", jobId}});
+        break;
+      }
+      if (adopted) break;
       const std::uint64_t jobId = nextJobId++;
       JobState job;
       job.client = connId;
@@ -220,6 +273,15 @@ struct Daemon::Impl {
       job.maxRetries = m.maxRetries;
       job.backoffMicros = m.backoffMicros;
       job.submitMicros = nowMicros();
+      if (journal) {
+        RecoveredJob r;
+        r.id = jobId;
+        r.spec = job.spec;
+        r.desc = job.desc;
+        r.maxRetries = job.maxRetries;
+        r.backoffMicros = job.backoffMicros;
+        journal->submit(r);
+      }
       jobs.emplace(jobId, std::move(job));
       ++c.outstanding;
       queue.push(connId, jobId);
@@ -324,6 +386,12 @@ struct Daemon::Impl {
         throw Error("protocol version mismatch (daemon " +
                     std::to_string(kProtocolVersion) + ", peer " +
                     std::to_string(m.protocolVersion) + ")");
+      // Auth gate: checked before the role is even assigned, so an
+      // unauthenticated peer never gets a frame processed or buffered.
+      // The compare is constant-time — the error (and its timing) reveals
+      // only that the token was wrong, never where it diverged.
+      if (!opts.token.empty() && !constantTimeEquals(m.token, opts.token))
+        throw Error("authentication failed (bad or missing --token)");
       if (m.role == "client") {
         c.role = Role::Client;
       } else if (m.role == "worker") {
@@ -408,6 +476,8 @@ struct Daemon::Impl {
       s.remoteMisses = c.misses;
       s.remotePuts = c.puts;
       s.remoteRejected = c.rejected;
+      s.remoteEvictions = c.evictions;
+      s.remoteEvictedBytes = c.evictedBytes;
     }
     StatSet dump;
     metrics.dumpInto(dump);
@@ -435,6 +505,7 @@ struct Daemon::Impl {
       if (!jobId) return;
       JobState& job = jobs.at(*jobId);
       ++job.dispatches;
+      if (journal) journal->dispatch(*jobId);
       job.worker = connId;
       job.dispatchMicros = nowMicros();
       if (job.traceId.empty())

@@ -45,6 +45,14 @@ struct DaemonOptions {
   /// stalled status poller (or client) must not grow the daemon's memory
   /// without bound. Writes never block regardless (MSG_DONTWAIT).
   std::uint64_t maxPeerBufferBytes = 64ull << 20;
+  /// Durable job journal (docs/SERVE.md "Surviving restarts"); "" disables
+  /// it. Unfinished jobs found in the file at startup are rebuilt into the
+  /// queue as ownerless work a reconnecting client can adopt.
+  std::string journalPath;
+  /// Shared-secret handshake token; "" = unauthenticated. When set, a
+  /// peer whose hello carries a different token (constant-time compare)
+  /// is dropped before any of its frames are processed or buffered.
+  std::string token;
 };
 
 class Daemon {
@@ -71,6 +79,7 @@ public:
     std::uint64_t workersSeen = 0;   ///< worker hellos over the lifetime
     std::uint64_t redispatches = 0;  ///< leases forfeited and requeued
     std::uint64_t jobsCompleted = 0; ///< results delivered to clients
+    std::uint64_t jobsRecovered = 0; ///< journal-replayed at startup
     RemoteCacheTier::Counters cache;
   };
   /// Lifetime counters; read from the run() thread, or from anywhere once

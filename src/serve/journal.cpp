@@ -1,0 +1,220 @@
+#include "serve/journal.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/faultinject.hpp"
+#include "support/json.hpp"
+#include "support/jsonparse.hpp"
+#include "support/log.hpp"
+
+namespace lev::serve {
+
+namespace {
+
+std::uint64_t recordId(const json::JsonValue& v) {
+  const json::JsonValue& id = v.at("id");
+  if (id.kind != json::JsonValue::Kind::Number || id.number < 0)
+    throw Error("journal record 'id' is not a non-negative number");
+  return static_cast<std::uint64_t>(id.number);
+}
+
+std::string formatSubmit(const RecoveredJob& job) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.beginObject();
+  w.field("op", "submit");
+  w.field("id", job.id);
+  writeSpecField(w, job.spec);
+  w.field("desc", job.desc);
+  w.field("maxRetries", job.maxRetries);
+  w.field("backoffMicros", job.backoffMicros);
+  // Only compaction writes a nonzero count: a replayed-then-recompacted
+  // job must not forget how many leases it already burned.
+  if (job.dispatches != 0) w.field("dispatches", job.dispatches);
+  w.endObject();
+  return os.str();
+}
+
+std::string formatEvent(const char* op, std::uint64_t id) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.beginObject();
+  w.field("op", op);
+  w.field("id", id);
+  w.endObject();
+  return os.str();
+}
+
+} // namespace
+
+JobJournal::JobJournal(std::string path) : path_(std::move(path)) {
+  replayAndCompact();
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (!file_)
+    throw Error("cannot open job journal '" + path_ +
+                "': " + std::strerror(errno));
+}
+
+JobJournal::~JobJournal() {
+  if (file_) std::fclose(file_);
+}
+
+void JobJournal::replayAndCompact() {
+  std::ifstream in(path_);
+  if (!in) return; // first run: no journal yet
+
+  // Replay in arrival order; `jobs` preserves it via the side vector.
+  std::map<std::uint64_t, RecoveredJob> jobs;
+  std::vector<std::uint64_t> order;
+  std::string line;
+  std::uint64_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    try {
+      if (faultinject::shouldFail("journal.replay"))
+        throw Error("injected journal.replay fault");
+      const json::JsonValue v = json::parse(line);
+      if (v.kind != json::JsonValue::Kind::Object)
+        throw Error("journal record is not a JSON object");
+      const std::string& op = v.at("op").str;
+      const std::uint64_t id = recordId(v);
+      if (op == "submit") {
+        RecoveredJob job;
+        job.id = id;
+        job.spec = readSpecField(v.at("spec"));
+        job.desc = v.at("desc").str;
+        job.maxRetries =
+            static_cast<int>(v.at("maxRetries").number);
+        job.backoffMicros =
+            static_cast<std::int64_t>(v.at("backoffMicros").number);
+        if (v.has("dispatches"))
+          job.dispatches =
+              static_cast<std::uint64_t>(v.at("dispatches").number);
+        if (jobs.insert({id, job}).second) order.push_back(id);
+      } else if (op == "dispatch") {
+        auto it = jobs.find(id);
+        if (it != jobs.end()) ++it->second.dispatches;
+      } else if (op == "outcome" || op == "clientDone") {
+        jobs.erase(id);
+      }
+      // Unknown ops are skipped silently: a newer daemon's journal may
+      // carry events this build has not learned (same forward-compat
+      // stance as the wire protocol).
+    } catch (const Error& e) {
+      // A torn or corrupt line loses ONE event, not the sweep. A crash
+      // mid-append tears at most the final line; anything else is disk
+      // corruption we still prefer to survive.
+      ++tornLines_;
+      if (tornLines_ == 1)
+        LEV_LOG_WARN("serve",
+                     "skipping unreadable job journal line (further torn "
+                     "lines logged at debug level)",
+                     {{"path", path_},
+                      {"line", lineNo},
+                      {"error", e.what()}});
+      else
+        LEV_LOG_DEBUG("serve", "skipping unreadable job journal line",
+                      {{"path", path_}, {"line", lineNo}});
+    }
+  }
+  in.close();
+
+  for (const std::uint64_t id : order) {
+    auto it = jobs.find(id);
+    if (it != jobs.end()) recovered_.push_back(it->second);
+  }
+  for (const RecoveredJob& job : recovered_) live_.insert(job.id);
+
+  // Compact: rewrite only the survivors (tmp + rename, so a crash during
+  // compaction leaves either the old journal or the new one, never a
+  // half-written hybrid).
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      LEV_LOG_WARN("serve", "cannot compact job journal; keeping as-is",
+                   {{"path", path_}, {"error", std::strerror(errno)}});
+      return;
+    }
+    for (const RecoveredJob& job : recovered_) out << formatSubmit(job) << '\n';
+    out.flush();
+    if (!out) {
+      LEV_LOG_WARN("serve", "cannot compact job journal; keeping as-is",
+                   {{"path", path_}, {"error", std::strerror(errno)}});
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    LEV_LOG_WARN("serve", "cannot swap compacted job journal; keeping as-is",
+                 {{"path", path_}, {"error", std::strerror(errno)}});
+    std::remove(tmp.c_str());
+  }
+}
+
+void JobJournal::append(const std::string& line) {
+  bool failed = faultinject::shouldFail("journal.append");
+  if (!failed) {
+    const std::string framed = line + "\n";
+    failed = std::fwrite(framed.data(), 1, framed.size(), file_) !=
+                 framed.size() ||
+             std::fflush(file_) != 0;
+  }
+  if (failed) {
+    // Best-effort by contract: the sweep continues, only crash-recovery
+    // coverage degrades (and observably so, via this counter).
+    ++appendFailures_;
+    if (appendFailures_ == 1)
+      LEV_LOG_WARN("serve",
+                   "job journal append failed; continuing without "
+                   "durability for this event (further failures logged "
+                   "at debug level)",
+                   {{"path", path_}, {"error", std::strerror(errno)}});
+    else
+      LEV_LOG_DEBUG("serve", "job journal append failed",
+                    {{"path", path_}});
+  }
+}
+
+void JobJournal::truncate() {
+  // The last live job settled: a fresh daemon would recover nothing, so
+  // the file may as well say so in O(1) instead of replaying a dead sweep.
+  std::FILE* fresh = std::fopen(path_.c_str(), "wb");
+  if (!fresh) {
+    LEV_LOG_WARN("serve", "cannot truncate drained job journal",
+                 {{"path", path_}, {"error", std::strerror(errno)}});
+    return;
+  }
+  if (file_) std::fclose(file_);
+  file_ = fresh;
+}
+
+void JobJournal::submit(const RecoveredJob& job) {
+  live_.insert(job.id);
+  append(formatSubmit(job));
+}
+
+void JobJournal::dispatch(std::uint64_t id) {
+  append(formatEvent("dispatch", id));
+}
+
+void JobJournal::outcome(std::uint64_t id) {
+  append(formatEvent("outcome", id));
+  live_.erase(id);
+  if (live_.empty()) truncate();
+}
+
+void JobJournal::clientDone(std::uint64_t id) {
+  append(formatEvent("clientDone", id));
+  live_.erase(id);
+  if (live_.empty()) truncate();
+}
+
+} // namespace lev::serve

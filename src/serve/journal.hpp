@@ -1,0 +1,86 @@
+// Durable job journal for levioso-serve (docs/SERVE.md "Surviving
+// restarts"): the daemon appends one JSON line per job lifecycle event —
+// submit / dispatch / outcome / clientDone — so a daemon killed mid-sweep
+// can rebuild every unfinished job into its JobQueue on the next start.
+//
+// Crash-consistency contract:
+//   - Appends are best-effort: a failed write degrades to a WARN (counted
+//     in appendFailures()) — the journal protects the sweep, it must never
+//     become the thing that fails it. Fault site: "journal.append".
+//   - Replay tolerates torn lines (a crash mid-append leaves at most one
+//     partial record; anything unparseable is skipped with a WARN, counted
+//     in tornLines()). Fault site: "journal.replay" makes a line replay as
+//     torn, so recovery-degradation is deterministically testable.
+//   - A replayed job keeps its accumulated `dispatches` count, so
+//     --max-dispatches still converts a poison job into a transient
+//     failure instead of crash-looping a fresh daemon through it.
+//   - The journal compacts itself: after replay the file is rewritten
+//     (tmp + rename) holding only the surviving jobs, and whenever the
+//     last live job settles the file is truncated — a completed sweep
+//     leaves an empty journal, not an unbounded log.
+//
+// Single-threaded by design: only the daemon's event loop touches it.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace lev::serve {
+
+/// One unfinished job rebuilt from the journal at daemon startup. The
+/// original client connection died with the old daemon, so recovered jobs
+/// re-enter the queue OWNERLESS (lane 0) until a reconnecting client
+/// re-submits a matching desc and adopts them.
+struct RecoveredJob {
+  std::uint64_t id = 0; ///< daemon-side job id (the id space continues)
+  WireSpec spec;
+  std::string desc;
+  int maxRetries = 2;
+  std::int64_t backoffMicros = 1000;
+  std::uint64_t dispatches = 0; ///< lease grants before the crash
+};
+
+class JobJournal {
+public:
+  /// Opens `path` for append, replaying and compacting any existing
+  /// records first. Throws lev::Error only when the file cannot be opened
+  /// at all; unreadable CONTENT degrades per the header contract.
+  explicit JobJournal(std::string path);
+  ~JobJournal();
+
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  /// The unfinished jobs found at construction, in journal order.
+  const std::vector<RecoveredJob>& recovered() const { return recovered_; }
+
+  void submit(const RecoveredJob& job);
+  void dispatch(std::uint64_t id);
+  void outcome(std::uint64_t id);
+  void clientDone(std::uint64_t id);
+
+  std::uint64_t appendFailures() const { return appendFailures_; }
+  std::uint64_t tornLines() const { return tornLines_; }
+  const std::string& path() const { return path_; }
+
+private:
+  void append(const std::string& line);
+  void replayAndCompact();
+  void truncate();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<RecoveredJob> recovered_;
+  /// Ids journaled as submitted but not yet settled; drains to empty at
+  /// sweep end, which is the truncation trigger.
+  std::set<std::uint64_t> live_;
+  std::uint64_t appendFailures_ = 0;
+  std::uint64_t tornLines_ = 0;
+};
+
+} // namespace lev::serve

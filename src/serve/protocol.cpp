@@ -77,7 +77,9 @@ bool asBool(const json::JsonValue& v, const char* what) {
   return v.boolean;
 }
 
-void writeSpec(JsonWriter& w, const WireSpec& s) {
+} // namespace
+
+void writeSpecField(JsonWriter& w, const WireSpec& s) {
   w.key("spec").beginObject();
   w.field("kernel", s.kernel);
   w.field("scale", s.scale);
@@ -95,7 +97,7 @@ void writeSpec(JsonWriter& w, const WireSpec& s) {
   w.endObject();
 }
 
-WireSpec readSpec(const json::JsonValue& v) {
+WireSpec readSpecField(const json::JsonValue& v) {
   if (v.kind != json::JsonValue::Kind::Object)
     throw Error("serve message field 'spec' is not an object");
   WireSpec s;
@@ -114,6 +116,23 @@ WireSpec readSpec(const json::JsonValue& v) {
   s.memLatency = static_cast<int>(asInt(v.at("dram"), "dram"));
   return s;
 }
+
+bool constantTimeEquals(const std::string& a, const std::string& b) {
+  // Fold the length difference into the accumulator and always scan
+  // max(len) bytes — no data-dependent early exit.
+  unsigned diff = a.size() == b.size() ? 0u : 1u;
+  const std::size_t n = a.size() > b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char ca =
+        i < a.size() ? static_cast<unsigned char>(a[i]) : 0;
+    const unsigned char cb =
+        i < b.size() ? static_cast<unsigned char>(b[i]) : 0;
+    diff |= static_cast<unsigned>(ca ^ cb);
+  }
+  return diff == 0;
+}
+
+namespace {
 
 void writeOutcome(JsonWriter& w, const runner::JobOutcome& o) {
   w.key("outcome").beginObject();
@@ -257,10 +276,11 @@ std::string encodeMessage(const Message& m) {
   case MsgType::Hello:
     w.field("role", m.role);
     w.field("protocolVersion", m.protocolVersion);
+    if (!m.token.empty()) w.field("token", m.token);
     break;
   case MsgType::Submit:
     w.field("id", m.id);
-    writeSpec(w, m.spec);
+    writeSpecField(w, m.spec);
     w.field("desc", m.desc);
     w.field("maxRetries", m.maxRetries);
     w.field("backoffMicros", m.backoffMicros);
@@ -312,6 +332,8 @@ std::string encodeMessage(const Message& m) {
     w.field("remoteMisses", m.remoteMisses);
     w.field("remotePuts", m.remotePuts);
     w.field("remoteRejected", m.remoteRejected);
+    w.field("remoteEvictions", m.remoteEvictions);
+    w.field("remoteEvictedBytes", m.remoteEvictedBytes);
     break;
   case MsgType::Result:
     w.field("id", m.id);
@@ -327,7 +349,7 @@ std::string encodeMessage(const Message& m) {
     break;
   case MsgType::Job:
     w.field("id", m.id);
-    writeSpec(w, m.spec);
+    writeSpecField(w, m.spec);
     w.field("desc", m.desc);
     w.field("maxRetries", m.maxRetries);
     w.field("backoffMicros", m.backoffMicros);
@@ -406,6 +428,8 @@ void writeStatusFields(JsonWriter& w, const StatusInfo& s) {
   w.field("misses", s.remoteMisses);
   w.field("puts", s.remotePuts);
   w.field("rejected", s.remoteRejected);
+  w.field("evictions", s.remoteEvictions);
+  w.field("evictedBytes", s.remoteEvictedBytes);
   w.endObject();
   w.key("metrics").beginObject();
   for (const auto& [name, value] : s.metrics) w.field(name, value);
@@ -475,6 +499,11 @@ StatusInfo readStatusFields(const json::JsonValue& v) {
     s.remoteMisses = asUint(rc.at("misses"), "misses");
     s.remotePuts = asUint(rc.at("puts"), "puts");
     s.remoteRejected = asUint(rc.at("rejected"), "rejected");
+    // Optional: a pre-eviction daemon reports neither.
+    if (rc.has("evictions"))
+      s.remoteEvictions = asUint(rc.at("evictions"), "evictions");
+    if (rc.has("evictedBytes"))
+      s.remoteEvictedBytes = asUint(rc.at("evictedBytes"), "evictedBytes");
   }
   if (v.has("metrics")) {
     const json::JsonValue& metrics = v.at("metrics");
@@ -516,10 +545,11 @@ Message decodeMessage(const std::string& payload) {
     m.role = asStr(v.at("role"), "role");
     m.protocolVersion =
         static_cast<int>(asInt(v.at("protocolVersion"), "protocolVersion"));
+    if (v.has("token")) m.token = asStr(v.at("token"), "token");
     break;
   case MsgType::Submit:
     m.id = asUint(v.at("id"), "id");
-    m.spec = readSpec(v.at("spec"));
+    m.spec = readSpecField(v.at("spec"));
     m.desc = asStr(v.at("desc"), "desc");
     m.maxRetries = static_cast<int>(asInt(v.at("maxRetries"), "maxRetries"));
     m.backoffMicros = asInt(v.at("backoffMicros"), "backoffMicros");
@@ -572,6 +602,11 @@ Message decodeMessage(const std::string& payload) {
     m.remoteMisses = asUint(v.at("remoteMisses"), "remoteMisses");
     m.remotePuts = asUint(v.at("remotePuts"), "remotePuts");
     m.remoteRejected = asUint(v.at("remoteRejected"), "remoteRejected");
+    if (v.has("remoteEvictions"))
+      m.remoteEvictions = asUint(v.at("remoteEvictions"), "remoteEvictions");
+    if (v.has("remoteEvictedBytes"))
+      m.remoteEvictedBytes =
+          asUint(v.at("remoteEvictedBytes"), "remoteEvictedBytes");
     break;
   case MsgType::Result:
     m.id = asUint(v.at("id"), "id");
@@ -591,7 +626,7 @@ Message decodeMessage(const std::string& payload) {
     break;
   case MsgType::Job:
     m.id = asUint(v.at("id"), "id");
-    m.spec = readSpec(v.at("spec"));
+    m.spec = readSpecField(v.at("spec"));
     m.desc = asStr(v.at("desc"), "desc");
     m.maxRetries = static_cast<int>(asInt(v.at("maxRetries"), "maxRetries"));
     m.backoffMicros = asInt(v.at("backoffMicros"), "backoffMicros");

@@ -62,6 +62,19 @@ struct WireSpec {
 WireSpec toWire(const runner::JobSpec& spec);
 runner::JobSpec fromWire(const WireSpec& w);
 
+/// Serialize `s` as a "spec" object field / parse one back — shared by the
+/// wire messages and the daemon's durable job journal (serve/journal.cpp),
+/// so a journaled job replays through exactly the decode path a submitted
+/// one took.
+void writeSpecField(JsonWriter& w, const WireSpec& s);
+WireSpec readSpecField(const json::JsonValue& v);
+
+/// Constant-time string equality for the shared-secret handshake token:
+/// the comparison cost depends only on the LENGTHS involved, never on
+/// where the first mismatching byte sits, so a peer cannot binary-search
+/// the token one byte at a time off response latency.
+bool constantTimeEquals(const std::string& a, const std::string& b);
+
 enum class MsgType {
   // peer -> daemon
   Hello,   ///< first frame on every connection: role + protocol version
@@ -144,6 +157,8 @@ struct StatusInfo {
   std::uint64_t remoteMisses = 0;
   std::uint64_t remotePuts = 0;
   std::uint64_t remoteRejected = 0;
+  std::uint64_t remoteEvictions = 0;     ///< LRU entries dropped at cap
+  std::uint64_t remoteEvictedBytes = 0;  ///< bytes those entries freed
 
   /// trace::MetricsRegistry dump ("hist.serve.jobMicros.count", ...).
   std::map<std::string, std::int64_t> metrics;
@@ -172,6 +187,11 @@ struct Message {
   // Hello
   std::string role; ///< "client" | "worker"
   int protocolVersion = kProtocolVersion;
+  /// Shared-secret auth token (--token / LEVIOSO_TOKEN); empty = none
+  /// carried. A daemon configured with a token drops any peer whose hello
+  /// fails the constant-time compare — before buffering a single further
+  /// frame. Optional on the wire, so tokenless fleets see no change.
+  std::string token;
 
   // Submit / Job / Outcome / Result
   std::uint64_t id = 0; ///< client-scoped submit id; daemon echoes it back
@@ -202,6 +222,8 @@ struct Message {
   std::uint64_t remoteMisses = 0;
   std::uint64_t remotePuts = 0;
   std::uint64_t remoteRejected = 0;
+  std::uint64_t remoteEvictions = 0;    ///< optional on the wire (older daemons)
+  std::uint64_t remoteEvictedBytes = 0;
 
   // Job / Outcome: cross-host correlation id stamped by the daemon at
   // dispatch; rides through the worker's Result untouched. Empty on the

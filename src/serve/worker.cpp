@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <thread>
 
 #include "runner/execute.hpp"
@@ -181,13 +182,22 @@ Message executeJob(const Message& job,
 } // namespace
 
 std::uint64_t runWorker(const WorkerOptions& opts) {
-  sock::Fd fd = sock::connectTo(opts.host, opts.port);
+  sock::Fd fd;
+  try {
+    fd = sock::connectTo(opts.host, opts.port);
+  } catch (const Error& e) {
+    // Connect failure is RETRYABLE by contract (see worker.hpp): map it to
+    // TransientError so the reconnect loop treats "daemon not up yet"
+    // exactly like "daemon died mid-run".
+    throw TransientError(e.what());
+  }
   Link link;
   link.fd = fd.get();
 
   Message hello;
   hello.type = MsgType::Hello;
   hello.role = "worker";
+  hello.token = opts.token;
   link.send(hello);
 
   // One timestamped heartbeat right behind the hello: the daemon handles
@@ -338,6 +348,52 @@ std::uint64_t runWorker(const WorkerOptions& opts) {
   }
   stopHeartbeat();
   return jobsDone;
+}
+
+std::uint64_t runWorkerLoop(const WorkerOptions& opts,
+                            const ReconnectOptions& reconnect) {
+  // Full jitter on the exponential backoff: a daemon restart disconnects
+  // every worker at once, and identical sleeps would send them all back in
+  // one thundering herd.
+  std::mt19937_64 rng(std::random_device{}());
+  std::uint64_t total = 0;
+  int consecutiveFailures = 0;
+  for (;;) {
+    const std::int64_t t0 = nowMicros();
+    std::uint64_t done = 0;
+    try {
+      done = runWorker(opts);
+    } catch (const TransientError& e) {
+      LEV_LOG_WARN("worker", "connection attempt failed",
+                   {{"error", e.what()}});
+    }
+    total += done;
+    // "Productive" = it did work, or at least held a connection long
+    // enough that the daemon clearly accepted us. Only back-to-back
+    // unproductive attempts (daemon gone, or rejecting our hello — a bad
+    // token) count toward giving up.
+    if (done > 0 || nowMicros() - t0 >= 1'000'000) consecutiveFailures = 0;
+    else ++consecutiveFailures;
+    if (reconnect.maxReconnects >= 0 &&
+        consecutiveFailures > reconnect.maxReconnects) {
+      LEV_LOG_WARN("worker", "giving up after repeated failed reconnects",
+                   {{"attempts", consecutiveFailures},
+                    {"jobsDone", total}});
+      return total;
+    }
+    const std::int64_t cap = runner::retryBackoffMicros(
+        reconnect.backoffMicros,
+        consecutiveFailures > 0 ? consecutiveFailures : 1);
+    const std::int64_t sleep =
+        cap > 0 ? static_cast<std::int64_t>(rng() % (static_cast<std::uint64_t>(cap) + 1))
+                : 0;
+    LEV_LOG_INFO("worker", "reconnecting to daemon",
+                 {{"host", opts.host},
+                  {"port", opts.port},
+                  {"backoffMicros", sleep},
+                  {"jobsDone", total}});
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep));
+  }
 }
 
 } // namespace lev::serve

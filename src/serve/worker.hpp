@@ -32,13 +32,36 @@ struct WorkerOptions {
   std::string cacheDir = ".levioso-cache";
   /// Keep-alive cadence; must be well under the daemon's lease window.
   std::int64_t heartbeatMicros = 2'000'000;
+  /// Shared-secret handshake token (--token / LEVIOSO_TOKEN); "" = none.
+  std::string token;
 };
 
 /// Serve jobs until the daemon closes the connection; returns the number
 /// of jobs executed. Throws lev::Error on protocol violations (a daemon
 /// speaking a different protocol). A connection torn mid-run (daemon
 /// killed) is an orderly exit, not an error — the daemon owns job
-/// durability, not the worker.
+/// durability, not the worker. A FAILED CONNECT throws TransientError
+/// (retryable), never plain Error: an absent daemon is a condition the
+/// reconnect loop below outwaits, not a bug.
 std::uint64_t runWorker(const WorkerOptions& opts);
+
+struct ReconnectOptions {
+  /// Consecutive UNPRODUCTIVE connection attempts tolerated before giving
+  /// up; -1 = reconnect forever. A connection that executed at least one
+  /// job — or simply stayed up a while — resets the count: only a daemon
+  /// that is gone (or rejecting us, e.g. a bad token) counts against it.
+  int maxReconnects = -1;
+  /// Base for the jittered exponential backoff between attempts
+  /// (runner::retryBackoffMicros caps the growth at 2 s).
+  std::int64_t backoffMicros = 200'000;
+};
+
+/// runWorker in a reconnect loop (docs/SERVE.md "Surviving restarts"): a
+/// lost daemon — killed, restarted, or not yet up — is outwaited with
+/// jittered exponential backoff instead of ending the worker. Any job
+/// half-done at the disconnect is abandoned; the daemon's lease machinery
+/// re-dispatches it. Returns total jobs executed across all connections.
+std::uint64_t runWorkerLoop(const WorkerOptions& opts,
+                            const ReconnectOptions& reconnect);
 
 } // namespace lev::serve

@@ -8,6 +8,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "support/error.hpp"
@@ -93,7 +94,8 @@ int Listener::acceptFd() {
   }
 }
 
-Fd connectTo(const std::string& host, std::uint16_t port) {
+Fd connectTo(const std::string& host, std::uint16_t port,
+             std::int64_t timeoutMicros) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -107,6 +109,15 @@ Fd connectTo(const std::string& host, std::uint16_t port) {
   if (!fd.valid()) {
     ::freeaddrinfo(res);
     throwErrno("socket()");
+  }
+  if (timeoutMicros > 0) {
+    // Set BEFORE connect(): Linux honors SO_SNDTIMEO for the three-way
+    // handshake too, so an unreachable daemon times out like a stalled one.
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeoutMicros / 1'000'000);
+    tv.tv_usec = static_cast<suseconds_t>(timeoutMicros % 1'000'000);
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
   const int ok = ::connect(fd.get(), res->ai_addr, res->ai_addrlen);
   ::freeaddrinfo(res);
@@ -125,6 +136,10 @@ std::size_t readSome(int fd, char* buf, std::size_t n) {
     const ssize_t got = ::recv(fd, buf, n, 0);
     if (got >= 0) return static_cast<std::size_t>(got);
     if (errno == EINTR) continue;
+    // SO_RCVTIMEO expiry (connectTo's timeoutMicros) on a blocking fd.
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      throw TransientError("socket read timed out on fd " +
+                           std::to_string(fd));
     throw TransientError("socket read failed on fd " + std::to_string(fd) +
                          ": " + std::strerror(errno));
   }

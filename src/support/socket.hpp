@@ -63,12 +63,18 @@ private:
   std::uint16_t port_ = 0;
 };
 
-/// Connect to host:port (blocking); throws lev::Error on failure.
-Fd connectTo(const std::string& host, std::uint16_t port);
+/// Connect to host:port (blocking); throws lev::Error on failure. A
+/// nonzero `timeoutMicros` caps the connect itself AND every later read
+/// and write on the returned fd (SO_SNDTIMEO / SO_RCVTIMEO) — a half-open
+/// peer then surfaces as a TransientError timeout instead of a hang
+/// (levioso-top --timeout-ms rides on this).
+Fd connectTo(const std::string& host, std::uint16_t port,
+             std::int64_t timeoutMicros = 0);
 
 /// Read up to `n` bytes (blocking). Returns the byte count, 0 on orderly
-/// peer shutdown. Throws TransientError on an I/O error or an injected
-/// "net.read" fault; retries EINTR itself.
+/// peer shutdown. Throws TransientError on an I/O error, an injected
+/// "net.read" fault, or a receive-timeout expiry (connectTo's
+/// timeoutMicros); retries EINTR itself.
 std::size_t readSome(int fd, char* buf, std::size_t n);
 
 /// Write all `n` bytes (blocking, loops over partial writes). Throws

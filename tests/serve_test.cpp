@@ -7,9 +7,11 @@
 // SIGKILL worker loss mid-sweep, a stalled status poller, and the
 // warm-for-warm byte-identical report contract levioso-batch --connect
 // relies on.
+#include <algorithm>
 #include <csignal>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -27,6 +29,7 @@
 #include "serve/cachetier.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
 #include "serve/worker.hpp"
@@ -794,19 +797,57 @@ TEST(RemoteCacheTier, RejectsCorruptAndMisKeyedEntries) {
   EXPECT_FALSE(tier.get(f.key ^ 1, f.desc).has_value());
 }
 
-TEST(RemoteCacheTier, SizeCapRejectsOverflowingPuts) {
+TEST(RemoteCacheTier, SizeCapEvictsLeastRecentToAdmitNewEntries) {
   QuietLog quiet;
   const TierFixture a = tierEntry("unsafe");
   const TierFixture b = tierEntry("fence");
-  // Cap fits exactly one entry.
+  // Cap fits exactly one entry: admitting b must evict a (LRU), not
+  // bounce b off a full tier forever.
   serve::RemoteCacheTier tier(
-      {freshDir("tier-cap"), kCodeVersionSalt, a.entry.size() + 1});
+      {freshDir("tier-cap"), kCodeVersionSalt,
+       std::max(a.entry.size(), b.entry.size()) + 1});
   EXPECT_TRUE(tier.put(a.key, a.desc, a.entry));
-  EXPECT_FALSE(tier.put(b.key, b.desc, b.entry));
-  EXPECT_EQ(tier.counters().puts, 1u);
+  EXPECT_TRUE(tier.put(b.key, b.desc, b.entry));
+  EXPECT_EQ(tier.counters().puts, 2u);
+  EXPECT_EQ(tier.counters().evictions, 1u);
+  EXPECT_EQ(tier.counters().evictedBytes, a.entry.size());
+  EXPECT_FALSE(tier.get(a.key, a.desc).has_value()); // evicted
+  EXPECT_TRUE(tier.get(b.key, b.desc).has_value());  // admitted
+  EXPECT_LE(tier.usedBytes(), std::max(a.entry.size(), b.entry.size()) + 1);
+}
+
+TEST(RemoteCacheTier, EntryLargerThanTheWholeCapIsRejectedNotEvictedFor) {
+  QuietLog quiet;
+  const TierFixture a = tierEntry("unsafe");
+  serve::RemoteCacheTier tier(
+      {freshDir("tier-huge"), kCodeVersionSalt, a.entry.size() - 1});
+  // Evicting EVERYTHING would still not make it fit; refuse outright.
+  EXPECT_FALSE(tier.put(a.key, a.desc, a.entry));
   EXPECT_EQ(tier.counters().rejected, 1u);
-  // the accepted entry still serves
+  EXPECT_EQ(tier.counters().evictions, 0u);
+  EXPECT_EQ(tier.usedBytes(), 0u);
+}
+
+TEST(RemoteCacheTier, GetRefreshesRecencySoHotEntriesSurviveEviction) {
+  QuietLog quiet;
+  const TierFixture a = tierEntry("unsafe");
+  const TierFixture b = tierEntry("fence");
+  const TierFixture c = tierEntry("levioso");
+  // Cap fits a+b (and a+c) but not all three.
+  serve::RemoteCacheTier tier(
+      {freshDir("tier-lru"), kCodeVersionSalt,
+       a.entry.size() + b.entry.size() + c.entry.size() - 1});
+  EXPECT_TRUE(tier.put(a.key, a.desc, a.entry));
+  EXPECT_TRUE(tier.put(b.key, b.desc, b.entry));
+  // a is older than b, but this get makes it the most recently used...
   EXPECT_TRUE(tier.get(a.key, a.desc).has_value());
+  // ...so admitting c evicts b, not a.
+  EXPECT_TRUE(tier.put(c.key, c.desc, c.entry));
+  EXPECT_EQ(tier.counters().evictions, 1u);
+  EXPECT_EQ(tier.counters().evictedBytes, b.entry.size());
+  EXPECT_TRUE(tier.get(a.key, a.desc).has_value());
+  EXPECT_FALSE(tier.get(b.key, b.desc).has_value());
+  EXPECT_TRUE(tier.get(c.key, c.desc).has_value());
 }
 
 TEST(RemoteCacheTier, PreSeededDirectoryServesLocalEntries) {
@@ -1038,6 +1079,9 @@ TEST(ServeEndToEnd, ClientRunFailsCleanlyWhenDaemonVanishes) {
   }
   serve::RemoteSweep::Options copts;
   copts.endpoint = "127.0.0.1:" + std::to_string(port);
+  // No reconnect budget: the point here is the clean failure, not the
+  // (separately tested) retry loop.
+  copts.maxReconnects = 0;
   serve::RemoteSweep sweep(copts);
   sweep.add(smallJob("unsafe"));
   EXPECT_THROW(sweep.run(), Error);
@@ -1308,4 +1352,393 @@ TEST(ServeEndToEnd, StalledStatusPollerIsDroppedWithoutStallingDispatch) {
   daemon.stop();
   daemonThread.join();
   workerThread.join();
+}
+
+// ---- job journal (docs/SERVE.md "Surviving restarts") ------------------
+
+namespace {
+
+/// A journal path inside a fresh per-test directory.
+std::string freshJournal(const std::string& tag) {
+  const std::string dir = freshDir(tag);
+  fs::create_directories(dir);
+  return dir + "/jobs.journal";
+}
+
+serve::RecoveredJob journalJob(std::uint64_t id, const std::string& policy) {
+  const JobSpec spec = smallJob(policy);
+  serve::RecoveredJob job;
+  job.id = id;
+  job.spec = serve::toWire(spec);
+  job.desc = describe(spec);
+  job.maxRetries = 5;
+  job.backoffMicros = 7000;
+  return job;
+}
+
+} // namespace
+
+TEST(JobJournal, ReplayRebuildsExactlyTheUnfinishedJobs) {
+  QuietLog quiet;
+  const std::string path = freshJournal("journal-rt");
+  {
+    serve::JobJournal j(path);
+    EXPECT_TRUE(j.recovered().empty());
+    j.submit(journalJob(7, "unsafe"));           // still queued
+    j.submit(journalJob(9, "fence"));            // in flight, leased twice
+    j.dispatch(9);
+    j.dispatch(9);
+    j.submit(journalJob(11, "levioso"));         // settled: must NOT recover
+    j.dispatch(11);
+    j.outcome(11);
+    EXPECT_EQ(j.appendFailures(), 0u);
+  }
+  serve::JobJournal j2(path);
+  ASSERT_EQ(j2.recovered().size(), 2u);
+  const serve::RecoveredJob& queued = j2.recovered()[0];
+  EXPECT_EQ(queued.id, 7u);
+  EXPECT_EQ(queued.desc, describe(smallJob("unsafe")));
+  EXPECT_EQ(describe(serve::fromWire(queued.spec)), queued.desc);
+  EXPECT_EQ(queued.maxRetries, 5);
+  EXPECT_EQ(queued.backoffMicros, 7000);
+  EXPECT_EQ(queued.dispatches, 0u);
+  const serve::RecoveredJob& inflight = j2.recovered()[1];
+  EXPECT_EQ(inflight.id, 9u);
+  // The burned leases survive replay, so --max-dispatches still fences a
+  // poison job off a restart-crash loop.
+  EXPECT_EQ(inflight.dispatches, 2u);
+  EXPECT_EQ(j2.tornLines(), 0u);
+}
+
+TEST(JobJournal, DrainedJournalIsTruncatedAndCompactionDropsSettledJobs) {
+  QuietLog quiet;
+  const std::string path = freshJournal("journal-drain");
+  {
+    serve::JobJournal j(path);
+    j.submit(journalJob(1, "unsafe"));
+    j.submit(journalJob(2, "fence"));
+    j.outcome(1);
+    j.clientDone(2); // the client vanished; its queued job is dropped
+  }
+  // Every job settled: a completed sweep leaves an EMPTY file, not an
+  // unbounded log...
+  EXPECT_EQ(fs::file_size(path), 0u);
+  // ...and a fresh daemon recovers nothing.
+  serve::JobJournal j2(path);
+  EXPECT_TRUE(j2.recovered().empty());
+
+  // Compaction: replaying a journal with settled records rewrites it to
+  // only the survivors (dispatch counts folded into the submit lines).
+  {
+    serve::JobJournal j3(path);
+    j3.submit(journalJob(3, "unsafe"));
+    j3.dispatch(3);
+    j3.submit(journalJob(4, "fence"));
+    j3.outcome(4);
+  }
+  serve::JobJournal j4(path);
+  ASSERT_EQ(j4.recovered().size(), 1u);
+  EXPECT_EQ(j4.recovered()[0].id, 3u);
+  EXPECT_EQ(j4.recovered()[0].dispatches, 1u);
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1u) << "compaction left settled records behind";
+}
+
+TEST(JobJournal, TornFinalLineLosesOneEventNotTheSweep) {
+  QuietLog quiet;
+  const std::string path = freshJournal("journal-torn");
+  {
+    serve::JobJournal j(path);
+    j.submit(journalJob(1, "unsafe"));
+    j.submit(journalJob(2, "fence"));
+  }
+  // A crash mid-append tears at most the final line: fake one by appending
+  // half an outcome record with no newline. The torn settlement is LOST —
+  // recovery must err toward re-running the job, never toward dropping it.
+  {
+    std::ofstream app(path, std::ios::app);
+    app << "{\"op\":\"outcome\",\"id\":";
+  }
+  serve::JobJournal j2(path);
+  ASSERT_EQ(j2.recovered().size(), 2u);
+  EXPECT_EQ(j2.tornLines(), 1u);
+  // Replay compacted the tear away: a THIRD open sees a clean journal.
+  serve::JobJournal j3(path);
+  EXPECT_EQ(j3.recovered().size(), 2u);
+  EXPECT_EQ(j3.tornLines(), 0u);
+}
+
+TEST_F(ServeFault, JournalAppendFaultDegradesToWarnNotFailure) {
+  QuietLog quiet;
+  const std::string path = freshJournal("journal-fault");
+  faultinject::configure("journal.append=every:1");
+  serve::JobJournal j(path);
+  j.submit(journalJob(1, "unsafe"));
+  j.dispatch(1);
+  j.outcome(1);
+  // Nothing threw; the degradation is visible in the counter.
+  EXPECT_GE(j.appendFailures(), 3u);
+}
+
+TEST_F(ServeFault, JournalReplayFaultCountsLinesAsTorn) {
+  QuietLog quiet;
+  const std::string path = freshJournal("journal-replay-fault");
+  {
+    serve::JobJournal j(path);
+    j.submit(journalJob(1, "unsafe"));
+  }
+  faultinject::configure("journal.replay=once:1");
+  serve::JobJournal j2(path);
+  // The injected fault tore the (only) submit line: recovery degrades to
+  // an empty queue, observably, instead of failing daemon startup.
+  EXPECT_TRUE(j2.recovered().empty());
+  EXPECT_EQ(j2.tornLines(), 1u);
+}
+
+TEST(JobJournal, DaemonJournalsClientDisconnectAsClientDone) {
+  QuietLog quiet;
+  const std::string path = freshJournal("journal-clientdone");
+  serve::DaemonOptions dopts;
+  dopts.cacheDir.clear();
+  dopts.journalPath = path;
+  serve::Daemon daemon(dopts);
+  std::thread daemonThread([&daemon] { daemon.run(); });
+
+  // A client submits one job (no worker exists, so it stays queued) and
+  // vanishes without Cancel or Done — the crash-loss mode.
+  {
+    sock::Fd fd = sock::connectTo("127.0.0.1", daemon.port());
+    serve::Message hello;
+    hello.type = serve::MsgType::Hello;
+    hello.role = "client";
+    sock::writeAll(fd.get(),
+                   framing::encodeFrame(serve::encodeMessage(hello)));
+    serve::Message submit;
+    submit.type = serve::MsgType::Submit;
+    submit.id = 1;
+    submit.spec = serve::toWire(smallJob("unsafe"));
+    submit.desc = describe(smallJob("unsafe"));
+    sock::writeAll(fd.get(),
+                   framing::encodeFrame(serve::encodeMessage(submit)));
+    // Wait until the daemon has the job queued before hanging up.
+    Monitor monitor(daemon.port());
+    for (int i = 0; i < 100 && monitor.poll().queuedJobs == 0; ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  } // both sockets close here
+
+  // The disconnect cancels the orphan-to-be: the journal must drain, or a
+  // restarted daemon would recover a job nobody will ever collect.
+  for (int i = 0; i < 200 && fs::file_size(path) != 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  daemon.stop();
+  daemonThread.join();
+  EXPECT_EQ(fs::file_size(path), 0u);
+  serve::JobJournal j(path);
+  EXPECT_TRUE(j.recovered().empty());
+}
+
+// ---- shared-secret handshake token -------------------------------------
+
+TEST(Protocol, ConstantTimeEqualsComparesExactly) {
+  EXPECT_TRUE(serve::constantTimeEquals("", ""));
+  EXPECT_TRUE(serve::constantTimeEquals("sekrit", "sekrit"));
+  EXPECT_FALSE(serve::constantTimeEquals("sekrit", "sekrip"));
+  EXPECT_FALSE(serve::constantTimeEquals("sekrit", "Sekrit"));
+  EXPECT_FALSE(serve::constantTimeEquals("sekrit", "sekrit2"));
+  EXPECT_FALSE(serve::constantTimeEquals("sekrit", ""));
+  EXPECT_FALSE(serve::constantTimeEquals("", "sekrit"));
+}
+
+TEST(ServeEndToEnd, TokenlessOrWrongTokenPeersAreDroppedAtHello) {
+  QuietLog quiet;
+  serve::DaemonOptions dopts;
+  dopts.cacheDir.clear();
+  dopts.token = "sekrit";
+  serve::Daemon daemon(dopts);
+  std::thread daemonThread([&daemon] { daemon.run(); });
+
+  // A raw peer with the wrong token: hello is answered with a hangup,
+  // before any other frame is processed.
+  for (const char* bad : {"", "wrong"}) {
+    sock::Fd fd = sock::connectTo("127.0.0.1", daemon.port());
+    serve::Message hello;
+    hello.type = serve::MsgType::Hello;
+    hello.role = "worker";
+    hello.token = bad;
+    sock::writeAll(fd.get(),
+                   framing::encodeFrame(serve::encodeMessage(hello)));
+    char buf[256];
+    EXPECT_EQ(sock::readSome(fd.get(), buf, sizeof(buf)), 0u)
+        << "peer with token '" << bad << "' was not dropped";
+  }
+
+  // An untokened CLIENT is refused too: the run fails, it does not hang.
+  serve::RemoteSweep::Options bad;
+  bad.endpoint = "127.0.0.1:" + std::to_string(daemon.port());
+  bad.maxReconnects = 1;
+  bad.reconnectBackoffMicros = 1000;
+  serve::RemoteSweep rejected(bad);
+  rejected.add(smallJob("unsafe"));
+  EXPECT_THROW(rejected.run(), Error);
+
+  // The right token passes end to end: client, worker and a full job.
+  std::thread workerThread([port = daemon.port()] {
+    try {
+      serve::WorkerOptions w;
+      w.port = port;
+      w.cacheDir.clear();
+      w.token = "sekrit";
+      serve::runWorker(w);
+    } catch (...) {
+    }
+  });
+  serve::RemoteSweep::Options good;
+  good.endpoint = "127.0.0.1:" + std::to_string(daemon.port());
+  good.token = "sekrit";
+  serve::RemoteSweep sweep(good);
+  sweep.add(smallJob("unsafe"));
+  sweep.run();
+  for (const JobOutcome& o : sweep.outcomes()) EXPECT_TRUE(o.ok) << o.message;
+
+  daemon.stop();
+  daemonThread.join();
+  workerThread.join();
+}
+
+// ---- daemon restart (the crash the journal exists for) ------------------
+
+TEST(ServeEndToEnd, SweepSurvivesSigkilledDaemonViaJournalAndReconnect) {
+  QuietLog quiet;
+  const std::string cacheDir = freshDir("restart-tier");
+  const std::string journal = freshJournal("restart-journal");
+  const std::vector<JobSpec> grid = {smallJob("unsafe"), smallJob("fence"),
+                                     smallJob("levioso")};
+
+  // Seed the cache directory and produce the reference report locally, as
+  // in WarmDistributedReportIsByteIdenticalToLocal: surviving a daemon
+  // crash must not cost the byte-identity contract.
+  {
+    ResultCache cache({cacheDir, kCodeVersionSalt});
+    Sweep::Options o;
+    o.jobs = 1;
+    o.cache = &cache;
+    Sweep cold(o);
+    for (const JobSpec& s : grid) cold.add(s);
+    cold.run();
+  }
+  std::string localReport;
+  {
+    ResultCache cache({cacheDir, kCodeVersionSalt});
+    Sweep::Options o;
+    o.jobs = 1;
+    o.cache = &cache;
+    Sweep warm(o);
+    for (const JobSpec& s : grid) warm.add(s);
+    warm.run();
+    std::ostringstream ss;
+    warm.writeJson(ss);
+    localReport = ss.str();
+  }
+
+  // Daemon #1 lives in a FORKED child so it can be SIGKILLed — no stop(),
+  // no destructors, no flushes — without taking the test process down.
+  // It reports its ephemeral port back through a pipe.
+  int portPipe[2];
+  ASSERT_EQ(::pipe(portPipe), 0);
+  const pid_t daemonPid = ::fork();
+  ASSERT_GE(daemonPid, 0);
+  if (daemonPid == 0) {
+    ::close(portPipe[0]);
+    try {
+      serve::DaemonOptions dopts;
+      dopts.cacheDir = cacheDir;
+      dopts.journalPath = journal;
+      serve::Daemon d(dopts);
+      const std::uint16_t port = d.port();
+      if (::write(portPipe[1], &port, sizeof(port)) != sizeof(port))
+        ::_exit(1);
+      ::close(portPipe[1]);
+      d.run(); // until SIGKILL
+    } catch (...) {
+    }
+    ::_exit(0);
+  }
+  ::close(portPipe[1]);
+  std::uint16_t port = 0;
+  ASSERT_EQ(::read(portPipe[0], &port, sizeof(port)),
+            static_cast<ssize_t>(sizeof(port)));
+  ::close(portPipe[0]);
+
+  // The client starts its run against daemon #1. NO worker is connected
+  // yet, so every job is journaled and queued — and stays there, which
+  // makes the kill window deterministic.
+  serve::RemoteSweep::Options copts;
+  copts.endpoint = "127.0.0.1:" + std::to_string(port);
+  copts.jobs = 1;
+  copts.maxReconnects = 50;
+  copts.reconnectBackoffMicros = 20'000;
+  serve::RemoteSweep sweep(copts);
+  for (const JobSpec& s : grid) sweep.add(s);
+  std::thread clientThread([&sweep] { sweep.run(); });
+
+  // Wait until every submit is durably journaled...
+  const auto journaledSubmits = [&journal] {
+    std::ifstream in(journal);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line))
+      if (line.find("\"op\":\"submit\"") != std::string::npos) ++n;
+    return n;
+  };
+  for (int i = 0; i < 500 && journaledSubmits() < grid.size(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_EQ(journaledSubmits(), grid.size());
+
+  // ...then SIGKILL the daemon mid-sweep.
+  ASSERT_EQ(::kill(daemonPid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(daemonPid, &status, 0), daemonPid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  // Daemon #2: same port, same journal, same cache dir — the restart.
+  serve::DaemonOptions dopts;
+  dopts.port = port;
+  dopts.cacheDir = cacheDir;
+  dopts.journalPath = journal;
+  serve::Daemon daemon2(dopts);
+  std::thread daemonThread([&daemon2] { daemon2.run(); });
+  // The reconnect-looping worker arrives only now; the recovered jobs are
+  // adopted by the reconnecting client and served warm from the tier.
+  std::thread workerThread([port] {
+    serve::WorkerOptions w;
+    w.port = port;
+    w.cacheDir.clear();
+    serve::ReconnectOptions r;
+    r.maxReconnects = 3;
+    r.backoffMicros = 10'000;
+    serve::runWorkerLoop(w, r);
+  });
+
+  clientThread.join();
+  daemon2.stop();
+  daemonThread.join();
+  workerThread.join(); // gives up a few quick backoffs after stop()
+
+  ASSERT_EQ(sweep.outcomes().size(), grid.size());
+  for (const JobOutcome& o : sweep.outcomes()) EXPECT_TRUE(o.ok) << o.message;
+  // The crash is visible where it should be — and nowhere else.
+  EXPECT_GE(sweep.serveStats().reconnects, 1u);
+  EXPECT_EQ(daemon2.stats().jobsRecovered, grid.size());
+  // >=, not ==: if the worker drains a recovered orphan before the client
+  // reconnects and adopts it, that result is discarded and the client's
+  // re-submit probes the tier again. Duplicated work, never wrong results.
+  EXPECT_GE(sweep.serveStats().remoteHits, grid.size());
+  std::ostringstream ss;
+  sweep.writeJson(ss);
+  EXPECT_EQ(ss.str(), localReport);
+  // Every recovered job settled: the journal drained behind the sweep.
+  EXPECT_EQ(fs::file_size(journal), 0u);
 }

@@ -36,6 +36,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -70,7 +71,7 @@ namespace {
          "                     [--host-trace FILE] [--quiet] [-v]\n"
          "                     [--keep-going|--fail-fast] [--retries N]\n"
          "                     [--deadline-ms N] [--sample N:M]\n"
-         "                     [--connect HOST:PORT]\n"
+         "                     [--connect HOST:PORT] [--token TOK]\n"
          "exit codes: 0 all points ok, 1 partial failure (--keep-going),\n"
          "            2 bad input, 3 total failure\n";
   std::exit(2);
@@ -303,6 +304,10 @@ int main(int argc, char** argv) {
   bool keepGoing = false;
   int retries = 2;
   std::string cacheDir, hostTracePath, connect;
+  // Shared secret for --connect (docs/SERVE.md "Surviving restarts");
+  // ignored by local sweeps.
+  std::string token;
+  if (const char* envToken = std::getenv("LEVIOSO_TOKEN")) token = envToken;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -336,6 +341,8 @@ int main(int argc, char** argv) {
       hostTracePath = next();
     else if (a == "--connect")
       connect = next();
+    else if (a == "--token")
+      token = next();
     else if (a == "--csv")
       cfg.csv = true;
     else if (a == "--stats")
@@ -406,6 +413,7 @@ int main(int argc, char** argv) {
       opts.jobs = jobs;
       opts.failPolicy = failPolicy;
       opts.maxRetries = retries;
+      opts.token = token;
       ProgressLine progress(nullptr);
       if (!cfg.quiet)
         opts.onProgress = [&progress](std::size_t done, std::size_t total) {
@@ -428,10 +436,13 @@ int main(int argc, char** argv) {
         info.endpoint = s.endpoint.empty() ? connect : s.endpoint;
         info.workersSeen = s.workersSeen;
         info.redispatches = s.runRedispatches;
+        info.reconnects = s.reconnects;
         info.remoteCacheHits = s.remoteHits;
         info.remoteCacheMisses = s.remoteMisses;
         info.remoteCachePuts = s.remotePuts;
         info.remoteCacheRejected = s.remoteRejected;
+        info.remoteCacheEvictions = s.remoteEvictions;
+        info.remoteCacheEvictedBytes = s.remoteEvictedBytes;
         info.daemonSalt = s.daemonSalt;
         info.daemonUptimeMicros = s.daemonUptimeMicros;
         info.daemonProtocolVersion = s.daemonProtocolVersion;

@@ -12,6 +12,7 @@
 // SIGTERM stop the daemon cleanly; in-flight jobs are lost (clients see
 // the connection close and fail their run), cached results are not.
 #include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -30,11 +31,16 @@ namespace {
       << "usage: levioso-serve [--port N] [--port-file FILE]\n"
          "                     [--cache-dir DIR|--no-cache] [--cache-max-mb N]\n"
          "                     [--lease-ms N] [--max-dispatches N]\n"
+         "                     [--journal FILE] [--token TOK]\n"
          "                     [--metrics-log FILE] [--metrics-interval-ms N]\n"
          "                     [--quiet] [-v]\n"
          "--port 0 (the default) picks an ephemeral port; the bound port is\n"
          "printed to stdout either way. --metrics-log appends one JSON status\n"
-         "snapshot per interval (levioso-report --serve-log summarizes it).\n";
+         "snapshot per interval (levioso-report --serve-log summarizes it).\n"
+         "--journal makes queued/in-flight jobs survive a daemon restart\n"
+         "(docs/SERVE.md \"Surviving restarts\"); --token (default: the\n"
+         "LEVIOSO_TOKEN env var) requires every peer to present the same\n"
+         "shared secret in its hello.\n";
   std::exit(2);
 }
 
@@ -49,6 +55,8 @@ void onSignal(int) {
 int main(int argc, char** argv) {
   serve::DaemonOptions opts;
   std::string portFile;
+  if (const char* envToken = std::getenv("LEVIOSO_TOKEN"))
+    opts.token = envToken;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -78,6 +86,10 @@ int main(int argc, char** argv) {
     else if (a == "--max-dispatches")
       opts.maxDispatches = requireIntArg("levioso-serve", "--max-dispatches",
                                          next(), 1, 1 << 30);
+    else if (a == "--journal")
+      opts.journalPath = next();
+    else if (a == "--token")
+      opts.token = next();
     else if (a == "--metrics-log")
       opts.metricsLogPath = next();
     else if (a == "--metrics-interval-ms")
@@ -114,9 +126,11 @@ int main(int argc, char** argv) {
     LEV_LOG_INFO("serve", "final counters",
                  {{"workersSeen", s.workersSeen},
                   {"jobsCompleted", s.jobsCompleted},
+                  {"jobsRecovered", s.jobsRecovered},
                   {"redispatches", s.redispatches},
                   {"remoteHits", s.cache.hits},
-                  {"remotePuts", s.cache.puts}});
+                  {"remotePuts", s.cache.puts},
+                  {"remoteEvictions", s.cache.evictions}});
     return 0;
   } catch (const Error& e) {
     std::cerr << "levioso-serve: " << e.what() << "\n";

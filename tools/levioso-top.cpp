@@ -11,9 +11,13 @@
 // --metrics-log line carries; docs/OBSERVABILITY.md) and exits — the mode
 // CI and scripts consume. Without it the tool polls every --interval-ms
 // (ANSI-refreshing when stderr is a TTY, plain appended snapshots when
-// not) until interrupted. Exits 0 on success / orderly daemon shutdown,
-// 2 on bad arguments, 3 on a connection or protocol error.
+// not) until interrupted. Every network wait — the connect itself and
+// each status reply — is bounded by --timeout-ms (default 5000), so a
+// half-open daemon surfaces as exit 2 with a clear message instead of a
+// hang. Exits 0 on success / orderly daemon shutdown, 2 on bad arguments
+// or a timeout, 3 on a connection or protocol error.
 #include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -36,10 +40,13 @@ namespace {
 
 [[noreturn]] void usage() {
   std::cerr << "usage: levioso-top --connect HOST:PORT [--json]\n"
-               "                   [--interval-ms N] [--quiet] [-v]\n"
+               "                   [--interval-ms N] [--timeout-ms N]\n"
+               "                   [--token TOK] [--quiet] [-v]\n"
                "--json prints one status snapshot as JSON and exits;\n"
                "otherwise the status is re-polled every --interval-ms\n"
-               "(default 1000) until interrupted.\n";
+               "(default 1000) until interrupted. --timeout-ms (default\n"
+               "5000) bounds the connect and every status reply; --token\n"
+               "defaults to the LEVIOSO_TOKEN env var.\n";
   std::exit(2);
 }
 
@@ -87,7 +94,8 @@ void render(std::ostream& os, const serve::StatusInfo& s) {
      << s.redispatches << "\n";
   os << "remote cache: " << s.remoteHits << " hits, " << s.remoteMisses
      << " misses, " << s.remotePuts << " puts, " << s.remoteRejected
-     << " rejected\n";
+     << " rejected, " << s.remoteEvictions << " evicted ("
+     << s.remoteEvictedBytes << " B)\n";
 
   if (!s.lanes.empty()) {
     Table t({"lane(client)", "depth"});
@@ -137,6 +145,9 @@ int main(int argc, char** argv) {
   std::string endpoint;
   bool jsonOnce = false;
   std::int64_t intervalMicros = 1'000'000;
+  std::int64_t timeoutMicros = 5'000'000;
+  std::string token;
+  if (const char* envToken = std::getenv("LEVIOSO_TOKEN")) token = envToken;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -152,6 +163,12 @@ int main(int argc, char** argv) {
       intervalMicros =
           requireInt("levioso-top", "--interval-ms", next(), 1, 86'400'000) *
           1000;
+    else if (a == "--timeout-ms")
+      timeoutMicros =
+          requireInt("levioso-top", "--timeout-ms", next(), 1, 86'400'000) *
+          1000;
+    else if (a == "--token")
+      token = next();
     else if (a == "--quiet")
       log::setThreshold(log::Level::Warn);
     else if (a == "-v")
@@ -165,11 +182,14 @@ int main(int argc, char** argv) {
     std::string host;
     std::uint16_t port = 0;
     sock::parseEndpoint(endpoint, host, port);
-    sock::Fd fd = sock::connectTo(host, port);
+    // The timeout covers the connect AND every later read (SO_SNDTIMEO /
+    // SO_RCVTIMEO): a half-open daemon must never hang a monitoring tool.
+    sock::Fd fd = sock::connectTo(host, port, timeoutMicros);
 
     serve::Message hello;
     hello.type = serve::MsgType::Hello;
     hello.role = "client";
+    hello.token = token;
     sock::writeAll(fd.get(),
                    framing::encodeFrame(serve::encodeMessage(hello)));
 
@@ -207,6 +227,12 @@ int main(int argc, char** argv) {
       ::usleep(static_cast<useconds_t>(intervalMicros));
       if (gStop != 0) return 0;
     }
+  } catch (const TransientError& e) {
+    // Timed-out connect or status reply: the dedicated exit code scripts
+    // watch for ("daemon unresponsive" is distinct from "protocol error").
+    std::cerr << "levioso-top: daemon did not respond within "
+              << timeoutMicros / 1000 << " ms: " << e.what() << "\n";
+    return 2;
   } catch (const Error& e) {
     std::cerr << "levioso-top: " << e.what() << "\n";
     return 3;

@@ -7,9 +7,17 @@
 //   levioso-worker --connect host:7733
 //   levioso-worker --connect 127.0.0.1:7733 --cache-dir /tmp/l1 --quiet
 //
-// Exits 0 when the daemon closes the connection (orderly shutdown or a
-// network loss — the daemon re-dispatches anything this worker held), 2 on
-// bad arguments, 3 on a protocol error.
+// A lost daemon is OUTWAITED by default: the worker reconnects with
+// jittered exponential backoff (docs/SERVE.md "Surviving restarts"),
+// abandoning any half-done job whose lease the daemon forfeits anyway.
+// --no-reconnect restores the old exit-on-disconnect behavior, and
+// --max-reconnects N bounds how many consecutive dead connection attempts
+// are tolerated before giving up.
+//
+// Exits 0 when the reconnect budget is spent (or, with --no-reconnect,
+// when the daemon closes the connection), 2 on bad arguments, 3 on a
+// protocol error.
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -26,7 +34,13 @@ namespace {
 [[noreturn]] void usage() {
   std::cerr << "usage: levioso-worker --connect HOST:PORT\n"
                "                      [--cache-dir DIR|--no-cache]\n"
-               "                      [--heartbeat-ms N] [--quiet] [-v]\n";
+               "                      [--heartbeat-ms N] [--token TOK]\n"
+               "                      [--max-reconnects N] [--no-reconnect]\n"
+               "                      [--reconnect-backoff-ms N]\n"
+               "                      [--quiet] [-v]\n"
+               "Reconnects to a lost daemon forever by default (jittered\n"
+               "exponential backoff); --token defaults to the LEVIOSO_TOKEN\n"
+               "env var.\n";
   std::exit(2);
 }
 
@@ -34,7 +48,11 @@ namespace {
 
 int main(int argc, char** argv) {
   serve::WorkerOptions opts;
+  serve::ReconnectOptions reconnect;
+  bool noReconnect = false;
   std::string endpoint;
+  if (const char* envToken = std::getenv("LEVIOSO_TOKEN"))
+    opts.token = envToken;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -53,6 +71,18 @@ int main(int argc, char** argv) {
           requireInt("levioso-worker", "--heartbeat-ms", next(), 1,
                      86'400'000) *
           1000;
+    else if (a == "--token")
+      opts.token = next();
+    else if (a == "--max-reconnects")
+      reconnect.maxReconnects = requireIntArg(
+          "levioso-worker", "--max-reconnects", next(), 0, 1 << 30);
+    else if (a == "--no-reconnect")
+      noReconnect = true;
+    else if (a == "--reconnect-backoff-ms")
+      reconnect.backoffMicros =
+          requireInt("levioso-worker", "--reconnect-backoff-ms", next(), 1,
+                     3'600'000) *
+          1000;
     else if (a == "--quiet")
       log::setThreshold(log::Level::Warn);
     else if (a == "-v")
@@ -64,9 +94,10 @@ int main(int argc, char** argv) {
 
   try {
     sock::parseEndpoint(endpoint, opts.host, opts.port);
-    const std::uint64_t jobs = serve::runWorker(opts);
-    LEV_LOG_INFO("worker", "daemon disconnected; exiting",
-                 {{"jobsDone", jobs}});
+    const std::uint64_t jobs = noReconnect
+                                   ? serve::runWorker(opts)
+                                   : serve::runWorkerLoop(opts, reconnect);
+    LEV_LOG_INFO("worker", "exiting", {{"jobsDone", jobs}});
     return 0;
   } catch (const Error& e) {
     std::cerr << "levioso-worker: " << e.what() << "\n";
